@@ -1,0 +1,59 @@
+//! P2: operation-application latency per category, full pipeline
+//! (permission check, precondition constraints, mutation, propagation,
+//! feedback).
+use criterion::{criterion_group, criterion_main, Criterion};
+use sws_core::oplang::parse_statement;
+use sws_core::{ConceptKind, Workspace};
+use sws_corpus::university;
+
+fn bench_ops(c: &mut Criterion) {
+    let base = Workspace::new(university::graph());
+    let mut group = c.benchmark_group("apply_op");
+
+    let cases: &[(&str, ConceptKind, &str)] = &[
+        (
+            "add_type",
+            ConceptKind::WagonWheel,
+            "add_type_definition(Fresh)",
+        ),
+        (
+            "add_attribute",
+            ConceptKind::WagonWheel,
+            "add_attribute(CourseOffering, string(8), wing)",
+        ),
+        (
+            "add_relationship",
+            ConceptKind::WagonWheel,
+            "add_relationship(Book, set<Faculty>, recommended_by, Faculty::recommends)",
+        ),
+        (
+            "move_attribute",
+            ConceptKind::Generalization,
+            "modify_attribute(Faculty, rank, Employee)",
+        ),
+        (
+            "retarget_relationship",
+            ConceptKind::Generalization,
+            "modify_relationship_target_type(Department, has, Employee, Person)",
+        ),
+        (
+            "delete_type_cascading",
+            ConceptKind::WagonWheel,
+            "delete_type_definition(Student)",
+        ),
+    ];
+    for (name, context, stmt) in cases {
+        let op = parse_statement(stmt).expect("bench statement parses");
+        group.bench_function(*name, |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut ws| ws.apply(*context, op.clone()).expect("applies"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

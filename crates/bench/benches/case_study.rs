@@ -1,0 +1,11 @@
+//! F9–11: the end-to-end ACEDB case study (synthesize + replay + verify +
+//! mapping).
+use criterion::{criterion_group, criterion_main, Criterion};
+use sws_bench::case_study;
+
+fn bench_case_study(c: &mut Criterion) {
+    c.bench_function("case_study_full", |b| b.iter(case_study::run));
+}
+
+criterion_group!(benches, bench_case_study);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! P3: consistency-check cost vs schema size.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sws_core::consistency::check_consistency;
+use sws_corpus::synthetic::SyntheticSpec;
+
+fn bench_consistency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency");
+    for n in [10usize, 50, 200, 500] {
+        let g = SyntheticSpec::sized(n, 42).generate();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("types", n), &g, |b, g| {
+            b.iter(|| check_consistency(std::hint::black_box(g), std::hint::black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consistency);
+criterion_main!(benches);

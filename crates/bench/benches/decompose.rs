@@ -1,0 +1,29 @@
+//! P1: concept-schema decomposition scaling (types 10 → 2000).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sws_core::decompose;
+use sws_corpus::synthetic::SyntheticSpec;
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    for n in [10usize, 50, 200, 500, 2000] {
+        let g = SyntheticSpec::sized(n, 42).generate();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("types", n), &g, |b, g| {
+            b.iter(|| decompose(std::hint::black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompose_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose_corpus");
+    for (name, g) in sws_corpus::all_named() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| decompose(std::hint::black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose, bench_decompose_corpus);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! P5: ODL and modification-language parse/print throughput.
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sws_core::oplang::{parse_script, print_script};
+use sws_core::ops::synthesize::synthesize;
+use sws_corpus::{genome, synthetic::SyntheticSpec};
+use sws_model::{graph_to_schema, SchemaGraph};
+use sws_odl::{parse_schema, print_schema};
+
+fn bench_odl(c: &mut Criterion) {
+    let g = SyntheticSpec::sized(200, 42).generate();
+    let text = print_schema(&graph_to_schema(&g));
+    let mut group = c.benchmark_group("odl");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("parse_200_types", |b| {
+        b.iter(|| parse_schema(std::hint::black_box(&text)).expect("parses"))
+    });
+    group.bench_function("print_200_types", |b| {
+        let ast = graph_to_schema(&g);
+        b.iter(|| print_schema(std::hint::black_box(&ast)))
+    });
+    group.finish();
+}
+
+fn bench_oplang(c: &mut Criterion) {
+    let script = synthesize(&genome::acedb(), &SchemaGraph::new("empty"));
+    let text = print_script(&script);
+    let mut group = c.benchmark_group("oplang");
+    group.throughput(Throughput::Elements(script.len() as u64));
+    group.bench_function("parse_teardown_script", |b| {
+        b.iter(|| parse_script(std::hint::black_box(&text)).expect("parses"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_odl, bench_oplang);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! T1 companion: permission-matrix lookup cost (it guards every apply).
+use criterion::{criterion_group, criterion_main, Criterion};
+use sws_core::ops::{OpKind, PermissionMatrix};
+use sws_core::ConceptKind;
+
+fn bench_matrix(c: &mut Criterion) {
+    let m = PermissionMatrix::new();
+    c.bench_function("matrix_full_scan", |b| {
+        b.iter(|| {
+            let mut allowed = 0usize;
+            for &context in &ConceptKind::ALL {
+                for &op in OpKind::ALL {
+                    allowed += usize::from(
+                        m.allows(std::hint::black_box(context), std::hint::black_box(op)),
+                    );
+                }
+            }
+            allowed
+        })
+    });
+    c.bench_function("matrix_render_table1", |b| b.iter(|| m.render_table()));
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

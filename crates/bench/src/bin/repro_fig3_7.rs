@@ -1,0 +1,19 @@
+//! Reproduce Figs. 3 and 7: the course-offering wagon wheel, its
+//! elaboration with a class schedule, and the correspondence-course
+//! simplification.
+use sws_bench::figures;
+
+fn main() {
+    let (fig3, elements) = figures::fig3();
+    println!("Fig. 3 — course offering concept schema ({elements} elements):\n{fig3}");
+    let (ws, elaborated, simplified) = figures::fig7();
+    println!("Fig. 7 — elaborated course offering:\n{elaborated}");
+    println!("simplified for correspondence-only courses:\n{simplified}");
+    println!("operation log:");
+    for record in ws.log() {
+        println!("  [{}] {}", record.context.tag(), record.op);
+        for entry in &record.impact.entries {
+            println!("      impact: {entry}");
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Reproduce Fig. 4: the student generalization hierarchy.
+fn main() {
+    println!("Fig. 4 — student generalization hierarchy:\n");
+    print!("{}", sws_bench::figures::fig4());
+}

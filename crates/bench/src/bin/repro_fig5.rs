@@ -1,0 +1,5 @@
+//! Reproduce Fig. 5: the house aggregation hierarchy (parts explosion).
+fn main() {
+    println!("Fig. 5 — house aggregation hierarchy:\n");
+    print!("{}", sws_bench::figures::fig5());
+}

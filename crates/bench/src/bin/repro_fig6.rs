@@ -1,0 +1,5 @@
+//! Reproduce Fig. 6: the software instance-of sequence (EMSL).
+fn main() {
+    println!("Fig. 6 — software instance-of sequence:\n");
+    print!("{}", sws_bench::figures::fig6());
+}

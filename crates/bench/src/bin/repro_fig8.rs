@@ -1,0 +1,9 @@
+//! Reproduce Fig. 8 and the §3.4 ODL listing:
+//! modify_relationship_target_type(Department, has, Employee, Person).
+use sws_bench::figures;
+
+fn main() {
+    let (before, after, _) = figures::fig8();
+    println!("before the operation:\n{before}");
+    println!("after modify_relationship_target_type(Department, has, Employee, Person):\n{after}");
+}

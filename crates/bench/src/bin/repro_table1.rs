@@ -1,0 +1,10 @@
+//! Reproduce Table 1: operations allowed per concept schema type.
+use sws_core::ops::PermissionMatrix;
+
+fn main() {
+    println!("Table 1 — operations on ODL schema definitions in the context of");
+    println!("concept schema types (x = allowed; names are never modifiable):\n");
+    print!("{}", PermissionMatrix::new().render_table());
+    println!("\nTable 1, paper layout — ODL candidates with A/D/M per context:\n");
+    print!("{}", sws_core::ops::coverage::render_table1_candidates());
+}

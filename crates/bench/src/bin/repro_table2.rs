@@ -1,0 +1,8 @@
+//! Reproduce Table 2: addition (and deletion) operations covering every
+//! ODL candidate for modification.
+use sws_core::ops::coverage;
+
+fn main() {
+    println!("Table 2 — addition/deletion operations on ODL candidates:\n");
+    print!("{}", coverage::render_table2());
+}

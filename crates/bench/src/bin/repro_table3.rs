@@ -1,0 +1,8 @@
+//! Reproduce Table 3: modify operations on ODL candidates (names excluded
+//! by the name-equivalence assumption).
+use sws_core::ops::coverage;
+
+fn main() {
+    println!("Table 3 — modify operations on ODL candidates:\n");
+    print!("{}", coverage::render_table3());
+}

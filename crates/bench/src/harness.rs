@@ -1,0 +1,47 @@
+//! Shared helpers for the evaluation harness.
+
+use sws_core::ops::PermissionMatrix;
+use sws_core::{ConceptKind, Feedback, ModOp, OpError, Workspace};
+
+/// Choose a concept-schema context in which `op` is permitted, preferring
+/// the wagon wheel (which carries most modifications in the paper).
+pub fn context_for(op: &ModOp) -> ConceptKind {
+    let matrix = PermissionMatrix::new();
+    if matrix.allows(ConceptKind::WagonWheel, op.kind()) {
+        return ConceptKind::WagonWheel;
+    }
+    matrix
+        .permitting_contexts(op.kind())
+        .first()
+        .copied()
+        .expect("every operation is permitted somewhere (Table 1)")
+}
+
+/// Apply a script to a workspace, selecting a permitting context per
+/// operation. Returns the feedback stream.
+pub fn apply_script(ws: &mut Workspace, ops: &[ModOp]) -> Result<Vec<Feedback>, (usize, OpError)> {
+    let mut out = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        let context = context_for(op);
+        out.push(ws.apply(context, op.clone()).map_err(|e| (i, e))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_core::OpKind;
+
+    #[test]
+    fn context_prefers_wagon_wheel() {
+        let op = ModOp::AddTypeDefinition { ty: "X".into() };
+        assert_eq!(context_for(&op), ConceptKind::WagonWheel);
+        let op = ModOp::AddSupertype {
+            ty: "X".into(),
+            supertype: "Y".into(),
+        };
+        assert_eq!(context_for(&op), ConceptKind::Generalization);
+        assert_eq!(op.kind(), OpKind::AddSupertype);
+    }
+}

@@ -1,0 +1,9 @@
+//! Evaluation harness: the logic behind the `repro_*` binaries (one per
+//! table/figure of the paper) and the Criterion benches.
+//!
+//! See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results.
+
+pub mod case_study;
+pub mod figures;
+pub mod harness;

@@ -1,0 +1,169 @@
+//! Repair advice (paper §5, listed as a possible extension): "Constraint
+//! Analysis can be used in the consistency check to suggest the operations
+//! that need to be altered to enforce semantic constraints."
+//!
+//! For each consistency finding, [`advise`] proposes concrete modification
+//! operations (as modification-language statements) that would resolve it.
+//! Suggestions are advice, not actions: the designer reviews and issues
+//! them like any other operation.
+
+use crate::consistency::{ConsistencyReport, CrossIssue};
+use sws_model::{SchemaGraph, WfIssue};
+
+/// One repair suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// The finding being addressed (rendered).
+    pub finding: String,
+    /// Candidate modification-language statements, most direct first.
+    pub candidates: Vec<String>,
+}
+
+/// Propose repairs for every finding in `report`.
+pub fn advise(report: &ConsistencyReport, working: &SchemaGraph) -> Vec<Suggestion> {
+    report
+        .findings
+        .iter()
+        .filter_map(|finding| {
+            let candidates = candidates_for(finding, working);
+            (!candidates.is_empty()).then(|| Suggestion {
+                finding: finding.to_string(),
+                candidates,
+            })
+        })
+        .collect()
+}
+
+fn candidates_for(finding: &CrossIssue, g: &SchemaGraph) -> Vec<String> {
+    match finding {
+        CrossIssue::Wf(WfIssue::DanglingAttrDomain {
+            ty,
+            attribute,
+            referenced,
+        }) => vec![
+            format!("add_type_definition({referenced})"),
+            format!("delete_attribute({ty}, {attribute})"),
+        ],
+        CrossIssue::Wf(WfIssue::DanglingOpType {
+            ty,
+            operation,
+            referenced,
+        }) => vec![
+            format!("add_type_definition({referenced})"),
+            format!("delete_operation({ty}, {operation})"),
+        ],
+        CrossIssue::Wf(WfIssue::KeyAttributeMissing { ty, key, attribute }) => vec![
+            format!("add_attribute({ty}, string, {attribute})"),
+            format!("delete_key_list({ty}, ({key}))"),
+        ],
+        CrossIssue::Wf(WfIssue::OrderByAttributeMissing {
+            ty,
+            path,
+            target,
+            attribute,
+        }) => vec![
+            format!("add_attribute({target}, string, {attribute})"),
+            format!("modify_relationship_order_by({ty}, {path}, ({attribute}), ())"),
+        ],
+        CrossIssue::Wf(WfIssue::InheritedMemberConflict { ty, member, .. }) => {
+            vec![format!("delete_attribute({ty}, {member})")]
+        }
+        CrossIssue::LostKey { ty } => {
+            // Suggest re-adding a key over the first available attribute.
+            let attr = g
+                .type_id(ty)
+                .and_then(|id| g.ty(id).attrs.first().map(|&a| g.attr(a).name.clone()));
+            match attr {
+                Some(attr) => vec![format!("add_key_list({ty}, ({attr}))")],
+                None => vec![],
+            }
+        }
+        CrossIssue::LostExtent { ty } => {
+            vec![format!(
+                "add_extent_name({ty}, {}_extent)",
+                ty.to_lowercase()
+            )]
+        }
+        CrossIssue::IsolatedType { ty } => vec![format!("delete_type_definition({ty})")],
+        CrossIssue::AbstractLeaf { ty } => vec![format!("delete_type_definition({ty})")],
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::check_consistency;
+    use crate::oplang::parse_statement;
+    use sws_model::schema_to_graph;
+    use sws_odl::parse_schema;
+
+    fn graph(src: &str) -> SchemaGraph {
+        schema_to_graph(&parse_schema(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dangling_domain_gets_two_alternatives() {
+        let g = graph("interface A { attribute set<Ghost> gs; attribute long x; }");
+        let report = check_consistency(&g, &g);
+        let advice = advise(&report, &g);
+        let s = advice
+            .iter()
+            .find(|s| s.finding.contains("Ghost"))
+            .expect("suggestion for the dangling domain");
+        assert_eq!(
+            s.candidates,
+            vec![
+                "add_type_definition(Ghost)".to_string(),
+                "delete_attribute(A, gs)".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn lost_key_suggests_readding() {
+        let sw = graph("interface A { attribute long x; keys x; }");
+        let mut cu = sw.clone();
+        let a = cu.type_id("A").unwrap();
+        cu.remove_key(a, &sws_odl::Key::single("x")).unwrap();
+        let report = check_consistency(&cu, &sw);
+        let advice = advise(&report, &cu);
+        assert!(advice
+            .iter()
+            .any(|s| s.candidates.contains(&"add_key_list(A, (x))".to_string())));
+    }
+
+    #[test]
+    fn isolated_type_suggests_deletion() {
+        let g = graph("interface Loner { } interface A { attribute long x; }");
+        let report = check_consistency(&g, &g);
+        let advice = advise(&report, &g);
+        assert!(advice.iter().any(|s| s
+            .candidates
+            .contains(&"delete_type_definition(Loner)".to_string())));
+    }
+
+    #[test]
+    fn all_suggestions_are_parseable_statements() {
+        // Every candidate the advisor emits must be valid modification
+        // language.
+        let g = graph(
+            "interface Loner { } \
+             interface A { attribute set<Ghost> gs; attribute long x; keys nope; }",
+        );
+        let report = check_consistency(&g, &g);
+        for s in advise(&report, &g) {
+            for candidate in &s.candidates {
+                parse_statement(candidate)
+                    .unwrap_or_else(|e| panic!("unparseable suggestion {candidate:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn clean_schema_yields_no_advice() {
+        let g = graph("interface A { attribute long x; keys x; }");
+        let report = check_consistency(&g, &g);
+        assert!(advise(&report, &g).is_empty());
+    }
+}

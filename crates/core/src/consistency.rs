@@ -1,0 +1,316 @@
+//! Consistency checks over the customized user schema (paper §1.2:
+//! "consistency checks to provide feedback to the designer about
+//! interactions among the concept schemas").
+//!
+//! Because every concept schema is a view over the one integrated working
+//! schema, interactions between customizations of *different* concept
+//! schemas surface as global findings here: a type deleted from one wagon
+//! wheel leaving dangling attribute domains referenced from another, a key
+//! lost to an attribute move, an isolated type left behind by deletions,
+//! and so on. Structural findings come from `sws-model`'s well-formedness
+//! pass; shrink-wrap-relative findings are computed against the original
+//! schema.
+
+use std::fmt;
+use sws_model::{check_well_formed, query, SchemaGraph, WfIssue};
+use sws_odl::HierKind;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Should be fixed before the custom schema is used.
+    Error,
+    /// Probably unintended; the designer should review it.
+    Warning,
+    /// Worth knowing.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// One consistency finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrossIssue {
+    /// A structural well-formedness problem.
+    Wf(WfIssue),
+    /// The shrink wrap type had keys; the custom type has none left.
+    LostKey { ty: String },
+    /// The shrink wrap type had an extent; the custom type has none.
+    LostExtent { ty: String },
+    /// A type with no members, relationships, links, or ISA edges —
+    /// typically an orphan left behind by deletions in other concept
+    /// schemas.
+    IsolatedType { ty: String },
+    /// An abstract type with no remaining subtypes.
+    AbstractLeaf { ty: String },
+    /// A type that is the generic entity of more than one instance-of link
+    /// (the paper observed linear chains; branching is legal but notable).
+    BranchingInstanceOf { ty: String, count: usize },
+}
+
+impl CrossIssue {
+    /// The severity of this finding.
+    pub fn severity(&self) -> Severity {
+        match self {
+            CrossIssue::Wf(_) => Severity::Error,
+            CrossIssue::LostKey { .. } => Severity::Warning,
+            CrossIssue::IsolatedType { .. } => Severity::Warning,
+            CrossIssue::AbstractLeaf { .. } => Severity::Warning,
+            CrossIssue::LostExtent { .. } => Severity::Info,
+            CrossIssue::BranchingInstanceOf { .. } => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for CrossIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossIssue::Wf(issue) => write!(f, "{issue}"),
+            CrossIssue::LostKey { ty } => write!(
+                f,
+                "`{ty}` had key(s) in the shrink wrap schema but has none in the custom schema"
+            ),
+            CrossIssue::LostExtent { ty } => {
+                write!(
+                    f,
+                    "`{ty}` lost its extent relative to the shrink wrap schema"
+                )
+            }
+            CrossIssue::IsolatedType { ty } => write!(
+                f,
+                "`{ty}` is isolated (no members, relationships, links, or ISA edges)"
+            ),
+            CrossIssue::AbstractLeaf { ty } => {
+                write!(f, "abstract type `{ty}` has no subtypes left")
+            }
+            CrossIssue::BranchingInstanceOf { ty, count } => write!(
+                f,
+                "`{ty}` is the generic entity of {count} instance-of links (branching chain)"
+            ),
+        }
+    }
+}
+
+/// The full consistency report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConsistencyReport {
+    /// All findings, errors first.
+    pub findings: Vec<CrossIssue>,
+}
+
+impl ConsistencyReport {
+    /// Findings at [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &CrossIssue> {
+        self.findings
+            .iter()
+            .filter(|i| i.severity() == Severity::Error)
+    }
+
+    /// Findings at [`Severity::Warning`].
+    pub fn warnings(&self) -> impl Iterator<Item = &CrossIssue> {
+        self.findings
+            .iter()
+            .filter(|i| i.severity() == Severity::Warning)
+    }
+
+    /// Findings at [`Severity::Info`].
+    pub fn infos(&self) -> impl Iterator<Item = &CrossIssue> {
+        self.findings
+            .iter()
+            .filter(|i| i.severity() == Severity::Info)
+    }
+
+    /// True if nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render the report, one finding per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for finding in &self.findings {
+            out.push_str(&format!("{}: {}\n", finding.severity(), finding));
+        }
+        out
+    }
+}
+
+/// Run all consistency checks on `working` relative to `shrink_wrap`.
+pub fn check_consistency(working: &SchemaGraph, shrink_wrap: &SchemaGraph) -> ConsistencyReport {
+    let mut findings: Vec<CrossIssue> = check_well_formed(working)
+        .into_iter()
+        .map(CrossIssue::Wf)
+        .collect();
+
+    for (id, node) in working.types() {
+        // Shrink-wrap-relative checks.
+        if let Some(sw_id) = shrink_wrap.type_id(&node.name) {
+            let sw_node = shrink_wrap.ty(sw_id);
+            if !sw_node.keys.is_empty() && node.keys.is_empty() {
+                findings.push(CrossIssue::LostKey {
+                    ty: node.name.clone(),
+                });
+            }
+            if sw_node.extent.is_some() && node.extent.is_none() {
+                findings.push(CrossIssue::LostExtent {
+                    ty: node.name.clone(),
+                });
+            }
+        }
+        // Isolation.
+        let isolated = node.attrs.is_empty()
+            && node.ops.is_empty()
+            && node.rel_ends.is_empty()
+            && node.parent_links.is_empty()
+            && node.child_links.is_empty()
+            && node.supertypes.is_empty()
+            && node.subtypes.is_empty()
+            && node.keys.is_empty();
+        if isolated {
+            findings.push(CrossIssue::IsolatedType {
+                ty: node.name.clone(),
+            });
+        }
+        if node.is_abstract && node.subtypes.is_empty() {
+            findings.push(CrossIssue::AbstractLeaf {
+                ty: node.name.clone(),
+            });
+        }
+        let outgoing = query::hier_children(working, HierKind::InstanceOf, id).len();
+        if outgoing > 1 {
+            findings.push(CrossIssue::BranchingInstanceOf {
+                ty: node.name.clone(),
+                count: outgoing,
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| f.severity());
+    ConsistencyReport { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::ConceptKind;
+    use crate::ops::ModOp;
+    use crate::workspace::Workspace;
+    use sws_model::schema_to_graph;
+    use sws_odl::parse_schema;
+
+    fn graph(src: &str) -> SchemaGraph {
+        schema_to_graph(&parse_schema(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn clean_schema_is_clean() {
+        let g = graph("interface A { attribute long x; keys x; extent as_; } interface B : A { }");
+        let report = check_consistency(&g, &g);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn lost_key_and_extent_detected() {
+        let sw = graph("interface A { attribute long x; keys x; extent as_; }");
+        let mut ws = Workspace::new(sw);
+        ws.apply(
+            ConceptKind::WagonWheel,
+            ModOp::DeleteKeyList {
+                ty: "A".into(),
+                keys: vec![sws_odl::Key::single("x")],
+            },
+        )
+        .unwrap();
+        ws.apply(
+            ConceptKind::WagonWheel,
+            ModOp::DeleteExtentName {
+                ty: "A".into(),
+                extent: "as_".into(),
+            },
+        )
+        .unwrap();
+        let report = check_consistency(ws.working(), ws.shrink_wrap());
+        assert!(report
+            .warnings()
+            .any(|f| matches!(f, CrossIssue::LostKey { .. })));
+        assert!(report
+            .infos()
+            .any(|f| matches!(f, CrossIssue::LostExtent { .. })));
+    }
+
+    #[test]
+    fn dangling_reference_after_cross_concept_delete() {
+        // Wagon wheel A references B via an attribute domain; deleting B
+        // from its own wagon wheel leaves a dangling domain — exactly the
+        // cross-concept-schema interaction the designer must hear about.
+        let sw = graph("interface A { attribute set<B> bs; } interface B { attribute long x; }");
+        let mut ws = Workspace::new(sw);
+        ws.apply(
+            ConceptKind::WagonWheel,
+            ModOp::DeleteTypeDefinition { ty: "B".into() },
+        )
+        .unwrap();
+        let report = check_consistency(ws.working(), ws.shrink_wrap());
+        assert!(report
+            .errors()
+            .any(|f| matches!(f, CrossIssue::Wf(WfIssue::DanglingAttrDomain { .. }))));
+    }
+
+    #[test]
+    fn isolated_type_detected() {
+        let g = graph("interface Loner { } interface A { attribute long x; }");
+        let report = check_consistency(&g, &g);
+        assert!(report
+            .warnings()
+            .any(|f| matches!(f, CrossIssue::IsolatedType { ty } if ty == "Loner")));
+    }
+
+    #[test]
+    fn abstract_leaf_detected() {
+        let g = graph("abstract interface Root { attribute long x; }");
+        let report = check_consistency(&g, &g);
+        assert!(report
+            .warnings()
+            .any(|f| matches!(f, CrossIssue::AbstractLeaf { .. })));
+    }
+
+    #[test]
+    fn branching_instance_of_reported() {
+        let g = graph(
+            r#"
+            interface App {
+                attribute string name;
+                instance_of set<Ver> vers inverse Ver::app;
+                instance_of set<Build> builds inverse Build::app;
+            }
+            interface Ver { attribute long n; instance_of App app inverse App::vers; }
+            interface Build { attribute long n; instance_of App app inverse App::builds; }
+            "#,
+        );
+        let report = check_consistency(&g, &g);
+        assert!(report
+            .infos()
+            .any(|f| matches!(f, CrossIssue::BranchingInstanceOf { count: 2, .. })));
+    }
+
+    #[test]
+    fn report_orders_errors_first() {
+        let g =
+            graph("interface Loner { } interface A { attribute set<Ghost> gs; attribute long x; }");
+        let report = check_consistency(&g, &g);
+        assert!(!report.is_clean());
+        let severities: Vec<Severity> = report.findings.iter().map(|f| f.severity()).collect();
+        let mut sorted = severities.clone();
+        sorted.sort();
+        assert_eq!(severities, sorted);
+        assert!(report.render().contains("error:"));
+    }
+}

@@ -1,0 +1,258 @@
+//! The explanation facility (paper §5, listed as a possible extension):
+//! "An explanation facility for the existing concept schemas can be created
+//! to explain the information represented in the concept schema to the
+//! designer."
+//!
+//! [`explain`] renders a concept schema as prose, one sentence per fact,
+//! in the style of the paper's own narration of its figures ("a
+//! Non-thesis masters student object inherits the attributes and
+//! operations defined on a Graduate student object type").
+
+use crate::concept::{ConceptKind, ConceptSchema};
+use sws_model::{query, SchemaGraph};
+use sws_odl::Cardinality;
+
+/// Explain a concept schema in prose.
+pub fn explain(cs: &ConceptSchema, g: &SchemaGraph) -> String {
+    match cs.kind {
+        ConceptKind::WagonWheel => explain_wagon_wheel(cs, g),
+        ConceptKind::Generalization => explain_generalization(cs, g),
+        ConceptKind::Aggregation => explain_hierarchy(cs, g, "consists of", "is a component of"),
+        ConceptKind::InstanceOf => explain_hierarchy(
+            cs,
+            g,
+            "is the generic specification for",
+            "is an instance of",
+        ),
+    }
+}
+
+fn explain_wagon_wheel(cs: &ConceptSchema, g: &SchemaGraph) -> String {
+    let Some(node) = g.try_ty(cs.focal) else {
+        return format!("The focal point of `{}` no longer exists.", cs.name);
+    };
+    let name = &node.name;
+    let mut out = format!(
+        "This concept schema presents one point of view centred on the object type `{name}`.\n"
+    );
+    if let Some(extent) = &node.extent {
+        out.push_str(&format!(
+            "All `{name}` objects are collected in the extent `{extent}`.\n"
+        ));
+    }
+    if !node.keys.is_empty() {
+        let keys: Vec<String> = node.keys.iter().map(|k| format!("`{k}`")).collect();
+        out.push_str(&format!(
+            "A `{name}` is uniquely identified by {}.\n",
+            keys.join(" or ")
+        ));
+    }
+    if !node.attrs.is_empty() {
+        let attrs: Vec<String> = node
+            .attrs
+            .iter()
+            .map(|&a| {
+                let attr = g.attr(a);
+                format!("`{}` ({})", attr.name, attr.ty)
+            })
+            .collect();
+        out.push_str(&format!(
+            "It carries the attributes {}.\n",
+            attrs.join(", ")
+        ));
+    }
+    for &(r, e) in &node.rel_ends {
+        let rel = g.rel(r);
+        let mine = rel.end(e);
+        let other = rel.other(e);
+        let target = g.type_name(other.owner);
+        match mine.cardinality {
+            Cardinality::One => out.push_str(&format!(
+                "Through `{}` it relates to one `{target}`.\n",
+                mine.path
+            )),
+            Cardinality::Many(kind) => out.push_str(&format!(
+                "Through `{}` it relates to a {kind} of `{target}` objects.\n",
+                mine.path
+            )),
+        }
+    }
+    for &l in &node.parent_links {
+        let link = g.link(l);
+        let verb = match link.kind {
+            sws_odl::HierKind::PartOf => "consists of",
+            sws_odl::HierKind::InstanceOf => "is the generic specification for",
+        };
+        out.push_str(&format!(
+            "It {verb} `{}` objects (via `{}`).\n",
+            g.type_name(link.child),
+            link.parent_path
+        ));
+    }
+    for &l in &node.child_links {
+        let link = g.link(l);
+        let verb = match link.kind {
+            sws_odl::HierKind::PartOf => "is a component of",
+            sws_odl::HierKind::InstanceOf => "is an instance of",
+        };
+        out.push_str(&format!(
+            "It {verb} a `{}` (via `{}`).\n",
+            g.type_name(link.parent),
+            link.child_path
+        ));
+    }
+    for &sup in &node.supertypes {
+        out.push_str(&format!(
+            "Every `{name}` is a `{}` and inherits its attributes and operations.\n",
+            g.type_name(sup)
+        ));
+    }
+    for &sub in &node.subtypes {
+        out.push_str(&format!(
+            "`{}` is a specialization of `{name}`.\n",
+            g.type_name(sub)
+        ));
+    }
+    for &o in &node.ops {
+        let op = &g.op(o).op;
+        out.push_str(&format!(
+            "It offers the operation `{}`, returning {}.\n",
+            op.name, op.return_type
+        ));
+    }
+    out
+}
+
+fn explain_generalization(cs: &ConceptSchema, g: &SchemaGraph) -> String {
+    let root = g.type_name(cs.focal);
+    let mut out = format!(
+        "This generalization hierarchy is rooted at `{root}` and shows the inheritance paths \
+         among {} object types, apart from their other attributes and relationships.\n",
+        cs.types.len()
+    );
+    for &(sub, sup) in &cs.gen_edges {
+        if g.try_ty(sub).is_none() || g.try_ty(sup).is_none() {
+            continue;
+        }
+        let inherited = query::visible_members(g, sup).len();
+        out.push_str(&format!(
+            "A `{}` is a `{}`{}.\n",
+            g.type_name(sub),
+            g.type_name(sup),
+            if inherited > 0 {
+                format!(", inheriting {inherited} member(s) through it")
+            } else {
+                String::new()
+            }
+        ));
+    }
+    out
+}
+
+fn explain_hierarchy(
+    cs: &ConceptSchema,
+    g: &SchemaGraph,
+    parent_verb: &str,
+    child_verb: &str,
+) -> String {
+    let root = g.type_name(cs.focal);
+    let mut out = format!(
+        "This {} is rooted at `{root}` and spans {} object types.\n",
+        cs.kind,
+        cs.types.len()
+    );
+    for &l in &cs.links {
+        let Some(link) = g.try_link(l) else { continue };
+        out.push_str(&format!(
+            "Each `{}` {parent_verb} a {} of `{}` objects; each `{}` {child_verb} one `{}`.\n",
+            g.type_name(link.parent),
+            link.collection,
+            g.type_name(link.child),
+            g.type_name(link.child),
+            g.type_name(link.parent),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::decompose;
+    use sws_model::schema_to_graph;
+    use sws_odl::parse_schema;
+
+    fn graph(src: &str) -> SchemaGraph {
+        schema_to_graph(&parse_schema(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn wagon_wheel_explanation_covers_spokes() {
+        let g = graph(
+            r#"
+            interface Course {
+                extent courses;
+                attribute string(16) number;
+                keys number;
+                instance_of set<Offering> offerings inverse Offering::course;
+                void archive();
+            }
+            interface Offering {
+                instance_of Course course inverse Course::offerings;
+                relationship set<Student> enrolls inverse Student::enrolled_in;
+            }
+            interface Student {
+                relationship set<Offering> enrolled_in inverse Offering::enrolls;
+            }
+            "#,
+        );
+        let d = decompose(&g);
+        let course = d.wagon_wheel_of(g.type_id("Course").unwrap()).unwrap();
+        let text = explain(course, &g);
+        assert!(text.contains("centred on the object type `Course`"));
+        assert!(text.contains("extent `courses`"));
+        assert!(text.contains("uniquely identified by `number`"));
+        assert!(text.contains("generic specification for `Offering`"));
+        assert!(text.contains("operation `archive`"));
+
+        let offering = d.wagon_wheel_of(g.type_id("Offering").unwrap()).unwrap();
+        let text = explain(offering, &g);
+        assert!(text.contains("is an instance of a `Course`"));
+        assert!(text.contains("relates to a set of `Student` objects"));
+    }
+
+    #[test]
+    fn generalization_explanation_mentions_inheritance() {
+        let g = graph(
+            "interface Student { attribute string name; } \
+             interface Graduate : Student { }",
+        );
+        let d = decompose(&g);
+        let text = explain(&d.generalizations[0], &g);
+        assert!(text.contains("rooted at `Student`"));
+        assert!(text.contains("A `Graduate` is a `Student`, inheriting 1 member(s)"));
+    }
+
+    #[test]
+    fn aggregation_explanation_uses_part_language() {
+        let g = graph(
+            "interface House { part_of set<Wall> walls inverse Wall::house; } \
+             interface Wall { part_of House house inverse House::walls; }",
+        );
+        let d = decompose(&g);
+        let text = explain(&d.aggregations[0], &g);
+        assert!(text.contains("Each `House` consists of a set of `Wall` objects"));
+        assert!(text.contains("each `Wall` is a component of one `House`"));
+    }
+
+    #[test]
+    fn stale_view_explained_gracefully() {
+        let mut g = graph("interface A { }");
+        let d = decompose(&g);
+        let ww = d.wagon_wheels[0].clone();
+        g.remove_type(g.type_id("A").unwrap(), Default::default())
+            .unwrap();
+        let text = explain(&ww, &g);
+        assert!(text.contains("no longer exists"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Designer feedback: cautionary statements and informational messages
+//! (paper activity 9, "definition of a set of cautionary statements to the
+//! user in the form of feedback").
+//!
+//! Feedback is generated *after* an operation applies successfully: the
+//! errors (constraint violations) have already been ruled out, so what
+//! remains are warnings about consequences the designer may not have
+//! intended, plus the impact report.
+
+use crate::impact::ImpactReport;
+use crate::ops::ModOp;
+use sws_model::{query, SchemaGraph};
+
+/// The result of a successfully applied operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feedback {
+    /// The operation, echoed back.
+    pub op: ModOp,
+    /// Cautionary statements.
+    pub warnings: Vec<String>,
+    /// Informational messages.
+    pub infos: Vec<String>,
+    /// The propagated changes.
+    pub impact: ImpactReport,
+}
+
+impl Feedback {
+    /// Render the feedback as the interactive tool would display it.
+    pub fn render(&self) -> String {
+        let mut out = format!("applied: {}\n", self.op);
+        for w in &self.warnings {
+            out.push_str(&format!("  warning: {w}\n"));
+        }
+        for i in &self.infos {
+            out.push_str(&format!("  info: {i}\n"));
+        }
+        if !self.impact.is_empty() {
+            out.push_str("  impact:\n");
+            for entry in &self.impact.entries {
+                out.push_str(&format!("    - {entry}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Generate cautionary warnings and infos for `op`, examining the schema
+/// *after* application.
+pub fn cautionary(op: &ModOp, g: &SchemaGraph) -> (Vec<String>, Vec<String>) {
+    let mut warnings = Vec::new();
+    let mut infos = Vec::new();
+    match op {
+        ModOp::ModifyAttribute { ty, name, new_ty } => {
+            move_feedback(
+                g,
+                ty,
+                new_ty,
+                &format!("attribute `{name}`"),
+                &mut warnings,
+                &mut infos,
+            );
+        }
+        ModOp::ModifyOperation { ty, name, new_ty } => {
+            move_feedback(
+                g,
+                ty,
+                new_ty,
+                &format!("operation `{name}`"),
+                &mut warnings,
+                &mut infos,
+            );
+        }
+        ModOp::ModifyRelationshipTargetType {
+            path,
+            old_target,
+            new_target,
+            ..
+        } => {
+            if let (Some(old), Some(new)) = (g.type_id(old_target), g.type_id(new_target)) {
+                if query::is_ancestor(g, new, old) {
+                    warnings.push(format!(
+                        "relationship `{path}` now admits any `{new_target}` (including every \
+                         subtype), not just `{old_target}`"
+                    ));
+                } else if query::is_ancestor(g, old, new) {
+                    warnings.push(format!(
+                        "relationship `{path}` is now restricted to `{new_target}`; existing \
+                         `{old_target}` participants outside it would be excluded"
+                    ));
+                }
+            }
+        }
+        ModOp::AddSupertype { ty, supertype } => {
+            if let Some(sup) = g.type_id(supertype) {
+                let inherited = query::visible_members(g, sup).len();
+                if inherited > 0 {
+                    infos.push(format!(
+                        "`{ty}` now inherits {inherited} member(s) from `{supertype}` and its \
+                         ancestors"
+                    ));
+                }
+            }
+        }
+        ModOp::DeleteSupertype { ty, supertype } => {
+            warnings.push(format!(
+                "`{ty}` no longer inherits anything from `{supertype}`; members previously \
+                 visible through it are gone"
+            ));
+        }
+        ModOp::DeleteTypeDefinition { ty } => {
+            infos.push(format!(
+                "type `{ty}` and everything incident to it was removed"
+            ));
+        }
+        ModOp::ModifyRelationshipCardinality { ty, path, old, new }
+            if old.is_many() && !new.is_many() =>
+        {
+            warnings.push(format!(
+                "`{ty}::{path}` narrowed from a collection to a single object"
+            ));
+        }
+        ModOp::ModifyAttributeType { ty, name, old, new } => {
+            infos.push(format!("`{ty}::{name}` re-typed from `{old}` to `{new}`"));
+        }
+        ModOp::AddPartOfRelationship {
+            ty,
+            target,
+            collection,
+            ..
+        } => {
+            let (whole, part) = match collection {
+                Some(_) => (ty.as_str(), target.as_str()),
+                None => (target.as_str(), ty.as_str()),
+            };
+            infos.push(format!("`{part}` is now a component of `{whole}`"));
+        }
+        ModOp::AddInstanceOfRelationship {
+            ty,
+            target,
+            collection,
+            ..
+        } => {
+            let (generic, instance) = match collection {
+                Some(_) => (ty.as_str(), target.as_str()),
+                None => (target.as_str(), ty.as_str()),
+            };
+            infos.push(format!(
+                "`{instance}` is now an instance entity of `{generic}`"
+            ));
+        }
+        _ => {}
+    }
+    (warnings, infos)
+}
+
+fn move_feedback(
+    g: &SchemaGraph,
+    from: &str,
+    to: &str,
+    what: &str,
+    warnings: &mut Vec<String>,
+    infos: &mut Vec<String>,
+) {
+    let (Some(from_id), Some(to_id)) = (g.type_id(from), g.type_id(to)) else {
+        return;
+    };
+    if query::is_ancestor(g, to_id, from_id) {
+        // Moved up: now inherited more widely.
+        let heirs = query::descendants(g, to_id).len();
+        warnings.push(format!(
+            "{what} moved up to `{to}`: it is now inherited by all {heirs} descendant type(s), \
+             not only `{from}`'s subtree"
+        ));
+    } else if query::is_ancestor(g, from_id, to_id) {
+        warnings.push(format!(
+            "{what} moved down to `{to}`: it is no longer visible on `{from}` or its other \
+             subtypes"
+        ));
+    } else {
+        infos.push(format!("{what} moved from `{from}` to `{to}`"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::schema_to_graph;
+    use sws_odl::parse_schema;
+
+    fn dept() -> SchemaGraph {
+        schema_to_graph(
+            &parse_schema(
+                r#"
+            interface Person { }
+            interface Student : Person { }
+            interface Employee : Person { attribute long badge; }
+            interface Manager : Employee { }
+            "#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn move_up_warns_about_wider_inheritance() {
+        let g = dept();
+        let (warnings, _) = cautionary(
+            &ModOp::ModifyAttribute {
+                ty: "Employee".into(),
+                name: "badge".into(),
+                new_ty: "Person".into(),
+            },
+            &g,
+        );
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("inherited by all 3 descendant"));
+    }
+
+    #[test]
+    fn move_down_warns_about_lost_visibility() {
+        let g = dept();
+        let (warnings, _) = cautionary(
+            &ModOp::ModifyAttribute {
+                ty: "Employee".into(),
+                name: "badge".into(),
+                new_ty: "Manager".into(),
+            },
+            &g,
+        );
+        assert!(warnings[0].contains("no longer visible"));
+    }
+
+    #[test]
+    fn retarget_warns_about_widening() {
+        let g = dept();
+        let (warnings, _) = cautionary(
+            &ModOp::ModifyRelationshipTargetType {
+                ty: "X".into(),
+                path: "has".into(),
+                old_target: "Employee".into(),
+                new_target: "Person".into(),
+            },
+            &g,
+        );
+        assert!(warnings[0].contains("now admits any `Person`"));
+    }
+
+    #[test]
+    fn feedback_renders() {
+        let fb = Feedback {
+            op: ModOp::AddTypeDefinition { ty: "T".into() },
+            warnings: vec!["careful".into()],
+            infos: vec!["fyi".into()],
+            impact: ImpactReport::default(),
+        };
+        let text = fb.render();
+        assert!(text.contains("applied: add_type_definition(T)"));
+        assert!(text.contains("warning: careful"));
+        assert!(text.contains("info: fyi"));
+    }
+}

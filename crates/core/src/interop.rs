@@ -1,0 +1,194 @@
+//! Interoperation through common objects (paper §5):
+//!
+//! > "In general, systems built from the same shrink wrap schema (i.e.,
+//! > common objects) can be integrated for information interchange because
+//! > the semantically identical constructs have already been identified."
+//!
+//! Given the mappings of two design sessions over the *same* shrink wrap
+//! schema, [`common_objects`] returns the constructs both custom schemas
+//! reused — the shared vocabulary an integration layer can rely on. A
+//! construct is common when **both** mappings carry it over (unchanged,
+//! modified, or moved); its per-system disposition tells the integrator
+//! whether any adaptation (e.g. a moved relationship end) is needed.
+
+use crate::mapping::{Construct, Disposition, Mapping};
+
+/// One construct shared by two systems built from the same shrink wrap
+/// schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommonObject {
+    /// The shrink-wrap-side identity (the shared name).
+    pub construct: Construct,
+    /// How system A treated it.
+    pub in_a: Disposition,
+    /// How system B treated it.
+    pub in_b: Disposition,
+}
+
+impl CommonObject {
+    /// True when both systems kept the construct byte-identical — no
+    /// adaptation needed for interchange.
+    pub fn identical(&self) -> bool {
+        self.in_a == Disposition::Unchanged && self.in_b == Disposition::Unchanged
+    }
+}
+
+/// Compute the common objects of two customizations of one shrink wrap
+/// schema. Both mappings must have been derived against the same shrink
+/// wrap; constructs present only as additions are never common (they were
+/// not part of the shared vocabulary).
+pub fn common_objects(a: &Mapping, b: &Mapping) -> Vec<CommonObject> {
+    let mut out = Vec::new();
+    for entry_a in &a.entries {
+        if !entry_a.disposition.is_reused() {
+            continue;
+        }
+        let Some(entry_b) = b
+            .entries
+            .iter()
+            .find(|e| e.construct == entry_a.construct && e.disposition.is_reused())
+        else {
+            continue;
+        };
+        out.push(CommonObject {
+            construct: entry_a.construct.clone(),
+            in_a: entry_a.disposition.clone(),
+            in_b: entry_b.disposition.clone(),
+        });
+    }
+    out
+}
+
+/// Summary statistics for an integration report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InteropSummary {
+    /// Constructs shared by both systems.
+    pub common: usize,
+    /// Shared constructs identical on both sides.
+    pub identical: usize,
+    /// Shrink wrap constructs (denominator).
+    pub shrink_wrap_total: usize,
+}
+
+impl InteropSummary {
+    /// Fraction of the shrink wrap vocabulary usable for interchange.
+    pub fn interchange_fraction(&self) -> f64 {
+        if self.shrink_wrap_total == 0 {
+            return 0.0;
+        }
+        self.common as f64 / self.shrink_wrap_total as f64
+    }
+}
+
+/// Summarize [`common_objects`] for two mappings.
+pub fn summarize(a: &Mapping, b: &Mapping) -> InteropSummary {
+    let common = common_objects(a, b);
+    InteropSummary {
+        common: common.len(),
+        identical: common.iter().filter(|c| c.identical()).count(),
+        shrink_wrap_total: a.summary().shrink_wrap_total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::ConceptKind;
+    use crate::ops::ModOp;
+    use crate::workspace::Workspace;
+    use sws_model::schema_to_graph;
+    use sws_odl::parse_schema;
+
+    fn shrink_wrap() -> sws_model::SchemaGraph {
+        schema_to_graph(
+            &parse_schema(
+                r#"
+            interface Person { attribute string name; attribute date born; }
+            interface Employee : Person {
+                attribute long badge;
+                relationship Department works_in_a inverse Department::has;
+            }
+            interface Department { attribute string dname; relationship set<Employee> has inverse Employee::works_in_a; }
+            "#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shared_constructs_survive_divergent_customization() {
+        let sw = shrink_wrap();
+        // System A: drops `born`, adds projects.
+        let mut a = Workspace::new(sw.clone());
+        a.apply(
+            ConceptKind::WagonWheel,
+            ModOp::DeleteAttribute {
+                ty: "Person".into(),
+                name: "born".into(),
+            },
+        )
+        .unwrap();
+        a.apply(
+            ConceptKind::WagonWheel,
+            ModOp::AddTypeDefinition {
+                ty: "Project".into(),
+            },
+        )
+        .unwrap();
+        // System B: moves badge up, keeps `born`.
+        let mut b = Workspace::new(sw);
+        b.apply(
+            ConceptKind::Generalization,
+            ModOp::ModifyAttribute {
+                ty: "Employee".into(),
+                name: "badge".into(),
+                new_ty: "Person".into(),
+            },
+        )
+        .unwrap();
+
+        let map_a = Mapping::derive(&a);
+        let map_b = Mapping::derive(&b);
+        let common = common_objects(&map_a, &map_b);
+
+        // `born` is gone from A: not common.
+        assert!(!common
+            .iter()
+            .any(|c| matches!(&c.construct, Construct::Attribute(_, n) if n == "born")));
+        // `Project` is an addition: not common.
+        assert!(!common
+            .iter()
+            .any(|c| matches!(&c.construct, Construct::Type(n) if n == "Project")));
+        // `badge` is common, but moved in B — the integrator sees that.
+        let badge = common
+            .iter()
+            .find(|c| matches!(&c.construct, Construct::Attribute(_, n) if n == "badge"))
+            .expect("badge is shared");
+        assert_eq!(badge.in_a, Disposition::Unchanged);
+        assert!(matches!(&badge.in_b, Disposition::Moved { to, .. } if to == "Person"));
+        assert!(!badge.identical());
+        // The works_in_a relationship is untouched in both.
+        let rel = common
+            .iter()
+            .find(|c| matches!(&c.construct, Construct::Relationship(..)))
+            .expect("relationship shared");
+        assert!(rel.identical());
+
+        let summary = summarize(&map_a, &map_b);
+        assert_eq!(summary.shrink_wrap_total, 9);
+        assert_eq!(summary.common, 8); // everything but `born`
+        assert!(summary.interchange_fraction() > 0.8);
+    }
+
+    #[test]
+    fn untouched_sessions_share_everything() {
+        let sw = shrink_wrap();
+        let a = Mapping::derive(&Workspace::new(sw.clone()));
+        let b = Mapping::derive(&Workspace::new(sw));
+        let summary = summarize(&a, &b);
+        assert_eq!(summary.common, summary.shrink_wrap_total);
+        assert_eq!(summary.identical, summary.common);
+        assert!((summary.interchange_fraction() - 1.0).abs() < 1e-9);
+    }
+}

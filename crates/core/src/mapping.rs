@@ -1,0 +1,762 @@
+//! The mapping between shrink wrap schema and custom schema (paper activity
+//! 10): "a mapping representation that records the semantic correspondence
+//! between the shrink wrap and customized schema".
+//!
+//! The mapping is **derived** — from the shrink wrap schema, the customized
+//! working schema, and the operation log (which disambiguates *moved*
+//! constructs from deleted-and-re-added ones). Every shrink wrap construct
+//! receives a [`Disposition`]; constructs only in the custom schema are
+//! listed as [`Disposition::Added`].
+
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+use std::fmt;
+use sws_model::{graph_to_schema, SchemaGraph};
+use sws_odl::{HierKind, Schema};
+
+/// A construct, identified by names (name equivalence).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Construct {
+    /// An object type.
+    Type(String),
+    /// `(type, attribute)`.
+    Attribute(String, String),
+    /// `(type, operation)`.
+    Operation(String, String),
+    /// `(type_a, path_a, type_b, path_b)`, endpoint-sorted.
+    Relationship(String, String, String, String),
+    /// `(kind, parent, parent_path, child, child_path)`.
+    Link(HierKind, String, String, String, String),
+    /// `(subtype, supertype)`.
+    SupertypeEdge(String, String),
+}
+
+impl fmt::Display for Construct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Construct::Type(t) => write!(f, "type `{t}`"),
+            Construct::Attribute(t, a) => write!(f, "attribute `{t}::{a}`"),
+            Construct::Operation(t, o) => write!(f, "operation `{t}::{o}`"),
+            Construct::Relationship(a, pa, b, pb) => {
+                write!(f, "relationship `{a}::{pa}` <-> `{b}::{pb}`")
+            }
+            Construct::Link(k, p, pp, c, cp) => {
+                write!(f, "{k} link `{p}::{pp}` -> `{c}::{cp}`")
+            }
+            Construct::SupertypeEdge(sub, sup) => write!(f, "`{sub}` isa `{sup}`"),
+        }
+    }
+}
+
+/// What became of a construct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Disposition {
+    /// Present, identical.
+    Unchanged,
+    /// Present in place, with the listed property changes.
+    Modified(Vec<String>),
+    /// Moved to another type (via a generalization-hierarchy move), with
+    /// any further property changes.
+    Moved { to: String, details: Vec<String> },
+    /// Absent from the custom schema.
+    Deleted,
+    /// Only in the custom schema.
+    Added,
+}
+
+impl Disposition {
+    /// True for dispositions that count as *reused* (the construct
+    /// semantics carried over): unchanged, modified, or moved.
+    pub fn is_reused(&self) -> bool {
+        matches!(
+            self,
+            Disposition::Unchanged | Disposition::Modified(_) | Disposition::Moved { .. }
+        )
+    }
+}
+
+impl fmt::Display for Disposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Disposition::Unchanged => f.write_str("unchanged"),
+            Disposition::Modified(details) => write!(f, "modified ({})", details.join("; ")),
+            Disposition::Moved { to, details } if details.is_empty() => {
+                write!(f, "moved to `{to}`")
+            }
+            Disposition::Moved { to, details } => {
+                write!(f, "moved to `{to}` ({})", details.join("; "))
+            }
+            Disposition::Deleted => f.write_str("deleted"),
+            Disposition::Added => f.write_str("added"),
+        }
+    }
+}
+
+/// One mapping entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapEntry {
+    /// The construct (shrink-wrap-side identity for everything except
+    /// `Added` entries).
+    pub construct: Construct,
+    /// Its disposition.
+    pub disposition: Disposition,
+}
+
+/// Counts per disposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MappingSummary {
+    /// Constructs carried over unchanged.
+    pub unchanged: usize,
+    /// Constructs modified in place.
+    pub modified: usize,
+    /// Constructs moved within a generalization hierarchy.
+    pub moved: usize,
+    /// Shrink wrap constructs absent from the custom schema.
+    pub deleted: usize,
+    /// Custom-schema-only constructs.
+    pub added: usize,
+}
+
+impl MappingSummary {
+    /// Shrink wrap construct count (everything but `added`).
+    pub fn shrink_wrap_total(&self) -> usize {
+        self.unchanged + self.modified + self.moved + self.deleted
+    }
+
+    /// Fraction of shrink wrap constructs reused in the custom schema.
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.shrink_wrap_total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.unchanged + self.modified + self.moved) as f64 / total as f64
+    }
+}
+
+/// The full mapping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Mapping {
+    /// All entries: shrink wrap constructs first, then additions.
+    pub entries: Vec<MapEntry>,
+}
+
+impl Mapping {
+    /// Derive the mapping for a workspace.
+    pub fn derive(ws: &Workspace) -> Mapping {
+        derive_mapping(
+            ws.shrink_wrap(),
+            ws.working(),
+            ws.log().iter().map(|r| &r.op),
+        )
+    }
+
+    /// Per-disposition counts.
+    pub fn summary(&self) -> MappingSummary {
+        let mut s = MappingSummary::default();
+        for e in &self.entries {
+            match &e.disposition {
+                Disposition::Unchanged => s.unchanged += 1,
+                Disposition::Modified(_) => s.modified += 1,
+                Disposition::Moved { .. } => s.moved += 1,
+                Disposition::Deleted => s.deleted += 1,
+                Disposition::Added => s.added += 1,
+            }
+        }
+        s
+    }
+
+    /// Render the mapping, one entry per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("{}: {}\n", e.construct, e.disposition));
+        }
+        let s = self.summary();
+        out.push_str(&format!(
+            "summary: {} unchanged, {} modified, {} moved, {} deleted, {} added \
+             (reuse {:.1}%)\n",
+            s.unchanged,
+            s.modified,
+            s.moved,
+            s.deleted,
+            s.added,
+            s.reuse_fraction() * 100.0
+        ));
+        out
+    }
+}
+
+/// Derive the mapping from graphs and the op log.
+pub fn derive_mapping<'a>(
+    shrink_wrap: &SchemaGraph,
+    working: &SchemaGraph,
+    log: impl Iterator<Item = &'a crate::ops::ModOp>,
+) -> Mapping {
+    let sw = graph_to_schema(shrink_wrap);
+    let cu = graph_to_schema(working);
+
+    // Track moves by replaying the log symbolically.
+    let mut attr_loc: BTreeMap<(String, String), String> = BTreeMap::new();
+    let mut op_loc: BTreeMap<(String, String), String> = BTreeMap::new();
+    for iface in &sw.interfaces {
+        for a in &iface.attributes {
+            attr_loc.insert((iface.name.clone(), a.name.clone()), iface.name.clone());
+        }
+        for o in &iface.operations {
+            op_loc.insert((iface.name.clone(), o.name.clone()), iface.name.clone());
+        }
+    }
+    for op in log {
+        match op {
+            crate::ops::ModOp::ModifyAttribute { ty, name, new_ty } => {
+                if let Some(entry) = attr_loc
+                    .iter_mut()
+                    .find(|((_, n), loc)| n == name && *loc == ty)
+                {
+                    *entry.1 = new_ty.clone();
+                }
+            }
+            crate::ops::ModOp::ModifyOperation { ty, name, new_ty } => {
+                if let Some(entry) = op_loc
+                    .iter_mut()
+                    .find(|((_, n), loc)| n == name && *loc == ty)
+                {
+                    *entry.1 = new_ty.clone();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut entries = Vec::new();
+
+    // Types.
+    for iface in &sw.interfaces {
+        let disposition = match cu.interface(&iface.name) {
+            None => Disposition::Deleted,
+            Some(new_iface) => {
+                let mut details = Vec::new();
+                if new_iface.extent != iface.extent {
+                    details.push(format!(
+                        "extent {:?} -> {:?}",
+                        iface.extent, new_iface.extent
+                    ));
+                }
+                if new_iface.keys != iface.keys {
+                    details.push("key list changed".into());
+                }
+                if details.is_empty() {
+                    Disposition::Unchanged
+                } else {
+                    Disposition::Modified(details)
+                }
+            }
+        };
+        entries.push(MapEntry {
+            construct: Construct::Type(iface.name.clone()),
+            disposition,
+        });
+    }
+
+    // Supertype edges.
+    for iface in &sw.interfaces {
+        for sup in &iface.supertypes {
+            let kept = cu
+                .interface(&iface.name)
+                .map(|i| i.supertypes.contains(sup))
+                .unwrap_or(false);
+            entries.push(MapEntry {
+                construct: Construct::SupertypeEdge(iface.name.clone(), sup.clone()),
+                disposition: if kept {
+                    Disposition::Unchanged
+                } else {
+                    Disposition::Deleted
+                },
+            });
+        }
+    }
+
+    // Attributes.
+    for iface in &sw.interfaces {
+        for attr in &iface.attributes {
+            let final_ty = attr_loc[&(iface.name.clone(), attr.name.clone())].clone();
+            let found = cu
+                .interface(&final_ty)
+                .and_then(|i| i.attribute(&attr.name));
+            let disposition = match found {
+                None => Disposition::Deleted,
+                Some(new_attr) => {
+                    let mut details = Vec::new();
+                    if new_attr.ty != attr.ty {
+                        details.push(format!("type {} -> {}", attr.ty, new_attr.ty));
+                    }
+                    if new_attr.size != attr.size {
+                        details.push(format!("size {:?} -> {:?}", attr.size, new_attr.size));
+                    }
+                    if final_ty != iface.name {
+                        Disposition::Moved {
+                            to: final_ty.clone(),
+                            details,
+                        }
+                    } else if details.is_empty() {
+                        Disposition::Unchanged
+                    } else {
+                        Disposition::Modified(details)
+                    }
+                }
+            };
+            entries.push(MapEntry {
+                construct: Construct::Attribute(iface.name.clone(), attr.name.clone()),
+                disposition,
+            });
+        }
+    }
+
+    // Operations.
+    for iface in &sw.interfaces {
+        for op in &iface.operations {
+            let final_ty = op_loc[&(iface.name.clone(), op.name.clone())].clone();
+            let found = cu.interface(&final_ty).and_then(|i| i.operation(&op.name));
+            let disposition = match found {
+                None => Disposition::Deleted,
+                Some(new_op) => {
+                    let mut details = Vec::new();
+                    if new_op.return_type != op.return_type {
+                        details.push(format!(
+                            "return {} -> {}",
+                            op.return_type, new_op.return_type
+                        ));
+                    }
+                    if new_op.args != op.args {
+                        details.push("argument list changed".into());
+                    }
+                    if new_op.raises != op.raises {
+                        details.push("exception list changed".into());
+                    }
+                    if final_ty != iface.name {
+                        Disposition::Moved {
+                            to: final_ty.clone(),
+                            details,
+                        }
+                    } else if details.is_empty() {
+                        Disposition::Unchanged
+                    } else {
+                        Disposition::Modified(details)
+                    }
+                }
+            };
+            entries.push(MapEntry {
+                construct: Construct::Operation(iface.name.clone(), op.name.clone()),
+                disposition,
+            });
+        }
+    }
+
+    // Relationships (endpoint-sorted, once per pair) and links.
+    map_relationships(&sw, &cu, &mut entries);
+    map_links(&sw, &cu, &mut entries);
+
+    // Additions: custom constructs with no shrink wrap counterpart.
+    map_additions(&sw, &cu, &attr_loc, &op_loc, &mut entries);
+
+    Mapping { entries }
+}
+
+fn rel_pairs(schema: &Schema) -> BTreeMap<(String, String, String, String), (String, String)> {
+    // key: endpoint-sorted pair; value: per-side cardinality/order rendering
+    let mut out = BTreeMap::new();
+    for iface in &schema.interfaces {
+        for rel in &iface.relationships {
+            let mine = (iface.name.clone(), rel.path.clone());
+            let theirs = (rel.target.clone(), rel.inverse_path.clone());
+            if mine <= theirs {
+                let key = (
+                    mine.0.clone(),
+                    mine.1.clone(),
+                    theirs.0.clone(),
+                    theirs.1.clone(),
+                );
+                let back = schema
+                    .interface(&rel.target)
+                    .and_then(|i| i.relationship(&rel.inverse_path));
+                let back_desc = back
+                    .map(|b| format!("{} order_by({})", b.cardinality, b.order_by.join(",")))
+                    .unwrap_or_default();
+                let desc = format!("{} order_by({})", rel.cardinality, rel.order_by.join(","));
+                out.insert(key, (desc, back_desc));
+            }
+        }
+    }
+    out
+}
+
+fn map_relationships(sw: &Schema, cu: &Schema, entries: &mut Vec<MapEntry>) {
+    let sw_rels = rel_pairs(sw);
+    let cu_rels = rel_pairs(cu);
+    for (key, val) in &sw_rels {
+        let construct =
+            Construct::Relationship(key.0.clone(), key.1.clone(), key.2.clone(), key.3.clone());
+        let disposition = match cu_rels.get(key) {
+            None => {
+                // The pair may have moved: same paths, one endpoint moved up
+                // or down. Look for a custom pair sharing both path names.
+                let moved = cu_rels.keys().find(|k| k.1 == key.1 && k.3 == key.3);
+                match moved {
+                    Some(m) => {
+                        let to = if m.0 != key.0 {
+                            m.0.clone()
+                        } else {
+                            m.2.clone()
+                        };
+                        Disposition::Moved {
+                            to,
+                            details: vec![],
+                        }
+                    }
+                    None => Disposition::Deleted,
+                }
+            }
+            Some(v) if v == val => Disposition::Unchanged,
+            Some(v) => Disposition::Modified(vec![format!(
+                "ends changed: {} / {} (was {} / {})",
+                v.0, v.1, val.0, val.1
+            )]),
+        };
+        entries.push(MapEntry {
+            construct,
+            disposition,
+        });
+    }
+}
+
+fn link_keys(schema: &Schema) -> BTreeMap<(String, String, String, String, String), String> {
+    let mut out = BTreeMap::new();
+    for iface in &schema.interfaces {
+        for (kind, links) in [
+            ("part-of", &iface.part_ofs),
+            ("instance-of", &iface.instance_ofs),
+        ] {
+            for link in links {
+                if link.cardinality.is_many() {
+                    out.insert(
+                        (
+                            kind.to_string(),
+                            iface.name.clone(),
+                            link.path.clone(),
+                            link.target.clone(),
+                            link.inverse_path.clone(),
+                        ),
+                        format!("{} order_by({})", link.cardinality, link.order_by.join(",")),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn map_links(sw: &Schema, cu: &Schema, entries: &mut Vec<MapEntry>) {
+    let sw_links = link_keys(sw);
+    let cu_links = link_keys(cu);
+    for (key, val) in &sw_links {
+        let kind = if key.0 == "part-of" {
+            HierKind::PartOf
+        } else {
+            HierKind::InstanceOf
+        };
+        let construct = Construct::Link(
+            kind,
+            key.1.clone(),
+            key.2.clone(),
+            key.3.clone(),
+            key.4.clone(),
+        );
+        let disposition = match cu_links.get(key) {
+            None => {
+                let moved = cu_links
+                    .keys()
+                    .find(|k| k.0 == key.0 && k.2 == key.2 && k.4 == key.4 && *k != key);
+                match moved {
+                    Some(m) => {
+                        let to = if m.1 != key.1 {
+                            m.1.clone()
+                        } else {
+                            m.3.clone()
+                        };
+                        Disposition::Moved {
+                            to,
+                            details: vec![],
+                        }
+                    }
+                    None => Disposition::Deleted,
+                }
+            }
+            Some(v) if v == val => Disposition::Unchanged,
+            Some(v) => Disposition::Modified(vec![format!("parent end changed: {v} (was {val})")]),
+        };
+        entries.push(MapEntry {
+            construct,
+            disposition,
+        });
+    }
+}
+
+fn map_additions(
+    sw: &Schema,
+    cu: &Schema,
+    attr_loc: &BTreeMap<(String, String), String>,
+    op_loc: &BTreeMap<(String, String), String>,
+    entries: &mut Vec<MapEntry>,
+) {
+    for iface in &cu.interfaces {
+        if sw.interface(&iface.name).is_none() {
+            entries.push(MapEntry {
+                construct: Construct::Type(iface.name.clone()),
+                disposition: Disposition::Added,
+            });
+        }
+        for sup in &iface.supertypes {
+            let existed = sw
+                .interface(&iface.name)
+                .map(|i| i.supertypes.contains(sup))
+                .unwrap_or(false);
+            if !existed {
+                entries.push(MapEntry {
+                    construct: Construct::SupertypeEdge(iface.name.clone(), sup.clone()),
+                    disposition: Disposition::Added,
+                });
+            }
+        }
+        for attr in &iface.attributes {
+            // Covered if some shrink wrap attribute resolves here.
+            let covered = attr_loc
+                .iter()
+                .any(|((_, name), loc)| name == &attr.name && loc == &iface.name)
+                && sw_has_attr_named(sw, &attr.name);
+            if !covered {
+                entries.push(MapEntry {
+                    construct: Construct::Attribute(iface.name.clone(), attr.name.clone()),
+                    disposition: Disposition::Added,
+                });
+            }
+        }
+        for op in &iface.operations {
+            let covered = op_loc
+                .iter()
+                .any(|((_, name), loc)| name == &op.name && loc == &iface.name)
+                && sw_has_op_named(sw, &op.name);
+            if !covered {
+                entries.push(MapEntry {
+                    construct: Construct::Operation(iface.name.clone(), op.name.clone()),
+                    disposition: Disposition::Added,
+                });
+            }
+        }
+    }
+    // Relationship / link additions.
+    let sw_rels = rel_pairs(sw);
+    for key in rel_pairs(cu).keys() {
+        let covered =
+            sw_rels.contains_key(key) || sw_rels.keys().any(|k| k.1 == key.1 && k.3 == key.3);
+        if !covered {
+            entries.push(MapEntry {
+                construct: Construct::Relationship(
+                    key.0.clone(),
+                    key.1.clone(),
+                    key.2.clone(),
+                    key.3.clone(),
+                ),
+                disposition: Disposition::Added,
+            });
+        }
+    }
+    let sw_links = link_keys(sw);
+    for key in link_keys(cu).keys() {
+        let covered = sw_links.contains_key(key)
+            || sw_links
+                .keys()
+                .any(|k| k.0 == key.0 && k.2 == key.2 && k.4 == key.4);
+        if !covered {
+            let kind = if key.0 == "part-of" {
+                HierKind::PartOf
+            } else {
+                HierKind::InstanceOf
+            };
+            entries.push(MapEntry {
+                construct: Construct::Link(
+                    kind,
+                    key.1.clone(),
+                    key.2.clone(),
+                    key.3.clone(),
+                    key.4.clone(),
+                ),
+                disposition: Disposition::Added,
+            });
+        }
+    }
+}
+
+fn sw_has_attr_named(sw: &Schema, name: &str) -> bool {
+    sw.interfaces.iter().any(|i| i.attribute(name).is_some())
+}
+
+fn sw_has_op_named(sw: &Schema, name: &str) -> bool {
+    sw.interfaces.iter().any(|i| i.operation(name).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::ConceptKind;
+    use crate::ops::ModOp;
+    use sws_model::schema_to_graph;
+    use sws_odl::parse_schema;
+
+    fn workspace() -> Workspace {
+        let src = r#"
+        schema Dept {
+            interface Person { attribute string name; }
+            interface Employee : Person {
+                attribute long badge;
+                relationship Department works_in_a inverse Department::has;
+            }
+            interface Department {
+                extent departments;
+                attribute string dname;
+                keys dname;
+                relationship set<Employee> has inverse Employee::works_in_a;
+            }
+        }"#;
+        Workspace::new(schema_to_graph(&parse_schema(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn untouched_workspace_maps_everything_unchanged() {
+        let ws = workspace();
+        let m = Mapping::derive(&ws);
+        let s = m.summary();
+        assert_eq!(s.deleted, 0);
+        assert_eq!(s.added, 0);
+        assert_eq!(s.moved, 0);
+        assert_eq!(s.modified, 0);
+        assert!((s.reuse_fraction() - 1.0).abs() < 1e-9);
+        // 3 types + 1 edge + 3 attrs + 1 rel = 8
+        assert_eq!(s.unchanged, 8);
+    }
+
+    #[test]
+    fn moves_are_distinguished_from_delete_add() {
+        let mut ws = workspace();
+        ws.apply(
+            ConceptKind::Generalization,
+            ModOp::ModifyAttribute {
+                ty: "Employee".into(),
+                name: "badge".into(),
+                new_ty: "Person".into(),
+            },
+        )
+        .unwrap();
+        let m = Mapping::derive(&ws);
+        let badge = m
+            .entries
+            .iter()
+            .find(|e| {
+                matches!(&e.construct, Construct::Attribute(t, a) if t == "Employee" && a == "badge")
+            })
+            .unwrap();
+        assert_eq!(
+            badge.disposition,
+            Disposition::Moved {
+                to: "Person".into(),
+                details: vec![]
+            }
+        );
+        assert_eq!(m.summary().moved, 1);
+        assert_eq!(m.summary().added, 0);
+    }
+
+    #[test]
+    fn deletions_and_additions_tracked() {
+        let mut ws = workspace();
+        ws.apply(
+            ConceptKind::WagonWheel,
+            ModOp::DeleteAttribute {
+                ty: "Person".into(),
+                name: "name".into(),
+            },
+        )
+        .unwrap();
+        ws.apply(
+            ConceptKind::WagonWheel,
+            ModOp::AddTypeDefinition {
+                ty: "Course".into(),
+            },
+        )
+        .unwrap();
+        ws.apply(
+            ConceptKind::WagonWheel,
+            ModOp::AddAttribute {
+                ty: "Course".into(),
+                domain: sws_odl::DomainType::String,
+                size: None,
+                name: "number".into(),
+            },
+        )
+        .unwrap();
+        let m = Mapping::derive(&ws);
+        let s = m.summary();
+        assert_eq!(s.deleted, 1);
+        assert_eq!(s.added, 2);
+    }
+
+    #[test]
+    fn relationship_retarget_maps_as_moved() {
+        let mut ws = workspace();
+        ws.apply(
+            ConceptKind::Generalization,
+            ModOp::ModifyRelationshipTargetType {
+                ty: "Department".into(),
+                path: "has".into(),
+                old_target: "Employee".into(),
+                new_target: "Person".into(),
+            },
+        )
+        .unwrap();
+        let m = Mapping::derive(&ws);
+        let rel = m
+            .entries
+            .iter()
+            .find(|e| matches!(&e.construct, Construct::Relationship(..)))
+            .unwrap();
+        assert!(matches!(&rel.disposition, Disposition::Moved { to, .. } if to == "Person"));
+    }
+
+    #[test]
+    fn type_property_changes_map_as_modified() {
+        let mut ws = workspace();
+        ws.apply(
+            ConceptKind::WagonWheel,
+            ModOp::ModifyExtentName {
+                ty: "Department".into(),
+                old: "departments".into(),
+                new: "depts".into(),
+            },
+        )
+        .unwrap();
+        let m = Mapping::derive(&ws);
+        let dept = m
+            .entries
+            .iter()
+            .find(|e| matches!(&e.construct, Construct::Type(t) if t == "Department"))
+            .unwrap();
+        assert!(matches!(&dept.disposition, Disposition::Modified(_)));
+    }
+
+    #[test]
+    fn render_contains_summary() {
+        let ws = workspace();
+        let text = Mapping::derive(&ws).render();
+        assert!(text.contains("summary:"));
+        assert!(text.contains("reuse 100.0%"));
+    }
+}

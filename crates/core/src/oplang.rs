@@ -1,0 +1,1209 @@
+//! The modification-operation language (paper Appendix A, activity 7).
+//!
+//! A script is a sequence of statements, each `op_name(arg, ...)`, with an
+//! optional `;` separator and `//` / `/* */` comments (the lexer is shared
+//! with extended ODL):
+//!
+//! ```text
+//! add_type_definition(Schedule)
+//! add_attribute(CourseOffering, string(16), room);
+//! add_relationship(Faculty, set<CourseOffering>, teaches,
+//!                  CourseOffering::taught_by, (term))
+//! modify_relationship_target_type(Department, has, Employee, Person)
+//! modify_key_list(Course, (number), ((dept, number)))
+//! add_operation(Student, float, gpa, (in unsigned_long term), (NoGrades))
+//! ```
+//!
+//! Cardinality arguments accept either a bare kind (`one`, `set`, `list`,
+//! `bag`) or a full target-of-path spec (`set<Person>`); the printer emits
+//! the bare form. `modify_attribute_size` uses `none` for an absent size.
+//!
+//! [`print_op`] renders canonically and `parse_statement(print_op(op)) ==
+//! op` for every operation (round-trip property).
+
+use crate::ops::{ModOp, OpKind};
+use sws_odl::lexer::{tokenize, Spanned, Token};
+use sws_odl::{
+    Cardinality, CollectionKind, DomainType, Key, OdlError, OdlErrorKind, Param, ParamDir, Span,
+};
+
+/// Parse a whole script into operations.
+pub fn parse_script(src: &str) -> Result<Vec<ModOp>, OdlError> {
+    let tokens = tokenize(src)?;
+    let mut c = Cursor { tokens, pos: 0 };
+    let mut ops = Vec::new();
+    loop {
+        while matches!(c.peek(), Token::Semi) {
+            c.advance();
+        }
+        if matches!(c.peek(), Token::Eof) {
+            break;
+        }
+        ops.push(c.statement()?);
+    }
+    Ok(ops)
+}
+
+/// Parse a single statement.
+pub fn parse_statement(src: &str) -> Result<ModOp, OdlError> {
+    let ops = parse_script(src)?;
+    if ops.len() == 1 {
+        Ok(ops.into_iter().next().expect("len checked"))
+    } else {
+        Err(OdlError::new(
+            Span::at(1, 1),
+            OdlErrorKind::Expected {
+                expected: "exactly one statement".into(),
+                found: format!("{} statements", ops.len()),
+            },
+        ))
+    }
+}
+
+struct Cursor {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, expected: &str) -> OdlError {
+        OdlError::new(
+            self.span(),
+            OdlErrorKind::Expected {
+                expected: expected.into(),
+                found: self.peek().describe(),
+            },
+        )
+    }
+
+    fn expect(&mut self, want: &Token, desc: &str) -> Result<(), OdlError> {
+        if self.peek() == want {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err(desc))
+        }
+    }
+
+    fn ident(&mut self, desc: &str) -> Result<String, OdlError> {
+        match self.peek() {
+            Token::Ident(_) => match self.advance() {
+                Token::Ident(s) => Ok(s),
+                _ => unreachable!(),
+            },
+            _ => Err(self.err(desc)),
+        }
+    }
+
+    fn number(&mut self, desc: &str) -> Result<u32, OdlError> {
+        match self.peek() {
+            Token::Number(_) => match self.advance() {
+                Token::Number(n) => Ok(n),
+                _ => unreachable!(),
+            },
+            _ => Err(self.err(desc)),
+        }
+    }
+
+    fn comma(&mut self) -> Result<(), OdlError> {
+        self.expect(&Token::Comma, "`,`")
+    }
+
+    /// `(ident, ident, ...)` possibly empty.
+    fn ident_list(&mut self) -> Result<Vec<String>, OdlError> {
+        self.expect(&Token::LParen, "`(`")?;
+        let mut out = Vec::new();
+        if !matches!(self.peek(), Token::RParen) {
+            loop {
+                out.push(self.ident("an identifier")?);
+                if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen, "`)`")?;
+        Ok(out)
+    }
+
+    /// A key list: `(k1, (a, b), ...)`.
+    fn key_list(&mut self) -> Result<Vec<Key>, OdlError> {
+        self.expect(&Token::LParen, "`(`")?;
+        let mut out = Vec::new();
+        if !matches!(self.peek(), Token::RParen) {
+            loop {
+                if matches!(self.peek(), Token::LParen) {
+                    self.advance();
+                    let mut parts = Vec::new();
+                    loop {
+                        parts.push(self.ident("key attribute")?);
+                        if matches!(self.peek(), Token::Comma) {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen, "`)`")?;
+                    out.push(Key(parts));
+                } else {
+                    out.push(Key::single(self.ident("key attribute")?));
+                }
+                if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen, "`)`")?;
+        Ok(out)
+    }
+
+    /// A domain type, with `set<...>`, `array<T, n>` etc.
+    fn domain_type(&mut self) -> Result<DomainType, OdlError> {
+        let word = self.ident("a type")?;
+        match word.as_str() {
+            "set" | "list" | "bag" if matches!(self.peek(), Token::Lt) => {
+                let kind = collection_kind(&word).expect("matched above");
+                self.advance();
+                let elem = self.domain_type()?;
+                self.expect(&Token::Gt, "`>`")?;
+                Ok(DomainType::Collection(kind, Box::new(elem)))
+            }
+            "array" => {
+                self.expect(&Token::Lt, "`<`")?;
+                let elem = self.domain_type()?;
+                self.comma()?;
+                let n = self.number("array length")?;
+                self.expect(&Token::Gt, "`>`")?;
+                Ok(DomainType::Array(Box::new(elem), n))
+            }
+            _ => Ok(DomainType::from_keyword(&word).unwrap_or(DomainType::Named(word))),
+        }
+    }
+
+    /// `set<T>` / `list<T>` / `bag<T>` / `T` → (target, cardinality).
+    fn target_spec(&mut self) -> Result<(String, Cardinality), OdlError> {
+        let word = self.ident("a target type")?;
+        match collection_kind(&word) {
+            Some(kind) if matches!(self.peek(), Token::Lt) => {
+                self.advance();
+                let target = self.ident("target type")?;
+                self.expect(&Token::Gt, "`>`")?;
+                Ok((target, Cardinality::Many(kind)))
+            }
+            _ => Ok((word, Cardinality::One)),
+        }
+    }
+
+    /// Bare cardinality (`one`/`set`/`list`/`bag`) or full spec `set<T>`.
+    fn cardinality(&mut self) -> Result<Cardinality, OdlError> {
+        let word = self.ident("a cardinality (one/set/list/bag)")?;
+        if word == "one" {
+            return Ok(Cardinality::One);
+        }
+        let Some(kind) = collection_kind(&word) else {
+            return Err(OdlError::new(
+                self.span(),
+                OdlErrorKind::Expected {
+                    expected: "one, set, list, or bag".into(),
+                    found: format!("`{word}`"),
+                },
+            ));
+        };
+        if matches!(self.peek(), Token::Lt) {
+            self.advance();
+            self.ident("target type")?;
+            self.expect(&Token::Gt, "`>`")?;
+        }
+        Ok(Cardinality::Many(kind))
+    }
+
+    /// Bare collection kind.
+    fn collection(&mut self) -> Result<CollectionKind, OdlError> {
+        let word = self.ident("a collection kind (set/list/bag)")?;
+        collection_kind(&word).ok_or_else(|| {
+            OdlError::new(
+                self.span(),
+                OdlErrorKind::Expected {
+                    expected: "set, list, or bag".into(),
+                    found: format!("`{word}`"),
+                },
+            )
+        })
+    }
+
+    /// `Target::path`.
+    fn inverse_spec(&mut self) -> Result<(String, String), OdlError> {
+        let target = self.ident("inverse target type")?;
+        self.expect(&Token::ColonColon, "`::`")?;
+        let path = self.ident("inverse traversal path")?;
+        Ok((target, path))
+    }
+
+    /// `(dir type name, ...)` possibly empty.
+    fn param_list(&mut self) -> Result<Vec<Param>, OdlError> {
+        self.expect(&Token::LParen, "`(`")?;
+        let mut out = Vec::new();
+        if !matches!(self.peek(), Token::RParen) {
+            loop {
+                let direction = match self.peek() {
+                    Token::Ident(w) if w == "in" => {
+                        self.advance();
+                        ParamDir::In
+                    }
+                    Token::Ident(w) if w == "out" => {
+                        self.advance();
+                        ParamDir::Out
+                    }
+                    Token::Ident(w) if w == "inout" => {
+                        self.advance();
+                        ParamDir::InOut
+                    }
+                    _ => ParamDir::In,
+                };
+                let ty = self.domain_type()?;
+                let name = self.ident("parameter name")?;
+                out.push(Param {
+                    direction,
+                    ty,
+                    name,
+                });
+                if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen, "`)`")?;
+        Ok(out)
+    }
+
+    /// `none` or a number.
+    fn opt_size(&mut self) -> Result<Option<u32>, OdlError> {
+        match self.peek() {
+            Token::Ident(w) if w == "none" => {
+                self.advance();
+                Ok(None)
+            }
+            Token::Number(_) => Ok(Some(self.number("a size")?)),
+            _ => Err(self.err("a size or `none`")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<ModOp, OdlError> {
+        let name_span = self.span();
+        let name = self.ident("an operation name")?;
+        let kind = OpKind::from_name(&name).ok_or_else(|| {
+            OdlError::new(
+                name_span,
+                OdlErrorKind::Expected {
+                    expected: "a modification operation name".into(),
+                    found: format!("`{name}`"),
+                },
+            )
+        })?;
+        self.expect(&Token::LParen, "`(`")?;
+        let op = self.args(kind)?;
+        self.expect(&Token::RParen, "`)`")?;
+        Ok(op)
+    }
+
+    fn args(&mut self, kind: OpKind) -> Result<ModOp, OdlError> {
+        use OpKind as K;
+        let op = match kind {
+            K::AddTypeDefinition => ModOp::AddTypeDefinition {
+                ty: self.ident("a type name")?,
+            },
+            K::DeleteTypeDefinition => ModOp::DeleteTypeDefinition {
+                ty: self.ident("a type name")?,
+            },
+            K::AddSupertype => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let supertype = self.ident("a supertype name")?;
+                ModOp::AddSupertype { ty, supertype }
+            }
+            K::DeleteSupertype => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let supertype = self.ident("a supertype name")?;
+                ModOp::DeleteSupertype { ty, supertype }
+            }
+            K::ModifySupertype => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let old = self.ident_list()?;
+                self.comma()?;
+                let new = self.ident_list()?;
+                ModOp::ModifySupertype { ty, old, new }
+            }
+            K::AddExtentName => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let extent = self.ident("an extent name")?;
+                ModOp::AddExtentName { ty, extent }
+            }
+            K::DeleteExtentName => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let extent = self.ident("an extent name")?;
+                ModOp::DeleteExtentName { ty, extent }
+            }
+            K::ModifyExtentName => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let old = self.ident("the old extent name")?;
+                self.comma()?;
+                let new = self.ident("the new extent name")?;
+                ModOp::ModifyExtentName { ty, old, new }
+            }
+            K::AddKeyList => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let keys = self.key_list()?;
+                ModOp::AddKeyList { ty, keys }
+            }
+            K::DeleteKeyList => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let keys = self.key_list()?;
+                ModOp::DeleteKeyList { ty, keys }
+            }
+            K::ModifyKeyList => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let old = self.key_list()?;
+                self.comma()?;
+                let new = self.key_list()?;
+                ModOp::ModifyKeyList { ty, old, new }
+            }
+            K::AddAttribute => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let domain = self.domain_type()?;
+                let size = if matches!(self.peek(), Token::LParen) {
+                    self.advance();
+                    let n = self.number("a size")?;
+                    self.expect(&Token::RParen, "`)`")?;
+                    Some(n)
+                } else {
+                    None
+                };
+                self.comma()?;
+                let name = self.ident("an attribute name")?;
+                ModOp::AddAttribute {
+                    ty,
+                    domain,
+                    size,
+                    name,
+                }
+            }
+            K::DeleteAttribute => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let name = self.ident("an attribute name")?;
+                ModOp::DeleteAttribute { ty, name }
+            }
+            K::ModifyAttribute => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let name = self.ident("an attribute name")?;
+                self.comma()?;
+                let new_ty = self.ident("the destination type")?;
+                ModOp::ModifyAttribute { ty, name, new_ty }
+            }
+            K::ModifyAttributeType => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let name = self.ident("an attribute name")?;
+                self.comma()?;
+                let old = self.domain_type()?;
+                self.comma()?;
+                let new = self.domain_type()?;
+                ModOp::ModifyAttributeType { ty, name, old, new }
+            }
+            K::ModifyAttributeSize => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let name = self.ident("an attribute name")?;
+                self.comma()?;
+                let old = self.opt_size()?;
+                self.comma()?;
+                let new = self.opt_size()?;
+                ModOp::ModifyAttributeSize { ty, name, old, new }
+            }
+            K::AddRelationship => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let (target, cardinality) = self.target_spec()?;
+                self.comma()?;
+                let path = self.ident("a traversal path")?;
+                self.comma()?;
+                let (inv_target, inverse_path) = self.inverse_spec()?;
+                if inv_target != target {
+                    return Err(OdlError::new(
+                        self.span(),
+                        OdlErrorKind::Expected {
+                            expected: format!("inverse qualifier `{target}`"),
+                            found: format!("`{inv_target}`"),
+                        },
+                    ));
+                }
+                let order_by = if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                    self.ident_list()?
+                } else {
+                    Vec::new()
+                };
+                ModOp::AddRelationship {
+                    ty,
+                    target,
+                    cardinality,
+                    path,
+                    inverse_path,
+                    order_by,
+                }
+            }
+            K::DeleteRelationship => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let path = self.ident("a traversal path")?;
+                ModOp::DeleteRelationship { ty, path }
+            }
+            K::ModifyRelationshipTargetType => {
+                let (ty, path, old_target, new_target) = self.four_idents()?;
+                ModOp::ModifyRelationshipTargetType {
+                    ty,
+                    path,
+                    old_target,
+                    new_target,
+                }
+            }
+            K::ModifyRelationshipCardinality => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let path = self.ident("a traversal path")?;
+                self.comma()?;
+                let old = self.cardinality()?;
+                self.comma()?;
+                let new = self.cardinality()?;
+                ModOp::ModifyRelationshipCardinality { ty, path, old, new }
+            }
+            K::ModifyRelationshipOrderBy => {
+                let (ty, path, old, new) = self.path_and_two_lists()?;
+                ModOp::ModifyRelationshipOrderBy { ty, path, old, new }
+            }
+            K::AddOperation => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let return_type = self.domain_type()?;
+                self.comma()?;
+                let name = self.ident("an operation name")?;
+                let args = if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                    self.param_list()?
+                } else {
+                    Vec::new()
+                };
+                let raises = if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                    self.ident_list()?
+                } else {
+                    Vec::new()
+                };
+                ModOp::AddOperation {
+                    ty,
+                    return_type,
+                    name,
+                    args,
+                    raises,
+                }
+            }
+            K::DeleteOperation => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let name = self.ident("an operation name")?;
+                ModOp::DeleteOperation { ty, name }
+            }
+            K::ModifyOperation => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let name = self.ident("an operation name")?;
+                self.comma()?;
+                let new_ty = self.ident("the destination type")?;
+                ModOp::ModifyOperation { ty, name, new_ty }
+            }
+            K::ModifyOperationReturnType => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let name = self.ident("an operation name")?;
+                self.comma()?;
+                let old = self.domain_type()?;
+                self.comma()?;
+                let new = self.domain_type()?;
+                ModOp::ModifyOperationReturnType { ty, name, old, new }
+            }
+            K::ModifyOperationArgList => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let name = self.ident("an operation name")?;
+                self.comma()?;
+                let old = self.param_list()?;
+                self.comma()?;
+                let new = self.param_list()?;
+                ModOp::ModifyOperationArgList { ty, name, old, new }
+            }
+            K::ModifyOperationExceptionsRaised => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let name = self.ident("an operation name")?;
+                self.comma()?;
+                let old = self.ident_list()?;
+                self.comma()?;
+                let new = self.ident_list()?;
+                ModOp::ModifyOperationExceptionsRaised { ty, name, old, new }
+            }
+            K::AddPartOfRelationship | K::AddInstanceOfRelationship => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let (target, cardinality) = self.target_spec()?;
+                self.comma()?;
+                let path = self.ident("a traversal path")?;
+                self.comma()?;
+                let (inv_target, inverse_path) = self.inverse_spec()?;
+                if inv_target != target {
+                    return Err(OdlError::new(
+                        self.span(),
+                        OdlErrorKind::Expected {
+                            expected: format!("inverse qualifier `{target}`"),
+                            found: format!("`{inv_target}`"),
+                        },
+                    ));
+                }
+                let order_by = if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                    self.ident_list()?
+                } else {
+                    Vec::new()
+                };
+                let collection = match cardinality {
+                    Cardinality::Many(k) => Some(k),
+                    Cardinality::One => None,
+                };
+                if kind == K::AddPartOfRelationship {
+                    ModOp::AddPartOfRelationship {
+                        ty,
+                        collection,
+                        target,
+                        path,
+                        inverse_path,
+                        order_by,
+                    }
+                } else {
+                    ModOp::AddInstanceOfRelationship {
+                        ty,
+                        collection,
+                        target,
+                        path,
+                        inverse_path,
+                        order_by,
+                    }
+                }
+            }
+            K::DeletePartOfRelationship => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let path = self.ident("a traversal path")?;
+                ModOp::DeletePartOfRelationship { ty, path }
+            }
+            K::DeleteInstanceOfRelationship => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let path = self.ident("a traversal path")?;
+                ModOp::DeleteInstanceOfRelationship { ty, path }
+            }
+            K::ModifyPartOfTargetType => {
+                let (ty, path, old_target, new_target) = self.four_idents()?;
+                ModOp::ModifyPartOfTargetType {
+                    ty,
+                    path,
+                    old_target,
+                    new_target,
+                }
+            }
+            K::ModifyInstanceOfTargetType => {
+                let (ty, path, old_target, new_target) = self.four_idents()?;
+                ModOp::ModifyInstanceOfTargetType {
+                    ty,
+                    path,
+                    old_target,
+                    new_target,
+                }
+            }
+            K::ModifyPartOfCardinality => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let path = self.ident("a traversal path")?;
+                self.comma()?;
+                let old = self.collection()?;
+                self.comma()?;
+                let new = self.collection()?;
+                ModOp::ModifyPartOfCardinality { ty, path, old, new }
+            }
+            K::ModifyInstanceOfCardinality => {
+                let ty = self.ident("a type name")?;
+                self.comma()?;
+                let path = self.ident("a traversal path")?;
+                self.comma()?;
+                let old = self.collection()?;
+                self.comma()?;
+                let new = self.collection()?;
+                ModOp::ModifyInstanceOfCardinality { ty, path, old, new }
+            }
+            K::ModifyPartOfOrderBy => {
+                let (ty, path, old, new) = self.path_and_two_lists()?;
+                ModOp::ModifyPartOfOrderBy { ty, path, old, new }
+            }
+            K::ModifyInstanceOfOrderBy => {
+                let (ty, path, old, new) = self.path_and_two_lists()?;
+                ModOp::ModifyInstanceOfOrderBy { ty, path, old, new }
+            }
+        };
+        Ok(op)
+    }
+
+    fn four_idents(&mut self) -> Result<(String, String, String, String), OdlError> {
+        let a = self.ident("a type name")?;
+        self.comma()?;
+        let b = self.ident("a traversal path")?;
+        self.comma()?;
+        let c = self.ident("the old target type")?;
+        self.comma()?;
+        let d = self.ident("the new target type")?;
+        Ok((a, b, c, d))
+    }
+
+    fn path_and_two_lists(
+        &mut self,
+    ) -> Result<(String, String, Vec<String>, Vec<String>), OdlError> {
+        let ty = self.ident("a type name")?;
+        self.comma()?;
+        let path = self.ident("a traversal path")?;
+        self.comma()?;
+        let old = self.ident_list()?;
+        self.comma()?;
+        let new = self.ident_list()?;
+        Ok((ty, path, old, new))
+    }
+}
+
+fn collection_kind(word: &str) -> Option<CollectionKind> {
+    match word {
+        "set" => Some(CollectionKind::Set),
+        "list" => Some(CollectionKind::List),
+        "bag" => Some(CollectionKind::Bag),
+        _ => None,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Printing
+// ----------------------------------------------------------------------
+
+fn idents(list: &[String]) -> String {
+    format!("({})", list.join(", "))
+}
+
+fn keys(list: &[Key]) -> String {
+    let rendered: Vec<String> = list
+        .iter()
+        .map(|k| {
+            if k.0.len() == 1 {
+                k.0[0].clone()
+            } else {
+                format!("({})", k.0.join(", "))
+            }
+        })
+        .collect();
+    format!("({})", rendered.join(", "))
+}
+
+fn params(list: &[Param]) -> String {
+    let rendered: Vec<String> = list
+        .iter()
+        .map(|p| format!("{} {} {}", p.direction.keyword(), p.ty, p.name))
+        .collect();
+    format!("({})", rendered.join(", "))
+}
+
+fn card(c: Cardinality) -> String {
+    match c {
+        Cardinality::One => "one".into(),
+        Cardinality::Many(k) => k.keyword().into(),
+    }
+}
+
+fn size(s: Option<u32>) -> String {
+    s.map(|n| n.to_string()).unwrap_or_else(|| "none".into())
+}
+
+fn target_spec(target: &str, c: Cardinality) -> String {
+    match c {
+        Cardinality::One => target.into(),
+        Cardinality::Many(k) => format!("{k}<{target}>"),
+    }
+}
+
+/// Render an operation in the canonical concrete syntax.
+pub fn print_op(op: &ModOp) -> String {
+    use ModOp::*;
+    match op {
+        AddTypeDefinition { ty } => format!("add_type_definition({ty})"),
+        DeleteTypeDefinition { ty } => format!("delete_type_definition({ty})"),
+        AddSupertype { ty, supertype } => format!("add_supertype({ty}, {supertype})"),
+        DeleteSupertype { ty, supertype } => format!("delete_supertype({ty}, {supertype})"),
+        ModifySupertype { ty, old, new } => {
+            format!("modify_supertype({ty}, {}, {})", idents(old), idents(new))
+        }
+        AddExtentName { ty, extent } => format!("add_extent_name({ty}, {extent})"),
+        DeleteExtentName { ty, extent } => format!("delete_extent_name({ty}, {extent})"),
+        ModifyExtentName { ty, old, new } => format!("modify_extent_name({ty}, {old}, {new})"),
+        AddKeyList { ty, keys: k } => format!("add_key_list({ty}, {})", keys(k)),
+        DeleteKeyList { ty, keys: k } => format!("delete_key_list({ty}, {})", keys(k)),
+        ModifyKeyList { ty, old, new } => {
+            format!("modify_key_list({ty}, {}, {})", keys(old), keys(new))
+        }
+        AddAttribute {
+            ty,
+            domain,
+            size: s,
+            name,
+        } => match s {
+            Some(n) => format!("add_attribute({ty}, {domain}({n}), {name})"),
+            None => format!("add_attribute({ty}, {domain}, {name})"),
+        },
+        DeleteAttribute { ty, name } => format!("delete_attribute({ty}, {name})"),
+        ModifyAttribute { ty, name, new_ty } => {
+            format!("modify_attribute({ty}, {name}, {new_ty})")
+        }
+        ModifyAttributeType { ty, name, old, new } => {
+            format!("modify_attribute_type({ty}, {name}, {old}, {new})")
+        }
+        ModifyAttributeSize { ty, name, old, new } => {
+            format!(
+                "modify_attribute_size({ty}, {name}, {}, {})",
+                size(*old),
+                size(*new)
+            )
+        }
+        AddRelationship {
+            ty,
+            target,
+            cardinality,
+            path,
+            inverse_path,
+            order_by,
+        } => {
+            let mut s = format!(
+                "add_relationship({ty}, {}, {path}, {target}::{inverse_path}",
+                target_spec(target, *cardinality)
+            );
+            if !order_by.is_empty() {
+                s.push_str(&format!(", {}", idents(order_by)));
+            }
+            s.push(')');
+            s
+        }
+        DeleteRelationship { ty, path } => format!("delete_relationship({ty}, {path})"),
+        ModifyRelationshipTargetType {
+            ty,
+            path,
+            old_target,
+            new_target,
+        } => format!("modify_relationship_target_type({ty}, {path}, {old_target}, {new_target})"),
+        ModifyRelationshipCardinality { ty, path, old, new } => format!(
+            "modify_relationship_cardinality({ty}, {path}, {}, {})",
+            card(*old),
+            card(*new)
+        ),
+        ModifyRelationshipOrderBy { ty, path, old, new } => format!(
+            "modify_relationship_order_by({ty}, {path}, {}, {})",
+            idents(old),
+            idents(new)
+        ),
+        AddOperation {
+            ty,
+            return_type,
+            name,
+            args,
+            raises,
+        } => {
+            let mut s = format!("add_operation({ty}, {return_type}, {name}");
+            if !args.is_empty() || !raises.is_empty() {
+                s.push_str(&format!(", {}", params(args)));
+            }
+            if !raises.is_empty() {
+                s.push_str(&format!(", {}", idents(raises)));
+            }
+            s.push(')');
+            s
+        }
+        DeleteOperation { ty, name } => format!("delete_operation({ty}, {name})"),
+        ModifyOperation { ty, name, new_ty } => {
+            format!("modify_operation({ty}, {name}, {new_ty})")
+        }
+        ModifyOperationReturnType { ty, name, old, new } => {
+            format!("modify_operation_return_type({ty}, {name}, {old}, {new})")
+        }
+        ModifyOperationArgList { ty, name, old, new } => format!(
+            "modify_operation_arg_list({ty}, {name}, {}, {})",
+            params(old),
+            params(new)
+        ),
+        ModifyOperationExceptionsRaised { ty, name, old, new } => format!(
+            "modify_operation_exceptions_raised({ty}, {name}, {}, {})",
+            idents(old),
+            idents(new)
+        ),
+        AddPartOfRelationship {
+            ty,
+            collection,
+            target,
+            path,
+            inverse_path,
+            order_by,
+        } => print_add_link(
+            "add_part_of_relationship",
+            ty,
+            *collection,
+            target,
+            path,
+            inverse_path,
+            order_by,
+        ),
+        DeletePartOfRelationship { ty, path } => {
+            format!("delete_part_of_relationship({ty}, {path})")
+        }
+        ModifyPartOfTargetType {
+            ty,
+            path,
+            old_target,
+            new_target,
+        } => {
+            format!("modify_part_of_target_type({ty}, {path}, {old_target}, {new_target})")
+        }
+        ModifyPartOfCardinality { ty, path, old, new } => {
+            format!("modify_part_of_cardinality({ty}, {path}, {old}, {new})")
+        }
+        ModifyPartOfOrderBy { ty, path, old, new } => {
+            format!(
+                "modify_part_of_order_by({ty}, {path}, {}, {})",
+                idents(old),
+                idents(new)
+            )
+        }
+        AddInstanceOfRelationship {
+            ty,
+            collection,
+            target,
+            path,
+            inverse_path,
+            order_by,
+        } => print_add_link(
+            "add_instance_of_relationship",
+            ty,
+            *collection,
+            target,
+            path,
+            inverse_path,
+            order_by,
+        ),
+        DeleteInstanceOfRelationship { ty, path } => {
+            format!("delete_instance_of_relationship({ty}, {path})")
+        }
+        ModifyInstanceOfTargetType {
+            ty,
+            path,
+            old_target,
+            new_target,
+        } => format!("modify_instance_of_target_type({ty}, {path}, {old_target}, {new_target})"),
+        ModifyInstanceOfCardinality { ty, path, old, new } => {
+            format!("modify_instance_of_cardinality({ty}, {path}, {old}, {new})")
+        }
+        ModifyInstanceOfOrderBy { ty, path, old, new } => format!(
+            "modify_instance_of_order_by({ty}, {path}, {}, {})",
+            idents(old),
+            idents(new)
+        ),
+    }
+}
+
+fn print_add_link(
+    name: &str,
+    ty: &str,
+    collection: Option<CollectionKind>,
+    target: &str,
+    path: &str,
+    inverse_path: &str,
+    order_by: &[String],
+) -> String {
+    let spec = match collection {
+        Some(k) => format!("{k}<{target}>"),
+        None => target.to_string(),
+    };
+    let mut s = format!("{name}({ty}, {spec}, {path}, {target}::{inverse_path}");
+    if !order_by.is_empty() {
+        s.push_str(&format!(", {}", idents(order_by)));
+    }
+    s.push(')');
+    s
+}
+
+/// Render a whole script, one statement per line.
+pub fn print_script(ops: &[ModOp]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        out.push_str(&print_op(op));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(src: &str) -> ModOp {
+        let op = parse_statement(src).unwrap();
+        let printed = print_op(&op);
+        let reparsed = parse_statement(&printed).unwrap();
+        assert_eq!(op, reparsed, "print: {printed}");
+        op
+    }
+
+    #[test]
+    fn paper_example_statement() {
+        // §3.4: modify relationship target type (Employee, works_in_a, Person)
+        // — we use the 4-argument BNF form.
+        let op = round_trip("modify_relationship_target_type(Department, has, Employee, Person)");
+        assert_eq!(
+            op,
+            ModOp::ModifyRelationshipTargetType {
+                ty: "Department".into(),
+                path: "has".into(),
+                old_target: "Employee".into(),
+                new_target: "Person".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn add_attribute_forms() {
+        let op = round_trip("add_attribute(CourseOffering, string(16), room)");
+        assert_eq!(
+            op,
+            ModOp::AddAttribute {
+                ty: "CourseOffering".into(),
+                domain: DomainType::String,
+                size: Some(16),
+                name: "room".into(),
+            }
+        );
+        round_trip("add_attribute(A, set<string>, tags)");
+        round_trip("add_attribute(A, array<double, 3>, pos)");
+    }
+
+    #[test]
+    fn add_relationship_with_order_by() {
+        let op = round_trip(
+            "add_relationship(Faculty, set<CourseOffering>, teaches, CourseOffering::taught_by, (term, room))",
+        );
+        match op {
+            ModOp::AddRelationship {
+                cardinality,
+                order_by,
+                ..
+            } => {
+                assert_eq!(cardinality, Cardinality::Many(CollectionKind::Set));
+                assert_eq!(order_by, vec!["term", "room"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inverse_qualifier_checked() {
+        assert!(parse_statement("add_relationship(A, B, r, C::inv)").is_err());
+    }
+
+    #[test]
+    fn key_lists() {
+        let op = round_trip("modify_key_list(Course, (number), ((dept, number), title))");
+        assert_eq!(
+            op,
+            ModOp::ModifyKeyList {
+                ty: "Course".into(),
+                old: vec![Key::single("number")],
+                new: vec![Key::compound(["dept", "number"]), Key::single("title")],
+            }
+        );
+    }
+
+    #[test]
+    fn operations_with_args_and_raises() {
+        let op = round_trip(
+            "add_operation(Student, float, gpa, (in unsigned_long term, out long count), (NoGrades))",
+        );
+        match op {
+            ModOp::AddOperation { args, raises, .. } => {
+                assert_eq!(args.len(), 2);
+                assert_eq!(args[1].direction, ParamDir::Out);
+                assert_eq!(raises, vec!["NoGrades"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        round_trip("add_operation(Student, void, enroll)");
+        round_trip("modify_operation_arg_list(A, f, (), (in long x))");
+    }
+
+    #[test]
+    fn part_of_forms() {
+        let parent =
+            round_trip("add_part_of_relationship(House, set<Wall>, walls, Wall::house, (height))");
+        match parent {
+            ModOp::AddPartOfRelationship { collection, .. } => {
+                assert_eq!(collection, Some(CollectionKind::Set));
+            }
+            other => panic!("{other:?}"),
+        }
+        let child = round_trip("add_part_of_relationship(Wall, House, house, House::walls)");
+        match child {
+            ModOp::AddPartOfRelationship { collection, .. } => assert_eq!(collection, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cardinality_forms() {
+        round_trip("modify_relationship_cardinality(D, has, one, set)");
+        // Full spec also accepted.
+        let op =
+            parse_statement("modify_relationship_cardinality(D, has, set<Person>, list<Person>)")
+                .unwrap();
+        assert_eq!(
+            op,
+            ModOp::ModifyRelationshipCardinality {
+                ty: "D".into(),
+                path: "has".into(),
+                old: Cardinality::Many(CollectionKind::Set),
+                new: Cardinality::Many(CollectionKind::List),
+            }
+        );
+    }
+
+    #[test]
+    fn size_none() {
+        round_trip("modify_attribute_size(A, name, none, 32)");
+        round_trip("modify_attribute_size(A, name, 32, none)");
+    }
+
+    #[test]
+    fn whole_script_with_comments() {
+        let src = r#"
+        // elaborate the course offering
+        add_type_definition(Schedule);
+        add_part_of_relationship(Schedule, set<CourseOffering>, offerings,
+                                 CourseOffering::schedule)
+        /* simplify for correspondence courses */
+        delete_attribute(CourseOffering, room);
+        "#;
+        let ops = parse_script(src).unwrap();
+        assert_eq!(ops.len(), 3);
+    }
+
+    #[test]
+    fn unknown_operation_rejected() {
+        let err = parse_statement("rename_type(A, B)").unwrap_err();
+        assert!(err.to_string().contains("modification operation"));
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let samples = [
+            "add_type_definition(T)",
+            "delete_type_definition(T)",
+            "add_supertype(T, S)",
+            "delete_supertype(T, S)",
+            "modify_supertype(T, (A, B), (C))",
+            "add_extent_name(T, e)",
+            "delete_extent_name(T, e)",
+            "modify_extent_name(T, a, b)",
+            "add_key_list(T, (k))",
+            "delete_key_list(T, (k))",
+            "modify_key_list(T, (k), ((a, b)))",
+            "add_attribute(T, long, x)",
+            "delete_attribute(T, x)",
+            "modify_attribute(T, x, S)",
+            "modify_attribute_type(T, x, long, string)",
+            "modify_attribute_size(T, x, none, 8)",
+            "add_relationship(T, set<U>, r, U::inv)",
+            "delete_relationship(T, r)",
+            "modify_relationship_target_type(T, r, U, V)",
+            "modify_relationship_cardinality(T, r, one, bag)",
+            "modify_relationship_order_by(T, r, (), (x))",
+            "add_operation(T, void, f)",
+            "delete_operation(T, f)",
+            "modify_operation(T, f, S)",
+            "modify_operation_return_type(T, f, void, long)",
+            "modify_operation_arg_list(T, f, (), (in long x))",
+            "modify_operation_exceptions_raised(T, f, (), (E))",
+            "add_part_of_relationship(T, set<U>, p, U::w)",
+            "delete_part_of_relationship(T, p)",
+            "modify_part_of_target_type(T, p, U, V)",
+            "modify_part_of_cardinality(T, p, set, list)",
+            "modify_part_of_order_by(T, p, (), (x))",
+            "add_instance_of_relationship(T, set<U>, i, U::g)",
+            "delete_instance_of_relationship(T, i)",
+            "modify_instance_of_target_type(T, i, U, V)",
+            "modify_instance_of_cardinality(T, i, set, bag)",
+            "modify_instance_of_order_by(T, i, (), (x))",
+        ];
+        assert_eq!(samples.len(), 37);
+        let mut kinds = std::collections::BTreeSet::new();
+        for s in samples {
+            let op = round_trip(s);
+            kinds.insert(op.kind());
+        }
+        assert_eq!(kinds.len(), 37);
+    }
+
+    #[test]
+    fn print_script_lines() {
+        let ops = vec![
+            ModOp::AddTypeDefinition { ty: "A".into() },
+            ModOp::DeleteTypeDefinition { ty: "B".into() },
+        ];
+        let text = print_script(&ops);
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(parse_script(&text).unwrap(), ops);
+    }
+}

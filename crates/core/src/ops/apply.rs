@@ -1,0 +1,739 @@
+//! Applying modification operations to a schema graph.
+//!
+//! [`apply_op`] assumes the preconditions of
+//! [`crate::constraints::check_preconditions`] have been verified; the graph
+//! still defends its own invariants, and any refusal surfaces as
+//! [`OpError::Model`]. Cascading effects (the paper's propagation rules)
+//! are collected in the returned [`ApplyOutcome`].
+
+use super::{ModOp, OpError};
+use sws_model::{graph::LinkSide, CascadeReport, RemoveTypeMode, SchemaGraph, TypeId};
+use sws_odl::{Cardinality, CollectionKind, HierKind};
+
+/// What applying one operation did beyond the requested change.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Cascaded removals / rewires / prunes (propagation rules).
+    pub cascade: CascadeReport,
+    /// Free-form notes about automatic adjustments (e.g. a size constraint
+    /// cleared because the new domain does not admit one).
+    pub notes: Vec<String>,
+}
+
+fn require(g: &SchemaGraph, name: &str) -> Result<TypeId, OpError> {
+    g.require_type(name).map_err(OpError::from)
+}
+
+/// Apply `op` to `g`. On error the graph is unchanged for single-mutation
+/// operations; compound operations (`modify_supertype`, `modify_key_list`)
+/// are validated by the constraints layer first, so mid-way failure
+/// indicates a bug rather than user error.
+pub fn apply_op(g: &mut SchemaGraph, op: &ModOp) -> Result<ApplyOutcome, OpError> {
+    let mut outcome = ApplyOutcome::default();
+    match op {
+        ModOp::AddTypeDefinition { ty } => {
+            g.add_type(ty)?;
+        }
+        ModOp::DeleteTypeDefinition { ty } => {
+            let id = require(g, ty)?;
+            outcome.cascade = g.remove_type(id, RemoveTypeMode::RewireSubtypes)?;
+        }
+        ModOp::AddSupertype { ty, supertype } => {
+            let sub = require(g, ty)?;
+            let sup = require(g, supertype)?;
+            g.add_supertype(sub, sup)?;
+        }
+        ModOp::DeleteSupertype { ty, supertype } => {
+            let sub = require(g, ty)?;
+            let sup = require(g, supertype)?;
+            g.remove_supertype(sub, sup)?;
+        }
+        ModOp::ModifySupertype { ty, old, new } => {
+            let sub = require(g, ty)?;
+            for sup_name in old {
+                let sup = require(g, sup_name)?;
+                g.remove_supertype(sub, sup)?;
+            }
+            for sup_name in new {
+                let sup = require(g, sup_name)?;
+                g.add_supertype(sub, sup)?;
+            }
+        }
+        ModOp::AddExtentName { ty, extent }
+        | ModOp::ModifyExtentName {
+            ty, new: extent, ..
+        } => {
+            let id = require(g, ty)?;
+            g.set_extent(id, Some(extent.clone()))?;
+        }
+        ModOp::DeleteExtentName { ty, .. } => {
+            let id = require(g, ty)?;
+            g.set_extent(id, None)?;
+        }
+        ModOp::AddKeyList { ty, keys } => {
+            let id = require(g, ty)?;
+            for key in keys {
+                g.add_key(id, key.clone())?;
+            }
+        }
+        ModOp::DeleteKeyList { ty, keys } => {
+            let id = require(g, ty)?;
+            for key in keys {
+                g.remove_key(id, key)?;
+            }
+        }
+        ModOp::ModifyKeyList { ty, old, new } => {
+            let id = require(g, ty)?;
+            for key in old {
+                g.remove_key(id, key)?;
+            }
+            for key in new {
+                g.add_key(id, key.clone())?;
+            }
+        }
+        ModOp::AddAttribute {
+            ty,
+            domain,
+            size,
+            name,
+        } => {
+            let id = require(g, ty)?;
+            g.add_attribute(id, name, domain.clone(), *size)?;
+        }
+        ModOp::DeleteAttribute { ty, name } => {
+            let id = require(g, ty)?;
+            let aid = g
+                .find_attr(id, name)
+                .ok_or_else(|| missing(g, id, name, "attribute"))?;
+            outcome.cascade = g.remove_attribute(aid)?;
+        }
+        ModOp::ModifyAttribute { ty, name, new_ty } => {
+            let id = require(g, ty)?;
+            let dest = require(g, new_ty)?;
+            let aid = g
+                .find_attr(id, name)
+                .ok_or_else(|| missing(g, id, name, "attribute"))?;
+            outcome.cascade = g.move_attribute(aid, dest)?;
+        }
+        ModOp::ModifyAttributeType { ty, name, new, .. } => {
+            let id = require(g, ty)?;
+            let aid = g
+                .find_attr(id, name)
+                .ok_or_else(|| missing(g, id, name, "attribute"))?;
+            let had_size = g.attr(aid).size;
+            g.set_attr_type(aid, new.clone())?;
+            if had_size.is_some() && !new.admits_size() {
+                g.set_attr_size(aid, None)?;
+                outcome.notes.push(format!(
+                    "size constraint of `{ty}::{name}` cleared: `{new}` does not admit one"
+                ));
+            }
+        }
+        ModOp::ModifyAttributeSize { ty, name, new, .. } => {
+            let id = require(g, ty)?;
+            let aid = g
+                .find_attr(id, name)
+                .ok_or_else(|| missing(g, id, name, "attribute"))?;
+            g.set_attr_size(aid, *new)?;
+        }
+        ModOp::AddRelationship {
+            ty,
+            target,
+            cardinality,
+            path,
+            inverse_path,
+            order_by,
+        } => {
+            let a = require(g, ty)?;
+            let b = require(g, target)?;
+            // The inverse end starts single-valued; the designer can widen
+            // it with modify_relationship_cardinality afterwards.
+            g.add_relationship(
+                a,
+                path,
+                *cardinality,
+                order_by.clone(),
+                b,
+                inverse_path,
+                Cardinality::One,
+                Vec::new(),
+            )?;
+        }
+        ModOp::DeleteRelationship { ty, path } => {
+            let id = require(g, ty)?;
+            let (rid, _) = g
+                .find_rel_end(id, path)
+                .ok_or_else(|| missing(g, id, path, "relationship"))?;
+            outcome.cascade = g.remove_relationship(rid)?;
+        }
+        ModOp::ModifyRelationshipTargetType {
+            ty,
+            path,
+            new_target,
+            ..
+        } => {
+            let id = require(g, ty)?;
+            let dest = require(g, new_target)?;
+            let (rid, e) = g
+                .find_rel_end(id, path)
+                .ok_or_else(|| missing(g, id, path, "relationship"))?;
+            g.retarget_rel_end(rid, 1 - e, dest)?;
+        }
+        ModOp::ModifyRelationshipCardinality { ty, path, new, .. } => {
+            let id = require(g, ty)?;
+            let (rid, e) = g
+                .find_rel_end(id, path)
+                .ok_or_else(|| missing(g, id, path, "relationship"))?;
+            g.set_rel_cardinality(rid, e, *new)?;
+        }
+        ModOp::ModifyRelationshipOrderBy { ty, path, new, .. } => {
+            let id = require(g, ty)?;
+            let (rid, e) = g
+                .find_rel_end(id, path)
+                .ok_or_else(|| missing(g, id, path, "relationship"))?;
+            g.set_rel_order_by(rid, e, new.clone())?;
+        }
+        ModOp::AddOperation {
+            ty,
+            return_type,
+            name,
+            args,
+            raises,
+        } => {
+            let id = require(g, ty)?;
+            g.add_operation(
+                id,
+                sws_odl::Operation {
+                    name: name.clone(),
+                    return_type: return_type.clone(),
+                    args: args.clone(),
+                    raises: raises.clone(),
+                },
+            )?;
+        }
+        ModOp::DeleteOperation { ty, name } => {
+            let id = require(g, ty)?;
+            let oid = g
+                .find_op(id, name)
+                .ok_or_else(|| missing(g, id, name, "operation"))?;
+            outcome.cascade = g.remove_operation(oid)?;
+        }
+        ModOp::ModifyOperation { ty, name, new_ty } => {
+            let id = require(g, ty)?;
+            let dest = require(g, new_ty)?;
+            let oid = g
+                .find_op(id, name)
+                .ok_or_else(|| missing(g, id, name, "operation"))?;
+            g.move_operation(oid, dest)?;
+        }
+        ModOp::ModifyOperationReturnType { ty, name, new, .. } => {
+            let id = require(g, ty)?;
+            let oid = g
+                .find_op(id, name)
+                .ok_or_else(|| missing(g, id, name, "operation"))?;
+            g.set_op_return(oid, new.clone())?;
+        }
+        ModOp::ModifyOperationArgList { ty, name, new, .. } => {
+            let id = require(g, ty)?;
+            let oid = g
+                .find_op(id, name)
+                .ok_or_else(|| missing(g, id, name, "operation"))?;
+            g.set_op_args(oid, new.clone())?;
+        }
+        ModOp::ModifyOperationExceptionsRaised { ty, name, new, .. } => {
+            let id = require(g, ty)?;
+            let oid = g
+                .find_op(id, name)
+                .ok_or_else(|| missing(g, id, name, "operation"))?;
+            g.set_op_raises(oid, new.clone())?;
+        }
+        ModOp::AddPartOfRelationship {
+            ty,
+            collection,
+            target,
+            path,
+            inverse_path,
+            order_by,
+        } => {
+            add_link(
+                g,
+                HierKind::PartOf,
+                ty,
+                *collection,
+                target,
+                path,
+                inverse_path,
+                order_by,
+            )?;
+        }
+        ModOp::DeletePartOfRelationship { ty, path } => {
+            outcome.cascade = delete_link(g, HierKind::PartOf, ty, path)?;
+        }
+        ModOp::ModifyPartOfTargetType {
+            ty,
+            path,
+            new_target,
+            ..
+        } => {
+            retarget_link(g, HierKind::PartOf, ty, path, new_target)?;
+        }
+        ModOp::ModifyPartOfCardinality { ty, path, new, .. } => {
+            set_link_collection(g, HierKind::PartOf, ty, path, *new)?;
+        }
+        ModOp::ModifyPartOfOrderBy { ty, path, new, .. } => {
+            set_link_order_by(g, HierKind::PartOf, ty, path, new.clone())?;
+        }
+        ModOp::AddInstanceOfRelationship {
+            ty,
+            collection,
+            target,
+            path,
+            inverse_path,
+            order_by,
+        } => {
+            add_link(
+                g,
+                HierKind::InstanceOf,
+                ty,
+                *collection,
+                target,
+                path,
+                inverse_path,
+                order_by,
+            )?;
+        }
+        ModOp::DeleteInstanceOfRelationship { ty, path } => {
+            outcome.cascade = delete_link(g, HierKind::InstanceOf, ty, path)?;
+        }
+        ModOp::ModifyInstanceOfTargetType {
+            ty,
+            path,
+            new_target,
+            ..
+        } => {
+            retarget_link(g, HierKind::InstanceOf, ty, path, new_target)?;
+        }
+        ModOp::ModifyInstanceOfCardinality { ty, path, new, .. } => {
+            set_link_collection(g, HierKind::InstanceOf, ty, path, *new)?;
+        }
+        ModOp::ModifyInstanceOfOrderBy { ty, path, new, .. } => {
+            set_link_order_by(g, HierKind::InstanceOf, ty, path, new.clone())?;
+        }
+    }
+    Ok(outcome)
+}
+
+fn missing(g: &SchemaGraph, id: TypeId, member: &str, what: &'static str) -> OpError {
+    OpError::Violations(vec![
+        crate::constraints::ConstraintViolation::UnknownMember {
+            ty: g.type_name(id).to_string(),
+            member: member.to_string(),
+            what,
+        },
+    ])
+}
+
+#[allow(clippy::too_many_arguments)]
+fn add_link(
+    g: &mut SchemaGraph,
+    kind: HierKind,
+    ty: &str,
+    collection: Option<CollectionKind>,
+    target: &str,
+    path: &str,
+    inverse_path: &str,
+    order_by: &[String],
+) -> Result<(), OpError> {
+    let a = require(g, ty)?;
+    let b = require(g, target)?;
+    match collection {
+        // To-parts / to-instance-entities form: `ty` is the parent.
+        Some(kind_coll) => {
+            g.add_link(kind, a, path, kind_coll, order_by.to_vec(), b, inverse_path)?;
+        }
+        // To-whole / to-generic-entity form: `ty` is the child; the parent
+        // side starts as a set.
+        None => {
+            g.add_link(
+                kind,
+                b,
+                inverse_path,
+                CollectionKind::Set,
+                Vec::new(),
+                a,
+                path,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn delete_link(
+    g: &mut SchemaGraph,
+    kind: HierKind,
+    ty: &str,
+    path: &str,
+) -> Result<CascadeReport, OpError> {
+    let id = require(g, ty)?;
+    let (lid, _) = g
+        .find_link(kind, id, path)
+        .ok_or_else(|| missing(g, id, path, kind.noun()))?;
+    Ok(g.remove_link(lid)?)
+}
+
+fn retarget_link(
+    g: &mut SchemaGraph,
+    kind: HierKind,
+    ty: &str,
+    path: &str,
+    new_target: &str,
+) -> Result<(), OpError> {
+    let id = require(g, ty)?;
+    let dest = require(g, new_target)?;
+    let (lid, side) = g
+        .find_link(kind, id, path)
+        .ok_or_else(|| missing(g, id, path, kind.noun()))?;
+    // The path belongs to `ty`; its *target* is the opposite side.
+    let opposite = match side {
+        LinkSide::Parent => LinkSide::Child,
+        LinkSide::Child => LinkSide::Parent,
+    };
+    g.retarget_link_end(lid, opposite, dest)?;
+    Ok(())
+}
+
+fn set_link_collection(
+    g: &mut SchemaGraph,
+    kind: HierKind,
+    ty: &str,
+    path: &str,
+    collection: CollectionKind,
+) -> Result<(), OpError> {
+    let id = require(g, ty)?;
+    let (lid, _) = g
+        .find_link(kind, id, path)
+        .ok_or_else(|| missing(g, id, path, kind.noun()))?;
+    g.set_link_collection(lid, collection)?;
+    Ok(())
+}
+
+fn set_link_order_by(
+    g: &mut SchemaGraph,
+    kind: HierKind,
+    ty: &str,
+    path: &str,
+    order_by: Vec<String>,
+) -> Result<(), OpError> {
+    let id = require(g, ty)?;
+    let (lid, _) = g
+        .find_link(kind, id, path)
+        .ok_or_else(|| missing(g, id, path, kind.noun()))?;
+    g.set_link_order_by(lid, order_by)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::schema_to_graph;
+    use sws_odl::{parse_schema, DomainType};
+
+    fn dept() -> SchemaGraph {
+        let src = r#"
+        schema Dept {
+            interface Person { attribute string name; }
+            interface Employee : Person {
+                relationship Department works_in_a inverse Department::has;
+            }
+            interface Department {
+                relationship set<Employee> has inverse Employee::works_in_a;
+            }
+        }"#;
+        schema_to_graph(&parse_schema(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn figure8_modify_relationship_target_type() {
+        // The paper's §3.4 example, end to end: after
+        // modify_relationship_target_type(Department, has, Employee, Person)
+        // the Department side targets Person and works_in_a lives on Person.
+        let mut g = dept();
+        apply_op(
+            &mut g,
+            &ModOp::ModifyRelationshipTargetType {
+                ty: "Department".into(),
+                path: "has".into(),
+                old_target: "Employee".into(),
+                new_target: "Person".into(),
+            },
+        )
+        .unwrap();
+        let person = g.type_id("Person").unwrap();
+        let employee = g.type_id("Employee").unwrap();
+        assert!(g.find_rel_end(person, "works_in_a").is_some());
+        assert!(g.find_rel_end(employee, "works_in_a").is_none());
+    }
+
+    #[test]
+    fn add_and_delete_type() {
+        let mut g = dept();
+        apply_op(
+            &mut g,
+            &ModOp::AddTypeDefinition {
+                ty: "Student".into(),
+            },
+        )
+        .unwrap();
+        assert!(g.type_id("Student").is_some());
+        let out = apply_op(
+            &mut g,
+            &ModOp::DeleteTypeDefinition {
+                ty: "Employee".into(),
+            },
+        )
+        .unwrap();
+        assert!(g.type_id("Employee").is_none());
+        // The works_in_a relationship cascaded away.
+        assert_eq!(out.cascade.removed_rels.len(), 1);
+        assert_eq!(g.rels().count(), 0);
+    }
+
+    #[test]
+    fn modify_attribute_type_clears_inadmissible_size() {
+        let mut g = dept();
+        let person = g.type_id("Person").unwrap();
+        let aid = g.find_attr(person, "name").unwrap();
+        g.set_attr_size(aid, Some(32)).unwrap();
+        let out = apply_op(
+            &mut g,
+            &ModOp::ModifyAttributeType {
+                ty: "Person".into(),
+                name: "name".into(),
+                old: DomainType::String,
+                new: DomainType::Long,
+            },
+        )
+        .unwrap();
+        assert_eq!(g.attr(aid).ty, DomainType::Long);
+        assert_eq!(g.attr(aid).size, None);
+        assert_eq!(out.notes.len(), 1);
+    }
+
+    #[test]
+    fn add_relationship_creates_inverse_side() {
+        let mut g = dept();
+        apply_op(
+            &mut g,
+            &ModOp::AddRelationship {
+                ty: "Person".into(),
+                target: "Department".into(),
+                cardinality: Cardinality::Many(CollectionKind::Set),
+                path: "liaises_with".into(),
+                inverse_path: "liaisons".into(),
+                order_by: vec![],
+            },
+        )
+        .unwrap();
+        let dept_id = g.type_id("Department").unwrap();
+        let (rid, e) = g.find_rel_end(dept_id, "liaisons").unwrap();
+        assert_eq!(g.rel(rid).end(e).cardinality, Cardinality::One);
+    }
+
+    #[test]
+    fn part_of_both_forms() {
+        let mut g = SchemaGraph::new("t");
+        g.add_type("House").unwrap();
+        g.add_type("Roof").unwrap();
+        g.add_type("Shingle").unwrap();
+        // Parent form.
+        apply_op(
+            &mut g,
+            &ModOp::AddPartOfRelationship {
+                ty: "House".into(),
+                collection: Some(CollectionKind::Set),
+                target: "Roof".into(),
+                path: "roofs".into(),
+                inverse_path: "house".into(),
+                order_by: vec![],
+            },
+        )
+        .unwrap();
+        // Child form.
+        apply_op(
+            &mut g,
+            &ModOp::AddPartOfRelationship {
+                ty: "Shingle".into(),
+                collection: None,
+                target: "Roof".into(),
+                path: "roof".into(),
+                inverse_path: "shingles".into(),
+                order_by: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(g.links().count(), 2);
+        let roof = g.type_id("Roof").unwrap();
+        assert_eq!(g.ty(roof).parent_links.len(), 1);
+        assert_eq!(g.ty(roof).child_links.len(), 1);
+    }
+
+    #[test]
+    fn modify_supertype_rewires() {
+        let mut g = dept();
+        apply_op(&mut g, &ModOp::AddTypeDefinition { ty: "Agent".into() }).unwrap();
+        apply_op(
+            &mut g,
+            &ModOp::ModifySupertype {
+                ty: "Employee".into(),
+                old: vec!["Person".into()],
+                new: vec!["Agent".into()],
+            },
+        )
+        .unwrap();
+        let employee = g.type_id("Employee").unwrap();
+        let agent = g.type_id("Agent").unwrap();
+        assert_eq!(g.ty(employee).supertypes, vec![agent]);
+    }
+
+    #[test]
+    fn key_list_ops() {
+        let mut g = dept();
+        apply_op(
+            &mut g,
+            &ModOp::AddKeyList {
+                ty: "Person".into(),
+                keys: vec![sws_odl::Key::single("name")],
+            },
+        )
+        .unwrap();
+        let person = g.type_id("Person").unwrap();
+        assert_eq!(g.ty(person).keys.len(), 1);
+        apply_op(
+            &mut g,
+            &ModOp::ModifyKeyList {
+                ty: "Person".into(),
+                old: vec![sws_odl::Key::single("name")],
+                new: vec![sws_odl::Key::compound(["name", "name2"])],
+            },
+        )
+        .unwrap();
+        assert_eq!(g.ty(person).keys[0].0.len(), 2);
+    }
+
+    #[test]
+    fn operation_lifecycle() {
+        let mut g = dept();
+        apply_op(
+            &mut g,
+            &ModOp::AddOperation {
+                ty: "Employee".into(),
+                return_type: DomainType::Float,
+                name: "salary".into(),
+                args: vec![],
+                raises: vec!["NotSet".into()],
+            },
+        )
+        .unwrap();
+        apply_op(
+            &mut g,
+            &ModOp::ModifyOperationReturnType {
+                ty: "Employee".into(),
+                name: "salary".into(),
+                old: DomainType::Float,
+                new: DomainType::Double,
+            },
+        )
+        .unwrap();
+        apply_op(
+            &mut g,
+            &ModOp::ModifyOperation {
+                ty: "Employee".into(),
+                name: "salary".into(),
+                new_ty: "Person".into(),
+            },
+        )
+        .unwrap();
+        let person = g.type_id("Person").unwrap();
+        let oid = g.find_op(person, "salary").unwrap();
+        assert_eq!(g.op(oid).op.return_type, DomainType::Double);
+        apply_op(
+            &mut g,
+            &ModOp::DeleteOperation {
+                ty: "Person".into(),
+                name: "salary".into(),
+            },
+        )
+        .unwrap();
+        assert!(g.find_op(person, "salary").is_none());
+    }
+
+    #[test]
+    fn extent_ops() {
+        let mut g = dept();
+        apply_op(
+            &mut g,
+            &ModOp::AddExtentName {
+                ty: "Person".into(),
+                extent: "people".into(),
+            },
+        )
+        .unwrap();
+        apply_op(
+            &mut g,
+            &ModOp::ModifyExtentName {
+                ty: "Person".into(),
+                old: "people".into(),
+                new: "persons".into(),
+            },
+        )
+        .unwrap();
+        let person = g.type_id("Person").unwrap();
+        assert_eq!(g.ty(person).extent.as_deref(), Some("persons"));
+        apply_op(
+            &mut g,
+            &ModOp::DeleteExtentName {
+                ty: "Person".into(),
+                extent: "persons".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(g.ty(person).extent, None);
+    }
+
+    #[test]
+    fn instance_of_target_move() {
+        let mut g = SchemaGraph::new("t");
+        g.add_type("App").unwrap();
+        g.add_type("Version").unwrap();
+        g.add_type("PatchVersion").unwrap();
+        let version = g.type_id("Version").unwrap();
+        let patch = g.type_id("PatchVersion").unwrap();
+        g.add_supertype(patch, version).unwrap();
+        apply_op(
+            &mut g,
+            &ModOp::AddInstanceOfRelationship {
+                ty: "App".into(),
+                collection: Some(CollectionKind::Set),
+                target: "Version".into(),
+                path: "versions".into(),
+                inverse_path: "app".into(),
+                order_by: vec![],
+            },
+        )
+        .unwrap();
+        apply_op(
+            &mut g,
+            &ModOp::ModifyInstanceOfTargetType {
+                ty: "App".into(),
+                path: "versions".into(),
+                old_target: "Version".into(),
+                new_target: "PatchVersion".into(),
+            },
+        )
+        .unwrap();
+        let (lid, _) = g
+            .find_link(HierKind::InstanceOf, g.type_id("App").unwrap(), "versions")
+            .unwrap();
+        assert_eq!(g.link(lid).child, patch);
+    }
+}

@@ -1,0 +1,289 @@
+//! Coverage of the ODL candidates for modification (paper §3.5, Tables
+//! 2–3).
+//!
+//! The paper enumerates every construct expressible in (extended) ODL and
+//! shows which operation adds, deletes, and modifies it. Addition and
+//! deletion cover **every** candidate; modification covers everything except
+//! *names*, which are immutable by the name-equivalence assumption.
+
+use super::OpKind;
+
+/// One ODL candidate for modification: a row of Tables 2–3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OdlCandidate {
+    /// The row group (e.g. `"Relationship"`).
+    pub group: &'static str,
+    /// The candidate construct (e.g. `"Target type"`).
+    pub item: &'static str,
+}
+
+impl OdlCandidate {
+    const fn new(group: &'static str, item: &'static str) -> Self {
+        OdlCandidate { group, item }
+    }
+
+    /// True if this candidate is a *name* (excluded from modification).
+    pub fn is_name(&self) -> bool {
+        self.item == "Type name"
+            || self.item == "Name"
+            || self.item == "Traversal path name"
+            || self.item == "Inverse path name"
+    }
+}
+
+/// Every ODL candidate, in the paper's table order.
+pub const CANDIDATES: &[OdlCandidate] = &[
+    OdlCandidate::new("Interface Definition", "Type name"),
+    OdlCandidate::new("Type Properties", "Supertype (ISA)"),
+    OdlCandidate::new("Type Properties", "Extent name"),
+    OdlCandidate::new("Type Properties", "Key list"),
+    OdlCandidate::new("Attribute", "Type"),
+    OdlCandidate::new("Attribute", "Size"),
+    OdlCandidate::new("Attribute", "Name"),
+    OdlCandidate::new("Relationship", "Target type"),
+    OdlCandidate::new("Relationship", "Traversal path name"),
+    OdlCandidate::new("Relationship", "Inverse path name"),
+    OdlCandidate::new("Relationship", "One way cardinality"),
+    OdlCandidate::new("Relationship", "Order by list"),
+    OdlCandidate::new("Operation", "Name"),
+    OdlCandidate::new("Operation", "Return type"),
+    OdlCandidate::new("Operation", "Argument list"),
+    OdlCandidate::new("Operation", "Exceptions raised"),
+    OdlCandidate::new("Part-of Relationship", "Target type"),
+    OdlCandidate::new("Part-of Relationship", "Traversal path name"),
+    OdlCandidate::new("Part-of Relationship", "Inverse path name"),
+    OdlCandidate::new("Part-of Relationship", "One way cardinality"),
+    OdlCandidate::new("Part-of Relationship", "Order by list"),
+    OdlCandidate::new("Instance-of Relationship", "Target type"),
+    OdlCandidate::new("Instance-of Relationship", "Traversal path name"),
+    OdlCandidate::new("Instance-of Relationship", "Inverse path name"),
+    OdlCandidate::new("Instance-of Relationship", "One way cardinality"),
+    OdlCandidate::new("Instance-of Relationship", "Order by list"),
+];
+
+/// Table 2: the operation that *adds* this candidate.
+pub fn add_op_for(c: &OdlCandidate) -> OpKind {
+    match c.group {
+        "Interface Definition" => OpKind::AddTypeDefinition,
+        "Type Properties" => match c.item {
+            "Supertype (ISA)" => OpKind::AddSupertype,
+            "Extent name" => OpKind::AddExtentName,
+            _ => OpKind::AddKeyList,
+        },
+        "Attribute" => OpKind::AddAttribute,
+        "Relationship" => OpKind::AddRelationship,
+        "Operation" => OpKind::AddOperation,
+        "Part-of Relationship" => OpKind::AddPartOfRelationship,
+        _ => OpKind::AddInstanceOfRelationship,
+    }
+}
+
+/// Table 2 (mirror): the operation that *deletes* this candidate. The paper
+/// notes the deletion table is identical to the addition table with `add`
+/// replaced by `delete`.
+pub fn delete_op_for(c: &OdlCandidate) -> OpKind {
+    match add_op_for(c) {
+        OpKind::AddTypeDefinition => OpKind::DeleteTypeDefinition,
+        OpKind::AddSupertype => OpKind::DeleteSupertype,
+        OpKind::AddExtentName => OpKind::DeleteExtentName,
+        OpKind::AddKeyList => OpKind::DeleteKeyList,
+        OpKind::AddAttribute => OpKind::DeleteAttribute,
+        OpKind::AddRelationship => OpKind::DeleteRelationship,
+        OpKind::AddOperation => OpKind::DeleteOperation,
+        OpKind::AddPartOfRelationship => OpKind::DeletePartOfRelationship,
+        OpKind::AddInstanceOfRelationship => OpKind::DeleteInstanceOfRelationship,
+        other => unreachable!("non-add op {other} in add table"),
+    }
+}
+
+/// Table 3: the operation that *modifies* this candidate, or `None` for
+/// names (disallowed to support name equivalence).
+pub fn modify_op_for(c: &OdlCandidate) -> Option<OpKind> {
+    if c.is_name() {
+        return None;
+    }
+    Some(match (c.group, c.item) {
+        ("Type Properties", "Supertype (ISA)") => OpKind::ModifySupertype,
+        ("Type Properties", "Extent name") => OpKind::ModifyExtentName,
+        ("Type Properties", "Key list") => OpKind::ModifyKeyList,
+        ("Attribute", "Type") => OpKind::ModifyAttributeType,
+        ("Attribute", "Size") => OpKind::ModifyAttributeSize,
+        ("Relationship", "Target type") => OpKind::ModifyRelationshipTargetType,
+        ("Relationship", "One way cardinality") => OpKind::ModifyRelationshipCardinality,
+        ("Relationship", "Order by list") => OpKind::ModifyRelationshipOrderBy,
+        ("Operation", "Return type") => OpKind::ModifyOperationReturnType,
+        ("Operation", "Argument list") => OpKind::ModifyOperationArgList,
+        ("Operation", "Exceptions raised") => OpKind::ModifyOperationExceptionsRaised,
+        ("Part-of Relationship", "Target type") => OpKind::ModifyPartOfTargetType,
+        ("Part-of Relationship", "One way cardinality") => OpKind::ModifyPartOfCardinality,
+        ("Part-of Relationship", "Order by list") => OpKind::ModifyPartOfOrderBy,
+        ("Instance-of Relationship", "Target type") => OpKind::ModifyInstanceOfTargetType,
+        ("Instance-of Relationship", "One way cardinality") => OpKind::ModifyInstanceOfCardinality,
+        ("Instance-of Relationship", "Order by list") => OpKind::ModifyInstanceOfOrderBy,
+        other => unreachable!("unmapped candidate {other:?}"),
+    })
+}
+
+/// Render Table 1 in the paper's own layout: one row per ODL candidate,
+/// one column per concept schema type, cells showing which of
+/// **A**(dd), **D**(elete), **M**(odify) are permitted there (Table 1's
+/// letter notation).
+pub fn render_table1_candidates() -> String {
+    use crate::concept::ConceptKind;
+    use crate::ops::PermissionMatrix;
+    let matrix = PermissionMatrix::new();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:<24} {:^12} {:^16} {:^12} {:^12}\n",
+        "group", "candidate", "wagon wheel", "generalization", "aggregation", "instance-of"
+    ));
+    for c in CANDIDATES {
+        let cell = |context: ConceptKind| -> String {
+            let mut letters = String::new();
+            if matrix.allows(context, add_op_for(c)) {
+                letters.push('A');
+            }
+            if matrix.allows(context, delete_op_for(c)) {
+                letters.push('D');
+            }
+            if let Some(m) = modify_op_for(c) {
+                if matrix.allows(context, m) {
+                    letters.push('M');
+                }
+            }
+            if letters.is_empty() {
+                letters.push('.');
+            }
+            letters
+        };
+        out.push_str(&format!(
+            "{:<26} {:<24} {:^12} {:^16} {:^12} {:^12}\n",
+            c.group,
+            c.item,
+            cell(ConceptKind::WagonWheel),
+            cell(ConceptKind::Generalization),
+            cell(ConceptKind::Aggregation),
+            cell(ConceptKind::InstanceOf),
+        ));
+    }
+    out
+}
+
+/// Render Table 2 (addition + deletion columns).
+pub fn render_table2() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:<24} {:<32} {:<32}\n",
+        "group", "candidate", "addition operation", "deletion operation"
+    ));
+    for c in CANDIDATES {
+        out.push_str(&format!(
+            "{:<26} {:<24} {:<32} {:<32}\n",
+            c.group,
+            c.item,
+            add_op_for(c).name(),
+            delete_op_for(c).name()
+        ));
+    }
+    out
+}
+
+/// Render Table 3 (modification column; `-` marks the name-equivalence
+/// exclusions).
+pub fn render_table3() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:<24} {:<36}\n",
+        "group", "candidate", "modify operation"
+    ));
+    for c in CANDIDATES {
+        out.push_str(&format!(
+            "{:<26} {:<24} {:<36}\n",
+            c.group,
+            c.item,
+            modify_op_for(c).map(|k| k.name()).unwrap_or("-")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_candidate_has_add_and_delete() {
+        // §3.5: "any construct present in the shrink wrap schema can be
+        // deleted and any new construct can be added."
+        for c in CANDIDATES {
+            let add = add_op_for(c);
+            let del = delete_op_for(c);
+            assert!(add.name().starts_with("add_"), "{c:?} -> {add}");
+            assert!(del.name().starts_with("delete_"), "{c:?} -> {del}");
+        }
+    }
+
+    #[test]
+    fn only_names_lack_modify_operations() {
+        for c in CANDIDATES {
+            assert_eq!(modify_op_for(c).is_none(), c.is_name(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn name_exclusions_are_exactly_the_paper_rows() {
+        let names: Vec<&str> = CANDIDATES
+            .iter()
+            .filter(|c| c.is_name())
+            .map(|c| c.group)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "Interface Definition",
+                "Attribute",
+                "Relationship",
+                "Relationship",
+                "Operation",
+                "Part-of Relationship",
+                "Part-of Relationship",
+                "Instance-of Relationship",
+                "Instance-of Relationship",
+            ]
+        );
+    }
+
+    #[test]
+    fn candidate_count_matches_paper() {
+        assert_eq!(CANDIDATES.len(), 26);
+    }
+
+    #[test]
+    fn paper_layout_table1_renders_letters() {
+        let table = render_table1_candidates();
+        // Attributes: full ADM in the wagon wheel, nothing in hierarchies
+        // except the move (which is per-attribute, not per-property, so it
+        // does not appear in a candidate row).
+        let attr_type_row = table.lines().find(|l| l.contains("Attribute") && l.contains("Type")).unwrap();
+        assert!(attr_type_row.contains("ADM"), "{attr_type_row}");
+        // Supertype: ADM in the generalization hierarchy only.
+        let sup_row = table.lines().find(|l| l.contains("Supertype")).unwrap();
+        assert!(sup_row.contains("ADM"), "{sup_row}");
+        // Part-of target type: AD in the wagon wheel, ADM in aggregation.
+        let po_row = table
+            .lines()
+            .find(|l| l.contains("Part-of Relationship") && l.contains("Target type"))
+            .unwrap();
+        assert!(po_row.contains("AD") && po_row.contains("ADM"), "{po_row}");
+    }
+
+    #[test]
+    fn tables_render() {
+        let t2 = render_table2();
+        assert!(t2.contains("add_part_of_relationship"));
+        assert!(t2.contains("delete_instance_of_relationship"));
+        let t3 = render_table3();
+        assert!(t3.contains("modify_relationship_target_type"));
+        assert!(t3.lines().filter(|l| l.trim_end().ends_with('-')).count() >= 9);
+    }
+}

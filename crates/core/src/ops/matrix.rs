@@ -1,0 +1,258 @@
+//! The permission matrix of paper Table 1: which operations are allowed in
+//! which concept-schema context.
+//!
+//! Reconstruction notes (see DESIGN.md §3): Table 1's prose says wagon
+//! wheels do not support *modification* of supertype / part-of / instance-of
+//! information, while the Appendix-A grammar grants wagon wheels
+//! `add`/`delete` of part-of and instance-of links (the Fig. 7 elaboration
+//! adds an aggregation link inside the course-offering wagon wheel). We
+//! follow the grammar:
+//!
+//! * **Wagon wheel** — everything centred on one object type: type
+//!   add/delete; extent, key list A/D/M; attribute A/D + type/size
+//!   modification; relationship A/D + cardinality/order-by modification;
+//!   operation A/D + return/args/exceptions modification; part-of and
+//!   instance-of A/D (no modify). No supertype operations, no moves.
+//! * **Generalization hierarchy** — supertype A/D/M (re-wiring); type
+//!   add/delete; the three *move* operations (`modify_attribute`,
+//!   `modify_operation`, `modify_relationship_target_type`).
+//! * **Aggregation hierarchy** — part-of A/D + target-type / cardinality /
+//!   order-by modification; type add/delete.
+//! * **Instance-of hierarchy** — instance-of A/D + target-type /
+//!   cardinality / order-by modification; type add/delete.
+//!
+//! Disallowed everywhere: any renaming (name equivalence, §3.2) — such
+//! operations simply do not exist in the grammar.
+
+use super::OpKind;
+use crate::ConceptKind;
+
+/// The Table 1 permission matrix. Stateless; construct freely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PermissionMatrix;
+
+impl PermissionMatrix {
+    /// Create the matrix.
+    pub fn new() -> Self {
+        PermissionMatrix
+    }
+
+    /// Is `op` permitted in the context of a `context` concept schema?
+    pub fn allows(&self, context: ConceptKind, op: OpKind) -> bool {
+        use ConceptKind::*;
+        use OpKind::*;
+        match context {
+            WagonWheel => matches!(
+                op,
+                AddTypeDefinition
+                    | DeleteTypeDefinition
+                    | AddExtentName
+                    | DeleteExtentName
+                    | ModifyExtentName
+                    | AddKeyList
+                    | DeleteKeyList
+                    | ModifyKeyList
+                    | AddAttribute
+                    | DeleteAttribute
+                    | ModifyAttributeType
+                    | ModifyAttributeSize
+                    | AddRelationship
+                    | DeleteRelationship
+                    | ModifyRelationshipCardinality
+                    | ModifyRelationshipOrderBy
+                    | AddOperation
+                    | DeleteOperation
+                    | ModifyOperationReturnType
+                    | ModifyOperationArgList
+                    | ModifyOperationExceptionsRaised
+                    | AddPartOfRelationship
+                    | DeletePartOfRelationship
+                    | AddInstanceOfRelationship
+                    | DeleteInstanceOfRelationship
+            ),
+            Generalization => matches!(
+                op,
+                AddTypeDefinition
+                    | DeleteTypeDefinition
+                    | AddSupertype
+                    | DeleteSupertype
+                    | ModifySupertype
+                    | ModifyAttribute
+                    | ModifyOperation
+                    | ModifyRelationshipTargetType
+            ),
+            Aggregation => matches!(
+                op,
+                AddTypeDefinition
+                    | DeleteTypeDefinition
+                    | AddPartOfRelationship
+                    | DeletePartOfRelationship
+                    | ModifyPartOfTargetType
+                    | ModifyPartOfCardinality
+                    | ModifyPartOfOrderBy
+            ),
+            InstanceOf => matches!(
+                op,
+                AddTypeDefinition
+                    | DeleteTypeDefinition
+                    | AddInstanceOfRelationship
+                    | DeleteInstanceOfRelationship
+                    | ModifyInstanceOfTargetType
+                    | ModifyInstanceOfCardinality
+                    | ModifyInstanceOfOrderBy
+            ),
+        }
+    }
+
+    /// Every operation permitted in `context`, in grammar order.
+    pub fn permitted_ops(&self, context: ConceptKind) -> Vec<OpKind> {
+        OpKind::ALL
+            .iter()
+            .copied()
+            .filter(|&op| self.allows(context, op))
+            .collect()
+    }
+
+    /// Every concept-schema context in which `op` is permitted.
+    pub fn permitting_contexts(&self, op: OpKind) -> Vec<ConceptKind> {
+        ConceptKind::ALL
+            .iter()
+            .copied()
+            .filter(|&c| self.allows(c, op))
+            .collect()
+    }
+
+    /// Render the matrix as the rows of Table 1: one row per operation,
+    /// with `A`/`D`/`M` spelled out as a checkmark per context column.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<36} {:^12} {:^16} {:^12} {:^12}\n",
+            "operation", "wagon wheel", "generalization", "aggregation", "instance-of"
+        ));
+        for &op in OpKind::ALL {
+            let cell = |c: ConceptKind| if self.allows(c, op) { "x" } else { "." };
+            out.push_str(&format!(
+                "{:<36} {:^12} {:^16} {:^12} {:^12}\n",
+                op.name(),
+                cell(ConceptKind::WagonWheel),
+                cell(ConceptKind::Generalization),
+                cell(ConceptKind::Aggregation),
+                cell(ConceptKind::InstanceOf),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpCategory;
+
+    #[test]
+    fn every_operation_is_permitted_somewhere() {
+        // Table 1 covers the full grammar: no orphan operations.
+        let m = PermissionMatrix::new();
+        for &op in OpKind::ALL {
+            assert!(
+                !m.permitting_contexts(op).is_empty(),
+                "operation {op} permitted nowhere"
+            );
+        }
+    }
+
+    #[test]
+    fn moves_only_in_generalization_hierarchies() {
+        // Semantic stability: the move operations belong to the
+        // generalization concept schema exclusively.
+        let m = PermissionMatrix::new();
+        for op in [
+            OpKind::ModifyAttribute,
+            OpKind::ModifyOperation,
+            OpKind::ModifyRelationshipTargetType,
+        ] {
+            assert_eq!(m.permitting_contexts(op), vec![ConceptKind::Generalization]);
+        }
+    }
+
+    #[test]
+    fn wagon_wheel_cannot_touch_supertypes() {
+        let m = PermissionMatrix::new();
+        for op in [
+            OpKind::AddSupertype,
+            OpKind::DeleteSupertype,
+            OpKind::ModifySupertype,
+        ] {
+            assert!(!m.allows(ConceptKind::WagonWheel, op));
+            assert!(m.allows(ConceptKind::Generalization, op));
+        }
+    }
+
+    #[test]
+    fn wagon_wheel_adds_but_does_not_modify_hier_links() {
+        let m = PermissionMatrix::new();
+        assert!(m.allows(ConceptKind::WagonWheel, OpKind::AddPartOfRelationship));
+        assert!(m.allows(ConceptKind::WagonWheel, OpKind::DeletePartOfRelationship));
+        assert!(!m.allows(ConceptKind::WagonWheel, OpKind::ModifyPartOfTargetType));
+        assert!(!m.allows(ConceptKind::WagonWheel, OpKind::ModifyPartOfCardinality));
+        assert!(m.allows(ConceptKind::WagonWheel, OpKind::AddInstanceOfRelationship));
+        assert!(!m.allows(ConceptKind::WagonWheel, OpKind::ModifyInstanceOfOrderBy));
+    }
+
+    #[test]
+    fn hierarchies_own_their_modify_ops() {
+        let m = PermissionMatrix::new();
+        assert!(m.allows(ConceptKind::Aggregation, OpKind::ModifyPartOfCardinality));
+        assert!(!m.allows(ConceptKind::InstanceOf, OpKind::ModifyPartOfCardinality));
+        assert!(m.allows(ConceptKind::InstanceOf, OpKind::ModifyInstanceOfTargetType));
+        assert!(!m.allows(ConceptKind::Aggregation, OpKind::ModifyInstanceOfTargetType));
+    }
+
+    #[test]
+    fn type_add_delete_permitted_everywhere() {
+        let m = PermissionMatrix::new();
+        for &c in &ConceptKind::ALL {
+            assert!(m.allows(c, OpKind::AddTypeDefinition));
+            assert!(m.allows(c, OpKind::DeleteTypeDefinition));
+        }
+    }
+
+    #[test]
+    fn wagon_wheel_owns_the_largest_share() {
+        // §3.4: "The largest portion of the modifications are supported in
+        // wagon wheel concept schemas."
+        let m = PermissionMatrix::new();
+        let ww = m.permitted_ops(ConceptKind::WagonWheel).len();
+        for c in [
+            ConceptKind::Generalization,
+            ConceptKind::Aggregation,
+            ConceptKind::InstanceOf,
+        ] {
+            assert!(ww > m.permitted_ops(c).len());
+        }
+        assert_eq!(ww, 25);
+    }
+
+    #[test]
+    fn non_move_attribute_ops_are_wagon_wheel_only() {
+        let m = PermissionMatrix::new();
+        for op in OpKind::ALL
+            .iter()
+            .filter(|k| k.category() == OpCategory::Attribute)
+        {
+            if *op == OpKind::ModifyAttribute {
+                continue;
+            }
+            assert_eq!(m.permitting_contexts(*op), vec![ConceptKind::WagonWheel]);
+        }
+    }
+
+    #[test]
+    fn render_table_mentions_every_operation() {
+        let table = PermissionMatrix::new().render_table();
+        for &op in OpKind::ALL {
+            assert!(table.contains(op.name()));
+        }
+    }
+}

@@ -1,0 +1,669 @@
+//! The complete set of schema modification operations (paper Appendix A).
+//!
+//! Every operation the BNF grammar defines is a [`ModOp`] variant. The
+//! fieldless [`OpKind`] mirror is used by the permission matrix (Table 1)
+//! and the coverage tables (Tables 2–3). Operation *names* follow the
+//! grammar exactly (`add_type_definition`, `modify_relationship_target_type`,
+//! …); these are also the keywords of the modification language in
+//! [`crate::oplang`].
+//!
+//! Per the paper's name-equivalence assumption, **no operation renames
+//! anything** — there is deliberately no `modify_*_name` operation.
+
+pub mod apply;
+pub mod coverage;
+pub mod matrix;
+pub mod synthesize;
+
+pub use matrix::PermissionMatrix;
+
+use crate::constraints::ConstraintViolation;
+use crate::ConceptKind;
+use std::fmt;
+use sws_model::ModelError;
+use sws_odl::{Cardinality, CollectionKind, DomainType, Key, Param};
+
+/// A schema modification operation. All referents are by name, per the
+/// paper's name-equivalence and uniqueness assumptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModOp {
+    // ---- interface definitions --------------------------------------
+    /// `add_type_definition(T)`
+    AddTypeDefinition { ty: String },
+    /// `delete_type_definition(T)` — cascades per the propagation rules.
+    DeleteTypeDefinition { ty: String },
+
+    // ---- type properties --------------------------------------------
+    /// `add_supertype(T, S)`
+    AddSupertype { ty: String, supertype: String },
+    /// `delete_supertype(T, S)`
+    DeleteSupertype { ty: String, supertype: String },
+    /// `modify_supertype(T, (old...), (new...))` — re-wires the ISA edges.
+    ModifySupertype {
+        ty: String,
+        old: Vec<String>,
+        new: Vec<String>,
+    },
+    /// `add_extent_name(T, e)`
+    AddExtentName { ty: String, extent: String },
+    /// `delete_extent_name(T, e)`
+    DeleteExtentName { ty: String, extent: String },
+    /// `modify_extent_name(T, old, new)`
+    ModifyExtentName {
+        ty: String,
+        old: String,
+        new: String,
+    },
+    /// `add_key_list(T, (keys...))`
+    AddKeyList { ty: String, keys: Vec<Key> },
+    /// `delete_key_list(T, (keys...))`
+    DeleteKeyList { ty: String, keys: Vec<Key> },
+    /// `modify_key_list(T, (old...), (new...))`
+    ModifyKeyList {
+        ty: String,
+        old: Vec<Key>,
+        new: Vec<Key>,
+    },
+
+    // ---- attributes ---------------------------------------------------
+    /// `add_attribute(T, domain[(size)], name)`
+    AddAttribute {
+        ty: String,
+        domain: DomainType,
+        size: Option<u32>,
+        name: String,
+    },
+    /// `delete_attribute(T, name)`
+    DeleteAttribute { ty: String, name: String },
+    /// `modify_attribute(T, name, NewT)` — move the attribute up/down the
+    /// generalization hierarchy (semantic stability applies).
+    ModifyAttribute {
+        ty: String,
+        name: String,
+        new_ty: String,
+    },
+    /// `modify_attribute_type(T, name, old, new)`
+    ModifyAttributeType {
+        ty: String,
+        name: String,
+        old: DomainType,
+        new: DomainType,
+    },
+    /// `modify_attribute_size(T, name, old, new)`
+    ModifyAttributeSize {
+        ty: String,
+        name: String,
+        old: Option<u32>,
+        new: Option<u32>,
+    },
+
+    // ---- relationships -------------------------------------------------
+    /// `add_relationship(T, set<U>|U, path, U::inverse_path [, (order_by)])`
+    /// — creates both ends; the inverse end starts single-valued.
+    AddRelationship {
+        ty: String,
+        target: String,
+        cardinality: Cardinality,
+        path: String,
+        inverse_path: String,
+        order_by: Vec<String>,
+    },
+    /// `delete_relationship(T, path)` — removes both ends.
+    DeleteRelationship { ty: String, path: String },
+    /// `modify_relationship_target_type(T, path, OldTarget, NewTarget)` —
+    /// moves the opposite end up/down the generalization hierarchy (the
+    /// paper's Fig. 8 example).
+    ModifyRelationshipTargetType {
+        ty: String,
+        path: String,
+        old_target: String,
+        new_target: String,
+    },
+    /// `modify_relationship_cardinality(T, path, old, new)` where each side
+    /// is `set<U>` / `list<U>` / `bag<U>` / `U`.
+    ModifyRelationshipCardinality {
+        ty: String,
+        path: String,
+        old: Cardinality,
+        new: Cardinality,
+    },
+    /// `modify_relationship_order_by(T, path, (old...), (new...))`
+    ModifyRelationshipOrderBy {
+        ty: String,
+        path: String,
+        old: Vec<String>,
+        new: Vec<String>,
+    },
+
+    // ---- operations ------------------------------------------------------
+    /// `add_operation(T, return_type, name [, (args)] [, raises (ex...)])`
+    AddOperation {
+        ty: String,
+        return_type: DomainType,
+        name: String,
+        args: Vec<Param>,
+        raises: Vec<String>,
+    },
+    /// `delete_operation(T, name)`
+    DeleteOperation { ty: String, name: String },
+    /// `modify_operation(T, name, NewT)` — move up/down the hierarchy.
+    ModifyOperation {
+        ty: String,
+        name: String,
+        new_ty: String,
+    },
+    /// `modify_operation_return_type(T, name, old, new)`
+    ModifyOperationReturnType {
+        ty: String,
+        name: String,
+        old: DomainType,
+        new: DomainType,
+    },
+    /// `modify_operation_arg_list(T, name, (old...), (new...))`
+    ModifyOperationArgList {
+        ty: String,
+        name: String,
+        old: Vec<Param>,
+        new: Vec<Param>,
+    },
+    /// `modify_operation_exceptions_raised(T, name, (old...), (new...))`
+    ModifyOperationExceptionsRaised {
+        ty: String,
+        name: String,
+        old: Vec<String>,
+        new: Vec<String>,
+    },
+
+    // ---- part-of relationships ---------------------------------------
+    /// `add_part_of_relationship(...)`: with a collection type the op is the
+    /// *to-part-of* form (`ty` is the whole); without, the *to-whole* form
+    /// (`ty` is the component).
+    AddPartOfRelationship {
+        ty: String,
+        collection: Option<CollectionKind>,
+        target: String,
+        path: String,
+        inverse_path: String,
+        order_by: Vec<String>,
+    },
+    /// `delete_part_of_relationship(T, path)`
+    DeletePartOfRelationship { ty: String, path: String },
+    /// `modify_part_of_target_type(T, path, Old, New)`
+    ModifyPartOfTargetType {
+        ty: String,
+        path: String,
+        old_target: String,
+        new_target: String,
+    },
+    /// `modify_part_of_cardinality(T, path, old, new)` — only the to-parts
+    /// end is collection-valued.
+    ModifyPartOfCardinality {
+        ty: String,
+        path: String,
+        old: CollectionKind,
+        new: CollectionKind,
+    },
+    /// `modify_part_of_order_by(T, path, (old...), (new...))`
+    ModifyPartOfOrderBy {
+        ty: String,
+        path: String,
+        old: Vec<String>,
+        new: Vec<String>,
+    },
+
+    // ---- instance-of relationships -------------------------------------
+    /// `add_instance_of_relationship(...)`: with a collection type, the
+    /// *to-instance-entities* form (`ty` is the generic entity); without,
+    /// the *to-generic-entity* form.
+    AddInstanceOfRelationship {
+        ty: String,
+        collection: Option<CollectionKind>,
+        target: String,
+        path: String,
+        inverse_path: String,
+        order_by: Vec<String>,
+    },
+    /// `delete_instance_of_relationship(T, path)`
+    DeleteInstanceOfRelationship { ty: String, path: String },
+    /// `modify_instance_of_target_type(T, path, Old, New)`
+    ModifyInstanceOfTargetType {
+        ty: String,
+        path: String,
+        old_target: String,
+        new_target: String,
+    },
+    /// `modify_instance_of_cardinality(T, path, old, new)`
+    ModifyInstanceOfCardinality {
+        ty: String,
+        path: String,
+        old: CollectionKind,
+        new: CollectionKind,
+    },
+    /// `modify_instance_of_order_by(T, path, (old...), (new...))`
+    ModifyInstanceOfOrderBy {
+        ty: String,
+        path: String,
+        old: Vec<String>,
+        new: Vec<String>,
+    },
+}
+
+impl ModOp {
+    /// The fieldless kind of this operation.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            ModOp::AddTypeDefinition { .. } => OpKind::AddTypeDefinition,
+            ModOp::DeleteTypeDefinition { .. } => OpKind::DeleteTypeDefinition,
+            ModOp::AddSupertype { .. } => OpKind::AddSupertype,
+            ModOp::DeleteSupertype { .. } => OpKind::DeleteSupertype,
+            ModOp::ModifySupertype { .. } => OpKind::ModifySupertype,
+            ModOp::AddExtentName { .. } => OpKind::AddExtentName,
+            ModOp::DeleteExtentName { .. } => OpKind::DeleteExtentName,
+            ModOp::ModifyExtentName { .. } => OpKind::ModifyExtentName,
+            ModOp::AddKeyList { .. } => OpKind::AddKeyList,
+            ModOp::DeleteKeyList { .. } => OpKind::DeleteKeyList,
+            ModOp::ModifyKeyList { .. } => OpKind::ModifyKeyList,
+            ModOp::AddAttribute { .. } => OpKind::AddAttribute,
+            ModOp::DeleteAttribute { .. } => OpKind::DeleteAttribute,
+            ModOp::ModifyAttribute { .. } => OpKind::ModifyAttribute,
+            ModOp::ModifyAttributeType { .. } => OpKind::ModifyAttributeType,
+            ModOp::ModifyAttributeSize { .. } => OpKind::ModifyAttributeSize,
+            ModOp::AddRelationship { .. } => OpKind::AddRelationship,
+            ModOp::DeleteRelationship { .. } => OpKind::DeleteRelationship,
+            ModOp::ModifyRelationshipTargetType { .. } => OpKind::ModifyRelationshipTargetType,
+            ModOp::ModifyRelationshipCardinality { .. } => OpKind::ModifyRelationshipCardinality,
+            ModOp::ModifyRelationshipOrderBy { .. } => OpKind::ModifyRelationshipOrderBy,
+            ModOp::AddOperation { .. } => OpKind::AddOperation,
+            ModOp::DeleteOperation { .. } => OpKind::DeleteOperation,
+            ModOp::ModifyOperation { .. } => OpKind::ModifyOperation,
+            ModOp::ModifyOperationReturnType { .. } => OpKind::ModifyOperationReturnType,
+            ModOp::ModifyOperationArgList { .. } => OpKind::ModifyOperationArgList,
+            ModOp::ModifyOperationExceptionsRaised { .. } => {
+                OpKind::ModifyOperationExceptionsRaised
+            }
+            ModOp::AddPartOfRelationship { .. } => OpKind::AddPartOfRelationship,
+            ModOp::DeletePartOfRelationship { .. } => OpKind::DeletePartOfRelationship,
+            ModOp::ModifyPartOfTargetType { .. } => OpKind::ModifyPartOfTargetType,
+            ModOp::ModifyPartOfCardinality { .. } => OpKind::ModifyPartOfCardinality,
+            ModOp::ModifyPartOfOrderBy { .. } => OpKind::ModifyPartOfOrderBy,
+            ModOp::AddInstanceOfRelationship { .. } => OpKind::AddInstanceOfRelationship,
+            ModOp::DeleteInstanceOfRelationship { .. } => OpKind::DeleteInstanceOfRelationship,
+            ModOp::ModifyInstanceOfTargetType { .. } => OpKind::ModifyInstanceOfTargetType,
+            ModOp::ModifyInstanceOfCardinality { .. } => OpKind::ModifyInstanceOfCardinality,
+            ModOp::ModifyInstanceOfOrderBy { .. } => OpKind::ModifyInstanceOfOrderBy,
+        }
+    }
+
+    /// The primary object type this operation addresses.
+    pub fn subject_type(&self) -> &str {
+        match self {
+            ModOp::AddTypeDefinition { ty }
+            | ModOp::DeleteTypeDefinition { ty }
+            | ModOp::AddSupertype { ty, .. }
+            | ModOp::DeleteSupertype { ty, .. }
+            | ModOp::ModifySupertype { ty, .. }
+            | ModOp::AddExtentName { ty, .. }
+            | ModOp::DeleteExtentName { ty, .. }
+            | ModOp::ModifyExtentName { ty, .. }
+            | ModOp::AddKeyList { ty, .. }
+            | ModOp::DeleteKeyList { ty, .. }
+            | ModOp::ModifyKeyList { ty, .. }
+            | ModOp::AddAttribute { ty, .. }
+            | ModOp::DeleteAttribute { ty, .. }
+            | ModOp::ModifyAttribute { ty, .. }
+            | ModOp::ModifyAttributeType { ty, .. }
+            | ModOp::ModifyAttributeSize { ty, .. }
+            | ModOp::AddRelationship { ty, .. }
+            | ModOp::DeleteRelationship { ty, .. }
+            | ModOp::ModifyRelationshipTargetType { ty, .. }
+            | ModOp::ModifyRelationshipCardinality { ty, .. }
+            | ModOp::ModifyRelationshipOrderBy { ty, .. }
+            | ModOp::AddOperation { ty, .. }
+            | ModOp::DeleteOperation { ty, .. }
+            | ModOp::ModifyOperation { ty, .. }
+            | ModOp::ModifyOperationReturnType { ty, .. }
+            | ModOp::ModifyOperationArgList { ty, .. }
+            | ModOp::ModifyOperationExceptionsRaised { ty, .. }
+            | ModOp::AddPartOfRelationship { ty, .. }
+            | ModOp::DeletePartOfRelationship { ty, .. }
+            | ModOp::ModifyPartOfTargetType { ty, .. }
+            | ModOp::ModifyPartOfCardinality { ty, .. }
+            | ModOp::ModifyPartOfOrderBy { ty, .. }
+            | ModOp::AddInstanceOfRelationship { ty, .. }
+            | ModOp::DeleteInstanceOfRelationship { ty, .. }
+            | ModOp::ModifyInstanceOfTargetType { ty, .. }
+            | ModOp::ModifyInstanceOfCardinality { ty, .. }
+            | ModOp::ModifyInstanceOfOrderBy { ty, .. } => ty,
+        }
+    }
+}
+
+impl fmt::Display for ModOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::oplang::print_op(self))
+    }
+}
+
+macro_rules! op_kinds {
+    ($(($variant:ident, $name:literal, $category:expr)),+ $(,)?) => {
+        /// The fieldless kind of a [`ModOp`], used by Table 1 (permission
+        /// matrix) and Tables 2–3 (coverage).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub enum OpKind {
+            $(#[doc = $name] $variant),+
+        }
+
+        impl OpKind {
+            /// Every operation kind, in grammar order.
+            pub const ALL: &'static [OpKind] = &[$(OpKind::$variant),+];
+
+            /// The grammar name of this operation.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(OpKind::$variant => $name),+
+                }
+            }
+
+            /// Which group of ODL candidates this operation addresses.
+            pub fn category(self) -> OpCategory {
+                match self {
+                    $(OpKind::$variant => $category),+
+                }
+            }
+
+            /// Parse a grammar name.
+            pub fn from_name(name: &str) -> Option<OpKind> {
+                match name {
+                    $($name => Some(OpKind::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+/// The ODL-candidate group an operation addresses (the row groups of the
+/// paper's Tables 1–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpCategory {
+    /// Interface definitions and type properties (supertype, extent, keys).
+    TypeDefinition,
+    /// Attribute instance properties.
+    Attribute,
+    /// (Association) relationship instance properties.
+    Relationship,
+    /// Operation signatures.
+    Operation,
+    /// Part-of relationships.
+    PartOf,
+    /// Instance-of relationships.
+    InstanceOf,
+}
+
+impl OpCategory {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpCategory::TypeDefinition => "type definition",
+            OpCategory::Attribute => "attribute",
+            OpCategory::Relationship => "relationship",
+            OpCategory::Operation => "operation",
+            OpCategory::PartOf => "part-of relationship",
+            OpCategory::InstanceOf => "instance-of relationship",
+        }
+    }
+}
+
+op_kinds![
+    (
+        AddTypeDefinition,
+        "add_type_definition",
+        OpCategory::TypeDefinition
+    ),
+    (
+        DeleteTypeDefinition,
+        "delete_type_definition",
+        OpCategory::TypeDefinition
+    ),
+    (AddSupertype, "add_supertype", OpCategory::TypeDefinition),
+    (
+        DeleteSupertype,
+        "delete_supertype",
+        OpCategory::TypeDefinition
+    ),
+    (
+        ModifySupertype,
+        "modify_supertype",
+        OpCategory::TypeDefinition
+    ),
+    (AddExtentName, "add_extent_name", OpCategory::TypeDefinition),
+    (
+        DeleteExtentName,
+        "delete_extent_name",
+        OpCategory::TypeDefinition
+    ),
+    (
+        ModifyExtentName,
+        "modify_extent_name",
+        OpCategory::TypeDefinition
+    ),
+    (AddKeyList, "add_key_list", OpCategory::TypeDefinition),
+    (DeleteKeyList, "delete_key_list", OpCategory::TypeDefinition),
+    (ModifyKeyList, "modify_key_list", OpCategory::TypeDefinition),
+    (AddAttribute, "add_attribute", OpCategory::Attribute),
+    (DeleteAttribute, "delete_attribute", OpCategory::Attribute),
+    (ModifyAttribute, "modify_attribute", OpCategory::Attribute),
+    (
+        ModifyAttributeType,
+        "modify_attribute_type",
+        OpCategory::Attribute
+    ),
+    (
+        ModifyAttributeSize,
+        "modify_attribute_size",
+        OpCategory::Attribute
+    ),
+    (
+        AddRelationship,
+        "add_relationship",
+        OpCategory::Relationship
+    ),
+    (
+        DeleteRelationship,
+        "delete_relationship",
+        OpCategory::Relationship
+    ),
+    (
+        ModifyRelationshipTargetType,
+        "modify_relationship_target_type",
+        OpCategory::Relationship
+    ),
+    (
+        ModifyRelationshipCardinality,
+        "modify_relationship_cardinality",
+        OpCategory::Relationship
+    ),
+    (
+        ModifyRelationshipOrderBy,
+        "modify_relationship_order_by",
+        OpCategory::Relationship
+    ),
+    (AddOperation, "add_operation", OpCategory::Operation),
+    (DeleteOperation, "delete_operation", OpCategory::Operation),
+    (ModifyOperation, "modify_operation", OpCategory::Operation),
+    (
+        ModifyOperationReturnType,
+        "modify_operation_return_type",
+        OpCategory::Operation
+    ),
+    (
+        ModifyOperationArgList,
+        "modify_operation_arg_list",
+        OpCategory::Operation
+    ),
+    (
+        ModifyOperationExceptionsRaised,
+        "modify_operation_exceptions_raised",
+        OpCategory::Operation
+    ),
+    (
+        AddPartOfRelationship,
+        "add_part_of_relationship",
+        OpCategory::PartOf
+    ),
+    (
+        DeletePartOfRelationship,
+        "delete_part_of_relationship",
+        OpCategory::PartOf
+    ),
+    (
+        ModifyPartOfTargetType,
+        "modify_part_of_target_type",
+        OpCategory::PartOf
+    ),
+    (
+        ModifyPartOfCardinality,
+        "modify_part_of_cardinality",
+        OpCategory::PartOf
+    ),
+    (
+        ModifyPartOfOrderBy,
+        "modify_part_of_order_by",
+        OpCategory::PartOf
+    ),
+    (
+        AddInstanceOfRelationship,
+        "add_instance_of_relationship",
+        OpCategory::InstanceOf
+    ),
+    (
+        DeleteInstanceOfRelationship,
+        "delete_instance_of_relationship",
+        OpCategory::InstanceOf
+    ),
+    (
+        ModifyInstanceOfTargetType,
+        "modify_instance_of_target_type",
+        OpCategory::InstanceOf
+    ),
+    (
+        ModifyInstanceOfCardinality,
+        "modify_instance_of_cardinality",
+        OpCategory::InstanceOf
+    ),
+    (
+        ModifyInstanceOfOrderBy,
+        "modify_instance_of_order_by",
+        OpCategory::InstanceOf
+    ),
+];
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why an operation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpError {
+    /// Table 1 does not permit this operation in this concept-schema
+    /// context.
+    NotPermitted { op: OpKind, context: ConceptKind },
+    /// One or more precondition constraints failed.
+    Violations(Vec<ConstraintViolation>),
+    /// The graph refused the mutation (should be prevented by the
+    /// constraints; kept as a defensive layer).
+    Model(ModelError),
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::NotPermitted { op, context } => {
+                write!(
+                    f,
+                    "operation `{op}` is not permitted in a {context} concept schema"
+                )
+            }
+            OpError::Violations(vs) => {
+                write!(f, "constraint violation(s): ")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            OpError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<ModelError> for OpError {
+    fn from(e: ModelError) -> Self {
+        OpError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trip() {
+        for &k in OpKind::ALL {
+            assert_eq!(OpKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(OpKind::from_name("rename_type"), None);
+    }
+
+    #[test]
+    fn all_has_37_operations() {
+        // 11 type-definition + 5 attribute + 5 relationship + 6 operation
+        // + 5 part-of + 5 instance-of = 37 operations in the grammar.
+        assert_eq!(OpKind::ALL.len(), 37);
+    }
+
+    #[test]
+    fn no_rename_operations_exist() {
+        // Name equivalence: no operation may modify a name.
+        for &k in OpKind::ALL {
+            assert!(!k.name().contains("name") || k.name().contains("extent_name"));
+        }
+    }
+
+    #[test]
+    fn categories_partition_the_operations() {
+        use OpCategory::*;
+        let count = |c: OpCategory| OpKind::ALL.iter().filter(|k| k.category() == c).count();
+        assert_eq!(count(TypeDefinition), 11);
+        assert_eq!(count(Attribute), 5);
+        assert_eq!(count(Relationship), 5);
+        assert_eq!(count(Operation), 6);
+        assert_eq!(count(PartOf), 5);
+        assert_eq!(count(InstanceOf), 5);
+    }
+
+    #[test]
+    fn mod_op_kind_and_subject() {
+        let op = ModOp::AddAttribute {
+            ty: "Person".into(),
+            domain: DomainType::String,
+            size: Some(32),
+            name: "name".into(),
+        };
+        assert_eq!(op.kind(), OpKind::AddAttribute);
+        assert_eq!(op.subject_type(), "Person");
+        let op = ModOp::ModifyRelationshipTargetType {
+            ty: "Department".into(),
+            path: "has".into(),
+            old_target: "Employee".into(),
+            new_target: "Person".into(),
+        };
+        assert_eq!(op.kind(), OpKind::ModifyRelationshipTargetType);
+    }
+}

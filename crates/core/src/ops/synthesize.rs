@@ -1,0 +1,602 @@
+//! Synthesis of a modification-operation script from a schema pair — the
+//! constructive form of the paper's §3.5 completeness argument: *any*
+//! custom schema is reachable from *any* starting schema using the
+//! operation set (in the extreme, delete everything and add everything).
+//!
+//! [`synthesize`] produces a script that, applied to `old`, yields `new`
+//! exactly (canonical-AST equality). The script is ordered so every
+//! operation passes the precondition constraints when applied in sequence:
+//! type deletes (cascading) → type adds → supertype deletes → relationship /
+//! link deletes → key deletes → member deletes and in-place modifies →
+//! member adds → relationship / link re-adds → key adds → supertype adds →
+//! extent changes.
+//!
+//! Changed relationships and hierarchy links are re-created (delete + add)
+//! rather than modified in place: the in-place modify operations exist for
+//! the designer's convenience, but delete+add is always sufficient and
+//! avoids ordering hazards. Attribute and operation *property* changes use
+//! the dedicated modify operations.
+//!
+//! Limitation: the `is_abstract` flag has no modification operation in the
+//! paper's grammar, so synthesized scripts cannot toggle it.
+
+use super::ModOp;
+use std::collections::{BTreeMap, BTreeSet};
+use sws_model::{graph_to_schema, SchemaGraph};
+use sws_odl::{Cardinality, HierKind, Interface, Schema};
+
+/// Synthesize an op script transforming `old` into `new`.
+pub fn synthesize(old: &SchemaGraph, new: &SchemaGraph) -> Vec<ModOp> {
+    synthesize_schemas(&graph_to_schema(old), &graph_to_schema(new))
+}
+
+/// Key identifying a relationship regardless of which side declared it.
+type RelKey = ((String, String), (String, String));
+
+/// Full relationship value: per-side (cardinality, order_by), keyed like
+/// `RelKey`.
+type RelVal = BTreeMap<(String, String), (Cardinality, Vec<String>)>;
+
+fn rel_map(schema: &Schema) -> BTreeMap<RelKey, RelVal> {
+    let mut out: BTreeMap<RelKey, RelVal> = BTreeMap::new();
+    for iface in &schema.interfaces {
+        for rel in &iface.relationships {
+            let mine = (iface.name.clone(), rel.path.clone());
+            let theirs = (rel.target.clone(), rel.inverse_path.clone());
+            let key = if mine <= theirs {
+                (mine.clone(), theirs)
+            } else {
+                (theirs, mine.clone())
+            };
+            out.entry(key)
+                .or_default()
+                .insert(mine, (rel.cardinality, rel.order_by.clone()));
+        }
+    }
+    out
+}
+
+/// Key + value identifying one hierarchy link completely.
+type LinkKey = (
+    HierKind,
+    String,
+    String,
+    String,
+    String,
+    String,
+    Vec<String>,
+);
+
+fn link_set(schema: &Schema) -> BTreeSet<LinkKey> {
+    let mut out = BTreeSet::new();
+    for iface in &schema.interfaces {
+        for (kind, links) in [
+            (HierKind::PartOf, &iface.part_ofs),
+            (HierKind::InstanceOf, &iface.instance_ofs),
+        ] {
+            for link in links {
+                // Only record from the parent (Many) side; the child side is
+                // its mirror.
+                if let Cardinality::Many(coll) = link.cardinality {
+                    out.insert((
+                        kind,
+                        iface.name.clone(),
+                        link.path.clone(),
+                        link.target.clone(),
+                        link.inverse_path.clone(),
+                        coll.keyword().to_string(),
+                        link.order_by.clone(),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Synthesize from canonical ASTs.
+pub fn synthesize_schemas(old: &Schema, new: &Schema) -> Vec<ModOp> {
+    let mut script = Vec::new();
+    let old_types: BTreeSet<&str> = old.interfaces.iter().map(|i| i.name.as_str()).collect();
+    let new_types: BTreeSet<&str> = new.interfaces.iter().map(|i| i.name.as_str()).collect();
+    let survives = |t: &str| old_types.contains(t) && new_types.contains(t);
+
+    // 0. Delete every supertype edge that does not survive identically —
+    // *before* any type deletion, so the delete-type propagation rule
+    // (re-wire subtypes to the deleted type's supertypes) never fires and
+    // the final edge set is exactly the new schema's.
+    for iface in &old.interfaces {
+        let kept_sups: Vec<&String> = new
+            .interface(&iface.name)
+            .map(|n| n.supertypes.iter().collect())
+            .unwrap_or_default();
+        for sup in &iface.supertypes {
+            if !(survives(&iface.name) && survives(sup) && kept_sups.contains(&sup)) {
+                script.push(ModOp::DeleteSupertype {
+                    ty: iface.name.clone(),
+                    supertype: sup.clone(),
+                });
+            }
+        }
+    }
+
+    // 1. Delete vanished types (cascades their members and incident edges).
+    for iface in &old.interfaces {
+        if !new_types.contains(iface.name.as_str()) {
+            script.push(ModOp::DeleteTypeDefinition {
+                ty: iface.name.clone(),
+            });
+        }
+    }
+    // 2. Add fresh types.
+    for iface in &new.interfaces {
+        if !old_types.contains(iface.name.as_str()) {
+            script.push(ModOp::AddTypeDefinition {
+                ty: iface.name.clone(),
+            });
+        }
+    }
+
+    // 3. Relationship and link surgery: delete anything absent or changed.
+    let old_rels = rel_map(old);
+    let new_rels = rel_map(new);
+    for (key, val) in &old_rels {
+        if new_rels.get(key) != Some(val) {
+            let ((ty_a, path_a), (ty_b, _)) = key;
+            // Skip when a type deletion already cascaded the relationship.
+            if survives(ty_a) && survives(ty_b) {
+                script.push(ModOp::DeleteRelationship {
+                    ty: ty_a.clone(),
+                    path: path_a.clone(),
+                });
+            }
+        }
+    }
+    let old_links = link_set(old);
+    let new_links = link_set(new);
+    for link in &old_links {
+        if !new_links.contains(link) {
+            let (kind, parent, path, child, ..) = link;
+            if survives(parent) && survives(child) {
+                script.push(match kind {
+                    HierKind::PartOf => ModOp::DeletePartOfRelationship {
+                        ty: parent.clone(),
+                        path: path.clone(),
+                    },
+                    HierKind::InstanceOf => ModOp::DeleteInstanceOfRelationship {
+                        ty: parent.clone(),
+                        path: path.clone(),
+                    },
+                });
+            }
+        }
+    }
+
+    // 6. Delete removed keys (before attribute surgery, so explicit key
+    // deletes never go stale through cascades).
+    for iface in &old.interfaces {
+        if !survives(&iface.name) {
+            continue;
+        }
+        let new_iface = new.interface(&iface.name).expect("survives");
+        let gone: Vec<_> = iface
+            .keys
+            .iter()
+            .filter(|k| !new_iface.keys.contains(k))
+            .cloned()
+            .collect();
+        if !gone.is_empty() {
+            script.push(ModOp::DeleteKeyList {
+                ty: iface.name.clone(),
+                keys: gone,
+            });
+        }
+    }
+
+    // 7. Member deletes and in-place modifies.
+    for iface in &old.interfaces {
+        if !survives(&iface.name) {
+            continue;
+        }
+        let new_iface = new.interface(&iface.name).expect("survives");
+        member_surgery(iface, new_iface, &mut script);
+    }
+
+    // 8. Member adds on every new-schema type.
+    for iface in &new.interfaces {
+        let old_iface = old.interface(&iface.name);
+        for attr in &iface.attributes {
+            let existed = old_iface.is_some_and(|o| o.attribute(&attr.name).is_some());
+            if !existed {
+                script.push(ModOp::AddAttribute {
+                    ty: iface.name.clone(),
+                    domain: attr.ty.clone(),
+                    size: attr.size,
+                    name: attr.name.clone(),
+                });
+            }
+        }
+        for op in &iface.operations {
+            let existed = old_iface.is_some_and(|o| o.operation(&op.name).is_some());
+            if !existed {
+                script.push(ModOp::AddOperation {
+                    ty: iface.name.clone(),
+                    return_type: op.return_type.clone(),
+                    name: op.name.clone(),
+                    args: op.args.clone(),
+                    raises: op.raises.clone(),
+                });
+            }
+        }
+    }
+
+    // 9. Re-add changed/added relationships.
+    for (key, val) in &new_rels {
+        let ((ty_a, path_a), (ty_b, path_b)) = key;
+        let was_kept = old_rels.get(key) == Some(val) && survives(ty_a) && survives(ty_b);
+        if was_kept {
+            continue;
+        }
+        let (card_a, order_a) = &val[&(ty_a.clone(), path_a.clone())];
+        let (card_b, order_b) = &val[&(ty_b.clone(), path_b.clone())];
+        script.push(ModOp::AddRelationship {
+            ty: ty_a.clone(),
+            target: ty_b.clone(),
+            cardinality: *card_a,
+            path: path_a.clone(),
+            inverse_path: path_b.clone(),
+            order_by: order_a.clone(),
+        });
+        if *card_b != Cardinality::One {
+            script.push(ModOp::ModifyRelationshipCardinality {
+                ty: ty_b.clone(),
+                path: path_b.clone(),
+                old: Cardinality::One,
+                new: *card_b,
+            });
+        }
+        if !order_b.is_empty() {
+            script.push(ModOp::ModifyRelationshipOrderBy {
+                ty: ty_b.clone(),
+                path: path_b.clone(),
+                old: Vec::new(),
+                new: order_b.clone(),
+            });
+        }
+    }
+
+    // 10. Re-add changed/added links.
+    for link in &new_links {
+        let (kind, parent, path, child, inverse_path, coll, order_by) = link;
+        let survived = old_links.contains(link) && survives(parent) && survives(child);
+        if survived {
+            continue;
+        }
+        let collection = match coll.as_str() {
+            "set" => sws_odl::CollectionKind::Set,
+            "list" => sws_odl::CollectionKind::List,
+            _ => sws_odl::CollectionKind::Bag,
+        };
+        let op = match kind {
+            HierKind::PartOf => ModOp::AddPartOfRelationship {
+                ty: parent.clone(),
+                collection: Some(collection),
+                target: child.clone(),
+                path: path.clone(),
+                inverse_path: inverse_path.clone(),
+                order_by: order_by.clone(),
+            },
+            HierKind::InstanceOf => ModOp::AddInstanceOfRelationship {
+                ty: parent.clone(),
+                collection: Some(collection),
+                target: child.clone(),
+                path: path.clone(),
+                inverse_path: inverse_path.clone(),
+                order_by: order_by.clone(),
+            },
+        };
+        script.push(op);
+    }
+
+    // 11. Add fresh keys.
+    for iface in &new.interfaces {
+        let old_keys = old
+            .interface(&iface.name)
+            .map(|o| o.keys.clone())
+            .unwrap_or_default();
+        let fresh: Vec<_> = iface
+            .keys
+            .iter()
+            .filter(|k| !old_keys.contains(k))
+            .cloned()
+            .collect();
+        if !fresh.is_empty() {
+            script.push(ModOp::AddKeyList {
+                ty: iface.name.clone(),
+                keys: fresh,
+            });
+        }
+    }
+
+    // 12. Add fresh supertype edges.
+    for iface in &new.interfaces {
+        let old_sups = old
+            .interface(&iface.name)
+            .map(|o| o.supertypes.clone())
+            .unwrap_or_default();
+        for sup in &iface.supertypes {
+            let kept = old_sups.contains(sup) && survives(&iface.name) && survives(sup);
+            if !kept {
+                script.push(ModOp::AddSupertype {
+                    ty: iface.name.clone(),
+                    supertype: sup.clone(),
+                });
+            }
+        }
+    }
+
+    // 13. Extent changes.
+    for iface in &new.interfaces {
+        let old_extent = old.interface(&iface.name).and_then(|o| o.extent.clone());
+        match (&old_extent, &iface.extent) {
+            (None, Some(e)) => script.push(ModOp::AddExtentName {
+                ty: iface.name.clone(),
+                extent: e.clone(),
+            }),
+            (Some(o), Some(n)) if o != n => script.push(ModOp::ModifyExtentName {
+                ty: iface.name.clone(),
+                old: o.clone(),
+                new: n.clone(),
+            }),
+            (Some(o), None) if survives(&iface.name) => script.push(ModOp::DeleteExtentName {
+                ty: iface.name.clone(),
+                extent: o.clone(),
+            }),
+            _ => {}
+        }
+    }
+
+    script
+}
+
+fn member_surgery(old: &Interface, new: &Interface, script: &mut Vec<ModOp>) {
+    for attr in &old.attributes {
+        match new.attribute(&attr.name) {
+            None => script.push(ModOp::DeleteAttribute {
+                ty: old.name.clone(),
+                name: attr.name.clone(),
+            }),
+            Some(new_attr) => {
+                if new_attr.ty != attr.ty {
+                    script.push(ModOp::ModifyAttributeType {
+                        ty: old.name.clone(),
+                        name: attr.name.clone(),
+                        old: attr.ty.clone(),
+                        new: new_attr.ty.clone(),
+                    });
+                }
+                // Size after type: a type change may clear the size.
+                let effective_old = if new_attr.ty != attr.ty && !new_attr.ty.admits_size() {
+                    None
+                } else {
+                    attr.size
+                };
+                if new_attr.size != effective_old {
+                    script.push(ModOp::ModifyAttributeSize {
+                        ty: old.name.clone(),
+                        name: attr.name.clone(),
+                        old: effective_old,
+                        new: new_attr.size,
+                    });
+                }
+            }
+        }
+    }
+    for op in &old.operations {
+        match new.operation(&op.name) {
+            None => script.push(ModOp::DeleteOperation {
+                ty: old.name.clone(),
+                name: op.name.clone(),
+            }),
+            Some(new_op) => {
+                if new_op.return_type != op.return_type {
+                    script.push(ModOp::ModifyOperationReturnType {
+                        ty: old.name.clone(),
+                        name: op.name.clone(),
+                        old: op.return_type.clone(),
+                        new: new_op.return_type.clone(),
+                    });
+                }
+                if new_op.args != op.args {
+                    script.push(ModOp::ModifyOperationArgList {
+                        ty: old.name.clone(),
+                        name: op.name.clone(),
+                        old: op.args.clone(),
+                        new: new_op.args.clone(),
+                    });
+                }
+                if new_op.raises != op.raises {
+                    script.push(ModOp::ModifyOperationExceptionsRaised {
+                        ty: old.name.clone(),
+                        name: op.name.clone(),
+                        old: op.raises.clone(),
+                        new: new_op.raises.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::apply::apply_op;
+    use sws_model::schema_to_graph;
+    use sws_odl::parse_schema;
+
+    fn graph(src: &str) -> SchemaGraph {
+        schema_to_graph(&parse_schema(src).unwrap()).unwrap()
+    }
+
+    /// Apply a script with full precondition checking against `g` itself as
+    /// shrink wrap (moves are not synthesized, so stability never triggers).
+    fn run(old: &SchemaGraph, script: &[ModOp]) -> SchemaGraph {
+        let mut g = old.clone();
+        for op in script {
+            let violations = crate::constraints::check_preconditions(op, &g, old);
+            assert!(violations.is_empty(), "op {op:?} violates {violations:?}");
+            apply_op(&mut g, op).unwrap();
+        }
+        g
+    }
+
+    fn assert_reaches(old_src: &str, new_src: &str) -> usize {
+        let old = graph(old_src);
+        let new = graph(new_src);
+        let script = synthesize(&old, &new);
+        let result = run(&old, &script);
+        assert_eq!(
+            graph_to_schema(&result),
+            graph_to_schema(&new),
+            "script: {script:#?}"
+        );
+        script.len()
+    }
+
+    #[test]
+    fn identical_schemas_need_no_ops() {
+        let src = r#"
+        interface A { attribute long x; extent as_; keys x; }
+        interface B : A { relationship A friend inverse A::friend_of; }
+        "#;
+        // NOTE: friend/friend_of would be unpaired; use a clean schema.
+        let src = src.replace("relationship A friend inverse A::friend_of;", "");
+        let old = graph(&src);
+        assert!(synthesize(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn reaches_added_members() {
+        assert_reaches(
+            "interface A { }",
+            r#"
+            interface A {
+                extent as_;
+                attribute string(8) tag;
+                keys tag;
+                void refresh();
+            }
+            interface B : A { }
+            "#,
+        );
+    }
+
+    #[test]
+    fn reaches_deleted_everything() {
+        assert_reaches(
+            r#"
+            interface A { attribute long x; }
+            interface B : A {
+                relationship C c inverse C::b;
+            }
+            interface C {
+                relationship B b inverse B::c;
+                part_of set<D> ds inverse D::c;
+            }
+            interface D { part_of C c inverse C::ds; }
+            "#,
+            "interface Z { }",
+        );
+    }
+
+    #[test]
+    fn reaches_changed_relationships() {
+        assert_reaches(
+            r#"
+            interface A { relationship set<B> bs inverse B::a; }
+            interface B { relationship A a inverse A::bs; }
+            "#,
+            r#"
+            interface A { relationship list<B> bs inverse B::a order_by (x); }
+            interface B { attribute long x; relationship set<A> a inverse A::bs; }
+            "#,
+        );
+    }
+
+    #[test]
+    fn reaches_link_rewiring() {
+        assert_reaches(
+            r#"
+            interface House { part_of set<Wall> walls inverse Wall::house; }
+            interface Wall { part_of House house inverse House::walls; }
+            interface App { instance_of set<Ver> vers inverse Ver::app; }
+            interface Ver { instance_of App app inverse App::vers; }
+            "#,
+            r#"
+            interface House { part_of list<Wall> walls inverse Wall::house; }
+            interface Wall { part_of House house inverse House::walls; }
+            interface App { }
+            interface Ver { }
+            interface AppTwo { }
+            "#,
+        );
+    }
+
+    #[test]
+    fn reaches_attribute_property_changes() {
+        assert_reaches(
+            "interface A { attribute string(16) s; attribute long n; }",
+            "interface A { attribute string(64) s; attribute double n; }",
+        );
+    }
+
+    #[test]
+    fn reaches_operation_signature_changes() {
+        assert_reaches(
+            "interface A { void f(in long x); }",
+            "interface A { long f(in long x, in string y) raises (Bad); }",
+        );
+    }
+
+    #[test]
+    fn reaches_supertype_rewiring() {
+        assert_reaches(
+            r#"
+            interface Root { }
+            interface Mid : Root { }
+            interface Leaf : Mid { }
+            "#,
+            r#"
+            interface Root { }
+            interface Leaf : Root { }
+            interface Side : Root { }
+            "#,
+        );
+    }
+
+    #[test]
+    fn extent_transitions() {
+        assert_reaches(
+            "interface A { extent olds; } interface B { }",
+            "interface A { extent news; } interface B { extent bs; }",
+        );
+        assert_reaches("interface A { extent gone; }", "interface A { }");
+    }
+
+    #[test]
+    fn moved_attribute_via_delete_add() {
+        // A "move" expressed as delete+add passes because deletes precede
+        // adds.
+        assert_reaches(
+            r#"
+            interface Person { }
+            interface Employee : Person { attribute long badge; }
+            "#,
+            r#"
+            interface Person { attribute long badge; }
+            interface Employee : Person { }
+            "#,
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Designer deliverables (paper activity 11): "an approach to generating
+//! deliverables for designer feedback as a result of shrink wrap schema
+//! customization."
+//!
+//! [`DesignReport`] bundles everything a designer (or a design review)
+//! needs about a session: the custom schema, the operation log with
+//! impact, the mapping, the consistency report, and repair advice — as one
+//! renderable document.
+
+use crate::advice::{advise, Suggestion};
+use crate::consistency::{check_consistency, ConsistencyReport};
+use crate::mapping::Mapping;
+use crate::workspace::Workspace;
+use sws_model::graph_to_schema;
+use sws_odl::print_schema;
+
+/// The complete deliverable bundle for one design session.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// Schema name.
+    pub schema_name: String,
+    /// Shrink wrap size (constructs).
+    pub shrink_wrap_constructs: usize,
+    /// Custom schema size (constructs).
+    pub custom_constructs: usize,
+    /// Number of operations applied.
+    pub ops_applied: usize,
+    /// The custom schema as extended ODL.
+    pub custom_odl: String,
+    /// The derived mapping.
+    pub mapping: Mapping,
+    /// The consistency report.
+    pub consistency: ConsistencyReport,
+    /// Repair advice for the consistency findings.
+    pub advice: Vec<Suggestion>,
+    /// Rendered op log lines with impact counts.
+    pub log_lines: Vec<String>,
+}
+
+impl DesignReport {
+    /// Generate the deliverables for a workspace.
+    pub fn generate(ws: &Workspace) -> Self {
+        let consistency = check_consistency(ws.working(), ws.shrink_wrap());
+        let advice = advise(&consistency, ws.working());
+        let log_lines = ws
+            .log()
+            .iter()
+            .map(|r| {
+                if r.impact.is_empty() {
+                    format!("[{}] {}", r.context.tag(), r.op)
+                } else {
+                    format!(
+                        "[{}] {} (+{} propagated changes)",
+                        r.context.tag(),
+                        r.op,
+                        r.impact.len()
+                    )
+                }
+            })
+            .collect();
+        DesignReport {
+            schema_name: ws.shrink_wrap().name().to_string(),
+            shrink_wrap_constructs: ws.shrink_wrap().construct_count(),
+            custom_constructs: ws.working().construct_count(),
+            ops_applied: ws.log().len(),
+            custom_odl: print_schema(&graph_to_schema(ws.working())),
+            mapping: Mapping::derive(ws),
+            consistency,
+            advice,
+            log_lines,
+        }
+    }
+
+    /// Render the whole deliverable as one document.
+    pub fn render(&self) -> String {
+        let summary = self.mapping.summary();
+        let mut out = String::new();
+        out.push_str(&format!("# Design report — {}\n\n", self.schema_name));
+        out.push_str(&format!(
+            "shrink wrap: {} constructs; custom: {} constructs; {} operation(s) applied\n",
+            self.shrink_wrap_constructs, self.custom_constructs, self.ops_applied
+        ));
+        out.push_str(&format!(
+            "reuse: {:.1}% ({} unchanged, {} modified, {} moved, {} deleted, {} added)\n\n",
+            summary.reuse_fraction() * 100.0,
+            summary.unchanged,
+            summary.modified,
+            summary.moved,
+            summary.deleted,
+            summary.added
+        ));
+        out.push_str("## Operation log\n");
+        for line in &self.log_lines {
+            out.push_str(&format!("  {line}\n"));
+        }
+        out.push_str("\n## Consistency\n");
+        if self.consistency.is_clean() {
+            out.push_str("  no findings\n");
+        } else {
+            for finding in &self.consistency.findings {
+                out.push_str(&format!("  {}: {finding}\n", finding.severity()));
+            }
+        }
+        if !self.advice.is_empty() {
+            out.push_str("\n## Advice\n");
+            for s in &self.advice {
+                out.push_str(&format!("  {}\n", s.finding));
+                for candidate in &s.candidates {
+                    out.push_str(&format!("    -> {candidate}\n"));
+                }
+            }
+        }
+        out.push_str("\n## Mapping\n");
+        for entry in &self.mapping.entries {
+            out.push_str(&format!("  {}: {}\n", entry.construct, entry.disposition));
+        }
+        out.push_str("\n## Custom schema\n");
+        out.push_str(&self.custom_odl);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::ConceptKind;
+    use crate::ops::ModOp;
+    use sws_model::schema_to_graph;
+    use sws_odl::parse_schema;
+
+    #[test]
+    fn report_reflects_the_session() {
+        let src = r#"
+        schema T {
+            interface A { attribute set<B> bs; attribute long x; keys x; }
+            interface B { attribute long y; }
+        }"#;
+        let mut ws = Workspace::new(schema_to_graph(&parse_schema(src).unwrap()).unwrap());
+        ws.apply(
+            ConceptKind::WagonWheel,
+            ModOp::DeleteTypeDefinition { ty: "B".into() },
+        )
+        .unwrap();
+        let report = DesignReport::generate(&ws);
+        assert_eq!(report.ops_applied, 1);
+        assert!(report.shrink_wrap_constructs > report.custom_constructs);
+        let text = report.render();
+        assert!(text.contains("# Design report — T"));
+        assert!(text.contains("delete_type_definition(B)"));
+        // Deleting B left A::bs dangling: finding + advice present.
+        assert!(text.contains("error:"), "{text}");
+        assert!(text.contains("-> add_type_definition(B)"), "{text}");
+        assert!(text.contains("type `B`: deleted"));
+        assert!(text.contains("## Custom schema"));
+    }
+
+    #[test]
+    fn clean_session_reports_no_findings() {
+        let ws = Workspace::new(
+            schema_to_graph(&parse_schema("interface A { attribute long x; keys x; }").unwrap())
+                .unwrap(),
+        );
+        let report = DesignReport::generate(&ws);
+        assert!(report.consistency.is_clean());
+        assert!(report.advice.is_empty());
+        assert!(report.render().contains("no findings"));
+    }
+}

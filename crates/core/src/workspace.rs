@@ -1,0 +1,305 @@
+//! The design workspace: the integrated, customized user schema under
+//! design, plus the full apply pipeline (Fig. 1 of the paper).
+//!
+//! A [`Workspace`] holds
+//!
+//! * the immutable **shrink wrap schema** (the reference for semantic
+//!   stability and for the mapping),
+//! * the **working schema** — the integrated, customized user schema all
+//!   concept-schema modifications land in,
+//! * the **operation log** — every applied operation with its
+//!   concept-schema context and impact, replayable and persistable.
+//!
+//! Applying an operation runs the pipeline: permission check (Table 1) →
+//! precondition constraints → mutation + propagation → cautionary feedback.
+
+use crate::concept::{decompose, ConceptKind, Decomposition};
+use crate::constraints::check_preconditions;
+use crate::feedback::{cautionary, Feedback};
+use crate::impact::ImpactReport;
+use crate::ops::apply::apply_op;
+use crate::ops::{ModOp, OpError, PermissionMatrix};
+use sws_model::SchemaGraph;
+
+/// One log record: an operation that was applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedOp {
+    /// The operation.
+    pub op: ModOp,
+    /// The concept-schema context it was issued in.
+    pub context: ConceptKind,
+    /// The propagation it triggered.
+    pub impact: ImpactReport,
+}
+
+/// The design workspace. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    shrink_wrap: SchemaGraph,
+    working: SchemaGraph,
+    log: Vec<AppliedOp>,
+    matrix: PermissionMatrix,
+}
+
+impl Workspace {
+    /// Start a design session from a shrink wrap schema. The working schema
+    /// begins as a copy of it.
+    pub fn new(shrink_wrap: SchemaGraph) -> Self {
+        let working = shrink_wrap.clone();
+        Workspace {
+            shrink_wrap,
+            working,
+            log: Vec::new(),
+            matrix: PermissionMatrix::new(),
+        }
+    }
+
+    /// The immutable shrink wrap schema.
+    pub fn shrink_wrap(&self) -> &SchemaGraph {
+        &self.shrink_wrap
+    }
+
+    /// The integrated, customized user schema.
+    pub fn working(&self) -> &SchemaGraph {
+        &self.working
+    }
+
+    /// The operation log, in application order.
+    pub fn log(&self) -> &[AppliedOp] {
+        &self.log
+    }
+
+    /// Decompose the *current working schema* into concept schemas.
+    pub fn concept_schemas(&self) -> Decomposition {
+        decompose(&self.working)
+    }
+
+    /// Apply `op` in the context of a `context` concept schema.
+    ///
+    /// Pipeline: Table 1 permission → precondition constraints → mutation
+    /// with propagation → cautionary feedback. On error nothing changes.
+    pub fn apply(&mut self, context: ConceptKind, op: ModOp) -> Result<Feedback, OpError> {
+        if !self.matrix.allows(context, op.kind()) {
+            return Err(OpError::NotPermitted {
+                op: op.kind(),
+                context,
+            });
+        }
+        let violations = check_preconditions(&op, &self.working, &self.shrink_wrap);
+        if !violations.is_empty() {
+            return Err(OpError::Violations(violations));
+        }
+        let outcome = apply_op(&mut self.working, &op)?;
+        let impact = ImpactReport::from_cascade(&outcome.cascade, &outcome.notes);
+        let (warnings, infos) = cautionary(&op, &self.working);
+        self.log.push(AppliedOp {
+            op: op.clone(),
+            context,
+            impact: impact.clone(),
+        });
+        Ok(Feedback {
+            op,
+            warnings,
+            infos,
+            impact,
+        })
+    }
+
+    /// Apply a whole script in one context, stopping at the first error and
+    /// reporting how many operations succeeded before it.
+    pub fn apply_script(
+        &mut self,
+        context: ConceptKind,
+        ops: impl IntoIterator<Item = ModOp>,
+    ) -> Result<Vec<Feedback>, (usize, OpError)> {
+        let mut feedback = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match self.apply(context, op) {
+                Ok(fb) => feedback.push(fb),
+                Err(e) => return Err((i, e)),
+            }
+        }
+        Ok(feedback)
+    }
+
+    /// Replay helper: apply the ops of another workspace's log (used by the
+    /// repository when loading a persisted session).
+    pub fn replay(
+        &mut self,
+        records: impl IntoIterator<Item = (ConceptKind, ModOp)>,
+    ) -> Result<(), (usize, OpError)> {
+        for (i, (context, op)) in records.into_iter().enumerate() {
+            self.apply(context, op).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    /// Reset the working schema back to the shrink wrap schema, clearing
+    /// the log.
+    pub fn reset(&mut self) {
+        self.working = self.shrink_wrap.clone();
+        self.log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpKind;
+    use sws_model::{graph_to_schema, schema_to_graph};
+    use sws_odl::parse_schema;
+
+    fn workspace() -> Workspace {
+        let src = r#"
+        schema Dept {
+            interface Person { attribute string name; }
+            interface Employee : Person {
+                relationship Department works_in_a inverse Department::has;
+            }
+            interface Department {
+                relationship set<Employee> has inverse Employee::works_in_a;
+            }
+        }"#;
+        Workspace::new(schema_to_graph(&parse_schema(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn permission_gate_runs_first() {
+        let mut ws = workspace();
+        // A move issued from a wagon wheel: rejected by Table 1.
+        let err = ws
+            .apply(
+                ConceptKind::WagonWheel,
+                ModOp::ModifyAttribute {
+                    ty: "Person".into(),
+                    name: "name".into(),
+                    new_ty: "Employee".into(),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OpError::NotPermitted {
+                op: OpKind::ModifyAttribute,
+                context: ConceptKind::WagonWheel
+            }
+        );
+        assert!(ws.log().is_empty());
+    }
+
+    #[test]
+    fn constraint_gate_blocks_without_mutation() {
+        let mut ws = workspace();
+        let before = graph_to_schema(ws.working());
+        let err = ws
+            .apply(
+                ConceptKind::WagonWheel,
+                ModOp::AddTypeDefinition {
+                    ty: "Person".into(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, OpError::Violations(_)));
+        assert_eq!(graph_to_schema(ws.working()), before);
+    }
+
+    #[test]
+    fn successful_apply_logs_and_reports() {
+        let mut ws = workspace();
+        let fb = ws
+            .apply(
+                ConceptKind::Generalization,
+                ModOp::ModifyRelationshipTargetType {
+                    ty: "Department".into(),
+                    path: "has".into(),
+                    old_target: "Employee".into(),
+                    new_target: "Person".into(),
+                },
+            )
+            .unwrap();
+        assert!(!fb.warnings.is_empty());
+        assert_eq!(ws.log().len(), 1);
+        let person = ws.working().type_id("Person").unwrap();
+        assert!(ws.working().find_rel_end(person, "works_in_a").is_some());
+        // Shrink wrap untouched.
+        let sw_person = ws.shrink_wrap().type_id("Person").unwrap();
+        assert!(ws
+            .shrink_wrap()
+            .find_rel_end(sw_person, "works_in_a")
+            .is_none());
+    }
+
+    #[test]
+    fn semantic_stability_judged_against_shrink_wrap() {
+        let mut ws = workspace();
+        // Sever Employee from Person in the working schema...
+        ws.apply(
+            ConceptKind::Generalization,
+            ModOp::DeleteSupertype {
+                ty: "Employee".into(),
+                supertype: "Person".into(),
+            },
+        )
+        .unwrap();
+        // ...the move is STILL legal, because the shrink wrap hierarchy has
+        // Employee under Person (the paper judges stability against the
+        // hierarchy "established by the shrink wrap schema").
+        ws.apply(
+            ConceptKind::Generalization,
+            ModOp::ModifyRelationshipTargetType {
+                ty: "Department".into(),
+                path: "has".into(),
+                old_target: "Employee".into(),
+                new_target: "Person".into(),
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn script_stops_at_first_error() {
+        let mut ws = workspace();
+        let err = ws
+            .apply_script(
+                ConceptKind::WagonWheel,
+                vec![
+                    ModOp::AddTypeDefinition { ty: "A".into() },
+                    ModOp::AddTypeDefinition { ty: "A".into() }, // duplicate
+                    ModOp::AddTypeDefinition { ty: "B".into() },
+                ],
+            )
+            .unwrap_err();
+        assert_eq!(err.0, 1);
+        assert!(ws.working().type_id("A").is_some());
+        assert!(ws.working().type_id("B").is_none());
+    }
+
+    #[test]
+    fn reset_restores_shrink_wrap() {
+        let mut ws = workspace();
+        ws.apply(
+            ConceptKind::WagonWheel,
+            ModOp::AddTypeDefinition { ty: "X".into() },
+        )
+        .unwrap();
+        ws.reset();
+        assert!(ws.working().type_id("X").is_none());
+        assert!(ws.log().is_empty());
+        assert_eq!(
+            graph_to_schema(ws.working()),
+            graph_to_schema(ws.shrink_wrap())
+        );
+    }
+
+    #[test]
+    fn concept_schemas_reflect_working_state() {
+        let mut ws = workspace();
+        let before = ws.concept_schemas().wagon_wheels.len();
+        ws.apply(
+            ConceptKind::WagonWheel,
+            ModOp::AddTypeDefinition { ty: "X".into() },
+        )
+        .unwrap();
+        assert_eq!(ws.concept_schemas().wagon_wheels.len(), before + 1);
+    }
+}

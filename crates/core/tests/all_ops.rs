@@ -1,0 +1,321 @@
+//! One success path and one failure path for every one of the 37
+//! modification operations, driven through the full workspace pipeline in
+//! a permitted concept-schema context.
+
+use std::collections::BTreeSet;
+use sws_core::oplang::parse_statement;
+use sws_core::ops::PermissionMatrix;
+use sws_core::{ConceptKind, ModOp, OpError, OpKind, Workspace};
+use sws_model::schema_to_graph;
+use sws_odl::parse_schema;
+
+/// A fixture exercising every construct kind.
+const FIXTURE: &str = r#"
+schema Fixture {
+    interface Person {
+        extent people;
+        attribute string(64) name;
+        attribute date born;
+        keys name;
+        float age();
+    }
+    interface Student : Person {
+        attribute unsigned_long sid;
+    }
+    interface Employee : Person {
+        attribute long badge;
+        relationship Department works_in_a inverse Department::has;
+        void clock_in(in time when) raises (Locked);
+    }
+    interface Department {
+        extent departments;
+        attribute string(32) dname;
+        keys dname;
+        relationship set<Employee> has inverse Employee::works_in_a order_by (badge);
+    }
+    interface Machine {
+        attribute string(32) serial;
+        part_of set<Component> components inverse Component::machine order_by (serial);
+    }
+    interface Component {
+        attribute string(32) serial;
+        part_of Machine machine inverse Machine::components;
+    }
+    interface Design {
+        attribute string(32) code;
+        instance_of set<Machine> builds inverse Machine::design;
+    }
+}
+"#;
+
+// Machine needs the child side of the instance_of — declare it via a
+// fix-up below (keeps FIXTURE readable).
+fn workspace() -> Workspace {
+    let fixed = FIXTURE.replace(
+        "part_of set<Component> components inverse Component::machine order_by (serial);",
+        "part_of set<Component> components inverse Component::machine order_by (serial);\n        instance_of Design design inverse Design::builds;",
+    );
+    Workspace::new(schema_to_graph(&parse_schema(&fixed).unwrap()).unwrap())
+}
+
+fn context_for(op: &ModOp) -> ConceptKind {
+    let matrix = PermissionMatrix::new();
+    if matrix.allows(ConceptKind::WagonWheel, op.kind()) {
+        ConceptKind::WagonWheel
+    } else {
+        matrix.permitting_contexts(op.kind())[0]
+    }
+}
+
+/// (operation kind, success statement, failing statement)
+fn cases() -> Vec<(OpKind, &'static str, &'static str)> {
+    vec![
+        (
+            OpKind::AddTypeDefinition,
+            "add_type_definition(Project)",
+            "add_type_definition(Person)",
+        ),
+        (
+            OpKind::DeleteTypeDefinition,
+            "delete_type_definition(Student)",
+            "delete_type_definition(Ghost)",
+        ),
+        (
+            OpKind::AddSupertype,
+            "add_supertype(Machine, Design)",
+            "add_supertype(Person, Student)", // cycle
+        ),
+        (
+            OpKind::DeleteSupertype,
+            "delete_supertype(Student, Person)",
+            "delete_supertype(Person, Student)",
+        ),
+        (
+            OpKind::ModifySupertype,
+            "modify_supertype(Employee, (Person), ())",
+            "modify_supertype(Employee, (Department), (Person))", // stale old
+        ),
+        (
+            OpKind::AddExtentName,
+            "add_extent_name(Student, students)",
+            "add_extent_name(Student, people)", // extent in use
+        ),
+        (
+            OpKind::DeleteExtentName,
+            "delete_extent_name(Person, people)",
+            "delete_extent_name(Student, anything)", // no extent
+        ),
+        (
+            OpKind::ModifyExtentName,
+            "modify_extent_name(Person, people, persons)",
+            "modify_extent_name(Person, wrong_old, persons)",
+        ),
+        (
+            OpKind::AddKeyList,
+            "add_key_list(Employee, (badge))",
+            "add_key_list(Employee, (ghost_attr))",
+        ),
+        (
+            OpKind::DeleteKeyList,
+            "delete_key_list(Person, (name))",
+            "delete_key_list(Person, (born))", // not a key
+        ),
+        (
+            OpKind::ModifyKeyList,
+            "modify_key_list(Person, (name), ((name, born)))",
+            "modify_key_list(Person, (born), (name))", // stale old
+        ),
+        (
+            OpKind::AddAttribute,
+            "add_attribute(Department, string(64), location)",
+            "add_attribute(Student, string, name)", // shadows Person::name
+        ),
+        (
+            OpKind::DeleteAttribute,
+            "delete_attribute(Person, born)",
+            "delete_attribute(Person, ghost)",
+        ),
+        (
+            OpKind::ModifyAttribute,
+            "modify_attribute(Employee, badge, Person)",
+            "modify_attribute(Employee, badge, Department)", // stability
+        ),
+        (
+            OpKind::ModifyAttributeType,
+            "modify_attribute_type(Employee, badge, long, unsigned_long)",
+            "modify_attribute_type(Employee, badge, string, long)", // stale
+        ),
+        (
+            OpKind::ModifyAttributeSize,
+            "modify_attribute_size(Person, name, 64, 128)",
+            "modify_attribute_size(Employee, badge, none, 8)", // long has no size
+        ),
+        (
+            OpKind::AddRelationship,
+            "add_relationship(Department, Person, chair, Person::chairs)",
+            "add_relationship(Department, Employee, has, Employee::x)", // path taken
+        ),
+        (
+            OpKind::DeleteRelationship,
+            "delete_relationship(Department, has)",
+            "delete_relationship(Department, ghost)",
+        ),
+        (
+            OpKind::ModifyRelationshipTargetType,
+            "modify_relationship_target_type(Department, has, Employee, Person)",
+            "modify_relationship_target_type(Department, has, Student, Person)", // stale
+        ),
+        (
+            OpKind::ModifyRelationshipCardinality,
+            "modify_relationship_cardinality(Department, has, set, list)",
+            "modify_relationship_cardinality(Department, has, one, set)", // stale
+        ),
+        (
+            OpKind::ModifyRelationshipOrderBy,
+            "modify_relationship_order_by(Department, has, (badge), (badge, name))",
+            "modify_relationship_order_by(Department, has, (badge), (ghost))",
+        ),
+        (
+            OpKind::AddOperation,
+            "add_operation(Department, unsigned_long, headcount)",
+            "add_operation(Employee, void, badge)", // name clash with attr
+        ),
+        (
+            OpKind::DeleteOperation,
+            "delete_operation(Employee, clock_in)",
+            "delete_operation(Employee, ghost)",
+        ),
+        (
+            OpKind::ModifyOperation,
+            "modify_operation(Employee, clock_in, Person)",
+            "modify_operation(Employee, clock_in, Machine)", // stability
+        ),
+        (
+            OpKind::ModifyOperationReturnType,
+            "modify_operation_return_type(Person, age, float, double)",
+            "modify_operation_return_type(Person, age, void, double)", // stale
+        ),
+        (
+            OpKind::ModifyOperationArgList,
+            "modify_operation_arg_list(Employee, clock_in, (in time when), (in time when, in boolean manual))",
+            "modify_operation_arg_list(Employee, clock_in, (), (in long x))", // stale
+        ),
+        (
+            OpKind::ModifyOperationExceptionsRaised,
+            "modify_operation_exceptions_raised(Employee, clock_in, (Locked), ())",
+            "modify_operation_exceptions_raised(Employee, clock_in, (), (Oops))", // stale
+        ),
+        (
+            OpKind::AddPartOfRelationship,
+            "add_part_of_relationship(Component, set<Design>, subdesigns, Design::part_of_component)",
+            "add_part_of_relationship(Component, set<Machine>, machines, Machine::comp)", // cycle
+        ),
+        (
+            OpKind::DeletePartOfRelationship,
+            "delete_part_of_relationship(Machine, components)",
+            "delete_part_of_relationship(Machine, ghost)",
+        ),
+        (
+            OpKind::ModifyPartOfTargetType,
+            "modify_part_of_target_type(Component, machine, Machine, Machine)",
+            "modify_part_of_target_type(Component, machine, Machine, Person)", // stability
+        ),
+        (
+            OpKind::ModifyPartOfCardinality,
+            "modify_part_of_cardinality(Machine, components, set, list)",
+            "modify_part_of_cardinality(Component, machine, set, list)", // child end
+        ),
+        (
+            OpKind::ModifyPartOfOrderBy,
+            "modify_part_of_order_by(Machine, components, (serial), ())",
+            "modify_part_of_order_by(Machine, components, (), (serial))", // stale
+        ),
+        (
+            OpKind::AddInstanceOfRelationship,
+            "add_instance_of_relationship(Design, set<Component>, stock_parts, Component::design_of)",
+            "add_instance_of_relationship(Machine, set<Design>, redesigns, Design::machine_of)", // cycle
+        ),
+        (
+            OpKind::DeleteInstanceOfRelationship,
+            "delete_instance_of_relationship(Design, builds)",
+            "delete_instance_of_relationship(Design, ghost)",
+        ),
+        (
+            OpKind::ModifyInstanceOfTargetType,
+            "modify_instance_of_target_type(Design, builds, Machine, Machine)",
+            "modify_instance_of_target_type(Design, builds, Component, Machine)", // stale
+        ),
+        (
+            OpKind::ModifyInstanceOfCardinality,
+            "modify_instance_of_cardinality(Design, builds, set, bag)",
+            "modify_instance_of_cardinality(Machine, design, set, bag)", // child end
+        ),
+        (
+            OpKind::ModifyInstanceOfOrderBy,
+            "modify_instance_of_order_by(Design, builds, (), (serial))",
+            "modify_instance_of_order_by(Design, builds, (serial), ())", // stale
+        ),
+    ]
+}
+
+#[test]
+fn every_operation_has_a_passing_and_failing_case() {
+    let covered: BTreeSet<OpKind> = cases().iter().map(|(k, _, _)| *k).collect();
+    assert_eq!(covered.len(), OpKind::ALL.len(), "cover all 37 operations");
+
+    for (kind, good, bad) in cases() {
+        // Success path: fresh workspace each time.
+        let mut ws = workspace();
+        let op = parse_statement(good).unwrap_or_else(|e| panic!("{kind}: {good}: {e}"));
+        assert_eq!(op.kind(), kind, "statement exercises the intended op");
+        let context = context_for(&op);
+        ws.apply(context, op)
+            .unwrap_or_else(|e| panic!("{kind}: success case `{good}` failed: {e}"));
+
+        // Failure path: rejected with violations, workspace untouched.
+        let mut ws = workspace();
+        let before = sws_model::graph_to_schema(ws.working());
+        let op = parse_statement(bad).unwrap_or_else(|e| panic!("{kind}: {bad}: {e}"));
+        assert_eq!(op.kind(), kind);
+        let context = context_for(&op);
+        let err = ws.apply(context, op).expect_err(&format!(
+            "{kind}: failure case `{bad}` unexpectedly applied"
+        ));
+        assert!(
+            matches!(err, OpError::Violations(_)),
+            "{kind}: expected constraint violations, got {err:?}"
+        );
+        assert_eq!(
+            sws_model::graph_to_schema(ws.working()),
+            before,
+            "{kind}: failed op must not mutate"
+        );
+        assert!(ws.log().is_empty(), "{kind}: failed op must not log");
+    }
+}
+
+#[test]
+fn every_operation_rejected_in_some_context() {
+    // Each operation has at least one context where Table 1 denies it —
+    // and the denial fires before constraints do.
+    let matrix = PermissionMatrix::new();
+    for (kind, good, _) in cases() {
+        let denied = ConceptKind::ALL
+            .iter()
+            .copied()
+            .find(|&c| !matrix.allows(c, kind));
+        let Some(denied) = denied else {
+            // add/delete type are allowed everywhere — skip.
+            continue;
+        };
+        let mut ws = workspace();
+        let op = parse_statement(good).unwrap();
+        let err = ws
+            .apply(denied, op)
+            .expect_err("denied context must reject");
+        assert!(
+            matches!(err, OpError::NotPermitted { .. }),
+            "{kind}: {err:?}"
+        );
+    }
+}

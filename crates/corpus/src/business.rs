@@ -1,0 +1,212 @@
+//! A business-objects shrink wrap schema (order management).
+//!
+//! §5 points at interoperation through common objects: "Work in progress
+//! is attempting to establish a Business Object Model to promote the
+//! conduct of business over the network. In general, systems built from
+//! the same shrink wrap schema (i.e., common objects) can be integrated
+//! for information interchange." This schema is the repository's richest
+//! shrink wrap: a deep generalization hierarchy, two parts explosions, an
+//! instance-of chain, keys, extents, and operations — the workload for the
+//! customization examples and stress tests.
+
+use sws_model::SchemaGraph;
+
+/// The extended-ODL source of the business shrink wrap schema.
+pub const SOURCE: &str = r#"
+schema BusinessObjects {
+    // ---- parties ------------------------------------------------------
+    abstract interface Party {
+        attribute string(64) display_name;
+        relationship set<Address> addresses inverse Address::party;
+        relationship set<Communication> communications inverse Communication::party;
+    }
+    interface Person : Party {
+        attribute string(32) given_name;
+        attribute string(32) family_name;
+        attribute date born;
+    }
+    interface Organization : Party {
+        extent organizations;
+        attribute string(16) tax_id;
+        keys tax_id;
+    }
+    interface Customer : Party {
+        extent customers;
+        attribute string(16) customer_code;
+        attribute double credit_limit;
+        keys customer_code;
+        relationship set<Order> orders inverse Order::placed_by order_by (order_number);
+        double outstanding_balance();
+    }
+    interface Supplier : Organization {
+        attribute string(32) payment_terms;
+        relationship set<Product> supplies inverse Product::supplied_by;
+    }
+    interface EmployeeRecord : Person {
+        attribute unsigned_long payroll_number;
+        relationship set<Order> handled inverse Order::handled_by;
+    }
+    interface Address {
+        attribute string(128) street;
+        attribute string(32) city;
+        attribute string(16) postal_code;
+        attribute string(32) country;
+        relationship Party party inverse Party::addresses;
+    }
+    interface Communication {
+        attribute string(16) kind;
+        attribute string(64) value;
+        relationship Party party inverse Party::communications;
+    }
+
+    // ---- catalog ------------------------------------------------------
+    interface Catalog {
+        extent catalogs;
+        attribute string(32) season;
+        part_of set<CatalogSection> sections inverse CatalogSection::catalog
+            order_by (heading);
+    }
+    interface CatalogSection {
+        attribute string(64) heading;
+        part_of Catalog catalog inverse Catalog::sections;
+        relationship set<Product> features inverse Product::featured_in;
+    }
+    interface Product {
+        extent products;
+        attribute string(16) product_code;
+        attribute string(128) description;
+        keys product_code;
+        relationship Supplier supplied_by inverse Supplier::supplies;
+        relationship set<CatalogSection> featured_in inverse CatalogSection::features;
+        instance_of set<Sku> skus inverse Sku::product;
+        boolean discontinued();
+    }
+    interface Sku {
+        attribute string(24) sku_code;
+        attribute string(32) options;
+        attribute double unit_price;
+        instance_of Product product inverse Product::skus;
+        relationship set<StockLevel> stock inverse StockLevel::sku;
+    }
+    interface StockLevel {
+        attribute string(16) warehouse;
+        attribute unsigned_long on_hand;
+        relationship Sku sku inverse Sku::stock;
+    }
+
+    // ---- orders ---------------------------------------------------------
+    interface Order {
+        extent orders;
+        attribute string(16) order_number;
+        attribute date ordered_on;
+        attribute string(16) status;
+        keys order_number;
+        relationship Customer placed_by inverse Customer::orders;
+        relationship EmployeeRecord handled_by inverse EmployeeRecord::handled;
+        relationship set<Shipment> shipments inverse Shipment::order;
+        relationship Invoice billed_as inverse Invoice::bills;
+        part_of list<OrderLine> lines inverse OrderLine::order order_by (line_number);
+        double total() raises (Unpriced);
+        void cancel(in string reason) raises (AlreadyShipped);
+    }
+    interface OrderLine {
+        attribute unsigned_long line_number;
+        attribute unsigned_long quantity;
+        attribute double agreed_price;
+        part_of Order order inverse Order::lines;
+        relationship Sku ordered_sku inverse Sku::ordered_in;
+    }
+    interface Shipment {
+        attribute string(24) tracking_number;
+        attribute date shipped_on;
+        relationship Order order inverse Order::shipments;
+        relationship Address destination inverse Address::shipments_to;
+    }
+    interface Invoice {
+        extent invoices;
+        attribute string(16) invoice_number;
+        attribute date issued_on;
+        keys invoice_number;
+        relationship Order bills inverse Order::billed_as;
+        part_of list<InvoiceLine> lines inverse InvoiceLine::invoice order_by (line_number);
+        relationship set<Payment> settled_by inverse Payment::settles;
+    }
+    interface InvoiceLine {
+        attribute unsigned_long line_number;
+        attribute string(128) narrative;
+        attribute double amount;
+        part_of Invoice invoice inverse Invoice::lines;
+    }
+    interface Payment {
+        attribute double amount;
+        attribute date received_on;
+        attribute string(16) method;
+        relationship Invoice settles inverse Invoice::settled_by;
+    }
+}
+"#;
+
+/// Build the business schema graph. (Fixes up the two relationship ends
+/// that keep `SOURCE` readable: `Sku::ordered_in` and
+/// `Address::shipments_to`.)
+pub fn graph() -> SchemaGraph {
+    let fixed = SOURCE
+        .replace(
+            "relationship set<StockLevel> stock inverse StockLevel::sku;",
+            "relationship set<StockLevel> stock inverse StockLevel::sku;\n        \
+             relationship set<OrderLine> ordered_in inverse OrderLine::ordered_sku;",
+        )
+        .replace(
+            "relationship Party party inverse Party::addresses;",
+            "relationship Party party inverse Party::addresses;\n        \
+             relationship set<Shipment> shipments_to inverse Shipment::destination;",
+        );
+    crate::load(&fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::query;
+    use sws_odl::HierKind;
+
+    #[test]
+    fn loads_and_is_rich() {
+        let g = graph();
+        assert_eq!(g.type_count(), 19);
+        assert!(g.construct_count() > 80, "{}", g.construct_count());
+    }
+
+    #[test]
+    fn party_hierarchy_is_single_rooted() {
+        let g = graph();
+        let components = query::generalization_components(&g);
+        assert_eq!(components.len(), 1);
+        let roots = query::component_roots(&g, &components[0]);
+        assert_eq!(roots, vec![g.type_id("Party").unwrap()]);
+        assert!(g.ty(roots[0]).is_abstract);
+        // Supplier inherits through Organization to Party.
+        let supplier = g.type_id("Supplier").unwrap();
+        assert!(query::is_ancestor(&g, roots[0], supplier));
+    }
+
+    #[test]
+    fn three_part_of_roots() {
+        let g = graph();
+        let mut roots: Vec<&str> = query::hier_roots(&g, HierKind::PartOf)
+            .into_iter()
+            .map(|t| g.type_name(t))
+            .collect();
+        roots.sort();
+        assert_eq!(roots, vec!["Catalog", "Invoice", "Order"]);
+    }
+
+    #[test]
+    fn sku_chain_is_instance_of() {
+        let g = graph();
+        assert_eq!(
+            query::hier_roots(&g, HierKind::InstanceOf),
+            vec![g.type_id("Product").unwrap()]
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The lumber-yard house parts explosion (paper Fig. 5).
+//!
+//! "The construction supplies necessary to build a house … can be recorded
+//! with the roof of the house consisting of plywood decking, tar paper, and
+//! shingles."
+
+use sws_model::SchemaGraph;
+
+/// The extended-ODL source of the house aggregation schema.
+pub const SOURCE: &str = r#"
+schema LumberYard {
+    interface House {
+        extent houses;
+        attribute string(64) plan_name;
+        attribute unsigned_long square_feet;
+        keys plan_name;
+        part_of set<Structure> structures inverse Structure::house;
+        part_of set<FinishElement> finish_elements inverse FinishElement::house;
+    }
+    interface Structure {
+        attribute string(32) phase;
+        part_of House house inverse House::structures;
+        part_of set<Roof> roofs inverse Roof::structure;
+        part_of set<Foundation> foundations inverse Foundation::structure;
+    }
+    interface Roof {
+        attribute double pitch;
+        part_of Structure structure inverse Structure::roofs;
+        part_of set<PlywoodDecking> decking inverse PlywoodDecking::roof;
+        part_of set<TarPaper> tar_paper inverse TarPaper::roof;
+        part_of set<Shingle> shingles inverse Shingle::roof order_by (sku);
+    }
+    interface Foundation {
+        attribute double depth;
+        part_of Structure structure inverse Structure::foundations;
+        part_of set<Plumbing> plumbing inverse Plumbing::foundation;
+        part_of set<Rebar> rebar inverse Rebar::foundation;
+    }
+    interface FinishElement {
+        attribute string(32) finish_grade;
+        part_of House house inverse House::finish_elements;
+        part_of set<Door> doors inverse Door::finish_element;
+        part_of set<Window> windows inverse Window::finish_element;
+    }
+    interface PlywoodDecking {
+        attribute string(16) sku;
+        attribute double thickness;
+        part_of Roof roof inverse Roof::decking;
+    }
+    interface TarPaper {
+        attribute string(16) sku;
+        attribute unsigned_long weight;
+        part_of Roof roof inverse Roof::tar_paper;
+    }
+    interface Shingle {
+        attribute string(16) sku;
+        attribute string(16) color;
+        part_of Roof roof inverse Roof::shingles;
+    }
+    interface Plumbing {
+        attribute string(16) sku;
+        attribute string(16) material;
+        part_of Foundation foundation inverse Foundation::plumbing;
+    }
+    interface Rebar {
+        attribute string(16) sku;
+        attribute double gauge;
+        part_of Foundation foundation inverse Foundation::rebar;
+    }
+    interface Door {
+        attribute string(16) sku;
+        attribute boolean exterior;
+        part_of FinishElement finish_element inverse FinishElement::doors;
+    }
+    interface Window {
+        attribute string(16) sku;
+        attribute string(16) glazing;
+        part_of FinishElement finish_element inverse FinishElement::windows;
+    }
+}
+"#;
+
+/// Build the house schema graph.
+pub fn graph() -> SchemaGraph {
+    crate::load(SOURCE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::query;
+    use sws_odl::HierKind;
+
+    #[test]
+    fn aggregation_is_rooted_at_house() {
+        let g = graph();
+        let roots = query::hier_roots(&g, HierKind::PartOf);
+        assert_eq!(roots, vec![g.type_id("House").unwrap()]);
+    }
+
+    #[test]
+    fn roof_explodes_into_figure5_parts() {
+        let g = graph();
+        let roof = g.type_id("Roof").unwrap();
+        let mut children: Vec<&str> = query::hier_children(&g, HierKind::PartOf, roof)
+            .into_iter()
+            .map(|(_, c)| g.type_name(c))
+            .collect();
+        children.sort();
+        assert_eq!(children, vec!["PlywoodDecking", "Shingle", "TarPaper"]);
+    }
+
+    #[test]
+    fn closure_covers_the_whole_explosion() {
+        let g = graph();
+        let house = g.type_id("House").unwrap();
+        let (types, links) = query::hier_closure(&g, HierKind::PartOf, house);
+        assert_eq!(types.len(), g.type_count());
+        assert_eq!(links.len(), g.links().count());
+    }
+}

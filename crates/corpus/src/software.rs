@@ -1,0 +1,75 @@
+//! The EMSL software-version schema (paper Fig. 6).
+//!
+//! "The C compiler is an application object that is related to many
+//! versions … version 3.0 may have been compiled on many different
+//! machines, each compilation creating a compiled version … The executable
+//! is in turn installed on many machines" — a *linear* sequence of
+//! instance-of links: Application → Version → CompiledVersion →
+//! InstalledVersion.
+
+use sws_model::SchemaGraph;
+
+/// The extended-ODL source of the software-version schema.
+pub const SOURCE: &str = r#"
+schema Emsl {
+    interface Application {
+        extent applications;
+        attribute string(64) name;
+        attribute string(64) vendor;
+        keys name;
+        instance_of set<Version> versions inverse Version::application;
+    }
+    interface Version {
+        attribute string(16) version_number;
+        attribute date released;
+        instance_of Application application inverse Application::versions;
+        instance_of set<CompiledVersion> compilations inverse CompiledVersion::version;
+    }
+    interface CompiledVersion {
+        attribute string(32) machine_type;
+        attribute string(32) compiler_flags;
+        instance_of Version version inverse Version::compilations;
+        instance_of set<InstalledVersion> installations inverse InstalledVersion::compiled_version;
+    }
+    interface InstalledVersion {
+        attribute string(64) machine;
+        attribute string(128) install_path;
+        attribute date installed_on;
+        instance_of CompiledVersion compiled_version inverse CompiledVersion::installations;
+    }
+}
+"#;
+
+/// Build the software-version schema graph.
+pub fn graph() -> SchemaGraph {
+    crate::load(SOURCE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::query;
+    use sws_odl::HierKind;
+
+    #[test]
+    fn chain_is_rooted_at_application() {
+        let g = graph();
+        assert_eq!(
+            query::hier_roots(&g, HierKind::InstanceOf),
+            vec![g.type_id("Application").unwrap()]
+        );
+    }
+
+    #[test]
+    fn chain_is_linear_with_three_links() {
+        let g = graph();
+        let app = g.type_id("Application").unwrap();
+        let (types, links) = query::hier_closure(&g, HierKind::InstanceOf, app);
+        assert_eq!(types.len(), 4);
+        assert_eq!(links.len(), 3);
+        // Linear: every member has at most one instance-of child.
+        for &t in &types {
+            assert!(query::hier_children(&g, HierKind::InstanceOf, t).len() <= 1);
+        }
+    }
+}

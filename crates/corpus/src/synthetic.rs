@@ -1,0 +1,212 @@
+//! Deterministic synthetic schema generator, for scaling benches and
+//! property tests.
+//!
+//! Generated schemas are always well-formed: member names are globally
+//! unique (so no inheritance conflicts), generalization and hierarchy links
+//! only point from higher to lower indices (so no cycles), and every
+//! relationship is created with both ends at once.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sws_model::SchemaGraph;
+use sws_odl::{Cardinality, CollectionKind, DomainType, HierKind, Key, Operation, Param};
+
+/// Parameters of a synthetic schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Number of object types.
+    pub types: usize,
+    /// Attributes per type.
+    pub attrs_per_type: usize,
+    /// Operations per type.
+    pub ops_per_type: usize,
+    /// Total relationships (each connects two random types).
+    pub relationships: usize,
+    /// Fraction (in percent) of types that get a supertype.
+    pub generalization_pct: u32,
+    /// Total part-of links.
+    pub part_of_links: usize,
+    /// Total instance-of links.
+    pub instance_of_links: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// A spec scaled to roughly `n` types with proportionate members.
+    pub fn sized(n: usize, seed: u64) -> Self {
+        SyntheticSpec {
+            types: n,
+            attrs_per_type: 4,
+            ops_per_type: 1,
+            relationships: n * 2,
+            generalization_pct: 40,
+            part_of_links: n / 4,
+            instance_of_links: n / 8,
+            seed,
+        }
+    }
+
+    /// Generate the schema.
+    pub fn generate(&self) -> SchemaGraph {
+        let mut g = SchemaGraph::new(format!("synthetic_{}", self.types));
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut type_ids = Vec::with_capacity(self.types);
+
+        for i in 0..self.types {
+            let id = g.add_type(&format!("Type{i}")).expect("fresh name");
+            type_ids.push(id);
+            for j in 0..self.attrs_per_type {
+                let domain = match rng.gen_range(0..5u32) {
+                    0 => DomainType::Long,
+                    1 => DomainType::Double,
+                    2 => DomainType::Bool,
+                    3 => DomainType::set_of(DomainType::String),
+                    _ => DomainType::String,
+                };
+                let size = if domain == DomainType::String && rng.gen_bool(0.5) {
+                    Some(rng.gen_range(8..256))
+                } else {
+                    None
+                };
+                g.add_attribute(id, &format!("t{i}_a{j}"), domain, size)
+                    .expect("fresh name");
+            }
+            for j in 0..self.ops_per_type {
+                let op = Operation {
+                    name: format!("t{i}_op{j}"),
+                    return_type: DomainType::Void,
+                    args: vec![Param::input(format!("t{i}_op{j}_x"), DomainType::Long)],
+                    raises: Vec::new(),
+                };
+                g.add_operation(id, op).expect("fresh name");
+            }
+            if self.attrs_per_type > 0 && rng.gen_bool(0.3) {
+                g.add_key(id, Key::single(format!("t{i}_a0")))
+                    .expect("fresh key");
+            }
+            if rng.gen_bool(0.2) {
+                g.set_extent(id, Some(format!("extent_t{i}")))
+                    .expect("fresh extent");
+            }
+        }
+
+        // Generalization: types with index > 0 may pick an earlier supertype.
+        for i in 1..self.types {
+            if rng.gen_range(0..100) < self.generalization_pct {
+                let sup = type_ids[rng.gen_range(0..i)];
+                g.add_supertype(type_ids[i], sup)
+                    .expect("acyclic by index order");
+            }
+        }
+
+        // Relationships: random pairs, globally unique paths.
+        for k in 0..self.relationships {
+            let a = type_ids[rng.gen_range(0..self.types)];
+            let b = type_ids[rng.gen_range(0..self.types)];
+            let card = if rng.gen_bool(0.6) {
+                Cardinality::Many(CollectionKind::Set)
+            } else {
+                Cardinality::One
+            };
+            g.add_relationship(
+                a,
+                &format!("rel{k}"),
+                card,
+                Vec::new(),
+                b,
+                &format!("rel{k}_inv"),
+                Cardinality::One,
+                Vec::new(),
+            )
+            .expect("fresh paths");
+        }
+
+        // Hierarchy links: parent index < child index keeps them acyclic.
+        if self.types >= 2 {
+            for k in 0..self.part_of_links {
+                let pi = rng.gen_range(0..self.types - 1);
+                let ci = rng.gen_range(pi + 1..self.types);
+                g.add_link(
+                    HierKind::PartOf,
+                    type_ids[pi],
+                    &format!("po{k}_parts"),
+                    CollectionKind::Set,
+                    Vec::new(),
+                    type_ids[ci],
+                    &format!("po{k}_whole"),
+                )
+                .expect("acyclic by index order");
+            }
+            for k in 0..self.instance_of_links {
+                let pi = rng.gen_range(0..self.types - 1);
+                let ci = rng.gen_range(pi + 1..self.types);
+                g.add_link(
+                    HierKind::InstanceOf,
+                    type_ids[pi],
+                    &format!("io{k}_instances"),
+                    CollectionKind::Set,
+                    Vec::new(),
+                    type_ids[ci],
+                    &format!("io{k}_generic"),
+                )
+                .expect("acyclic by index order");
+            }
+        }
+
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let spec = SyntheticSpec::sized(40, 7);
+        let a = sws_model::graph_to_schema(&spec.generate());
+        let b = sws_model::graph_to_schema(&spec.generate());
+        assert_eq!(a, b);
+        let c = sws_model::graph_to_schema(&SyntheticSpec { seed: 8, ..spec }.generate());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_schemas_are_well_formed() {
+        for n in [5, 50, 200] {
+            let g = SyntheticSpec::sized(n, 42).generate();
+            assert_eq!(g.type_count(), n);
+            let issues = sws_model::check_well_formed(&g);
+            assert!(issues.is_empty(), "n={n}: {issues:?}");
+        }
+    }
+
+    #[test]
+    fn generated_schemas_round_trip_through_odl() {
+        let g = SyntheticSpec::sized(30, 3).generate();
+        let text = sws_odl::print_schema(&sws_model::graph_to_schema(&g));
+        let reparsed = sws_odl::parse_schema(&text).unwrap();
+        let relowered = sws_model::schema_to_graph(&reparsed).unwrap();
+        assert_eq!(
+            sws_model::graph_to_schema(&relowered),
+            sws_model::graph_to_schema(&g)
+        );
+    }
+
+    #[test]
+    fn tiny_specs_work() {
+        let g = SyntheticSpec {
+            types: 1,
+            attrs_per_type: 0,
+            ops_per_type: 0,
+            relationships: 0,
+            generalization_pct: 0,
+            part_of_links: 0,
+            instance_of_links: 0,
+            seed: 0,
+        }
+        .generate();
+        assert_eq!(g.type_count(), 1);
+    }
+}

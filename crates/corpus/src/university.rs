@@ -1,0 +1,176 @@
+//! The university conceptual schema (paper Figs. 3, 4, 7, 8).
+//!
+//! * The **course offering** neighbourhood (Fig. 3): a `CourseOffering` is
+//!   an offering of a `Course` (instance-of), described by a `Syllabus`,
+//!   with books, a time slot, a room, and a duration.
+//! * The **student generalization hierarchy** (Fig. 4): Student ←
+//!   {Undergraduate, Graduate}; Graduate ← {Masters, PhD}; Masters ←
+//!   NonThesisMasters.
+//! * The **department/employee** relationship (Fig. 8): `Department has
+//!   set<Employee>` with inverse `works_in_a`, plus a `Student` sibling —
+//!   the setup for the `modify_relationship_target_type` example.
+//!
+//! The `Schedule` aggregation of Fig. 7 is *not* part of the shrink wrap
+//! schema: the Fig. 7 experiment adds it by elaboration.
+
+use sws_model::SchemaGraph;
+
+/// The extended-ODL source of the university shrink wrap schema.
+pub const SOURCE: &str = r#"
+schema University {
+    interface Person {
+        extent people;
+        attribute string(64) name;
+        attribute string(128) address;
+        keys name;
+    }
+
+    // ---- Fig. 4: the student generalization hierarchy ---------------
+    interface Student : Person {
+        attribute unsigned_long student_id;
+        relationship set<CourseOffering> enrolled_in
+            inverse CourseOffering::enrolls order_by (room);
+        float gpa(in unsigned_long term) raises (NoGrades);
+    }
+    interface Undergraduate : Student {
+        attribute string(32) residence_hall;
+    }
+    interface Graduate : Student {
+        attribute string(64) thesis_topic;
+        relationship Faculty advised_by inverse Faculty::advises;
+    }
+    interface Masters : Graduate {
+        attribute boolean thesis_option;
+    }
+    interface PhD : Graduate {
+        attribute date candidacy_date;
+    }
+    interface NonThesisMasters : Masters {
+        attribute unsigned_long exam_credits;
+    }
+
+    // ---- employees and departments (Fig. 8) --------------------------
+    interface Employee : Person {
+        attribute unsigned_long badge;
+        attribute double salary;
+        relationship Department works_in_a inverse Department::has;
+    }
+    interface Faculty : Employee {
+        attribute string(32) rank;
+        relationship set<CourseOffering> teaches inverse CourseOffering::taught_by;
+        relationship set<Graduate> advises inverse Graduate::advised_by;
+    }
+    interface Department {
+        extent departments;
+        attribute string(64) dept_name;
+        keys dept_name;
+        relationship set<Employee> has inverse Employee::works_in_a order_by (badge);
+        relationship set<Course> offers inverse Course::offered_by;
+    }
+
+    // ---- courses and offerings (Fig. 3) -----------------------------
+    interface Course {
+        extent courses;
+        attribute string(16) number;
+        attribute string(64) title;
+        attribute unsigned_long credits;
+        keys number;
+        relationship Department offered_by inverse Department::offers;
+        instance_of set<CourseOffering> offerings inverse CourseOffering::course;
+    }
+    interface CourseOffering {
+        extent course_offerings;
+        attribute string(16) room;
+        attribute unsigned_long duration;
+        attribute unsigned_long term;
+        instance_of Course course inverse Course::offerings;
+        relationship Syllabus described_by inverse Syllabus::describes;
+        relationship set<Book> books inverse Book::book_for;
+        relationship TimeSlot offered_during inverse TimeSlot::offerings;
+        relationship set<Student> enrolls inverse Student::enrolled_in;
+        relationship Faculty taught_by inverse Faculty::teaches;
+    }
+    interface Syllabus {
+        attribute string(128) objectives;
+        relationship CourseOffering describes inverse CourseOffering::described_by;
+    }
+    interface Book {
+        attribute string(64) title;
+        attribute string(16) isbn;
+        keys isbn;
+        relationship set<CourseOffering> book_for inverse CourseOffering::books;
+    }
+    interface TimeSlot {
+        attribute time starts;
+        attribute time ends;
+        attribute string(16) days;
+        relationship set<CourseOffering> offerings inverse CourseOffering::offered_during;
+    }
+}
+"#;
+
+/// Build the university schema graph.
+pub fn graph() -> SchemaGraph {
+    crate::load(SOURCE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::query;
+
+    #[test]
+    fn loads_with_expected_shape() {
+        let g = graph();
+        assert_eq!(g.type_count(), 15);
+        assert!(g.type_id("CourseOffering").is_some());
+        assert!(g.type_id("NonThesisMasters").is_some());
+    }
+
+    #[test]
+    fn figure4_hierarchy_is_present() {
+        let g = graph();
+        let student = g.type_id("Student").unwrap();
+        let ntm = g.type_id("NonThesisMasters").unwrap();
+        assert!(query::is_ancestor(&g, student, ntm));
+        // Person roots the single generalization component.
+        let components = query::generalization_components(&g);
+        assert_eq!(components.len(), 1);
+        let roots = query::component_roots(&g, &components[0]);
+        assert_eq!(roots, vec![g.type_id("Person").unwrap()]);
+    }
+
+    #[test]
+    fn figure3_spokes_are_present() {
+        let g = graph();
+        let co = g.type_id("CourseOffering").unwrap();
+        for path in [
+            "described_by",
+            "books",
+            "offered_during",
+            "enrolls",
+            "taught_by",
+        ] {
+            assert!(g.find_rel_end(co, path).is_some(), "missing spoke {path}");
+        }
+        assert!(g
+            .find_link(sws_odl::HierKind::InstanceOf, co, "course")
+            .is_some());
+    }
+
+    #[test]
+    fn figure8_relationship_is_present() {
+        let g = graph();
+        let dept = g.type_id("Department").unwrap();
+        let (rid, e) = g.find_rel_end(dept, "has").unwrap();
+        let other = g.rel(rid).other(e);
+        assert_eq!(g.type_name(other.owner), "Employee");
+        assert_eq!(other.path, "works_in_a");
+    }
+
+    #[test]
+    fn schedule_is_not_in_the_shrink_wrap() {
+        // Fig. 7 adds it by elaboration.
+        assert!(graph().type_id("Schedule").is_none());
+    }
+}

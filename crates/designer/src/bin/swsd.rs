@@ -1,0 +1,77 @@
+//! `swsd` — the interactive shrink-wrap-schema designer.
+//!
+//! Usage:
+//!
+//! ```text
+//! swsd --schema <shrink_wrap.odl>   start a fresh session on a schema
+//! swsd --session <dir>              resume a saved session
+//! ```
+//!
+//! Reads commands from stdin (see `help`), writes to stdout. Scriptable:
+//! `swsd --schema uni.odl < script.txt`.
+
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use std::process::ExitCode;
+
+use sws_designer::{execute, CommandOutcome, Session};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let session = match args.as_slice() {
+        [flag, value] if flag == "--schema" => {
+            let source = match std::fs::read_to_string(value) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("swsd: cannot read {value}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            Session::from_odl(&source)
+        }
+        [flag, value] if flag == "--session" => Session::load(Path::new(value)),
+        _ => {
+            eprintln!("usage: swsd --schema <file.odl> | --session <dir>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut session = match session {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("swsd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let created = session.repository().created_roots().to_vec();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(
+        out,
+        "shrink wrap schema loaded: {} types, {} concept schemas (`help` for commands)",
+        session.repository().workspace().working().type_count(),
+        session.concept_list().len()
+    );
+    for root in created {
+        let _ = writeln!(
+            out,
+            "note: synthesized abstract root `{root}` (single-root rule)"
+        );
+    }
+
+    let stdin = io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        match execute(&mut session, &line) {
+            CommandOutcome::Continue(text) => {
+                let _ = write!(out, "{text}");
+                let _ = out.flush();
+            }
+            CommandOutcome::Quit => break,
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,81 @@
+//! `swsdiff` — diff two extended-ODL schemas and synthesize the
+//! modification-operation script that transforms one into the other (the
+//! constructive §3.5 completeness argument as a command-line tool).
+//!
+//! ```text
+//! swsdiff <old.odl> <new.odl>            print the op script
+//! swsdiff --check <old.odl> <new.odl>    also replay + verify, print stats
+//! ```
+//!
+//! Exit code 0 when the schemas are identical, 1 when they differ, 2 on
+//! error — usable as a schema drift check in CI.
+
+use std::process::ExitCode;
+
+use sws_core::oplang::print_script;
+use sws_core::ops::synthesize::synthesize;
+use sws_core::Workspace;
+use sws_model::{graph_to_schema, schema_to_graph, SchemaGraph};
+use sws_odl::parse_schema;
+
+fn load(path: &str) -> Result<SchemaGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let ast = parse_schema(&text).map_err(|e| format!("{path}: {e}"))?;
+    schema_to_graph(&ast).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (check, files): (bool, Vec<&String>) = match args.as_slice() {
+        [flag, rest @ ..] if flag == "--check" => (true, rest.iter().collect()),
+        rest => (false, rest.iter().collect()),
+    };
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!("usage: swsdiff [--check] <old.odl> <new.odl>");
+        return ExitCode::from(2);
+    };
+
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("swsdiff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let script = synthesize(&old, &new);
+    if script.is_empty() {
+        println!("// schemas are identical");
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", print_script(&script));
+
+    if check {
+        let mut ws = Workspace::new(old);
+        for (i, op) in script.iter().enumerate() {
+            let context = {
+                let matrix = sws_core::ops::PermissionMatrix::new();
+                if matrix.allows(sws_core::ConceptKind::WagonWheel, op.kind()) {
+                    sws_core::ConceptKind::WagonWheel
+                } else {
+                    matrix.permitting_contexts(op.kind())[0]
+                }
+            };
+            if let Err(e) = ws.apply(context, op.clone()) {
+                eprintln!("swsdiff: replay failed at op {i}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if graph_to_schema(ws.working()).interfaces != graph_to_schema(&new).interfaces {
+            eprintln!("swsdiff: internal error: replay does not reach the target");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "// verified: {} operation(s) transform {} into {}",
+            script.len(),
+            old_path,
+            new_path
+        );
+    }
+    ExitCode::FAILURE // schemas differ
+}

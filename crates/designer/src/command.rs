@@ -1,0 +1,303 @@
+//! The REPL command interpreter behind `swsd`.
+//!
+//! Anything that is not a built-in command is treated as a
+//! modification-language statement and issued in the current
+//! concept-schema context. Built-ins:
+//!
+//! ```text
+//! help                      show this list
+//! concepts                  list the concept schemas of the working schema
+//! show <n>                  display concept schema #n
+//! use <n>                   select concept schema #n as the context
+//! context <tag>             switch context by kind
+//!                           (wagon_wheel | generalization | aggregation | instance_of)
+//! odl [shrinkwrap]          print the custom (or shrink wrap) schema as ODL
+//! map                       print the shrink-wrap <-> custom mapping
+//! check                     run the consistency checks
+//! log                       print the operation log
+//! undo / redo               step through history
+//! save <dir> / load <dir>   persist / restore the session
+//! quit                      end the session
+//! ```
+
+use crate::session::{Session, SessionError};
+use std::path::Path;
+use sws_core::ConceptKind;
+
+/// What the interpreter wants the host loop to do next.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CommandOutcome {
+    /// Print this text and continue.
+    Continue(String),
+    /// End the session.
+    Quit,
+}
+
+/// Execute one REPL line against the session. `load` replaces the session
+/// in place.
+pub fn execute(session: &mut Session, line: &str) -> CommandOutcome {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+        return CommandOutcome::Continue(String::new());
+    }
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    let result = match cmd {
+        "quit" | "exit" => return CommandOutcome::Quit,
+        "help" => Ok(HELP.to_string()),
+        "concepts" => Ok(render_concepts(session)),
+        "show" => show(session, rest),
+        "use" => use_concept(session, rest),
+        "context" => set_context(session, rest),
+        "odl" => Ok(match rest {
+            "shrinkwrap" => session.repository().shrink_wrap_odl(),
+            "local" => session.repository().custom_schema_local_odl(),
+            _ => session.repository().custom_schema_odl(),
+        }),
+        "alias" => alias_command(session, rest),
+        "aliases" => {
+            let table = session.repository().aliases();
+            Ok(if table.is_empty() {
+                "no local names registered\n".into()
+            } else {
+                table.render()
+            })
+        }
+        "explain" => explain_concept(session, rest),
+        "advise" => {
+            let report = session.consistency();
+            let advice = sws_core::advise(&report, session.repository().workspace().working());
+            Ok(if advice.is_empty() {
+                "nothing to advise\n".into()
+            } else {
+                let mut out = String::new();
+                for s in advice {
+                    out.push_str(&format!("{}\n", s.finding));
+                    for candidate in s.candidates {
+                        out.push_str(&format!("  -> {candidate}\n"));
+                    }
+                }
+                out
+            })
+        }
+        "report" => Ok(sws_core::DesignReport::generate(session.repository().workspace()).render()),
+        "map" => Ok(session.mapping().render()),
+        "check" => {
+            let report = session.consistency();
+            Ok(if report.is_clean() {
+                "consistent: no findings\n".into()
+            } else {
+                report.render()
+            })
+        }
+        "log" => Ok(session.repository().render_log()),
+        "undo" => session.undo().map(|()| "undone\n".to_string()),
+        "redo" => session.redo().map(|()| "redone\n".to_string()),
+        "save" => session
+            .save(Path::new(rest))
+            .map(|()| format!("saved to {rest}\n")),
+        "load" => Session::load(Path::new(rest)).map(|loaded| {
+            *session = loaded;
+            format!("loaded from {rest}\n")
+        }),
+        _ => session.issue_str(line).map(|fb| fb.render()),
+    };
+    match result {
+        Ok(text) => CommandOutcome::Continue(text),
+        Err(e) => CommandOutcome::Continue(format!("error: {e}\n")),
+    }
+}
+
+const HELP: &str = "\
+commands:
+  concepts | show <n> | use <n> | context <tag> | explain <n>
+  odl [shrinkwrap|local] | map | check | advise | report | log
+  alias type <T> <Local> | alias member <T> <m> <Local> | aliases
+  undo | redo | save <dir> | load <dir> | quit
+anything else is a modification-language statement, e.g.
+  add_attribute(CourseOffering, string(16), room)
+";
+
+fn render_concepts(session: &Session) -> String {
+    let mut out = String::new();
+    for (i, cs) in session.concept_list().iter().enumerate() {
+        out.push_str(&format!(
+            "{i:>3}  {} ({} elements)\n",
+            cs.name,
+            cs.element_count()
+        ));
+    }
+    out
+}
+
+fn show(session: &Session, rest: &str) -> Result<String, SessionError> {
+    let index = parse_index(rest)?;
+    let list = session.concept_list();
+    let cs = list.get(index).ok_or(SessionError::NoSuchConcept(index))?;
+    Ok(cs.describe(session.repository().workspace().working()))
+}
+
+fn explain_concept(session: &Session, rest: &str) -> Result<String, SessionError> {
+    let index = parse_index(rest)?;
+    let list = session.concept_list();
+    let cs = list.get(index).ok_or(SessionError::NoSuchConcept(index))?;
+    Ok(sws_core::explain(
+        cs,
+        session.repository().workspace().working(),
+    ))
+}
+
+fn use_concept(session: &mut Session, rest: &str) -> Result<String, SessionError> {
+    let index = parse_index(rest)?;
+    let cs = session.select(index)?;
+    Ok(format!("context: {}\n", cs.name))
+}
+
+fn set_context(session: &mut Session, rest: &str) -> Result<String, SessionError> {
+    match ConceptKind::from_tag(rest) {
+        Some(kind) => {
+            session.set_context(kind);
+            Ok(format!("context: {}\n", kind.name()))
+        }
+        None => Err(SessionError::NoSuchConcept(usize::MAX)),
+    }
+}
+
+fn parse_index(rest: &str) -> Result<usize, SessionError> {
+    rest.parse()
+        .map_err(|_| SessionError::NoSuchConcept(usize::MAX))
+}
+
+/// `alias type <Canonical> <Local>` / `alias member <Type> <Member> <Local>`.
+fn alias_command(session: &mut Session, rest: &str) -> Result<String, SessionError> {
+    let words: Vec<&str> = rest.split_whitespace().collect();
+    match words.as_slice() {
+        ["type", canonical, local] => {
+            session.set_alias(canonical, None, local)?;
+            Ok(format!("local name: {canonical} -> {local}\n"))
+        }
+        ["member", ty, member, local] => {
+            session.set_alias(ty, Some(member), local)?;
+            Ok(format!("local name: {ty}::{member} -> {local}\n"))
+        }
+        _ => Ok(
+            "usage: alias type <Canonical> <Local> | alias member <Type> <Member> <Local>\n"
+                .to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Session::from_odl(
+            r#"
+            interface Person { attribute string name; }
+            interface Employee : Person { attribute long badge; }
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn run(s: &mut Session, line: &str) -> String {
+        match execute(s, line) {
+            CommandOutcome::Continue(text) => text,
+            CommandOutcome::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn full_interactive_flow() {
+        let mut s = session();
+        assert!(run(&mut s, "help").contains("commands:"));
+        let concepts = run(&mut s, "concepts");
+        assert!(concepts.contains("wagon wheel: Person"));
+        assert!(concepts.contains("generalization hierarchy: Person"));
+        assert!(run(&mut s, "show 0").contains("(focal)"));
+        assert!(run(&mut s, "use 0").contains("context: wagon wheel"));
+        let fb = run(&mut s, "add_attribute(Person, date, birthday)");
+        assert!(fb.contains("applied:"), "{fb}");
+        assert!(run(&mut s, "odl").contains("birthday"));
+        assert!(run(&mut s, "map").contains("added"));
+        assert!(run(&mut s, "log").contains("add_attribute"));
+        assert!(run(&mut s, "undo").contains("undone"));
+        assert!(!run(&mut s, "odl").contains("birthday"));
+        assert!(run(&mut s, "redo").contains("redone"));
+        assert_eq!(execute(&mut s, "quit"), CommandOutcome::Quit);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = session();
+        assert!(run(&mut s, "add_type_definition(Person)").starts_with("error:"));
+        assert!(run(&mut s, "show 99").starts_with("error:"));
+        assert!(run(&mut s, "context bogus").starts_with("error:"));
+        assert!(run(&mut s, "nonsense(").starts_with("error:"));
+    }
+
+    #[test]
+    fn context_switching() {
+        let mut s = session();
+        assert!(run(&mut s, "context generalization").contains("generalization"));
+        let fb = run(&mut s, "modify_attribute(Employee, badge, Person)");
+        assert!(fb.contains("applied:"), "{fb}");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let mut s = session();
+        assert_eq!(run(&mut s, ""), "");
+        assert_eq!(run(&mut s, "# comment"), "");
+        assert_eq!(run(&mut s, "// comment"), "");
+    }
+
+    #[test]
+    fn explain_advise_report_commands() {
+        let mut s = session();
+        let text = run(&mut s, "explain 0");
+        assert!(
+            text.contains("centred on the object type `Person`"),
+            "{text}"
+        );
+        assert!(run(&mut s, "advise").contains("nothing to advise"));
+        // Create a finding, then ask for advice and the full report.
+        run(&mut s, "add_type_definition(Loner)");
+        let advice = run(&mut s, "advise");
+        assert!(advice.contains("delete_type_definition(Loner)"), "{advice}");
+        let report = run(&mut s, "report");
+        assert!(report.contains("# Design report"), "{report}");
+        assert!(report.contains("add_type_definition(Loner)"));
+    }
+
+    #[test]
+    fn alias_commands() {
+        let mut s = session();
+        assert!(run(&mut s, "aliases").contains("no local names"));
+        assert!(run(&mut s, "alias type Employee StaffMember").contains("->"));
+        assert!(run(&mut s, "alias member Employee badge staff_id").contains("->"));
+        let local = run(&mut s, "odl local");
+        assert!(local.contains("interface StaffMember"), "{local}");
+        assert!(local.contains("staff_id"));
+        // Canonical view untouched.
+        assert!(run(&mut s, "odl").contains("interface Employee"));
+        assert!(run(&mut s, "aliases").contains("type\tEmployee\tStaffMember"));
+        // Collision rejected (StaffMember is Employee's local name);
+        // undo reverts the aliases.
+        assert!(run(&mut s, "alias type Person StaffMember").starts_with("error:"));
+        run(&mut s, "undo");
+        run(&mut s, "undo");
+        assert!(run(&mut s, "aliases").contains("no local names"));
+    }
+
+    #[test]
+    fn check_command_reports() {
+        let mut s = session();
+        let out = run(&mut s, "check");
+        // Person/Employee is clean.
+        assert!(out.contains("consistent"), "{out}");
+    }
+}

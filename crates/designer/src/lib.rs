@@ -1,0 +1,15 @@
+//! The interactive schema designer (paper Fig. 1, activity 4).
+//!
+//! The paper's tool presents the shrink wrap schema one concept schema at a
+//! time; the designer issues modification operations against the selected
+//! concept schema and receives feedback (errors, warnings, impact). The
+//! GUI was explicitly left unfinished in the paper; this crate implements
+//! the complete interactive *semantics* behind a programmatic [`Session`]
+//! API and a textual REPL (the `swsd` binary), exercising the same
+//! pipeline a graphical front end would.
+
+pub mod command;
+pub mod session;
+
+pub use command::{execute, CommandOutcome};
+pub use session::{Session, SessionError};

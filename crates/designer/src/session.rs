@@ -1,0 +1,332 @@
+//! The interactive design session: concept-schema navigation, operation
+//! issuing, feedback, and undo/redo.
+
+use std::fmt;
+use std::path::Path;
+
+use sws_core::concept::{ConceptSchema, Decomposition};
+use sws_core::consistency::ConsistencyReport;
+use sws_core::oplang::parse_statement;
+use sws_core::{ConceptKind, Feedback, Mapping, ModOp, OpError};
+use sws_odl::OdlError;
+use sws_repository::{RepoError, Repository};
+
+/// Errors surfaced to the designer.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The operation was rejected (permission or constraints).
+    Op(OpError),
+    /// The statement did not parse.
+    Parse(OdlError),
+    /// No concept schema with that index.
+    NoSuchConcept(usize),
+    /// Nothing to undo / redo.
+    NothingToUndo,
+    /// Nothing to redo.
+    NothingToRedo,
+    /// Repository persistence failed.
+    Repo(RepoError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Op(e) => write!(f, "{e}"),
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::NoSuchConcept(i) => write!(f, "no concept schema #{i}"),
+            SessionError::NothingToUndo => f.write_str("nothing to undo"),
+            SessionError::NothingToRedo => f.write_str("nothing to redo"),
+            SessionError::Repo(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<OpError> for SessionError {
+    fn from(e: OpError) -> Self {
+        SessionError::Op(e)
+    }
+}
+
+impl From<OdlError> for SessionError {
+    fn from(e: OdlError) -> Self {
+        SessionError::Parse(e)
+    }
+}
+
+impl From<RepoError> for SessionError {
+    fn from(e: RepoError) -> Self {
+        SessionError::Repo(e)
+    }
+}
+
+/// One interactive design session.
+#[derive(Debug)]
+pub struct Session {
+    repo: Repository,
+    context: ConceptKind,
+    focus: Option<String>,
+    undo_stack: Vec<Repository>,
+    redo_stack: Vec<Repository>,
+}
+
+impl Session {
+    /// Open a session on a repository. The initial context is a wagon
+    /// wheel (the paper: wagon wheels carry most modifications).
+    pub fn new(repo: Repository) -> Self {
+        Session {
+            repo,
+            context: ConceptKind::WagonWheel,
+            focus: None,
+            undo_stack: Vec::new(),
+            redo_stack: Vec::new(),
+        }
+    }
+
+    /// Open a session directly on extended-ODL source.
+    pub fn from_odl(source: &str) -> Result<Self, SessionError> {
+        Ok(Session::new(Repository::ingest_odl(source)?))
+    }
+
+    /// The repository (live).
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// The repository, mutably (e.g. to register local names). Alias
+    /// changes participate in undo/redo like operations do.
+    pub fn repository_mut(&mut self) -> &mut Repository {
+        &mut self.repo
+    }
+
+    /// Register a local (display/export) name, snapshotting for undo.
+    pub fn set_alias(
+        &mut self,
+        ty: &str,
+        member: Option<&str>,
+        local: &str,
+    ) -> Result<(), SessionError> {
+        let snapshot = self.repo.clone();
+        let result = match member {
+            None => self.repo.set_type_alias(ty, local),
+            Some(member) => self.repo.set_member_alias(ty, member, local),
+        };
+        match result {
+            Ok(()) => {
+                self.undo_stack.push(snapshot);
+                self.redo_stack.clear();
+                Ok(())
+            }
+            Err(e) => Err(SessionError::Repo(e)),
+        }
+    }
+
+    /// The current concept-schema context kind.
+    pub fn context(&self) -> ConceptKind {
+        self.context
+    }
+
+    /// The display name of the selected concept schema, if one is selected.
+    pub fn focus(&self) -> Option<&str> {
+        self.focus.as_deref()
+    }
+
+    /// Decompose the current working schema.
+    pub fn concepts(&self) -> Decomposition {
+        self.repo.workspace().concept_schemas()
+    }
+
+    /// Flat, indexed list of all concept schemas (wagon wheels first).
+    pub fn concept_list(&self) -> Vec<ConceptSchema> {
+        self.concepts().all().cloned().collect()
+    }
+
+    /// Select concept schema `index` (from [`Self::concept_list`]); future
+    /// operations are issued in its context.
+    pub fn select(&mut self, index: usize) -> Result<ConceptSchema, SessionError> {
+        let list = self.concept_list();
+        let cs = list.get(index).ok_or(SessionError::NoSuchConcept(index))?;
+        self.context = cs.kind;
+        self.focus = Some(cs.name.clone());
+        Ok(cs.clone())
+    }
+
+    /// Switch context by kind without selecting a specific concept schema.
+    pub fn set_context(&mut self, kind: ConceptKind) {
+        self.context = kind;
+        self.focus = None;
+    }
+
+    /// Issue an already-parsed operation in the current context.
+    pub fn issue(&mut self, op: ModOp) -> Result<Feedback, SessionError> {
+        let snapshot = self.repo.clone();
+        let feedback = self.repo.workspace_mut().apply(self.context, op)?;
+        self.undo_stack.push(snapshot);
+        self.redo_stack.clear();
+        Ok(feedback)
+    }
+
+    /// Parse a modification-language statement and issue it.
+    pub fn issue_str(&mut self, statement: &str) -> Result<Feedback, SessionError> {
+        let op = parse_statement(statement)?;
+        self.issue(op)
+    }
+
+    /// Undo the last applied operation.
+    pub fn undo(&mut self) -> Result<(), SessionError> {
+        let snapshot = self.undo_stack.pop().ok_or(SessionError::NothingToUndo)?;
+        self.redo_stack
+            .push(std::mem::replace(&mut self.repo, snapshot));
+        Ok(())
+    }
+
+    /// Redo the last undone operation.
+    pub fn redo(&mut self) -> Result<(), SessionError> {
+        let snapshot = self.redo_stack.pop().ok_or(SessionError::NothingToRedo)?;
+        self.undo_stack
+            .push(std::mem::replace(&mut self.repo, snapshot));
+        Ok(())
+    }
+
+    /// Derive the mapping report.
+    pub fn mapping(&self) -> Mapping {
+        self.repo.mapping()
+    }
+
+    /// Run the consistency checks.
+    pub fn consistency(&self) -> ConsistencyReport {
+        self.repo.consistency()
+    }
+
+    /// Save the session.
+    pub fn save(&self, dir: &Path) -> Result<(), SessionError> {
+        self.repo.save(dir).map_err(SessionError::from)
+    }
+
+    /// Load a session from disk.
+    pub fn load(dir: &Path) -> Result<Self, SessionError> {
+        Ok(Session::new(Repository::load(dir)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_model::graph_to_schema;
+
+    const SRC: &str = r#"
+    schema Dept {
+        interface Person { attribute string name; }
+        interface Employee : Person {
+            attribute long badge;
+            relationship Department works_in_a inverse Department::has;
+        }
+        interface Department {
+            relationship set<Employee> has inverse Employee::works_in_a;
+        }
+    }"#;
+
+    fn session() -> Session {
+        Session::from_odl(SRC).unwrap()
+    }
+
+    #[test]
+    fn issue_respects_current_context() {
+        let mut s = session();
+        // Default context: wagon wheel — moves rejected.
+        let err = s
+            .issue_str("modify_attribute(Employee, badge, Person)")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Op(OpError::NotPermitted { .. })
+        ));
+        // Switch to the generalization hierarchy: allowed.
+        s.set_context(ConceptKind::Generalization);
+        s.issue_str("modify_attribute(Employee, badge, Person)")
+            .unwrap();
+        let person = s
+            .repository()
+            .workspace()
+            .working()
+            .type_id("Person")
+            .unwrap();
+        assert!(s
+            .repository()
+            .workspace()
+            .working()
+            .find_attr(person, "badge")
+            .is_some());
+    }
+
+    #[test]
+    fn select_switches_context() {
+        let mut s = session();
+        let list = s.concept_list();
+        let gen_idx = list
+            .iter()
+            .position(|cs| cs.kind == ConceptKind::Generalization)
+            .expect("has a generalization hierarchy");
+        let cs = s.select(gen_idx).unwrap();
+        assert_eq!(s.context(), ConceptKind::Generalization);
+        assert_eq!(s.focus(), Some(cs.name.as_str()));
+        assert!(matches!(
+            s.select(999),
+            Err(SessionError::NoSuchConcept(999))
+        ));
+    }
+
+    #[test]
+    fn undo_redo_cycle() {
+        let mut s = session();
+        let before = graph_to_schema(s.repository().workspace().working());
+        s.issue_str("add_type_definition(Project)").unwrap();
+        let after = graph_to_schema(s.repository().workspace().working());
+        assert_ne!(before, after);
+
+        s.undo().unwrap();
+        assert_eq!(
+            graph_to_schema(s.repository().workspace().working()),
+            before
+        );
+        s.redo().unwrap();
+        assert_eq!(graph_to_schema(s.repository().workspace().working()), after);
+        assert!(matches!(s.redo(), Err(SessionError::NothingToRedo)));
+        // A new operation clears the redo stack.
+        s.undo().unwrap();
+        s.issue_str("add_type_definition(Task)").unwrap();
+        assert!(matches!(s.redo(), Err(SessionError::NothingToRedo)));
+    }
+
+    #[test]
+    fn failed_issue_does_not_pollute_undo() {
+        let mut s = session();
+        assert!(s.issue_str("add_type_definition(Person)").is_err());
+        assert!(matches!(s.undo(), Err(SessionError::NothingToUndo)));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut s = session();
+        assert!(matches!(
+            s.issue_str("frobnicate(Person)"),
+            Err(SessionError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_preserves_session() {
+        let mut s = session();
+        s.issue_str("add_type_definition(Project)").unwrap();
+        let dir = std::env::temp_dir().join(format!("sws_session_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        s.save(&dir).unwrap();
+        let loaded = Session::load(&dir).unwrap();
+        assert_eq!(
+            graph_to_schema(loaded.repository().workspace().working()),
+            graph_to_schema(s.repository().workspace().working())
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

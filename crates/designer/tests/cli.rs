@@ -1,0 +1,105 @@
+//! End-to-end test of the `swsd` binary: feed it a scripted session on
+//! stdin and check the transcript, exactly as a user would drive it.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_swsd(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_swsd"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("swsd spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write");
+    let output = child.wait_with_output().expect("swsd exits");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+fn schema_file() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swsd_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("uni.odl");
+    std::fs::write(
+        &path,
+        "interface Person { attribute string name; }\n\
+         interface Employee : Person { attribute long badge; }\n",
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn scripted_session_produces_expected_transcript() {
+    let schema = schema_file();
+    let script = "\
+concepts
+add_attribute(Employee, double, salary)
+context generalization
+modify_attribute(Employee, badge, Person)
+map
+odl
+quit
+";
+    let (stdout, stderr, ok) = run_swsd(&["--schema", schema.to_str().unwrap()], script);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("shrink wrap schema loaded: 2 types"));
+    assert!(stdout.contains("wagon wheel: Person"));
+    assert!(stdout.contains("applied: add_attribute(Employee, double, salary)"));
+    assert!(stdout.contains("applied: modify_attribute(Employee, badge, Person)"));
+    assert!(stdout.contains("moved to `Person`"));
+    assert!(stdout.contains("attribute double salary;"));
+}
+
+#[test]
+fn save_and_resume_via_cli() {
+    let schema = schema_file();
+    let session_dir = std::env::temp_dir().join(format!("swsd_session_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&session_dir);
+    let save_script = format!(
+        "add_type_definition(Project)\nsave {}\nquit\n",
+        session_dir.display()
+    );
+    let (stdout, stderr, ok) = run_swsd(&["--schema", schema.to_str().unwrap()], &save_script);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("saved to"));
+
+    let (stdout, stderr, ok) = run_swsd(
+        &["--session", session_dir.to_str().unwrap()],
+        "odl\nlog\nquit\n",
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("interface Project"));
+    assert!(stdout.contains("wagon_wheel\tadd_type_definition(Project)"));
+    std::fs::remove_dir_all(&session_dir).unwrap();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (_, stderr, ok) = run_swsd(&[], "");
+    assert!(!ok);
+    assert!(stderr.contains("usage: swsd"));
+    let (_, stderr, ok) = run_swsd(&["--schema", "/nonexistent/x.odl"], "");
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn errors_in_session_do_not_kill_the_repl() {
+    let schema = schema_file();
+    let script = "add_type_definition(Person)\nadd_type_definition(Fresh)\nquit\n";
+    let (stdout, _, ok) = run_swsd(&["--schema", schema.to_str().unwrap()], script);
+    assert!(ok);
+    assert!(stdout.contains("error: constraint violation"));
+    assert!(stdout.contains("applied: add_type_definition(Fresh)"));
+}

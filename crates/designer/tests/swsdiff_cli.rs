@@ -1,0 +1,59 @@
+//! End-to-end test of the `swsdiff` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, Option<i32>) {
+    let output = Command::new(env!("CARGO_BIN_EXE_swsdiff"))
+        .args(args)
+        .output()
+        .expect("swsdiff runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.code(),
+    )
+}
+
+fn write(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swsdiff_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn identical_schemas_exit_zero() {
+    let a = write("same_a.odl", "interface A { attribute long x; }");
+    let b = write("same_b.odl", "interface A { attribute long x; }");
+    let (stdout, _, code) = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("identical"));
+}
+
+#[test]
+fn differing_schemas_print_script_and_exit_one() {
+    let a = write("diff_a.odl", "interface A { attribute long x; }");
+    let b = write(
+        "diff_b.odl",
+        "interface A { attribute long x; attribute string y; } interface B : A { }",
+    );
+    let (stdout, stderr, code) = run(&["--check", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("add_type_definition(B)"), "{stdout}");
+    assert!(stdout.contains("add_attribute(A, string, y)"), "{stdout}");
+    assert!(stdout.contains("add_supertype(B, A)"), "{stdout}");
+    assert!(stderr.contains("verified: 3 operation(s)"), "{stderr}");
+}
+
+#[test]
+fn parse_errors_exit_two() {
+    let a = write("bad.odl", "interface { garbage");
+    let b = write("ok.odl", "interface A { }");
+    let (_, stderr, code) = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("swsdiff:"));
+    let (_, stderr, code) = run(&["only_one.odl"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage:"));
+}

@@ -1,0 +1,1766 @@
+//! The schema graph: typed arenas plus invariant-preserving mutators.
+//!
+//! Arena slots are tombstoned on removal and never reused, so IDs remain
+//! stable across a whole design session — op logs, mappings, and
+//! concept-schema views can reference them safely.
+//!
+//! Mutators that remove things return a [`CascadeReport`] describing every
+//! secondary change they performed (relationships dropped with a type, key
+//! entries pruned with an attribute, …). `sws-core`'s propagation layer
+//! turns these reports into the designer-facing *impact reports* of the
+//! paper (activity 9).
+
+use crate::error::ModelError;
+use crate::ids::{AttrId, LinkId, OpId, RelId, TypeId};
+use std::collections::HashMap;
+use sws_odl::{Cardinality, CollectionKind, DomainType, HierKind, Key, Operation, Param};
+
+/// One object type (interface definition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeNode {
+    /// Type name, unique among live types.
+    pub name: String,
+    /// Abstract types have no direct instances (used for synthesized roots).
+    pub is_abstract: bool,
+    /// Extent name, if declared; unique among live types.
+    pub extent: Option<String>,
+    /// Key list.
+    pub keys: Vec<Key>,
+    /// Direct supertypes.
+    pub supertypes: Vec<TypeId>,
+    /// Direct subtypes (derived; maintained by the graph).
+    pub subtypes: Vec<TypeId>,
+    /// Attributes owned by this type.
+    pub attrs: Vec<AttrId>,
+    /// Relationship ends owned by this type, as `(relationship, end index)`.
+    pub rel_ends: Vec<(RelId, u8)>,
+    /// Operations owned by this type.
+    pub ops: Vec<OpId>,
+    /// Hierarchy links in which this type is the parent (whole / generic).
+    pub parent_links: Vec<LinkId>,
+    /// Hierarchy links in which this type is the child (part / instance).
+    pub child_links: Vec<LinkId>,
+    pub(crate) alive: bool,
+}
+
+/// An attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrNode {
+    /// Owning type.
+    pub owner: TypeId,
+    /// Attribute name.
+    pub name: String,
+    /// Domain type.
+    pub ty: DomainType,
+    /// Optional size constraint.
+    pub size: Option<u32>,
+    pub(crate) alive: bool,
+}
+
+/// One end of a relationship.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelEnd {
+    /// The type owning this end (the *target type* of the opposite end).
+    pub owner: TypeId,
+    /// Traversal path name.
+    pub path: String,
+    /// One-way cardinality of this end.
+    pub cardinality: Cardinality,
+    /// Order-by attribute list (attributes of the opposite end's owner).
+    pub order_by: Vec<String>,
+}
+
+/// A relationship: two ends sharing one ID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelNode {
+    /// The two ends. `ends[0]` is the side that was stated first.
+    pub ends: [RelEnd; 2],
+    pub(crate) alive: bool,
+}
+
+impl RelNode {
+    /// The end at `idx` (0 or 1).
+    pub fn end(&self, idx: u8) -> &RelEnd {
+        &self.ends[idx as usize]
+    }
+
+    /// The end opposite `idx`.
+    pub fn other(&self, idx: u8) -> &RelEnd {
+        &self.ends[1 - idx as usize]
+    }
+}
+
+/// An operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpNode {
+    /// Owning type.
+    pub owner: TypeId,
+    /// The full signature (name, return type, args, raises).
+    pub op: Operation,
+    pub(crate) alive: bool,
+}
+
+/// A part-of or instance-of link. The parent side (whole / generic entity)
+/// is collection-valued; the child side (component / instance entity) is
+/// single-valued — the implicit 1:N cardinality of the paper's extensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkNode {
+    /// Part-of or instance-of.
+    pub kind: HierKind,
+    /// Parent (whole / generic) type.
+    pub parent: TypeId,
+    /// Traversal path on the parent side (e.g. `walls`).
+    pub parent_path: String,
+    /// Collection kind of the parent side.
+    pub collection: CollectionKind,
+    /// Order-by list for the parent side (attributes of the child type).
+    pub order_by: Vec<String>,
+    /// Child (component / instance) type.
+    pub child: TypeId,
+    /// Traversal path on the child side (e.g. `wall_of`).
+    pub child_path: String,
+    pub(crate) alive: bool,
+}
+
+/// Which side of a [`LinkNode`] a lookup landed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSide {
+    /// The parent (whole / generic) side.
+    Parent,
+    /// The child (component / instance) side.
+    Child,
+}
+
+/// What to do with the subtypes of a removed type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RemoveTypeMode {
+    /// Re-wire each subtype to the removed type's supertypes, preserving
+    /// inheritance paths (our default propagation rule).
+    #[default]
+    RewireSubtypes,
+    /// Detach subtypes, leaving them rootless.
+    DetachSubtypes,
+}
+
+/// Every secondary change performed by a cascading removal. All entries use
+/// names (not IDs) so they stay meaningful after the referents die.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CascadeReport {
+    /// Attributes removed: `(type, attribute)`.
+    pub removed_attrs: Vec<(String, String)>,
+    /// Operations removed: `(type, operation)`.
+    pub removed_ops: Vec<(String, String)>,
+    /// Relationships removed: `(type_a, path_a, type_b, path_b)`.
+    pub removed_rels: Vec<(String, String, String, String)>,
+    /// Hierarchy links removed: `(kind, parent, parent_path, child, child_path)`.
+    pub removed_links: Vec<(HierKind, String, String, String, String)>,
+    /// Supertype edges removed: `(subtype, supertype)`.
+    pub removed_supertype_edges: Vec<(String, String)>,
+    /// Subtypes re-wired to a new supertype: `(subtype, new_supertype)`.
+    pub rewired_subtypes: Vec<(String, String)>,
+    /// Subtypes left detached: type names.
+    pub detached_subtypes: Vec<String>,
+    /// Keys pruned because an attribute vanished: `(type, key)`.
+    pub keys_pruned: Vec<(String, String)>,
+    /// Order-by entries pruned: `(type, path, attribute)`.
+    pub order_by_pruned: Vec<(String, String, String)>,
+}
+
+impl CascadeReport {
+    /// True if nothing cascaded.
+    pub fn is_empty(&self) -> bool {
+        self.removed_attrs.is_empty()
+            && self.removed_ops.is_empty()
+            && self.removed_rels.is_empty()
+            && self.removed_links.is_empty()
+            && self.removed_supertype_edges.is_empty()
+            && self.rewired_subtypes.is_empty()
+            && self.detached_subtypes.is_empty()
+            && self.keys_pruned.is_empty()
+            && self.order_by_pruned.is_empty()
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: CascadeReport) {
+        self.removed_attrs.extend(other.removed_attrs);
+        self.removed_ops.extend(other.removed_ops);
+        self.removed_rels.extend(other.removed_rels);
+        self.removed_links.extend(other.removed_links);
+        self.removed_supertype_edges
+            .extend(other.removed_supertype_edges);
+        self.rewired_subtypes.extend(other.rewired_subtypes);
+        self.detached_subtypes.extend(other.detached_subtypes);
+        self.keys_pruned.extend(other.keys_pruned);
+        self.order_by_pruned.extend(other.order_by_pruned);
+    }
+}
+
+/// The schema graph. See the module docs.
+#[derive(Debug, Clone)]
+pub struct SchemaGraph {
+    name: String,
+    types: Vec<TypeNode>,
+    attrs: Vec<AttrNode>,
+    rels: Vec<RelNode>,
+    ops: Vec<OpNode>,
+    links: Vec<LinkNode>,
+    by_name: HashMap<String, TypeId>,
+}
+
+impl SchemaGraph {
+    /// Create an empty graph with the given schema name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaGraph {
+            name: name.into(),
+            types: Vec::new(),
+            attrs: Vec::new(),
+            rels: Vec::new(),
+            ops: Vec::new(),
+            links: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The schema name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The type node for `id`. Panics if `id` is dead (use [`Self::try_ty`]
+    /// when the ID may be stale).
+    pub fn ty(&self, id: TypeId) -> &TypeNode {
+        let node = &self.types[id.index()];
+        assert!(node.alive, "access to dead type {id}");
+        node
+    }
+
+    /// The type node for `id`, or `None` if dead.
+    pub fn try_ty(&self, id: TypeId) -> Option<&TypeNode> {
+        self.types.get(id.index()).filter(|n| n.alive)
+    }
+
+    /// Look up a live type by name.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Look up a live type by name, erroring otherwise.
+    pub fn require_type(&self, name: &str) -> Result<TypeId, ModelError> {
+        self.type_id(name)
+            .ok_or_else(|| ModelError::UnknownTypeName(name.to_string()))
+    }
+
+    /// The name of type `id` (panics if dead).
+    pub fn type_name(&self, id: TypeId) -> &str {
+        &self.ty(id).name
+    }
+
+    /// Iterate over live types in insertion order.
+    pub fn types(&self) -> impl Iterator<Item = (TypeId, &TypeNode)> {
+        self.types
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, n)| (TypeId(i as u32), n))
+    }
+
+    /// Number of live types.
+    pub fn type_count(&self) -> usize {
+        self.types.iter().filter(|n| n.alive).count()
+    }
+
+    /// The attribute node for `id` (panics if dead).
+    pub fn attr(&self, id: AttrId) -> &AttrNode {
+        let node = &self.attrs[id.index()];
+        assert!(node.alive, "access to dead attribute {id}");
+        node
+    }
+
+    /// The attribute node for `id`, or `None` if dead.
+    pub fn try_attr(&self, id: AttrId) -> Option<&AttrNode> {
+        self.attrs.get(id.index()).filter(|n| n.alive)
+    }
+
+    /// The relationship node for `id` (panics if dead).
+    pub fn rel(&self, id: RelId) -> &RelNode {
+        let node = &self.rels[id.index()];
+        assert!(node.alive, "access to dead relationship {id}");
+        node
+    }
+
+    /// The relationship node for `id`, or `None` if dead.
+    pub fn try_rel(&self, id: RelId) -> Option<&RelNode> {
+        self.rels.get(id.index()).filter(|n| n.alive)
+    }
+
+    /// The operation node for `id` (panics if dead).
+    pub fn op(&self, id: OpId) -> &OpNode {
+        let node = &self.ops[id.index()];
+        assert!(node.alive, "access to dead operation {id}");
+        node
+    }
+
+    /// The operation node for `id`, or `None` if dead.
+    pub fn try_op(&self, id: OpId) -> Option<&OpNode> {
+        self.ops.get(id.index()).filter(|n| n.alive)
+    }
+
+    /// The link node for `id` (panics if dead).
+    pub fn link(&self, id: LinkId) -> &LinkNode {
+        let node = &self.links[id.index()];
+        assert!(node.alive, "access to dead link {id}");
+        node
+    }
+
+    /// The link node for `id`, or `None` if dead.
+    pub fn try_link(&self, id: LinkId) -> Option<&LinkNode> {
+        self.links.get(id.index()).filter(|n| n.alive)
+    }
+
+    /// Find an attribute by owner and name.
+    pub fn find_attr(&self, owner: TypeId, name: &str) -> Option<AttrId> {
+        self.ty(owner)
+            .attrs
+            .iter()
+            .copied()
+            .find(|&a| self.attr(a).name == name)
+    }
+
+    /// Find a relationship end by owner and traversal path name.
+    pub fn find_rel_end(&self, owner: TypeId, path: &str) -> Option<(RelId, u8)> {
+        self.ty(owner)
+            .rel_ends
+            .iter()
+            .copied()
+            .find(|&(r, e)| self.rel(r).end(e).path == path)
+    }
+
+    /// Find an operation by owner and name.
+    pub fn find_op(&self, owner: TypeId, name: &str) -> Option<OpId> {
+        self.ty(owner)
+            .ops
+            .iter()
+            .copied()
+            .find(|&o| self.op(o).op.name == name)
+    }
+
+    /// Find a hierarchy link of `kind` by owner and traversal path name,
+    /// reporting which side of the link the path belongs to.
+    pub fn find_link(
+        &self,
+        kind: HierKind,
+        owner: TypeId,
+        path: &str,
+    ) -> Option<(LinkId, LinkSide)> {
+        let node = self.ty(owner);
+        for &l in &node.parent_links {
+            let link = self.link(l);
+            if link.kind == kind && link.parent_path == path {
+                return Some((l, LinkSide::Parent));
+            }
+        }
+        for &l in &node.child_links {
+            let link = self.link(l);
+            if link.kind == kind && link.child_path == path {
+                return Some((l, LinkSide::Child));
+            }
+        }
+        None
+    }
+
+    /// True if `name` is already used by any member of `owner` (attribute,
+    /// relationship path, operation, or hierarchy-link path).
+    pub fn member_exists(&self, owner: TypeId, name: &str) -> bool {
+        self.find_attr(owner, name).is_some()
+            || self.find_rel_end(owner, name).is_some()
+            || self.find_op(owner, name).is_some()
+            || self.find_link(HierKind::PartOf, owner, name).is_some()
+            || self.find_link(HierKind::InstanceOf, owner, name).is_some()
+    }
+
+    fn check_member_free(&self, owner: TypeId, name: &str) -> Result<(), ModelError> {
+        if self.member_exists(owner, name) {
+            Err(ModelError::DuplicateMember {
+                owner,
+                member: name.to_string(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Iterate over live relationships.
+    pub fn rels(&self) -> impl Iterator<Item = (RelId, &RelNode)> {
+        self.rels
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, n)| (RelId(i as u32), n))
+    }
+
+    /// Iterate over live links.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &LinkNode)> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, n)| (LinkId(i as u32), n))
+    }
+
+    /// Iterate over live attributes.
+    pub fn attrs(&self) -> impl Iterator<Item = (AttrId, &AttrNode)> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, n)| (AttrId(i as u32), n))
+    }
+
+    /// Iterate over live operations.
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &OpNode)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, n)| (OpId(i as u32), n))
+    }
+
+    /// Total count of live constructs (types + supertype edges + attributes
+    /// + relationships + operations + links).
+    pub fn construct_count(&self) -> usize {
+        let supertype_edges: usize = self.types().map(|(_, n)| n.supertypes.len()).sum();
+        self.type_count()
+            + supertype_edges
+            + self.attrs().count()
+            + self.rels().count()
+            + self.ops().count()
+            + self.links().count()
+    }
+
+    // ------------------------------------------------------------------
+    // Type mutators
+    // ------------------------------------------------------------------
+
+    /// Add a new object type.
+    pub fn add_type(&mut self, name: &str) -> Result<TypeId, ModelError> {
+        if self.by_name.contains_key(name) {
+            return Err(ModelError::DuplicateTypeName(name.to_string()));
+        }
+        let id = TypeId(self.types.len() as u32);
+        self.types.push(TypeNode {
+            name: name.to_string(),
+            is_abstract: false,
+            extent: None,
+            keys: Vec::new(),
+            supertypes: Vec::new(),
+            subtypes: Vec::new(),
+            attrs: Vec::new(),
+            rel_ends: Vec::new(),
+            ops: Vec::new(),
+            parent_links: Vec::new(),
+            child_links: Vec::new(),
+            alive: true,
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Mark a type abstract (or concrete).
+    pub fn set_abstract(&mut self, id: TypeId, is_abstract: bool) -> Result<(), ModelError> {
+        self.type_mut(id)?.is_abstract = is_abstract;
+        Ok(())
+    }
+
+    /// Set or clear the extent name of a type.
+    pub fn set_extent(&mut self, id: TypeId, extent: Option<String>) -> Result<(), ModelError> {
+        if let Some(name) = &extent {
+            let clash = self
+                .types()
+                .any(|(other, node)| other != id && node.extent.as_deref() == Some(name));
+            if clash {
+                return Err(ModelError::DuplicateExtent(name.clone()));
+            }
+        }
+        self.type_mut(id)?.extent = extent;
+        Ok(())
+    }
+
+    /// Add a key to a type's key list.
+    pub fn add_key(&mut self, id: TypeId, key: Key) -> Result<(), ModelError> {
+        if self.ty(id).keys.contains(&key) {
+            return Err(ModelError::DuplicateKey {
+                owner: id,
+                key: key.to_string(),
+            });
+        }
+        self.type_mut(id)?.keys.push(key);
+        Ok(())
+    }
+
+    /// Remove a key from a type's key list.
+    pub fn remove_key(&mut self, id: TypeId, key: &Key) -> Result<(), ModelError> {
+        let node = self.type_mut(id)?;
+        let before = node.keys.len();
+        node.keys.retain(|k| k != key);
+        if node.keys.len() == before {
+            return Err(ModelError::NoSuchKey {
+                owner: id,
+                key: key.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Remove a type and everything incident to it. See [`RemoveTypeMode`]
+    /// for subtype handling.
+    pub fn remove_type(
+        &mut self,
+        id: TypeId,
+        mode: RemoveTypeMode,
+    ) -> Result<CascadeReport, ModelError> {
+        self.check_live(id)?;
+        let mut report = CascadeReport::default();
+        let name = self.ty(id).name.clone();
+
+        // Relationships with an end here.
+        let incident_rels: Vec<RelId> = self
+            .rels()
+            .filter(|(_, r)| r.ends[0].owner == id || r.ends[1].owner == id)
+            .map(|(rid, _)| rid)
+            .collect();
+        for rid in incident_rels {
+            report.merge(self.remove_relationship(rid)?);
+        }
+
+        // Hierarchy links touching this type.
+        let incident_links: Vec<LinkId> = self
+            .links()
+            .filter(|(_, l)| l.parent == id || l.child == id)
+            .map(|(lid, _)| lid)
+            .collect();
+        for lid in incident_links {
+            report.merge(self.remove_link(lid)?);
+        }
+
+        // Members.
+        for a in self.ty(id).attrs.clone() {
+            let attr = self.attr(a);
+            report.removed_attrs.push((name.clone(), attr.name.clone()));
+            self.attrs[a.index()].alive = false;
+        }
+        for o in self.ty(id).ops.clone() {
+            let op = self.op(o);
+            report.removed_ops.push((name.clone(), op.op.name.clone()));
+            self.ops[o.index()].alive = false;
+        }
+
+        // Supertype edges up.
+        let supers = self.ty(id).supertypes.clone();
+        for sup in &supers {
+            let sup_name = self.ty(*sup).name.clone();
+            report
+                .removed_supertype_edges
+                .push((name.clone(), sup_name));
+            self.types[sup.index()].subtypes.retain(|&s| s != id);
+        }
+
+        // Subtype edges down: rewire or detach.
+        let subs = self.ty(id).subtypes.clone();
+        for sub in subs {
+            let sub_name = self.ty(sub).name.clone();
+            report
+                .removed_supertype_edges
+                .push((sub_name.clone(), name.clone()));
+            self.types[sub.index()].supertypes.retain(|&s| s != id);
+            match mode {
+                RemoveTypeMode::RewireSubtypes => {
+                    let mut rewired = false;
+                    for sup in &supers {
+                        if !self.types[sub.index()].supertypes.contains(sup) {
+                            self.types[sub.index()].supertypes.push(*sup);
+                            self.types[sup.index()].subtypes.push(sub);
+                            report
+                                .rewired_subtypes
+                                .push((sub_name.clone(), self.ty(*sup).name.clone()));
+                            rewired = true;
+                        }
+                    }
+                    if !rewired && supers.is_empty() {
+                        report.detached_subtypes.push(sub_name);
+                    }
+                }
+                RemoveTypeMode::DetachSubtypes => {
+                    report.detached_subtypes.push(sub_name);
+                }
+            }
+        }
+
+        let node = &mut self.types[id.index()];
+        node.alive = false;
+        node.attrs.clear();
+        node.ops.clear();
+        node.rel_ends.clear();
+        node.parent_links.clear();
+        node.child_links.clear();
+        node.supertypes.clear();
+        node.subtypes.clear();
+        self.by_name.remove(&name);
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Supertype mutators
+    // ------------------------------------------------------------------
+
+    /// Add a supertype edge `sub ISA sup`.
+    pub fn add_supertype(&mut self, sub: TypeId, sup: TypeId) -> Result<(), ModelError> {
+        self.check_live(sub)?;
+        self.check_live(sup)?;
+        if sub == sup {
+            return Err(ModelError::SelfReference(sub));
+        }
+        if self.ty(sub).supertypes.contains(&sup) {
+            return Err(ModelError::DuplicateSupertype { sub, sup });
+        }
+        if self.gen_reachable(sub, sup) {
+            // `sub` is already an ancestor of `sup`: adding the edge closes a cycle.
+            return Err(ModelError::SupertypeCycle { sub, sup });
+        }
+        self.types[sub.index()].supertypes.push(sup);
+        self.types[sup.index()].subtypes.push(sub);
+        Ok(())
+    }
+
+    /// Remove the supertype edge `sub ISA sup`.
+    pub fn remove_supertype(&mut self, sub: TypeId, sup: TypeId) -> Result<(), ModelError> {
+        self.check_live(sub)?;
+        self.check_live(sup)?;
+        if !self.ty(sub).supertypes.contains(&sup) {
+            return Err(ModelError::NoSuchSupertype { sub, sup });
+        }
+        self.types[sub.index()].supertypes.retain(|&s| s != sup);
+        self.types[sup.index()].subtypes.retain(|&s| s != sub);
+        Ok(())
+    }
+
+    /// True if `ancestor` is reachable from `start` via supertype edges
+    /// (excluding `start` itself unless a cycle exists).
+    pub(crate) fn gen_reachable(&self, ancestor: TypeId, start: TypeId) -> bool {
+        let mut stack = vec![start];
+        let mut seen = vec![false; self.types.len()];
+        while let Some(t) = stack.pop() {
+            if seen[t.index()] {
+                continue;
+            }
+            seen[t.index()] = true;
+            for &sup in &self.ty(t).supertypes {
+                if sup == ancestor {
+                    return true;
+                }
+                stack.push(sup);
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Attribute mutators
+    // ------------------------------------------------------------------
+
+    /// Add an attribute.
+    pub fn add_attribute(
+        &mut self,
+        owner: TypeId,
+        name: &str,
+        ty: DomainType,
+        size: Option<u32>,
+    ) -> Result<AttrId, ModelError> {
+        self.check_live(owner)?;
+        self.check_member_free(owner, name)?;
+        let id = AttrId(self.attrs.len() as u32);
+        self.attrs.push(AttrNode {
+            owner,
+            name: name.to_string(),
+            ty,
+            size,
+            alive: true,
+        });
+        self.types[owner.index()].attrs.push(id);
+        Ok(id)
+    }
+
+    /// Remove an attribute, pruning keys and order-by lists that name it.
+    pub fn remove_attribute(&mut self, id: AttrId) -> Result<CascadeReport, ModelError> {
+        let node = self
+            .attrs
+            .get(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadAttr(id))?;
+        let owner = node.owner;
+        let name = node.name.clone();
+        let mut report = CascadeReport::default();
+        self.prune_attr_references(owner, &name, &mut report);
+        self.attrs[id.index()].alive = false;
+        self.types[owner.index()].attrs.retain(|&a| a != id);
+        Ok(report)
+    }
+
+    /// Move an attribute to a different owner (used by the generalization-
+    /// hierarchy `modify_attribute` operation). Keys and order-by lists that
+    /// referenced the attribute on the old owner are pruned and reported.
+    pub fn move_attribute(
+        &mut self,
+        id: AttrId,
+        new_owner: TypeId,
+    ) -> Result<CascadeReport, ModelError> {
+        let node = self
+            .attrs
+            .get(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadAttr(id))?;
+        let old_owner = node.owner;
+        let name = node.name.clone();
+        self.check_live(new_owner)?;
+        if old_owner == new_owner {
+            return Ok(CascadeReport::default());
+        }
+        self.check_member_free(new_owner, &name)?;
+        let mut report = CascadeReport::default();
+        self.prune_attr_references(old_owner, &name, &mut report);
+        self.types[old_owner.index()].attrs.retain(|&a| a != id);
+        self.types[new_owner.index()].attrs.push(id);
+        self.attrs[id.index()].owner = new_owner;
+        Ok(report)
+    }
+
+    /// Change an attribute's domain type.
+    pub fn set_attr_type(&mut self, id: AttrId, ty: DomainType) -> Result<(), ModelError> {
+        let node = self
+            .attrs
+            .get_mut(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadAttr(id))?;
+        node.ty = ty;
+        Ok(())
+    }
+
+    /// Change an attribute's size constraint.
+    pub fn set_attr_size(&mut self, id: AttrId, size: Option<u32>) -> Result<(), ModelError> {
+        let node = self
+            .attrs
+            .get_mut(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadAttr(id))?;
+        node.size = size;
+        Ok(())
+    }
+
+    /// Remove references to attribute `name` of type `owner` from keys of
+    /// `owner` and from order-by lists whose target type is `owner`.
+    fn prune_attr_references(&mut self, owner: TypeId, name: &str, report: &mut CascadeReport) {
+        let owner_name = self.ty(owner).name.clone();
+        // Keys of the owner.
+        let node = &mut self.types[owner.index()];
+        let mut pruned_keys = Vec::new();
+        node.keys.retain(|k| {
+            if k.0.iter().any(|a| a == name) {
+                pruned_keys.push(k.to_string());
+                false
+            } else {
+                true
+            }
+        });
+        for k in pruned_keys {
+            report.keys_pruned.push((owner_name.clone(), k));
+        }
+        // Order-by lists of relationship ends whose *target* is `owner`,
+        // i.e. ends opposite to ends owned by `owner`.
+        for r in 0..self.rels.len() {
+            if !self.rels[r].alive {
+                continue;
+            }
+            for e in 0..2 {
+                if self.rels[r].ends[1 - e].owner == owner
+                    && self.rels[r].ends[e].order_by.iter().any(|a| a == name)
+                {
+                    let end_owner = self.ty(self.rels[r].ends[e].owner).name.clone();
+                    let path = self.rels[r].ends[e].path.clone();
+                    self.rels[r].ends[e].order_by.retain(|a| a != name);
+                    report
+                        .order_by_pruned
+                        .push((end_owner, path, name.to_string()));
+                }
+            }
+        }
+        // Order-by lists of links whose child type is `owner`.
+        for l in 0..self.links.len() {
+            if !self.links[l].alive {
+                continue;
+            }
+            if self.links[l].child == owner && self.links[l].order_by.iter().any(|a| a == name) {
+                let parent_name = self.ty(self.links[l].parent).name.clone();
+                let path = self.links[l].parent_path.clone();
+                self.links[l].order_by.retain(|a| a != name);
+                report
+                    .order_by_pruned
+                    .push((parent_name, path, name.to_string()));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Relationship mutators
+    // ------------------------------------------------------------------
+
+    /// Add a relationship between `a_owner` and `b_owner`. Both traversal
+    /// paths must be free member names on their owners.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_relationship(
+        &mut self,
+        a_owner: TypeId,
+        a_path: &str,
+        a_cardinality: Cardinality,
+        a_order_by: Vec<String>,
+        b_owner: TypeId,
+        b_path: &str,
+        b_cardinality: Cardinality,
+        b_order_by: Vec<String>,
+    ) -> Result<RelId, ModelError> {
+        self.check_live(a_owner)?;
+        self.check_live(b_owner)?;
+        self.check_member_free(a_owner, a_path)?;
+        if a_owner == b_owner && a_path == b_path {
+            return Err(ModelError::DuplicateMember {
+                owner: b_owner,
+                member: b_path.to_string(),
+            });
+        }
+        self.check_member_free(b_owner, b_path)?;
+        let id = RelId(self.rels.len() as u32);
+        self.rels.push(RelNode {
+            ends: [
+                RelEnd {
+                    owner: a_owner,
+                    path: a_path.to_string(),
+                    cardinality: a_cardinality,
+                    order_by: a_order_by,
+                },
+                RelEnd {
+                    owner: b_owner,
+                    path: b_path.to_string(),
+                    cardinality: b_cardinality,
+                    order_by: b_order_by,
+                },
+            ],
+            alive: true,
+        });
+        self.types[a_owner.index()].rel_ends.push((id, 0));
+        self.types[b_owner.index()].rel_ends.push((id, 1));
+        Ok(id)
+    }
+
+    /// Remove a relationship (both ends).
+    pub fn remove_relationship(&mut self, id: RelId) -> Result<CascadeReport, ModelError> {
+        let node = self
+            .rels
+            .get(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadRel(id))?;
+        let a = node.ends[0].clone();
+        let b = node.ends[1].clone();
+        let mut report = CascadeReport::default();
+        report.removed_rels.push((
+            self.ty(a.owner).name.clone(),
+            a.path.clone(),
+            self.ty(b.owner).name.clone(),
+            b.path.clone(),
+        ));
+        self.types[a.owner.index()]
+            .rel_ends
+            .retain(|&(r, _)| r != id);
+        self.types[b.owner.index()]
+            .rel_ends
+            .retain(|&(r, _)| r != id);
+        self.rels[id.index()].alive = false;
+        Ok(report)
+    }
+
+    /// Move one end of a relationship to a new owning type (the
+    /// `modify_relationship_target_type` operation: the end defined on one
+    /// object type moves up or down its generalization hierarchy).
+    pub fn retarget_rel_end(
+        &mut self,
+        id: RelId,
+        end: u8,
+        new_owner: TypeId,
+    ) -> Result<(), ModelError> {
+        let node = self
+            .rels
+            .get(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadRel(id))?;
+        let path = node.ends[end as usize].path.clone();
+        let old_owner = node.ends[end as usize].owner;
+        self.check_live(new_owner)?;
+        if old_owner == new_owner {
+            return Ok(());
+        }
+        self.check_member_free(new_owner, &path)?;
+        self.types[old_owner.index()]
+            .rel_ends
+            .retain(|&(r, e)| !(r == id && e == end));
+        self.types[new_owner.index()].rel_ends.push((id, end));
+        self.rels[id.index()].ends[end as usize].owner = new_owner;
+        Ok(())
+    }
+
+    /// Change the one-way cardinality of a relationship end.
+    pub fn set_rel_cardinality(
+        &mut self,
+        id: RelId,
+        end: u8,
+        cardinality: Cardinality,
+    ) -> Result<(), ModelError> {
+        let node = self
+            .rels
+            .get_mut(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadRel(id))?;
+        node.ends[end as usize].cardinality = cardinality;
+        Ok(())
+    }
+
+    /// Replace the order-by list of a relationship end.
+    pub fn set_rel_order_by(
+        &mut self,
+        id: RelId,
+        end: u8,
+        order_by: Vec<String>,
+    ) -> Result<(), ModelError> {
+        let node = self
+            .rels
+            .get_mut(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadRel(id))?;
+        node.ends[end as usize].order_by = order_by;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Operation mutators
+    // ------------------------------------------------------------------
+
+    /// Add an operation. Operation names may override same-named operations
+    /// of ancestors, but must be unique among the owner's own members.
+    pub fn add_operation(&mut self, owner: TypeId, op: Operation) -> Result<OpId, ModelError> {
+        self.check_live(owner)?;
+        self.check_member_free(owner, &op.name)?;
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpNode {
+            owner,
+            op,
+            alive: true,
+        });
+        self.types[owner.index()].ops.push(id);
+        Ok(id)
+    }
+
+    /// Remove an operation.
+    pub fn remove_operation(&mut self, id: OpId) -> Result<CascadeReport, ModelError> {
+        let node = self
+            .ops
+            .get(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadOp(id))?;
+        let owner = node.owner;
+        let mut report = CascadeReport::default();
+        report
+            .removed_ops
+            .push((self.ty(owner).name.clone(), node.op.name.clone()));
+        self.types[owner.index()].ops.retain(|&o| o != id);
+        self.ops[id.index()].alive = false;
+        Ok(report)
+    }
+
+    /// Move an operation to a new owner (generalization-hierarchy
+    /// `modify_operation`).
+    pub fn move_operation(&mut self, id: OpId, new_owner: TypeId) -> Result<(), ModelError> {
+        let node = self
+            .ops
+            .get(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadOp(id))?;
+        let old_owner = node.owner;
+        let name = node.op.name.clone();
+        self.check_live(new_owner)?;
+        if old_owner == new_owner {
+            return Ok(());
+        }
+        self.check_member_free(new_owner, &name)?;
+        self.types[old_owner.index()].ops.retain(|&o| o != id);
+        self.types[new_owner.index()].ops.push(id);
+        self.ops[id.index()].owner = new_owner;
+        Ok(())
+    }
+
+    /// Change an operation's return type.
+    pub fn set_op_return(&mut self, id: OpId, return_type: DomainType) -> Result<(), ModelError> {
+        let node = self
+            .ops
+            .get_mut(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadOp(id))?;
+        node.op.return_type = return_type;
+        Ok(())
+    }
+
+    /// Replace an operation's argument list.
+    pub fn set_op_args(&mut self, id: OpId, args: Vec<Param>) -> Result<(), ModelError> {
+        let node = self
+            .ops
+            .get_mut(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadOp(id))?;
+        node.op.args = args;
+        Ok(())
+    }
+
+    /// Replace an operation's raised-exception list.
+    pub fn set_op_raises(&mut self, id: OpId, raises: Vec<String>) -> Result<(), ModelError> {
+        let node = self
+            .ops
+            .get_mut(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadOp(id))?;
+        node.op.raises = raises;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchy-link mutators (part-of, instance-of)
+    // ------------------------------------------------------------------
+
+    /// Add a part-of or instance-of link. The parent (whole / generic) side
+    /// is collection-valued; the child side single-valued (implicit 1:N).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_link(
+        &mut self,
+        kind: HierKind,
+        parent: TypeId,
+        parent_path: &str,
+        collection: CollectionKind,
+        order_by: Vec<String>,
+        child: TypeId,
+        child_path: &str,
+    ) -> Result<LinkId, ModelError> {
+        self.check_live(parent)?;
+        self.check_live(child)?;
+        if parent == child {
+            return Err(ModelError::SelfReference(parent));
+        }
+        if self.hier_reachable(kind, child, parent) {
+            // `child` is already above `parent`: the new edge closes a cycle.
+            return Err(ModelError::HierarchyCycle { parent, child });
+        }
+        self.check_member_free(parent, parent_path)?;
+        self.check_member_free(child, child_path)?;
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkNode {
+            kind,
+            parent,
+            parent_path: parent_path.to_string(),
+            collection,
+            order_by,
+            child,
+            child_path: child_path.to_string(),
+            alive: true,
+        });
+        self.types[parent.index()].parent_links.push(id);
+        self.types[child.index()].child_links.push(id);
+        Ok(id)
+    }
+
+    /// True if `above` is reachable upward from `start` (child → parent)
+    /// in the `kind` hierarchy, or equal to it.
+    pub(crate) fn hier_reachable(&self, kind: HierKind, above: TypeId, start: TypeId) -> bool {
+        if above == start {
+            return true;
+        }
+        let mut stack = vec![start];
+        let mut seen = vec![false; self.types.len()];
+        while let Some(t) = stack.pop() {
+            if seen[t.index()] {
+                continue;
+            }
+            seen[t.index()] = true;
+            for &l in &self.ty(t).child_links {
+                let link = self.link(l);
+                if link.kind != kind {
+                    continue;
+                }
+                if link.parent == above {
+                    return true;
+                }
+                stack.push(link.parent);
+            }
+        }
+        false
+    }
+
+    /// Remove a hierarchy link (both ends).
+    pub fn remove_link(&mut self, id: LinkId) -> Result<CascadeReport, ModelError> {
+        let node = self
+            .links
+            .get(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadLink(id))?;
+        let (kind, parent, child) = (node.kind, node.parent, node.child);
+        let (ppath, cpath) = (node.parent_path.clone(), node.child_path.clone());
+        let mut report = CascadeReport::default();
+        report.removed_links.push((
+            kind,
+            self.ty(parent).name.clone(),
+            ppath,
+            self.ty(child).name.clone(),
+            cpath,
+        ));
+        self.types[parent.index()].parent_links.retain(|&l| l != id);
+        self.types[child.index()].child_links.retain(|&l| l != id);
+        self.links[id.index()].alive = false;
+        Ok(report)
+    }
+
+    /// Move one side of a hierarchy link to a new type (the
+    /// `modify_part_of_target_type` / `modify_instance_of_target_type`
+    /// operations).
+    pub fn retarget_link_end(
+        &mut self,
+        id: LinkId,
+        side: LinkSide,
+        new_type: TypeId,
+    ) -> Result<(), ModelError> {
+        let node = self
+            .links
+            .get(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadLink(id))?;
+        let kind = node.kind;
+        let (old_type, path, other_type) = match side {
+            LinkSide::Parent => (node.parent, node.parent_path.clone(), node.child),
+            LinkSide::Child => (node.child, node.child_path.clone(), node.parent),
+        };
+        self.check_live(new_type)?;
+        if old_type == new_type {
+            return Ok(());
+        }
+        if new_type == other_type {
+            return Err(ModelError::SelfReference(new_type));
+        }
+        self.check_member_free(new_type, &path)?;
+        // Cycle check with the link itself ignored: the move creates the
+        // edge (p → c); it closes a cycle iff c is already an ancestor of p.
+        let (p, c) = match side {
+            LinkSide::Parent => (new_type, other_type),
+            LinkSide::Child => (other_type, new_type),
+        };
+        if self.hier_reachable_excluding(kind, id, c, p) {
+            return Err(ModelError::HierarchyCycle {
+                parent: p,
+                child: c,
+            });
+        }
+        match side {
+            LinkSide::Parent => {
+                self.types[old_type.index()]
+                    .parent_links
+                    .retain(|&l| l != id);
+                self.types[new_type.index()].parent_links.push(id);
+                self.links[id.index()].parent = new_type;
+            }
+            LinkSide::Child => {
+                self.types[old_type.index()]
+                    .child_links
+                    .retain(|&l| l != id);
+                self.types[new_type.index()].child_links.push(id);
+                self.links[id.index()].child = new_type;
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Self::hier_reachable`], ignoring link `skip`.
+    fn hier_reachable_excluding(
+        &self,
+        kind: HierKind,
+        skip: LinkId,
+        above: TypeId,
+        start: TypeId,
+    ) -> bool {
+        if above == start {
+            return true;
+        }
+        let mut stack = vec![start];
+        let mut seen = vec![false; self.types.len()];
+        while let Some(t) = stack.pop() {
+            if seen[t.index()] {
+                continue;
+            }
+            seen[t.index()] = true;
+            for &l in &self.ty(t).child_links {
+                if l == skip {
+                    continue;
+                }
+                let link = self.link(l);
+                if link.kind != kind {
+                    continue;
+                }
+                if link.parent == above {
+                    return true;
+                }
+                stack.push(link.parent);
+            }
+        }
+        false
+    }
+
+    /// Change the collection kind of a link's parent side (the grammar
+    /// allows cardinality modification only on the to-parts /
+    /// to-instance-entities end).
+    pub fn set_link_collection(
+        &mut self,
+        id: LinkId,
+        collection: CollectionKind,
+    ) -> Result<(), ModelError> {
+        let node = self
+            .links
+            .get_mut(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadLink(id))?;
+        node.collection = collection;
+        Ok(())
+    }
+
+    /// Replace the order-by list of a link's parent side.
+    pub fn set_link_order_by(
+        &mut self,
+        id: LinkId,
+        order_by: Vec<String>,
+    ) -> Result<(), ModelError> {
+        let node = self
+            .links
+            .get_mut(id.index())
+            .filter(|n| n.alive)
+            .ok_or(ModelError::DeadLink(id))?;
+        node.order_by = order_by;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+
+    fn check_live(&self, id: TypeId) -> Result<(), ModelError> {
+        match self.types.get(id.index()) {
+            Some(node) if node.alive => Ok(()),
+            _ => Err(ModelError::DeadType(id)),
+        }
+    }
+
+    fn type_mut(&mut self, id: TypeId) -> Result<&mut TypeNode, ModelError> {
+        match self.types.get_mut(id.index()) {
+            Some(node) if node.alive => Ok(node),
+            _ => Err(ModelError::DeadType(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> SchemaGraph {
+        SchemaGraph::new("test")
+    }
+
+    #[test]
+    fn add_and_lookup_types() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        assert_eq!(g.type_id("A"), Some(a));
+        assert_eq!(g.type_name(a), "A");
+        assert_eq!(g.type_count(), 1);
+        assert_eq!(
+            g.add_type("A").unwrap_err(),
+            ModelError::DuplicateTypeName("A".into())
+        );
+    }
+
+    #[test]
+    fn remove_type_frees_name_but_not_slot() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        g.remove_type(a, RemoveTypeMode::default()).unwrap();
+        assert_eq!(g.type_id("A"), None);
+        assert!(g.try_ty(a).is_none());
+        // Name reusable; slot not reused.
+        let a2 = g.add_type("A").unwrap();
+        assert_ne!(a, a2);
+    }
+
+    #[test]
+    fn extent_uniqueness() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.set_extent(a, Some("things".into())).unwrap();
+        assert_eq!(
+            g.set_extent(b, Some("things".into())).unwrap_err(),
+            ModelError::DuplicateExtent("things".into())
+        );
+        // Resetting one's own extent to the same name is fine.
+        g.set_extent(a, Some("things".into())).unwrap();
+        g.set_extent(a, None).unwrap();
+        g.set_extent(b, Some("things".into())).unwrap();
+    }
+
+    #[test]
+    fn keys_add_remove() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        g.add_key(a, Key::single("id")).unwrap();
+        assert!(matches!(
+            g.add_key(a, Key::single("id")),
+            Err(ModelError::DuplicateKey { .. })
+        ));
+        g.remove_key(a, &Key::single("id")).unwrap();
+        assert!(matches!(
+            g.remove_key(a, &Key::single("id")),
+            Err(ModelError::NoSuchKey { .. })
+        ));
+    }
+
+    #[test]
+    fn supertype_cycle_rejected() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        let c = g.add_type("C").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_supertype(c, b).unwrap();
+        assert!(matches!(
+            g.add_supertype(a, c),
+            Err(ModelError::SupertypeCycle { .. })
+        ));
+        assert!(matches!(
+            g.add_supertype(a, a),
+            Err(ModelError::SelfReference(_))
+        ));
+    }
+
+    #[test]
+    fn subtypes_maintained() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_supertype(b, a).unwrap();
+        assert_eq!(g.ty(a).subtypes, vec![b]);
+        g.remove_supertype(b, a).unwrap();
+        assert!(g.ty(a).subtypes.is_empty());
+    }
+
+    #[test]
+    fn attribute_uniqueness_across_member_kinds() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_relationship(
+            a,
+            "x",
+            Cardinality::One,
+            vec![],
+            b,
+            "a_of",
+            Cardinality::One,
+            vec![],
+        )
+        .unwrap();
+        // Attribute clashing with relationship path.
+        assert!(matches!(
+            g.add_attribute(a, "x", DomainType::Long, None),
+            Err(ModelError::DuplicateMember { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_attribute_prunes_keys_and_order_by() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        let name = g
+            .add_attribute(b, "name", DomainType::String, Some(32))
+            .unwrap();
+        g.add_key(b, Key::single("name")).unwrap();
+        g.add_relationship(
+            a,
+            "bs",
+            Cardinality::Many(CollectionKind::Set),
+            vec!["name".into()],
+            b,
+            "a_of",
+            Cardinality::One,
+            vec![],
+        )
+        .unwrap();
+        let report = g.remove_attribute(name).unwrap();
+        assert_eq!(
+            report.keys_pruned,
+            vec![("B".to_string(), "name".to_string())]
+        );
+        assert_eq!(
+            report.order_by_pruned,
+            vec![("A".to_string(), "bs".to_string(), "name".to_string())]
+        );
+        assert!(g.ty(b).keys.is_empty());
+        let (rid, e) = g.find_rel_end(a, "bs").unwrap();
+        assert!(g.rel(rid).end(e).order_by.is_empty());
+    }
+
+    #[test]
+    fn move_attribute_between_types() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        let x = g.add_attribute(a, "x", DomainType::Long, None).unwrap();
+        g.move_attribute(x, b).unwrap();
+        assert_eq!(g.attr(x).owner, b);
+        assert!(g.find_attr(a, "x").is_none());
+        assert_eq!(g.find_attr(b, "x"), Some(x));
+    }
+
+    #[test]
+    fn move_attribute_name_clash_rejected() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        let x = g.add_attribute(a, "x", DomainType::Long, None).unwrap();
+        g.add_attribute(b, "x", DomainType::String, None).unwrap();
+        assert!(matches!(
+            g.move_attribute(x, b),
+            Err(ModelError::DuplicateMember { .. })
+        ));
+    }
+
+    #[test]
+    fn relationship_round_trip() {
+        let mut g = graph();
+        let d = g.add_type("Department").unwrap();
+        let e = g.add_type("Employee").unwrap();
+        let r = g
+            .add_relationship(
+                d,
+                "has",
+                Cardinality::Many(CollectionKind::Set),
+                vec![],
+                e,
+                "works_in_a",
+                Cardinality::One,
+                vec![],
+            )
+            .unwrap();
+        assert_eq!(g.find_rel_end(d, "has"), Some((r, 0)));
+        assert_eq!(g.find_rel_end(e, "works_in_a"), Some((r, 1)));
+        let report = g.remove_relationship(r).unwrap();
+        assert_eq!(report.removed_rels.len(), 1);
+        assert!(g.find_rel_end(d, "has").is_none());
+    }
+
+    #[test]
+    fn self_relationship_allowed_with_distinct_paths() {
+        let mut g = graph();
+        let p = g.add_type("Person").unwrap();
+        let r = g
+            .add_relationship(
+                p,
+                "mentors",
+                Cardinality::Many(CollectionKind::Set),
+                vec![],
+                p,
+                "mentored_by",
+                Cardinality::One,
+                vec![],
+            )
+            .unwrap();
+        assert_eq!(g.find_rel_end(p, "mentors"), Some((r, 0)));
+        assert_eq!(g.find_rel_end(p, "mentored_by"), Some((r, 1)));
+        // Same path twice on the same type is rejected.
+        assert!(g
+            .add_relationship(
+                p,
+                "peer",
+                Cardinality::One,
+                vec![],
+                p,
+                "peer",
+                Cardinality::One,
+                vec![]
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn retarget_rel_end_moves_path() {
+        // The paper's Fig. 8: works_in_a moves from Employee to Person.
+        let mut g = graph();
+        let dept = g.add_type("Department").unwrap();
+        let person = g.add_type("Person").unwrap();
+        let emp = g.add_type("Employee").unwrap();
+        g.add_supertype(emp, person).unwrap();
+        let r = g
+            .add_relationship(
+                dept,
+                "has",
+                Cardinality::Many(CollectionKind::Set),
+                vec![],
+                emp,
+                "works_in_a",
+                Cardinality::One,
+                vec![],
+            )
+            .unwrap();
+        g.retarget_rel_end(r, 1, person).unwrap();
+        assert!(g.find_rel_end(emp, "works_in_a").is_none());
+        assert_eq!(g.find_rel_end(person, "works_in_a"), Some((r, 1)));
+        // Department's side still targets the relationship; its target type
+        // is now Person.
+        let (rid, e) = g.find_rel_end(dept, "has").unwrap();
+        assert_eq!(g.rel(rid).other(e).owner, person);
+    }
+
+    #[test]
+    fn remove_type_cascades() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        let c = g.add_type("C").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_supertype(c, b).unwrap();
+        g.add_attribute(b, "x", DomainType::Long, None).unwrap();
+        g.add_operation(b, Operation::nullary("f", DomainType::Void))
+            .unwrap();
+        g.add_relationship(
+            b,
+            "r",
+            Cardinality::One,
+            vec![],
+            a,
+            "inv",
+            Cardinality::One,
+            vec![],
+        )
+        .unwrap();
+        g.add_link(
+            HierKind::PartOf,
+            b,
+            "parts",
+            CollectionKind::Set,
+            vec![],
+            c,
+            "whole",
+        )
+        .unwrap();
+        let report = g.remove_type(b, RemoveTypeMode::RewireSubtypes).unwrap();
+        assert_eq!(
+            report.removed_attrs,
+            vec![("B".to_string(), "x".to_string())]
+        );
+        assert_eq!(report.removed_ops, vec![("B".to_string(), "f".to_string())]);
+        assert_eq!(report.removed_rels.len(), 1);
+        assert_eq!(report.removed_links.len(), 1);
+        // C was rewired to A.
+        assert_eq!(
+            report.rewired_subtypes,
+            vec![("C".to_string(), "A".to_string())]
+        );
+        assert_eq!(g.ty(c).supertypes, vec![a]);
+        assert_eq!(g.ty(a).subtypes, vec![c]);
+    }
+
+    #[test]
+    fn remove_type_detach_mode() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        let c = g.add_type("C").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_supertype(c, b).unwrap();
+        let report = g.remove_type(b, RemoveTypeMode::DetachSubtypes).unwrap();
+        assert_eq!(report.detached_subtypes, vec!["C".to_string()]);
+        assert!(g.ty(c).supertypes.is_empty());
+    }
+
+    #[test]
+    fn link_cycle_rejected() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        let c = g.add_type("C").unwrap();
+        g.add_link(
+            HierKind::PartOf,
+            a,
+            "bs",
+            CollectionKind::Set,
+            vec![],
+            b,
+            "a_of",
+        )
+        .unwrap();
+        g.add_link(
+            HierKind::PartOf,
+            b,
+            "cs",
+            CollectionKind::Set,
+            vec![],
+            c,
+            "b_of",
+        )
+        .unwrap();
+        assert!(matches!(
+            g.add_link(
+                HierKind::PartOf,
+                c,
+                "as",
+                CollectionKind::Set,
+                vec![],
+                a,
+                "c_of"
+            ),
+            Err(ModelError::HierarchyCycle { .. })
+        ));
+        // But an instance-of link C→A is a different hierarchy: allowed.
+        g.add_link(
+            HierKind::InstanceOf,
+            c,
+            "as",
+            CollectionKind::Set,
+            vec![],
+            a,
+            "c_of",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn retarget_link_end() {
+        let mut g = graph();
+        let house = g.add_type("House").unwrap();
+        let wall = g.add_type("Wall").unwrap();
+        let brick_wall = g.add_type("BrickWall").unwrap();
+        g.add_supertype(brick_wall, wall).unwrap();
+        let l = g
+            .add_link(
+                HierKind::PartOf,
+                house,
+                "walls",
+                CollectionKind::Set,
+                vec![],
+                wall,
+                "house",
+            )
+            .unwrap();
+        g.retarget_link_end(l, LinkSide::Child, brick_wall).unwrap();
+        assert_eq!(g.link(l).child, brick_wall);
+        assert!(g.find_link(HierKind::PartOf, wall, "house").is_none());
+        assert_eq!(
+            g.find_link(HierKind::PartOf, brick_wall, "house"),
+            Some((l, LinkSide::Child))
+        );
+    }
+
+    #[test]
+    fn retarget_link_end_cycle_rejected() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        let c = g.add_type("C").unwrap();
+        g.add_link(
+            HierKind::PartOf,
+            a,
+            "bs",
+            CollectionKind::Set,
+            vec![],
+            b,
+            "a_of",
+        )
+        .unwrap();
+        let l2 = g
+            .add_link(
+                HierKind::PartOf,
+                b,
+                "cs",
+                CollectionKind::Set,
+                vec![],
+                c,
+                "b_of",
+            )
+            .unwrap();
+        // Moving the parent of l2 from B to C would make C its own parent.
+        assert!(g.retarget_link_end(l2, LinkSide::Parent, c).is_err());
+        // Moving the child of l2 from C to A would create A→B→A.
+        assert!(g.retarget_link_end(l2, LinkSide::Child, a).is_err());
+    }
+
+    #[test]
+    fn operation_override_allowed_in_subtype() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_operation(a, Operation::nullary("f", DomainType::Void))
+            .unwrap();
+        // Same name on the subtype: an override, allowed.
+        g.add_operation(b, Operation::nullary("f", DomainType::Long))
+            .unwrap();
+        // Same name twice on the same type: rejected.
+        assert!(g
+            .add_operation(b, Operation::nullary("f", DomainType::Void))
+            .is_err());
+    }
+
+    #[test]
+    fn construct_count() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_attribute(a, "x", DomainType::Long, None).unwrap();
+        g.add_relationship(
+            a,
+            "r",
+            Cardinality::One,
+            vec![],
+            b,
+            "i",
+            Cardinality::One,
+            vec![],
+        )
+        .unwrap();
+        // 2 types + 1 supertype edge + 1 attr + 1 rel = 5
+        assert_eq!(g.construct_count(), 5);
+    }
+
+    #[test]
+    fn move_operation() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        let f = g
+            .add_operation(a, Operation::nullary("f", DomainType::Void))
+            .unwrap();
+        g.move_operation(f, b).unwrap();
+        assert_eq!(g.op(f).owner, b);
+        assert!(g.find_op(a, "f").is_none());
+        assert_eq!(g.find_op(b, "f"), Some(f));
+    }
+}

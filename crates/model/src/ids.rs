@@ -1,0 +1,74 @@
+//! Newtype IDs addressing the arenas of a [`crate::SchemaGraph`].
+//!
+//! IDs are plain `u32` indices. They are stable for the lifetime of the
+//! element (arena slots are tombstoned, never reused), so ops logs, mappings,
+//! and concept-schema views can hold them safely across mutations.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies an object type (interface definition).
+    TypeId,
+    "t"
+);
+define_id!(
+    /// Identifies an attribute.
+    AttrId,
+    "a"
+);
+define_id!(
+    /// Identifies a relationship (both ends share one ID).
+    RelId,
+    "r"
+);
+define_id!(
+    /// Identifies an operation.
+    OpId,
+    "o"
+);
+define_id!(
+    /// Identifies a part-of or instance-of link (both ends share one ID).
+    LinkId,
+    "l"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(TypeId(3).to_string(), "t3");
+        assert_eq!(AttrId(0).to_string(), "a0");
+        assert_eq!(RelId(7).to_string(), "r7");
+        assert_eq!(OpId(1).to_string(), "o1");
+        assert_eq!(LinkId(9).to_string(), "l9");
+        assert_eq!(LinkId(9).index(), 9);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(TypeId(1) < TypeId(2));
+    }
+}

@@ -1,0 +1,458 @@
+//! Graph-level well-formedness checking.
+//!
+//! These are the structural consistency checks the interactive designer runs
+//! after modifications to "discover problems in the user schema" (paper §1.2)
+//! — the ones expressible on the graph alone. Cross-concept-schema
+//! interaction checks live in `sws-core::consistency` on top of these.
+
+use crate::graph::SchemaGraph;
+use crate::ids::TypeId;
+use crate::query;
+use std::collections::BTreeSet;
+use std::fmt;
+use sws_odl::HierKind;
+
+/// One well-formedness finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WfIssue {
+    /// A non-operation member shadows a member inherited from an ancestor
+    /// (operations may override operations; everything else may not shadow).
+    InheritedMemberConflict {
+        ty: String,
+        member: String,
+        ancestor: String,
+    },
+    /// A key references an attribute not visible on the type.
+    KeyAttributeMissing {
+        ty: String,
+        key: String,
+        attribute: String,
+    },
+    /// An order-by list references an attribute not visible on the target.
+    OrderByAttributeMissing {
+        ty: String,
+        path: String,
+        target: String,
+        attribute: String,
+    },
+    /// An attribute domain references a type that is not in the schema.
+    DanglingAttrDomain {
+        ty: String,
+        attribute: String,
+        referenced: String,
+    },
+    /// An operation signature references a type that is not in the schema.
+    DanglingOpType {
+        ty: String,
+        operation: String,
+        referenced: String,
+    },
+    /// A generalization cycle (defensive; mutators prevent this).
+    GeneralizationCycle { ty: String },
+    /// A part-of / instance-of cycle (defensive; mutators prevent this).
+    HierarchyCycle { kind: HierKind, ty: String },
+}
+
+impl fmt::Display for WfIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WfIssue::InheritedMemberConflict { ty, member, ancestor } => write!(
+                f,
+                "member `{ty}::{member}` conflicts with a member inherited from `{ancestor}`"
+            ),
+            WfIssue::KeyAttributeMissing { ty, key, attribute } => write!(
+                f,
+                "key `{key}` of `{ty}` references attribute `{attribute}`, which is not visible"
+            ),
+            WfIssue::OrderByAttributeMissing { ty, path, target, attribute } => write!(
+                f,
+                "`{ty}::{path}` orders by `{attribute}`, which is not visible on `{target}`"
+            ),
+            WfIssue::DanglingAttrDomain { ty, attribute, referenced } => write!(
+                f,
+                "attribute `{ty}::{attribute}` references `{referenced}`, which is not in the schema"
+            ),
+            WfIssue::DanglingOpType { ty, operation, referenced } => write!(
+                f,
+                "operation `{ty}::{operation}` references `{referenced}`, which is not in the schema"
+            ),
+            WfIssue::GeneralizationCycle { ty } => {
+                write!(f, "`{ty}` participates in a generalization cycle")
+            }
+            WfIssue::HierarchyCycle { kind, ty } => {
+                write!(f, "`{ty}` participates in a {kind} cycle")
+            }
+        }
+    }
+}
+
+/// Check the whole graph, returning every finding (empty = well-formed).
+pub fn check_well_formed(g: &SchemaGraph) -> Vec<WfIssue> {
+    let mut issues = Vec::new();
+    for (id, node) in g.types() {
+        check_inherited_conflicts(g, id, &mut issues);
+        check_keys(g, id, &mut issues);
+        check_dangling(g, id, &mut issues);
+        if g.types().count() < 10_000 && has_gen_cycle(g, id) {
+            issues.push(WfIssue::GeneralizationCycle {
+                ty: node.name.clone(),
+            });
+        }
+        for kind in [HierKind::PartOf, HierKind::InstanceOf] {
+            if has_hier_cycle(g, kind, id) {
+                issues.push(WfIssue::HierarchyCycle {
+                    kind,
+                    ty: node.name.clone(),
+                });
+            }
+        }
+    }
+    check_order_bys(g, &mut issues);
+    issues
+}
+
+/// True if `attr` is an attribute of `t` or of one of its ancestors.
+fn attr_visible(g: &SchemaGraph, t: TypeId, attr: &str) -> bool {
+    if g.find_attr(t, attr).is_some() {
+        return true;
+    }
+    query::ancestors(g, t)
+        .iter()
+        .any(|&anc| g.find_attr(anc, attr).is_some())
+}
+
+fn check_inherited_conflicts(g: &SchemaGraph, id: TypeId, issues: &mut Vec<WfIssue>) {
+    let node = g.ty(id);
+    // Own non-operation member names; operations may override operations.
+    let mut own: Vec<(&str, bool)> = Vec::new(); // (name, is_operation)
+    for &a in &node.attrs {
+        own.push((&g.attr(a).name, false));
+    }
+    for &(r, e) in &node.rel_ends {
+        own.push((&g.rel(r).end(e).path, false));
+    }
+    for &l in &node.parent_links {
+        own.push((&g.link(l).parent_path, false));
+    }
+    for &l in &node.child_links {
+        own.push((&g.link(l).child_path, false));
+    }
+    for &o in &node.ops {
+        own.push((&g.op(o).op.name, true));
+    }
+    for anc in query::ancestors(g, id) {
+        let anc_node = g.ty(anc);
+        let anc_members: BTreeSet<&str> = anc_node
+            .attrs
+            .iter()
+            .map(|&a| g.attr(a).name.as_str())
+            .chain(
+                anc_node
+                    .rel_ends
+                    .iter()
+                    .map(|&(r, e)| g.rel(r).end(e).path.as_str()),
+            )
+            .chain(
+                anc_node
+                    .parent_links
+                    .iter()
+                    .map(|&l| g.link(l).parent_path.as_str()),
+            )
+            .chain(
+                anc_node
+                    .child_links
+                    .iter()
+                    .map(|&l| g.link(l).child_path.as_str()),
+            )
+            .collect();
+        let anc_ops: BTreeSet<&str> = anc_node
+            .ops
+            .iter()
+            .map(|&o| g.op(o).op.name.as_str())
+            .collect();
+        for &(name, is_op) in &own {
+            let conflict = if is_op {
+                // Operation may override an ancestor operation, but not
+                // shadow an ancestor attribute / path.
+                anc_members.contains(name)
+            } else {
+                anc_members.contains(name) || anc_ops.contains(name)
+            };
+            if conflict {
+                issues.push(WfIssue::InheritedMemberConflict {
+                    ty: node.name.clone(),
+                    member: name.to_string(),
+                    ancestor: anc_node.name.clone(),
+                });
+            }
+        }
+    }
+}
+
+fn check_keys(g: &SchemaGraph, id: TypeId, issues: &mut Vec<WfIssue>) {
+    let node = g.ty(id);
+    for key in &node.keys {
+        for attr in &key.0 {
+            if !attr_visible(g, id, attr) {
+                issues.push(WfIssue::KeyAttributeMissing {
+                    ty: node.name.clone(),
+                    key: key.to_string(),
+                    attribute: attr.clone(),
+                });
+            }
+        }
+    }
+}
+
+fn check_order_bys(g: &SchemaGraph, issues: &mut Vec<WfIssue>) {
+    for (_, rel) in g.rels() {
+        for e in 0..2u8 {
+            let end = rel.end(e);
+            let target = rel.other(e).owner;
+            for attr in &end.order_by {
+                if !attr_visible(g, target, attr) {
+                    issues.push(WfIssue::OrderByAttributeMissing {
+                        ty: g.type_name(end.owner).to_string(),
+                        path: end.path.clone(),
+                        target: g.type_name(target).to_string(),
+                        attribute: attr.clone(),
+                    });
+                }
+            }
+        }
+    }
+    for (_, link) in g.links() {
+        for attr in &link.order_by {
+            if !attr_visible(g, link.child, attr) {
+                issues.push(WfIssue::OrderByAttributeMissing {
+                    ty: g.type_name(link.parent).to_string(),
+                    path: link.parent_path.clone(),
+                    target: g.type_name(link.child).to_string(),
+                    attribute: attr.clone(),
+                });
+            }
+        }
+    }
+}
+
+fn check_dangling(g: &SchemaGraph, id: TypeId, issues: &mut Vec<WfIssue>) {
+    let node = g.ty(id);
+    for &a in &node.attrs {
+        let attr = g.attr(a);
+        let mut refs = Vec::new();
+        attr.ty.referenced_types(&mut refs);
+        for r in refs {
+            if g.type_id(r).is_none() {
+                issues.push(WfIssue::DanglingAttrDomain {
+                    ty: node.name.clone(),
+                    attribute: attr.name.clone(),
+                    referenced: r.to_string(),
+                });
+            }
+        }
+    }
+    for &o in &node.ops {
+        let op = g.op(o);
+        let mut refs = Vec::new();
+        op.op.return_type.referenced_types(&mut refs);
+        for p in &op.op.args {
+            p.ty.referenced_types(&mut refs);
+        }
+        for r in refs {
+            if g.type_id(r).is_none() {
+                issues.push(WfIssue::DanglingOpType {
+                    ty: node.name.clone(),
+                    operation: op.op.name.clone(),
+                    referenced: r.to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn has_gen_cycle(g: &SchemaGraph, start: TypeId) -> bool {
+    // Is `start` reachable from itself via supertype edges?
+    let mut stack: Vec<TypeId> = g.ty(start).supertypes.clone();
+    let mut seen = BTreeSet::new();
+    while let Some(t) = stack.pop() {
+        if t == start {
+            return true;
+        }
+        if seen.insert(t) {
+            stack.extend(g.ty(t).supertypes.iter().copied());
+        }
+    }
+    false
+}
+
+fn has_hier_cycle(g: &SchemaGraph, kind: HierKind, start: TypeId) -> bool {
+    let mut stack: Vec<TypeId> = query::hier_parents(g, kind, start)
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect();
+    let mut seen = BTreeSet::new();
+    while let Some(t) = stack.pop() {
+        if t == start {
+            return true;
+        }
+        if seen.insert(t) {
+            stack.extend(query::hier_parents(g, kind, t).into_iter().map(|(_, p)| p));
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_odl::{Cardinality, DomainType, Key, Operation};
+
+    #[test]
+    fn clean_graph_passes() {
+        let mut g = SchemaGraph::new("t");
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_attribute(a, "name", DomainType::String, None)
+            .unwrap();
+        g.add_key(a, Key::single("name")).unwrap();
+        g.add_relationship(
+            a,
+            "bs",
+            Cardinality::Many(sws_odl::CollectionKind::Set),
+            vec!["tag".into()],
+            b,
+            "a_of",
+            Cardinality::One,
+            vec![],
+        )
+        .unwrap();
+        g.add_attribute(b, "tag", DomainType::Long, None).unwrap();
+        assert!(check_well_formed(&g).is_empty());
+    }
+
+    #[test]
+    fn inherited_attribute_shadowing_flagged() {
+        let mut g = SchemaGraph::new("t");
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_attribute(a, "x", DomainType::Long, None).unwrap();
+        g.add_attribute(b, "x", DomainType::String, None).unwrap();
+        let issues = check_well_formed(&g);
+        assert!(issues.iter().any(
+            |i| matches!(i, WfIssue::InheritedMemberConflict { member, .. } if member == "x")
+        ));
+    }
+
+    #[test]
+    fn operation_override_not_flagged() {
+        let mut g = SchemaGraph::new("t");
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_operation(a, Operation::nullary("f", DomainType::Void))
+            .unwrap();
+        g.add_operation(b, Operation::nullary("f", DomainType::Long))
+            .unwrap();
+        assert!(check_well_formed(&g).is_empty());
+    }
+
+    #[test]
+    fn operation_shadowing_attribute_flagged() {
+        let mut g = SchemaGraph::new("t");
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_attribute(a, "f", DomainType::Long, None).unwrap();
+        g.add_operation(b, Operation::nullary("f", DomainType::Void))
+            .unwrap();
+        let issues = check_well_formed(&g);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, WfIssue::InheritedMemberConflict { .. })));
+    }
+
+    #[test]
+    fn key_over_inherited_attribute_ok() {
+        let mut g = SchemaGraph::new("t");
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_attribute(a, "id", DomainType::Long, None).unwrap();
+        g.add_key(b, Key::single("id")).unwrap();
+        assert!(check_well_formed(&g).is_empty());
+    }
+
+    #[test]
+    fn key_over_missing_attribute_flagged() {
+        let mut g = SchemaGraph::new("t");
+        let a = g.add_type("A").unwrap();
+        g.add_key(a, Key::single("ghost")).unwrap();
+        let issues = check_well_formed(&g);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, WfIssue::KeyAttributeMissing { .. })));
+    }
+
+    #[test]
+    fn dangling_attr_domain_flagged() {
+        let mut g = SchemaGraph::new("t");
+        let a = g.add_type("A").unwrap();
+        g.add_attribute(
+            a,
+            "gs",
+            DomainType::set_of(DomainType::named("Ghost")),
+            None,
+        )
+        .unwrap();
+        let issues = check_well_formed(&g);
+        assert!(issues.iter().any(
+            |i| matches!(i, WfIssue::DanglingAttrDomain { referenced, .. } if referenced == "Ghost")
+        ));
+    }
+
+    #[test]
+    fn dangling_op_type_flagged() {
+        let mut g = SchemaGraph::new("t");
+        let a = g.add_type("A").unwrap();
+        g.add_operation(a, Operation::nullary("make", DomainType::named("Ghost")))
+            .unwrap();
+        let issues = check_well_formed(&g);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, WfIssue::DanglingOpType { .. })));
+    }
+
+    #[test]
+    fn order_by_missing_on_target_flagged() {
+        let mut g = SchemaGraph::new("t");
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_relationship(
+            a,
+            "bs",
+            Cardinality::Many(sws_odl::CollectionKind::Set),
+            vec!["ghost".into()],
+            b,
+            "a_of",
+            Cardinality::One,
+            vec![],
+        )
+        .unwrap();
+        let issues = check_well_formed(&g);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, WfIssue::OrderByAttributeMissing { .. })));
+    }
+
+    #[test]
+    fn issues_display() {
+        let issue = WfIssue::KeyAttributeMissing {
+            ty: "A".into(),
+            key: "k".into(),
+            attribute: "x".into(),
+        };
+        assert!(issue.to_string().contains("key `k`"));
+    }
+}

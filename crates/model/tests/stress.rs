@@ -1,0 +1,164 @@
+//! Stress and lifecycle tests for the schema graph: ID stability under
+//! churn, tombstone semantics, and consistency after heavy mutation.
+
+use sws_model::{check_well_formed, graph_to_schema, schema_to_graph, RemoveTypeMode, SchemaGraph};
+use sws_odl::{Cardinality, CollectionKind, DomainType, HierKind, Key, Operation};
+
+#[test]
+fn ids_stay_valid_across_unrelated_removals() {
+    let mut g = SchemaGraph::new("t");
+    let a = g.add_type("A").unwrap();
+    let b = g.add_type("B").unwrap();
+    let c = g.add_type("C").unwrap();
+    let attr_a = g.add_attribute(a, "x", DomainType::Long, None).unwrap();
+    let rel_ab = g
+        .add_relationship(
+            a,
+            "r",
+            Cardinality::One,
+            vec![],
+            b,
+            "inv",
+            Cardinality::One,
+            vec![],
+        )
+        .unwrap();
+    // Removing C must not disturb A/B handles.
+    g.remove_type(c, RemoveTypeMode::default()).unwrap();
+    assert_eq!(g.attr(attr_a).name, "x");
+    assert_eq!(g.rel(rel_ab).ends[0].path, "r");
+    assert_eq!(g.type_name(a), "A");
+    // Dead handles answer None, not garbage.
+    assert!(g.try_ty(c).is_none());
+}
+
+#[test]
+fn name_reuse_after_deletion_gets_fresh_identity() {
+    let mut g = SchemaGraph::new("t");
+    let first = g.add_type("Phoenix").unwrap();
+    g.add_attribute(first, "age", DomainType::Long, None)
+        .unwrap();
+    g.remove_type(first, RemoveTypeMode::default()).unwrap();
+    let second = g.add_type("Phoenix").unwrap();
+    assert_ne!(first, second);
+    // The reborn type is empty: no attribute leakage from the tombstone.
+    assert!(g.ty(second).attrs.is_empty());
+    assert!(g.find_attr(second, "age").is_none());
+}
+
+#[test]
+fn heavy_churn_keeps_the_graph_well_formed() {
+    let mut g = SchemaGraph::new("churn");
+    // Build a 60-type web.
+    let mut ids = Vec::new();
+    for i in 0..60 {
+        let t = g.add_type(&format!("T{i}")).unwrap();
+        g.add_attribute(t, &format!("a{i}"), DomainType::String, Some(16))
+            .unwrap();
+        g.add_key(t, Key::single(format!("a{i}"))).unwrap();
+        if i > 0 && i % 3 == 0 {
+            g.add_supertype(t, ids[i - 1]).unwrap();
+        }
+        ids.push(t);
+    }
+    for i in 0..40 {
+        let a = ids[i];
+        let b = ids[i + 10];
+        g.add_relationship(
+            a,
+            &format!("r{i}"),
+            Cardinality::Many(CollectionKind::Set),
+            vec![],
+            b,
+            &format!("r{i}_inv"),
+            Cardinality::One,
+            vec![],
+        )
+        .unwrap();
+        if i % 4 == 0 {
+            g.add_link(
+                HierKind::PartOf,
+                a,
+                &format!("p{i}"),
+                CollectionKind::Set,
+                vec![],
+                ids[i + 15],
+                &format!("p{i}_inv"),
+            )
+            .unwrap();
+        }
+    }
+    assert!(check_well_formed(&g).is_empty());
+
+    // Tear out every third type; everything incident must cascade.
+    for i in (0..60).step_by(3) {
+        g.remove_type(ids[i], RemoveTypeMode::RewireSubtypes)
+            .unwrap();
+    }
+    assert_eq!(g.type_count(), 40);
+    let issues = check_well_formed(&g);
+    assert!(issues.is_empty(), "{issues:?}");
+
+    // Everything that survived still round-trips through the AST.
+    let ast = graph_to_schema(&g);
+    let relowered = schema_to_graph(&ast).unwrap();
+    assert_eq!(graph_to_schema(&relowered), ast);
+}
+
+#[test]
+fn clone_is_independent() {
+    let mut g = SchemaGraph::new("orig");
+    let a = g.add_type("A").unwrap();
+    let snapshot = g.clone();
+    g.add_attribute(a, "x", DomainType::Long, None).unwrap();
+    g.remove_type(a, RemoveTypeMode::default()).unwrap();
+    // The snapshot still has a live, attribute-free A.
+    assert!(snapshot.try_ty(a).is_some());
+    assert!(snapshot.find_attr(a, "x").is_none());
+    assert!(g.try_ty(a).is_none());
+}
+
+#[test]
+fn operations_with_same_name_across_types_are_independent() {
+    let mut g = SchemaGraph::new("t");
+    let mut ids = Vec::new();
+    for i in 0..20 {
+        let t = g.add_type(&format!("T{i}")).unwrap();
+        g.add_operation(t, Operation::nullary("describe", DomainType::String))
+            .unwrap();
+        ids.push(t);
+    }
+    // Remove half the operations; the others are untouched.
+    for (i, &t) in ids.iter().enumerate() {
+        if i % 2 == 0 {
+            let op = g.find_op(t, "describe").unwrap();
+            g.remove_operation(op).unwrap();
+        }
+    }
+    for (i, &t) in ids.iter().enumerate() {
+        assert_eq!(g.find_op(t, "describe").is_some(), i % 2 == 1);
+    }
+}
+
+#[test]
+fn thousand_type_graph_builds_quickly_and_round_trips() {
+    let mut g = SchemaGraph::new("big");
+    let mut prev = None;
+    for i in 0..1000 {
+        let t = g.add_type(&format!("T{i}")).unwrap();
+        g.add_attribute(t, &format!("a{i}"), DomainType::Long, None)
+            .unwrap();
+        if let Some(p) = prev {
+            g.add_supertype(t, p).unwrap();
+        }
+        if i % 10 == 0 {
+            prev = Some(t);
+        }
+    }
+    assert_eq!(g.type_count(), 1000);
+    assert_eq!(g.construct_count(), 1000 + 1000 + 999);
+    let ast = graph_to_schema(&g);
+    assert_eq!(ast.interfaces.len(), 1000);
+    let relowered = schema_to_graph(&ast).unwrap();
+    assert_eq!(relowered.type_count(), 1000);
+}

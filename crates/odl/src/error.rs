@@ -1,0 +1,104 @@
+//! Error and source-location types shared by the lexer and parser.
+
+use std::fmt;
+
+/// A half-open source region, tracked as 1-based line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Construct a span at the given position.
+    pub fn at(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// What went wrong while lexing or parsing extended ODL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OdlErrorKind {
+    /// A character that can start no token.
+    UnexpectedChar(char),
+    /// A numeric literal that does not fit in `u32`.
+    NumberOverflow(String),
+    /// Unterminated block comment.
+    UnterminatedComment,
+    /// The parser found `found` where it expected `expected`.
+    Expected { expected: String, found: String },
+    /// Input ended mid-construct.
+    UnexpectedEof { expected: String },
+    /// A size constraint was attached to a type that does not admit one.
+    SizeNotAllowed(String),
+}
+
+impl fmt::Display for OdlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            OdlErrorKind::NumberOverflow(s) => write!(f, "numeric literal out of range: {s}"),
+            OdlErrorKind::UnterminatedComment => f.write_str("unterminated block comment"),
+            OdlErrorKind::Expected { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            OdlErrorKind::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            OdlErrorKind::SizeNotAllowed(ty) => {
+                write!(f, "type `{ty}` does not admit a size constraint")
+            }
+        }
+    }
+}
+
+/// A lex/parse error with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OdlError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// The error itself.
+    pub kind: OdlErrorKind,
+}
+
+impl OdlError {
+    /// Construct an error at a span.
+    pub fn new(span: Span, kind: OdlErrorKind) -> Self {
+        OdlError { span, kind }
+    }
+}
+
+impl fmt::Display for OdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ODL error at {}: {}", self.span, self.kind)
+    }
+}
+
+impl std::error::Error for OdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = OdlError::new(
+            Span::at(3, 7),
+            OdlErrorKind::Expected {
+                expected: "`;`".into(),
+                found: "`}`".into(),
+            },
+        );
+        assert_eq!(e.to_string(), "ODL error at 3:7: expected `;`, found `}`");
+        let e = OdlError::new(Span::at(1, 1), OdlErrorKind::UnexpectedChar('%'));
+        assert!(e.to_string().contains("unexpected character"));
+    }
+}

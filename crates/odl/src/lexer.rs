@@ -1,0 +1,317 @@
+//! Hand-written lexer for extended ODL (and for the modification-operation
+//! language, which shares this token set).
+//!
+//! Comments: `// line` and `/* block */`. Identifiers are
+//! `[A-Za-z_][A-Za-z0-9_]*`; keywords are recognized by the parser, not the
+//! lexer, so application names may coincide with soft keywords where
+//! unambiguous.
+
+use crate::error::{OdlError, OdlErrorKind, Span};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(u32),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// End of input (synthetic; exactly one, last).
+    Eof,
+}
+
+impl Token {
+    /// A short human-readable rendering for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("`{s}`"),
+            Token::Number(n) => format!("`{n}`"),
+            Token::LBrace => "`{`".into(),
+            Token::RBrace => "`}`".into(),
+            Token::LParen => "`(`".into(),
+            Token::RParen => "`)`".into(),
+            Token::Lt => "`<`".into(),
+            Token::Gt => "`>`".into(),
+            Token::Colon => "`:`".into(),
+            Token::ColonColon => "`::`".into(),
+            Token::Semi => "`;`".into(),
+            Token::Comma => "`,`".into(),
+            Token::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token plus the source position where it starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Tokenize `src` fully. The resulting vector always ends with [`Token::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, OdlError> {
+    let mut out = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        ($c:expr) => {{
+            if $c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }};
+    }
+
+    while let Some(&(_, c)) = chars.peek() {
+        let span = Span::at(line, col);
+        if c.is_whitespace() {
+            chars.next();
+            bump!(c);
+            continue;
+        }
+        if c == '/' {
+            // Possible comment.
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek().map(|&(_, c2)| c2) {
+                Some('/') => {
+                    // Line comment: consume to end of line.
+                    for (_, c2) in chars.by_ref() {
+                        bump!(c2);
+                        if c2 == '\n' {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                Some('*') => {
+                    chars.next();
+                    bump!('/');
+                    chars.next();
+                    bump!('*');
+                    let mut closed = false;
+                    let mut prev = '\0';
+                    for (_, c2) in chars.by_ref() {
+                        bump!(c2);
+                        if prev == '*' && c2 == '/' {
+                            closed = true;
+                            break;
+                        }
+                        prev = c2;
+                    }
+                    if !closed {
+                        return Err(OdlError::new(span, OdlErrorKind::UnterminatedComment));
+                    }
+                    continue;
+                }
+                _ => {
+                    return Err(OdlError::new(span, OdlErrorKind::UnexpectedChar('/')));
+                }
+            }
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut ident = String::new();
+            while let Some(&(_, c2)) = chars.peek() {
+                if c2.is_ascii_alphanumeric() || c2 == '_' {
+                    ident.push(c2);
+                    chars.next();
+                    bump!(c2);
+                } else {
+                    break;
+                }
+            }
+            out.push(Spanned {
+                token: Token::Ident(ident),
+                span,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut digits = String::new();
+            while let Some(&(_, c2)) = chars.peek() {
+                if c2.is_ascii_digit() {
+                    digits.push(c2);
+                    chars.next();
+                    bump!(c2);
+                } else {
+                    break;
+                }
+            }
+            let value: u32 = digits
+                .parse()
+                .map_err(|_| OdlError::new(span, OdlErrorKind::NumberOverflow(digits.clone())))?;
+            out.push(Spanned {
+                token: Token::Number(value),
+                span,
+            });
+            continue;
+        }
+        let token = match c {
+            '{' => Token::LBrace,
+            '}' => Token::RBrace,
+            '(' => Token::LParen,
+            ')' => Token::RParen,
+            '<' => Token::Lt,
+            '>' => Token::Gt,
+            ';' => Token::Semi,
+            ',' => Token::Comma,
+            ':' => {
+                chars.next();
+                bump!(':');
+                if let Some(&(_, ':')) = chars.peek() {
+                    chars.next();
+                    bump!(':');
+                    out.push(Spanned {
+                        token: Token::ColonColon,
+                        span,
+                    });
+                } else {
+                    out.push(Spanned {
+                        token: Token::Colon,
+                        span,
+                    });
+                }
+                continue;
+            }
+            other => return Err(OdlError::new(span, OdlErrorKind::UnexpectedChar(other))),
+        };
+        chars.next();
+        bump!(c);
+        out.push(Spanned { token, span });
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        span: Span::at(line, col),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("interface A : B { }"),
+            vec![
+                Token::Ident("interface".into()),
+                Token::Ident("A".into()),
+                Token::Colon,
+                Token::Ident("B".into()),
+                Token::LBrace,
+                Token::RBrace,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn double_colon_vs_single() {
+        assert_eq!(
+            toks("A::b : c"),
+            vec![
+                Token::Ident("A".into()),
+                Token::ColonColon,
+                Token::Ident("b".into()),
+                Token::Colon,
+                Token::Ident("c".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_generics() {
+        assert_eq!(
+            toks("string(32) set<Course>"),
+            vec![
+                Token::Ident("string".into()),
+                Token::LParen,
+                Token::Number(32),
+                Token::RParen,
+                Token::Ident("set".into()),
+                Token::Lt,
+                Token::Ident("Course".into()),
+                Token::Gt,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // c1\n /* multi\nline */ b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let err = tokenize("/* oops").unwrap_err();
+        assert_eq!(err.kind, OdlErrorKind::UnterminatedComment);
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let err = tokenize("a % b").unwrap_err();
+        assert_eq!(err.kind, OdlErrorKind::UnexpectedChar('%'));
+        assert_eq!(err.span, Span::at(1, 3));
+    }
+
+    #[test]
+    fn number_overflow_errors() {
+        let err = tokenize("99999999999999999999").unwrap_err();
+        assert!(matches!(err.kind, OdlErrorKind::NumberOverflow(_)));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let spanned = tokenize("a\n  b").unwrap();
+        assert_eq!(spanned[0].span, Span::at(1, 1));
+        assert_eq!(spanned[1].span, Span::at(2, 3));
+    }
+
+    #[test]
+    fn lone_slash_is_error() {
+        assert!(tokenize("a / b").is_err());
+    }
+}

@@ -1,0 +1,596 @@
+//! Recursive-descent parser for extended ODL.
+//!
+//! # Concrete syntax
+//!
+//! ```text
+//! schema University {                          // wrapper optional
+//!     abstract interface Person {              // `abstract` optional
+//!         extent people;
+//!         keys id, (first, last);              // `key` also accepted
+//!         attribute string(32) name;           // size only on string/char
+//!         attribute set<string> nicknames;
+//!         relationship set<Employee> has inverse Employee::works_in_a
+//!             order_by (name);
+//!         part_of set<Wall> walls inverse Wall::wall_of;       // parent side
+//!         part_of House wall_of inverse House::walls;          // child side
+//!         instance_of set<Version> versions inverse Version::application;
+//!         float gpa(in unsigned_long term) raises (NoGrades);  // operation
+//!     }
+//! }
+//! ```
+//!
+//! Members may appear in any order; source order is preserved per member
+//! kind. The `inverse` clause must be qualified with the relationship's
+//! target type (`Target::path`), exactly as in the paper's listings.
+
+use crate::ast::{
+    Attribute, Cardinality, HierKind, HierLink, Interface, Key, Operation, Param, ParamDir,
+    Relationship, Schema,
+};
+use crate::error::{OdlError, OdlErrorKind, Span};
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::types::{CollectionKind, DomainType};
+
+/// Parse a complete extended-ODL schema. A `schema Name { ... }` wrapper is
+/// optional; without it the schema is named `"schema"`.
+pub fn parse_schema(src: &str) -> Result<Schema, OdlError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let schema = p.schema()?;
+    p.expect_eof()?;
+    Ok(schema)
+}
+
+/// Parse a single interface definition.
+pub fn parse_interface(src: &str) -> Result<Interface, OdlError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let iface = p.interface()?;
+    p.expect_eof()?;
+    Ok(iface)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_expected(&self, expected: &str) -> OdlError {
+        if matches!(self.peek(), Token::Eof) {
+            OdlError::new(
+                self.span(),
+                OdlErrorKind::UnexpectedEof {
+                    expected: expected.into(),
+                },
+            )
+        } else {
+            OdlError::new(
+                self.span(),
+                OdlErrorKind::Expected {
+                    expected: expected.into(),
+                    found: self.peek().describe(),
+                },
+            )
+        }
+    }
+
+    fn expect(&mut self, want: &Token, desc: &str) -> Result<(), OdlError> {
+        if self.peek() == want {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err_expected(desc))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), OdlError> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            Err(self.err_expected("end of input"))
+        }
+    }
+
+    fn ident(&mut self, desc: &str) -> Result<String, OdlError> {
+        match self.peek() {
+            Token::Ident(_) => match self.advance() {
+                Token::Ident(s) => Ok(s),
+                _ => unreachable!(),
+            },
+            _ => Err(self.err_expected(desc)),
+        }
+    }
+
+    /// True if the next token is the identifier `word`.
+    fn at_word(&self, word: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == word)
+    }
+
+    /// Consume the identifier `word` if present.
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.at_word(word) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self, desc: &str) -> Result<u32, OdlError> {
+        match self.peek() {
+            Token::Number(_) => match self.advance() {
+                Token::Number(n) => Ok(n),
+                _ => unreachable!(),
+            },
+            _ => Err(self.err_expected(desc)),
+        }
+    }
+
+    fn schema(&mut self) -> Result<Schema, OdlError> {
+        let mut schema;
+        let wrapped = self.at_word("schema");
+        if wrapped {
+            self.advance();
+            let name = self.ident("schema name")?;
+            schema = Schema::new(name);
+            self.expect(&Token::LBrace, "`{`")?;
+        } else {
+            schema = Schema::new("schema");
+        }
+        loop {
+            if self.at_word("interface") || self.at_word("abstract") {
+                schema.interfaces.push(self.interface()?);
+            } else {
+                break;
+            }
+        }
+        if wrapped {
+            self.expect(&Token::RBrace, "`}`")?;
+        }
+        Ok(schema)
+    }
+
+    fn interface(&mut self) -> Result<Interface, OdlError> {
+        let is_abstract = self.eat_word("abstract");
+        if !self.eat_word("interface") {
+            return Err(self.err_expected("`interface`"));
+        }
+        let name = self.ident("interface name")?;
+        let mut iface = Interface::new(name);
+        iface.is_abstract = is_abstract;
+        if matches!(self.peek(), Token::Colon) {
+            self.advance();
+            loop {
+                iface.supertypes.push(self.ident("supertype name")?);
+                if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::LBrace, "`{`")?;
+        while !matches!(self.peek(), Token::RBrace) {
+            self.member(&mut iface)?;
+        }
+        self.expect(&Token::RBrace, "`}`")?;
+        Ok(iface)
+    }
+
+    fn member(&mut self, iface: &mut Interface) -> Result<(), OdlError> {
+        if self.eat_word("extent") {
+            let name = self.ident("extent name")?;
+            iface.extent = Some(name);
+            self.expect(&Token::Semi, "`;`")?;
+        } else if self.at_word("keys") || self.at_word("key") {
+            self.advance();
+            loop {
+                iface.keys.push(self.key()?);
+                if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Token::Semi, "`;`")?;
+        } else if self.eat_word("attribute") {
+            iface.attributes.push(self.attribute()?);
+        } else if self.eat_word("relationship") {
+            iface.relationships.push(self.relationship()?);
+        } else if self.eat_word("part_of") {
+            iface.part_ofs.push(self.hier_link(HierKind::PartOf)?);
+        } else if self.eat_word("instance_of") {
+            iface
+                .instance_ofs
+                .push(self.hier_link(HierKind::InstanceOf)?);
+        } else if matches!(self.peek(), Token::Ident(_)) {
+            iface.operations.push(self.operation()?);
+        } else {
+            return Err(self.err_expected("an interface member"));
+        }
+        Ok(())
+    }
+
+    fn key(&mut self) -> Result<Key, OdlError> {
+        if matches!(self.peek(), Token::LParen) {
+            self.advance();
+            let mut parts = Vec::new();
+            loop {
+                parts.push(self.ident("key attribute name")?);
+                if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen, "`)`")?;
+            Ok(Key(parts))
+        } else {
+            Ok(Key::single(self.ident("key attribute name")?))
+        }
+    }
+
+    fn attribute(&mut self) -> Result<Attribute, OdlError> {
+        let span = self.span();
+        let ty = self.domain_type()?;
+        let size = if matches!(self.peek(), Token::LParen) {
+            if !ty.admits_size() {
+                return Err(OdlError::new(
+                    span,
+                    OdlErrorKind::SizeNotAllowed(ty.to_string()),
+                ));
+            }
+            self.advance();
+            let n = self.number("size")?;
+            self.expect(&Token::RParen, "`)`")?;
+            Some(n)
+        } else {
+            None
+        };
+        let name = self.ident("attribute name")?;
+        self.expect(&Token::Semi, "`;`")?;
+        Ok(Attribute { name, ty, size })
+    }
+
+    /// Parse a relationship target specification: `Ident` or
+    /// `set|list|bag<Ident>`, returning `(target type, cardinality)`.
+    fn target_spec(&mut self) -> Result<(String, Cardinality), OdlError> {
+        let word = self.ident("target type")?;
+        let kind = match word.as_str() {
+            "set" => Some(CollectionKind::Set),
+            "list" => Some(CollectionKind::List),
+            "bag" => Some(CollectionKind::Bag),
+            _ => None,
+        };
+        match kind {
+            Some(k) if matches!(self.peek(), Token::Lt) => {
+                self.advance();
+                let target = self.ident("target type")?;
+                self.expect(&Token::Gt, "`>`")?;
+                Ok((target, Cardinality::Many(k)))
+            }
+            _ => Ok((word, Cardinality::One)),
+        }
+    }
+
+    /// Parse `inverse Target::path`, checking the qualifier names `target`.
+    fn inverse_clause(&mut self, target: &str) -> Result<String, OdlError> {
+        if !self.eat_word("inverse") {
+            return Err(self.err_expected("`inverse`"));
+        }
+        let span = self.span();
+        let qualifier = self.ident("inverse qualifier (target type)")?;
+        if qualifier != target {
+            return Err(OdlError::new(
+                span,
+                OdlErrorKind::Expected {
+                    expected: format!("inverse qualifier `{target}`"),
+                    found: format!("`{qualifier}`"),
+                },
+            ));
+        }
+        self.expect(&Token::ColonColon, "`::`")?;
+        self.ident("inverse traversal path name")
+    }
+
+    fn order_by_clause(&mut self) -> Result<Vec<String>, OdlError> {
+        if !self.eat_word("order_by") {
+            return Ok(Vec::new());
+        }
+        self.expect(&Token::LParen, "`(`")?;
+        let mut attrs = Vec::new();
+        loop {
+            attrs.push(self.ident("order-by attribute name")?);
+            if matches!(self.peek(), Token::Comma) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "`)`")?;
+        Ok(attrs)
+    }
+
+    fn relationship(&mut self) -> Result<Relationship, OdlError> {
+        let (target, cardinality) = self.target_spec()?;
+        let path = self.ident("traversal path name")?;
+        let inverse_path = self.inverse_clause(&target)?;
+        let order_by = self.order_by_clause()?;
+        self.expect(&Token::Semi, "`;`")?;
+        Ok(Relationship {
+            path,
+            target,
+            cardinality,
+            inverse_path,
+            order_by,
+        })
+    }
+
+    fn hier_link(&mut self, _kind: HierKind) -> Result<HierLink, OdlError> {
+        let (target, cardinality) = self.target_spec()?;
+        let path = self.ident("traversal path name")?;
+        let inverse_path = self.inverse_clause(&target)?;
+        let order_by = self.order_by_clause()?;
+        self.expect(&Token::Semi, "`;`")?;
+        Ok(HierLink {
+            path,
+            target,
+            cardinality,
+            inverse_path,
+            order_by,
+        })
+    }
+
+    fn operation(&mut self) -> Result<Operation, OdlError> {
+        let return_type = self.domain_type()?;
+        let name = self.ident("operation name")?;
+        self.expect(&Token::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if !matches!(self.peek(), Token::RParen) {
+            loop {
+                args.push(self.param()?);
+                if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen, "`)`")?;
+        let mut raises = Vec::new();
+        if self.eat_word("raises") {
+            self.expect(&Token::LParen, "`(`")?;
+            loop {
+                raises.push(self.ident("exception name")?);
+                if matches!(self.peek(), Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen, "`)`")?;
+        }
+        self.expect(&Token::Semi, "`;`")?;
+        Ok(Operation {
+            name,
+            return_type,
+            args,
+            raises,
+        })
+    }
+
+    fn param(&mut self) -> Result<Param, OdlError> {
+        let direction = if self.eat_word("in") {
+            ParamDir::In
+        } else if self.eat_word("out") {
+            ParamDir::Out
+        } else if self.eat_word("inout") {
+            ParamDir::InOut
+        } else {
+            ParamDir::In
+        };
+        let ty = self.domain_type()?;
+        let name = self.ident("parameter name")?;
+        Ok(Param {
+            direction,
+            ty,
+            name,
+        })
+    }
+
+    fn domain_type(&mut self) -> Result<DomainType, OdlError> {
+        let word = self.ident("a type")?;
+        match word.as_str() {
+            "set" | "list" | "bag" => {
+                let kind = match word.as_str() {
+                    "set" => CollectionKind::Set,
+                    "list" => CollectionKind::List,
+                    _ => CollectionKind::Bag,
+                };
+                if matches!(self.peek(), Token::Lt) {
+                    self.advance();
+                    let elem = self.domain_type()?;
+                    self.expect(&Token::Gt, "`>`")?;
+                    Ok(DomainType::Collection(kind, Box::new(elem)))
+                } else {
+                    // `set` used as a plain type name.
+                    Ok(DomainType::Named(word))
+                }
+            }
+            "array" => {
+                self.expect(&Token::Lt, "`<`")?;
+                let elem = self.domain_type()?;
+                self.expect(&Token::Comma, "`,`")?;
+                let n = self.number("array length")?;
+                self.expect(&Token::Gt, "`>`")?;
+                Ok(DomainType::Array(Box::new(elem), n))
+            }
+            _ => {
+                if let Some(prim) = DomainType::from_keyword(&word) {
+                    Ok(prim)
+                } else {
+                    Ok(DomainType::Named(word))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_interface() {
+        let src = r#"
+        abstract interface Person : LivingThing, Legal {
+            extent people;
+            keys id, (first, last);
+            attribute string(32) name;
+            attribute unsigned_long age;
+            attribute set<string> nicknames;
+            relationship Department works_in_a inverse Department::has;
+            relationship set<Course> takes inverse Course::taken_by order_by (number, term);
+            part_of set<Limb> limbs inverse Limb::body;
+            instance_of Archetype archetype inverse Archetype::examples;
+            float gpa(in unsigned_long term, out long count) raises (NoGrades, BadTerm);
+            void enroll();
+        }"#;
+        let i = parse_interface(src).unwrap();
+        assert!(i.is_abstract);
+        assert_eq!(i.name, "Person");
+        assert_eq!(i.supertypes, vec!["LivingThing", "Legal"]);
+        assert_eq!(i.extent.as_deref(), Some("people"));
+        assert_eq!(i.keys.len(), 2);
+        assert_eq!(i.keys[1].0, vec!["first", "last"]);
+        assert_eq!(i.attributes.len(), 3);
+        assert_eq!(i.attributes[0].size, Some(32));
+        assert_eq!(i.attributes[2].ty, DomainType::set_of(DomainType::String));
+        assert_eq!(i.relationships.len(), 2);
+        assert_eq!(i.relationships[0].cardinality, Cardinality::One);
+        assert_eq!(
+            i.relationships[1].cardinality,
+            Cardinality::Many(CollectionKind::Set)
+        );
+        assert_eq!(i.relationships[1].order_by, vec!["number", "term"]);
+        assert_eq!(i.part_ofs.len(), 1);
+        assert!(i.part_ofs[0].is_parent_side());
+        assert_eq!(i.instance_ofs.len(), 1);
+        assert!(!i.instance_ofs[0].is_parent_side());
+        assert_eq!(i.operations.len(), 2);
+        assert_eq!(i.operations[0].raises, vec!["NoGrades", "BadTerm"]);
+        assert_eq!(i.operations[1].return_type, DomainType::Void);
+    }
+
+    #[test]
+    fn parses_wrapped_and_bare_schema() {
+        let wrapped = "schema Uni { interface A { } interface B { } }";
+        let s = parse_schema(wrapped).unwrap();
+        assert_eq!(s.name, "Uni");
+        assert_eq!(s.interfaces.len(), 2);
+        let bare = "interface A { } interface B { }";
+        let s = parse_schema(bare).unwrap();
+        assert_eq!(s.name, "schema");
+        assert_eq!(s.interfaces.len(), 2);
+    }
+
+    #[test]
+    fn inverse_qualifier_must_match_target() {
+        let src = "interface A { relationship B r inverse C::x; }";
+        let err = parse_schema(src).unwrap_err();
+        assert!(matches!(err.kind, OdlErrorKind::Expected { .. }));
+    }
+
+    #[test]
+    fn size_on_non_string_rejected() {
+        let src = "interface A { attribute long(4) x; }";
+        let err = parse_schema(src).unwrap_err();
+        assert!(matches!(err.kind, OdlErrorKind::SizeNotAllowed(_)));
+    }
+
+    #[test]
+    fn paper_figure8_listing_parses() {
+        // The exact relationship declarations from §3.4 of the paper.
+        let src = r#"
+        interface Department {
+            relationship set<Employee> has inverse Employee::works_in_a;
+        }
+        interface Employee {
+            relationship Department works_in_a inverse Department::has;
+        }"#;
+        let s = parse_schema(src).unwrap();
+        let dept = s.interface("Department").unwrap();
+        assert_eq!(dept.relationships[0].target, "Employee");
+        assert_eq!(dept.relationships[0].inverse_path, "works_in_a");
+    }
+
+    #[test]
+    fn operation_with_default_in_direction() {
+        let src = "interface A { long f(unsigned_long x); }";
+        let s = parse_schema(src).unwrap();
+        let op = &s.interfaces[0].operations[0];
+        assert_eq!(op.args[0].direction, ParamDir::In);
+    }
+
+    #[test]
+    fn nested_collection_attribute() {
+        let src = "interface A { attribute list<set<long>> grid; }";
+        let s = parse_schema(src).unwrap();
+        assert_eq!(
+            s.interfaces[0].attributes[0].ty,
+            DomainType::list_of(DomainType::set_of(DomainType::Long))
+        );
+    }
+
+    #[test]
+    fn array_type() {
+        let src = "interface A { attribute array<double, 3> position; }";
+        let s = parse_schema(src).unwrap();
+        assert_eq!(
+            s.interfaces[0].attributes[0].ty,
+            DomainType::Array(Box::new(DomainType::Double), 3)
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_schema("interface A { } garbage").is_err());
+    }
+
+    #[test]
+    fn missing_semicolon_reported() {
+        let err = parse_schema("interface A { attribute long x }").unwrap_err();
+        assert!(matches!(err.kind, OdlErrorKind::Expected { .. }));
+    }
+
+    #[test]
+    fn eof_mid_interface_reported() {
+        let err = parse_schema("interface A { attribute").unwrap_err();
+        assert!(matches!(err.kind, OdlErrorKind::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn set_as_plain_type_name() {
+        // `set` not followed by `<` is treated as a named type.
+        let src = "interface A { attribute set x; }";
+        let s = parse_schema(src).unwrap();
+        assert_eq!(s.interfaces[0].attributes[0].ty, DomainType::named("set"));
+    }
+}

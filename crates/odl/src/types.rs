@@ -1,0 +1,244 @@
+//! The domain-type language of extended ODL.
+//!
+//! Attribute domains, operation return types, and operation parameters range
+//! over this type language. It contains the ODMG atomic literal types, named
+//! object-type references, and the object-oriented type constructors
+//! (`set<>`, `list<>`, `bag<>`, `array<,>`). The constructors are listed by
+//! the paper (§5, extensions) as a desirable addition to the data model; we
+//! include them so that complex objects can be modelled.
+
+use std::fmt;
+
+/// The collection constructors usable both in attribute domains and on the
+/// "many" side of relationships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CollectionKind {
+    /// Unordered, no duplicates.
+    Set,
+    /// Ordered, duplicates allowed.
+    List,
+    /// Unordered, duplicates allowed.
+    Bag,
+}
+
+impl CollectionKind {
+    /// The ODL keyword for this constructor.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            CollectionKind::Set => "set",
+            CollectionKind::List => "list",
+            CollectionKind::Bag => "bag",
+        }
+    }
+
+    /// All collection kinds, in canonical order.
+    pub const ALL: [CollectionKind; 3] = [
+        CollectionKind::Set,
+        CollectionKind::List,
+        CollectionKind::Bag,
+    ];
+}
+
+impl fmt::Display for CollectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A domain type: the type of an attribute, operation return, or parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DomainType {
+    /// `boolean`
+    Bool,
+    /// `short` (16-bit signed)
+    Short,
+    /// `long` (32-bit signed)
+    Long,
+    /// `unsigned_short`
+    UShort,
+    /// `unsigned_long`
+    ULong,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `char`
+    Char,
+    /// `octet`
+    Octet,
+    /// `string` — the size, when constrained, is carried on the attribute
+    /// (the paper's Table 2/3 treat *size* as a separate ODL candidate with
+    /// its own `modify_attribute_size` operation).
+    String,
+    /// `date`
+    Date,
+    /// `time`
+    Time,
+    /// `timestamp`
+    Timestamp,
+    /// `void` — only meaningful as an operation return type.
+    Void,
+    /// A reference to a named object type (interface) or enum.
+    Named(String),
+    /// A collection of element type, e.g. `set<string>`.
+    Collection(CollectionKind, Box<DomainType>),
+    /// `array<T, n>`
+    Array(Box<DomainType>, u32),
+}
+
+impl DomainType {
+    /// Construct a named type reference.
+    pub fn named(name: impl Into<String>) -> Self {
+        DomainType::Named(name.into())
+    }
+
+    /// Construct a `set<elem>` type.
+    pub fn set_of(elem: DomainType) -> Self {
+        DomainType::Collection(CollectionKind::Set, Box::new(elem))
+    }
+
+    /// Construct a `list<elem>` type.
+    pub fn list_of(elem: DomainType) -> Self {
+        DomainType::Collection(CollectionKind::List, Box::new(elem))
+    }
+
+    /// Construct a `bag<elem>` type.
+    pub fn bag_of(elem: DomainType) -> Self {
+        DomainType::Collection(CollectionKind::Bag, Box::new(elem))
+    }
+
+    /// True if this is an atomic (non-constructed, non-named) literal type.
+    pub fn is_atomic(&self) -> bool {
+        !matches!(
+            self,
+            DomainType::Named(_) | DomainType::Collection(..) | DomainType::Array(..)
+        )
+    }
+
+    /// True if a `(size)` constraint is meaningful for this type. The ODL
+    /// grammar only attaches sizes to `string` and `char` attributes.
+    pub fn admits_size(&self) -> bool {
+        matches!(self, DomainType::String | DomainType::Char)
+    }
+
+    /// The names of all object types referenced (transitively) by this type.
+    pub fn referenced_types<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            DomainType::Named(n) => out.push(n),
+            DomainType::Collection(_, elem) | DomainType::Array(elem, _) => {
+                elem.referenced_types(out)
+            }
+            _ => {}
+        }
+    }
+
+    /// Parse a primitive keyword, if `word` names one.
+    pub fn from_keyword(word: &str) -> Option<DomainType> {
+        Some(match word {
+            "boolean" => DomainType::Bool,
+            "short" => DomainType::Short,
+            "long" => DomainType::Long,
+            "unsigned_short" => DomainType::UShort,
+            "unsigned_long" => DomainType::ULong,
+            "float" => DomainType::Float,
+            "double" => DomainType::Double,
+            "char" => DomainType::Char,
+            "octet" => DomainType::Octet,
+            "string" => DomainType::String,
+            "date" => DomainType::Date,
+            "time" => DomainType::Time,
+            "timestamp" => DomainType::Timestamp,
+            "void" => DomainType::Void,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DomainType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainType::Bool => f.write_str("boolean"),
+            DomainType::Short => f.write_str("short"),
+            DomainType::Long => f.write_str("long"),
+            DomainType::UShort => f.write_str("unsigned_short"),
+            DomainType::ULong => f.write_str("unsigned_long"),
+            DomainType::Float => f.write_str("float"),
+            DomainType::Double => f.write_str("double"),
+            DomainType::Char => f.write_str("char"),
+            DomainType::Octet => f.write_str("octet"),
+            DomainType::String => f.write_str("string"),
+            DomainType::Date => f.write_str("date"),
+            DomainType::Time => f.write_str("time"),
+            DomainType::Timestamp => f.write_str("timestamp"),
+            DomainType::Void => f.write_str("void"),
+            DomainType::Named(n) => f.write_str(n),
+            DomainType::Collection(kind, elem) => write!(f, "{kind}<{elem}>"),
+            DomainType::Array(elem, n) => write!(f, "array<{elem}, {n}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            "boolean",
+            "short",
+            "long",
+            "unsigned_short",
+            "unsigned_long",
+            "float",
+            "double",
+            "char",
+            "octet",
+            "string",
+            "date",
+            "time",
+            "timestamp",
+            "void",
+        ] {
+            let ty = DomainType::from_keyword(kw).unwrap();
+            assert_eq!(ty.to_string(), kw);
+        }
+        assert_eq!(DomainType::from_keyword("Person"), None);
+    }
+
+    #[test]
+    fn display_constructed() {
+        let t = DomainType::set_of(DomainType::named("Course"));
+        assert_eq!(t.to_string(), "set<Course>");
+        let t = DomainType::Array(Box::new(DomainType::Double), 3);
+        assert_eq!(t.to_string(), "array<double, 3>");
+        let t = DomainType::list_of(DomainType::bag_of(DomainType::String));
+        assert_eq!(t.to_string(), "list<bag<string>>");
+    }
+
+    #[test]
+    fn referenced_types_walks_nesting() {
+        let t = DomainType::list_of(DomainType::Array(Box::new(DomainType::named("Widget")), 4));
+        let mut out = Vec::new();
+        t.referenced_types(&mut out);
+        assert_eq!(out, vec!["Widget"]);
+        let mut out = Vec::new();
+        DomainType::Long.referenced_types(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn size_admissibility() {
+        assert!(DomainType::String.admits_size());
+        assert!(DomainType::Char.admits_size());
+        assert!(!DomainType::Long.admits_size());
+        assert!(!DomainType::named("Person").admits_size());
+    }
+
+    #[test]
+    fn atomicity() {
+        assert!(DomainType::Float.is_atomic());
+        assert!(!DomainType::named("X").is_atomic());
+        assert!(!DomainType::set_of(DomainType::Long).is_atomic());
+    }
+}

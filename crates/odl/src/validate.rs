@@ -1,0 +1,505 @@
+//! Source-level (AST) well-formedness checks for extended-ODL schemas.
+//!
+//! These checks enforce the paper's standing assumptions (§3.2) at the schema
+//! boundary: *uniqueness* (type, relationship, attribute, and operation names
+//! identify their constructs) and structural sanity of the extended
+//! relationship kinds (reciprocal inverses, the implicit 1:N cardinality of
+//! part-of and instance-of). Deeper graph invariants (hierarchy acyclicity,
+//! inheritance conflicts) are checked by `sws-model`'s well-formedness pass,
+//! which operates on the resolved schema graph.
+
+use crate::ast::{HierKind, HierLink, Interface, Schema};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One validation finding. All issues are reported; none abort validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationIssue {
+    /// Two interfaces share a name.
+    DuplicateInterface { name: String },
+    /// Two members of one interface share a name.
+    DuplicateMember { interface: String, member: String },
+    /// Two extents share a name.
+    DuplicateExtent { name: String },
+    /// A supertype reference does not resolve.
+    UnknownSupertype {
+        interface: String,
+        supertype: String,
+    },
+    /// A relationship / part-of / instance-of target does not resolve.
+    UnknownTarget {
+        interface: String,
+        path: String,
+        target: String,
+    },
+    /// A key references a missing attribute.
+    UnknownKeyAttribute {
+        interface: String,
+        attribute: String,
+    },
+    /// An order-by list references an attribute missing on the target type.
+    UnknownOrderByAttribute {
+        interface: String,
+        path: String,
+        attribute: String,
+    },
+    /// The declared inverse does not exist on the target type.
+    MissingInverse {
+        interface: String,
+        path: String,
+        target: String,
+        inverse: String,
+    },
+    /// The declared inverse exists but does not point back at this path.
+    InverseMismatch {
+        interface: String,
+        path: String,
+        target: String,
+        inverse: String,
+    },
+    /// Both ends of a part-of / instance-of link are collection-valued (or
+    /// both single-valued), violating the implicit 1:N cardinality.
+    BadHierCardinality {
+        kind: HierKind,
+        interface: String,
+        path: String,
+    },
+    /// An attribute's domain references a type missing from the schema.
+    UnknownAttributeType {
+        interface: String,
+        attribute: String,
+        target: String,
+    },
+    /// An interface is (transitively) its own supertype.
+    SupertypeCycle { interface: String },
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::DuplicateInterface { name } => {
+                write!(f, "duplicate interface name `{name}`")
+            }
+            ValidationIssue::DuplicateMember { interface, member } => {
+                write!(f, "duplicate member `{member}` in interface `{interface}`")
+            }
+            ValidationIssue::DuplicateExtent { name } => {
+                write!(f, "duplicate extent name `{name}`")
+            }
+            ValidationIssue::UnknownSupertype { interface, supertype } => {
+                write!(f, "interface `{interface}` names unknown supertype `{supertype}`")
+            }
+            ValidationIssue::UnknownTarget { interface, path, target } => write!(
+                f,
+                "`{interface}::{path}` targets unknown type `{target}`"
+            ),
+            ValidationIssue::UnknownKeyAttribute { interface, attribute } => write!(
+                f,
+                "key of `{interface}` references missing attribute `{attribute}`"
+            ),
+            ValidationIssue::UnknownOrderByAttribute { interface, path, attribute } => write!(
+                f,
+                "`{interface}::{path}` orders by missing target attribute `{attribute}`"
+            ),
+            ValidationIssue::MissingInverse { interface, path, target, inverse } => write!(
+                f,
+                "`{interface}::{path}` declares inverse `{target}::{inverse}`, which does not exist"
+            ),
+            ValidationIssue::InverseMismatch { interface, path, target, inverse } => write!(
+                f,
+                "`{interface}::{path}` declares inverse `{target}::{inverse}`, which does not point back"
+            ),
+            ValidationIssue::BadHierCardinality { kind, interface, path } => write!(
+                f,
+                "{kind} link `{interface}::{path}` violates the implicit 1:N cardinality"
+            ),
+            ValidationIssue::UnknownAttributeType { interface, attribute, target } => write!(
+                f,
+                "attribute `{interface}::{attribute}` references unknown type `{target}`"
+            ),
+            ValidationIssue::SupertypeCycle { interface } => {
+                write!(f, "interface `{interface}` participates in a supertype cycle")
+            }
+        }
+    }
+}
+
+/// Validate a schema, returning every issue found (empty = well-formed).
+pub fn validate_schema(schema: &Schema) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    let mut names: HashSet<&str> = HashSet::new();
+    for iface in &schema.interfaces {
+        if !names.insert(&iface.name) {
+            issues.push(ValidationIssue::DuplicateInterface {
+                name: iface.name.clone(),
+            });
+        }
+    }
+
+    let mut extents: HashSet<&str> = HashSet::new();
+    for iface in &schema.interfaces {
+        if let Some(extent) = &iface.extent {
+            if !extents.insert(extent) {
+                issues.push(ValidationIssue::DuplicateExtent {
+                    name: extent.clone(),
+                });
+            }
+        }
+        check_members(schema, iface, &names, &mut issues);
+    }
+
+    for iface in &schema.interfaces {
+        if has_supertype_cycle(schema, &iface.name) {
+            issues.push(ValidationIssue::SupertypeCycle {
+                interface: iface.name.clone(),
+            });
+        }
+    }
+    issues
+}
+
+fn check_members(
+    schema: &Schema,
+    iface: &Interface,
+    known: &HashSet<&str>,
+    issues: &mut Vec<ValidationIssue>,
+) {
+    let mut members: HashSet<&str> = HashSet::new();
+    for m in iface.member_names() {
+        if !members.insert(m) {
+            issues.push(ValidationIssue::DuplicateMember {
+                interface: iface.name.clone(),
+                member: m.to_string(),
+            });
+        }
+    }
+
+    for st in &iface.supertypes {
+        if !known.contains(st.as_str()) {
+            issues.push(ValidationIssue::UnknownSupertype {
+                interface: iface.name.clone(),
+                supertype: st.clone(),
+            });
+        }
+    }
+
+    for key in &iface.keys {
+        for attr in &key.0 {
+            if iface.attribute(attr).is_none() {
+                issues.push(ValidationIssue::UnknownKeyAttribute {
+                    interface: iface.name.clone(),
+                    attribute: attr.clone(),
+                });
+            }
+        }
+    }
+
+    for attr in &iface.attributes {
+        let mut refs = Vec::new();
+        attr.ty.referenced_types(&mut refs);
+        for target in refs {
+            if !known.contains(target) {
+                issues.push(ValidationIssue::UnknownAttributeType {
+                    interface: iface.name.clone(),
+                    attribute: attr.name.clone(),
+                    target: target.to_string(),
+                });
+            }
+        }
+    }
+
+    for rel in &iface.relationships {
+        check_link(
+            schema,
+            iface,
+            &rel.path,
+            &rel.target,
+            &rel.inverse_path,
+            &rel.order_by,
+            None,
+            known,
+            issues,
+            |other, path| {
+                other
+                    .relationship(path)
+                    .map(|r| (r.target.clone(), r.inverse_path.clone()))
+            },
+        );
+    }
+    for link in &iface.part_ofs {
+        check_link(
+            schema,
+            iface,
+            &link.path,
+            &link.target,
+            &link.inverse_path,
+            &link.order_by,
+            Some((HierKind::PartOf, link)),
+            known,
+            issues,
+            |other, path| {
+                other
+                    .part_of(path)
+                    .map(|r| (r.target.clone(), r.inverse_path.clone()))
+            },
+        );
+    }
+    for link in &iface.instance_ofs {
+        check_link(
+            schema,
+            iface,
+            &link.path,
+            &link.target,
+            &link.inverse_path,
+            &link.order_by,
+            Some((HierKind::InstanceOf, link)),
+            known,
+            issues,
+            |other, path| {
+                other
+                    .instance_of(path)
+                    .map(|r| (r.target.clone(), r.inverse_path.clone()))
+            },
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_link(
+    schema: &Schema,
+    iface: &Interface,
+    path: &str,
+    target: &str,
+    inverse_path: &str,
+    order_by: &[String],
+    hier: Option<(HierKind, &HierLink)>,
+    known: &HashSet<&str>,
+    issues: &mut Vec<ValidationIssue>,
+    lookup: impl Fn(&Interface, &str) -> Option<(String, String)>,
+) {
+    if !known.contains(target) {
+        issues.push(ValidationIssue::UnknownTarget {
+            interface: iface.name.clone(),
+            path: path.to_string(),
+            target: target.to_string(),
+        });
+        return;
+    }
+    let other = schema.interface(target).expect("target known");
+    match lookup(other, inverse_path) {
+        None => issues.push(ValidationIssue::MissingInverse {
+            interface: iface.name.clone(),
+            path: path.to_string(),
+            target: target.to_string(),
+            inverse: inverse_path.to_string(),
+        }),
+        Some((back_target, back_inverse)) => {
+            if back_target != iface.name || back_inverse != path {
+                issues.push(ValidationIssue::InverseMismatch {
+                    interface: iface.name.clone(),
+                    path: path.to_string(),
+                    target: target.to_string(),
+                    inverse: inverse_path.to_string(),
+                });
+            } else if let Some((kind, link)) = hier {
+                // Exactly one side of a 1:N hierarchy link may be Many.
+                let other_link = match kind {
+                    HierKind::PartOf => other.part_of(inverse_path),
+                    HierKind::InstanceOf => other.instance_of(inverse_path),
+                };
+                if let Some(other_link) = other_link {
+                    let manys = usize::from(link.cardinality.is_many())
+                        + usize::from(other_link.cardinality.is_many());
+                    if manys != 1 {
+                        issues.push(ValidationIssue::BadHierCardinality {
+                            kind,
+                            interface: iface.name.clone(),
+                            path: path.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for attr in order_by {
+        if other.attribute(attr).is_none() {
+            issues.push(ValidationIssue::UnknownOrderByAttribute {
+                interface: iface.name.clone(),
+                path: path.to_string(),
+                attribute: attr.clone(),
+            });
+        }
+    }
+}
+
+fn has_supertype_cycle(schema: &Schema, start: &str) -> bool {
+    // DFS from `start` through supertype links looking for `start` again.
+    let mut stack: Vec<&str> = vec![start];
+    let mut seen: HashSet<&str> = HashSet::new();
+    while let Some(current) = stack.pop() {
+        if let Some(iface) = schema.interface(current) {
+            for st in &iface.supertypes {
+                if st == start {
+                    return true;
+                }
+                if seen.insert(st) {
+                    stack.push(st);
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema;
+
+    fn issues(src: &str) -> Vec<ValidationIssue> {
+        validate_schema(&parse_schema(src).unwrap())
+    }
+
+    #[test]
+    fn clean_schema_has_no_issues() {
+        let src = r#"
+        interface Department {
+            extent departments;
+            attribute string name;
+            keys name;
+            relationship set<Employee> has inverse Employee::works_in_a order_by (badge);
+        }
+        interface Employee {
+            attribute long badge;
+            relationship Department works_in_a inverse Department::has;
+        }"#;
+        assert!(issues(src).is_empty());
+    }
+
+    #[test]
+    fn duplicate_interface_detected() {
+        let found = issues("interface A { } interface A { }");
+        assert!(found
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::DuplicateInterface { name } if name == "A")));
+    }
+
+    #[test]
+    fn duplicate_member_detected() {
+        let found = issues("interface A { attribute long x; attribute string x; }");
+        assert!(found.iter().any(
+            |i| matches!(i, ValidationIssue::DuplicateMember { member, .. } if member == "x")
+        ));
+    }
+
+    #[test]
+    fn duplicate_extent_detected() {
+        let found = issues("interface A { extent things; } interface B { extent things; }");
+        assert!(found
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::DuplicateExtent { .. })));
+    }
+
+    #[test]
+    fn unknown_supertype_detected() {
+        let found = issues("interface A : Ghost { }");
+        assert!(found.iter().any(
+            |i| matches!(i, ValidationIssue::UnknownSupertype { supertype, .. } if supertype == "Ghost")
+        ));
+    }
+
+    #[test]
+    fn unknown_target_detected() {
+        let found = issues("interface A { relationship Ghost r inverse Ghost::x; }");
+        assert!(found
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::UnknownTarget { .. })));
+    }
+
+    #[test]
+    fn missing_inverse_detected() {
+        let found = issues("interface A { relationship B r inverse B::x; } interface B { }");
+        assert!(found
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::MissingInverse { .. })));
+    }
+
+    #[test]
+    fn inverse_mismatch_detected() {
+        let found = issues(
+            "interface A { relationship B r inverse B::x; } \
+             interface B { relationship A x inverse A::other; } ",
+        );
+        // B::x points back to A::other, not A::r — and A has no `other`.
+        assert!(found
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::InverseMismatch { .. })));
+    }
+
+    #[test]
+    fn key_over_missing_attribute_detected() {
+        let found = issues("interface A { keys nope; }");
+        assert!(found
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::UnknownKeyAttribute { .. })));
+    }
+
+    #[test]
+    fn order_by_missing_attribute_detected() {
+        let found = issues(
+            "interface A { relationship set<B> rs inverse B::a order_by (ghost); } \
+             interface B { relationship A a inverse A::rs; }",
+        );
+        assert!(found
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::UnknownOrderByAttribute { .. })));
+    }
+
+    #[test]
+    fn bad_hier_cardinality_detected() {
+        // Both ends single-valued: not 1:N.
+        let found = issues(
+            "interface Whole { part_of Part p inverse Part::w; } \
+             interface Part { part_of Whole w inverse Whole::p; }",
+        );
+        assert!(found.iter().any(|i| matches!(
+            i,
+            ValidationIssue::BadHierCardinality {
+                kind: HierKind::PartOf,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn good_hier_cardinality_accepted() {
+        let found = issues(
+            "interface Whole { part_of set<Part> ps inverse Part::w; } \
+             interface Part { part_of Whole w inverse Whole::ps; }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn supertype_cycle_detected() {
+        let found = issues("interface A : B { } interface B : A { }");
+        assert!(found
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::SupertypeCycle { .. })));
+    }
+
+    #[test]
+    fn unknown_attribute_type_detected() {
+        let found = issues("interface A { attribute set<Ghost> gs; }");
+        assert!(found
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::UnknownAttributeType { .. })));
+    }
+
+    #[test]
+    fn issues_have_readable_display() {
+        for issue in issues("interface A : Ghost { attribute long x; attribute long x; }") {
+            assert!(!issue.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Robustness properties of the lexer and parser: no input panics, errors
+//! always carry positions, and parsing is total over the printable-ASCII
+//! fuzz space.
+
+use proptest::prelude::*;
+use sws_odl::{parse_schema, print_schema, validate_schema};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary text never panics the pipeline.
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = parse_schema(&src);
+    }
+
+    /// Arbitrary interface-shaped text never panics.
+    #[test]
+    fn interface_shaped_fuzz(body in "[a-z<>(),;: ]{0,120}") {
+        let src = format!("interface A {{ {body} }}");
+        let _ = parse_schema(&src);
+    }
+
+    /// When parsing succeeds, printing and re-parsing is stable, and
+    /// validation never panics.
+    #[test]
+    fn accepted_inputs_round_trip(body in "(attribute (long|string|double) [a-z]{1,6}; ?){0,5}") {
+        let src = format!("interface A {{ {body} }}");
+        if let Ok(schema) = parse_schema(&src) {
+            let printed = print_schema(&schema);
+            let reparsed = parse_schema(&printed).expect("printer output parses");
+            prop_assert_eq!(reparsed, schema.clone());
+            let _ = validate_schema(&schema);
+        }
+    }
+}
+
+#[test]
+fn error_positions_are_precise() {
+    let err = parse_schema("interface A {\n  attribute long 42;\n}").unwrap_err();
+    assert_eq!(err.span.line, 2);
+    let err = parse_schema("interface A { attribute long x }").unwrap_err();
+    assert_eq!(err.span.line, 1);
+    assert!(err.span.col > 25);
+}
+
+#[test]
+fn deeply_nested_types_parse() {
+    let src = "interface A { attribute set<list<bag<set<long>>>> deep; }";
+    let schema = parse_schema(src).unwrap();
+    let printed = print_schema(&schema);
+    assert_eq!(parse_schema(&printed).unwrap(), schema);
+}
+
+#[test]
+fn large_schema_parses() {
+    let mut src = String::new();
+    for i in 0..500 {
+        src.push_str(&format!(
+            "interface T{i} {{ attribute long a{i}; attribute string(32) b{i}; }}\n"
+        ));
+    }
+    let schema = parse_schema(&src).unwrap();
+    assert_eq!(schema.interfaces.len(), 500);
+    assert!(validate_schema(&schema).is_empty());
+}

@@ -1,0 +1,496 @@
+//! The schema repository (paper Fig. 1, activity 12): durable storage for
+//! the shrink wrap schema, the design workspace, the custom schema, and the
+//! mapping.
+//!
+//! The paper's prototype persisted the repository as an ObjectStore
+//! database. We substitute a transparent, replayable representation (see
+//! DESIGN.md §2): a session directory containing
+//!
+//! * `shrink_wrap.odl` — the shrink wrap schema as extended-ODL text,
+//! * `session.ops` — the operation log, one `<context>\t<statement>` line
+//!   per applied operation in the modification language,
+//! * `custom.odl` — the derived custom schema (informative; regenerated and
+//!   verified against the replay on load),
+//! * `mapping.txt` — the rendered shrink-wrap ↔ custom mapping
+//!   (informative).
+//!
+//! [`Repository::load`] replays `session.ops` against `shrink_wrap.odl`
+//! through the full permission/constraint pipeline, so a loaded session is
+//! exactly as valid as the live one that saved it.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use sws_core::concept::normalize_single_root;
+use sws_core::consistency::{check_consistency, ConsistencyReport};
+use sws_core::oplang::{parse_statement, print_op};
+use sws_core::{AliasError, AliasTable, ConceptKind, Mapping, ModOp, OpError, Workspace};
+use sws_model::{graph_to_schema, schema_to_graph, LowerError, SchemaGraph};
+use sws_odl::{parse_schema, print_schema, OdlError};
+
+/// File name of the shrink wrap schema.
+pub const SHRINK_WRAP_FILE: &str = "shrink_wrap.odl";
+/// File name of the op log.
+pub const SESSION_FILE: &str = "session.ops";
+/// File name of the derived custom schema.
+pub const CUSTOM_FILE: &str = "custom.odl";
+/// File name of the rendered mapping.
+pub const MAPPING_FILE: &str = "mapping.txt";
+/// File name of the local-name (alias) table (§5 extension).
+pub const ALIASES_FILE: &str = "local_names.txt";
+
+/// Errors loading or saving a repository.
+#[derive(Debug)]
+pub enum RepoError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The shrink wrap ODL did not parse.
+    Odl(OdlError),
+    /// The shrink wrap schema did not lower.
+    Lower(LowerError),
+    /// Replaying line `line` of the op log failed.
+    Replay { line: usize, source: OpError },
+    /// A malformed op-log line.
+    BadLogLine { line: usize, content: String },
+    /// A malformed local-names line.
+    BadAliasLine { line: usize },
+    /// An alias collided when registering it.
+    Alias(AliasError),
+    /// `custom.odl` exists but disagrees with the replayed session.
+    CustomMismatch,
+}
+
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::Io(e) => write!(f, "I/O error: {e}"),
+            RepoError::Odl(e) => write!(f, "{e}"),
+            RepoError::Lower(e) => write!(f, "{e}"),
+            RepoError::Replay { line, source } => {
+                write!(f, "replay failed at op-log line {line}: {source}")
+            }
+            RepoError::BadLogLine { line, content } => {
+                write!(f, "malformed op-log line {line}: {content:?}")
+            }
+            RepoError::BadAliasLine { line } => {
+                write!(f, "malformed local-names line {line}")
+            }
+            RepoError::Alias(e) => write!(f, "{e}"),
+            RepoError::CustomMismatch => {
+                f.write_str("custom.odl does not match the replayed session")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepoError {}
+
+impl From<io::Error> for RepoError {
+    fn from(e: io::Error) -> Self {
+        RepoError::Io(e)
+    }
+}
+
+impl From<OdlError> for RepoError {
+    fn from(e: OdlError) -> Self {
+        RepoError::Odl(e)
+    }
+}
+
+impl From<LowerError> for RepoError {
+    fn from(e: LowerError) -> Self {
+        RepoError::Lower(e)
+    }
+}
+
+impl From<AliasError> for RepoError {
+    fn from(e: AliasError) -> Self {
+        RepoError::Alias(e)
+    }
+}
+
+/// The repository: a [`Workspace`] plus persistence.
+#[derive(Debug, Clone)]
+pub struct Repository {
+    workspace: Workspace,
+    /// Abstract roots synthesized at ingest (single-root normalization).
+    created_roots: Vec<String>,
+    /// Local names (§5 extension): canonical → designer-chosen.
+    aliases: AliasTable,
+}
+
+impl Repository {
+    /// Ingest a shrink wrap schema: normalize multi-root generalization
+    /// hierarchies (paper §3.2) and open a fresh workspace on the result.
+    pub fn ingest(mut shrink_wrap: SchemaGraph) -> Self {
+        let created_roots = normalize_single_root(&mut shrink_wrap);
+        Repository {
+            workspace: Workspace::new(shrink_wrap),
+            created_roots,
+            aliases: AliasTable::new(),
+        }
+    }
+
+    /// Ingest from extended-ODL source text.
+    pub fn ingest_odl(source: &str) -> Result<Self, RepoError> {
+        let ast = parse_schema(source)?;
+        let graph = schema_to_graph(&ast)?;
+        Ok(Repository::ingest(graph))
+    }
+
+    /// The live workspace.
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
+    /// The live workspace, mutably (to apply operations).
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.workspace
+    }
+
+    /// Abstract roots created by single-root normalization at ingest.
+    pub fn created_roots(&self) -> &[String] {
+        &self.created_roots
+    }
+
+    /// The custom schema as canonical extended-ODL text (canonical names).
+    pub fn custom_schema_odl(&self) -> String {
+        print_schema(&graph_to_schema(self.workspace.working()))
+    }
+
+    /// The custom schema as extended-ODL text with the designer's local
+    /// names applied (§5 extension). Equal to
+    /// [`Self::custom_schema_odl`] when no aliases are registered.
+    pub fn custom_schema_local_odl(&self) -> String {
+        print_schema(
+            &self
+                .aliases
+                .apply(&graph_to_schema(self.workspace.working())),
+        )
+    }
+
+    /// The local-name table.
+    pub fn aliases(&self) -> &AliasTable {
+        &self.aliases
+    }
+
+    /// Register a local name for a type.
+    pub fn set_type_alias(&mut self, canonical: &str, local: &str) -> Result<(), RepoError> {
+        let schema = graph_to_schema(self.workspace.working());
+        self.aliases.set_type_alias(&schema, canonical, local)?;
+        Ok(())
+    }
+
+    /// Register a local name for a member of a type.
+    pub fn set_member_alias(
+        &mut self,
+        ty: &str,
+        canonical: &str,
+        local: &str,
+    ) -> Result<(), RepoError> {
+        let schema = graph_to_schema(self.workspace.working());
+        self.aliases
+            .set_member_alias(&schema, ty, canonical, local)?;
+        Ok(())
+    }
+
+    /// The shrink wrap schema as canonical extended-ODL text.
+    pub fn shrink_wrap_odl(&self) -> String {
+        print_schema(&graph_to_schema(self.workspace.shrink_wrap()))
+    }
+
+    /// Derive the shrink-wrap ↔ custom mapping.
+    pub fn mapping(&self) -> Mapping {
+        Mapping::derive(&self.workspace)
+    }
+
+    /// Run the consistency checks on the custom schema.
+    pub fn consistency(&self) -> ConsistencyReport {
+        check_consistency(self.workspace.working(), self.workspace.shrink_wrap())
+    }
+
+    /// The op log in the persistent line format.
+    pub fn render_log(&self) -> String {
+        let mut out = String::new();
+        for record in self.workspace.log() {
+            out.push_str(record.context.tag());
+            out.push('\t');
+            out.push_str(&print_op(&record.op));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Save the session to `dir` (created if needed).
+    pub fn save(&self, dir: &Path) -> Result<(), RepoError> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(SHRINK_WRAP_FILE), self.shrink_wrap_odl())?;
+        fs::write(dir.join(SESSION_FILE), self.render_log())?;
+        fs::write(dir.join(CUSTOM_FILE), self.custom_schema_odl())?;
+        fs::write(dir.join(MAPPING_FILE), self.mapping().render())?;
+        if !self.aliases.is_empty() {
+            fs::write(dir.join(ALIASES_FILE), self.aliases.render())?;
+        }
+        Ok(())
+    }
+
+    /// Load a session from `dir`, replaying the op log through the full
+    /// pipeline and verifying the stored custom schema (if present).
+    pub fn load(dir: &Path) -> Result<Self, RepoError> {
+        let sw_text = fs::read_to_string(dir.join(SHRINK_WRAP_FILE))?;
+        let ast = parse_schema(&sw_text)?;
+        let graph = schema_to_graph(&ast)?;
+        // The saved shrink wrap is already normalized; ingest is idempotent.
+        let mut repo = Repository::ingest(graph);
+
+        let log_path = dir.join(SESSION_FILE);
+        if log_path.exists() {
+            let log_text = fs::read_to_string(&log_path)?;
+            for (i, raw) in log_text.lines().enumerate() {
+                let line_no = i + 1;
+                let line = raw.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let record = parse_log_line(line).ok_or_else(|| RepoError::BadLogLine {
+                    line: line_no,
+                    content: raw.to_string(),
+                })?;
+                let (context, op) = record;
+                repo.workspace
+                    .apply(context, op)
+                    .map_err(|source| RepoError::Replay {
+                        line: line_no,
+                        source,
+                    })?;
+            }
+        }
+
+        let alias_path = dir.join(ALIASES_FILE);
+        if alias_path.exists() {
+            let text = fs::read_to_string(&alias_path)?;
+            repo.aliases =
+                AliasTable::parse(&text).map_err(|line| RepoError::BadAliasLine { line })?;
+        }
+
+        let custom_path = dir.join(CUSTOM_FILE);
+        if custom_path.exists() {
+            let custom_text = fs::read_to_string(&custom_path)?;
+            let stored = schema_to_graph(&parse_schema(&custom_text)?)?;
+            if graph_to_schema(&stored) != graph_to_schema(repo.workspace.working()) {
+                return Err(RepoError::CustomMismatch);
+            }
+        }
+        Ok(repo)
+    }
+}
+
+/// Parse one `<context>\t<statement>` log line.
+fn parse_log_line(line: &str) -> Option<(ConceptKind, ModOp)> {
+    let (tag, stmt) = line.split_once(['\t', ' '])?;
+    let context = ConceptKind::from_tag(tag)?;
+    let op = parse_statement(stmt.trim()).ok()?;
+    Some((context, op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_core::ModOp;
+    use sws_odl::DomainType;
+
+    fn repo() -> Repository {
+        let src = r#"
+        schema Dept {
+            interface Person { attribute string name; }
+            interface Employee : Person {
+                attribute long badge;
+                relationship Department works_in_a inverse Department::has;
+            }
+            interface Department {
+                extent departments;
+                relationship set<Employee> has inverse Employee::works_in_a;
+            }
+        }"#;
+        Repository::ingest_odl(src).unwrap()
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sws_repo_test_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut repo = repo();
+        repo.workspace_mut()
+            .apply(
+                ConceptKind::WagonWheel,
+                ModOp::AddTypeDefinition {
+                    ty: "Project".into(),
+                },
+            )
+            .unwrap();
+        repo.workspace_mut()
+            .apply(
+                ConceptKind::WagonWheel,
+                ModOp::AddAttribute {
+                    ty: "Project".into(),
+                    domain: DomainType::String,
+                    size: Some(32),
+                    name: "code_name".into(),
+                },
+            )
+            .unwrap();
+        repo.workspace_mut()
+            .apply(
+                ConceptKind::Generalization,
+                ModOp::ModifyRelationshipTargetType {
+                    ty: "Department".into(),
+                    path: "has".into(),
+                    old_target: "Employee".into(),
+                    new_target: "Person".into(),
+                },
+            )
+            .unwrap();
+
+        let dir = tmpdir("round_trip");
+        repo.save(&dir).unwrap();
+        let loaded = Repository::load(&dir).unwrap();
+        assert_eq!(
+            graph_to_schema(loaded.workspace().working()),
+            graph_to_schema(repo.workspace().working())
+        );
+        assert_eq!(loaded.workspace().log().len(), 3);
+        // The replayed impact matches too.
+        assert_eq!(
+            loaded.workspace().log()[2].impact,
+            repo.workspace().log()[2].impact
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_normalizes_multi_root_hierarchies() {
+        let src = r#"
+        interface A { }
+        interface B { }
+        interface C : A, B { }"#;
+        let repo = Repository::ingest_odl(src).unwrap();
+        assert_eq!(repo.created_roots().len(), 1);
+        assert!(repo
+            .workspace()
+            .shrink_wrap()
+            .type_id(&repo.created_roots()[0])
+            .is_some());
+    }
+
+    #[test]
+    fn tampered_custom_schema_detected() {
+        let repo = repo();
+        let dir = tmpdir("tampered");
+        repo.save(&dir).unwrap();
+        fs::write(dir.join(CUSTOM_FILE), "schema X { interface Alien { } }").unwrap();
+        assert!(matches!(
+            Repository::load(&dir),
+            Err(RepoError::CustomMismatch)
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_log_line_reported_with_number() {
+        let repo = repo();
+        let dir = tmpdir("badlog");
+        repo.save(&dir).unwrap();
+        fs::write(
+            dir.join(SESSION_FILE),
+            "# comment\nnot_a_context\tadd_type_definition(X)\n",
+        )
+        .unwrap();
+        match Repository::load(&dir) {
+            Err(RepoError::BadLogLine { line, .. }) => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_failure_reports_line_and_cause() {
+        let repo = repo();
+        let dir = tmpdir("replayfail");
+        repo.save(&dir).unwrap();
+        // An op that violates Table 1: a move in a wagon wheel context.
+        fs::write(
+            dir.join(SESSION_FILE),
+            "wagon_wheel\tmodify_attribute(Employee, badge, Person)\n",
+        )
+        .unwrap();
+        fs::remove_file(dir.join(CUSTOM_FILE)).unwrap();
+        match Repository::load(&dir) {
+            Err(RepoError::Replay { line: 1, source }) => {
+                assert!(matches!(source, OpError::NotPermitted { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aliases_persist_and_render() {
+        let mut repo = repo();
+        repo.set_type_alias("Employee", "StaffMember").unwrap();
+        repo.set_member_alias("Employee", "badge", "staff_id")
+            .unwrap();
+        // Canonical output unchanged; local output renamed.
+        assert!(repo.custom_schema_odl().contains("interface Employee"));
+        let local = repo.custom_schema_local_odl();
+        assert!(local.contains("interface StaffMember : Person"), "{local}");
+        assert!(local.contains("attribute long staff_id;"));
+        assert!(local.contains("relationship set<StaffMember> has"));
+
+        let dir = tmpdir("aliases");
+        repo.save(&dir).unwrap();
+        let loaded = Repository::load(&dir).unwrap();
+        assert_eq!(loaded.aliases(), repo.aliases());
+        assert_eq!(
+            loaded.custom_schema_local_odl(),
+            repo.custom_schema_local_odl()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn alias_collisions_surface_as_repo_errors() {
+        let mut repo = repo();
+        assert!(matches!(
+            repo.set_type_alias("Employee", "Person"),
+            Err(RepoError::Alias(_))
+        ));
+    }
+
+    #[test]
+    fn log_format_is_line_per_op() {
+        let mut repo = repo();
+        repo.workspace_mut()
+            .apply(
+                ConceptKind::WagonWheel,
+                ModOp::AddTypeDefinition { ty: "X".into() },
+            )
+            .unwrap();
+        let log = repo.render_log();
+        assert_eq!(log, "wagon_wheel\tadd_type_definition(X)\n");
+    }
+
+    #[test]
+    fn reports_available() {
+        let repo = repo();
+        assert!(repo.custom_schema_odl().contains("interface Person"));
+        assert!(repo.mapping().render().contains("reuse 100.0%"));
+        // Person/Employee carry no keys — consistency may warn, but must run.
+        let _ = repo.consistency();
+    }
+}

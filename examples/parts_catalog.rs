@@ -1,0 +1,72 @@
+//! Working with an aggregation hierarchy (Fig. 5): browse the house parts
+//! explosion, re-wire it with the aggregation-hierarchy operations, and
+//! watch the propagation when a component type is deleted.
+//!
+//! ```sh
+//! cargo run --example parts_catalog
+//! ```
+
+use shrink_wrap_schemas::core::decompose;
+use shrink_wrap_schemas::corpus::house;
+use shrink_wrap_schemas::prelude::*;
+
+fn show_aggregation(session: &Session, heading: &str) {
+    let g = session.repository().workspace().working();
+    let d = decompose(g);
+    println!("{heading}");
+    for cs in &d.aggregations {
+        print!("{}", cs.describe(g));
+    }
+    println!();
+}
+
+fn main() {
+    let mut session = Session::new(Repository::ingest_odl(house::SOURCE).expect("valid corpus"));
+    show_aggregation(&session, "Fig. 5 — the house aggregation hierarchy:");
+
+    // All modifications below concern the part-of explosion, so they are
+    // issued in the aggregation-hierarchy context (Table 1).
+    session.set_context(ConceptKind::Aggregation);
+
+    // This catalog tracks skylights as roof components.
+    for stmt in [
+        "add_type_definition(Skylight)",
+        "add_part_of_relationship(Roof, set<Skylight>, skylights, Skylight::roof)",
+        // Shingle bundles are ordered by SKU — make the collection a list.
+        "modify_part_of_cardinality(Roof, shingles, set, list)",
+        "modify_part_of_order_by(Roof, shingles, (sku), (sku, color))",
+    ] {
+        let feedback = session
+            .issue_str(stmt)
+            .expect("legal in the aggregation context");
+        print!("{}", feedback.render());
+    }
+
+    // Attribute edits belong to the wagon wheels.
+    session.set_context(ConceptKind::WagonWheel);
+    session
+        .issue_str("add_attribute(Skylight, string(16), sku)")
+        .expect("wagon wheel elaboration");
+
+    // A cardinality modification addressed to the child (single-valued)
+    // end is rejected — the grammar allows it only on the to-parts end.
+    session.set_context(ConceptKind::Aggregation);
+    let err = session
+        .issue_str("modify_part_of_cardinality(Shingle, roof, set, list)")
+        .expect_err("child end refuses cardinality changes");
+    println!("rejected as expected: {err}\n");
+
+    // Delete a whole component type and watch the propagation.
+    session.set_context(ConceptKind::WagonWheel);
+    let feedback = session
+        .issue_str("delete_type_definition(Foundation)")
+        .expect("type deletion is legal");
+    println!("deleting Foundation propagates:");
+    print!("{}", feedback.render());
+
+    show_aggregation(&session, "\nthe customized parts explosion:");
+
+    let report = session.consistency();
+    println!("consistency findings ({}):", report.findings.len());
+    print!("{}", report.render());
+}

@@ -1,0 +1,87 @@
+//! Quickstart: ingest a shrink wrap schema, browse its concept schemas,
+//! customize it, and inspect the derived mapping.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use shrink_wrap_schemas::prelude::*;
+
+const SHRINK_WRAP: &str = r#"
+schema Library {
+    interface Person {
+        extent people;
+        attribute string(64) name;
+        keys name;
+    }
+    interface Member : Person {
+        attribute unsigned_long card_number;
+        relationship set<Loan> loans inverse Loan::borrower;
+    }
+    interface Librarian : Person {
+        attribute string(32) desk;
+    }
+    interface Loan {
+        attribute date due;
+        relationship Member borrower inverse Member::loans;
+        relationship Item item inverse Item::loaned_as;
+    }
+    interface Item {
+        attribute string(64) title;
+        relationship set<Loan> loaned_as inverse Loan::item;
+    }
+}
+"#;
+
+fn main() {
+    // 1. Ingest the shrink wrap schema into an interactive session.
+    let mut session = Session::from_odl(SHRINK_WRAP).expect("shrink wrap schema is valid");
+
+    // 2. Browse the concept schemas: one wagon wheel per type, plus the
+    //    Person generalization hierarchy.
+    println!("concept schemas of the shrink wrap schema:");
+    for (i, cs) in session.concept_list().iter().enumerate() {
+        println!("  {i:>2}  {} ({} elements)", cs.name, cs.element_count());
+    }
+
+    // 3. Customize. Elaborate the Loan wagon wheel with a fine...
+    let feedback = session
+        .issue_str("add_attribute(Loan, double, fine)")
+        .expect("elaboration is legal");
+    print!("\n{}", feedback.render());
+
+    // ...and move `name`-like information in the generalization hierarchy:
+    // card numbers make sense for every person in this library.
+    session.set_context(ConceptKind::Generalization);
+    let feedback = session
+        .issue_str("modify_attribute(Member, card_number, Person)")
+        .expect("move is within the hierarchy");
+    print!("{}", feedback.render());
+
+    // An illegal customization is rejected with an explanation: moving a
+    // relationship target outside the generalization path violates the
+    // paper's semantic-stability rule.
+    let err = session
+        .issue_str("modify_relationship_target_type(Loan, item, Item, Person)")
+        .expect_err("Item and Person are not on one generalization path");
+    println!("rejected as expected: {err}");
+
+    // 4. The mapping records the semantic correspondence between shrink
+    //    wrap and custom schema.
+    println!("\nmapping:\n{}", session.mapping().render());
+
+    // 5. The consistency report surfaces interactions among concept
+    //    schemas (none here).
+    let report = session.consistency();
+    println!(
+        "consistency findings: {} ({} errors)",
+        report.findings.len(),
+        report.errors().count()
+    );
+
+    // 6. The custom schema is ordinary extended ODL.
+    println!(
+        "\ncustom schema:\n{}",
+        session.repository().custom_schema_odl()
+    );
+}

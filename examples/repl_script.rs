@@ -1,0 +1,49 @@
+//! Drive the interactive schema designer (`swsd`) programmatically: the
+//! same command interpreter the binary wires to stdin, here fed a scripted
+//! design session over the EMSL software-version schema (Fig. 6).
+//!
+//! ```sh
+//! cargo run --example repl_script
+//! ```
+
+use shrink_wrap_schemas::corpus::software;
+use shrink_wrap_schemas::prelude::*;
+
+fn main() {
+    let mut session = Session::new(Repository::ingest_odl(software::SOURCE).expect("valid corpus"));
+
+    let script = [
+        "help",
+        "concepts",
+        // The instance-of hierarchy is the last concept schema; select the
+        // Application wagon wheel first for a look.
+        "show 0",
+        // Elaborate: applications carry a license record.
+        "add_type_definition(License)",
+        "add_attribute(License, string(32), license_key)",
+        "add_relationship(Application, License, licensed_under, License::licenses)",
+        // Switch to the instance-of hierarchy to extend the chain:
+        // installed versions are configured per user.
+        "context instance_of",
+        "add_type_definition(UserConfiguration)",
+        "add_instance_of_relationship(InstalledVersion, set<UserConfiguration>, configurations, UserConfiguration::installation)",
+        // A cycle is refused.
+        "add_instance_of_relationship(UserConfiguration, set<Application>, apps, Application::config)",
+        "map",
+        "check",
+        "log",
+        "odl",
+        "quit",
+    ];
+
+    for line in script {
+        println!("swsd> {line}");
+        match execute(&mut session, line) {
+            CommandOutcome::Continue(text) => print!("{text}"),
+            CommandOutcome::Quit => {
+                println!("session ended");
+                break;
+            }
+        }
+    }
+}

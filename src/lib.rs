@@ -1,0 +1,63 @@
+//! Shrink-wrap-schema reuse through concept schemas — a complete Rust
+//! implementation of Delcambre & Langston, *Reusing (Shrink Wrap) Schemas
+//! by Modifying Concept Schemas* (OGI CS/E 95-009, 1995 / ICDE 1996).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`odl`] — extended ODMG ODL (part-of, instance-of): parser, printer,
+//!   validation,
+//! * [`model`] — the arena/ID schema graph, hierarchy queries,
+//!   well-formedness, diff,
+//! * [`core`] — concept schemas, modification operations, permission
+//!   matrix, constraints, consistency, mapping, impact (the paper's
+//!   contribution),
+//! * [`repository`] — persistence (ODL text + replayable op log),
+//! * [`designer`] — the interactive session engine and REPL,
+//! * [`corpus`] — the paper's example schemas and a synthetic generator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use shrink_wrap_schemas::prelude::*;
+//!
+//! // 1. Ingest a shrink wrap schema.
+//! let mut session = Session::from_odl(
+//!     "interface Person { attribute string name; }
+//!      interface Employee : Person { attribute long badge; }",
+//! )
+//! .unwrap();
+//!
+//! // 2. Browse its concept schemas.
+//! assert_eq!(session.concept_list().len(), 3); // 2 wagon wheels + 1 hierarchy
+//!
+//! // 3. Customize: elaborate in a wagon wheel context...
+//! session.issue_str("add_attribute(Employee, double, salary)").unwrap();
+//! // ...and move information in the generalization hierarchy.
+//! session.set_context(ConceptKind::Generalization);
+//! let feedback = session.issue_str("modify_attribute(Employee, badge, Person)").unwrap();
+//! assert!(!feedback.warnings.is_empty()); // cautionary feedback
+//!
+//! // 4. Inspect the derived mapping.
+//! let summary = session.mapping().summary();
+//! assert_eq!(summary.moved, 1);
+//! assert_eq!(summary.added, 1);
+//! ```
+
+pub use sws_core as core;
+pub use sws_corpus as corpus;
+pub use sws_designer as designer;
+pub use sws_model as model;
+pub use sws_odl as odl;
+pub use sws_repository as repository;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use sws_core::ops::PermissionMatrix;
+    pub use sws_core::{
+        decompose, ConceptKind, ConceptSchema, Feedback, Mapping, ModOp, OpError, OpKind, Workspace,
+    };
+    pub use sws_designer::{execute, CommandOutcome, Session};
+    pub use sws_model::{graph_to_schema, schema_to_graph, SchemaGraph};
+    pub use sws_odl::{parse_schema, print_schema, Schema};
+    pub use sws_repository::Repository;
+}

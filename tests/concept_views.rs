@@ -1,0 +1,95 @@
+//! Concept schemas as *views*: they are regenerated from (or pruned
+//! against) the one integrated working schema, so customizations made in
+//! any context are immediately visible from every other concept schema —
+//! the mechanism behind the paper's "we maintain the integrated,
+//! customized user schema".
+
+use shrink_wrap_schemas::core::{decompose, ConceptKind};
+use shrink_wrap_schemas::corpus::business;
+use shrink_wrap_schemas::prelude::*;
+
+#[test]
+fn business_schema_decomposes_as_expected() {
+    let g = business::graph();
+    let d = decompose(&g);
+    assert_eq!(d.wagon_wheels.len(), 19);
+    assert_eq!(d.generalizations.len(), 1); // Party hierarchy
+    assert_eq!(d.aggregations.len(), 3); // Catalog, Order, Invoice
+    assert_eq!(d.instance_ofs.len(), 1); // Product -> Sku
+}
+
+#[test]
+fn edits_in_one_concept_schema_show_in_others() {
+    let mut session = Session::new(Repository::ingest(business::graph()));
+
+    // Before: the Customer wagon wheel has no loyalty spoke.
+    let customer_elements = {
+        let g = session.repository().workspace().working();
+        let d = decompose(g);
+        d.wagon_wheel_of(g.type_id("Customer").unwrap()).unwrap().element_count()
+    };
+
+    // Edit from a *different* context: add a supertype edge in the
+    // generalization hierarchy...
+    session.set_context(ConceptKind::Generalization);
+    session.issue_str("add_type_definition(LoyaltyMember)").unwrap();
+    session.issue_str("add_supertype(LoyaltyMember, Customer)").unwrap();
+
+    // ...and the Customer wagon wheel (a different concept schema) grew a
+    // generalization spoke.
+    let g = session.repository().workspace().working();
+    let d = decompose(g);
+    let ww = d.wagon_wheel_of(g.type_id("Customer").unwrap()).unwrap();
+    assert_eq!(ww.element_count(), customer_elements + 2); // new type + edge
+    assert!(ww.types.contains(&g.type_id("LoyaltyMember").unwrap()));
+}
+
+#[test]
+fn stale_views_prune_cleanly_after_cross_context_deletion() {
+    let mut session = Session::new(Repository::ingest(business::graph()));
+    // Take a snapshot view of the Order wagon wheel.
+    let mut order_ww = {
+        let g = session.repository().workspace().working();
+        let d = decompose(g);
+        d.wagon_wheel_of(g.type_id("Order").unwrap()).unwrap().clone()
+    };
+    let before = order_ww.element_count();
+
+    // Delete Shipment from its own wagon wheel; Order's view holds stale
+    // IDs for the shipments relationship and the Shipment type.
+    session.issue_str("delete_type_definition(Shipment)").unwrap();
+    let g = session.repository().workspace().working();
+    let dropped = order_ww.prune_dead(g);
+    assert!(dropped >= 2, "expected type + relationship to drop, got {dropped}");
+    assert!(order_ww.element_count() < before);
+    // The pruned view still describes cleanly.
+    let text = order_ww.describe(g);
+    assert!(text.contains("type Order (focal)"));
+    assert!(!text.contains("Shipment"));
+}
+
+#[test]
+fn aggregation_views_follow_rewiring() {
+    let mut session = Session::new(Repository::ingest(business::graph()));
+    session.set_context(ConceptKind::Aggregation);
+    // Invoice lines move under a new Statement root... first create it.
+    session.issue_str("add_type_definition(Statement)").unwrap();
+    session
+        .issue_str(
+            "add_part_of_relationship(Statement, set<Invoice>, invoices, Invoice::statement)",
+        )
+        .unwrap();
+    let g = session.repository().workspace().working();
+    let d = decompose(g);
+    // Invoice is no longer a part-of root: Statement took over.
+    let roots: Vec<&str> = d.aggregations.iter().map(|cs| g.type_name(cs.focal)).collect();
+    assert!(roots.contains(&"Statement"));
+    assert!(!roots.contains(&"Invoice"));
+    // And the Statement explosion reaches down to InvoiceLine.
+    let statement = d
+        .aggregations
+        .iter()
+        .find(|cs| g.type_name(cs.focal) == "Statement")
+        .unwrap();
+    assert!(statement.types.contains(&g.type_id("InvoiceLine").unwrap()));
+}

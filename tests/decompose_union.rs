@@ -1,0 +1,102 @@
+//! Experiment C2: the §3.3.1 union invariant — "the union of all the
+//! initial concept schemas gives the original shrink wrap schema" — on the
+//! whole corpus and on random schemas.
+
+use proptest::prelude::*;
+use shrink_wrap_schemas::core::decompose;
+use shrink_wrap_schemas::corpus::synthetic::SyntheticSpec;
+use shrink_wrap_schemas::model::SchemaGraph;
+use std::collections::BTreeSet;
+
+fn assert_union_covers(g: &SchemaGraph) {
+    let d = decompose(g);
+    let mut types = BTreeSet::new();
+    let mut attrs = BTreeSet::new();
+    let mut rels = BTreeSet::new();
+    let mut ops = BTreeSet::new();
+    let mut links = BTreeSet::new();
+    let mut edges = BTreeSet::new();
+    for cs in d.all() {
+        types.extend(cs.types.iter().copied());
+        attrs.extend(cs.attrs.iter().copied());
+        rels.extend(cs.rels.iter().copied());
+        ops.extend(cs.ops.iter().copied());
+        links.extend(cs.links.iter().copied());
+        edges.extend(cs.gen_edges.iter().copied());
+    }
+    assert_eq!(types.len(), g.type_count(), "types not covered");
+    assert_eq!(attrs.len(), g.attrs().count(), "attributes not covered");
+    assert_eq!(rels.len(), g.rels().count(), "relationships not covered");
+    assert_eq!(ops.len(), g.ops().count(), "operations not covered");
+    assert_eq!(links.len(), g.links().count(), "links not covered");
+    let expected_edges: usize = g.types().map(|(_, n)| n.supertypes.len()).sum();
+    assert_eq!(
+        edges.len(),
+        expected_edges,
+        "generalization edges not covered"
+    );
+}
+
+#[test]
+fn union_invariant_on_the_corpus() {
+    for (name, g) in shrink_wrap_schemas::corpus::all_named() {
+        assert_union_covers(&g);
+        // At least one wagon wheel per object type (§3.3.1).
+        let d = decompose(&g);
+        assert_eq!(d.wagon_wheels.len(), g.type_count(), "{name}");
+    }
+}
+
+#[test]
+fn hierarchy_concept_schemas_are_rooted() {
+    for (_, g) in shrink_wrap_schemas::corpus::all_named() {
+        let d = decompose(&g);
+        for cs in d.aggregations.iter().chain(&d.instance_ofs) {
+            // The focal type is a root: a parent in the hierarchy kind, a
+            // child in none.
+            assert!(cs.types.contains(&cs.focal));
+        }
+        for cs in &d.generalizations {
+            assert!(cs.types.contains(&cs.focal));
+            assert!(cs.gen_edges.len() >= cs.types.len() - 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_invariant_on_random_schemas(n in 1usize..40, seed in 0u64..10_000) {
+        let g = SyntheticSpec::sized(n, seed).generate();
+        assert_union_covers(&g);
+    }
+
+    /// Wagon wheels are views: every element is live and incident to the
+    /// focal point.
+    #[test]
+    fn wagon_wheels_are_distance_one(n in 1usize..25, seed in 0u64..10_000) {
+        let g = SyntheticSpec::sized(n, seed).generate();
+        for ww in decompose(&g).wagon_wheels {
+            for &a in &ww.attrs {
+                prop_assert_eq!(g.attr(a).owner, ww.focal);
+            }
+            for &o in &ww.ops {
+                prop_assert_eq!(g.op(o).owner, ww.focal);
+            }
+            for &r in &ww.rels {
+                let rel = g.rel(r);
+                prop_assert!(
+                    rel.ends[0].owner == ww.focal || rel.ends[1].owner == ww.focal
+                );
+            }
+            for &l in &ww.links {
+                let link = g.link(l);
+                prop_assert!(link.parent == ww.focal || link.child == ww.focal);
+            }
+            for &(sub, sup) in &ww.gen_edges {
+                prop_assert!(sub == ww.focal || sup == ww.focal);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end integration: the full Fig. 1 architecture driven through the
+//! public API — ingest, decompose, customize with feedback, consistency,
+//! mapping, persistence, REPL.
+
+use shrink_wrap_schemas::corpus::university;
+use shrink_wrap_schemas::prelude::*;
+
+#[test]
+fn whole_pipeline_over_the_university_schema() {
+    // Ingest (repository + single-root normalization; the university
+    // schema is already single-rooted).
+    let repo = Repository::ingest_odl(university::SOURCE).expect("valid ODL");
+    assert!(repo.created_roots().is_empty());
+    let mut session = Session::new(repo);
+
+    // Decompose: 15 wagon wheels + 1 generalization hierarchy + 1
+    // instance-of hierarchy (Course -> CourseOffering); no part-of roots.
+    let concepts = session.concept_list();
+    let wagon_wheels = concepts
+        .iter()
+        .filter(|c| c.kind == ConceptKind::WagonWheel)
+        .count();
+    let gens = concepts
+        .iter()
+        .filter(|c| c.kind == ConceptKind::Generalization)
+        .count();
+    let aggs = concepts
+        .iter()
+        .filter(|c| c.kind == ConceptKind::Aggregation)
+        .count();
+    let insts = concepts
+        .iter()
+        .filter(|c| c.kind == ConceptKind::InstanceOf)
+        .count();
+    assert_eq!((wagon_wheels, gens, aggs, insts), (15, 1, 0, 1));
+
+    // Customize across several concept schemas.
+    session.issue_str("add_type_definition(Lab)").unwrap();
+    session
+        .issue_str("add_attribute(Lab, string(16), building)")
+        .unwrap();
+    session
+        .issue_str("add_relationship(Lab, set<CourseOffering>, hosts, CourseOffering::held_in)")
+        .unwrap();
+    session.set_context(ConceptKind::Generalization);
+    let fb = session
+        .issue_str("modify_attribute(Graduate, thesis_topic, Masters)")
+        .unwrap();
+    assert!(!fb.warnings.is_empty(), "move down should warn");
+    // PhD students lost thesis_topic — that is exactly what the warning
+    // said; the schema remains well-formed.
+    let report = session.consistency();
+    assert_eq!(report.errors().count(), 0, "{}", report.render());
+
+    // The mapping distinguishes moved from added.
+    let summary = session.mapping().summary();
+    assert_eq!(summary.moved, 1);
+    assert_eq!(summary.added, 3); // Lab, its attribute, and the hosts relationship
+
+    // Undo restores the previous state exactly.
+    let before_undo = session.repository().custom_schema_odl();
+    session.issue_str("add_type_definition(Scratch)").unwrap();
+    session.undo().unwrap();
+    assert_eq!(session.repository().custom_schema_odl(), before_undo);
+
+    // Persist, reload, verify.
+    let dir = std::env::temp_dir().join(format!("sws_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    session.save(&dir).unwrap();
+    let reloaded = Session::load(&dir).unwrap();
+    assert_eq!(reloaded.repository().custom_schema_odl(), before_undo);
+    assert_eq!(reloaded.repository().workspace().log().len(), 4);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn repl_drives_the_same_pipeline() {
+    let mut session = Session::new(Repository::ingest_odl(university::SOURCE).unwrap());
+    let script = [
+        "concepts",
+        "context generalization",
+        "modify_relationship_target_type(Department, has, Employee, Person)",
+        "map",
+        "check",
+    ];
+    let mut outputs = Vec::new();
+    for line in script {
+        match execute(&mut session, line) {
+            CommandOutcome::Continue(text) => outputs.push(text),
+            CommandOutcome::Quit => unreachable!(),
+        }
+    }
+    assert!(outputs[0].contains("wagon wheel: CourseOffering"));
+    assert!(outputs[2].contains("applied: modify_relationship_target_type"));
+    assert!(outputs[3].contains("moved to `Person`"));
+}
+
+#[test]
+fn permission_denials_name_the_context() {
+    let mut session = Session::new(Repository::ingest_odl(university::SOURCE).unwrap());
+    session.set_context(ConceptKind::InstanceOf);
+    let err = session
+        .issue_str("add_attribute(Course, long, units)")
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("add_attribute"), "{msg}");
+    assert!(msg.contains("instance-of hierarchy"), "{msg}");
+}
+
+#[test]
+fn constraint_denials_explain_themselves() {
+    let mut session = Session::new(Repository::ingest_odl(university::SOURCE).unwrap());
+    let err = session
+        .issue_str("add_attribute(Undergraduate, string, name)")
+        .unwrap_err();
+    // Shadowing Person::name is an inheritance conflict.
+    assert!(err.to_string().contains("inherited"), "{err}");
+    let err = session
+        .issue_str("delete_attribute(Course, ghost)")
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("no attribute named `ghost`"),
+        "{err}"
+    );
+}

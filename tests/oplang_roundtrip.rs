@@ -1,0 +1,233 @@
+//! Property test: every modification operation round-trips through the
+//! modification language (`parse(print(op)) == op`).
+
+use proptest::prelude::*;
+use shrink_wrap_schemas::core::oplang::{parse_statement, print_op};
+use shrink_wrap_schemas::core::ModOp;
+use shrink_wrap_schemas::odl::{Cardinality, CollectionKind, DomainType, Key, Param, ParamDir};
+
+/// Identifiers that can never collide with a keyword in any argument
+/// position (`in`, `none`, `set`, primitive type names, ...).
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Z][a-z]{0,5}".prop_map(|s| format!("Id{s}"))
+}
+
+fn member() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}".prop_map(|s| format!("m_{s}"))
+}
+
+fn domain() -> impl Strategy<Value = DomainType> {
+    prop_oneof![
+        Just(DomainType::Long),
+        Just(DomainType::String),
+        Just(DomainType::Double),
+        Just(DomainType::Bool),
+        ident().prop_map(DomainType::Named),
+        ident().prop_map(|n| DomainType::set_of(DomainType::Named(n))),
+        (1u32..16).prop_map(|n| DomainType::Array(Box::new(DomainType::Double), n)),
+    ]
+}
+
+fn cardinality() -> impl Strategy<Value = Cardinality> {
+    prop_oneof![
+        Just(Cardinality::One),
+        Just(Cardinality::Many(CollectionKind::Set)),
+        Just(Cardinality::Many(CollectionKind::List)),
+        Just(Cardinality::Many(CollectionKind::Bag)),
+    ]
+}
+
+fn collection() -> impl Strategy<Value = CollectionKind> {
+    prop_oneof![
+        Just(CollectionKind::Set),
+        Just(CollectionKind::List),
+        Just(CollectionKind::Bag)
+    ]
+}
+
+fn keys() -> impl Strategy<Value = Vec<Key>> {
+    prop::collection::vec(prop::collection::vec(member(), 1..3).prop_map(Key), 1..3)
+}
+
+fn params() -> impl Strategy<Value = Vec<Param>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                Just(ParamDir::In),
+                Just(ParamDir::Out),
+                Just(ParamDir::InOut)
+            ],
+            domain(),
+            member(),
+        )
+            .prop_map(|(direction, ty, name)| Param {
+                direction,
+                ty,
+                name,
+            }),
+        0..3,
+    )
+}
+
+fn names() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(member(), 0..3)
+}
+
+fn mod_op() -> impl Strategy<Value = ModOp> {
+    let t = ident;
+    let m = member;
+    prop_oneof![
+        t().prop_map(|ty| ModOp::AddTypeDefinition { ty }),
+        t().prop_map(|ty| ModOp::DeleteTypeDefinition { ty }),
+        (t(), t()).prop_map(|(ty, supertype)| ModOp::AddSupertype { ty, supertype }),
+        (t(), t()).prop_map(|(ty, supertype)| ModOp::DeleteSupertype { ty, supertype }),
+        (
+            t(),
+            prop::collection::vec(t(), 0..3),
+            prop::collection::vec(t(), 0..3)
+        )
+            .prop_map(|(ty, old, new)| ModOp::ModifySupertype { ty, old, new }),
+        (t(), m()).prop_map(|(ty, extent)| ModOp::AddExtentName { ty, extent }),
+        (t(), m()).prop_map(|(ty, extent)| ModOp::DeleteExtentName { ty, extent }),
+        (t(), m(), m()).prop_map(|(ty, old, new)| ModOp::ModifyExtentName { ty, old, new }),
+        (t(), keys()).prop_map(|(ty, keys)| ModOp::AddKeyList { ty, keys }),
+        (t(), keys()).prop_map(|(ty, keys)| ModOp::DeleteKeyList { ty, keys }),
+        (t(), keys(), keys()).prop_map(|(ty, old, new)| ModOp::ModifyKeyList { ty, old, new }),
+        (t(), domain(), prop::option::of(1u32..256), m()).prop_map(|(ty, domain, size, name)| {
+            // Sizes are only printable on string/char domains.
+            let size = if domain.admits_size() { size } else { None };
+            ModOp::AddAttribute {
+                ty,
+                domain,
+                size,
+                name,
+            }
+        }),
+        (t(), m()).prop_map(|(ty, name)| ModOp::DeleteAttribute { ty, name }),
+        (t(), m(), t()).prop_map(|(ty, name, new_ty)| ModOp::ModifyAttribute { ty, name, new_ty }),
+        (t(), m(), domain(), domain())
+            .prop_map(|(ty, name, old, new)| { ModOp::ModifyAttributeType { ty, name, old, new } }),
+        (
+            t(),
+            m(),
+            prop::option::of(1u32..256),
+            prop::option::of(1u32..256)
+        )
+            .prop_map(|(ty, name, old, new)| ModOp::ModifyAttributeSize {
+                ty,
+                name,
+                old,
+                new
+            }),
+        (t(), t(), cardinality(), m(), m(), names()).prop_map(
+            |(ty, target, cardinality, path, inverse_path, order_by)| ModOp::AddRelationship {
+                ty,
+                target,
+                cardinality,
+                path,
+                inverse_path,
+                order_by
+            }
+        ),
+        (t(), m()).prop_map(|(ty, path)| ModOp::DeleteRelationship { ty, path }),
+        (t(), m(), t(), t()).prop_map(|(ty, path, old_target, new_target)| {
+            ModOp::ModifyRelationshipTargetType {
+                ty,
+                path,
+                old_target,
+                new_target,
+            }
+        }),
+        (t(), m(), cardinality(), cardinality()).prop_map(|(ty, path, old, new)| {
+            ModOp::ModifyRelationshipCardinality { ty, path, old, new }
+        }),
+        (t(), m(), names(), names()).prop_map(|(ty, path, old, new)| {
+            ModOp::ModifyRelationshipOrderBy { ty, path, old, new }
+        }),
+        (t(), domain(), m(), params(), names()).prop_map(
+            |(ty, return_type, name, args, raises)| ModOp::AddOperation {
+                ty,
+                return_type,
+                name,
+                args,
+                raises
+            }
+        ),
+        (t(), m()).prop_map(|(ty, name)| ModOp::DeleteOperation { ty, name }),
+        (t(), m(), t()).prop_map(|(ty, name, new_ty)| ModOp::ModifyOperation { ty, name, new_ty }),
+        (t(), m(), domain(), domain()).prop_map(|(ty, name, old, new)| {
+            ModOp::ModifyOperationReturnType { ty, name, old, new }
+        }),
+        (t(), m(), params(), params()).prop_map(|(ty, name, old, new)| {
+            ModOp::ModifyOperationArgList { ty, name, old, new }
+        }),
+        (t(), m(), names(), names()).prop_map(|(ty, name, old, new)| {
+            ModOp::ModifyOperationExceptionsRaised { ty, name, old, new }
+        }),
+        (t(), prop::option::of(collection()), t(), m(), m(), names()).prop_map(
+            |(ty, collection, target, path, inverse_path, order_by)| {
+                ModOp::AddPartOfRelationship {
+                    ty,
+                    collection,
+                    target,
+                    path,
+                    inverse_path,
+                    order_by,
+                }
+            }
+        ),
+        (t(), m()).prop_map(|(ty, path)| ModOp::DeletePartOfRelationship { ty, path }),
+        (t(), m(), t(), t()).prop_map(|(ty, path, old_target, new_target)| {
+            ModOp::ModifyPartOfTargetType {
+                ty,
+                path,
+                old_target,
+                new_target,
+            }
+        }),
+        (t(), m(), collection(), collection()).prop_map(|(ty, path, old, new)| {
+            ModOp::ModifyPartOfCardinality { ty, path, old, new }
+        }),
+        (t(), m(), names(), names())
+            .prop_map(|(ty, path, old, new)| { ModOp::ModifyPartOfOrderBy { ty, path, old, new } }),
+        (t(), prop::option::of(collection()), t(), m(), m(), names()).prop_map(
+            |(ty, collection, target, path, inverse_path, order_by)| {
+                ModOp::AddInstanceOfRelationship {
+                    ty,
+                    collection,
+                    target,
+                    path,
+                    inverse_path,
+                    order_by,
+                }
+            }
+        ),
+        (t(), m()).prop_map(|(ty, path)| ModOp::DeleteInstanceOfRelationship { ty, path }),
+        (t(), m(), t(), t()).prop_map(|(ty, path, old_target, new_target)| {
+            ModOp::ModifyInstanceOfTargetType {
+                ty,
+                path,
+                old_target,
+                new_target,
+            }
+        }),
+        (t(), m(), collection(), collection()).prop_map(|(ty, path, old, new)| {
+            ModOp::ModifyInstanceOfCardinality { ty, path, old, new }
+        }),
+        (t(), m(), names(), names()).prop_map(|(ty, path, old, new)| {
+            ModOp::ModifyInstanceOfOrderBy { ty, path, old, new }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn print_parse_round_trip(op in mod_op()) {
+        let printed = print_op(&op);
+        let reparsed = parse_statement(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{printed}: {e}")))?;
+        prop_assert_eq!(reparsed, op, "printed form: {}", printed);
+    }
+}

@@ -1,0 +1,182 @@
+//! Pipeline fuzzing: random modification operations, biased toward the
+//! university schema's real names, thrown at the full workspace pipeline.
+//!
+//! Invariants under fuzz:
+//! * `apply` never panics: every operation either applies or returns an
+//!   error,
+//! * a rejected operation leaves the workspace untouched and unlogged,
+//! * after any accepted sequence, the working schema remains well-formed
+//!   (no structural errors from the model layer),
+//! * the session log replays to the same custom schema.
+
+use proptest::prelude::*;
+use shrink_wrap_schemas::core::{ConceptKind, ModOp, Workspace};
+use shrink_wrap_schemas::corpus::university;
+use shrink_wrap_schemas::model::{check_well_formed, graph_to_schema};
+use shrink_wrap_schemas::odl::{Cardinality, CollectionKind, DomainType};
+
+/// Names likely to exist in the university schema plus some that don't.
+fn type_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        4 => prop::sample::select(vec![
+            "Person", "Student", "Undergraduate", "Graduate", "Masters", "PhD",
+            "NonThesisMasters", "Employee", "Faculty", "Department", "Course",
+            "CourseOffering", "Syllabus", "Book", "TimeSlot",
+        ])
+        .prop_map(str::to_string),
+        1 => "[A-Z][a-z]{2,6}".prop_map(|s| format!("Zz{s}")),
+    ]
+}
+
+fn member_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        3 => prop::sample::select(vec![
+            "name", "address", "student_id", "badge", "salary", "rank", "room",
+            "duration", "term", "number", "title", "credits", "enrolled_in",
+            "enrolls", "works_in_a", "has", "teaches", "taught_by", "course",
+            "offerings", "described_by", "books", "offered_during", "gpa",
+        ])
+        .prop_map(str::to_string),
+        1 => "[a-z]{2,6}".prop_map(|s| format!("zz_{s}")),
+    ]
+}
+
+fn domain() -> impl Strategy<Value = DomainType> {
+    prop_oneof![
+        Just(DomainType::Long),
+        Just(DomainType::String),
+        Just(DomainType::Double),
+        type_name().prop_map(DomainType::Named),
+        type_name().prop_map(|n| DomainType::set_of(DomainType::Named(n))),
+    ]
+}
+
+fn cardinality() -> impl Strategy<Value = Cardinality> {
+    prop_oneof![
+        Just(Cardinality::One),
+        Just(Cardinality::Many(CollectionKind::Set)),
+        Just(Cardinality::Many(CollectionKind::List)),
+    ]
+}
+
+fn collection() -> impl Strategy<Value = CollectionKind> {
+    prop_oneof![
+        Just(CollectionKind::Set),
+        Just(CollectionKind::List),
+        Just(CollectionKind::Bag)
+    ]
+}
+
+fn random_op() -> impl Strategy<Value = ModOp> {
+    let t = type_name;
+    let m = member_name;
+    prop_oneof![
+        t().prop_map(|ty| ModOp::AddTypeDefinition { ty }),
+        t().prop_map(|ty| ModOp::DeleteTypeDefinition { ty }),
+        (t(), t()).prop_map(|(ty, supertype)| ModOp::AddSupertype { ty, supertype }),
+        (t(), t()).prop_map(|(ty, supertype)| ModOp::DeleteSupertype { ty, supertype }),
+        (t(), m()).prop_map(|(ty, extent)| ModOp::AddExtentName { ty, extent }),
+        (t(), m()).prop_map(|(ty, extent)| ModOp::DeleteExtentName { ty, extent }),
+        (t(), domain(), m()).prop_map(|(ty, domain, name)| ModOp::AddAttribute {
+            ty,
+            domain,
+            size: None,
+            name
+        }),
+        (t(), m()).prop_map(|(ty, name)| ModOp::DeleteAttribute { ty, name }),
+        (t(), m(), t()).prop_map(|(ty, name, new_ty)| ModOp::ModifyAttribute { ty, name, new_ty }),
+        (t(), t(), cardinality(), m(), m()).prop_map(
+            |(ty, target, cardinality, path, inverse_path)| ModOp::AddRelationship {
+                ty,
+                target,
+                cardinality,
+                path,
+                inverse_path,
+                order_by: vec![]
+            }
+        ),
+        (t(), m()).prop_map(|(ty, path)| ModOp::DeleteRelationship { ty, path }),
+        (t(), m(), t(), t()).prop_map(|(ty, path, old_target, new_target)| {
+            ModOp::ModifyRelationshipTargetType {
+                ty,
+                path,
+                old_target,
+                new_target,
+            }
+        }),
+        (t(), m(), cardinality(), cardinality()).prop_map(|(ty, path, old, new)| {
+            ModOp::ModifyRelationshipCardinality { ty, path, old, new }
+        }),
+        (t(), domain(), m()).prop_map(|(ty, return_type, name)| ModOp::AddOperation {
+            ty,
+            return_type,
+            name,
+            args: vec![],
+            raises: vec![]
+        }),
+        (t(), m()).prop_map(|(ty, name)| ModOp::DeleteOperation { ty, name }),
+        (t(), prop::option::of(collection()), t(), m(), m()).prop_map(
+            |(ty, collection, target, path, inverse_path)| ModOp::AddPartOfRelationship {
+                ty,
+                collection,
+                target,
+                path,
+                inverse_path,
+                order_by: vec![]
+            }
+        ),
+        (t(), m()).prop_map(|(ty, path)| ModOp::DeletePartOfRelationship { ty, path }),
+        (t(), prop::option::of(collection()), t(), m(), m()).prop_map(
+            |(ty, collection, target, path, inverse_path)| ModOp::AddInstanceOfRelationship {
+                ty,
+                collection,
+                target,
+                path,
+                inverse_path,
+                order_by: vec![]
+            }
+        ),
+        (t(), m()).prop_map(|(ty, path)| ModOp::DeleteInstanceOfRelationship { ty, path }),
+    ]
+}
+
+fn contexts() -> impl Strategy<Value = ConceptKind> {
+    prop::sample::select(ConceptKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_sequences_preserve_all_invariants(
+        script in prop::collection::vec((contexts(), random_op()), 1..25)
+    ) {
+        let mut ws = Workspace::new(university::graph());
+        for (context, op) in script {
+            let before = graph_to_schema(ws.working());
+            let log_len = ws.log().len();
+            match ws.apply(context, op) {
+                Ok(_) => {
+                    prop_assert_eq!(ws.log().len(), log_len + 1);
+                }
+                Err(_) => {
+                    // Rejected: no mutation, no log entry.
+                    prop_assert_eq!(graph_to_schema(ws.working()), before);
+                    prop_assert_eq!(ws.log().len(), log_len);
+                }
+            }
+        }
+        // Whatever was accepted left a structurally sound schema.
+        let issues = check_well_formed(ws.working());
+        prop_assert!(issues.is_empty(), "{issues:?}");
+        // And the log replays to the same result.
+        let mut replayed = Workspace::new(ws.shrink_wrap().clone());
+        replayed
+            .replay(ws.log().iter().map(|r| (r.context, r.op.clone())))
+            .map_err(|(i, e)| TestCaseError::fail(format!("replay op {i}: {e}")))?;
+        prop_assert_eq!(
+            graph_to_schema(replayed.working()),
+            graph_to_schema(ws.working())
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Experiment T1: reproduce Table 1 — operations allowed per concept
+//! schema type — and pin its exact reconstruction (see DESIGN.md §3 for
+//! the reconstruction notes).
+
+use shrink_wrap_schemas::core::ops::{OpCategory, OpKind, PermissionMatrix};
+use shrink_wrap_schemas::prelude::ConceptKind;
+
+#[test]
+fn table1_row_counts() {
+    let m = PermissionMatrix::new();
+    // The wagon wheel carries the largest share (§3.4).
+    assert_eq!(m.permitted_ops(ConceptKind::WagonWheel).len(), 25);
+    assert_eq!(m.permitted_ops(ConceptKind::Generalization).len(), 8);
+    assert_eq!(m.permitted_ops(ConceptKind::Aggregation).len(), 7);
+    assert_eq!(m.permitted_ops(ConceptKind::InstanceOf).len(), 7);
+}
+
+#[test]
+fn table1_exact_wagon_wheel_row() {
+    let m = PermissionMatrix::new();
+    let ww: Vec<&str> = m
+        .permitted_ops(ConceptKind::WagonWheel)
+        .into_iter()
+        .map(|k| k.name())
+        .collect();
+    assert_eq!(
+        ww,
+        vec![
+            "add_type_definition",
+            "delete_type_definition",
+            "add_extent_name",
+            "delete_extent_name",
+            "modify_extent_name",
+            "add_key_list",
+            "delete_key_list",
+            "modify_key_list",
+            "add_attribute",
+            "delete_attribute",
+            "modify_attribute_type",
+            "modify_attribute_size",
+            "add_relationship",
+            "delete_relationship",
+            "modify_relationship_cardinality",
+            "modify_relationship_order_by",
+            "add_operation",
+            "delete_operation",
+            "modify_operation_return_type",
+            "modify_operation_arg_list",
+            "modify_operation_exceptions_raised",
+            "add_part_of_relationship",
+            "delete_part_of_relationship",
+            "add_instance_of_relationship",
+            "delete_instance_of_relationship",
+        ]
+    );
+}
+
+#[test]
+fn table1_exact_hierarchy_rows() {
+    let m = PermissionMatrix::new();
+    let names = |kind: ConceptKind| -> Vec<&str> {
+        m.permitted_ops(kind)
+            .into_iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        names(ConceptKind::Generalization),
+        vec![
+            "add_type_definition",
+            "delete_type_definition",
+            "add_supertype",
+            "delete_supertype",
+            "modify_supertype",
+            "modify_attribute",
+            "modify_relationship_target_type",
+            "modify_operation",
+        ]
+    );
+    assert_eq!(
+        names(ConceptKind::Aggregation),
+        vec![
+            "add_type_definition",
+            "delete_type_definition",
+            "add_part_of_relationship",
+            "delete_part_of_relationship",
+            "modify_part_of_target_type",
+            "modify_part_of_cardinality",
+            "modify_part_of_order_by",
+        ]
+    );
+    assert_eq!(
+        names(ConceptKind::InstanceOf),
+        vec![
+            "add_type_definition",
+            "delete_type_definition",
+            "add_instance_of_relationship",
+            "delete_instance_of_relationship",
+            "modify_instance_of_target_type",
+            "modify_instance_of_cardinality",
+            "modify_instance_of_order_by",
+        ]
+    );
+}
+
+#[test]
+fn table1_note_no_rename_operations() {
+    // "Note: disallowed operations support name equivalence" — there is no
+    // operation kind that renames a construct.
+    for &op in OpKind::ALL {
+        assert!(
+            !op.name().ends_with("_name") || op.name().contains("extent"),
+            "{op} looks like a rename"
+        );
+    }
+}
+
+#[test]
+fn table1_every_category_reaches_every_context_it_should() {
+    let m = PermissionMatrix::new();
+    // Attribute/relationship/operation property edits: wagon wheel only.
+    for op in [
+        OpKind::ModifyAttributeType,
+        OpKind::ModifyRelationshipCardinality,
+        OpKind::ModifyOperationArgList,
+    ] {
+        assert_eq!(m.permitting_contexts(op), vec![ConceptKind::WagonWheel]);
+    }
+    // Hierarchy-link modifies: their own hierarchy only.
+    assert_eq!(
+        m.permitting_contexts(OpKind::ModifyPartOfTargetType),
+        vec![ConceptKind::Aggregation]
+    );
+    assert_eq!(
+        m.permitting_contexts(OpKind::ModifyInstanceOfTargetType),
+        vec![ConceptKind::InstanceOf]
+    );
+    // Supertype surgery: generalization hierarchies only.
+    assert_eq!(
+        m.permitting_contexts(OpKind::ModifySupertype),
+        vec![ConceptKind::Generalization]
+    );
+    // Hierarchy-link add/delete: the wagon wheel AND the owning hierarchy.
+    assert_eq!(
+        m.permitting_contexts(OpKind::AddPartOfRelationship),
+        vec![ConceptKind::WagonWheel, ConceptKind::Aggregation]
+    );
+    assert_eq!(
+        m.permitting_contexts(OpKind::DeleteInstanceOfRelationship),
+        vec![ConceptKind::WagonWheel, ConceptKind::InstanceOf]
+    );
+    let _ = OpCategory::Attribute; // category module is part of the table
+}

@@ -1,0 +1,94 @@
+//! Experiments F3, F4, F5, F6, F7, F8: the paper's worked figures,
+//! regenerated through the `sws-bench` harness (the same code the
+//! `repro_fig*` binaries print).
+
+use sws_bench::figures;
+
+#[test]
+fn f3_course_offering_wagon_wheel() {
+    let (view, elements) = figures::fig3();
+    // Focal point plus spokes: Course (instance-of), Syllabus, Book,
+    // TimeSlot, Student, Faculty; attributes room/duration/term.
+    assert!(view.starts_with("wagon wheel: CourseOffering"));
+    for ty in [
+        "Course", "Syllabus", "Book", "TimeSlot", "Student", "Faculty",
+    ] {
+        assert!(view.contains(&format!("type {ty}")), "{view}");
+    }
+    assert!(elements >= 14, "wagon wheel unexpectedly small: {elements}");
+}
+
+#[test]
+fn f4_student_hierarchy() {
+    let tree = figures::fig4();
+    assert_eq!(
+        tree,
+        "Student\n    Graduate\n        Masters\n            NonThesisMasters\n        PhD\n    Undergraduate\n"
+    );
+}
+
+#[test]
+fn f5_house_explosion() {
+    let tree = figures::fig5();
+    assert!(tree.starts_with("House\n"));
+    for part in [
+        "Structure",
+        "Roof",
+        "Foundation",
+        "FinishElement",
+        "Shingle",
+        "Window",
+    ] {
+        assert!(tree.contains(part), "{tree}");
+    }
+}
+
+#[test]
+fn f6_software_chain() {
+    assert_eq!(
+        figures::fig6(),
+        "Application\n    Version\n        CompiledVersion\n            InstalledVersion\n"
+    );
+}
+
+#[test]
+fn f7_elaboration_and_simplification() {
+    let (ws, elaborated, simplified) = figures::fig7();
+    // Elaboration: the schedule aggregation arrived in the wagon wheel.
+    assert!(elaborated.contains("type Schedule"));
+    assert!(elaborated.contains("part-of Schedule::offerings -> CourseOffering::schedule"));
+    // Simplification: time slot and room gone.
+    assert!(!simplified.contains("TimeSlot"));
+    assert!(!simplified.contains("room"));
+    // The working schema still passes the consistency checks without
+    // errors (warnings about the deletions are fine).
+    let report =
+        shrink_wrap_schemas::core::consistency::check_consistency(ws.working(), ws.shrink_wrap());
+    assert_eq!(report.errors().count(), 0, "{}", report.render());
+    // And the whole session replays from its log.
+    let mut replayed = shrink_wrap_schemas::core::Workspace::new(ws.shrink_wrap().clone());
+    replayed
+        .replay(ws.log().iter().map(|r| (r.context, r.op.clone())))
+        .expect("log replays");
+    assert_eq!(
+        shrink_wrap_schemas::model::graph_to_schema(replayed.working()),
+        shrink_wrap_schemas::model::graph_to_schema(ws.working())
+    );
+}
+
+#[test]
+fn f8_paper_odl_listing() {
+    let (before, after, ws) = figures::fig8();
+    // The paper's first listing.
+    assert!(before.contains("relationship set<Employee> has inverse Employee::works_in_a"));
+    assert!(before.contains("relationship Department works_in_a inverse Department::has;"));
+    // The paper's second listing.
+    assert!(after.contains("relationship set<Person> has inverse Person::works_in_a"));
+    assert!(after.contains("relationship Department works_in_a inverse Department::has;"));
+    // The mapping records the relationship as moved, not deleted/re-added.
+    let mapping = shrink_wrap_schemas::core::Mapping::derive(&ws);
+    let summary = mapping.summary();
+    assert_eq!(summary.moved, 1);
+    assert_eq!(summary.deleted, 0);
+    assert_eq!(summary.added, 0);
+}

@@ -1,0 +1,84 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **A1 — pipeline stages**: raw graph mutation vs. precondition-checked
+//!   mutation vs. the full workspace apply (permission + constraints +
+//!   mutation + propagation + feedback). Quantifies what the paper's
+//!   guidance machinery costs per operation.
+//! * **A2 — delete-type propagation mode**: re-wiring subtypes to the
+//!   deleted type's supertypes vs. detaching them, on a deep chain.
+
+use sws_bench::timing::Runner;
+use sws_core::constraints::check_preconditions;
+use sws_core::oplang::parse_statement;
+use sws_core::ops::apply::apply_op;
+use sws_core::{ConceptKind, Workspace};
+use sws_corpus::university;
+use sws_model::{RemoveTypeMode, SchemaGraph};
+
+fn bench_pipeline_stages() {
+    let base = university::graph();
+    let op = parse_statement("add_attribute(CourseOffering, string(8), wing)").expect("parses");
+    let mut runner = Runner::new("ablation_pipeline");
+
+    runner.bench_batched(
+        "mutation_only",
+        || base.clone(),
+        |mut g| {
+            apply_op(&mut g, &op).expect("applies");
+        },
+    );
+    runner.bench_batched(
+        "with_preconditions",
+        || base.clone(),
+        |mut g| {
+            let v = check_preconditions(&op, &g, &base);
+            assert!(v.is_empty());
+            apply_op(&mut g, &op).expect("applies");
+        },
+    );
+    let ws = Workspace::new(base.clone());
+    runner.bench_batched(
+        "full_workspace_apply",
+        || ws.clone(),
+        |mut ws| {
+            ws.apply(ConceptKind::WagonWheel, op.clone())
+                .expect("applies");
+        },
+    );
+    runner.finish();
+}
+
+fn deep_chain(depth: usize) -> SchemaGraph {
+    let mut g = SchemaGraph::new("chain");
+    let mut prev = g.add_type("T0").expect("fresh");
+    for i in 1..depth {
+        let t = g.add_type(&format!("T{i}")).expect("fresh");
+        g.add_supertype(t, prev).expect("acyclic");
+        prev = t;
+    }
+    g
+}
+
+fn bench_remove_type_modes() {
+    let mut runner = Runner::new("ablation_remove_type");
+    let base = deep_chain(200);
+    let middle = base.type_id("T100").expect("exists");
+    for (name, mode) in [
+        ("rewire_subtypes", RemoveTypeMode::RewireSubtypes),
+        ("detach_subtypes", RemoveTypeMode::DetachSubtypes),
+    ] {
+        runner.bench_batched(
+            name,
+            || base.clone(),
+            |mut g| {
+                g.remove_type(middle, mode).expect("removes");
+            },
+        );
+    }
+    runner.finish();
+}
+
+fn main() {
+    bench_pipeline_stages();
+    bench_remove_type_modes();
+}

@@ -1,14 +1,15 @@
 //! P2: operation-application latency per category, full pipeline
 //! (permission check, precondition constraints, mutation, propagation,
 //! feedback).
-use criterion::{criterion_group, criterion_main, Criterion};
+
+use sws_bench::timing::Runner;
 use sws_core::oplang::parse_statement;
 use sws_core::{ConceptKind, Workspace};
 use sws_corpus::university;
 
-fn bench_ops(c: &mut Criterion) {
+fn main() {
     let base = Workspace::new(university::graph());
-    let mut group = c.benchmark_group("apply_op");
+    let mut runner = Runner::new("apply_op");
 
     let cases: &[(&str, ConceptKind, &str)] = &[
         (
@@ -44,16 +45,13 @@ fn bench_ops(c: &mut Criterion) {
     ];
     for (name, context, stmt) in cases {
         let op = parse_statement(stmt).expect("bench statement parses");
-        group.bench_function(*name, |b| {
-            b.iter_batched(
-                || base.clone(),
-                |mut ws| ws.apply(*context, op.clone()).expect("applies"),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        runner.bench_batched(
+            name,
+            || base.clone(),
+            |mut ws| {
+                ws.apply(*context, op.clone()).expect("applies");
+            },
+        );
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench_ops);
-criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! F9–11: the end-to-end ACEDB case study (synthesize + replay + verify +
+//! mapping).
+
+use sws_bench::{case_study, timing::Runner};
+
+fn main() {
+    let mut runner = Runner::new("case_study");
+    runner.bench("case_study_full", case_study::run);
+    runner.finish();
+}

@@ -1,0 +1,16 @@
+//! P3: consistency-check cost vs schema size.
+
+use sws_bench::timing::Runner;
+use sws_core::consistency::check_consistency;
+use sws_corpus::synthetic::SyntheticSpec;
+
+fn main() {
+    let mut runner = Runner::new("consistency");
+    for n in [10usize, 50, 200, 500] {
+        let g = SyntheticSpec::sized(n, 42).generate();
+        runner.bench(&format!("types/{n}"), || {
+            check_consistency(std::hint::black_box(&g), std::hint::black_box(&g))
+        });
+    }
+    runner.finish();
+}

@@ -1,0 +1,23 @@
+//! P1: concept-schema decomposition scaling (types 10 → 2000), plus the
+//! hand-written corpus schemas.
+
+use sws_bench::timing::Runner;
+use sws_core::decompose;
+use sws_corpus::synthetic::SyntheticSpec;
+
+fn main() {
+    let mut runner = Runner::new("decompose");
+    for n in [10usize, 50, 200, 500, 2000] {
+        let g = SyntheticSpec::sized(n, 42).generate();
+        runner.bench(&format!("types/{n}"), || {
+            decompose(std::hint::black_box(&g))
+        });
+    }
+    runner.finish();
+
+    let mut runner = Runner::new("decompose_corpus");
+    for (name, g) in sws_corpus::all_named() {
+        runner.bench(name, || decompose(std::hint::black_box(&g)));
+    }
+    runner.finish();
+}

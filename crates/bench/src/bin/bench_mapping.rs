@@ -1,26 +1,26 @@
 //! P4: mapping derivation and custom-schema emission after a real design
 //! session (ACEDB -> SacchDB).
-use criterion::{criterion_group, criterion_main, Criterion};
+
 use sws_bench::harness::apply_script;
+use sws_bench::timing::Runner;
 use sws_core::ops::synthesize::synthesize;
 use sws_core::{Mapping, Workspace};
 use sws_corpus::genome;
 use sws_model::graph_to_schema;
 use sws_odl::print_schema;
 
-fn bench_mapping(c: &mut Criterion) {
+fn main() {
     let acedb = genome::acedb();
     let script = synthesize(&acedb, &genome::sacchdb());
     let mut ws = Workspace::new(acedb);
     apply_script(&mut ws, &script).expect("derivation applies");
 
-    c.bench_function("mapping_derive", |b| {
-        b.iter(|| Mapping::derive(std::hint::black_box(&ws)))
+    let mut runner = Runner::new("mapping");
+    runner.bench("mapping_derive", || {
+        Mapping::derive(std::hint::black_box(&ws))
     });
-    c.bench_function("custom_schema_emit", |b| {
-        b.iter(|| print_schema(&graph_to_schema(std::hint::black_box(ws.working()))))
+    runner.bench("custom_schema_emit", || {
+        print_schema(&graph_to_schema(std::hint::black_box(ws.working())))
     });
+    runner.finish();
 }
-
-criterion_group!(benches, bench_mapping);
-criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! P5: ODL and modification-language parse/print throughput.
+
+use sws_bench::timing::Runner;
+use sws_core::oplang::{parse_script, print_script};
+use sws_core::ops::synthesize::synthesize;
+use sws_corpus::{genome, synthetic::SyntheticSpec};
+use sws_model::{graph_to_schema, SchemaGraph};
+use sws_odl::{parse_schema, print_schema};
+
+fn main() {
+    let g = SyntheticSpec::sized(200, 42).generate();
+    let text = print_schema(&graph_to_schema(&g));
+    let mut runner = Runner::new("odl");
+    runner.bench("parse_200_types", || {
+        parse_schema(std::hint::black_box(&text)).expect("parses")
+    });
+    let ast = graph_to_schema(&g);
+    runner.bench("print_200_types", || {
+        print_schema(std::hint::black_box(&ast))
+    });
+    runner.finish();
+
+    let script = synthesize(&genome::acedb(), &SchemaGraph::new("empty"));
+    let script_text = print_script(&script);
+    let mut runner = Runner::new("oplang");
+    runner.bench("parse_teardown_script", || {
+        parse_script(std::hint::black_box(&script_text)).expect("parses")
+    });
+    runner.finish();
+}

@@ -1,0 +1,22 @@
+//! T1 companion: permission-matrix lookup cost (it guards every apply).
+
+use sws_bench::timing::Runner;
+use sws_core::ops::{OpKind, PermissionMatrix};
+use sws_core::ConceptKind;
+
+fn main() {
+    let m = PermissionMatrix::new();
+    let mut runner = Runner::new("permission_matrix");
+    runner.bench("matrix_full_scan", || {
+        let mut allowed = 0usize;
+        for &context in &ConceptKind::ALL {
+            for &op in OpKind::ALL {
+                allowed +=
+                    usize::from(m.allows(std::hint::black_box(context), std::hint::black_box(op)));
+            }
+        }
+        allowed
+    });
+    runner.bench("matrix_render_table1", || m.render_table());
+    runner.finish();
+}

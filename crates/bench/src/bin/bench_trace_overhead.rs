@@ -1,0 +1,52 @@
+//! Measures what `sws-trace` instrumentation costs on the hot apply path:
+//!
+//! * **disabled** — no recorder installed anywhere; every span/counter
+//!   call site is one relaxed atomic load.
+//! * **enabled** — a thread-local recorder capturing the full event
+//!   stream, counters, and histograms.
+//!
+//! The disabled/enabled p50 ratio is the number docs/observability.md
+//! quotes; rerun this binary to refresh it.
+
+use sws_bench::timing::Runner;
+use sws_core::oplang::parse_statement;
+use sws_core::{ConceptKind, Workspace};
+use sws_corpus::university;
+use sws_trace::Recorder;
+
+fn main() {
+    let base = Workspace::new(university::graph());
+    let op = parse_statement("add_attribute(CourseOffering, string(8), wing)").expect("parses");
+
+    let mut runner = Runner::new("trace_overhead");
+    runner.bench_batched(
+        "apply/disabled",
+        || base.clone(),
+        |mut ws| {
+            ws.apply(ConceptKind::WagonWheel, op.clone())
+                .expect("applies");
+        },
+    );
+
+    let rec = Recorder::new();
+    let _guard = rec.install_thread();
+    runner.bench_batched(
+        "apply/enabled",
+        || {
+            rec.take(); // keep the event buffer from growing across iterations
+            base.clone()
+        },
+        |mut ws| {
+            ws.apply(ConceptKind::WagonWheel, op.clone())
+                .expect("applies");
+        },
+    );
+
+    let disabled = runner.histogram("apply/disabled").expect("ran").p50();
+    let enabled = runner.histogram("apply/enabled").expect("ran").p50();
+    runner.finish();
+    println!(
+        "enabled/disabled p50 ratio: {:.2}x",
+        enabled as f64 / disabled.max(1) as f64
+    );
+}

@@ -18,12 +18,28 @@ pub fn context_for(op: &ModOp) -> ConceptKind {
 }
 
 /// Apply a script to a workspace, selecting a permitting context per
-/// operation. Returns the feedback stream.
+/// operation. Returns the feedback stream. Each operation runs under a
+/// `bench.apply` span recording the chosen concept-schema context.
 pub fn apply_script(ws: &mut Workspace, ops: &[ModOp]) -> Result<Vec<Feedback>, (usize, OpError)> {
     let mut out = Vec::with_capacity(ops.len());
     for (i, op) in ops.iter().enumerate() {
         let context = context_for(op);
-        out.push(ws.apply(context, op.clone()).map_err(|e| (i, e))?);
+        let mut sp = sws_trace::span!(
+            "bench.apply",
+            index = i,
+            op = op.kind().name(),
+            context = context.tag(),
+        );
+        match ws.apply(context, op.clone()) {
+            Ok(fb) => {
+                sp.record("verdict", "ok");
+                out.push(fb);
+            }
+            Err(e) => {
+                sp.record("verdict", "err");
+                return Err((i, e));
+            }
+        }
     }
     Ok(out)
 }
@@ -43,5 +59,57 @@ mod tests {
         };
         assert_eq!(context_for(&op), ConceptKind::Generalization);
         assert_eq!(op.kind(), OpKind::AddSupertype);
+    }
+
+    #[test]
+    fn apply_script_emits_one_span_per_op_with_chosen_context() {
+        use sws_trace::FieldValue;
+
+        let rec = sws_trace::Recorder::new();
+        let _guard = rec.install_thread();
+        let g = sws_model::schema_to_graph(
+            &sws_odl::parse_schema("interface A { attribute long x; }").unwrap(),
+        )
+        .unwrap();
+        let mut ws = Workspace::new(g);
+        let ops = vec![
+            ModOp::AddTypeDefinition { ty: "B".into() },
+            ModOp::AddSupertype {
+                ty: "B".into(),
+                supertype: "A".into(),
+            },
+        ];
+        apply_script(&mut ws, &ops).unwrap();
+        let session = rec.take();
+        let closes: Vec<_> = session.closed_spans("bench.apply").collect();
+        assert_eq!(closes.len(), ops.len());
+        // Open-time fields (op, context) are on the SpanOpen events; fields
+        // recorded mid-span (verdict) land on the SpanClose.
+        let opens: Vec<_> = session
+            .events
+            .iter()
+            .filter(|e| e.name == "bench.apply" && matches!(e.kind, sws_trace::EventKind::SpanOpen))
+            .collect();
+        assert_eq!(opens.len(), ops.len());
+        let field = |e: &sws_trace::Event, key: &str| {
+            e.fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing field `{key}`"))
+        };
+        assert_eq!(
+            field(opens[0], "op"),
+            FieldValue::Str("add_type_definition".into())
+        );
+        assert_eq!(
+            field(opens[0], "context"),
+            FieldValue::Str(ConceptKind::WagonWheel.tag().into())
+        );
+        assert_eq!(
+            field(opens[1], "context"),
+            FieldValue::Str(ConceptKind::Generalization.tag().into())
+        );
+        assert_eq!(field(closes[1], "verdict"), FieldValue::Str("ok".into()));
     }
 }

@@ -1,5 +1,7 @@
 //! Evaluation harness: the logic behind the `repro_*` binaries (one per
-//! table/figure of the paper) and the Criterion benches.
+//! table/figure of the paper) and the `bench_*` timing binaries, which
+//! report per-routine p50/p99 from `sws-trace` histograms instead of
+//! depending on an external bench framework.
 //!
 //! See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured results.
@@ -7,3 +9,4 @@
 pub mod case_study;
 pub mod figures;
 pub mod harness;
+pub mod timing;

@@ -1,0 +1,120 @@
+//! Zero-dependency measurement harness behind the `bench_*` binaries.
+//!
+//! Each labelled routine runs a warm-up, then a measured batch whose
+//! per-iteration wall times feed an [`sws_trace::Histogram`], and the
+//! runner prints a p50/p99 table. Iteration counts can be overridden with
+//! the `SWS_BENCH_ITERS` environment variable (useful to keep CI smoke
+//! runs fast).
+
+use std::time::Instant;
+use sws_trace::{fmt_ns, Histogram};
+
+/// Collects timing histograms for a named group of routines.
+pub struct Runner {
+    group: String,
+    iters: u32,
+    warmup: u32,
+    results: Vec<(String, Histogram)>,
+}
+
+impl Runner {
+    /// A runner with the default iteration count (env-overridable).
+    pub fn new(group: &str) -> Self {
+        let iters = std::env::var("SWS_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Runner::with_iters(group, iters)
+    }
+
+    /// A runner with an explicit measured-iteration count.
+    pub fn with_iters(group: &str, iters: u32) -> Self {
+        Runner {
+            group: group.to_string(),
+            iters: iters.max(1),
+            warmup: (iters / 10).clamp(1, 50),
+            results: Vec::new(),
+        }
+    }
+
+    /// Measure a routine that needs no per-iteration setup.
+    pub fn bench<R>(&mut self, label: &str, mut routine: impl FnMut() -> R) {
+        self.bench_batched(label, || (), |()| routine());
+    }
+
+    /// Measure a routine with per-iteration setup excluded from the
+    /// timed region (criterion's `iter_batched` shape).
+    pub fn bench_batched<I, R>(
+        &mut self,
+        label: &str,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut hist = Histogram::new();
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+        self.results.push((label.to_string(), hist));
+    }
+
+    /// The histogram recorded for `label`, if it ran.
+    pub fn histogram(&self, label: &str) -> Option<&Histogram> {
+        self.results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, h)| h)
+    }
+
+    /// Render the results as an aligned text table.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "{} ({} iters/routine)\n{:<32} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            self.group, self.iters, "routine", "p50", "p99", "min", "max", "mean"
+        );
+        for (label, hist) in &self.results {
+            out.push_str(&format!(
+                "{:<32} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                label,
+                fmt_ns(hist.p50()),
+                fmt_ns(hist.p99()),
+                fmt_ns(hist.min()),
+                fmt_ns(hist.max()),
+                fmt_ns(hist.mean()),
+            ));
+        }
+        out
+    }
+
+    /// Print the report to stdout.
+    pub fn finish(self) {
+        print!("{}", self.report());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_records_and_reports() {
+        let mut r = Runner::with_iters("demo", 10);
+        let mut n = 0u64;
+        r.bench("spin", || {
+            n = n.wrapping_add(1);
+            std::hint::black_box(n)
+        });
+        r.bench_batched("batched", || vec![1u8; 64], |v| v.len());
+        assert_eq!(r.histogram("spin").unwrap().count(), 10);
+        assert_eq!(r.histogram("batched").unwrap().count(), 10);
+        let report = r.report();
+        assert!(report.contains("demo (10 iters/routine)"));
+        assert!(report.contains("spin"));
+        assert!(report.contains("batched"));
+    }
+}

@@ -50,6 +50,8 @@ impl Decomposition {
 /// Decompose `g` into its concept schemas. Does not mutate the graph; see
 /// [`normalize_single_root`] for the multi-root transformation.
 pub fn decompose(g: &SchemaGraph) -> Decomposition {
+    let mut sp = sws_trace::span!("core.decompose", types = g.type_count());
+    let mut ww_span = sws_trace::span("core.decompose.wagon_wheels");
     let mut wagon_wheels = Vec::with_capacity(g.type_count());
     for (id, node) in g.types() {
         let mut cs = ConceptSchema::new(ConceptKind::WagonWheel, id, &node.name);
@@ -79,7 +81,11 @@ pub fn decompose(g: &SchemaGraph) -> Decomposition {
         }
         wagon_wheels.push(cs);
     }
+    ww_span.record("schemas", wagon_wheels.len());
+    ww_span.record("elements", total_elements(&wagon_wheels));
+    drop(ww_span);
 
+    let mut gen_span = sws_trace::span("core.decompose.generalizations");
     let mut generalizations = Vec::new();
     for component in query::generalization_components(g) {
         let roots = query::component_roots(g, &component);
@@ -95,19 +101,41 @@ pub fn decompose(g: &SchemaGraph) -> Decomposition {
         }
         generalizations.push(cs);
     }
+    gen_span.record("schemas", generalizations.len());
+    gen_span.record("elements", total_elements(&generalizations));
+    drop(gen_span);
 
     let aggregations = hier_decompose(g, HierKind::PartOf, ConceptKind::Aggregation);
     let instance_ofs = hier_decompose(g, HierKind::InstanceOf, ConceptKind::InstanceOf);
 
-    Decomposition {
+    let d = Decomposition {
         wagon_wheels,
         generalizations,
         aggregations,
         instance_ofs,
-    }
+    };
+    sp.record("concept_schemas", d.len());
+    d
+}
+
+/// Total element count (types, members, edges) across concept schemas —
+/// the "schema size" figure the decomposition spans report.
+fn total_elements(schemas: &[ConceptSchema]) -> usize {
+    schemas
+        .iter()
+        .map(|cs| {
+            cs.types.len()
+                + cs.attrs.len()
+                + cs.ops.len()
+                + cs.rels.len()
+                + cs.links.len()
+                + cs.gen_edges.len()
+        })
+        .sum()
 }
 
 fn hier_decompose(g: &SchemaGraph, kind: HierKind, concept: ConceptKind) -> Vec<ConceptSchema> {
+    let mut sp = sws_trace::span!("core.decompose.hierarchies", kind = hier_tag(kind));
     let mut out = Vec::new();
     for root in query::hier_roots(g, kind) {
         let (types, links) = query::hier_closure(g, kind, root);
@@ -116,7 +144,16 @@ fn hier_decompose(g: &SchemaGraph, kind: HierKind, concept: ConceptKind) -> Vec<
         cs.links.extend(links);
         out.push(cs);
     }
+    sp.record("schemas", out.len());
+    sp.record("elements", total_elements(&out));
     out
+}
+
+fn hier_tag(kind: HierKind) -> &'static str {
+    match kind {
+        HierKind::PartOf => "part_of",
+        HierKind::InstanceOf => "instance_of",
+    }
 }
 
 /// Normalize every multi-root generalization component by inserting an

@@ -145,13 +145,51 @@ impl ConsistencyReport {
 
 /// Run all consistency checks on `working` relative to `shrink_wrap`.
 pub fn check_consistency(working: &SchemaGraph, shrink_wrap: &SchemaGraph) -> ConsistencyReport {
-    let mut findings: Vec<CrossIssue> = check_well_formed(working)
-        .into_iter()
-        .map(CrossIssue::Wf)
-        .collect();
+    let mut sp = sws_trace::span!("core.consistency", types = working.type_count());
 
-    for (id, node) in working.types() {
-        // Shrink-wrap-relative checks.
+    let mut findings = check_named(working, "well_formed", |working, findings| {
+        findings.extend(check_well_formed(working).into_iter().map(CrossIssue::Wf));
+    });
+    findings.append(&mut check_named(
+        working,
+        "shrink_wrap_relative",
+        |working, findings| {
+            findings.append(&mut check_shrink_wrap_relative(working, shrink_wrap));
+        },
+    ));
+    findings.append(&mut check_named(
+        working,
+        "structure",
+        |working, findings| {
+            findings.append(&mut check_structure(working));
+        },
+    ));
+
+    findings.sort_by_key(|f| f.severity());
+    sp.record("findings", findings.len());
+    sws_trace::counter("consistency.findings", findings.len() as u64);
+    ConsistencyReport { findings }
+}
+
+/// Run one named check under a `core.consistency.<name>` span, recording how
+/// many findings it produced.
+fn check_named(
+    working: &SchemaGraph,
+    name: &'static str,
+    check: impl FnOnce(&SchemaGraph, &mut Vec<CrossIssue>),
+) -> Vec<CrossIssue> {
+    let mut sp = sws_trace::span!("core.consistency.check", check = name);
+    let mut findings = Vec::new();
+    check(working, &mut findings);
+    sp.record("findings", findings.len());
+    findings
+}
+
+/// Keys and extents present in the shrink wrap schema but lost from the
+/// same-named custom type.
+fn check_shrink_wrap_relative(working: &SchemaGraph, shrink_wrap: &SchemaGraph) -> Vec<CrossIssue> {
+    let mut findings = Vec::new();
+    for (_, node) in working.types() {
         if let Some(sw_id) = shrink_wrap.type_id(&node.name) {
             let sw_node = shrink_wrap.ty(sw_id);
             if !sw_node.keys.is_empty() && node.keys.is_empty() {
@@ -165,7 +203,15 @@ pub fn check_consistency(working: &SchemaGraph, shrink_wrap: &SchemaGraph) -> Co
                 });
             }
         }
-        // Isolation.
+    }
+    findings
+}
+
+/// Structural findings: isolated types, abstract leaves, branching
+/// instance-of chains.
+fn check_structure(working: &SchemaGraph) -> Vec<CrossIssue> {
+    let mut findings = Vec::new();
+    for (id, node) in working.types() {
         let isolated = node.attrs.is_empty()
             && node.ops.is_empty()
             && node.rel_ends.is_empty()
@@ -192,9 +238,7 @@ pub fn check_consistency(working: &SchemaGraph, shrink_wrap: &SchemaGraph) -> Co
             });
         }
     }
-
-    findings.sort_by_key(|f| f.severity());
-    ConsistencyReport { findings }
+    findings
 }
 
 #[cfg(test)]

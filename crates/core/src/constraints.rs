@@ -139,14 +139,25 @@ impl ConstraintViolation {
         use ConstraintCategory::*;
         use ConstraintViolation::*;
         match self {
-            TypeExists(_) | MemberExists { .. } | ExtentInUse(_) | ExtentAlreadySet { .. }
-            | SupertypeEdgeExists { .. } | KeyExists { .. } => Uniqueness,
-            UnknownType(_) | UnknownMember { .. } | NoExtent { .. }
-            | NoSupertypeEdge { .. } | NoSuchKey { .. } => Existence,
+            TypeExists(_)
+            | MemberExists { .. }
+            | ExtentInUse(_)
+            | ExtentAlreadySet { .. }
+            | SupertypeEdgeExists { .. }
+            | KeyExists { .. } => Uniqueness,
+            UnknownType(_)
+            | UnknownMember { .. }
+            | NoExtent { .. }
+            | NoSupertypeEdge { .. }
+            | NoSuchKey { .. } => Existence,
             StaleValue { .. } => Currency,
-            SemanticStability { .. } => ConstraintCategory::SemanticStability,
-            GeneralizationCycle { .. } | HierarchyCycle { .. } | InheritedConflict { .. }
-            | SelfLink { .. } | NotParentEnd { .. } | OrderByOnChildEnd { .. } => Structural,
+            ConstraintViolation::SemanticStability { .. } => ConstraintCategory::SemanticStability,
+            GeneralizationCycle { .. }
+            | HierarchyCycle { .. }
+            | InheritedConflict { .. }
+            | SelfLink { .. }
+            | NotParentEnd { .. }
+            | OrderByOnChildEnd { .. } => Structural,
             AttributeNotVisible { .. } | UnknownDomainType { .. } | SizeNotAllowed { .. } => {
                 Referential
             }
@@ -1704,15 +1715,23 @@ mod tests {
                 C::Currency,
             ),
             (
-                ConstraintViolation::SemanticStability { from: "A".into(), to: "B".into() },
+                ConstraintViolation::SemanticStability {
+                    from: "A".into(),
+                    to: "B".into(),
+                },
                 C::SemanticStability,
             ),
             (
-                ConstraintViolation::GeneralizationCycle { sub: "A".into(), sup: "B".into() },
+                ConstraintViolation::GeneralizationCycle {
+                    sub: "A".into(),
+                    sup: "B".into(),
+                },
                 C::Structural,
             ),
             (
-                ConstraintViolation::UnknownDomainType { referenced: "G".into() },
+                ConstraintViolation::UnknownDomainType {
+                    referenced: "G".into(),
+                },
                 C::Referential,
             ),
         ];

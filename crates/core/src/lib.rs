@@ -44,7 +44,7 @@ pub mod workspace;
 pub use advice::{advise, Suggestion};
 pub use aliases::{AliasError, AliasTable};
 pub use concept::{decompose, ConceptKind, ConceptSchema, Decomposition};
-pub use consistency::{ConsistencyReport, CrossIssue, Severity};
+pub use consistency::{check_consistency, ConsistencyReport, CrossIssue, Severity};
 pub use constraints::{check_preconditions, ConstraintCategory, ConstraintViolation};
 pub use explain::explain;
 pub use feedback::Feedback;

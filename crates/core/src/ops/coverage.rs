@@ -264,7 +264,10 @@ mod tests {
         // Attributes: full ADM in the wagon wheel, nothing in hierarchies
         // except the move (which is per-attribute, not per-property, so it
         // does not appear in a candidate row).
-        let attr_type_row = table.lines().find(|l| l.contains("Attribute") && l.contains("Type")).unwrap();
+        let attr_type_row = table
+            .lines()
+            .find(|l| l.contains("Attribute") && l.contains("Type"))
+            .unwrap();
         assert!(attr_type_row.contains("ADM"), "{attr_type_row}");
         // Supertype: ADM in the generalization hierarchy only.
         let sup_row = table.lines().find(|l| l.contains("Supertype")).unwrap();

@@ -13,6 +13,7 @@ use crate::mapping::Mapping;
 use crate::workspace::Workspace;
 use sws_model::graph_to_schema;
 use sws_odl::print_schema;
+use sws_trace::TraceSummary;
 
 /// The complete deliverable bundle for one design session.
 #[derive(Debug, Clone)]
@@ -35,6 +36,9 @@ pub struct DesignReport {
     pub advice: Vec<Suggestion>,
     /// Rendered op log lines with impact counts.
     pub log_lines: Vec<String>,
+    /// Counter/timing summary captured from the active trace recorder, if
+    /// tracing was enabled during the session.
+    pub instrumentation: Option<TraceSummary>,
 }
 
 impl DesignReport {
@@ -68,6 +72,9 @@ impl DesignReport {
             consistency,
             advice,
             log_lines,
+            instrumentation: sws_trace::current()
+                .map(|rec| TraceSummary::of(&rec.snapshot()))
+                .filter(|s| !s.is_empty()),
         }
     }
 
@@ -114,6 +121,10 @@ impl DesignReport {
         for entry in &self.mapping.entries {
             out.push_str(&format!("  {}: {}\n", entry.construct, entry.disposition));
         }
+        if let Some(summary) = &self.instrumentation {
+            out.push_str("\n## Instrumentation\n");
+            out.push_str(&summary.render());
+        }
         out.push_str("\n## Custom schema\n");
         out.push_str(&self.custom_odl);
         out
@@ -152,6 +163,42 @@ mod tests {
         assert!(text.contains("-> add_type_definition(B)"), "{text}");
         assert!(text.contains("type `B`: deleted"));
         assert!(text.contains("## Custom schema"));
+    }
+
+    #[test]
+    fn instrumentation_section_reflects_traced_session() {
+        let rec = sws_trace::Recorder::new();
+        let _guard = rec.install_thread();
+        let mut ws = Workspace::new(
+            schema_to_graph(&parse_schema("interface A { attribute long x; keys x; }").unwrap())
+                .unwrap(),
+        );
+        ws.apply(
+            ConceptKind::WagonWheel,
+            ModOp::AddTypeDefinition { ty: "B".into() },
+        )
+        .unwrap();
+        let report = DesignReport::generate(&ws);
+        let summary = report.instrumentation.as_ref().expect("summary captured");
+        assert!(summary
+            .counters
+            .iter()
+            .any(|(name, v)| name == "ws.ops_applied" && *v == 1));
+        assert!(summary.histograms.iter().any(|h| h.name == "ws.apply"));
+        let text = report.render();
+        assert!(text.contains("## Instrumentation"), "{text}");
+        assert!(text.contains("ws.ops_applied = 1"), "{text}");
+    }
+
+    #[test]
+    fn report_without_tracing_omits_instrumentation() {
+        let ws = Workspace::new(
+            schema_to_graph(&parse_schema("interface A { attribute long x; keys x; }").unwrap())
+                .unwrap(),
+        );
+        let report = DesignReport::generate(&ws);
+        assert!(report.instrumentation.is_none());
+        assert!(!report.render().contains("## Instrumentation"));
     }
 
     #[test]

@@ -79,19 +79,44 @@ impl Workspace {
     /// Pipeline: Table 1 permission → precondition constraints → mutation
     /// with propagation → cautionary feedback. On error nothing changes.
     pub fn apply(&mut self, context: ConceptKind, op: ModOp) -> Result<Feedback, OpError> {
+        let mut sp = sws_trace::span!("ws.apply", op = op.kind().name(), context = context.tag());
         if !self.matrix.allows(context, op.kind()) {
+            sp.record("verdict", "not_permitted");
+            sws_trace::counter("ws.ops_rejected", 1);
             return Err(OpError::NotPermitted {
                 op: op.kind(),
                 context,
             });
         }
-        let violations = check_preconditions(&op, &self.working, &self.shrink_wrap);
+        let violations = {
+            let mut pre = sws_trace::span("core.preconditions");
+            let violations = check_preconditions(&op, &self.working, &self.shrink_wrap);
+            pre.record("violations", violations.len());
+            violations
+        };
         if !violations.is_empty() {
+            sp.record("verdict", "rejected");
+            sws_trace::counter("ws.ops_rejected", 1);
             return Err(OpError::Violations(violations));
         }
-        let outcome = apply_op(&mut self.working, &op)?;
+        let outcome = {
+            let _mutate = sws_trace::span("core.apply_op");
+            match apply_op(&mut self.working, &op) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    sp.record("verdict", "error");
+                    sws_trace::counter("ws.ops_rejected", 1);
+                    return Err(e);
+                }
+            }
+        };
         let impact = ImpactReport::from_cascade(&outcome.cascade, &outcome.notes);
         let (warnings, infos) = cautionary(&op, &self.working);
+        sp.record("verdict", "ok");
+        sp.record("warnings", warnings.len());
+        sp.record("infos", infos.len());
+        sp.record("impacted", impact.len());
+        sws_trace::counter("ws.ops_applied", 1);
         self.log.push(AppliedOp {
             op: op.clone(),
             context,
@@ -112,13 +137,19 @@ impl Workspace {
         context: ConceptKind,
         ops: impl IntoIterator<Item = ModOp>,
     ) -> Result<Vec<Feedback>, (usize, OpError)> {
+        let mut sp = sws_trace::span!("ws.apply_script", context = context.tag());
         let mut feedback = Vec::new();
         for (i, op) in ops.into_iter().enumerate() {
             match self.apply(context, op) {
                 Ok(fb) => feedback.push(fb),
-                Err(e) => return Err((i, e)),
+                Err(e) => {
+                    sp.record("applied", i);
+                    sp.record("failed_at", i);
+                    return Err((i, e));
+                }
             }
         }
+        sp.record("applied", feedback.len());
         Ok(feedback)
     }
 
@@ -128,9 +159,13 @@ impl Workspace {
         &mut self,
         records: impl IntoIterator<Item = (ConceptKind, ModOp)>,
     ) -> Result<(), (usize, OpError)> {
+        let mut sp = sws_trace::span("ws.replay");
+        let mut applied = 0usize;
         for (i, (context, op)) in records.into_iter().enumerate() {
             self.apply(context, op).map_err(|e| (i, e))?;
+            applied = i + 1;
         }
+        sp.record("applied", applied);
         Ok(())
     }
 

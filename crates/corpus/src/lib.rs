@@ -9,7 +9,8 @@
 //!   Fig. 6.
 //! * [`genome`] — reconstructions of the ACEDB, SacchDB, and AAtDB physical
 //!   mapping schemas of Figs. 9–11 (§4 case study).
-//! * [`synthetic`] — a deterministic random-schema generator.
+//! * [`synthetic`] — a deterministic random-schema generator (seeded by
+//!   the in-tree [`rng`] module, no external PRNG dependency).
 //!
 //! All hand-written schemas are authored in extended ODL and parsed at
 //! construction time, so they double as parser fixtures.
@@ -17,6 +18,7 @@
 pub mod business;
 pub mod genome;
 pub mod house;
+pub mod rng;
 pub mod software;
 pub mod synthetic;
 pub mod university;

@@ -1,0 +1,73 @@
+//! A small deterministic PRNG (SplitMix64) so the synthetic generator
+//! works with no external dependencies. Sequential seeds decorrelate
+//! through the mixing function, so `seed` and `seed + 1` give unrelated
+//! streams.
+
+/// SplitMix64 generator with convenience range/probability draws.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded construction; the same seed always yields the same stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift range reduction; bias is negligible at these sizes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + self.below(u64::from(hi - lo)) as u32
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..200 {
+            let x = a.range_usize(3, 17);
+            assert_eq!(x, b.range_usize(3, 17));
+            assert!((3..17).contains(&x));
+        }
+        let mut c = SplitMix64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "{hits}");
+    }
+}

@@ -6,8 +6,7 @@
 //! only point from higher to lower indices (so no cycles), and every
 //! relationship is created with both ends at once.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use sws_model::SchemaGraph;
 use sws_odl::{Cardinality, CollectionKind, DomainType, HierKind, Key, Operation, Param};
 
@@ -50,22 +49,22 @@ impl SyntheticSpec {
     /// Generate the schema.
     pub fn generate(&self) -> SchemaGraph {
         let mut g = SchemaGraph::new(format!("synthetic_{}", self.types));
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
         let mut type_ids = Vec::with_capacity(self.types);
 
         for i in 0..self.types {
             let id = g.add_type(&format!("Type{i}")).expect("fresh name");
             type_ids.push(id);
             for j in 0..self.attrs_per_type {
-                let domain = match rng.gen_range(0..5u32) {
+                let domain = match rng.range_u32(0, 5) {
                     0 => DomainType::Long,
                     1 => DomainType::Double,
                     2 => DomainType::Bool,
                     3 => DomainType::set_of(DomainType::String),
                     _ => DomainType::String,
                 };
-                let size = if domain == DomainType::String && rng.gen_bool(0.5) {
-                    Some(rng.gen_range(8..256))
+                let size = if domain == DomainType::String && rng.chance(0.5) {
+                    Some(rng.range_u32(8, 256))
                 } else {
                     None
                 };
@@ -81,11 +80,11 @@ impl SyntheticSpec {
                 };
                 g.add_operation(id, op).expect("fresh name");
             }
-            if self.attrs_per_type > 0 && rng.gen_bool(0.3) {
+            if self.attrs_per_type > 0 && rng.chance(0.3) {
                 g.add_key(id, Key::single(format!("t{i}_a0")))
                     .expect("fresh key");
             }
-            if rng.gen_bool(0.2) {
+            if rng.chance(0.2) {
                 g.set_extent(id, Some(format!("extent_t{i}")))
                     .expect("fresh extent");
             }
@@ -93,8 +92,8 @@ impl SyntheticSpec {
 
         // Generalization: types with index > 0 may pick an earlier supertype.
         for i in 1..self.types {
-            if rng.gen_range(0..100) < self.generalization_pct {
-                let sup = type_ids[rng.gen_range(0..i)];
+            if rng.range_u32(0, 100) < self.generalization_pct {
+                let sup = type_ids[rng.range_usize(0, i)];
                 g.add_supertype(type_ids[i], sup)
                     .expect("acyclic by index order");
             }
@@ -102,9 +101,9 @@ impl SyntheticSpec {
 
         // Relationships: random pairs, globally unique paths.
         for k in 0..self.relationships {
-            let a = type_ids[rng.gen_range(0..self.types)];
-            let b = type_ids[rng.gen_range(0..self.types)];
-            let card = if rng.gen_bool(0.6) {
+            let a = type_ids[rng.range_usize(0, self.types)];
+            let b = type_ids[rng.range_usize(0, self.types)];
+            let card = if rng.chance(0.6) {
                 Cardinality::Many(CollectionKind::Set)
             } else {
                 Cardinality::One
@@ -125,8 +124,8 @@ impl SyntheticSpec {
         // Hierarchy links: parent index < child index keeps them acyclic.
         if self.types >= 2 {
             for k in 0..self.part_of_links {
-                let pi = rng.gen_range(0..self.types - 1);
-                let ci = rng.gen_range(pi + 1..self.types);
+                let pi = rng.range_usize(0, self.types - 1);
+                let ci = rng.range_usize(pi + 1, self.types);
                 g.add_link(
                     HierKind::PartOf,
                     type_ids[pi],
@@ -139,8 +138,8 @@ impl SyntheticSpec {
                 .expect("acyclic by index order");
             }
             for k in 0..self.instance_of_links {
-                let pi = rng.gen_range(0..self.types - 1);
-                let ci = rng.gen_range(pi + 1..self.types);
+                let pi = rng.range_usize(0, self.types - 1);
+                let ci = rng.range_usize(pi + 1, self.types);
                 g.add_link(
                     HierKind::InstanceOf,
                     type_ids[pi],

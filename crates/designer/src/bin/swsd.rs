@@ -9,15 +9,42 @@
 //!
 //! Reads commands from stdin (see `help`), writes to stdout. Scriptable:
 //! `swsd --schema uni.odl < script.txt`.
+//!
+//! Add `--trace` to record structured spans for the whole session and dump
+//! a human-readable trace tree plus a counter/timing summary to stderr on
+//! exit; `--trace=json` dumps the raw trace as JSON lines instead (one
+//! object per span/event), for machine consumption.
 
 use std::io::{self, BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
 use sws_designer::{execute, CommandOutcome, Session};
+use sws_trace::{render_tree, to_jsonl, Recorder, TraceSummary};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceMode {
+    Tree,
+    Json,
+}
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_mode = None;
+    let mut args = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--trace" => trace_mode = Some(TraceMode::Tree),
+            "--trace=json" => trace_mode = Some(TraceMode::Json),
+            _ => args.push(arg),
+        }
+    }
+
+    let recorder = trace_mode.map(|_| {
+        let rec = Recorder::new();
+        sws_trace::set_global(rec.clone());
+        rec
+    });
+
     let session = match args.as_slice() {
         [flag, value] if flag == "--schema" => {
             let source = match std::fs::read_to_string(value) {
@@ -31,7 +58,7 @@ fn main() -> ExitCode {
         }
         [flag, value] if flag == "--session" => Session::load(Path::new(value)),
         _ => {
-            eprintln!("usage: swsd --schema <file.odl> | --session <dir>");
+            eprintln!("usage: swsd [--trace[=json]] --schema <file.odl> | --session <dir>");
             return ExitCode::FAILURE;
         }
     };
@@ -71,6 +98,23 @@ fn main() -> ExitCode {
                 let _ = out.flush();
             }
             CommandOutcome::Quit => break,
+        }
+    }
+
+    if let (Some(mode), Some(rec)) = (trace_mode, recorder) {
+        let trace = rec.take();
+        sws_trace::clear_global();
+        match mode {
+            TraceMode::Json => eprint!("{}", to_jsonl(&trace)),
+            TraceMode::Tree => {
+                eprintln!("--- trace ---");
+                eprint!("{}", render_tree(&trace.events));
+                let summary = TraceSummary::of(&trace);
+                if !summary.is_empty() {
+                    eprintln!("--- summary ---");
+                    eprint!("{}", summary.render());
+                }
+            }
         }
     }
     ExitCode::SUCCESS

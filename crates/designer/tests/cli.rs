@@ -85,6 +85,50 @@ fn save_and_resume_via_cli() {
 }
 
 #[test]
+fn trace_json_flag_dumps_checker_valid_jsonl_to_stderr() {
+    let schema = schema_file();
+    // Parse happens at load, decomposition at `concepts`, a ModOp apply,
+    // and a consistency pass at `check` — the whole pipeline in one script.
+    let script = "concepts\nadd_type_definition(Project)\ncheck\nquit\n";
+    let (stdout, stderr, ok) = run_swsd(
+        &["--trace=json", "--schema", schema.to_str().unwrap()],
+        script,
+    );
+    assert!(ok, "stderr: {stderr}");
+    // stdout is untouched by tracing.
+    assert!(stdout.contains("applied: add_type_definition(Project)"));
+    assert!(!stdout.contains("span_open"));
+    // stderr is non-empty, checker-valid JSONL...
+    let lines = sws_trace::export::jsonl::check(&stderr)
+        .unwrap_or_else(|e| panic!("invalid JSONL: {e}\n{stderr}"));
+    assert!(lines > 0);
+    // ...with spans for every pipeline layer.
+    for name in [
+        "odl.parse",
+        "core.decompose",
+        "ws.apply",
+        "core.consistency.check",
+    ] {
+        assert!(
+            stderr.contains(&format!("\"name\":\"{name}\"")),
+            "missing span `{name}` in:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn trace_flag_dumps_tree_and_summary_to_stderr() {
+    let schema = schema_file();
+    let script = "add_type_definition(Project)\nquit\n";
+    let (_, stderr, ok) = run_swsd(&["--trace", "--schema", schema.to_str().unwrap()], script);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("--- trace ---"), "{stderr}");
+    assert!(stderr.contains("ws.apply"), "{stderr}");
+    assert!(stderr.contains("--- summary ---"), "{stderr}");
+    assert!(stderr.contains("ws.ops_applied = 1"), "{stderr}");
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let (_, stderr, ok) = run_swsd(&[], "");
     assert!(!ok);

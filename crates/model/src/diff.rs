@@ -110,6 +110,11 @@ pub fn diff_graphs(old: &SchemaGraph, new: &SchemaGraph) -> SchemaDiff {
 
 /// Diff two canonical ASTs (old → new).
 pub fn diff_schemas(old: &Schema, new: &Schema) -> SchemaDiff {
+    let mut sp = sws_trace::span!(
+        "model.diff",
+        old_types = old.interfaces.len(),
+        new_types = new.interfaces.len(),
+    );
     let mut diff = SchemaDiff::default();
     for iface in &new.interfaces {
         if old.interface(&iface.name).is_none() {
@@ -130,6 +135,7 @@ pub fn diff_schemas(old: &Schema, new: &Schema) -> SchemaDiff {
             }
         }
     }
+    sp.record("changes", diff.change_count());
     diff
 }
 

@@ -88,6 +88,7 @@ impl fmt::Display for WfIssue {
 
 /// Check the whole graph, returning every finding (empty = well-formed).
 pub fn check_well_formed(g: &SchemaGraph) -> Vec<WfIssue> {
+    let mut sp = sws_trace::span!("model.wf", types = g.type_count());
     let mut issues = Vec::new();
     for (id, node) in g.types() {
         check_inherited_conflicts(g, id, &mut issues);
@@ -108,6 +109,7 @@ pub fn check_well_formed(g: &SchemaGraph) -> Vec<WfIssue> {
         }
     }
     check_order_bys(g, &mut issues);
+    sp.record("issues", issues.len());
     issues
 }
 

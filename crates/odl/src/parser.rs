@@ -34,16 +34,20 @@ use crate::types::{CollectionKind, DomainType};
 /// Parse a complete extended-ODL schema. A `schema Name { ... }` wrapper is
 /// optional; without it the schema is named `"schema"`.
 pub fn parse_schema(src: &str) -> Result<Schema, OdlError> {
+    let mut sp = sws_trace::span!("odl.parse", bytes = src.len());
     let tokens = tokenize(src)?;
+    sws_trace::counter("odl.tokens", tokens.len() as u64);
     let mut p = Parser { tokens, pos: 0 };
     let schema = p.schema()?;
     p.expect_eof()?;
+    sp.record("interfaces", schema.interfaces.len());
     Ok(schema)
 }
 
 /// Parse a single interface definition.
 pub fn parse_interface(src: &str) -> Result<Interface, OdlError> {
     let tokens = tokenize(src)?;
+    sws_trace::counter("odl.tokens", tokens.len() as u64);
     let mut p = Parser { tokens, pos: 0 };
     let iface = p.interface()?;
     p.expect_eof()?;
@@ -168,11 +172,13 @@ impl Parser {
     }
 
     fn interface(&mut self) -> Result<Interface, OdlError> {
+        let mut sp = sws_trace::span("odl.parse_interface");
         let is_abstract = self.eat_word("abstract");
         if !self.eat_word("interface") {
             return Err(self.err_expected("`interface`"));
         }
         let name = self.ident("interface name")?;
+        sp.record("interface", name.as_str());
         let mut iface = Interface::new(name);
         iface.is_abstract = is_abstract;
         if matches!(self.peek(), Token::Colon) {

@@ -2,35 +2,40 @@
 //! always carry positions, and parsing is total over the printable-ASCII
 //! fuzz space.
 
-use proptest::prelude::*;
 use sws_odl::{parse_schema, print_schema, validate_schema};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
 
-    /// Arbitrary text never panics the pipeline.
-    #[test]
-    fn parser_never_panics(src in "[ -~\\n]{0,200}") {
-        let _ = parse_schema(&src);
-    }
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
 
-    /// Arbitrary interface-shaped text never panics.
-    #[test]
-    fn interface_shaped_fuzz(body in "[a-z<>(),;: ]{0,120}") {
-        let src = format!("interface A {{ {body} }}");
-        let _ = parse_schema(&src);
-    }
+        /// Arbitrary text never panics the pipeline.
+        #[test]
+        fn parser_never_panics(src in "[ -~\\n]{0,200}") {
+            let _ = parse_schema(&src);
+        }
 
-    /// When parsing succeeds, printing and re-parsing is stable, and
-    /// validation never panics.
-    #[test]
-    fn accepted_inputs_round_trip(body in "(attribute (long|string|double) [a-z]{1,6}; ?){0,5}") {
-        let src = format!("interface A {{ {body} }}");
-        if let Ok(schema) = parse_schema(&src) {
-            let printed = print_schema(&schema);
-            let reparsed = parse_schema(&printed).expect("printer output parses");
-            prop_assert_eq!(reparsed, schema.clone());
-            let _ = validate_schema(&schema);
+        /// Arbitrary interface-shaped text never panics.
+        #[test]
+        fn interface_shaped_fuzz(body in "[a-z<>(),;: ]{0,120}") {
+            let src = format!("interface A {{ {body} }}");
+            let _ = parse_schema(&src);
+        }
+
+        /// When parsing succeeds, printing and re-parsing is stable, and
+        /// validation never panics.
+        #[test]
+        fn accepted_inputs_round_trip(body in "(attribute (long|string|double) [a-z]{1,6}; ?){0,5}") {
+            let src = format!("interface A {{ {body} }}");
+            if let Ok(schema) = parse_schema(&src) {
+                let printed = print_schema(&schema);
+                let reparsed = parse_schema(&printed).expect("printer output parses");
+                prop_assert_eq!(reparsed, schema.clone());
+                let _ = validate_schema(&schema);
+            }
         }
     }
 }

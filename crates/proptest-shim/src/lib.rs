@@ -1,0 +1,204 @@
+//! Offline stand-in for the parts of the [proptest](https://proptest-rs.github.io/)
+//! API this workspace's property tests use. The package is `sws-proptest`
+//! but the library is named `proptest`, so `use proptest::prelude::*;`
+//! resolves here with no registry access.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** Generation is deterministic (SplitMix64 seeded from
+//!   the test name and case index), so a failing case reproduces exactly;
+//!   the failure message carries the generated inputs.
+//! * **Regex strategies** support only the subset the tests use: classes,
+//!   ranges, escapes, groups, alternation, and `{m}`/`{m,n}`/`?`/`*`/`+`
+//!   quantifiers.
+//! * `prop::option::of` weights `Some` 3:1, `*` caps at 4 repeats, `+` at 5.
+
+pub mod regex_gen;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirrors proptest's `prop` module paths (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Option strategies.
+    pub mod option {
+        pub use crate::strategy::of;
+    }
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// Everything a property-test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Define property tests. Matches proptest's surface syntax: an optional
+/// `#![proptest_config(..)]` inner attribute, then `#[test]`-attributed
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each property fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &$cfg,
+                |__rng, __inputs| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);
+                    )+
+                    $(
+                        __inputs.push_str(&format!(
+                            concat!("  ", stringify!($arg), " = {:?}\n"),
+                            &$arg,
+                        ));
+                    )+
+                    #[allow(unreachable_code)]
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                },
+            );
+        }
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert inside a property body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r,
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro surface end-to-end: bindings, maps, oneof, asserts.
+        #[test]
+        fn macro_surface_works(
+            n in 1usize..10,
+            label in prop_oneof![
+                3 => Just("common"),
+                1 => Just("rare"),
+            ],
+            word in "[a-z]{1,4}".prop_map(|s| format!("w_{s}")),
+        ) {
+            prop_assert!(n >= 1);
+            prop_assert!(!label.is_empty(), "label was {label:?}");
+            prop_assert_eq!(&word[..2], "w_");
+            let parsed: usize = format!("{n}")
+                .parse()
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(parsed, n);
+        }
+    }
+
+    proptest! {
+        /// Default config path (no inner attribute).
+        #[test]
+        fn default_config_runs(pair in (0u32..5, prop::option::of(0u64..3))) {
+            let (a, b) = pair;
+            prop_assert!(a < 5);
+            if let Some(b) = b {
+                prop_assert!(b < 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! A tiny regex-subset *generator*: given a pattern, produce random
+//! strings matching it. Supports exactly the constructs the workspace's
+//! property tests use:
+//!
+//! * literal characters and `\n`/`\t`/`\\`-style escapes,
+//! * character classes `[a-z0-9_]` (ranges + literals + escapes),
+//! * groups `( ... )` with alternation `a|b|c`,
+//! * quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`.
+
+use crate::rng::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One of the alternatives.
+    Alt(Vec<Node>),
+    /// Concatenation.
+    Seq(Vec<Node>),
+    /// A literal character.
+    Lit(char),
+    /// One character drawn from a set.
+    Class(Vec<char>),
+    /// `node` repeated between `min` and `max` times (inclusive).
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// A parse error (the pattern uses an unsupported construct).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexGenError(pub String);
+
+impl std::fmt::Display for RegexGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex pattern: {}", self.0)
+    }
+}
+
+/// A compiled generator for one pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGen {
+    root: Node,
+}
+
+impl RegexGen {
+    /// Compile `pattern`. Panics on unsupported syntax (a test-authoring
+    /// error, mirroring proptest's behaviour of failing the test).
+    pub fn compile(pattern: &str) -> Result<Self, RegexGenError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let root = parse_alt(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(RegexGenError(format!(
+                "trailing `{}` in `{pattern}`",
+                chars[pos]
+            )));
+        }
+        Ok(RegexGen { root })
+    }
+
+    /// Generate one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        gen_node(&self.root, rng, &mut out);
+        out
+    }
+}
+
+fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let pick = rng.range_usize(0, branches.len());
+            gen_node(&branches[pick], rng, out);
+        }
+        Node::Seq(parts) => {
+            for part in parts {
+                gen_node(part, rng, out);
+            }
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Class(set) => {
+            let pick = rng.range_usize(0, set.len());
+            out.push(set[pick]);
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = rng.range_usize(*min, *max + 1);
+            for _ in 0..n {
+                gen_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other, // \\  \]  \-  \.  etc: the literal character
+    }
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Node, RegexGenError> {
+    let mut branches = vec![parse_seq(chars, pos)?];
+    while chars.get(*pos) == Some(&'|') {
+        *pos += 1;
+        branches.push(parse_seq(chars, pos)?);
+    }
+    if branches.len() == 1 {
+        Ok(branches.pop().expect("one branch"))
+    } else {
+        Ok(Node::Alt(branches))
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Result<Node, RegexGenError> {
+    let mut parts = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == '|' || c == ')' {
+            break;
+        }
+        let atom = parse_atom(chars, pos)?;
+        parts.push(parse_quantifier(chars, pos, atom)?);
+    }
+    Ok(Node::Seq(parts))
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, RegexGenError> {
+    match chars.get(*pos) {
+        Some('(') => {
+            *pos += 1;
+            let inner = parse_alt(chars, pos)?;
+            if chars.get(*pos) != Some(&')') {
+                return Err(RegexGenError("unclosed group".into()));
+            }
+            *pos += 1;
+            Ok(inner)
+        }
+        Some('[') => {
+            *pos += 1;
+            parse_class(chars, pos)
+        }
+        Some('\\') => {
+            *pos += 1;
+            let c = *chars
+                .get(*pos)
+                .ok_or_else(|| RegexGenError("dangling escape".into()))?;
+            *pos += 1;
+            Ok(Node::Lit(unescape(c)))
+        }
+        Some('.') => {
+            *pos += 1;
+            // Any printable ASCII.
+            Ok(Node::Class((' '..='~').collect()))
+        }
+        Some(&c) if !matches!(c, '{' | '}' | '?' | '*' | '+' | ']') => {
+            *pos += 1;
+            Ok(Node::Lit(c))
+        }
+        Some(&c) => Err(RegexGenError(format!("unexpected `{c}`"))),
+        None => Err(RegexGenError("unexpected end of pattern".into())),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, RegexGenError> {
+    let mut set = Vec::new();
+    loop {
+        let c = *chars
+            .get(*pos)
+            .ok_or_else(|| RegexGenError("unclosed class".into()))?;
+        match c {
+            ']' => {
+                *pos += 1;
+                if set.is_empty() {
+                    return Err(RegexGenError("empty class".into()));
+                }
+                return Ok(Node::Class(set));
+            }
+            '\\' => {
+                *pos += 1;
+                let e = *chars
+                    .get(*pos)
+                    .ok_or_else(|| RegexGenError("dangling escape in class".into()))?;
+                *pos += 1;
+                set.push(unescape(e));
+            }
+            _ => {
+                *pos += 1;
+                // Range `a-z` (a `-` just before `]` is a literal dash).
+                if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&n| n != ']') {
+                    *pos += 1;
+                    let hi = *chars.get(*pos).expect("checked above");
+                    *pos += 1;
+                    if hi < c {
+                        return Err(RegexGenError(format!("bad range `{c}-{hi}`")));
+                    }
+                    set.extend(c..=hi);
+                } else {
+                    set.push(c);
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Result<Node, RegexGenError> {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(atom), 0, 1))
+        }
+        Some('*') => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(atom), 0, 4))
+        }
+        Some('+') => {
+            *pos += 1;
+            Ok(Node::Repeat(Box::new(atom), 1, 5))
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min = String::new();
+            while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                min.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: usize = min
+                .parse()
+                .map_err(|_| RegexGenError("bad repeat count".into()))?;
+            let max = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                let mut max = String::new();
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    max.push(chars[*pos]);
+                    *pos += 1;
+                }
+                max.parse()
+                    .map_err(|_| RegexGenError("bad repeat bound".into()))?
+            } else {
+                min
+            };
+            if chars.get(*pos) != Some(&'}') {
+                return Err(RegexGenError("unclosed repeat".into()));
+            }
+            *pos += 1;
+            if max < min {
+                return Err(RegexGenError("repeat max < min".into()));
+            }
+            Ok(Node::Repeat(Box::new(atom), min, max))
+        }
+        _ => Ok(atom),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        RegexGen::compile(pattern)
+            .unwrap()
+            .generate(&mut TestRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn classes_and_repeats() {
+        for seed in 0..50 {
+            let s = gen("[A-Z][a-z]{2,6}", seed);
+            let chars: Vec<char> = s.chars().collect();
+            assert!(chars.len() >= 3 && chars.len() <= 7, "{s}");
+            assert!(chars[0].is_ascii_uppercase());
+            assert!(chars[1..].iter().all(char::is_ascii_lowercase));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_space() {
+        for seed in 0..20 {
+            let s = gen("[ -~\\n]{0,200}", seed);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        for seed in 0..50 {
+            let s = gen("(attribute (long|string|double) [a-z]{1,6}; ?){0,5}", seed);
+            for word in s.split_whitespace() {
+                if word == "attribute" {
+                    continue;
+                }
+            }
+            if !s.is_empty() {
+                assert!(s.starts_with("attribute "), "{s}");
+                assert!(
+                    s.contains("long") || s.contains("string") || s.contains("double"),
+                    "{s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_syntax_is_an_error() {
+        assert!(RegexGen::compile("(unclosed").is_err());
+        assert!(RegexGen::compile("[unclosed").is_err());
+        assert!(RegexGen::compile("a{2").is_err());
+        assert!(RegexGen::compile("a{3,1}").is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Case execution: config, error type, and the driver loop behind the
+//! `proptest!` macro.
+
+use crate::rng::TestRng;
+
+/// Subset of proptest's config: just the case count.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is violated.
+    Fail(String),
+    /// The input is invalid for this property; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject(msg) => write!(f, "rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Run `cfg.cases` cases of one property. The case callback receives a
+/// per-case deterministic RNG (seeded from the test name and case index)
+/// and a buffer it fills with a `Debug` rendering of the generated inputs
+/// before running the body, so both assertion failures and panics can
+/// report what input triggered them.
+pub fn run_cases<F>(name: &str, cfg: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    for i in 0..cfg.cases {
+        let mut rng = TestRng::seed_from_u64(base.wrapping_add(u64::from(i)));
+        let mut inputs = String::new();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng, &mut inputs)));
+        match outcome {
+            Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => panic!(
+                "property `{name}` failed at case {i}/{}: {msg}\ninputs:\n{inputs}",
+                cfg.cases
+            ),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                panic!(
+                    "property `{name}` panicked at case {i}/{}: {msg}\ninputs:\n{inputs}",
+                    cfg.cases
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_cases_deterministically() {
+        let mut draws_a = Vec::new();
+        run_cases("demo", &ProptestConfig::with_cases(8), |rng, _| {
+            draws_a.push(rng.next_u64());
+            Ok(())
+        });
+        let mut draws_b = Vec::new();
+        run_cases("demo", &ProptestConfig::with_cases(8), |rng, _| {
+            draws_b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(draws_a, draws_b);
+        assert_eq!(draws_a.len(), 8);
+    }
+
+    #[test]
+    fn rejects_are_skipped() {
+        let mut ran = 0;
+        run_cases("rej", &ProptestConfig::with_cases(5), |_, _| {
+            ran += 1;
+            Err(TestCaseError::reject("not this one"))
+        });
+        assert_eq!(ran, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failures_report_inputs() {
+        run_cases("boom", &ProptestConfig::with_cases(3), |_, inputs| {
+            inputs.push_str("x = 42");
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked at case")]
+    fn panics_are_reported_with_case_number() {
+        run_cases("kaboom", &ProptestConfig::with_cases(3), |_, _| {
+            panic!("inner");
+        });
+    }
+}

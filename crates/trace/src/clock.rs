@@ -1,0 +1,100 @@
+//! Time sources for the recorder.
+//!
+//! All timestamps are nanoseconds on a monotonic axis whose origin is the
+//! clock's creation. Production code uses [`MonotonicClock`] (backed by
+//! [`std::time::Instant`]); tests inject a [`MockClock`] and advance it by
+//! hand, which makes span durations and histogram contents exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The real monotonic clock, anchored at creation.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturate rather than wrap: a session outliving u64 nanoseconds
+        // (~584 years) is not a case worth branching for.
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic tests.
+///
+/// Clone the `Arc` before handing it to a recorder so the test keeps a
+/// handle for [`MockClock::advance`].
+#[derive(Debug, Default)]
+pub struct MockClock {
+    now: AtomicU64,
+}
+
+impl MockClock {
+    /// A mock clock at t = 0, wrapped for sharing with a recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(MockClock::default())
+    }
+
+    /// Advance the clock by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Set the clock to an absolute instant.
+    pub fn set(&self, ns: u64) {
+        self.now.store(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_is_exact() {
+        let c = MockClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(250);
+        assert_eq!(c.now_ns(), 250);
+        c.set(1_000);
+        assert_eq!(c.now_ns(), 1_000);
+    }
+}

@@ -1,0 +1,233 @@
+//! Log2-bucketed histograms for latency (and other non-negative) samples.
+//!
+//! Bucket `k` holds samples in `[2^(k-1), 2^k)`; bucket 0 holds zero.
+//! Recording is one increment plus three comparisons, so it is cheap
+//! enough to run on every span close. Quantiles are answered from the
+//! bucket boundaries (exact count, value resolution one octave), which is
+//! plenty for p50/p99 latency reporting.
+
+/// Number of buckets: zero plus one per bit of a `u64`.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.quantile(0.50))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Upper edge (inclusive) of bucket `k`.
+    fn bucket_top(k: usize) -> u64 {
+        if k == 0 {
+            0
+        } else if k >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): the upper edge of the bucket that
+    /// contains the `ceil(q * count)`-th smallest sample, clamped to the
+    /// observed min/max. Empty histograms answer 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_top(k).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand for [`Histogram::quantile`] at 0.50.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Shorthand for [`Histogram::quantile`] at 0.99.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(upper_edge, count)` pairs, smallest first.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| (Self::bucket_top(k), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_top(2), 3);
+        assert_eq!(Histogram::bucket_top(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_octave() {
+        let mut h = Histogram::new();
+        // 99 samples at ~100ns, 1 sample at ~1ms.
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        // p50 falls in the 100ns bucket [64, 127].
+        assert!(h.p50() >= 100 && h.p50() <= 127, "{}", h.p50());
+        // p99 still in the small bucket (99 of 100 samples).
+        assert!(h.p99() <= 127);
+        // max catches the outlier exactly.
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn min_max_sum_mean_are_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+        assert_eq!(h.sum(), 60);
+        assert_eq!(h.mean(), 20);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+        assert_eq!(a.buckets().count(), 2);
+    }
+
+    #[test]
+    fn zero_samples_are_representable() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

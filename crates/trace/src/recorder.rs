@@ -1,0 +1,663 @@
+//! The recorder: event sink, counters, histograms, and span guards.
+//!
+//! # Installation
+//!
+//! Instrumented library code never takes a recorder parameter; it calls the
+//! free functions / macros of this crate, which resolve the *current*
+//! recorder:
+//!
+//! 1. a thread-local recorder installed with [`Recorder::install_thread`]
+//!    (tests and embedded use — no cross-test interference), else
+//! 2. the process-global recorder installed with [`set_global`]
+//!    (binaries: `swsd --trace`, the bench harness).
+//!
+//! When neither is installed — the common production case — every
+//! instrumentation point is a single relaxed atomic load and a branch.
+//! An installed recorder can additionally be muted with
+//! [`Recorder::set_enabled`], which keeps the same ~free fast path.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::histogram::Histogram;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A typed field value on a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string.
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::Str(s) => f.write_str(s),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Conversion into a [`FieldValue`]; implemented for the types that appear
+/// at instrumentation sites.
+pub trait IntoField {
+    /// Convert.
+    fn into_field(self) -> FieldValue;
+}
+
+impl IntoField for FieldValue {
+    fn into_field(self) -> FieldValue {
+        self
+    }
+}
+impl IntoField for &str {
+    fn into_field(self) -> FieldValue {
+        FieldValue::Str(self.to_string())
+    }
+}
+impl IntoField for String {
+    fn into_field(self) -> FieldValue {
+        FieldValue::Str(self)
+    }
+}
+impl IntoField for &String {
+    fn into_field(self) -> FieldValue {
+        FieldValue::Str(self.clone())
+    }
+}
+impl IntoField for u64 {
+    fn into_field(self) -> FieldValue {
+        FieldValue::U64(self)
+    }
+}
+impl IntoField for u32 {
+    fn into_field(self) -> FieldValue {
+        FieldValue::U64(self as u64)
+    }
+}
+impl IntoField for usize {
+    fn into_field(self) -> FieldValue {
+        FieldValue::U64(self as u64)
+    }
+}
+impl IntoField for i64 {
+    fn into_field(self) -> FieldValue {
+        FieldValue::I64(self)
+    }
+}
+impl IntoField for i32 {
+    fn into_field(self) -> FieldValue {
+        FieldValue::I64(self as i64)
+    }
+}
+impl IntoField for f64 {
+    fn into_field(self) -> FieldValue {
+        FieldValue::F64(self)
+    }
+}
+impl IntoField for bool {
+    fn into_field(self) -> FieldValue {
+        FieldValue::Bool(self)
+    }
+}
+
+/// A named field.
+pub type Field = (&'static str, FieldValue);
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span started.
+    SpanOpen,
+    /// A span ended after `dur_ns` nanoseconds.
+    SpanClose {
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point event.
+    Point,
+}
+
+/// One structured event in the session stream.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Global sequence number within the recorder (emission order).
+    pub seq: u64,
+    /// Timestamp (nanoseconds on the recorder clock's axis).
+    pub ts_ns: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Span / event name (a static instrumentation-site label).
+    pub name: &'static str,
+    /// Id of the span this event belongs to (0 for point events outside
+    /// any span).
+    pub span_id: u64,
+    /// Id of the enclosing span (0 = root).
+    pub parent: u64,
+    /// Key=value payload.
+    pub fields: Vec<Field>,
+}
+
+#[derive(Default)]
+struct State {
+    events: Vec<Event>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    seq: u64,
+}
+
+struct Inner {
+    enabled: AtomicBool,
+    clock: Arc<dyn Clock>,
+    next_span: AtomicU64,
+    state: Mutex<State>,
+}
+
+/// Everything a recorder captured: the event stream plus the metric
+/// registries. Produced by [`Recorder::snapshot`] / [`Recorder::take`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceSession {
+    /// Events in emission order.
+    pub events: Vec<Event>,
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl TraceSession {
+    /// True if nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Events with [`EventKind::SpanClose`] and the given name.
+    pub fn closed_spans<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Event> {
+        self.events
+            .iter()
+            .filter(move |e| e.name == name && matches!(e.kind, EventKind::SpanClose { .. }))
+    }
+
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// The event/metric sink. Cheap to clone (shared interior).
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder on the real monotonic clock.
+    pub fn new() -> Self {
+        Recorder::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// A recorder on an injected clock (see [`crate::clock::MockClock`]).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Recorder {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(true),
+                clock,
+                next_span: AtomicU64::new(1),
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    /// Mute / unmute this recorder without uninstalling it.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Is this recorder currently recording?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Current time on this recorder's clock.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+
+    fn emit(
+        &self,
+        kind: EventKind,
+        name: &'static str,
+        span_id: u64,
+        parent: u64,
+        fields: Vec<Field>,
+    ) {
+        let ts_ns = self.now_ns();
+        let mut state = self.inner.state.lock().expect("trace state poisoned");
+        let seq = state.seq;
+        state.seq += 1;
+        state.events.push(Event {
+            seq,
+            ts_ns,
+            kind,
+            name,
+            span_id,
+            parent,
+            fields,
+        });
+    }
+
+    /// Open a span by hand. Prefer [`crate::span!`] / [`span`].
+    pub fn open_span(&self, name: &'static str, fields: Vec<Field>) -> SpanHandle {
+        let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_SPAN.with(|c| c.replace(id));
+        let open_ts = self.now_ns();
+        self.emit(EventKind::SpanOpen, name, id, parent, fields);
+        SpanHandle {
+            id,
+            parent,
+            name,
+            open_ts,
+        }
+    }
+
+    /// Close a span opened with [`Recorder::open_span`]. Records the
+    /// duration in the histogram named after the span.
+    pub fn close_span(&self, handle: SpanHandle, fields: Vec<Field>) {
+        let dur_ns = self.now_ns().saturating_sub(handle.open_ts);
+        CURRENT_SPAN.with(|c| c.set(handle.parent));
+        self.emit(
+            EventKind::SpanClose { dur_ns },
+            handle.name,
+            handle.id,
+            handle.parent,
+            fields,
+        );
+        let mut state = self.inner.state.lock().expect("trace state poisoned");
+        state
+            .histograms
+            .entry(handle.name)
+            .or_default()
+            .record(dur_ns);
+    }
+
+    /// Emit a point event under the current span.
+    pub fn point(&self, name: &'static str, fields: Vec<Field>) {
+        let parent = CURRENT_SPAN.with(|c| c.get());
+        self.emit(EventKind::Point, name, 0, parent, fields);
+    }
+
+    /// Add `delta` to the named counter.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        let mut state = self.inner.state.lock().expect("trace state poisoned");
+        *state.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Record a sample in the named histogram.
+    pub fn record(&self, name: &'static str, value: u64) {
+        let mut state = self.inner.state.lock().expect("trace state poisoned");
+        state.histograms.entry(name).or_default().record(value);
+    }
+
+    fn session_from(state: &State) -> TraceSession {
+        TraceSession {
+            events: state.events.clone(),
+            counters: state
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            histograms: state
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn snapshot(&self) -> TraceSession {
+        let state = self.inner.state.lock().expect("trace state poisoned");
+        Self::session_from(&state)
+    }
+
+    /// Drain everything recorded so far, leaving the recorder empty.
+    pub fn take(&self) -> TraceSession {
+        let mut state = self.inner.state.lock().expect("trace state poisoned");
+        let session = Self::session_from(&state);
+        *state = State::default();
+        session
+    }
+
+    /// Install this recorder for the current thread; the returned guard
+    /// restores the previous thread recorder on drop. Takes precedence
+    /// over the global recorder.
+    pub fn install_thread(&self) -> ThreadGuard {
+        let prev = TL_RECORDER.with(|tl| tl.replace(Some(self.clone())));
+        if prev.is_none() {
+            ACTIVE_SOURCES.fetch_add(1, Ordering::SeqCst);
+        }
+        ThreadGuard { prev }
+    }
+}
+
+/// A raw open span (low-level API; see [`Span`] for the RAII guard).
+#[derive(Debug)]
+pub struct SpanHandle {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    open_ts: u64,
+}
+
+impl SpanHandle {
+    /// The span id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global / thread-local installation.
+// ---------------------------------------------------------------------
+
+static ACTIVE_SOURCES: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL: Mutex<Option<Recorder>> = Mutex::new(None);
+
+thread_local! {
+    static TL_RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Install `recorder` as the process-global recorder. Replaces any
+/// previous one.
+pub fn set_global(recorder: Recorder) {
+    let mut slot = GLOBAL.lock().expect("trace global poisoned");
+    if slot.is_none() {
+        ACTIVE_SOURCES.fetch_add(1, Ordering::SeqCst);
+    }
+    *slot = Some(recorder);
+}
+
+/// Remove the process-global recorder, returning it.
+pub fn clear_global() -> Option<Recorder> {
+    let mut slot = GLOBAL.lock().expect("trace global poisoned");
+    let prev = slot.take();
+    if prev.is_some() {
+        ACTIVE_SOURCES.fetch_sub(1, Ordering::SeqCst);
+    }
+    prev
+}
+
+/// The process-global recorder, if installed.
+pub fn global() -> Option<Recorder> {
+    GLOBAL.lock().expect("trace global poisoned").clone()
+}
+
+/// Restores the previous thread-local recorder on drop.
+#[must_use = "dropping the guard immediately uninstalls the recorder"]
+pub struct ThreadGuard {
+    prev: Option<Recorder>,
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        let installed = TL_RECORDER.with(|tl| tl.replace(self.prev.take()));
+        // `installed` is what we put in (or a later override); if the slot
+        // goes back to empty, retire this thread as an active source.
+        if installed.is_some() && TL_RECORDER.with(|tl| tl.borrow().is_none()) {
+            ACTIVE_SOURCES.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// True if some recorder is installed *and* enabled: the gate every
+/// instrumentation site checks first. One relaxed atomic load when
+/// nothing is installed.
+#[inline]
+pub fn enabled() -> bool {
+    if ACTIVE_SOURCES.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    current().is_some()
+}
+
+/// The recorder instrumentation should write to right now, if any.
+#[inline]
+pub fn current() -> Option<Recorder> {
+    if ACTIVE_SOURCES.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    let tl = TL_RECORDER.with(|tl| tl.borrow().clone());
+    let rec = match tl {
+        Some(r) => Some(r),
+        None => global(),
+    };
+    rec.filter(|r| r.is_enabled())
+}
+
+// ---------------------------------------------------------------------
+// RAII span + free functions.
+// ---------------------------------------------------------------------
+
+/// An RAII span guard: emits `span_open` on creation and `span_close`
+/// (with duration) on drop. Inert — a single `Option` check — when no
+/// recorder is installed.
+#[must_use = "a span closes when dropped; binding it to _ closes it immediately"]
+#[derive(Debug)]
+pub struct Span {
+    state: Option<(Recorder, SpanHandle, Vec<Field>)>,
+}
+
+impl Span {
+    /// An inert span (used on the disabled path).
+    pub fn disabled() -> Self {
+        Span { state: None }
+    }
+
+    /// Is this span actually recording?
+    pub fn is_recording(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Attach a field, reported on the close event.
+    pub fn record(&mut self, key: &'static str, value: impl IntoField) {
+        if let Some((_, _, fields)) = &mut self.state {
+            fields.push((key, value.into_field()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((rec, handle, fields)) = self.state.take() {
+            rec.close_span(handle, fields);
+        }
+    }
+}
+
+/// Open a span with no fields.
+pub fn span(name: &'static str) -> Span {
+    span_with(name, Vec::new)
+}
+
+/// Open a span; `fields` is only invoked if a recorder is active.
+pub fn span_with(name: &'static str, fields: impl FnOnce() -> Vec<Field>) -> Span {
+    match current() {
+        None => Span::disabled(),
+        Some(rec) => {
+            let handle = rec.open_span(name, fields());
+            Span {
+                state: Some((rec, handle, Vec::new())),
+            }
+        }
+    }
+}
+
+/// Emit a point event; `fields` is only invoked if a recorder is active.
+pub fn event_with(name: &'static str, fields: impl FnOnce() -> Vec<Field>) {
+    if let Some(rec) = current() {
+        rec.point(name, fields());
+    }
+}
+
+/// Add `delta` to the named counter on the current recorder.
+pub fn counter(name: &'static str, delta: u64) {
+    if let Some(rec) = current() {
+        rec.add(name, delta);
+    }
+}
+
+/// Record a sample in the named histogram on the current recorder.
+pub fn record_value(name: &'static str, value: u64) {
+    if let Some(rec) = current() {
+        rec.record(name, value);
+    }
+}
+
+/// Open a span: `span!("name")` or `span!("name", key = value, ...)`.
+/// Field expressions are not evaluated unless a recorder is active.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::span_with($name, || ::std::vec![
+            $((stringify!($key), $crate::IntoField::into_field($value))),+
+        ])
+    };
+}
+
+/// Emit a point event: `event!("name", key = value, ...)`.
+/// Field expressions are not evaluated unless a recorder is active.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::event_with($name, ::std::vec::Vec::new)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::event_with($name, || ::std::vec![
+            $((stringify!($key), $crate::IntoField::into_field($value))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+
+    #[test]
+    fn disabled_path_records_nothing() {
+        assert!(!enabled());
+        let mut sp = span("nothing");
+        assert!(!sp.is_recording());
+        sp.record("k", 1u64);
+        counter("c", 1);
+        record_value("h", 1);
+        drop(sp);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn thread_install_and_restore() {
+        let rec = Recorder::new();
+        {
+            let _guard = rec.install_thread();
+            assert!(enabled());
+            counter("x", 2);
+        }
+        assert!(!enabled());
+        assert_eq!(rec.snapshot().counter("x"), 2);
+    }
+
+    #[test]
+    fn nested_thread_install_restores_outer() {
+        let outer = Recorder::new();
+        let inner = Recorder::new();
+        let _g1 = outer.install_thread();
+        {
+            let _g2 = inner.install_thread();
+            counter("c", 1);
+        }
+        counter("c", 10);
+        assert_eq!(inner.snapshot().counter("c"), 1);
+        assert_eq!(outer.snapshot().counter("c"), 10);
+    }
+
+    #[test]
+    fn muted_recorder_is_skipped() {
+        let rec = Recorder::new();
+        let _guard = rec.install_thread();
+        rec.set_enabled(false);
+        assert!(!enabled());
+        counter("c", 1);
+        rec.set_enabled(true);
+        counter("c", 1);
+        assert_eq!(rec.snapshot().counter("c"), 1);
+    }
+
+    #[test]
+    fn span_durations_use_the_injected_clock() {
+        let clock = MockClock::new();
+        let rec = Recorder::with_clock(clock.clone());
+        let _guard = rec.install_thread();
+        {
+            let _sp = span!("work", input = 3usize);
+            clock.advance(1_500);
+        }
+        let session = rec.snapshot();
+        let close = session.closed_spans("work").next().expect("span closed");
+        assert_eq!(close.kind, EventKind::SpanClose { dur_ns: 1_500 });
+        let hist = session.histogram("work").expect("auto histogram");
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), 1_500);
+    }
+
+    #[test]
+    fn take_drains() {
+        let rec = Recorder::new();
+        let _guard = rec.install_thread();
+        counter("c", 1);
+        assert_eq!(rec.take().counter("c"), 1);
+        assert!(rec.snapshot().is_empty());
+    }
+}

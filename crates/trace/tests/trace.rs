@@ -1,0 +1,167 @@
+//! Integration tests for `sws-trace`: span nesting/ordering, counter and
+//! histogram accuracy under a mock clock, and JSONL validity via the
+//! hand-written checker.
+
+use sws_trace::{export, span, Event, EventKind, MockClock, Recorder};
+
+fn close_dur(e: &Event) -> u64 {
+    match e.kind {
+        EventKind::SpanClose { dur_ns } => dur_ns,
+        _ => panic!("not a close event: {e:?}"),
+    }
+}
+
+#[test]
+fn spans_nest_and_order() {
+    let rec = Recorder::new();
+    let _guard = rec.install_thread();
+    {
+        let _outer = span("outer");
+        {
+            let _inner = span("inner");
+            sws_trace::event!("tick", n = 1u64);
+        }
+        let _sibling = span("sibling");
+    }
+    let session = rec.take();
+    let names: Vec<(&str, &EventKind)> = session.events.iter().map(|e| (e.name, &e.kind)).collect();
+    assert_eq!(
+        names,
+        vec![
+            ("outer", &EventKind::SpanOpen),
+            ("inner", &EventKind::SpanOpen),
+            ("tick", &EventKind::Point),
+            (
+                "inner",
+                &EventKind::SpanClose {
+                    dur_ns: close_dur(&session.events[3])
+                }
+            ),
+            ("sibling", &EventKind::SpanOpen),
+            (
+                "sibling",
+                &EventKind::SpanClose {
+                    dur_ns: close_dur(&session.events[5])
+                }
+            ),
+            (
+                "outer",
+                &EventKind::SpanClose {
+                    dur_ns: close_dur(&session.events[6])
+                }
+            ),
+        ]
+    );
+    // Parent links: inner and sibling under outer; tick under inner.
+    let outer_id = session.events[0].span_id;
+    let inner_id = session.events[1].span_id;
+    assert_eq!(session.events[0].parent, 0);
+    assert_eq!(session.events[1].parent, outer_id);
+    assert_eq!(session.events[2].parent, inner_id);
+    assert_eq!(session.events[4].parent, outer_id);
+    // Sequence numbers are dense and ordered.
+    for (i, e) in session.events.iter().enumerate() {
+        assert_eq!(e.seq, i as u64);
+    }
+}
+
+#[test]
+fn counters_and_histograms_are_exact_under_mock_clock() {
+    let clock = MockClock::new();
+    let rec = Recorder::with_clock(clock.clone());
+    let _guard = rec.install_thread();
+
+    for (i, advance) in [100u64, 100, 100, 1_000_000].iter().enumerate() {
+        let mut sp = span!("op", index = i);
+        clock.advance(*advance);
+        sp.record("done", true);
+        sws_trace::counter("ops", 1);
+    }
+    sws_trace::record_value("custom", 7);
+
+    let session = rec.take();
+    assert_eq!(session.counter("ops"), 4);
+    assert_eq!(session.counter("missing"), 0);
+
+    // The auto histogram named after the span saw the exact durations.
+    let hist = session.histogram("op").expect("span histogram");
+    assert_eq!(hist.count(), 4);
+    assert_eq!(hist.min(), 100);
+    assert_eq!(hist.max(), 1_000_000);
+    assert_eq!(hist.sum(), 1_000_300);
+    // p50 in the 100ns octave, p99 bounded by the outlier's bucket.
+    assert!(hist.p50() >= 100 && hist.p50() < 200, "{}", hist.p50());
+    assert!(hist.p99() >= hist.p50());
+
+    let custom = session.histogram("custom").expect("explicit histogram");
+    assert_eq!((custom.count(), custom.max()), (1, 7));
+
+    // Close events carry the exact mock durations.
+    let durs: Vec<u64> = session.closed_spans("op").map(close_dur).collect();
+    assert_eq!(durs, vec![100, 100, 100, 1_000_000]);
+}
+
+#[test]
+fn jsonl_export_is_valid_line_delimited_json() {
+    let clock = MockClock::new();
+    let rec = Recorder::with_clock(clock.clone());
+    let _guard = rec.install_thread();
+    {
+        // Exercise escaping: quotes, backslashes, newlines in field values.
+        let mut sp = span!("odd", text = "a \"quoted\"\\ value\nwith newline");
+        clock.advance(42);
+        sp.record("n", -3i64);
+        sws_trace::counter("weird\"counter", 1);
+    }
+    let session = rec.take();
+    let jsonl = export::to_jsonl(&session);
+    let lines = export::jsonl::check(&jsonl).expect("valid JSONL");
+    // 2 span events + 1 counter + 1 histogram.
+    assert_eq!(lines, 4);
+    assert!(jsonl.contains("\"type\":\"span_open\""));
+    assert!(jsonl.contains("\"dur_ns\":42"));
+    assert!(jsonl.contains("\\\"quoted\\\""));
+}
+
+#[test]
+fn tree_render_shows_hierarchy_and_durations() {
+    let clock = MockClock::new();
+    let rec = Recorder::with_clock(clock.clone());
+    let _guard = rec.install_thread();
+    {
+        let _a = span!("apply", op = "add_attribute");
+        clock.advance(1_000);
+        {
+            let _b = span("preconditions");
+            clock.advance(500);
+        }
+    }
+    let tree = export::render_tree(&rec.take().events);
+    let lines: Vec<&str> = tree.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].starts_with("apply op=add_attribute"));
+    assert!(lines[0].ends_with("(1.5µs)"), "{}", lines[0]);
+    assert!(lines[1].starts_with("  preconditions"), "{}", lines[1]);
+    assert!(lines[1].ends_with("(500ns)"), "{}", lines[1]);
+}
+
+#[test]
+fn summary_collects_counters_and_stats() {
+    let clock = MockClock::new();
+    let rec = Recorder::with_clock(clock.clone());
+    let _guard = rec.install_thread();
+    {
+        let _sp = span("work");
+        clock.advance(2_000);
+    }
+    sws_trace::counter("things", 5);
+    let summary = sws_trace::TraceSummary::of(&rec.take());
+    assert!(!summary.is_empty());
+    assert_eq!(summary.events, 2);
+    assert_eq!(summary.counters, vec![("things".to_string(), 5)]);
+    assert_eq!(summary.histograms.len(), 1);
+    assert_eq!(summary.histograms[0].count, 1);
+    let text = summary.render();
+    assert!(text.contains("things = 5"));
+    assert!(text.contains("work = 1 /"), "{text}");
+}

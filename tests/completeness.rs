@@ -7,10 +7,8 @@
 //!   synthesizing an op script, replaying it through the full
 //!   permission/constraint pipeline, and checking exact equality.
 
-use proptest::prelude::*;
 use shrink_wrap_schemas::core::ops::{coverage, synthesize::synthesize};
 use shrink_wrap_schemas::core::Workspace;
-use shrink_wrap_schemas::corpus::synthetic::SyntheticSpec;
 use shrink_wrap_schemas::model::graph_to_schema;
 use sws_bench::harness::apply_script;
 
@@ -59,33 +57,40 @@ fn extreme_case_teardown_and_rebuild() {
     assert!(ws.working().type_id("CourseOffering").is_none());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+    use shrink_wrap_schemas::corpus::synthetic::SyntheticSpec;
 
-    /// C1: random schema pairs are mutually reachable.
-    #[test]
-    fn any_schema_reachable_from_any_other(
-        n_old in 1usize..14,
-        n_new in 1usize..14,
-        seed_old in 0u64..1000,
-        seed_new in 0u64..1000,
-    ) {
-        let old = SyntheticSpec::sized(n_old, seed_old).generate();
-        let new = SyntheticSpec::sized(n_new, seed_new).generate();
-        let script = synthesize(&old, &new);
-        let mut ws = Workspace::new(old);
-        apply_script(&mut ws, &script)
-            .map_err(|(i, e)| TestCaseError::fail(format!("op {i}: {e}")))?;
-        prop_assert_eq!(
-            graph_to_schema(ws.working()).interfaces,
-            graph_to_schema(&new).interfaces
-        );
-    }
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Synthesis is empty exactly on identical schemas.
-    #[test]
-    fn identity_synthesis_is_empty(n in 1usize..20, seed in 0u64..1000) {
-        let g = SyntheticSpec::sized(n, seed).generate();
-        prop_assert!(synthesize(&g, &g).is_empty());
+        /// C1: random schema pairs are mutually reachable.
+        #[test]
+        fn any_schema_reachable_from_any_other(
+            n_old in 1usize..14,
+            n_new in 1usize..14,
+            seed_old in 0u64..1000,
+            seed_new in 0u64..1000,
+        ) {
+            let old = SyntheticSpec::sized(n_old, seed_old).generate();
+            let new = SyntheticSpec::sized(n_new, seed_new).generate();
+            let script = synthesize(&old, &new);
+            let mut ws = Workspace::new(old);
+            apply_script(&mut ws, &script)
+                .map_err(|(i, e)| TestCaseError::fail(format!("op {i}: {e}")))?;
+            prop_assert_eq!(
+                graph_to_schema(ws.working()).interfaces,
+                graph_to_schema(&new).interfaces
+            );
+        }
+
+        /// Synthesis is empty exactly on identical schemas.
+        #[test]
+        fn identity_synthesis_is_empty(n in 1usize..20, seed in 0u64..1000) {
+            let g = SyntheticSpec::sized(n, seed).generate();
+            prop_assert!(synthesize(&g, &g).is_empty());
+        }
     }
 }

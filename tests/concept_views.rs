@@ -26,14 +26,20 @@ fn edits_in_one_concept_schema_show_in_others() {
     let customer_elements = {
         let g = session.repository().workspace().working();
         let d = decompose(g);
-        d.wagon_wheel_of(g.type_id("Customer").unwrap()).unwrap().element_count()
+        d.wagon_wheel_of(g.type_id("Customer").unwrap())
+            .unwrap()
+            .element_count()
     };
 
     // Edit from a *different* context: add a supertype edge in the
     // generalization hierarchy...
     session.set_context(ConceptKind::Generalization);
-    session.issue_str("add_type_definition(LoyaltyMember)").unwrap();
-    session.issue_str("add_supertype(LoyaltyMember, Customer)").unwrap();
+    session
+        .issue_str("add_type_definition(LoyaltyMember)")
+        .unwrap();
+    session
+        .issue_str("add_supertype(LoyaltyMember, Customer)")
+        .unwrap();
 
     // ...and the Customer wagon wheel (a different concept schema) grew a
     // generalization spoke.
@@ -51,16 +57,23 @@ fn stale_views_prune_cleanly_after_cross_context_deletion() {
     let mut order_ww = {
         let g = session.repository().workspace().working();
         let d = decompose(g);
-        d.wagon_wheel_of(g.type_id("Order").unwrap()).unwrap().clone()
+        d.wagon_wheel_of(g.type_id("Order").unwrap())
+            .unwrap()
+            .clone()
     };
     let before = order_ww.element_count();
 
     // Delete Shipment from its own wagon wheel; Order's view holds stale
     // IDs for the shipments relationship and the Shipment type.
-    session.issue_str("delete_type_definition(Shipment)").unwrap();
+    session
+        .issue_str("delete_type_definition(Shipment)")
+        .unwrap();
     let g = session.repository().workspace().working();
     let dropped = order_ww.prune_dead(g);
-    assert!(dropped >= 2, "expected type + relationship to drop, got {dropped}");
+    assert!(
+        dropped >= 2,
+        "expected type + relationship to drop, got {dropped}"
+    );
     assert!(order_ww.element_count() < before);
     // The pruned view still describes cleanly.
     let text = order_ww.describe(g);
@@ -82,7 +95,11 @@ fn aggregation_views_follow_rewiring() {
     let g = session.repository().workspace().working();
     let d = decompose(g);
     // Invoice is no longer a part-of root: Statement took over.
-    let roots: Vec<&str> = d.aggregations.iter().map(|cs| g.type_name(cs.focal)).collect();
+    let roots: Vec<&str> = d
+        .aggregations
+        .iter()
+        .map(|cs| g.type_name(cs.focal))
+        .collect();
     assert!(roots.contains(&"Statement"));
     assert!(!roots.contains(&"Invoice"));
     // And the Statement explosion reaches down to InvoiceLine.

@@ -2,9 +2,7 @@
 //! initial concept schemas gives the original shrink wrap schema" — on the
 //! whole corpus and on random schemas.
 
-use proptest::prelude::*;
 use shrink_wrap_schemas::core::decompose;
-use shrink_wrap_schemas::corpus::synthetic::SyntheticSpec;
 use shrink_wrap_schemas::model::SchemaGraph;
 use std::collections::BTreeSet;
 
@@ -63,39 +61,46 @@ fn hierarchy_concept_schemas_are_rooted() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+    use shrink_wrap_schemas::corpus::synthetic::SyntheticSpec;
 
-    #[test]
-    fn union_invariant_on_random_schemas(n in 1usize..40, seed in 0u64..10_000) {
-        let g = SyntheticSpec::sized(n, seed).generate();
-        assert_union_covers(&g);
-    }
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Wagon wheels are views: every element is live and incident to the
-    /// focal point.
-    #[test]
-    fn wagon_wheels_are_distance_one(n in 1usize..25, seed in 0u64..10_000) {
-        let g = SyntheticSpec::sized(n, seed).generate();
-        for ww in decompose(&g).wagon_wheels {
-            for &a in &ww.attrs {
-                prop_assert_eq!(g.attr(a).owner, ww.focal);
-            }
-            for &o in &ww.ops {
-                prop_assert_eq!(g.op(o).owner, ww.focal);
-            }
-            for &r in &ww.rels {
-                let rel = g.rel(r);
-                prop_assert!(
-                    rel.ends[0].owner == ww.focal || rel.ends[1].owner == ww.focal
-                );
-            }
-            for &l in &ww.links {
-                let link = g.link(l);
-                prop_assert!(link.parent == ww.focal || link.child == ww.focal);
-            }
-            for &(sub, sup) in &ww.gen_edges {
-                prop_assert!(sub == ww.focal || sup == ww.focal);
+        #[test]
+        fn union_invariant_on_random_schemas(n in 1usize..40, seed in 0u64..10_000) {
+            let g = SyntheticSpec::sized(n, seed).generate();
+            assert_union_covers(&g);
+        }
+
+        /// Wagon wheels are views: every element is live and incident to the
+        /// focal point.
+        #[test]
+        fn wagon_wheels_are_distance_one(n in 1usize..25, seed in 0u64..10_000) {
+            let g = SyntheticSpec::sized(n, seed).generate();
+            for ww in decompose(&g).wagon_wheels {
+                for &a in &ww.attrs {
+                    prop_assert_eq!(g.attr(a).owner, ww.focal);
+                }
+                for &o in &ww.ops {
+                    prop_assert_eq!(g.op(o).owner, ww.focal);
+                }
+                for &r in &ww.rels {
+                    let rel = g.rel(r);
+                    prop_assert!(
+                        rel.ends[0].owner == ww.focal || rel.ends[1].owner == ww.focal
+                    );
+                }
+                for &l in &ww.links {
+                    let link = g.link(l);
+                    prop_assert!(link.parent == ww.focal || link.child == ww.focal);
+                }
+                for &(sub, sup) in &ww.gen_edges {
+                    prop_assert!(sub == ww.focal || sup == ww.focal);
+                }
             }
         }
     }

@@ -1,6 +1,8 @@
 //! Property test: every modification operation round-trips through the
 //! modification language (`parse(print(op)) == op`).
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use shrink_wrap_schemas::core::oplang::{parse_statement, print_op};
 use shrink_wrap_schemas::core::ModOp;

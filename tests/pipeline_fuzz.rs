@@ -9,6 +9,8 @@
 //!   (no structural errors from the model layer),
 //! * the session log replays to the same custom schema.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use shrink_wrap_schemas::core::{ConceptKind, ModOp, Workspace};
 use shrink_wrap_schemas::corpus::university;

@@ -2,10 +2,11 @@
 //! (permission check, precondition constraints, mutation, propagation,
 //! feedback).
 
+use sws_bench::edit_scripts::edit_stream;
 use sws_bench::timing::Runner;
 use sws_core::oplang::parse_statement;
 use sws_core::{ConceptKind, Workspace};
-use sws_corpus::university;
+use sws_corpus::{synthetic, university};
 
 fn main() {
     let base = Workspace::new(university::graph());
@@ -49,6 +50,27 @@ fn main() {
             name,
             || base.clone(),
             |mut ws| {
+                ws.apply(*context, op.clone()).expect("applies");
+            },
+        );
+    }
+
+    // Size sweep: full apply pipeline (cached preconditions, mutation, undo
+    // journaling, dirty-set recording) for one edit against growing
+    // synthetic schemas.
+    for (n, g) in synthetic::size_sweep(42) {
+        let synth = Workspace::new(g.clone());
+        let edits = edit_stream(&g, 64, 11);
+        let mut next = 0usize;
+        runner.bench_batched_ref(
+            &format!("synthetic_edit/{n}"),
+            || {
+                let ws = synth.clone();
+                let edit = edits[next % edits.len()].clone();
+                next += 1;
+                (ws, edit)
+            },
+            |(ws, (context, op))| {
                 ws.apply(*context, op.clone()).expect("applies");
             },
         );

@@ -1,16 +1,85 @@
-//! P3: consistency-check cost vs schema size.
+//! P3: consistency-check cost vs schema size — full recheck vs the
+//! workspace's incremental engine.
+//!
+//! For each sweep size N (default 100 / 1 000 / 5 000 types, override with
+//! `SWS_BENCH_SIZES`):
+//!
+//! * `full/N` — `check_consistency` from scratch over the whole schema;
+//! * `incremental/N` — `Workspace::consistency()` after one edit, against a
+//!   pre-synced consistency state (the setup applies the edit untimed, so
+//!   the measured region is exactly the dirty-set sync + report assembly).
+//!
+//! Results are also written machine-readably to `BENCH_incremental.json`
+//! at the repository root (override the path with `SWS_BENCH_OUT`).
 
+use sws_bench::edit_scripts::edit_stream;
 use sws_bench::timing::Runner;
 use sws_core::consistency::check_consistency;
-use sws_corpus::synthetic::SyntheticSpec;
+use sws_core::Workspace;
+use sws_corpus::synthetic;
+
+const SEED: u64 = 42;
 
 fn main() {
     let mut runner = Runner::new("consistency");
-    for n in [10usize, 50, 200, 500] {
-        let g = SyntheticSpec::sized(n, 42).generate();
-        runner.bench(&format!("types/{n}"), || {
+    let mut rows = Vec::new();
+
+    for (n, g) in synthetic::size_sweep(SEED) {
+        let full_label = format!("full/{n}");
+        runner.bench(&full_label, || {
             check_consistency(std::hint::black_box(&g), std::hint::black_box(&g))
         });
+
+        // Base workspace with a warm (fully synced) consistency state; each
+        // iteration clones it, applies one edit untimed, then times only
+        // the incremental recheck.
+        let base = Workspace::new(g.clone());
+        base.consistency();
+        let edits = edit_stream(&g, 64, 7);
+        let mut next = 0usize;
+        let inc_label = format!("incremental/{n}");
+        runner.bench_batched_ref(
+            &inc_label,
+            || {
+                let mut ws = base.clone();
+                let (context, op) = edits[next % edits.len()].clone();
+                next += 1;
+                ws.apply(context, op).expect("edit applies");
+                ws
+            },
+            |ws| ws.consistency(),
+        );
+
+        let full = runner.histogram(&full_label).expect("ran");
+        let inc = runner.histogram(&inc_label).expect("ran");
+        rows.push(format!(
+            "    {{\"types\": {n}, \"full_recheck_p50_ns\": {}, \"full_recheck_p99_ns\": {}, \
+             \"incremental_p50_ns\": {}, \"incremental_p99_ns\": {}, \"speedup_p50\": {:.2}}}",
+            full.p50(),
+            full.p99(),
+            inc.p50(),
+            inc.p99(),
+            full.p50() as f64 / inc.p50().max(1) as f64,
+        ));
     }
+
+    let out = std::env::var("SWS_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_incremental.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    let iters = std::env::var("SWS_BENCH_ITERS").unwrap_or_else(|_| "200".into());
+    let json = format!(
+        "{{\n  \"bench\": \"incremental_consistency\",\n  \"seed\": {SEED},\n  \
+         \"iters\": {iters},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("warning: could not write {out}: {e}");
+    } else {
+        eprintln!("wrote {out}");
+    }
+
     runner.finish();
 }

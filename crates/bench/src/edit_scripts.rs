@@ -1,0 +1,97 @@
+//! Deterministic edit-operation streams for the scaling benches.
+//!
+//! [`edit_stream`] produces ops that are each individually valid against the
+//! *base* schema it was generated from: added names are globally fresh and
+//! every deletable member is deleted at most once across the stream. That
+//! means a bench can apply any single op to a fresh clone of the base
+//! workspace, or the whole stream sequentially to one workspace — both
+//! succeed without error handling in the timed loop.
+
+use sws_core::{ConceptKind, ModOp};
+use sws_corpus::rng::SplitMix64;
+use sws_model::SchemaGraph;
+use sws_odl::{DomainType, Param};
+
+/// Generate `count` operations valid against `g` (see module docs).
+/// Deterministic in `(g, count, seed)`.
+pub fn edit_stream(g: &SchemaGraph, count: usize, seed: u64) -> Vec<(ConceptKind, ModOp)> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let type_names: Vec<String> = g.types().map(|(_, n)| n.name.clone()).collect();
+    // (type name, attribute name) pairs still available for deletion.
+    let mut deletable: Vec<(String, String)> = g
+        .types()
+        .flat_map(|(_, n)| {
+            n.attrs
+                .iter()
+                .map(|&a| (n.name.clone(), g.attr(a).name.clone()))
+        })
+        .collect();
+    let mut fresh = 0usize;
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        fresh += 1;
+        let choice = rng.range_u32(0, 4);
+        let op = match choice {
+            0 => ModOp::AddTypeDefinition {
+                ty: format!("GenType_{seed}_{fresh}"),
+            },
+            1 => ModOp::AddAttribute {
+                ty: type_names[rng.range_usize(0, type_names.len())].clone(),
+                domain: DomainType::Long,
+                size: None,
+                name: format!("gen_attr_{seed}_{fresh}"),
+            },
+            2 => ModOp::AddOperation {
+                ty: type_names[rng.range_usize(0, type_names.len())].clone(),
+                return_type: DomainType::Void,
+                name: format!("gen_op_{seed}_{fresh}"),
+                args: vec![Param::input(
+                    format!("gen_op_{seed}_{fresh}_x"),
+                    DomainType::Long,
+                )],
+                raises: Vec::new(),
+            },
+            _ if !deletable.is_empty() => {
+                let (ty, name) = deletable.swap_remove(rng.range_usize(0, deletable.len()));
+                ModOp::DeleteAttribute { ty, name }
+            }
+            _ => ModOp::AddTypeDefinition {
+                ty: format!("GenType_{seed}_{fresh}"),
+            },
+        };
+        ops.push((ConceptKind::WagonWheel, op));
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sws_core::Workspace;
+    use sws_corpus::synthetic::SyntheticSpec;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let g = SyntheticSpec::sized(20, 3).generate();
+        assert_eq!(edit_stream(&g, 16, 9), edit_stream(&g, 16, 9));
+        assert_ne!(edit_stream(&g, 16, 9), edit_stream(&g, 16, 10));
+    }
+
+    #[test]
+    fn every_op_applies_to_a_fresh_clone_and_sequentially() {
+        let g = SyntheticSpec::sized(20, 3).generate();
+        let base = Workspace::new(g.clone());
+        let stream = edit_stream(&g, 24, 7);
+        // Individually valid against the base...
+        for (context, op) in &stream {
+            let mut ws = base.clone();
+            ws.apply(*context, op.clone())
+                .unwrap_or_else(|e| panic!("{op:?}: {e}"));
+        }
+        // ...and as one sequential script.
+        let mut ws = base.clone();
+        for (context, op) in stream {
+            ws.apply(context, op).unwrap();
+        }
+    }
+}

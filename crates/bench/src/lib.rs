@@ -7,6 +7,7 @@
 //! paper-vs-measured results.
 
 pub mod case_study;
+pub mod edit_scripts;
 pub mod figures;
 pub mod harness;
 pub mod timing;

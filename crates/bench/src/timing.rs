@@ -63,6 +63,30 @@ impl Runner {
         self.results.push((label.to_string(), hist));
     }
 
+    /// Like [`Runner::bench_batched`], but the routine borrows its input,
+    /// so the input's drop (e.g. deallocating a cloned workspace) stays
+    /// outside the timed region — criterion's `iter_batched_ref` shape.
+    pub fn bench_batched_ref<I, R>(
+        &mut self,
+        label: &str,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> R,
+    ) {
+        for _ in 0..self.warmup {
+            let mut input = setup();
+            std::hint::black_box(routine(&mut input));
+        }
+        let mut hist = Histogram::new();
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            hist.record(start.elapsed().as_nanos() as u64);
+            drop(input);
+        }
+        self.results.push((label.to_string(), hist));
+    }
+
     /// The histogram recorded for `label`, if it ran.
     pub fn histogram(&self, label: &str) -> Option<&Histogram> {
         self.results

@@ -10,9 +10,20 @@
 //! and so on. Structural findings come from `sws-model`'s well-formedness
 //! pass; shrink-wrap-relative findings are computed against the original
 //! schema.
+//!
+//! Every check decomposes **per type**: the full report is exactly the
+//! concatenation (in arena order, check-major) of each live type's own
+//! findings, severity-sorted. [`ConsistencyState`] exploits that to recheck
+//! incrementally — after an operation, only the types in the expanded
+//! [`DirtySet`](crate::impact::DirtySet) are re-examined and their stored
+//! findings replaced; the rest of the report is reused verbatim.
 
+use crate::impact::DirtySet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use sws_model::{check_well_formed, query, SchemaGraph, WfIssue};
+use sws_model::{
+    check_type_well_formed, check_well_formed, query, QueryCache, SchemaGraph, TypeId, WfIssue,
+};
 use sws_odl::HierKind;
 
 /// How serious a finding is.
@@ -189,56 +200,285 @@ fn check_named(
 /// same-named custom type.
 fn check_shrink_wrap_relative(working: &SchemaGraph, shrink_wrap: &SchemaGraph) -> Vec<CrossIssue> {
     let mut findings = Vec::new();
-    for (_, node) in working.types() {
-        if let Some(sw_id) = shrink_wrap.type_id(&node.name) {
-            let sw_node = shrink_wrap.ty(sw_id);
-            if !sw_node.keys.is_empty() && node.keys.is_empty() {
-                findings.push(CrossIssue::LostKey {
-                    ty: node.name.clone(),
-                });
-            }
-            if sw_node.extent.is_some() && node.extent.is_none() {
-                findings.push(CrossIssue::LostExtent {
-                    ty: node.name.clone(),
-                });
-            }
-        }
+    for (id, _) in working.types() {
+        type_shrink_wrap_relative(working, shrink_wrap, id, &mut findings);
     }
     findings
+}
+
+/// Shrink-wrap-relative findings for one type.
+fn type_shrink_wrap_relative(
+    working: &SchemaGraph,
+    shrink_wrap: &SchemaGraph,
+    id: TypeId,
+    findings: &mut Vec<CrossIssue>,
+) {
+    let node = working.ty(id);
+    if let Some(sw_id) = shrink_wrap.type_id(&node.name) {
+        let sw_node = shrink_wrap.ty(sw_id);
+        if !sw_node.keys.is_empty() && node.keys.is_empty() {
+            findings.push(CrossIssue::LostKey {
+                ty: node.name.clone(),
+            });
+        }
+        if sw_node.extent.is_some() && node.extent.is_none() {
+            findings.push(CrossIssue::LostExtent {
+                ty: node.name.clone(),
+            });
+        }
+    }
 }
 
 /// Structural findings: isolated types, abstract leaves, branching
 /// instance-of chains.
 fn check_structure(working: &SchemaGraph) -> Vec<CrossIssue> {
     let mut findings = Vec::new();
-    for (id, node) in working.types() {
-        let isolated = node.attrs.is_empty()
-            && node.ops.is_empty()
-            && node.rel_ends.is_empty()
-            && node.parent_links.is_empty()
-            && node.child_links.is_empty()
-            && node.supertypes.is_empty()
-            && node.subtypes.is_empty()
-            && node.keys.is_empty();
-        if isolated {
-            findings.push(CrossIssue::IsolatedType {
-                ty: node.name.clone(),
-            });
-        }
-        if node.is_abstract && node.subtypes.is_empty() {
-            findings.push(CrossIssue::AbstractLeaf {
-                ty: node.name.clone(),
-            });
-        }
-        let outgoing = query::hier_children(working, HierKind::InstanceOf, id).len();
-        if outgoing > 1 {
-            findings.push(CrossIssue::BranchingInstanceOf {
-                ty: node.name.clone(),
-                count: outgoing,
-            });
-        }
+    for (id, _) in working.types() {
+        type_structure(working, id, &mut findings);
     }
     findings
+}
+
+/// Structural findings for one type.
+fn type_structure(working: &SchemaGraph, id: TypeId, findings: &mut Vec<CrossIssue>) {
+    let node = working.ty(id);
+    let isolated = node.attrs.is_empty()
+        && node.ops.is_empty()
+        && node.rel_ends.is_empty()
+        && node.parent_links.is_empty()
+        && node.child_links.is_empty()
+        && node.supertypes.is_empty()
+        && node.subtypes.is_empty()
+        && node.keys.is_empty();
+    if isolated {
+        findings.push(CrossIssue::IsolatedType {
+            ty: node.name.clone(),
+        });
+    }
+    if node.is_abstract && node.subtypes.is_empty() {
+        findings.push(CrossIssue::AbstractLeaf {
+            ty: node.name.clone(),
+        });
+    }
+    let outgoing = query::hier_children(working, HierKind::InstanceOf, id).len();
+    if outgoing > 1 {
+        findings.push(CrossIssue::BranchingInstanceOf {
+            ty: node.name.clone(),
+            count: outgoing,
+        });
+    }
+}
+
+/// Findings for one type, grouped by the check that produced them. The
+/// groups are kept separate so a report can be assembled in exactly the
+/// order [`check_consistency`] produces: check-major, arena-order-minor,
+/// then a stable severity sort.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct TypeFindings {
+    wf: Vec<CrossIssue>,
+    relative: Vec<CrossIssue>,
+    structure: Vec<CrossIssue>,
+}
+
+/// Persistent, incrementally-maintained consistency findings, keyed by type
+/// name.
+///
+/// Owned by [`Workspace`](crate::workspace::Workspace). After each applied
+/// operation the workspace records the op's [`DirtySet`]; the next call to
+/// [`ConsistencyState::sync`] expands the accumulated seed along the
+/// generalization hierarchy and order-by/reference dependencies, re-runs the
+/// per-type checks for just those types, and merges the results into the
+/// stored per-type findings. [`ConsistencyState::report`] then assembles a
+/// [`ConsistencyReport`] identical to what [`check_consistency`] would
+/// compute from scratch.
+#[derive(Debug, Clone)]
+pub struct ConsistencyState {
+    by_type: HashMap<String, TypeFindings>,
+    pending: DirtySet,
+    /// Everything must be recomputed (initial state, or after a reset /
+    /// rollback / explicit invalidation).
+    full_pending: bool,
+}
+
+impl Default for ConsistencyState {
+    fn default() -> Self {
+        ConsistencyState::new()
+    }
+}
+
+impl ConsistencyState {
+    /// A state with everything pending: the first [`sync`](Self::sync) runs
+    /// a full recheck.
+    pub fn new() -> Self {
+        ConsistencyState {
+            by_type: HashMap::new(),
+            pending: DirtySet::default(),
+            full_pending: true,
+        }
+    }
+
+    /// Record the dirty seed of one applied operation.
+    pub fn record(&mut self, dirty: &DirtySet) {
+        if !self.full_pending {
+            self.pending.merge(dirty);
+        }
+    }
+
+    /// Forget everything; the next sync recomputes from scratch.
+    pub fn invalidate(&mut self) {
+        self.full_pending = true;
+        self.pending = DirtySet::default();
+    }
+
+    /// Bring the stored findings up to date with `working`.
+    ///
+    /// Incremental path: expand the pending seed (self + ancestors +
+    /// descendants of every touched live type, plus relationship/link
+    /// partners whose order-bys depend on them, plus every type referencing
+    /// an added/deleted name in a domain or signature), recheck those types,
+    /// drop entries for dead types. Returns the number of types rechecked.
+    pub fn sync(
+        &mut self,
+        working: &SchemaGraph,
+        shrink_wrap: &SchemaGraph,
+        qc: &QueryCache,
+    ) -> usize {
+        if self.full_pending {
+            let mut sp =
+                sws_trace::span!("core.consistency.full_sync", types = working.type_count());
+            self.by_type.clear();
+            let mut rechecked = 0usize;
+            for (id, node) in working.types() {
+                let name = node.name.clone();
+                let findings = compute_type_findings(working, shrink_wrap, qc, id);
+                self.by_type.insert(name, findings);
+                rechecked += 1;
+            }
+            self.full_pending = false;
+            self.pending = DirtySet::default();
+            sp.record("rechecked", rechecked);
+            return rechecked;
+        }
+        if self.pending.is_empty() {
+            return 0;
+        }
+        let dirty = std::mem::take(&mut self.pending);
+        let mut sp = sws_trace::span!("core.consistency.incremental_sync");
+
+        // 1. Types referencing an added/deleted name in an attribute domain
+        //    or operation signature may gain/lose a dangling-reference
+        //    finding.
+        let mut names: BTreeSet<String> = dirty.touched;
+        if !dirty.existence_changed.is_empty() {
+            for (_, node) in working.types() {
+                if type_references_any(working, node, &dirty.existence_changed) {
+                    names.insert(node.name.clone());
+                }
+            }
+        }
+
+        // 2. Hierarchy closure: inherited members, key/order-by visibility,
+        //    and inheritance conflicts travel along ISA edges both ways.
+        let mut closure: BTreeSet<TypeId> = BTreeSet::new();
+        for name in &names {
+            if let Some(id) = working.type_id(name) {
+                closure.insert(id);
+                closure.extend(qc.ancestors(working, id).iter().copied());
+                closure.extend(qc.descendants(working, id).iter().copied());
+            } else {
+                // Deleted type: drop its stored findings.
+                self.by_type.remove(name);
+            }
+        }
+
+        // 3. Order-by dependents: a relationship end's order-by is checked
+        //    against the *target* type's visible attributes, and a link
+        //    parent's order-by against the *child*'s. If T changed, every
+        //    partner whose order-by looks at T must be rechecked too.
+        let mut dependents: BTreeSet<TypeId> = BTreeSet::new();
+        for &t in &closure {
+            let node = working.ty(t);
+            for &(r, e) in &node.rel_ends {
+                dependents.insert(working.rel(r).other(e).owner);
+            }
+            for &l in &node.child_links {
+                dependents.insert(working.link(l).parent);
+            }
+        }
+        closure.extend(dependents);
+
+        let rechecked = closure.len();
+        for &id in &closure {
+            let name = working.ty(id).name.clone();
+            let findings = compute_type_findings(working, shrink_wrap, qc, id);
+            self.by_type.insert(name, findings);
+        }
+        sp.record("rechecked", rechecked);
+        sws_trace::counter("consistency.dirty_types", rechecked as u64);
+        sws_trace::counter("consistency.incremental_syncs", 1);
+        rechecked
+    }
+
+    /// Assemble the report from the stored per-type findings, in exactly
+    /// the order [`check_consistency`] produces.
+    pub fn report(&self, working: &SchemaGraph) -> ConsistencyReport {
+        debug_assert!(!self.full_pending, "report() before sync()");
+        let mut findings = Vec::new();
+        for group in 0..3 {
+            for (_, node) in working.types() {
+                if let Some(tf) = self.by_type.get(&node.name) {
+                    let src = match group {
+                        0 => &tf.wf,
+                        1 => &tf.relative,
+                        _ => &tf.structure,
+                    };
+                    findings.extend(src.iter().cloned());
+                }
+            }
+        }
+        findings.sort_by_key(|f| f.severity());
+        ConsistencyReport { findings }
+    }
+}
+
+/// All three per-type checks for one type.
+fn compute_type_findings(
+    working: &SchemaGraph,
+    shrink_wrap: &SchemaGraph,
+    qc: &QueryCache,
+    id: TypeId,
+) -> TypeFindings {
+    let mut tf = TypeFindings {
+        wf: check_type_well_formed(working, qc, id)
+            .into_iter()
+            .map(CrossIssue::Wf)
+            .collect(),
+        ..TypeFindings::default()
+    };
+    type_shrink_wrap_relative(working, shrink_wrap, id, &mut tf.relative);
+    type_structure(working, id, &mut tf.structure);
+    tf
+}
+
+/// Does any attribute domain or operation signature of `node` mention one
+/// of `names`?
+fn type_references_any(
+    g: &SchemaGraph,
+    node: &sws_model::TypeNode,
+    names: &BTreeSet<String>,
+) -> bool {
+    let mut refs: Vec<&str> = Vec::new();
+    for &a in &node.attrs {
+        g.attr(a).ty.referenced_types(&mut refs);
+    }
+    for &o in &node.ops {
+        let op = &g.op(o).op;
+        op.return_type.referenced_types(&mut refs);
+        for p in &op.args {
+            p.ty.referenced_types(&mut refs);
+        }
+    }
+    refs.iter().any(|r| names.contains(*r))
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 
 use crate::ops::ModOp;
 use std::fmt;
-use sws_model::{query, SchemaGraph, TypeId};
+use sws_model::{query, QueryCache, SchemaGraph, TypeId};
 use sws_odl::{DomainType, HierKind, Key};
 
 /// One failed precondition.
@@ -235,10 +235,28 @@ pub fn check_preconditions(
     working: &SchemaGraph,
     shrink_wrap: &SchemaGraph,
 ) -> Vec<ConstraintViolation> {
+    let qc = QueryCache::new();
+    let qc_sw = QueryCache::new();
+    check_preconditions_cached(op, working, shrink_wrap, &qc, &qc_sw)
+}
+
+/// As [`check_preconditions`], but answering hierarchy traversals from the
+/// caller's [`QueryCache`]s (one paired with `working`, one with
+/// `shrink_wrap`). `Workspace` threads its long-lived caches through here so
+/// repeated checks against an unchanged schema skip the graph walks.
+pub fn check_preconditions_cached(
+    op: &ModOp,
+    working: &SchemaGraph,
+    shrink_wrap: &SchemaGraph,
+    qc_working: &QueryCache,
+    qc_shrink: &QueryCache,
+) -> Vec<ConstraintViolation> {
     let mut v = Vec::new();
     let ctx = Ctx {
         g: working,
         sw: shrink_wrap,
+        qc: qc_working,
+        qc_sw: qc_shrink,
     };
     ctx.check(op, &mut v);
     v
@@ -247,6 +265,8 @@ pub fn check_preconditions(
 struct Ctx<'a> {
     g: &'a SchemaGraph,
     sw: &'a SchemaGraph,
+    qc: &'a QueryCache,
+    qc_sw: &'a QueryCache,
 }
 
 impl<'a> Ctx<'a> {
@@ -269,9 +289,9 @@ impl<'a> Ctx<'a> {
             return;
         }
         let ok = match (self.sw.type_id(from), self.sw.type_id(to)) {
-            (Some(a), Some(b)) => query::on_same_generalization_path(self.sw, a, b),
+            (Some(a), Some(b)) => self.qc_sw.on_same_generalization_path(self.sw, a, b),
             _ => match (self.g.type_id(from), self.g.type_id(to)) {
-                (Some(a), Some(b)) => query::on_same_generalization_path(self.g, a, b),
+                (Some(a), Some(b)) => self.qc.on_same_generalization_path(self.g, a, b),
                 _ => return, // unknown types reported elsewhere
             },
         };
@@ -303,7 +323,7 @@ impl<'a> Ctx<'a> {
         }
         // Ancestors: operations may override operations; nothing else may
         // shadow anything.
-        for anc in query::ancestors(self.g, ty) {
+        for &anc in self.qc.ancestors(self.g, ty).iter() {
             if let Some(their_op) = member_is_op(self.g, anc, name) {
                 if !(is_op && their_op) {
                     v.push(ConstraintViolation::InheritedConflict {
@@ -317,7 +337,7 @@ impl<'a> Ctx<'a> {
         }
         // Descendants: a new non-operation member must not be shadowed by /
         // shadow existing descendant members.
-        for desc in query::descendants(self.g, ty) {
+        for &desc in self.qc.descendants(self.g, ty).iter() {
             if let Some(their_op) = member_is_op(self.g, desc, name) {
                 if !(is_op && their_op) {
                     v.push(ConstraintViolation::InheritedConflict {
@@ -334,7 +354,9 @@ impl<'a> Ctx<'a> {
     fn check_attrs_visible(&self, ty: TypeId, attrs: &[String], v: &mut Vec<ConstraintViolation>) {
         for attr in attrs {
             let visible = self.g.find_attr(ty, attr).is_some()
-                || query::ancestors(self.g, ty)
+                || self
+                    .qc
+                    .ancestors(self.g, ty)
                     .iter()
                     .any(|&anc| self.g.find_attr(anc, attr).is_some());
             if !visible {
@@ -393,7 +415,7 @@ impl<'a> Ctx<'a> {
                         sup: supertype.clone(),
                     });
                 }
-                if query::is_ancestor(self.g, sub, sup) {
+                if self.qc.is_ancestor(self.g, sub, sup) {
                     v.push(ConstraintViolation::GeneralizationCycle {
                         sub: ty.clone(),
                         sup: supertype.clone(),
@@ -446,11 +468,11 @@ impl<'a> Ctx<'a> {
                         continue;
                     }
                     // A cycle through an edge not being removed.
-                    if query::is_ancestor(self.g, sub, sup)
+                    if self.qc.is_ancestor(self.g, sub, sup)
                         && !old.iter().any(|o| {
                             self.g
                                 .type_id(o)
-                                .map(|oid| query::is_ancestor(self.g, oid, sup) || oid == sup)
+                                .map(|oid| self.qc.is_ancestor(self.g, oid, sup) || oid == sup)
                                 .unwrap_or(false)
                         })
                     {
@@ -993,10 +1015,9 @@ impl<'a> Ctx<'a> {
             });
             return;
         }
-        for related in query::ancestors(self.g, to)
-            .into_iter()
-            .chain(query::descendants(self.g, to))
-        {
+        let ancs = self.qc.ancestors(self.g, to);
+        let descs = self.qc.descendants(self.g, to);
+        for &related in ancs.iter().chain(descs.iter()) {
             if related == from {
                 continue;
             }
@@ -1022,9 +1043,9 @@ impl<'a> Ctx<'a> {
         sup: TypeId,
         v: &mut Vec<ConstraintViolation>,
     ) {
-        let sup_members = query::visible_members(self.g, sup);
+        let sup_members = self.qc.visible_members(self.g, sup);
         let mut subtree = vec![sub];
-        subtree.extend(query::descendants(self.g, sub));
+        subtree.extend(self.qc.descendants(self.g, sub).iter().copied());
         for t in subtree {
             for (name, _) in own_members(self.g, t) {
                 if let Some((_, def)) = sup_members.iter().find(|(n, _)| *n == name) {

@@ -5,6 +5,8 @@
 //! a modification triggered — built from the graph's
 //! [`sws_model::CascadeReport`] plus any notes from the apply layer.
 
+use crate::ops::ModOp;
+use std::collections::BTreeSet;
 use std::fmt;
 use sws_model::CascadeReport;
 use sws_odl::HierKind;
@@ -178,6 +180,132 @@ impl ImpactReport {
     }
 }
 
+/// The type names an applied operation (plus its cascade) may have affected
+/// — the *seed* of the incremental consistency recheck.
+///
+/// `touched` names types whose own definition, edges, or members changed.
+/// `existence_changed` names types that were created or deleted; any type
+/// referencing such a name in an attribute domain or operation signature may
+/// gain or lose a dangling-reference finding, so the consistency engine
+/// scans for referents of these names specifically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtySet {
+    /// Names of types whose definition may have changed.
+    pub touched: BTreeSet<String>,
+    /// Names of types that were added or deleted.
+    pub existence_changed: BTreeSet<String>,
+}
+
+impl DirtySet {
+    /// Derive the seed from an operation and the cascade it triggered.
+    ///
+    /// Deliberately conservative: every type name mentioned by the op or by
+    /// any cascade entry is included. The consistency engine expands this
+    /// seed along the hierarchy before rechecking.
+    pub fn from_op(op: &ModOp, cascade: &CascadeReport) -> Self {
+        let mut set = DirtySet::default();
+        set.add_op(op);
+        set.add_cascade(cascade);
+        set
+    }
+
+    /// True if nothing was touched.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty() && self.existence_changed.is_empty()
+    }
+
+    /// Fold another dirty set into this one.
+    pub fn merge(&mut self, other: &DirtySet) {
+        self.touched.extend(other.touched.iter().cloned());
+        self.existence_changed
+            .extend(other.existence_changed.iter().cloned());
+    }
+
+    fn touch(&mut self, name: &str) {
+        self.touched.insert(name.to_string());
+    }
+
+    fn add_op(&mut self, op: &ModOp) {
+        use ModOp::*;
+        // Every op names its subject type.
+        self.touch(op.subject_type());
+        match op {
+            AddTypeDefinition { ty } | DeleteTypeDefinition { ty } => {
+                self.existence_changed.insert(ty.clone());
+            }
+            AddSupertype { supertype, .. } | DeleteSupertype { supertype, .. } => {
+                self.touch(supertype);
+            }
+            ModifySupertype { old, new, .. } => {
+                for s in old.iter().chain(new.iter()) {
+                    self.touch(s);
+                }
+            }
+            ModifyAttribute { new_ty, .. } | ModifyOperation { new_ty, .. } => {
+                self.touch(new_ty);
+            }
+            AddRelationship { target, .. }
+            | AddPartOfRelationship { target, .. }
+            | AddInstanceOfRelationship { target, .. } => {
+                self.touch(target);
+            }
+            ModifyRelationshipTargetType {
+                old_target,
+                new_target,
+                ..
+            }
+            | ModifyPartOfTargetType {
+                old_target,
+                new_target,
+                ..
+            }
+            | ModifyInstanceOfTargetType {
+                old_target,
+                new_target,
+                ..
+            } => {
+                self.touch(old_target);
+                self.touch(new_target);
+            }
+            _ => {}
+        }
+    }
+
+    fn add_cascade(&mut self, cascade: &CascadeReport) {
+        for (ty, _) in &cascade.removed_attrs {
+            self.touch(ty);
+        }
+        for (ty, _) in &cascade.removed_ops {
+            self.touch(ty);
+        }
+        for (a, _, b, _) in &cascade.removed_rels {
+            self.touch(a);
+            self.touch(b);
+        }
+        for (_, parent, _, child, _) in &cascade.removed_links {
+            self.touch(parent);
+            self.touch(child);
+        }
+        for (sub, sup) in &cascade.removed_supertype_edges {
+            self.touch(sub);
+            self.touch(sup);
+        }
+        for (sub, new_sup) in &cascade.rewired_subtypes {
+            self.touch(sub);
+            self.touch(new_sup);
+        }
+        for sub in &cascade.detached_subtypes {
+            self.touch(sub);
+        }
+        for (ty, _) in &cascade.keys_pruned {
+            self.touch(ty);
+        }
+        for (ty, _, _) in &cascade.order_by_pruned {
+            self.touch(ty);
+        }
+    }
+}
+
 impl fmt::Display for ImpactReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for entry in &self.entries {
@@ -223,5 +351,41 @@ mod tests {
         let report = ImpactReport::from_cascade(&CascadeReport::default(), &[]);
         assert!(report.is_empty());
         assert_eq!(report.to_string(), "");
+    }
+
+    #[test]
+    fn dirty_set_collects_op_and_cascade_names() {
+        let cascade = CascadeReport {
+            removed_rels: vec![("B".into(), "r".into(), "A".into(), "inv".into())],
+            rewired_subtypes: vec![("C".into(), "A".into())],
+            ..CascadeReport::default()
+        };
+        let set = DirtySet::from_op(&ModOp::DeleteTypeDefinition { ty: "B".into() }, &cascade);
+        for name in ["A", "B", "C"] {
+            assert!(set.touched.contains(name), "{name} missing: {set:?}");
+        }
+        assert!(set.existence_changed.contains("B"));
+        assert!(!set.is_empty());
+
+        let mut merged = DirtySet::default();
+        merged.merge(&set);
+        assert_eq!(merged, set);
+    }
+
+    #[test]
+    fn dirty_set_covers_move_endpoints() {
+        let set = DirtySet::from_op(
+            &ModOp::ModifyRelationshipTargetType {
+                ty: "Dept".into(),
+                path: "has".into(),
+                old_target: "Employee".into(),
+                new_target: "Person".into(),
+            },
+            &CascadeReport::default(),
+        );
+        for name in ["Dept", "Employee", "Person"] {
+            assert!(set.touched.contains(name), "{name} missing: {set:?}");
+        }
+        assert!(set.existence_changed.is_empty());
     }
 }

@@ -44,11 +44,15 @@ pub mod workspace;
 pub use advice::{advise, Suggestion};
 pub use aliases::{AliasError, AliasTable};
 pub use concept::{decompose, ConceptKind, ConceptSchema, Decomposition};
-pub use consistency::{check_consistency, ConsistencyReport, CrossIssue, Severity};
-pub use constraints::{check_preconditions, ConstraintCategory, ConstraintViolation};
+pub use consistency::{
+    check_consistency, ConsistencyReport, ConsistencyState, CrossIssue, Severity,
+};
+pub use constraints::{
+    check_preconditions, check_preconditions_cached, ConstraintCategory, ConstraintViolation,
+};
 pub use explain::explain;
 pub use feedback::Feedback;
-pub use impact::{ImpactEntry, ImpactReport};
+pub use impact::{DirtySet, ImpactEntry, ImpactReport};
 pub use interop::{common_objects, CommonObject, InteropSummary};
 pub use mapping::{Construct, Disposition, MapEntry, Mapping};
 pub use oplang::{parse_script, parse_statement, print_op};

@@ -8,7 +8,7 @@
 //! renderable document.
 
 use crate::advice::{advise, Suggestion};
-use crate::consistency::{check_consistency, ConsistencyReport};
+use crate::consistency::ConsistencyReport;
 use crate::mapping::Mapping;
 use crate::workspace::Workspace;
 use sws_model::graph_to_schema;
@@ -44,7 +44,7 @@ pub struct DesignReport {
 impl DesignReport {
     /// Generate the deliverables for a workspace.
     pub fn generate(ws: &Workspace) -> Self {
-        let consistency = check_consistency(ws.working(), ws.shrink_wrap());
+        let consistency = ws.consistency();
         let advice = advise(&consistency, ws.working());
         let log_lines = ws
             .log()

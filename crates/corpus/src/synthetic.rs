@@ -10,6 +10,36 @@ use crate::rng::SplitMix64;
 use sws_model::SchemaGraph;
 use sws_odl::{Cardinality, CollectionKind, DomainType, HierKind, Key, Operation, Param};
 
+/// The default schema-size sweep for scaling benches.
+pub const DEFAULT_SWEEP: [usize; 3] = [100, 1_000, 5_000];
+
+/// The schema sizes the scaling benches should sweep: [`DEFAULT_SWEEP`]
+/// unless the `SWS_BENCH_SIZES` environment variable overrides it with a
+/// comma-separated list of type counts (used to keep CI smoke runs fast).
+pub fn sweep_sizes() -> Vec<usize> {
+    let parsed: Vec<usize> = std::env::var("SWS_BENCH_SIZES")
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        DEFAULT_SWEEP.to_vec()
+    } else {
+        parsed
+    }
+}
+
+/// Generate one synthetic schema per sweep size, seeded deterministically.
+pub fn size_sweep(seed: u64) -> Vec<(usize, SchemaGraph)> {
+    sweep_sizes()
+        .into_iter()
+        .map(|n| (n, SyntheticSpec::sized(n, seed).generate()))
+        .collect()
+}
+
 /// Parameters of a synthetic schema.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyntheticSpec {
@@ -191,6 +221,16 @@ mod tests {
             sws_model::graph_to_schema(&relowered),
             sws_model::graph_to_schema(&g)
         );
+    }
+
+    #[test]
+    fn sweep_sizes_default_and_generation() {
+        // Don't touch the env var (tests run in parallel); just check the
+        // default constant path and that generation honors the sizes.
+        assert_eq!(DEFAULT_SWEEP, [100, 1_000, 5_000]);
+        for (n, g) in [(5usize, SyntheticSpec::sized(5, 1).generate())] {
+            assert_eq!(g.type_count(), n);
+        }
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Generation-stamped memoization of the hot [`crate::query`] traversals.
+//!
+//! A [`QueryCache`] memoizes `ancestors`, `descendants`, `hier_closure`,
+//! `generalization_components`, and `visible_members` keyed by their
+//! arguments, stamped with the graph's [`SchemaGraph::generation`]. Every
+//! mutating method on the graph bumps the generation, so the cache
+//! invalidates *wholesale* on the first lookup after any mutation — there is
+//! no fine-grained dependency tracking to get wrong, and a cache can never
+//! serve stale results for the graph it is paired with.
+//!
+//! The cache uses interior mutability (`Cell`/`RefCell`) so read-only code
+//! paths (well-formedness checking, precondition constraints) can share one
+//! `&QueryCache` without threading `&mut` everywhere. It is intentionally
+//! not `Sync`; use one cache per thread.
+//!
+//! **Pair one cache with one graph.** A cloned graph starts at its parent's
+//! generation but diverges independently, so a cache shared across two
+//! graphs could confuse their states. (`Workspace` in `sws-core` keeps one
+//! cache for the working schema and one for the shrink wrap schema.)
+//!
+//! Hits and misses are exposed both as local counters ([`QueryCache::hits`]
+//! / [`QueryCache::misses`]) and as sws-trace counters
+//! (`model.query_cache.hits`, `model.query_cache.misses`,
+//! `model.query_cache.invalidations`).
+
+use crate::graph::SchemaGraph;
+use crate::ids::{LinkId, TypeId};
+use crate::query;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use sws_odl::HierKind;
+
+/// One memo table: key → shared, immutable result.
+type Memo<K, V> = RefCell<HashMap<K, Rc<V>>>;
+
+/// Memoizes hot hierarchy traversals for one [`SchemaGraph`]. See the
+/// module docs.
+#[derive(Debug, Clone, Default)]
+pub struct QueryCache {
+    generation: Cell<u64>,
+    ancestors: Memo<TypeId, Vec<TypeId>>,
+    descendants: Memo<TypeId, Vec<TypeId>>,
+    hier_closures: Memo<(HierKind, TypeId), (Vec<TypeId>, Vec<LinkId>)>,
+    components: RefCell<Option<Rc<Vec<Vec<TypeId>>>>>,
+    visible: Memo<TypeId, Vec<(String, TypeId)>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl QueryCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        QueryCache::default()
+    }
+
+    /// Drop every entry whose generation stamp no longer matches `g`.
+    fn sync(&self, g: &SchemaGraph) {
+        if self.generation.get() != g.generation() {
+            self.generation.set(g.generation());
+            self.ancestors.borrow_mut().clear();
+            self.descendants.borrow_mut().clear();
+            self.hier_closures.borrow_mut().clear();
+            *self.components.borrow_mut() = None;
+            self.visible.borrow_mut().clear();
+            sws_trace::counter("model.query_cache.invalidations", 1);
+        }
+    }
+
+    fn hit(&self) {
+        self.hits.set(self.hits.get() + 1);
+        sws_trace::counter("model.query_cache.hits", 1);
+    }
+
+    fn miss(&self) {
+        self.misses.set(self.misses.get() + 1);
+        sws_trace::counter("model.query_cache.misses", 1);
+    }
+
+    /// Cached [`query::ancestors`].
+    pub fn ancestors(&self, g: &SchemaGraph, t: TypeId) -> Rc<Vec<TypeId>> {
+        self.sync(g);
+        if let Some(v) = self.ancestors.borrow().get(&t) {
+            self.hit();
+            return Rc::clone(v);
+        }
+        self.miss();
+        let v = Rc::new(query::ancestors(g, t));
+        self.ancestors.borrow_mut().insert(t, Rc::clone(&v));
+        v
+    }
+
+    /// Cached [`query::descendants`].
+    pub fn descendants(&self, g: &SchemaGraph, t: TypeId) -> Rc<Vec<TypeId>> {
+        self.sync(g);
+        if let Some(v) = self.descendants.borrow().get(&t) {
+            self.hit();
+            return Rc::clone(v);
+        }
+        self.miss();
+        let v = Rc::new(query::descendants(g, t));
+        self.descendants.borrow_mut().insert(t, Rc::clone(&v));
+        v
+    }
+
+    /// Cached [`query::hier_closure`].
+    pub fn hier_closure(
+        &self,
+        g: &SchemaGraph,
+        kind: HierKind,
+        root: TypeId,
+    ) -> Rc<(Vec<TypeId>, Vec<LinkId>)> {
+        self.sync(g);
+        if let Some(v) = self.hier_closures.borrow().get(&(kind, root)) {
+            self.hit();
+            return Rc::clone(v);
+        }
+        self.miss();
+        let v = Rc::new(query::hier_closure(g, kind, root));
+        self.hier_closures
+            .borrow_mut()
+            .insert((kind, root), Rc::clone(&v));
+        v
+    }
+
+    /// Cached [`query::generalization_components`].
+    pub fn generalization_components(&self, g: &SchemaGraph) -> Rc<Vec<Vec<TypeId>>> {
+        self.sync(g);
+        if let Some(v) = self.components.borrow().as_ref() {
+            self.hit();
+            return Rc::clone(v);
+        }
+        self.miss();
+        let v = Rc::new(query::generalization_components(g));
+        *self.components.borrow_mut() = Some(Rc::clone(&v));
+        v
+    }
+
+    /// Cached [`query::visible_members`].
+    pub fn visible_members(&self, g: &SchemaGraph, t: TypeId) -> Rc<Vec<(String, TypeId)>> {
+        self.sync(g);
+        if let Some(v) = self.visible.borrow().get(&t) {
+            self.hit();
+            return Rc::clone(v);
+        }
+        self.miss();
+        let v = Rc::new(query::visible_members(g, t));
+        self.visible.borrow_mut().insert(t, Rc::clone(&v));
+        v
+    }
+
+    /// [`query::is_ancestor`] answered from the cached ancestor set.
+    pub fn is_ancestor(&self, g: &SchemaGraph, a: TypeId, b: TypeId) -> bool {
+        self.ancestors(g, b).contains(&a)
+    }
+
+    /// [`query::on_same_generalization_path`] answered from cached ancestor
+    /// sets.
+    pub fn on_same_generalization_path(&self, g: &SchemaGraph, a: TypeId, b: TypeId) -> bool {
+        a == b || self.is_ancestor(g, a, b) || self.is_ancestor(g, b, a)
+    }
+
+    /// Lifetime hit count (monotonic, survives invalidation).
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lifetime miss count (monotonic, survives invalidation).
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> (SchemaGraph, TypeId, TypeId, TypeId) {
+        let mut g = SchemaGraph::new("t");
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        let c = g.add_type("C").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_supertype(c, b).unwrap();
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn repeated_lookups_hit() {
+        let (g, a, _, c) = chain();
+        let qc = QueryCache::new();
+        assert_eq!(*qc.ancestors(&g, c), query::ancestors(&g, c));
+        assert_eq!(qc.misses(), 1);
+        assert_eq!(*qc.ancestors(&g, c), query::ancestors(&g, c));
+        assert_eq!(qc.hits(), 1);
+        assert!(qc.is_ancestor(&g, a, c));
+        assert_eq!(qc.hits(), 2);
+    }
+
+    #[test]
+    fn mutation_invalidates_wholesale() {
+        let (mut g, a, b, c) = chain();
+        let qc = QueryCache::new();
+        assert_eq!(qc.ancestors(&g, c).len(), 2);
+        g.remove_supertype(c, b).unwrap();
+        // Same cache, new generation: the stale entry must not be served.
+        assert_eq!(qc.ancestors(&g, c).len(), 0);
+        assert_eq!(*qc.descendants(&g, a), query::descendants(&g, a));
+        assert_eq!(qc.hits(), 0);
+    }
+
+    #[test]
+    fn all_traversals_match_uncached() {
+        let (mut g, a, _, c) = chain();
+        let d = g.add_type("D").unwrap();
+        g.add_link(
+            sws_odl::HierKind::PartOf,
+            a,
+            "ds",
+            sws_odl::CollectionKind::Set,
+            vec![],
+            d,
+            "a_of",
+        )
+        .unwrap();
+        g.add_attribute(a, "x", sws_odl::DomainType::Long, None)
+            .unwrap();
+        let qc = QueryCache::new();
+        assert_eq!(*qc.descendants(&g, a), query::descendants(&g, a));
+        assert_eq!(
+            *qc.hier_closure(&g, HierKind::PartOf, a),
+            query::hier_closure(&g, HierKind::PartOf, a)
+        );
+        assert_eq!(
+            *qc.generalization_components(&g),
+            query::generalization_components(&g)
+        );
+        assert_eq!(*qc.visible_members(&g, c), query::visible_members(&g, c));
+        assert_eq!(
+            qc.on_same_generalization_path(&g, a, c),
+            query::on_same_generalization_path(&g, a, c)
+        );
+    }
+}

@@ -195,6 +195,43 @@ impl CascadeReport {
     }
 }
 
+/// A recorded set of inverse mutations, sufficient to revert a graph to the
+/// state it had when [`SchemaGraph::begin_undo`] was called.
+///
+/// The journal uses *first-touch before-images*: the first time a mutator
+/// touches an arena slot while a journal is active, the slot's previous
+/// contents are saved. Slots created after `begin_undo` need no image — the
+/// arenas are append-only, so truncating back to the recorded base lengths
+/// removes them. Because arena slots are tombstoned and never reused,
+/// reverting a patch restores the *exact* previous arena state, IDs included.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UndoPatch {
+    base_types: usize,
+    base_attrs: usize,
+    base_rels: usize,
+    base_ops: usize,
+    base_links: usize,
+    types: Vec<(usize, TypeNode)>,
+    attrs: Vec<(usize, AttrNode)>,
+    rels: Vec<(usize, RelNode)>,
+    ops: Vec<(usize, OpNode)>,
+    links: Vec<(usize, LinkNode)>,
+    by_name: Vec<(String, Option<TypeId>)>,
+}
+
+impl UndoPatch {
+    /// Number of before-images recorded (a rough size measure; does not
+    /// count slots created after `begin_undo`, which revert by truncation).
+    pub fn touched(&self) -> usize {
+        self.types.len()
+            + self.attrs.len()
+            + self.rels.len()
+            + self.ops.len()
+            + self.links.len()
+            + self.by_name.len()
+    }
+}
+
 /// The schema graph. See the module docs.
 #[derive(Debug, Clone)]
 pub struct SchemaGraph {
@@ -205,6 +242,10 @@ pub struct SchemaGraph {
     ops: Vec<OpNode>,
     links: Vec<LinkNode>,
     by_name: HashMap<String, TypeId>,
+    /// Monotonic mutation counter; bumped by every mutating method. Query
+    /// caches key their entries on it and invalidate wholesale when it moves.
+    generation: u64,
+    journal: Option<UndoPatch>,
 }
 
 impl SchemaGraph {
@@ -218,12 +259,158 @@ impl SchemaGraph {
             ops: Vec::new(),
             links: Vec::new(),
             by_name: HashMap::new(),
+            generation: 0,
+            journal: None,
         }
     }
 
     /// The schema name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The current mutation generation. Every mutating method bumps this,
+    /// so equal generations on the *same* graph value imply identical
+    /// structure (a clone starts at the parent's generation but diverges
+    /// independently — never share one cache across two graphs).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn bump(&mut self) {
+        self.generation += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Undo journal
+    // ------------------------------------------------------------------
+
+    /// Start recording inverse mutations. Every subsequent mutator call logs
+    /// first-touch before-images until [`Self::commit_undo`] or
+    /// [`Self::rollback_undo`]. Journals do not nest.
+    pub fn begin_undo(&mut self) {
+        debug_assert!(
+            self.journal.is_none(),
+            "nested undo journals are not supported"
+        );
+        self.journal = Some(UndoPatch {
+            base_types: self.types.len(),
+            base_attrs: self.attrs.len(),
+            base_rels: self.rels.len(),
+            base_ops: self.ops.len(),
+            base_links: self.links.len(),
+            ..UndoPatch::default()
+        });
+    }
+
+    /// Stop recording and return the patch that reverts everything mutated
+    /// since [`Self::begin_undo`]. The mutations themselves are kept.
+    pub fn commit_undo(&mut self) -> UndoPatch {
+        self.journal.take().expect("commit_undo without begin_undo")
+    }
+
+    /// Abort the journal: revert every mutation made since
+    /// [`Self::begin_undo`] and stop recording.
+    pub fn rollback_undo(&mut self) {
+        let patch = self
+            .journal
+            .take()
+            .expect("rollback_undo without begin_undo");
+        self.revert(&patch);
+    }
+
+    /// Apply a committed [`UndoPatch`], reverting the graph to the state it
+    /// had at the matching `begin_undo`. Patches must be reverted in strict
+    /// reverse order of the mutations they journal.
+    pub fn revert(&mut self, patch: &UndoPatch) {
+        debug_assert!(self.journal.is_none(), "revert during an active journal");
+        // Slots created after begin_undo are at the arena tails: drop them.
+        self.types.truncate(patch.base_types);
+        self.attrs.truncate(patch.base_attrs);
+        self.rels.truncate(patch.base_rels);
+        self.ops.truncate(patch.base_ops);
+        self.links.truncate(patch.base_links);
+        // Restore before-images (all indices are below the base lengths).
+        for (i, node) in &patch.types {
+            self.types[*i] = node.clone();
+        }
+        for (i, node) in &patch.attrs {
+            self.attrs[*i] = node.clone();
+        }
+        for (i, node) in &patch.rels {
+            self.rels[*i] = node.clone();
+        }
+        for (i, node) in &patch.ops {
+            self.ops[*i] = node.clone();
+        }
+        for (i, node) in &patch.links {
+            self.links[*i] = node.clone();
+        }
+        for (name, prev) in &patch.by_name {
+            match prev {
+                Some(id) => {
+                    self.by_name.insert(name.clone(), *id);
+                }
+                None => {
+                    self.by_name.remove(name);
+                }
+            }
+        }
+        self.bump();
+    }
+
+    fn touch_type(&mut self, id: TypeId) {
+        if let Some(j) = &mut self.journal {
+            let i = id.index();
+            if i < j.base_types && !j.types.iter().any(|(k, _)| *k == i) {
+                j.types.push((i, self.types[i].clone()));
+            }
+        }
+    }
+
+    fn touch_attr(&mut self, id: AttrId) {
+        if let Some(j) = &mut self.journal {
+            let i = id.index();
+            if i < j.base_attrs && !j.attrs.iter().any(|(k, _)| *k == i) {
+                j.attrs.push((i, self.attrs[i].clone()));
+            }
+        }
+    }
+
+    fn touch_rel(&mut self, id: RelId) {
+        if let Some(j) = &mut self.journal {
+            let i = id.index();
+            if i < j.base_rels && !j.rels.iter().any(|(k, _)| *k == i) {
+                j.rels.push((i, self.rels[i].clone()));
+            }
+        }
+    }
+
+    fn touch_op(&mut self, id: OpId) {
+        if let Some(j) = &mut self.journal {
+            let i = id.index();
+            if i < j.base_ops && !j.ops.iter().any(|(k, _)| *k == i) {
+                j.ops.push((i, self.ops[i].clone()));
+            }
+        }
+    }
+
+    fn touch_link(&mut self, id: LinkId) {
+        if let Some(j) = &mut self.journal {
+            let i = id.index();
+            if i < j.base_links && !j.links.iter().any(|(k, _)| *k == i) {
+                j.links.push((i, self.links[i].clone()));
+            }
+        }
+    }
+
+    fn touch_name(&mut self, name: &str) {
+        if let Some(j) = &mut self.journal {
+            if !j.by_name.iter().any(|(n, _)| n == name) {
+                let prev = self.by_name.get(name).copied();
+                j.by_name.push((name.to_string(), prev));
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -450,6 +637,8 @@ impl SchemaGraph {
         if self.by_name.contains_key(name) {
             return Err(ModelError::DuplicateTypeName(name.to_string()));
         }
+        self.bump();
+        self.touch_name(name);
         let id = TypeId(self.types.len() as u32);
         self.types.push(TypeNode {
             name: name.to_string(),
@@ -471,6 +660,9 @@ impl SchemaGraph {
 
     /// Mark a type abstract (or concrete).
     pub fn set_abstract(&mut self, id: TypeId, is_abstract: bool) -> Result<(), ModelError> {
+        self.check_live(id)?;
+        self.bump();
+        self.touch_type(id);
         self.type_mut(id)?.is_abstract = is_abstract;
         Ok(())
     }
@@ -485,6 +677,9 @@ impl SchemaGraph {
                 return Err(ModelError::DuplicateExtent(name.clone()));
             }
         }
+        self.check_live(id)?;
+        self.bump();
+        self.touch_type(id);
         self.type_mut(id)?.extent = extent;
         Ok(())
     }
@@ -497,21 +692,25 @@ impl SchemaGraph {
                 key: key.to_string(),
             });
         }
+        self.check_live(id)?;
+        self.bump();
+        self.touch_type(id);
         self.type_mut(id)?.keys.push(key);
         Ok(())
     }
 
     /// Remove a key from a type's key list.
     pub fn remove_key(&mut self, id: TypeId, key: &Key) -> Result<(), ModelError> {
-        let node = self.type_mut(id)?;
-        let before = node.keys.len();
-        node.keys.retain(|k| k != key);
-        if node.keys.len() == before {
+        self.check_live(id)?;
+        if !self.ty(id).keys.contains(key) {
             return Err(ModelError::NoSuchKey {
                 owner: id,
                 key: key.to_string(),
             });
         }
+        self.bump();
+        self.touch_type(id);
+        self.type_mut(id)?.keys.retain(|k| k != key);
         Ok(())
     }
 
@@ -523,6 +722,7 @@ impl SchemaGraph {
         mode: RemoveTypeMode,
     ) -> Result<CascadeReport, ModelError> {
         self.check_live(id)?;
+        self.bump();
         let mut report = CascadeReport::default();
         let name = self.ty(id).name.clone();
 
@@ -550,11 +750,13 @@ impl SchemaGraph {
         for a in self.ty(id).attrs.clone() {
             let attr = self.attr(a);
             report.removed_attrs.push((name.clone(), attr.name.clone()));
+            self.touch_attr(a);
             self.attrs[a.index()].alive = false;
         }
         for o in self.ty(id).ops.clone() {
             let op = self.op(o);
             report.removed_ops.push((name.clone(), op.op.name.clone()));
+            self.touch_op(o);
             self.ops[o.index()].alive = false;
         }
 
@@ -565,6 +767,7 @@ impl SchemaGraph {
             report
                 .removed_supertype_edges
                 .push((name.clone(), sup_name));
+            self.touch_type(*sup);
             self.types[sup.index()].subtypes.retain(|&s| s != id);
         }
 
@@ -575,6 +778,7 @@ impl SchemaGraph {
             report
                 .removed_supertype_edges
                 .push((sub_name.clone(), name.clone()));
+            self.touch_type(sub);
             self.types[sub.index()].supertypes.retain(|&s| s != id);
             match mode {
                 RemoveTypeMode::RewireSubtypes => {
@@ -599,6 +803,8 @@ impl SchemaGraph {
             }
         }
 
+        self.touch_type(id);
+        self.touch_name(&name);
         let node = &mut self.types[id.index()];
         node.alive = false;
         node.attrs.clear();
@@ -630,6 +836,9 @@ impl SchemaGraph {
             // `sub` is already an ancestor of `sup`: adding the edge closes a cycle.
             return Err(ModelError::SupertypeCycle { sub, sup });
         }
+        self.bump();
+        self.touch_type(sub);
+        self.touch_type(sup);
         self.types[sub.index()].supertypes.push(sup);
         self.types[sup.index()].subtypes.push(sub);
         Ok(())
@@ -642,6 +851,9 @@ impl SchemaGraph {
         if !self.ty(sub).supertypes.contains(&sup) {
             return Err(ModelError::NoSuchSupertype { sub, sup });
         }
+        self.bump();
+        self.touch_type(sub);
+        self.touch_type(sup);
         self.types[sub.index()].supertypes.retain(|&s| s != sup);
         self.types[sup.index()].subtypes.retain(|&s| s != sub);
         Ok(())
@@ -681,6 +893,8 @@ impl SchemaGraph {
     ) -> Result<AttrId, ModelError> {
         self.check_live(owner)?;
         self.check_member_free(owner, name)?;
+        self.bump();
+        self.touch_type(owner);
         let id = AttrId(self.attrs.len() as u32);
         self.attrs.push(AttrNode {
             owner,
@@ -702,8 +916,11 @@ impl SchemaGraph {
             .ok_or(ModelError::DeadAttr(id))?;
         let owner = node.owner;
         let name = node.name.clone();
+        self.bump();
         let mut report = CascadeReport::default();
         self.prune_attr_references(owner, &name, &mut report);
+        self.touch_attr(id);
+        self.touch_type(owner);
         self.attrs[id.index()].alive = false;
         self.types[owner.index()].attrs.retain(|&a| a != id);
         Ok(report)
@@ -729,8 +946,12 @@ impl SchemaGraph {
             return Ok(CascadeReport::default());
         }
         self.check_member_free(new_owner, &name)?;
+        self.bump();
         let mut report = CascadeReport::default();
         self.prune_attr_references(old_owner, &name, &mut report);
+        self.touch_type(old_owner);
+        self.touch_type(new_owner);
+        self.touch_attr(id);
         self.types[old_owner.index()].attrs.retain(|&a| a != id);
         self.types[new_owner.index()].attrs.push(id);
         self.attrs[id.index()].owner = new_owner;
@@ -739,23 +960,23 @@ impl SchemaGraph {
 
     /// Change an attribute's domain type.
     pub fn set_attr_type(&mut self, id: AttrId, ty: DomainType) -> Result<(), ModelError> {
-        let node = self
-            .attrs
-            .get_mut(id.index())
-            .filter(|n| n.alive)
-            .ok_or(ModelError::DeadAttr(id))?;
-        node.ty = ty;
+        if self.try_attr(id).is_none() {
+            return Err(ModelError::DeadAttr(id));
+        }
+        self.bump();
+        self.touch_attr(id);
+        self.attrs[id.index()].ty = ty;
         Ok(())
     }
 
     /// Change an attribute's size constraint.
     pub fn set_attr_size(&mut self, id: AttrId, size: Option<u32>) -> Result<(), ModelError> {
-        let node = self
-            .attrs
-            .get_mut(id.index())
-            .filter(|n| n.alive)
-            .ok_or(ModelError::DeadAttr(id))?;
-        node.size = size;
+        if self.try_attr(id).is_none() {
+            return Err(ModelError::DeadAttr(id));
+        }
+        self.bump();
+        self.touch_attr(id);
+        self.attrs[id.index()].size = size;
         Ok(())
     }
 
@@ -764,6 +985,7 @@ impl SchemaGraph {
     fn prune_attr_references(&mut self, owner: TypeId, name: &str, report: &mut CascadeReport) {
         let owner_name = self.ty(owner).name.clone();
         // Keys of the owner.
+        self.touch_type(owner);
         let node = &mut self.types[owner.index()];
         let mut pruned_keys = Vec::new();
         node.keys.retain(|k| {
@@ -789,6 +1011,7 @@ impl SchemaGraph {
                 {
                     let end_owner = self.ty(self.rels[r].ends[e].owner).name.clone();
                     let path = self.rels[r].ends[e].path.clone();
+                    self.touch_rel(RelId(r as u32));
                     self.rels[r].ends[e].order_by.retain(|a| a != name);
                     report
                         .order_by_pruned
@@ -804,6 +1027,7 @@ impl SchemaGraph {
             if self.links[l].child == owner && self.links[l].order_by.iter().any(|a| a == name) {
                 let parent_name = self.ty(self.links[l].parent).name.clone();
                 let path = self.links[l].parent_path.clone();
+                self.touch_link(LinkId(l as u32));
                 self.links[l].order_by.retain(|a| a != name);
                 report
                     .order_by_pruned
@@ -840,6 +1064,9 @@ impl SchemaGraph {
             });
         }
         self.check_member_free(b_owner, b_path)?;
+        self.bump();
+        self.touch_type(a_owner);
+        self.touch_type(b_owner);
         let id = RelId(self.rels.len() as u32);
         self.rels.push(RelNode {
             ends: [
@@ -872,6 +1099,7 @@ impl SchemaGraph {
             .ok_or(ModelError::DeadRel(id))?;
         let a = node.ends[0].clone();
         let b = node.ends[1].clone();
+        self.bump();
         let mut report = CascadeReport::default();
         report.removed_rels.push((
             self.ty(a.owner).name.clone(),
@@ -879,6 +1107,9 @@ impl SchemaGraph {
             self.ty(b.owner).name.clone(),
             b.path.clone(),
         ));
+        self.touch_rel(id);
+        self.touch_type(a.owner);
+        self.touch_type(b.owner);
         self.types[a.owner.index()]
             .rel_ends
             .retain(|&(r, _)| r != id);
@@ -910,6 +1141,10 @@ impl SchemaGraph {
             return Ok(());
         }
         self.check_member_free(new_owner, &path)?;
+        self.bump();
+        self.touch_type(old_owner);
+        self.touch_type(new_owner);
+        self.touch_rel(id);
         self.types[old_owner.index()]
             .rel_ends
             .retain(|&(r, e)| !(r == id && e == end));
@@ -925,12 +1160,12 @@ impl SchemaGraph {
         end: u8,
         cardinality: Cardinality,
     ) -> Result<(), ModelError> {
-        let node = self
-            .rels
-            .get_mut(id.index())
-            .filter(|n| n.alive)
-            .ok_or(ModelError::DeadRel(id))?;
-        node.ends[end as usize].cardinality = cardinality;
+        if self.try_rel(id).is_none() {
+            return Err(ModelError::DeadRel(id));
+        }
+        self.bump();
+        self.touch_rel(id);
+        self.rels[id.index()].ends[end as usize].cardinality = cardinality;
         Ok(())
     }
 
@@ -941,12 +1176,12 @@ impl SchemaGraph {
         end: u8,
         order_by: Vec<String>,
     ) -> Result<(), ModelError> {
-        let node = self
-            .rels
-            .get_mut(id.index())
-            .filter(|n| n.alive)
-            .ok_or(ModelError::DeadRel(id))?;
-        node.ends[end as usize].order_by = order_by;
+        if self.try_rel(id).is_none() {
+            return Err(ModelError::DeadRel(id));
+        }
+        self.bump();
+        self.touch_rel(id);
+        self.rels[id.index()].ends[end as usize].order_by = order_by;
         Ok(())
     }
 
@@ -959,6 +1194,8 @@ impl SchemaGraph {
     pub fn add_operation(&mut self, owner: TypeId, op: Operation) -> Result<OpId, ModelError> {
         self.check_live(owner)?;
         self.check_member_free(owner, &op.name)?;
+        self.bump();
+        self.touch_type(owner);
         let id = OpId(self.ops.len() as u32);
         self.ops.push(OpNode {
             owner,
@@ -977,10 +1214,14 @@ impl SchemaGraph {
             .filter(|n| n.alive)
             .ok_or(ModelError::DeadOp(id))?;
         let owner = node.owner;
+        let op_name = node.op.name.clone();
+        self.bump();
         let mut report = CascadeReport::default();
         report
             .removed_ops
-            .push((self.ty(owner).name.clone(), node.op.name.clone()));
+            .push((self.ty(owner).name.clone(), op_name));
+        self.touch_type(owner);
+        self.touch_op(id);
         self.types[owner.index()].ops.retain(|&o| o != id);
         self.ops[id.index()].alive = false;
         Ok(report)
@@ -1001,6 +1242,10 @@ impl SchemaGraph {
             return Ok(());
         }
         self.check_member_free(new_owner, &name)?;
+        self.bump();
+        self.touch_type(old_owner);
+        self.touch_type(new_owner);
+        self.touch_op(id);
         self.types[old_owner.index()].ops.retain(|&o| o != id);
         self.types[new_owner.index()].ops.push(id);
         self.ops[id.index()].owner = new_owner;
@@ -1009,34 +1254,34 @@ impl SchemaGraph {
 
     /// Change an operation's return type.
     pub fn set_op_return(&mut self, id: OpId, return_type: DomainType) -> Result<(), ModelError> {
-        let node = self
-            .ops
-            .get_mut(id.index())
-            .filter(|n| n.alive)
-            .ok_or(ModelError::DeadOp(id))?;
-        node.op.return_type = return_type;
+        if self.try_op(id).is_none() {
+            return Err(ModelError::DeadOp(id));
+        }
+        self.bump();
+        self.touch_op(id);
+        self.ops[id.index()].op.return_type = return_type;
         Ok(())
     }
 
     /// Replace an operation's argument list.
     pub fn set_op_args(&mut self, id: OpId, args: Vec<Param>) -> Result<(), ModelError> {
-        let node = self
-            .ops
-            .get_mut(id.index())
-            .filter(|n| n.alive)
-            .ok_or(ModelError::DeadOp(id))?;
-        node.op.args = args;
+        if self.try_op(id).is_none() {
+            return Err(ModelError::DeadOp(id));
+        }
+        self.bump();
+        self.touch_op(id);
+        self.ops[id.index()].op.args = args;
         Ok(())
     }
 
     /// Replace an operation's raised-exception list.
     pub fn set_op_raises(&mut self, id: OpId, raises: Vec<String>) -> Result<(), ModelError> {
-        let node = self
-            .ops
-            .get_mut(id.index())
-            .filter(|n| n.alive)
-            .ok_or(ModelError::DeadOp(id))?;
-        node.op.raises = raises;
+        if self.try_op(id).is_none() {
+            return Err(ModelError::DeadOp(id));
+        }
+        self.bump();
+        self.touch_op(id);
+        self.ops[id.index()].op.raises = raises;
         Ok(())
     }
 
@@ -1068,6 +1313,9 @@ impl SchemaGraph {
         }
         self.check_member_free(parent, parent_path)?;
         self.check_member_free(child, child_path)?;
+        self.bump();
+        self.touch_type(parent);
+        self.touch_type(child);
         let id = LinkId(self.links.len() as u32);
         self.links.push(LinkNode {
             kind,
@@ -1120,6 +1368,7 @@ impl SchemaGraph {
             .ok_or(ModelError::DeadLink(id))?;
         let (kind, parent, child) = (node.kind, node.parent, node.child);
         let (ppath, cpath) = (node.parent_path.clone(), node.child_path.clone());
+        self.bump();
         let mut report = CascadeReport::default();
         report.removed_links.push((
             kind,
@@ -1128,6 +1377,9 @@ impl SchemaGraph {
             self.ty(child).name.clone(),
             cpath,
         ));
+        self.touch_link(id);
+        self.touch_type(parent);
+        self.touch_type(child);
         self.types[parent.index()].parent_links.retain(|&l| l != id);
         self.types[child.index()].child_links.retain(|&l| l != id);
         self.links[id.index()].alive = false;
@@ -1173,6 +1425,10 @@ impl SchemaGraph {
                 child: c,
             });
         }
+        self.bump();
+        self.touch_type(old_type);
+        self.touch_type(new_type);
+        self.touch_link(id);
         match side {
             LinkSide::Parent => {
                 self.types[old_type.index()]
@@ -1235,12 +1491,12 @@ impl SchemaGraph {
         id: LinkId,
         collection: CollectionKind,
     ) -> Result<(), ModelError> {
-        let node = self
-            .links
-            .get_mut(id.index())
-            .filter(|n| n.alive)
-            .ok_or(ModelError::DeadLink(id))?;
-        node.collection = collection;
+        if self.try_link(id).is_none() {
+            return Err(ModelError::DeadLink(id));
+        }
+        self.bump();
+        self.touch_link(id);
+        self.links[id.index()].collection = collection;
         Ok(())
     }
 
@@ -1250,13 +1506,59 @@ impl SchemaGraph {
         id: LinkId,
         order_by: Vec<String>,
     ) -> Result<(), ModelError> {
-        let node = self
-            .links
-            .get_mut(id.index())
-            .filter(|n| n.alive)
-            .ok_or(ModelError::DeadLink(id))?;
-        node.order_by = order_by;
+        if self.try_link(id).is_none() {
+            return Err(ModelError::DeadLink(id));
+        }
+        self.bump();
+        self.touch_link(id);
+        self.links[id.index()].order_by = order_by;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Test-only malformation helpers
+    // ------------------------------------------------------------------
+
+    /// Force a supertype edge WITHOUT the cycle check, producing a malformed
+    /// graph. Used by tests that exercise traversal guards on cyclic input
+    /// (mid-edit states can be arbitrarily ill-formed).
+    #[cfg(test)]
+    pub(crate) fn force_supertype_edge(&mut self, sub: TypeId, sup: TypeId) {
+        self.bump();
+        self.touch_type(sub);
+        self.touch_type(sup);
+        self.types[sub.index()].supertypes.push(sup);
+        self.types[sup.index()].subtypes.push(sub);
+    }
+
+    /// Force a hierarchy link WITHOUT the cycle check (see
+    /// [`Self::force_supertype_edge`]).
+    #[cfg(test)]
+    pub(crate) fn force_link(
+        &mut self,
+        kind: HierKind,
+        parent: TypeId,
+        parent_path: &str,
+        child: TypeId,
+        child_path: &str,
+    ) -> LinkId {
+        self.bump();
+        self.touch_type(parent);
+        self.touch_type(child);
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkNode {
+            kind,
+            parent,
+            parent_path: parent_path.to_string(),
+            collection: CollectionKind::Set,
+            order_by: Vec::new(),
+            child,
+            child_path: child_path.to_string(),
+            alive: true,
+        });
+        self.types[parent.index()].parent_links.push(id);
+        self.types[child.index()].child_links.push(id);
+        id
     }
 
     // ------------------------------------------------------------------
@@ -1748,6 +2050,82 @@ mod tests {
         .unwrap();
         // 2 types + 1 supertype edge + 1 attr + 1 rel = 5
         assert_eq!(g.construct_count(), 5);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut g = graph();
+        let g0 = g.generation();
+        let a = g.add_type("A").unwrap();
+        assert!(g.generation() > g0);
+        let g1 = g.generation();
+        g.add_attribute(a, "x", DomainType::Long, None).unwrap();
+        assert!(g.generation() > g1);
+        let g2 = g.generation();
+        // Failed mutations do not bump.
+        assert!(g.add_type("A").is_err());
+        assert_eq!(g.generation(), g2);
+        g.remove_type(a, RemoveTypeMode::default()).unwrap();
+        assert!(g.generation() > g2);
+    }
+
+    #[test]
+    fn undo_rollback_restores_exact_state() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_attribute(a, "x", DomainType::Long, None).unwrap();
+        g.add_key(a, Key::single("x")).unwrap();
+        let oracle = g.clone();
+
+        g.begin_undo();
+        g.add_type("C").unwrap();
+        g.add_attribute(b, "y", DomainType::String, None).unwrap();
+        g.remove_type(a, RemoveTypeMode::RewireSubtypes).unwrap();
+        g.rollback_undo();
+
+        assert!(crate::diff::diff_graphs(&oracle, &g).is_empty());
+        // IDs are restored exactly, not just structure.
+        assert_eq!(g.type_id("A"), Some(a));
+        assert_eq!(g.ty(a).keys, vec![Key::single("x")]);
+        assert_eq!(g.ty(a).subtypes, vec![b]);
+        assert_eq!(g.type_id("C"), None);
+    }
+
+    #[test]
+    fn undo_commit_then_revert() {
+        let mut g = graph();
+        let a = g.add_type("A").unwrap();
+        let oracle = g.clone();
+
+        g.begin_undo();
+        g.add_attribute(a, "x", DomainType::Long, None).unwrap();
+        let p1 = g.commit_undo();
+        g.begin_undo();
+        g.remove_type(a, RemoveTypeMode::default()).unwrap();
+        let p2 = g.commit_undo();
+        assert!(p2.touched() > 0);
+
+        // Mutations are kept by commit; reverting in reverse order undoes
+        // them one transaction at a time.
+        assert_eq!(g.type_id("A"), None);
+        g.revert(&p2);
+        assert_eq!(g.type_id("A"), Some(a));
+        assert!(g.find_attr(a, "x").is_some());
+        g.revert(&p1);
+        assert!(g.find_attr(a, "x").is_none());
+        assert!(crate::diff::diff_graphs(&oracle, &g).is_empty());
+    }
+
+    #[test]
+    fn undo_revert_bumps_generation() {
+        let mut g = graph();
+        g.begin_undo();
+        g.add_type("A").unwrap();
+        let before = g.generation();
+        g.rollback_undo();
+        assert!(g.generation() > before);
     }
 
     #[test]

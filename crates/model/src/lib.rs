@@ -16,10 +16,12 @@
 //!   graphs,
 //! * [`query`] — generalization/aggregation/instance-of hierarchy queries
 //!   (ancestors, descendants, roots, paths, components),
+//! * [`cache`] — generation-stamped memoization of the hot queries,
 //! * [`wf`] — graph-level well-formedness checking,
 //! * [`diff`] — structural diff between two graphs,
 //! * [`error`] — mutation error type.
 
+pub mod cache;
 pub mod diff;
 pub mod error;
 pub mod graph;
@@ -28,13 +30,14 @@ pub mod lower;
 pub mod query;
 pub mod wf;
 
+pub use cache::QueryCache;
 pub use diff::{diff_graphs, MemberChange, SchemaDiff, TypeDiff};
 pub use error::ModelError;
 pub use graph::LinkSide;
 pub use graph::{
     AttrNode, CascadeReport, LinkNode, OpNode, RelEnd, RelNode, RemoveTypeMode, SchemaGraph,
-    TypeNode,
+    TypeNode, UndoPatch,
 };
 pub use ids::{AttrId, LinkId, OpId, RelId, TypeId};
 pub use lower::{graph_to_schema, schema_to_graph, LowerError};
-pub use wf::{check_well_formed, WfIssue};
+pub use wf::{check_type_well_formed, check_well_formed, check_well_formed_with, WfIssue};

@@ -324,6 +324,80 @@ mod tests {
         assert_eq!(members.iter().filter(|(n, _)| n == "enroll").count(), 1);
     }
 
+    /// A deliberately malformed graph: A → B → C → A generalization cycle
+    /// (forced past the mutators' cycle check). Mid-edit states can be
+    /// arbitrarily ill-formed, so every traversal must terminate on it.
+    fn cyclic_gen_graph() -> (SchemaGraph, TypeId, TypeId, TypeId) {
+        let mut g = SchemaGraph::new("cyclic");
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        let c = g.add_type("C").unwrap();
+        g.add_supertype(a, b).unwrap();
+        g.add_supertype(b, c).unwrap();
+        g.force_supertype_edge(c, a); // closes the cycle
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn ancestors_terminate_on_generalization_cycle() {
+        let (g, a, b, c) = cyclic_gen_graph();
+        // Every member of the cycle is an ancestor of every member,
+        // including itself; the visited set must stop the walk.
+        for t in [a, b, c] {
+            let anc = ancestors(&g, t);
+            assert_eq!(anc.len(), 3, "each cycle member visited exactly once");
+            assert!(anc.contains(&t), "cycle makes a type its own ancestor");
+        }
+        assert!(is_ancestor(&g, a, a));
+    }
+
+    #[test]
+    fn descendants_terminate_on_generalization_cycle() {
+        let (g, a, b, c) = cyclic_gen_graph();
+        for t in [a, b, c] {
+            let desc = descendants(&g, t);
+            assert_eq!(desc.len(), 3);
+            assert!(desc.contains(&t));
+        }
+    }
+
+    #[test]
+    fn components_and_visible_members_terminate_on_cycle() {
+        let (mut g, a, _, _) = cyclic_gen_graph();
+        g.add_attribute(a, "x", DomainType::Long, None).unwrap();
+        let components = generalization_components(&g);
+        assert_eq!(components.len(), 1);
+        assert_eq!(components[0].len(), 3);
+        // `x` is found exactly once even though every type "inherits" from
+        // every other around the cycle.
+        let members = visible_members(&g, a);
+        assert_eq!(members.iter().filter(|(n, _)| n == "x").count(), 1);
+    }
+
+    #[test]
+    fn hier_closure_terminates_on_link_cycle() {
+        let mut g = SchemaGraph::new("cyclic");
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_link(
+            HierKind::PartOf,
+            a,
+            "bs",
+            CollectionKind::Set,
+            vec![],
+            b,
+            "a_of",
+        )
+        .unwrap();
+        let back = g.force_link(HierKind::PartOf, b, "as_", a, "b_of");
+        let (types, links) = hier_closure(&g, HierKind::PartOf, a);
+        assert_eq!(types, vec![a, b]);
+        assert_eq!(links.len(), 2);
+        assert!(links.contains(&back));
+        // Parent walks terminate too (wf's cycle detection relies on this).
+        assert_eq!(hier_parents(&g, HierKind::PartOf, a), vec![(back, b)]);
+    }
+
     #[test]
     fn visible_members_include_paths() {
         let mut g = SchemaGraph::new("t");

@@ -5,6 +5,7 @@
 //! — the ones expressible on the graph alone. Cross-concept-schema
 //! interaction checks live in `sws-core::consistency` on top of these.
 
+use crate::cache::QueryCache;
 use crate::graph::SchemaGraph;
 use crate::ids::TypeId;
 use crate::query;
@@ -87,43 +88,83 @@ impl fmt::Display for WfIssue {
 }
 
 /// Check the whole graph, returning every finding (empty = well-formed).
+///
+/// Convenience wrapper over [`check_well_formed_with`] with a throwaway
+/// [`QueryCache`] (still worthwhile: one full pass re-walks the same
+/// ancestor chains many times over).
 pub fn check_well_formed(g: &SchemaGraph) -> Vec<WfIssue> {
+    check_well_formed_with(g, &QueryCache::new())
+}
+
+/// Check the whole graph using (and filling) the caller's [`QueryCache`].
+///
+/// The result is exactly the union of [`check_type_well_formed`] over every
+/// live type — the incremental consistency engine in `sws-core` relies on
+/// this decomposition.
+pub fn check_well_formed_with(g: &SchemaGraph, qc: &QueryCache) -> Vec<WfIssue> {
     let mut sp = sws_trace::span!("model.wf", types = g.type_count());
+    let check_gen_cycles = g.type_count() < 10_000;
     let mut issues = Vec::new();
-    for (id, node) in g.types() {
-        check_inherited_conflicts(g, id, &mut issues);
-        check_keys(g, id, &mut issues);
-        check_dangling(g, id, &mut issues);
-        if g.types().count() < 10_000 && has_gen_cycle(g, id) {
-            issues.push(WfIssue::GeneralizationCycle {
-                ty: node.name.clone(),
-            });
-        }
-        for kind in [HierKind::PartOf, HierKind::InstanceOf] {
-            if has_hier_cycle(g, kind, id) {
-                issues.push(WfIssue::HierarchyCycle {
-                    kind,
-                    ty: node.name.clone(),
-                });
-            }
-        }
+    for (id, _) in g.types() {
+        check_one_type(g, qc, id, check_gen_cycles, &mut issues);
     }
-    check_order_bys(g, &mut issues);
     sp.record("issues", issues.len());
     issues
 }
 
+/// Every well-formedness finding attributable to type `id`: inherited-member
+/// conflicts, key and dangling references, cycle participation, and the
+/// order-by lists of relationship ends owned by `id` and of links parented
+/// by `id`. The union over all live types equals [`check_well_formed`].
+pub fn check_type_well_formed(g: &SchemaGraph, qc: &QueryCache, id: TypeId) -> Vec<WfIssue> {
+    let mut issues = Vec::new();
+    check_one_type(g, qc, id, g.type_count() < 10_000, &mut issues);
+    issues
+}
+
+fn check_one_type(
+    g: &SchemaGraph,
+    qc: &QueryCache,
+    id: TypeId,
+    check_gen_cycles: bool,
+    issues: &mut Vec<WfIssue>,
+) {
+    let node = g.ty(id);
+    check_inherited_conflicts(g, qc, id, issues);
+    check_keys(g, qc, id, issues);
+    check_dangling(g, id, issues);
+    if check_gen_cycles && has_gen_cycle(g, id) {
+        issues.push(WfIssue::GeneralizationCycle {
+            ty: node.name.clone(),
+        });
+    }
+    for kind in [HierKind::PartOf, HierKind::InstanceOf] {
+        if has_hier_cycle(g, kind, id) {
+            issues.push(WfIssue::HierarchyCycle {
+                kind,
+                ty: node.name.clone(),
+            });
+        }
+    }
+    check_order_bys(g, qc, id, issues);
+}
+
 /// True if `attr` is an attribute of `t` or of one of its ancestors.
-fn attr_visible(g: &SchemaGraph, t: TypeId, attr: &str) -> bool {
+fn attr_visible(g: &SchemaGraph, qc: &QueryCache, t: TypeId, attr: &str) -> bool {
     if g.find_attr(t, attr).is_some() {
         return true;
     }
-    query::ancestors(g, t)
+    qc.ancestors(g, t)
         .iter()
         .any(|&anc| g.find_attr(anc, attr).is_some())
 }
 
-fn check_inherited_conflicts(g: &SchemaGraph, id: TypeId, issues: &mut Vec<WfIssue>) {
+fn check_inherited_conflicts(
+    g: &SchemaGraph,
+    qc: &QueryCache,
+    id: TypeId,
+    issues: &mut Vec<WfIssue>,
+) {
     let node = g.ty(id);
     // Own non-operation member names; operations may override operations.
     let mut own: Vec<(&str, bool)> = Vec::new(); // (name, is_operation)
@@ -142,7 +183,7 @@ fn check_inherited_conflicts(g: &SchemaGraph, id: TypeId, issues: &mut Vec<WfIss
     for &o in &node.ops {
         own.push((&g.op(o).op.name, true));
     }
-    for anc in query::ancestors(g, id) {
+    for &anc in qc.ancestors(g, id).iter() {
         let anc_node = g.ty(anc);
         let anc_members: BTreeSet<&str> = anc_node
             .attrs
@@ -191,11 +232,11 @@ fn check_inherited_conflicts(g: &SchemaGraph, id: TypeId, issues: &mut Vec<WfIss
     }
 }
 
-fn check_keys(g: &SchemaGraph, id: TypeId, issues: &mut Vec<WfIssue>) {
+fn check_keys(g: &SchemaGraph, qc: &QueryCache, id: TypeId, issues: &mut Vec<WfIssue>) {
     let node = g.ty(id);
     for key in &node.keys {
         for attr in &key.0 {
-            if !attr_visible(g, id, attr) {
+            if !attr_visible(g, qc, id, attr) {
                 issues.push(WfIssue::KeyAttributeMissing {
                     ty: node.name.clone(),
                     key: key.to_string(),
@@ -206,26 +247,30 @@ fn check_keys(g: &SchemaGraph, id: TypeId, issues: &mut Vec<WfIssue>) {
     }
 }
 
-fn check_order_bys(g: &SchemaGraph, issues: &mut Vec<WfIssue>) {
-    for (_, rel) in g.rels() {
-        for e in 0..2u8 {
-            let end = rel.end(e);
-            let target = rel.other(e).owner;
-            for attr in &end.order_by {
-                if !attr_visible(g, target, attr) {
-                    issues.push(WfIssue::OrderByAttributeMissing {
-                        ty: g.type_name(end.owner).to_string(),
-                        path: end.path.clone(),
-                        target: g.type_name(target).to_string(),
-                        attribute: attr.clone(),
-                    });
-                }
+/// Order-by findings attributed to `id`: relationship ends owned by `id`
+/// (checked against the opposite end's owner) and links parented by `id`
+/// (checked against the child type).
+fn check_order_bys(g: &SchemaGraph, qc: &QueryCache, id: TypeId, issues: &mut Vec<WfIssue>) {
+    let node = g.ty(id);
+    for &(r, e) in &node.rel_ends {
+        let rel = g.rel(r);
+        let end = rel.end(e);
+        let target = rel.other(e).owner;
+        for attr in &end.order_by {
+            if !attr_visible(g, qc, target, attr) {
+                issues.push(WfIssue::OrderByAttributeMissing {
+                    ty: g.type_name(end.owner).to_string(),
+                    path: end.path.clone(),
+                    target: g.type_name(target).to_string(),
+                    attribute: attr.clone(),
+                });
             }
         }
     }
-    for (_, link) in g.links() {
+    for &l in &node.parent_links {
+        let link = g.link(l);
         for attr in &link.order_by {
-            if !attr_visible(g, link.child, attr) {
+            if !attr_visible(g, qc, link.child, attr) {
                 issues.push(WfIssue::OrderByAttributeMissing {
                     ty: g.type_name(link.parent).to_string(),
                     path: link.parent_path.clone(),

@@ -24,7 +24,7 @@ use std::io;
 use std::path::Path;
 
 use sws_core::concept::normalize_single_root;
-use sws_core::consistency::{check_consistency, ConsistencyReport};
+use sws_core::consistency::ConsistencyReport;
 use sws_core::oplang::{parse_statement, print_op};
 use sws_core::{AliasError, AliasTable, ConceptKind, Mapping, ModOp, OpError, Workspace};
 use sws_model::{graph_to_schema, schema_to_graph, LowerError, SchemaGraph};
@@ -206,9 +206,10 @@ impl Repository {
         Mapping::derive(&self.workspace)
     }
 
-    /// Run the consistency checks on the custom schema.
+    /// Run the consistency checks on the custom schema (served by the
+    /// workspace's incremental engine).
     pub fn consistency(&self) -> ConsistencyReport {
-        check_consistency(self.workspace.working(), self.workspace.shrink_wrap())
+        self.workspace.consistency()
     }
 
     /// The op log in the persistent line format.

@@ -178,18 +178,32 @@ impl Cursor {
 
     /// A domain type, with `set<...>`, `array<T, n>` etc.
     fn domain_type(&mut self) -> Result<DomainType, OdlError> {
+        self.domain_type_at(0)
+    }
+
+    fn domain_type_at(&mut self, depth: usize) -> Result<DomainType, OdlError> {
+        // Bounded like the ODL parser: `set<set<...` from a hostile or
+        // corrupted op log must error, not overflow the stack.
+        if depth >= sws_odl::MAX_TYPE_NESTING {
+            return Err(OdlError::new(
+                self.span(),
+                OdlErrorKind::NestingTooDeep {
+                    limit: sws_odl::MAX_TYPE_NESTING,
+                },
+            ));
+        }
         let word = self.ident("a type")?;
         match word.as_str() {
             "set" | "list" | "bag" if matches!(self.peek(), Token::Lt) => {
                 let kind = collection_kind(&word).expect("matched above");
                 self.advance();
-                let elem = self.domain_type()?;
+                let elem = self.domain_type_at(depth + 1)?;
                 self.expect(&Token::Gt, "`>`")?;
                 Ok(DomainType::Collection(kind, Box::new(elem)))
             }
             "array" => {
                 self.expect(&Token::Lt, "`<`")?;
-                let elem = self.domain_type()?;
+                let elem = self.domain_type_at(depth + 1)?;
                 self.comma()?;
                 let n = self.number("array length")?;
                 self.expect(&Token::Gt, "`>`")?;
@@ -1205,5 +1219,27 @@ mod tests {
         let text = print_script(&ops);
         assert_eq!(text.lines().count(), 2);
         assert_eq!(parse_script(&text).unwrap(), ops);
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        // A hostile or corrupted op log must not blow the stack: the
+        // depth guard caps `set<set<...` recursion with a typed error.
+        let bomb = format!("add_attribute(T, {}long, x)", "set<".repeat(10_000));
+        let err = parse_statement(&bomb).unwrap_err();
+        assert_eq!(
+            err.kind,
+            OdlErrorKind::NestingTooDeep {
+                limit: sws_odl::MAX_TYPE_NESTING
+            }
+        );
+        // Just under the limit still parses.
+        let depth = sws_odl::MAX_TYPE_NESTING - 1;
+        let ok = format!(
+            "add_attribute(T, {}long{}, x)",
+            "set<".repeat(depth),
+            ">".repeat(depth)
+        );
+        round_trip(&ok);
     }
 }

@@ -114,6 +114,30 @@ pub fn graph() -> SchemaGraph {
     crate::load(SOURCE)
 }
 
+/// A canned design session against [`graph`]: `(context tag, statement)`
+/// pairs in the modification language, every prefix of which is valid
+/// through the full permission/constraint pipeline. The crash-consistency
+/// and salvage test fixtures replay prefixes of this script.
+pub const DESIGN_SCRIPT: &[(&str, &str)] = &[
+    ("wagon_wheel", "add_type_definition(Schedule)"),
+    ("wagon_wheel", "add_attribute(Schedule, string(32), label)"),
+    (
+        "wagon_wheel",
+        "add_attribute(CourseOffering, string(16), building)",
+    ),
+    (
+        "generalization",
+        "modify_attribute(Employee, badge, Person)",
+    ),
+    ("wagon_wheel", "add_type_definition(Annex)"),
+    (
+        "wagon_wheel",
+        "add_attribute(Annex, unsigned_long, capacity)",
+    ),
+    ("wagon_wheel", "add_attribute(Person, date, birthday)"),
+    ("wagon_wheel", "add_attribute(Syllabus, string(64), author)"),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;

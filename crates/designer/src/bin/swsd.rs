@@ -10,31 +10,95 @@
 //! Reads commands from stdin (see `help`), writes to stdout. Scriptable:
 //! `swsd --schema uni.odl < script.txt`.
 //!
+//! `--session` loads in salvage mode: a damaged directory is repaired
+//! (bad op-log lines quarantined, derived files regenerated) and the
+//! recovery report is printed to stderr. Add `--strict` to fail on the
+//! first inconsistency instead. While a session directory is attached,
+//! every applied op is durably appended to its log, and a full save runs
+//! on `quit`.
+//!
 //! Add `--trace` to record structured spans for the whole session and dump
 //! a human-readable trace tree plus a counter/timing summary to stderr on
 //! exit; `--trace=json` dumps the raw trace as JSON lines instead (one
 //! object per span/event), for machine consumption.
+//!
+//! Exit codes (also via `--help`):
+//!
+//! ```text
+//! 0  clean run
+//! 2  usage error
+//! 3  schema did not parse
+//! 4  session directory corrupt / replay failed (strict mode)
+//! 5  I/O failure
+//! 6  session recovered, but with data loss (ops dropped or files lost)
+//! ```
 
 use std::io::{self, BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
-use sws_designer::{execute, CommandOutcome, Session};
+use sws_designer::{execute, CommandOutcome, Session, SessionError};
+use sws_repository::RepoError;
 use sws_trace::{render_tree, to_jsonl, Recorder, TraceSummary};
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum TraceMode {
-    Tree,
-    Json,
+const EXIT_USAGE: u8 = 2;
+const EXIT_PARSE: u8 = 3;
+const EXIT_CORRUPT: u8 = 4;
+const EXIT_IO: u8 = 5;
+const EXIT_RECOVERED: u8 = 6;
+
+const USAGE: &str = "usage: swsd [--trace[=json]] [--strict] --schema <file.odl> | --session <dir>";
+
+const HELP: &str = "\
+swsd — interactive shrink-wrap-schema designer
+
+usage:
+  swsd [--trace[=json]] [--strict] --schema <file.odl>
+  swsd [--trace[=json]] [--strict] --session <dir>
+
+options:
+  --schema <file.odl>  start a fresh session on an extended-ODL schema
+  --session <dir>      resume a saved session directory; loads in salvage
+                       mode (damage repaired and reported) unless --strict
+  --strict             fail on the first checksum/parse/replay
+                       inconsistency instead of salvaging
+  --trace[=json]       dump a structured trace to stderr on exit
+  --help               show this help
+
+exit codes:
+  0  clean run
+  2  usage error
+  3  schema did not parse
+  4  session directory corrupt / replay failed (strict mode)
+  5  I/O failure
+  6  session recovered, but with data loss (the recovery report on
+     stderr names the dropped ops and damaged files)
+";
+
+/// Which exit code a load-time failure maps to.
+fn exit_code_for(e: &SessionError) -> u8 {
+    match e {
+        SessionError::Parse(_) => EXIT_PARSE,
+        SessionError::Repo(RepoError::Io(_)) => EXIT_IO,
+        SessionError::Repo(RepoError::Odl(_) | RepoError::Lower(_)) => EXIT_PARSE,
+        SessionError::Repo(_) => EXIT_CORRUPT,
+        _ => EXIT_CORRUPT,
+    }
 }
 
 fn main() -> ExitCode {
     let mut trace_mode = None;
+    let mut strict = false;
     let mut args = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--trace" => trace_mode = Some(TraceMode::Tree),
             "--trace=json" => trace_mode = Some(TraceMode::Json),
+            "--strict" => strict = true,
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
             _ => args.push(arg),
         }
     }
@@ -51,24 +115,38 @@ fn main() -> ExitCode {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("swsd: cannot read {value}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_IO);
                 }
             };
             Session::from_odl(&source)
         }
-        [flag, value] if flag == "--session" => Session::load(Path::new(value)),
+        [flag, value] if flag == "--session" => {
+            if strict {
+                Session::load_strict(Path::new(value))
+            } else {
+                Session::load(Path::new(value))
+            }
+        }
         _ => {
-            eprintln!("usage: swsd [--trace[=json]] --schema <file.odl> | --session <dir>");
-            return ExitCode::FAILURE;
+            eprintln!("{USAGE}");
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let mut session = match session {
         Ok(s) => s,
         Err(e) => {
             eprintln!("swsd: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit_code_for(&e));
         }
     };
+
+    // Salvage outcome: report damage to stderr; data loss taints the exit
+    // code even though the session runs.
+    let mut recovered_with_loss = false;
+    if let Some(report) = session.recovery().filter(|r| !r.is_clean()) {
+        eprint!("swsd: session directory was damaged\n{}", report.render());
+        recovered_with_loss = report.data_loss();
+    }
 
     let created = session.repository().created_roots().to_vec();
     let stdout = io::stdout();
@@ -101,6 +179,18 @@ fn main() -> ExitCode {
         }
     }
 
+    // Recommit the attached session directory: the appends since the last
+    // full save left the derived files and manifest behind the log.
+    let mut exit = if recovered_with_loss {
+        ExitCode::from(EXIT_RECOVERED)
+    } else {
+        ExitCode::SUCCESS
+    };
+    if let Err(e) = session.final_save() {
+        eprintln!("swsd: final save failed: {e}");
+        exit = ExitCode::from(EXIT_IO);
+    }
+
     if let (Some(mode), Some(rec)) = (trace_mode, recorder) {
         let trace = rec.take();
         sws_trace::clear_global();
@@ -117,5 +207,11 @@ fn main() -> ExitCode {
             }
         }
     }
-    ExitCode::SUCCESS
+    exit
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceMode {
+    Tree,
+    Json,
 }

@@ -58,7 +58,16 @@ fn main() -> ExitCode {
                 if matrix.allows(sws_core::ConceptKind::WagonWheel, op.kind()) {
                     sws_core::ConceptKind::WagonWheel
                 } else {
-                    matrix.permitting_contexts(op.kind())[0]
+                    match matrix.permitting_contexts(op.kind()).first() {
+                        Some(&context) => context,
+                        None => {
+                            eprintln!(
+                                "swsdiff: internal error: no context permits op {i} ({})",
+                                sws_core::oplang::print_op(op)
+                            );
+                            return ExitCode::from(2);
+                        }
+                    }
                 }
             };
             if let Err(e) = ws.apply(context, op.clone()) {

@@ -97,17 +97,25 @@ pub fn execute(session: &mut Session, line: &str) -> CommandOutcome {
         "redo" => session.redo().map(|()| "redone\n".to_string()),
         "save" => session
             .save(Path::new(rest))
-            .map(|()| format!("saved to {rest}\n")),
+            .map(|()| format!("saved to {rest} (autosave on)\n")),
         "load" => Session::load(Path::new(rest)).map(|loaded| {
             *session = loaded;
-            format!("loaded from {rest}\n")
+            let mut text = format!("loaded from {rest} (autosave on)\n");
+            if let Some(report) = session.recovery().filter(|r| !r.is_clean()) {
+                text.push_str(&report.render());
+            }
+            text
         }),
         _ => session.issue_str(line).map(|fb| fb.render()),
     };
-    match result {
-        Ok(text) => CommandOutcome::Continue(text),
-        Err(e) => CommandOutcome::Continue(format!("error: {e}\n")),
+    let mut text = match result {
+        Ok(text) => text,
+        Err(e) => format!("error: {e}\n"),
+    };
+    if let Some(warning) = session.take_autosave_warning() {
+        text.push_str(&format!("warning: {warning}\n"));
     }
+    CommandOutcome::Continue(text)
 }
 
 const HELP: &str = "\

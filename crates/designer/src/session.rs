@@ -2,14 +2,15 @@
 //! issuing, feedback, and undo/redo.
 
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use sws_core::concept::{ConceptSchema, Decomposition};
 use sws_core::consistency::ConsistencyReport;
 use sws_core::oplang::parse_statement;
 use sws_core::{ConceptKind, Feedback, Mapping, ModOp, OpError};
 use sws_odl::OdlError;
-use sws_repository::{RepoError, Repository};
+use sws_repository::io::RealIo;
+use sws_repository::{append_log_line, RecoveryReport, RepoError, Repository};
 
 /// Errors surfaced to the designer.
 #[derive(Debug)]
@@ -69,6 +70,13 @@ pub struct Session {
     focus: Option<String>,
     undo_stack: Vec<Repository>,
     redo_stack: Vec<Repository>,
+    /// Directory each applied op is durably appended to. Attached by
+    /// [`Session::save`] and [`Session::load`]; detached (with a warning)
+    /// on the first append failure so a dying disk cannot wedge the REPL.
+    autosave_dir: Option<PathBuf>,
+    autosave_warning: Option<String>,
+    /// What salvage loading found, when this session came from disk.
+    recovery: Option<RecoveryReport>,
 }
 
 impl Session {
@@ -81,6 +89,9 @@ impl Session {
             focus: None,
             undo_stack: Vec::new(),
             redo_stack: Vec::new(),
+            autosave_dir: None,
+            autosave_warning: None,
+            recovery: None,
         }
     }
 
@@ -116,6 +127,9 @@ impl Session {
             Ok(()) => {
                 self.undo_stack.push(snapshot);
                 self.redo_stack.clear();
+                // Aliases live outside the op log: autosave needs a full
+                // rewrite, not an append.
+                self.autosave_full();
                 Ok(())
             }
             Err(e) => Err(SessionError::Repo(e)),
@@ -158,12 +172,19 @@ impl Session {
         self.focus = None;
     }
 
-    /// Issue an already-parsed operation in the current context.
+    /// Issue an already-parsed operation in the current context. With an
+    /// autosave directory attached, the applied op is durably appended to
+    /// the on-disk log (one fsynced record, not a full rewrite).
     pub fn issue(&mut self, op: ModOp) -> Result<Feedback, SessionError> {
         let snapshot = self.repo.clone();
-        let feedback = self.repo.workspace_mut().apply(self.context, op)?;
+        let feedback = self.repo.workspace_mut().apply(self.context, op.clone())?;
         self.undo_stack.push(snapshot);
         self.redo_stack.clear();
+        if let Some(dir) = self.autosave_dir.clone() {
+            if let Err(e) = append_log_line(&RealIo, &dir, self.context, &op) {
+                self.disable_autosave(&dir, &e);
+            }
+        }
         Ok(feedback)
     }
 
@@ -173,11 +194,13 @@ impl Session {
         self.issue(op)
     }
 
-    /// Undo the last applied operation.
+    /// Undo the last applied operation. Autosave rewrites the whole
+    /// directory: undo shortens the op log, which an append cannot express.
     pub fn undo(&mut self) -> Result<(), SessionError> {
         let snapshot = self.undo_stack.pop().ok_or(SessionError::NothingToUndo)?;
         self.redo_stack
             .push(std::mem::replace(&mut self.repo, snapshot));
+        self.autosave_full();
         Ok(())
     }
 
@@ -186,6 +209,7 @@ impl Session {
         let snapshot = self.redo_stack.pop().ok_or(SessionError::NothingToRedo)?;
         self.undo_stack
             .push(std::mem::replace(&mut self.repo, snapshot));
+        self.autosave_full();
         Ok(())
     }
 
@@ -199,14 +223,72 @@ impl Session {
         self.repo.consistency()
     }
 
-    /// Save the session.
-    pub fn save(&self, dir: &Path) -> Result<(), SessionError> {
-        self.repo.save(dir).map_err(SessionError::from)
+    /// Save the session and attach `dir` for autosave: every subsequently
+    /// issued op is durably appended to its on-disk log.
+    pub fn save(&mut self, dir: &Path) -> Result<(), SessionError> {
+        self.repo.save(dir)?;
+        self.autosave_dir = Some(dir.to_path_buf());
+        Ok(())
     }
 
-    /// Load a session from disk.
+    /// Load a session from disk in salvage mode: damage is repaired and
+    /// reported via [`Session::recovery`] rather than failing the load.
+    /// The directory is attached for autosave.
     pub fn load(dir: &Path) -> Result<Self, SessionError> {
-        Ok(Session::new(Repository::load(dir)?))
+        let (repo, report) = Repository::load_salvage(dir)?;
+        let mut session = Session::new(repo);
+        session.autosave_dir = Some(dir.to_path_buf());
+        session.recovery = Some(report);
+        Ok(session)
+    }
+
+    /// Load a session from disk strictly: fail on the first checksum,
+    /// parse, or replay inconsistency instead of salvaging.
+    pub fn load_strict(dir: &Path) -> Result<Self, SessionError> {
+        let mut session = Session::new(Repository::load(dir)?);
+        session.autosave_dir = Some(dir.to_path_buf());
+        Ok(session)
+    }
+
+    /// The salvage report from loading, when this session came from disk.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// The directory ops are autosaved to, if one is attached.
+    pub fn autosave_dir(&self) -> Option<&Path> {
+        self.autosave_dir.as_deref()
+    }
+
+    /// A pending autosave failure, if one happened; taking it clears it.
+    pub fn take_autosave_warning(&mut self) -> Option<String> {
+        self.autosave_warning.take()
+    }
+
+    /// Write a final full save to the autosave directory, refreshing the
+    /// derived files and the manifest after a run of appends.
+    pub fn final_save(&mut self) -> Result<(), SessionError> {
+        match self.autosave_dir.clone() {
+            Some(dir) => self.repo.save(&dir).map_err(SessionError::from),
+            None => Ok(()),
+        }
+    }
+
+    /// Full-directory autosave (undo/redo/alias paths); best-effort.
+    fn autosave_full(&mut self) {
+        if let Some(dir) = self.autosave_dir.clone() {
+            if let Err(e) = self.repo.save(&dir) {
+                self.disable_autosave(&dir, &SessionError::Repo(e));
+            }
+        }
+    }
+
+    fn disable_autosave(&mut self, dir: &Path, cause: &dyn fmt::Display) {
+        self.autosave_warning = Some(format!(
+            "autosave to {} failed ({cause}); autosave disabled — use `save` to retry",
+            dir.display()
+        ));
+        self.autosave_dir = None;
     }
 }
 
@@ -327,6 +409,82 @@ mod tests {
             graph_to_schema(loaded.repository().workspace().working()),
             graph_to_schema(s.repository().workspace().working())
         );
+        assert!(loaded.recovery().is_some_and(|r| r.is_clean()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn issue_after_save_appends_durably() {
+        let mut s = session();
+        let dir = std::env::temp_dir().join(format!("sws_autosave_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        s.save(&dir).unwrap();
+        assert_eq!(s.autosave_dir(), Some(dir.as_path()));
+
+        // The op reaches the on-disk log via the append alone — no
+        // explicit save between issue and load.
+        s.issue_str("add_type_definition(Project)").unwrap();
+        assert!(s.take_autosave_warning().is_none());
+        let loaded = Session::load(&dir).unwrap();
+        assert_eq!(
+            graph_to_schema(loaded.repository().workspace().working()),
+            graph_to_schema(s.repository().workspace().working())
+        );
+        // The derived files lag the appended op until a full save; the
+        // salvage load regenerates them without data loss.
+        assert!(!loaded.recovery().unwrap().data_loss());
+
+        // Undo rewrites the directory (an append cannot shorten the log).
+        s.undo().unwrap();
+        let reloaded = Session::load(&dir).unwrap();
+        assert!(reloaded.recovery().unwrap().is_clean());
+        assert_eq!(reloaded.repository().workspace().log().len(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn autosave_failure_disables_itself_with_a_warning() {
+        let mut s = session();
+        let dir = std::env::temp_dir().join(format!("sws_autosave_gone_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        s.save(&dir).unwrap();
+        // Make the directory unusable: a file where the log dir should be.
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::write(&dir, b"not a directory").unwrap();
+
+        s.issue_str("add_type_definition(Project)").unwrap();
+        let warning = s.take_autosave_warning().expect("append failure warned");
+        assert!(warning.contains("autosave disabled"), "{warning}");
+        assert_eq!(s.autosave_dir(), None);
+        // Only warned once; the session itself keeps working.
+        s.issue_str("add_type_definition(Task)").unwrap();
+        assert!(s.take_autosave_warning().is_none());
+        std::fs::remove_file(&dir).unwrap();
+    }
+
+    #[test]
+    fn strict_load_refuses_a_tampered_directory() {
+        let mut s = session();
+        let dir = std::env::temp_dir().join(format!("sws_strict_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        s.issue_str("add_type_definition(Project)").unwrap();
+        s.save(&dir).unwrap();
+        let custom = dir.join(sws_repository::CUSTOM_FILE);
+        let mut bytes = std::fs::read(&custom).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&custom, &bytes).unwrap();
+
+        assert!(matches!(
+            Session::load_strict(&dir),
+            Err(SessionError::Repo(RepoError::Corrupt { .. }))
+        ));
+        // Salvage mode loads, reports, and heals the same directory.
+        let loaded = Session::load(&dir).unwrap();
+        let report = loaded.recovery().unwrap();
+        assert!(!report.is_clean());
+        assert!(!report.data_loss());
+        assert!(Session::load_strict(&dir).is_ok(), "healed on first load");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -26,6 +26,29 @@ fn run_swsd(args: &[&str], stdin: &str) -> (String, String, bool) {
     )
 }
 
+/// Like [`run_swsd`], but returns the exact exit code.
+fn run_swsd_code(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_swsd"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("swsd spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write");
+    let output = child.wait_with_output().expect("swsd exits");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.code().expect("not killed by signal"),
+    )
+}
+
 fn schema_file() -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("swsd_cli_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -130,12 +153,106 @@ fn trace_flag_dumps_tree_and_summary_to_stderr() {
 
 #[test]
 fn bad_usage_fails_cleanly() {
-    let (_, stderr, ok) = run_swsd(&[], "");
-    assert!(!ok);
+    let (_, stderr, code) = run_swsd_code(&[], "");
+    assert_eq!(code, 2, "usage error is exit 2");
     assert!(stderr.contains("usage: swsd"));
-    let (_, stderr, ok) = run_swsd(&["--schema", "/nonexistent/x.odl"], "");
-    assert!(!ok);
+    let (_, stderr, code) = run_swsd_code(&["--schema", "/nonexistent/x.odl"], "");
+    assert_eq!(code, 5, "unreadable schema file is an I/O failure");
     assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn help_documents_the_exit_codes() {
+    let (stdout, _, code) = run_swsd_code(&["--help"], "");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("exit codes:"), "{stdout}");
+    for snippet in [
+        "2  usage error",
+        "3  schema did not parse",
+        "4  session directory corrupt",
+        "5  I/O failure",
+        "6  session recovered, but with data loss",
+    ] {
+        assert!(
+            stdout.contains(snippet),
+            "missing {snippet:?} in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn unparseable_schema_is_exit_3() {
+    let dir = std::env::temp_dir().join(format!("swsd_parse_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.odl");
+    std::fs::write(&bad, "interface { this is not odl").unwrap();
+    let (_, stderr, code) = run_swsd_code(&["--schema", bad.to_str().unwrap()], "");
+    assert_eq!(code, 3, "stderr: {stderr}");
+    assert!(stderr.contains("swsd:"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_session_exit_codes_strict_vs_salvage() {
+    let schema = schema_file();
+    let session_dir = std::env::temp_dir().join(format!("swsd_corrupt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&session_dir);
+    let script = format!(
+        "add_type_definition(Project)\nadd_type_definition(Task)\nsave {}\nquit\n",
+        session_dir.display()
+    );
+    let (_, _, code) = run_swsd_code(&["--schema", schema.to_str().unwrap()], &script);
+    assert_eq!(code, 0);
+
+    // Corrupt the first op-log record: both ops become unreplayable.
+    let ops_path = session_dir.join("session.ops");
+    let ops = std::fs::read_to_string(&ops_path).unwrap();
+    std::fs::write(&ops_path, format!("garbage line\n{ops}")).unwrap();
+
+    // Strict: refuse the directory outright.
+    let (_, stderr, code) = run_swsd_code(
+        &["--strict", "--session", session_dir.to_str().unwrap()],
+        "quit\n",
+    );
+    assert_eq!(code, 4, "stderr: {stderr}");
+    assert!(stderr.contains("op-log line 1"), "{stderr}");
+
+    // Salvage: the session runs, damage is reported, exit taints to 6.
+    let (stdout, stderr, code) =
+        run_swsd_code(&["--session", session_dir.to_str().unwrap()], "odl\nquit\n");
+    assert_eq!(code, 6, "stderr: {stderr}");
+    assert!(stderr.contains("recovery report:"), "{stderr}");
+    assert!(stderr.contains("0 op(s) replayed, 3 dropped"), "{stderr}");
+    assert!(stdout.contains("shrink wrap schema loaded"));
+
+    // The salvage run healed and recommitted the directory: clean now.
+    let (_, stderr, code) = run_swsd_code(&["--session", session_dir.to_str().unwrap()], "quit\n");
+    assert_eq!(code, 0, "healed directory loads clean: {stderr}");
+    assert!(session_dir.join("session.ops.quarantine").exists());
+    std::fs::remove_dir_all(&session_dir).unwrap();
+}
+
+#[test]
+fn ops_survive_without_an_explicit_resave() {
+    let schema = schema_file();
+    let session_dir = std::env::temp_dir().join(format!("swsd_autosave_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&session_dir);
+    // Save first, then keep designing; never save again.
+    let script = format!(
+        "save {}\nadd_attribute(Employee, double, salary)\nquit\n",
+        session_dir.display()
+    );
+    let (stdout, _, code) = run_swsd_code(&["--schema", schema.to_str().unwrap()], &script);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("(autosave on)"));
+
+    let (stdout, stderr, code) = run_swsd_code(
+        &["--strict", "--session", session_dir.to_str().unwrap()],
+        "odl\nquit\n",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("attribute double salary;"), "{stdout}");
+    std::fs::remove_dir_all(&session_dir).unwrap();
 }
 
 #[test]

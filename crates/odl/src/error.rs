@@ -24,6 +24,11 @@ impl fmt::Display for Span {
     }
 }
 
+/// Maximum `set<set<...>>` type-nesting depth the parsers accept. Beyond
+/// this the input is hostile or broken, and unguarded recursion would
+/// overflow the stack before producing an error.
+pub const MAX_TYPE_NESTING: usize = 64;
+
 /// What went wrong while lexing or parsing extended ODL.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OdlErrorKind {
@@ -39,6 +44,8 @@ pub enum OdlErrorKind {
     UnexpectedEof { expected: String },
     /// A size constraint was attached to a type that does not admit one.
     SizeNotAllowed(String),
+    /// Collection/array type nesting exceeded [`MAX_TYPE_NESTING`].
+    NestingTooDeep { limit: usize },
 }
 
 impl fmt::Display for OdlErrorKind {
@@ -55,6 +62,9 @@ impl fmt::Display for OdlErrorKind {
             }
             OdlErrorKind::SizeNotAllowed(ty) => {
                 write!(f, "type `{ty}` does not admit a size constraint")
+            }
+            OdlErrorKind::NestingTooDeep { limit } => {
+                write!(f, "type nesting deeper than {limit} levels")
             }
         }
     }

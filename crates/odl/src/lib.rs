@@ -57,7 +57,7 @@ pub use ast::{
     Attribute, Cardinality, HierKind, HierLink, Interface, Key, Operation, Param, ParamDir,
     Relationship, Schema,
 };
-pub use error::{OdlError, OdlErrorKind, Span};
+pub use error::{OdlError, OdlErrorKind, Span, MAX_TYPE_NESTING};
 pub use parser::{parse_interface, parse_schema};
 pub use printer::{print_interface, print_schema};
 pub use types::{CollectionKind, DomainType};

@@ -422,6 +422,20 @@ impl Parser {
     }
 
     fn domain_type(&mut self) -> Result<DomainType, OdlError> {
+        self.domain_type_at(0)
+    }
+
+    fn domain_type_at(&mut self, depth: usize) -> Result<DomainType, OdlError> {
+        // Each nesting level recurses; unbounded input like `set<set<...`
+        // would otherwise overflow the stack instead of erroring.
+        if depth >= crate::error::MAX_TYPE_NESTING {
+            return Err(OdlError::new(
+                self.span(),
+                OdlErrorKind::NestingTooDeep {
+                    limit: crate::error::MAX_TYPE_NESTING,
+                },
+            ));
+        }
         let word = self.ident("a type")?;
         match word.as_str() {
             "set" | "list" | "bag" => {
@@ -432,7 +446,7 @@ impl Parser {
                 };
                 if matches!(self.peek(), Token::Lt) {
                     self.advance();
-                    let elem = self.domain_type()?;
+                    let elem = self.domain_type_at(depth + 1)?;
                     self.expect(&Token::Gt, "`>`")?;
                     Ok(DomainType::Collection(kind, Box::new(elem)))
                 } else {
@@ -442,7 +456,7 @@ impl Parser {
             }
             "array" => {
                 self.expect(&Token::Lt, "`<`")?;
-                let elem = self.domain_type()?;
+                let elem = self.domain_type_at(depth + 1)?;
                 self.expect(&Token::Comma, "`,`")?;
                 let n = self.number("array length")?;
                 self.expect(&Token::Gt, "`>`")?;

@@ -2,7 +2,7 @@
 //! always carry positions, and parsing is total over the printable-ASCII
 //! fuzz space.
 
-use sws_odl::{parse_schema, print_schema, validate_schema};
+use sws_odl::{parse_schema, print_schema, validate_schema, OdlErrorKind, MAX_TYPE_NESTING};
 
 #[cfg(feature = "proptest")]
 mod props {
@@ -23,6 +23,30 @@ mod props {
         fn interface_shaped_fuzz(body in "[a-z<>(),;: ]{0,120}") {
             let src = format!("interface A {{ {body} }}");
             let _ = parse_schema(&src);
+        }
+
+        /// Any nesting depth either parses (under the limit) or errors
+        /// with the depth-guard kind (at or over it) — never a crash.
+        #[test]
+        fn nesting_depth_fuzz(depth in 1usize..200, close_flag in 0u8..2) {
+            let close = close_flag == 1;
+            let closers = if close { ">".repeat(depth) } else { String::new() };
+            let src = format!(
+                "interface A {{ attribute {}long{} x; }}",
+                "set<".repeat(depth),
+                closers
+            );
+            match parse_schema(&src) {
+                Ok(_) => prop_assert!(close && depth < MAX_TYPE_NESTING),
+                Err(e) => {
+                    if depth >= MAX_TYPE_NESTING {
+                        prop_assert_eq!(
+                            e.kind,
+                            OdlErrorKind::NestingTooDeep { limit: MAX_TYPE_NESTING }
+                        );
+                    }
+                }
+            }
         }
 
         /// When parsing succeeds, printing and re-parsing is stable, and
@@ -55,6 +79,44 @@ fn deeply_nested_types_parse() {
     let schema = parse_schema(src).unwrap();
     let printed = print_schema(&schema);
     assert_eq!(parse_schema(&printed).unwrap(), schema);
+}
+
+#[test]
+fn pathological_nesting_errors_instead_of_overflowing() {
+    // 10 000 levels of `set<` would blow the stack in an unguarded
+    // recursive-descent parser; the depth guard must turn it into a
+    // positioned error.
+    let deep = format!(
+        "interface A {{ attribute {}long{} x; }}",
+        "set<".repeat(10_000),
+        ">".repeat(10_000)
+    );
+    let err = parse_schema(&deep).unwrap_err();
+    assert_eq!(
+        err.kind,
+        OdlErrorKind::NestingTooDeep {
+            limit: MAX_TYPE_NESTING
+        }
+    );
+    assert!(err.span.line >= 1, "error carries a position");
+
+    // A truncated bomb (no closing `>`s at all) errors the same way
+    // rather than recursing to EOF.
+    let torn = format!("interface A {{ attribute {}", "set<".repeat(10_000));
+    assert!(parse_schema(&torn).is_err());
+}
+
+#[test]
+fn nesting_just_under_the_limit_parses() {
+    let depth = MAX_TYPE_NESTING - 1;
+    let src = format!(
+        "interface A {{ attribute {}long{} x; }}",
+        "set<".repeat(depth),
+        ">".repeat(depth)
+    );
+    let schema = parse_schema(&src).unwrap();
+    // And the printer/parser round trip still holds at the boundary.
+    assert_eq!(parse_schema(&print_schema(&schema)).unwrap(), schema);
 }
 
 #[test]

@@ -1,0 +1,96 @@
+//! Content checksums for the on-disk session format.
+//!
+//! The hash is a streaming variant of the SplitMix64 mixing function the
+//! corpus generator already uses as its PRNG (zero-dependency by design):
+//! each 8-byte word of input is absorbed into the state through the
+//! finalizer, and the length is folded in last so prefixes of a buffer
+//! never collide with the buffer itself.
+//!
+//! This is a *corruption* check (torn writes, bit rot, truncation), not a
+//! cryptographic MAC: 64 bits is plenty to make accidental damage
+//! detectable, which is all the repository promises.
+
+/// Domain-separation seed for repository checksums ("SWSREPO1").
+const SEED: u64 = 0x5357_5352_4550_4f31;
+
+/// SplitMix64 finalizer: the avalanche permutation.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Checksum a byte string.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut state = SEED;
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        state = mix(state
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from_le_bytes(word)));
+    }
+    mix(state ^ bytes.len() as u64)
+}
+
+/// Render a checksum in the canonical 16-digit lowercase-hex form used by
+/// the `MANIFEST` and the op log.
+pub fn to_hex(sum: u64) -> String {
+    format!("{sum:016x}")
+}
+
+/// Parse a canonical 16-digit lowercase-hex checksum field.
+pub fn from_hex(field: &str) -> Option<u64> {
+    if field.len() != 16 || !field.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(field, 16).ok()
+}
+
+/// True when `field` has the exact shape of a rendered checksum. Used to
+/// distinguish checksummed v1 op-log lines from legacy v0 lines (whose
+/// first field is a concept-kind tag, never 16 hex digits).
+pub fn looks_like_hex(field: &str) -> bool {
+    field.len() == 16
+        && field
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        assert_eq!(checksum(b"hello"), checksum(b"hello"));
+        assert_ne!(checksum(b"hello"), checksum(b"hellp"));
+        assert_ne!(checksum(b"hello"), checksum(b"hell"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+        // Zero padding must not collide across lengths.
+        assert_ne!(checksum(b"ab\0"), checksum(b"ab"));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let sum = checksum(b"wagon_wheel\tadd_type_definition(X)");
+        let hex = to_hex(sum);
+        assert_eq!(hex.len(), 16);
+        assert!(looks_like_hex(&hex));
+        assert_eq!(from_hex(&hex), Some(sum));
+    }
+
+    #[test]
+    fn tags_never_look_like_checksums() {
+        for tag in [
+            "wagon_wheel",
+            "generalization",
+            "aggregation",
+            "instance_of",
+        ] {
+            assert!(!looks_like_hex(tag));
+        }
+        assert!(!looks_like_hex("0123456789ABCDEF")); // uppercase rejected
+        assert!(!looks_like_hex("0123456789abcde")); // short
+    }
+}

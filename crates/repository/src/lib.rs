@@ -4,24 +4,53 @@
 //!
 //! The paper's prototype persisted the repository as an ObjectStore
 //! database. We substitute a transparent, replayable representation (see
-//! DESIGN.md §2): a session directory containing
+//! DESIGN.md §2 and docs/robustness.md): a session directory containing
 //!
 //! * `shrink_wrap.odl` — the shrink wrap schema as extended-ODL text,
-//! * `session.ops` — the operation log, one `<context>\t<statement>` line
-//!   per applied operation in the modification language,
-//! * `custom.odl` — the derived custom schema (informative; regenerated and
-//!   verified against the replay on load),
+//! * `session.ops` — the operation log, **append-only**, one
+//!   `<checksum>\t<context>\t<statement>` line per applied operation in
+//!   the modification language (the checksum covers the rest of the line,
+//!   so a torn tail is detectable record by record),
+//! * `custom.odl` — the derived custom schema (informative; regenerated
+//!   and verified against the replay on load),
 //! * `mapping.txt` — the rendered shrink-wrap ↔ custom mapping
-//!   (informative).
+//!   (informative),
+//! * `MANIFEST` — format version plus per-file checksums, written
+//!   atomically last: the commit record of a save.
 //!
-//! [`Repository::load`] replays `session.ops` against `shrink_wrap.odl`
-//! through the full permission/constraint pipeline, so a loaded session is
-//! exactly as valid as the live one that saved it.
+//! All I/O goes through the [`io::RepoIo`] abstraction; saves are
+//! write-temp → fsync → atomic-rename, so a crash at any point leaves
+//! either the old or the new content of every file, never a torn mixture
+//! (the property tests in `tests/crash_consistency.rs` sweep every
+//! injected crash point and assert exactly that against the `diff_graphs`
+//! oracle).
+//!
+//! Two load modes:
+//!
+//! * [`Repository::load`] — strict: replays `session.ops` against
+//!   `shrink_wrap.odl` through the full permission/constraint pipeline and
+//!   fails on the first inconsistency, so a loaded session is exactly as
+//!   valid as the live one that saved it.
+//! * [`Repository::load_salvage`] — salvage: verifies checksums, replays
+//!   the longest valid prefix of the op log, quarantines bad lines to
+//!   `session.ops.quarantine`, repairs the directory, and returns a
+//!   structured [`RecoveryReport`] instead of an error. Only an unusable
+//!   shrink wrap schema is fatal.
 
 use std::fmt;
-use std::fs;
-use std::io;
+use std::io as stdio;
 use std::path::Path;
+
+pub mod checksum;
+pub mod io;
+pub mod manifest;
+pub mod recovery;
+
+use checksum::{from_hex, looks_like_hex, to_hex};
+use io::{RealIo, RepoIo};
+use manifest::{Manifest, ManifestError};
+pub use manifest::{FORMAT_VERSION, MANIFEST_FILE};
+pub use recovery::{BadOp, DamageKind, FileDamage, ManifestStatus, RecoveryReport};
 
 use sws_core::concept::normalize_single_root;
 use sws_core::consistency::ConsistencyReport;
@@ -40,19 +69,21 @@ pub const CUSTOM_FILE: &str = "custom.odl";
 pub const MAPPING_FILE: &str = "mapping.txt";
 /// File name of the local-name (alias) table (§5 extension).
 pub const ALIASES_FILE: &str = "local_names.txt";
+/// File name bad op-log lines are quarantined to by salvage loading.
+pub const QUARANTINE_FILE: &str = "session.ops.quarantine";
 
 /// Errors loading or saving a repository.
 #[derive(Debug)]
 pub enum RepoError {
     /// Filesystem failure.
-    Io(io::Error),
+    Io(stdio::Error),
     /// The shrink wrap ODL did not parse.
     Odl(OdlError),
     /// The shrink wrap schema did not lower.
     Lower(LowerError),
     /// Replaying line `line` of the op log failed.
     Replay { line: usize, source: OpError },
-    /// A malformed op-log line.
+    /// A malformed or checksum-mismatched op-log line.
     BadLogLine { line: usize, content: String },
     /// A malformed local-names line.
     BadAliasLine { line: usize },
@@ -60,6 +91,10 @@ pub enum RepoError {
     Alias(AliasError),
     /// `custom.odl` exists but disagrees with the replayed session.
     CustomMismatch,
+    /// A file failed checksum or structural verification (strict mode).
+    Corrupt { file: String, detail: String },
+    /// The directory was written by a newer format version.
+    UnsupportedVersion(u32),
 }
 
 impl fmt::Display for RepoError {
@@ -81,14 +116,23 @@ impl fmt::Display for RepoError {
             RepoError::CustomMismatch => {
                 f.write_str("custom.odl does not match the replayed session")
             }
+            RepoError::Corrupt { file, detail } => {
+                write!(f, "corrupt session file {file}: {detail}")
+            }
+            RepoError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "session directory uses format v{v}, newer than this build (v{FORMAT_VERSION})"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for RepoError {}
 
-impl From<io::Error> for RepoError {
-    fn from(e: io::Error) -> Self {
+impl From<stdio::Error> for RepoError {
+    fn from(e: stdio::Error) -> Self {
         RepoError::Io(e)
     }
 }
@@ -109,6 +153,37 @@ impl From<AliasError> for RepoError {
     fn from(e: AliasError) -> Self {
         RepoError::Alias(e)
     }
+}
+
+/// How [`Repository::load_with`] treats damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Fail on the first inconsistency (checksum, parse, replay).
+    Strict,
+    /// Keep the longest valid prefix, quarantine the rest, report.
+    Salvage,
+}
+
+/// Render one durable op-log record: `<checksum>\t<context>\t<statement>\n`,
+/// where the checksum covers everything after its tab.
+pub fn durable_log_line(context: ConceptKind, op: &ModOp) -> String {
+    let body = format!("{}\t{}", context.tag(), print_op(op));
+    format!("{}\t{body}\n", to_hex(checksum::checksum(body.as_bytes())))
+}
+
+/// Append one op record to `dir/session.ops` and fsync — the autosave hot
+/// path: one small append per applied op instead of a full rewrite.
+pub fn append_log_line(
+    io: &dyn RepoIo,
+    dir: &Path,
+    context: ConceptKind,
+    op: &ModOp,
+) -> Result<(), RepoError> {
+    let line = durable_log_line(context, op);
+    let mut sp = sws_trace::span!("repo.append", bytes = line.len());
+    io.append_sync(&dir.join(SESSION_FILE), line.as_bytes())?;
+    sp.record("verdict", "ok");
+    Ok(())
 }
 
 /// The repository: a [`Workspace`] plus persistence.
@@ -212,7 +287,8 @@ impl Repository {
         self.workspace.consistency()
     }
 
-    /// The op log in the persistent line format.
+    /// The op log in the human-readable line format (no checksums), as
+    /// shown by the `log` REPL command.
     pub fn render_log(&self) -> String {
         let mut out = String::new();
         for record in self.workspace.log() {
@@ -224,72 +300,414 @@ impl Repository {
         out
     }
 
-    /// Save the session to `dir` (created if needed).
-    pub fn save(&self, dir: &Path) -> Result<(), RepoError> {
-        fs::create_dir_all(dir)?;
-        fs::write(dir.join(SHRINK_WRAP_FILE), self.shrink_wrap_odl())?;
-        fs::write(dir.join(SESSION_FILE), self.render_log())?;
-        fs::write(dir.join(CUSTOM_FILE), self.custom_schema_odl())?;
-        fs::write(dir.join(MAPPING_FILE), self.mapping().render())?;
-        if !self.aliases.is_empty() {
-            fs::write(dir.join(ALIASES_FILE), self.aliases.render())?;
+    /// The op log in the durable checksummed-line format written to disk.
+    pub fn render_durable_log(&self) -> String {
+        let mut out = String::new();
+        for record in self.workspace.log() {
+            out.push_str(&durable_log_line(record.context, &record.op));
         }
+        out
+    }
+
+    /// Save the session to `dir` (created if needed) on the real
+    /// filesystem.
+    pub fn save(&self, dir: &Path) -> Result<(), RepoError> {
+        self.save_with(&RealIo, dir)
+    }
+
+    /// Save through an explicit I/O implementation. Every file is written
+    /// atomically (write-temp → fsync → rename); the `MANIFEST` — the
+    /// commit record carrying per-file checksums — is written last.
+    pub fn save_with(&self, io: &dyn RepoIo, dir: &Path) -> Result<(), RepoError> {
+        let mut sp = sws_trace::span!("repo.save");
+        io.create_dir_all(dir)?;
+        let mut manifest = Manifest::new();
+        let mut files = 0usize;
+        let mut write = |name: &str, data: &str, manifested: bool| -> Result<(), RepoError> {
+            io.write_atomic(&dir.join(name), data.as_bytes())?;
+            if manifested {
+                manifest.insert(name, data.as_bytes());
+            }
+            files += 1;
+            Ok(())
+        };
+        // The op log is self-validating per line and append-only, so it is
+        // not manifested: appends must not invalidate the manifest. The
+        // shrink wrap goes second-to-last on purpose: loading requires it,
+        // so a crash earlier in a fresh-directory save leaves *no* loadable
+        // session (the pre-save state) rather than one with a silently
+        // truncated op log.
+        write(SESSION_FILE, &self.render_durable_log(), false)?;
+        write(CUSTOM_FILE, &self.custom_schema_odl(), true)?;
+        write(MAPPING_FILE, &self.mapping().render(), true)?;
+        if !self.aliases.is_empty() {
+            write(ALIASES_FILE, &self.aliases.render(), true)?;
+        }
+        write(SHRINK_WRAP_FILE, &self.shrink_wrap_odl(), true)?;
+        io.write_atomic(&dir.join(MANIFEST_FILE), manifest.render().as_bytes())?;
+        sp.record("files", files + 1);
         Ok(())
     }
 
-    /// Load a session from `dir`, replaying the op log through the full
-    /// pipeline and verifying the stored custom schema (if present).
+    /// Load a session from `dir` strictly: replay the whole op log through
+    /// the full pipeline, verify every checksum and the stored custom
+    /// schema, and fail on the first inconsistency.
     pub fn load(dir: &Path) -> Result<Self, RepoError> {
-        let sw_text = fs::read_to_string(dir.join(SHRINK_WRAP_FILE))?;
+        Repository::load_with(&RealIo, dir, LoadMode::Strict).map(|(repo, _)| repo)
+    }
+
+    /// Load a session from `dir` in salvage mode: keep the longest valid
+    /// prefix of the op log, quarantine bad lines, repair the directory,
+    /// and report. Fails only when the shrink wrap schema itself is
+    /// unreadable or unparseable.
+    pub fn load_salvage(dir: &Path) -> Result<(Self, RecoveryReport), RepoError> {
+        Repository::load_with(&RealIo, dir, LoadMode::Salvage)
+    }
+
+    /// Load through an explicit I/O implementation in the given mode.
+    pub fn load_with(
+        io: &dyn RepoIo,
+        dir: &Path,
+        mode: LoadMode,
+    ) -> Result<(Self, RecoveryReport), RepoError> {
+        let salvage = mode == LoadMode::Salvage;
+        let mut sp = sws_trace::span!(
+            "repo.load",
+            mode = if salvage { "salvage" } else { "strict" }
+        );
+        let mut damage: Vec<FileDamage> = Vec::new();
+        let mut regenerated: Vec<String> = Vec::new();
+
+        // --- MANIFEST: the commit record --------------------------------
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let (manifest, manifest_status) = if io.exists(&manifest_path) {
+            let text = String::from_utf8_lossy(&io.read(&manifest_path)?).into_owned();
+            match Manifest::parse(&text) {
+                Ok(m) => (Some(m), ManifestStatus::Ok),
+                Err(ManifestError::UnsupportedVersion(v)) => {
+                    // Never reinterpret (or "repair") a future format.
+                    return Err(RepoError::UnsupportedVersion(v));
+                }
+                Err(e) if salvage => (None, ManifestStatus::Damaged(e.to_string())),
+                Err(e) => {
+                    return Err(RepoError::Corrupt {
+                        file: MANIFEST_FILE.into(),
+                        detail: e.to_string(),
+                    })
+                }
+            }
+        } else {
+            (None, ManifestStatus::Missing)
+        };
+        let verify = |name: &str, data: &[u8]| -> Option<bool> {
+            manifest.as_ref().and_then(|m| m.verify(name, data))
+        };
+
+        // --- shrink wrap: the one unsalvageable file ---------------------
+        let sw_bytes = io.read(&dir.join(SHRINK_WRAP_FILE))?;
+        if verify(SHRINK_WRAP_FILE, &sw_bytes) == Some(false) {
+            if !salvage {
+                return Err(RepoError::Corrupt {
+                    file: SHRINK_WRAP_FILE.into(),
+                    detail: "checksum mismatch".into(),
+                });
+            }
+            damage.push(FileDamage {
+                file: SHRINK_WRAP_FILE.into(),
+                kind: DamageKind::ChecksumMismatch,
+                detail: "checksum mismatch; parsing anyway".into(),
+            });
+        }
+        let sw_text = String::from_utf8_lossy(&sw_bytes);
         let ast = parse_schema(&sw_text)?;
         let graph = schema_to_graph(&ast)?;
         // The saved shrink wrap is already normalized; ingest is idempotent.
         let mut repo = Repository::ingest(graph);
 
+        // --- op log: longest valid prefix --------------------------------
+        let mut ops_replayed = 0usize;
+        let mut ops_dropped = 0usize;
+        let mut torn_tail = false;
+        let mut first_bad_op: Option<BadOp> = None;
+        let mut quarantine_lines: Vec<String> = Vec::new();
         let log_path = dir.join(SESSION_FILE);
-        if log_path.exists() {
-            let log_text = fs::read_to_string(&log_path)?;
-            for (i, raw) in log_text.lines().enumerate() {
+        if io.exists(&log_path) {
+            let log_text = match io.read(&log_path) {
+                Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+                Err(e) if salvage => {
+                    damage.push(FileDamage {
+                        file: SESSION_FILE.into(),
+                        kind: DamageKind::Unparseable,
+                        detail: format!("unreadable: {e}"),
+                    });
+                    String::new()
+                }
+                Err(e) => return Err(RepoError::Io(e)),
+            };
+            let ends_with_newline = log_text.ends_with('\n');
+            let lines: Vec<&str> = log_text.lines().collect();
+            for (i, raw) in lines.iter().enumerate() {
                 let line_no = i + 1;
                 let line = raw.trim();
                 if line.is_empty() || line.starts_with('#') {
                     continue;
                 }
-                let record = parse_log_line(line).ok_or_else(|| RepoError::BadLogLine {
-                    line: line_no,
-                    content: raw.to_string(),
-                })?;
-                let (context, op) = record;
-                repo.workspace
-                    .apply(context, op)
-                    .map_err(|source| RepoError::Replay {
+                let failure = match parse_durable_log_line(line) {
+                    Err(reason) => Some(reason),
+                    Ok((context, op)) => match repo.workspace.apply(context, op) {
+                        Ok(_) => {
+                            ops_replayed += 1;
+                            None
+                        }
+                        Err(source) => {
+                            if !salvage {
+                                return Err(RepoError::Replay {
+                                    line: line_no,
+                                    source,
+                                });
+                            }
+                            Some(format!("replay rejected: {source}"))
+                        }
+                    },
+                };
+                if let Some(reason) = failure {
+                    if !salvage {
+                        return Err(RepoError::BadLogLine {
+                            line: line_no,
+                            content: raw.to_string(),
+                        });
+                    }
+                    // A bad record ends the valid prefix: it and every
+                    // later record (whose preconditions may depend on the
+                    // lost op) are dropped and quarantined.
+                    ops_dropped = lines[i..]
+                        .iter()
+                        .filter(|l| {
+                            let t = l.trim();
+                            !t.is_empty() && !t.starts_with('#')
+                        })
+                        .count();
+                    torn_tail = i + 1 == lines.len() && !ends_with_newline;
+                    first_bad_op = Some(BadOp {
                         line: line_no,
-                        source,
-                    })?;
+                        content: raw.to_string(),
+                        reason,
+                    });
+                    quarantine_lines = lines[i..].iter().map(|l| l.to_string()).collect();
+                    break;
+                }
             }
         }
 
+        // --- local names --------------------------------------------------
         let alias_path = dir.join(ALIASES_FILE);
-        if alias_path.exists() {
-            let text = fs::read_to_string(&alias_path)?;
-            repo.aliases =
-                AliasTable::parse(&text).map_err(|line| RepoError::BadAliasLine { line })?;
-        }
-
-        let custom_path = dir.join(CUSTOM_FILE);
-        if custom_path.exists() {
-            let custom_text = fs::read_to_string(&custom_path)?;
-            let stored = schema_to_graph(&parse_schema(&custom_text)?)?;
-            if graph_to_schema(&stored) != graph_to_schema(repo.workspace.working()) {
-                return Err(RepoError::CustomMismatch);
+        if io.exists(&alias_path) {
+            let bytes = io.read(&alias_path)?;
+            let checksum_ok = verify(ALIASES_FILE, &bytes);
+            if checksum_ok == Some(false) && !salvage {
+                return Err(RepoError::Corrupt {
+                    file: ALIASES_FILE.into(),
+                    detail: "checksum mismatch".into(),
+                });
+            }
+            let text = String::from_utf8_lossy(&bytes);
+            match AliasTable::parse(&text) {
+                Ok(table) => {
+                    repo.aliases = table;
+                    if checksum_ok == Some(false) {
+                        damage.push(FileDamage {
+                            file: ALIASES_FILE.into(),
+                            kind: DamageKind::ChecksumMismatch,
+                            detail: "checksum mismatch; parsed anyway".into(),
+                        });
+                    }
+                }
+                Err(line) if salvage => damage.push(FileDamage {
+                    file: ALIASES_FILE.into(),
+                    kind: DamageKind::Unparseable,
+                    detail: format!("malformed line {line}; local names dropped"),
+                }),
+                Err(line) => return Err(RepoError::BadAliasLine { line }),
             }
         }
-        Ok(repo)
+
+        // --- derived files: verified, regenerable ------------------------
+        let custom_path = dir.join(CUSTOM_FILE);
+        if io.exists(&custom_path) {
+            let bytes = io.read(&custom_path)?;
+            if verify(CUSTOM_FILE, &bytes) == Some(false) {
+                if !salvage {
+                    return Err(RepoError::Corrupt {
+                        file: CUSTOM_FILE.into(),
+                        detail: "checksum mismatch".into(),
+                    });
+                }
+                damage.push(FileDamage {
+                    file: CUSTOM_FILE.into(),
+                    kind: DamageKind::ChecksumMismatch,
+                    detail: "checksum mismatch; regenerated from replay".into(),
+                });
+                regenerated.push(CUSTOM_FILE.into());
+            } else {
+                let custom_text = String::from_utf8_lossy(&bytes);
+                let stored = match parse_schema(&custom_text)
+                    .map_err(RepoError::from)
+                    .and_then(|ast| schema_to_graph(&ast).map_err(RepoError::from))
+                {
+                    Ok(graph) => Some(graph),
+                    Err(e) if salvage => {
+                        damage.push(FileDamage {
+                            file: CUSTOM_FILE.into(),
+                            kind: DamageKind::Unparseable,
+                            detail: format!("{e}; regenerated from replay"),
+                        });
+                        regenerated.push(CUSTOM_FILE.into());
+                        None
+                    }
+                    Err(e) => return Err(e),
+                };
+                if let Some(stored) = stored {
+                    if graph_to_schema(&stored) != graph_to_schema(repo.workspace.working()) {
+                        if !salvage {
+                            return Err(RepoError::CustomMismatch);
+                        }
+                        // Valid checksum but lagging the log: derived files
+                        // go stale under append-only autosave. Replay wins.
+                        damage.push(FileDamage {
+                            file: CUSTOM_FILE.into(),
+                            kind: DamageKind::Stale,
+                            detail: "does not match the replayed session; regenerated".into(),
+                        });
+                        regenerated.push(CUSTOM_FILE.into());
+                    }
+                }
+            }
+        } else if manifest
+            .as_ref()
+            .is_some_and(|m| m.entries.contains_key(CUSTOM_FILE))
+        {
+            if !salvage {
+                return Err(RepoError::Corrupt {
+                    file: CUSTOM_FILE.into(),
+                    detail: "listed in MANIFEST but missing".into(),
+                });
+            }
+            damage.push(FileDamage {
+                file: CUSTOM_FILE.into(),
+                kind: DamageKind::Missing,
+                detail: "listed in MANIFEST but missing; regenerated".into(),
+            });
+            regenerated.push(CUSTOM_FILE.into());
+        }
+
+        let mapping_path = dir.join(MAPPING_FILE);
+        if io.exists(&mapping_path) {
+            let bytes = io.read(&mapping_path)?;
+            if verify(MAPPING_FILE, &bytes) == Some(false) {
+                if !salvage {
+                    return Err(RepoError::Corrupt {
+                        file: MAPPING_FILE.into(),
+                        detail: "checksum mismatch".into(),
+                    });
+                }
+                damage.push(FileDamage {
+                    file: MAPPING_FILE.into(),
+                    kind: DamageKind::ChecksumMismatch,
+                    detail: "checksum mismatch; regenerated from replay".into(),
+                });
+                regenerated.push(MAPPING_FILE.into());
+            }
+        } else if manifest
+            .as_ref()
+            .is_some_and(|m| m.entries.contains_key(MAPPING_FILE))
+        {
+            if !salvage {
+                return Err(RepoError::Corrupt {
+                    file: MAPPING_FILE.into(),
+                    detail: "listed in MANIFEST but missing".into(),
+                });
+            }
+            damage.push(FileDamage {
+                file: MAPPING_FILE.into(),
+                kind: DamageKind::Missing,
+                detail: "listed in MANIFEST but missing; regenerated".into(),
+            });
+            regenerated.push(MAPPING_FILE.into());
+        }
+
+        // --- assemble the report -----------------------------------------
+        let mut report = RecoveryReport::clean(
+            manifest_status,
+            ops_replayed,
+            repo.consistency().findings.len(),
+        );
+        report.damage = damage;
+        report.ops_dropped = ops_dropped;
+        report.torn_tail = torn_tail;
+        report.first_bad_op = first_bad_op;
+        report.regenerated = regenerated;
+
+        // --- heal: quarantine bad lines, rewrite a clean directory -------
+        if salvage && !report.is_clean() {
+            sws_trace::counter("repo.recovery.salvaged", 1);
+            sws_trace::counter("repo.recovery.ops_replayed", report.ops_replayed as u64);
+            sws_trace::counter("repo.recovery.ops_dropped", report.ops_dropped as u64);
+            sws_trace::counter("repo.recovery.files_damaged", report.damage.len() as u64);
+            let healed = (|| -> Result<(), RepoError> {
+                if !quarantine_lines.is_empty() {
+                    let mut blob = format!(
+                        "# quarantined {} line(s) from {}\n",
+                        quarantine_lines.len(),
+                        SESSION_FILE
+                    );
+                    for line in &quarantine_lines {
+                        blob.push_str(line);
+                        blob.push('\n');
+                    }
+                    io.append_sync(&dir.join(QUARANTINE_FILE), blob.as_bytes())?;
+                }
+                // A full save rewrites the valid op prefix, regenerates the
+                // derived files, and recommits the manifest.
+                repo.save_with(io, dir)
+            })();
+            match healed {
+                Ok(()) => {
+                    report.quarantined = quarantine_lines.len();
+                    report.healed = true;
+                }
+                Err(_) => {
+                    // Read-only medium: the salvaged session is still
+                    // usable, the directory just stays as found.
+                    report.healed = false;
+                }
+            }
+        }
+
+        sp.record("ops_replayed", report.ops_replayed);
+        sp.record("ops_dropped", report.ops_dropped);
+        sp.record("damaged", report.damage.len());
+        Ok((repo, report))
     }
 }
 
-/// Parse one `<context>\t<statement>` log line.
-fn parse_log_line(line: &str) -> Option<(ConceptKind, ModOp)> {
+/// Parse one durable op-log line: `<checksum>\t<context>\t<statement>`,
+/// also accepting the legacy v0 form `<context>\t<statement>` (a concept
+/// tag can never look like a 16-hex-digit checksum).
+fn parse_durable_log_line(line: &str) -> Result<(ConceptKind, ModOp), String> {
+    if let Some((first, body)) = line.split_once('\t') {
+        if looks_like_hex(first) {
+            let sum = from_hex(first).ok_or("malformed checksum field")?;
+            if sum != checksum::checksum(body.as_bytes()) {
+                return Err("line checksum mismatch".into());
+            }
+            return parse_log_body(body).ok_or_else(|| "malformed record".into());
+        }
+    }
+    parse_log_body(line).ok_or_else(|| "malformed record".into())
+}
+
+/// Parse the `<context>\t<statement>` body (tab or space separated).
+fn parse_log_body(line: &str) -> Option<(ConceptKind, ModOp)> {
     let (tag, stmt) = line.split_once(['\t', ' '])?;
     let context = ConceptKind::from_tag(tag)?;
     let op = parse_statement(stmt.trim()).ok()?;
@@ -320,7 +738,7 @@ mod tests {
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("sws_repo_test_{name}_{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
         dir
     }
 
@@ -371,7 +789,36 @@ mod tests {
             loaded.workspace().log()[2].impact,
             repo.workspace().log()[2].impact
         );
-        fs::remove_dir_all(&dir).unwrap();
+        // The save is manifested and every line is checksummed.
+        let manifest_text = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        assert!(manifest_text.starts_with("sws-repository v1\n"));
+        let log = std::fs::read_to_string(dir.join(SESSION_FILE)).unwrap();
+        for line in log.lines() {
+            let (sum, _) = line.split_once('\t').unwrap();
+            assert!(looks_like_hex(sum), "{line}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_v0_directory_still_loads() {
+        // A pre-manifest directory: plain log lines, no MANIFEST.
+        let repo = repo();
+        let dir = tmpdir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(SHRINK_WRAP_FILE), repo.shrink_wrap_odl()).unwrap();
+        std::fs::write(
+            dir.join(SESSION_FILE),
+            "wagon_wheel\tadd_type_definition(Project)\n",
+        )
+        .unwrap();
+        let loaded = Repository::load(&dir).unwrap();
+        assert_eq!(loaded.workspace().log().len(), 1);
+        let (loaded2, report) = Repository::load_salvage(&dir).unwrap();
+        assert_eq!(loaded2.workspace().log().len(), 1);
+        assert_eq!(report.manifest, ManifestStatus::Missing);
+        assert!(report.is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -394,12 +841,25 @@ mod tests {
         let repo = repo();
         let dir = tmpdir("tampered");
         repo.save(&dir).unwrap();
-        fs::write(dir.join(CUSTOM_FILE), "schema X { interface Alien { } }").unwrap();
+        std::fs::write(dir.join(CUSTOM_FILE), "schema X { interface Alien { } }").unwrap();
+        // Strict: the manifest checksum catches the tampering.
         assert!(matches!(
             Repository::load(&dir),
-            Err(RepoError::CustomMismatch)
+            Err(RepoError::Corrupt { file, .. }) if file == CUSTOM_FILE
         ));
-        fs::remove_dir_all(&dir).unwrap();
+        // Salvage: regenerate and report, no error.
+        let (loaded, report) = Repository::load_salvage(&dir).unwrap();
+        assert!(!report.is_clean());
+        assert!(!report.data_loss());
+        assert!(report
+            .damage
+            .iter()
+            .any(|d| d.file == CUSTOM_FILE && d.kind == DamageKind::ChecksumMismatch));
+        assert_eq!(loaded.custom_schema_odl(), repo.custom_schema_odl());
+        // Healing rewrote the file; a second load is clean.
+        let (_, report2) = Repository::load_salvage(&dir).unwrap();
+        assert!(report2.is_clean(), "{report2:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -407,7 +867,7 @@ mod tests {
         let repo = repo();
         let dir = tmpdir("badlog");
         repo.save(&dir).unwrap();
-        fs::write(
+        std::fs::write(
             dir.join(SESSION_FILE),
             "# comment\nnot_a_context\tadd_type_definition(X)\n",
         )
@@ -416,7 +876,7 @@ mod tests {
             Err(RepoError::BadLogLine { line, .. }) => assert_eq!(line, 2),
             other => panic!("{other:?}"),
         }
-        fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -425,19 +885,87 @@ mod tests {
         let dir = tmpdir("replayfail");
         repo.save(&dir).unwrap();
         // An op that violates Table 1: a move in a wagon wheel context.
-        fs::write(
+        std::fs::write(
             dir.join(SESSION_FILE),
             "wagon_wheel\tmodify_attribute(Employee, badge, Person)\n",
         )
         .unwrap();
-        fs::remove_file(dir.join(CUSTOM_FILE)).unwrap();
+        std::fs::remove_file(dir.join(CUSTOM_FILE)).unwrap();
         match Repository::load(&dir) {
             Err(RepoError::Replay { line: 1, source }) => {
                 assert!(matches!(source, OpError::NotPermitted { .. }));
             }
             other => panic!("{other:?}"),
         }
-        fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_then_load_replays_the_appended_op() {
+        let repo = repo();
+        let dir = tmpdir("append");
+        repo.save(&dir).unwrap();
+        append_log_line(
+            &RealIo,
+            &dir,
+            ConceptKind::WagonWheel,
+            &ModOp::AddTypeDefinition { ty: "Annex".into() },
+        )
+        .unwrap();
+        // Strict load now sees a stale custom.odl (replay is ahead).
+        assert!(matches!(
+            Repository::load(&dir),
+            Err(RepoError::CustomMismatch)
+        ));
+        // Salvage regenerates the derived files; no designer work is lost.
+        let (loaded, report) = Repository::load_salvage(&dir).unwrap();
+        assert_eq!(loaded.workspace().log().len(), 1);
+        assert!(loaded.workspace().working().type_id("Annex").is_some());
+        assert!(!report.data_loss());
+        assert!(report.healed);
+        // Healed: both strict and salvage load cleanly now.
+        assert!(Repository::load(&dir).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_quarantines_the_bad_tail() {
+        let mut repo = repo();
+        for ty in ["P1", "P2", "P3"] {
+            repo.workspace_mut()
+                .apply(
+                    ConceptKind::WagonWheel,
+                    ModOp::AddTypeDefinition { ty: ty.into() },
+                )
+                .unwrap();
+        }
+        let dir = tmpdir("quarantine");
+        repo.save(&dir).unwrap();
+        // Corrupt the second record: one flipped byte breaks its checksum.
+        let log = std::fs::read_to_string(dir.join(SESSION_FILE)).unwrap();
+        let corrupted = log.replacen("P2", "Px", 1);
+        std::fs::write(dir.join(SESSION_FILE), &corrupted).unwrap();
+
+        let (loaded, report) = Repository::load_salvage(&dir).unwrap();
+        // Longest valid prefix: exactly one op survives.
+        assert_eq!(report.ops_replayed, 1);
+        assert_eq!(report.ops_dropped, 2);
+        assert!(report.data_loss());
+        assert!(!report.torn_tail);
+        let bad = report.first_bad_op.as_ref().unwrap();
+        assert_eq!(bad.line, 2);
+        assert!(bad.reason.contains("checksum"), "{}", bad.reason);
+        assert_eq!(report.quarantined, 2);
+        assert!(loaded.workspace().working().type_id("P1").is_some());
+        assert!(loaded.workspace().working().type_id("P2").is_none());
+        // The bad lines landed in the quarantine file; the log was
+        // rewritten to the valid prefix and now loads cleanly.
+        let q = std::fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+        assert!(q.contains("Px"));
+        let (_, report2) = Repository::load_salvage(&dir).unwrap();
+        assert!(report2.is_clean());
+        assert_eq!(report2.ops_replayed, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -461,7 +989,7 @@ mod tests {
             loaded.custom_schema_local_odl(),
             repo.custom_schema_local_odl()
         );
-        fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -484,6 +1012,11 @@ mod tests {
             .unwrap();
         let log = repo.render_log();
         assert_eq!(log, "wagon_wheel\tadd_type_definition(X)\n");
+        // The durable format carries a leading checksum over the same body.
+        let durable = repo.render_durable_log();
+        let (sum, body) = durable.trim_end().split_once('\t').unwrap();
+        assert_eq!(body, "wagon_wheel\tadd_type_definition(X)");
+        assert_eq!(from_hex(sum), Some(checksum::checksum(body.as_bytes())));
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! The `MANIFEST` file: format version plus per-file checksums.
+//!
+//! Written atomically *last* during a save, the manifest is the commit
+//! record of the session directory: every whole-file artifact
+//! (`shrink_wrap.odl`, `custom.odl`, `mapping.txt`, `local_names.txt`) is
+//! listed with its length and checksum. `session.ops` is deliberately
+//! *not* listed — it is append-only and self-validating line by line, so
+//! appends need not rewrite the manifest.
+//!
+//! Format (tab-separated, one entry per line, self-checksummed):
+//!
+//! ```text
+//! sws-repository v1
+//! file\t<len>\t<checksum-hex16>\t<name>
+//! ...
+//! end\t<checksum-hex16 of everything above>
+//! ```
+//!
+//! A manifest that is missing is a legacy (v0) directory; a manifest that
+//! fails its own trailer checksum or does not parse is *damaged* — salvage
+//! loading then falls back to per-line op-log validation and reports it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::checksum::{checksum, from_hex, to_hex};
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File name of the manifest.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// One whole-file entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileEntry {
+    /// File length in bytes.
+    pub len: u64,
+    /// Content checksum.
+    pub checksum: u64,
+}
+
+/// A parsed manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Format version from the header line.
+    pub version: u32,
+    /// Entries by file name.
+    pub entries: BTreeMap<String, FileEntry>,
+}
+
+/// Why a manifest failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestError {
+    /// Header line absent or malformed.
+    BadHeader,
+    /// The version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// An entry line is malformed (1-based line number).
+    BadEntry(usize),
+    /// The `end` trailer is missing (torn manifest) or its checksum does
+    /// not cover the preceding bytes.
+    BadTrailer,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::BadHeader => f.write_str("malformed manifest header"),
+            ManifestError::UnsupportedVersion(v) => {
+                write!(f, "unsupported manifest version v{v}")
+            }
+            ManifestError::BadEntry(line) => write!(f, "malformed manifest entry at line {line}"),
+            ManifestError::BadTrailer => {
+                f.write_str("manifest trailer missing or checksum mismatch (torn write?)")
+            }
+        }
+    }
+}
+
+impl Manifest {
+    /// A fresh manifest at the current version.
+    pub fn new() -> Self {
+        Manifest {
+            version: FORMAT_VERSION,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Record a file's content.
+    pub fn insert(&mut self, name: &str, data: &[u8]) {
+        self.entries.insert(
+            name.to_string(),
+            FileEntry {
+                len: data.len() as u64,
+                checksum: checksum(data),
+            },
+        );
+    }
+
+    /// Does `data` match the recorded entry for `name`? `None` when the
+    /// manifest has no entry for that file.
+    pub fn verify(&self, name: &str, data: &[u8]) -> Option<bool> {
+        self.entries
+            .get(name)
+            .map(|e| e.len == data.len() as u64 && e.checksum == checksum(data))
+    }
+
+    /// Render to the on-disk format (self-checksummed).
+    pub fn render(&self) -> String {
+        let mut body = format!("sws-repository v{}\n", self.version);
+        for (name, entry) in &self.entries {
+            body.push_str(&format!(
+                "file\t{}\t{}\t{}\n",
+                entry.len,
+                to_hex(entry.checksum),
+                name
+            ));
+        }
+        let trailer = to_hex(checksum(body.as_bytes()));
+        body.push_str(&format!("end\t{trailer}\n"));
+        body
+    }
+
+    /// Parse the on-disk format, verifying the trailer checksum.
+    pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+        // Split off the trailer: the last non-empty line must be `end\t<hex>`
+        // and its checksum must cover every byte before it.
+        let trimmed = text.strip_suffix('\n').unwrap_or(text);
+        let (body, trailer_line) = match trimmed.rfind('\n') {
+            Some(pos) => (&text[..pos + 1], &trimmed[pos + 1..]),
+            None => return Err(ManifestError::BadTrailer),
+        };
+        let sum = trailer_line
+            .strip_prefix("end\t")
+            .and_then(from_hex)
+            .ok_or(ManifestError::BadTrailer)?;
+        if sum != checksum(body.as_bytes()) {
+            return Err(ManifestError::BadTrailer);
+        }
+
+        let mut lines = body.lines().enumerate();
+        let (_, header) = lines.next().ok_or(ManifestError::BadHeader)?;
+        let version: u32 = header
+            .strip_prefix("sws-repository v")
+            .and_then(|v| v.parse().ok())
+            .ok_or(ManifestError::BadHeader)?;
+        if version > FORMAT_VERSION {
+            return Err(ManifestError::UnsupportedVersion(version));
+        }
+
+        let mut manifest = Manifest {
+            version,
+            entries: BTreeMap::new(),
+        };
+        for (i, line) in lines {
+            let bad = || ManifestError::BadEntry(i + 1);
+            let mut fields = line.splitn(4, '\t');
+            if fields.next() != Some("file") {
+                return Err(bad());
+            }
+            let len: u64 = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+            let sum = fields.next().and_then(from_hex).ok_or_else(bad)?;
+            let name = fields.next().filter(|n| !n.is_empty()).ok_or_else(bad)?;
+            manifest
+                .entries
+                .insert(name.to_string(), FileEntry { len, checksum: sum });
+        }
+        Ok(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let mut m = Manifest::new();
+        m.insert("shrink_wrap.odl", b"interface A { }");
+        m.insert("custom.odl", b"interface A { attribute long x; }");
+        let text = m.render();
+        let parsed = Manifest::parse(&text).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(
+            parsed.verify("shrink_wrap.odl", b"interface A { }"),
+            Some(true)
+        );
+        assert_eq!(
+            parsed.verify("shrink_wrap.odl", b"interface B { }"),
+            Some(false)
+        );
+        assert_eq!(parsed.verify("unlisted", b""), None);
+    }
+
+    #[test]
+    fn torn_manifest_detected() {
+        let mut m = Manifest::new();
+        m.insert("custom.odl", b"x");
+        let text = m.render();
+        // Truncate mid-file: the trailer is gone or no longer matches.
+        for cut in [1, text.len() / 2, text.len() - 2] {
+            assert!(Manifest::parse(&text[..cut]).is_err(), "cut at {cut}");
+        }
+        // Flip a byte in an entry line: trailer mismatch.
+        let tampered = text.replacen("custom", "custom".to_uppercase().as_str(), 1);
+        assert_eq!(Manifest::parse(&tampered), Err(ManifestError::BadTrailer));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let body = "sws-repository v99\n";
+        let text = format!("{body}end\t{}\n", to_hex(checksum(body.as_bytes())));
+        assert_eq!(
+            Manifest::parse(&text),
+            Err(ManifestError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn empty_manifest_round_trips() {
+        let m = Manifest::new();
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+    }
+}

@@ -1,0 +1,256 @@
+//! Salvage-mode recovery reporting.
+//!
+//! When [`crate::Repository::load_salvage`] meets damage — a torn op-log
+//! tail, a checksum-mismatched file, a missing derived artifact — it does
+//! not fail: it replays the longest valid prefix of the op log, moves the
+//! bad lines to `session.ops.quarantine`, regenerates what can be
+//! regenerated, and returns a [`RecoveryReport`] describing, file by file
+//! and op by op, what was kept and what was lost. In the spirit of
+//! *Generating Significant Examples for Conceptual Schema Validation*
+//! (PAPERS.md), the report is example-level: it names the first bad line
+//! and its content, not just a count.
+
+use std::fmt;
+
+/// How the `MANIFEST` looked on load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestStatus {
+    /// Present and self-consistent.
+    Ok,
+    /// Absent: a legacy (v0) directory, loaded without whole-file
+    /// verification.
+    Missing,
+    /// Present but torn or malformed; contents ignored.
+    Damaged(String),
+}
+
+/// What kind of damage a file suffered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DamageKind {
+    /// Listed in the manifest but absent on disk.
+    Missing,
+    /// Content does not match its manifest checksum.
+    ChecksumMismatch,
+    /// Content failed to parse.
+    Unparseable,
+    /// Checksum is valid but the content lags the op log (e.g. derived
+    /// files not refreshed after append-only autosaves). No data loss.
+    Stale,
+}
+
+impl DamageKind {
+    fn describe(self) -> &'static str {
+        match self {
+            DamageKind::Missing => "missing",
+            DamageKind::ChecksumMismatch => "checksum mismatch",
+            DamageKind::Unparseable => "unparseable",
+            DamageKind::Stale => "stale",
+        }
+    }
+}
+
+/// One damaged file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileDamage {
+    /// File name within the session directory.
+    pub file: String,
+    /// What happened to it.
+    pub kind: DamageKind,
+    /// Human-readable specifics (e.g. the parse error).
+    pub detail: String,
+}
+
+/// The first op-log record that failed validation or replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadOp {
+    /// 1-based line number in `session.ops`.
+    pub line: usize,
+    /// The raw line content.
+    pub content: String,
+    /// Why it was rejected (checksum, parse, or replay).
+    pub reason: String,
+}
+
+/// What salvage-mode loading found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Manifest verification outcome.
+    pub manifest: ManifestStatus,
+    /// Files that were damaged (missing, corrupted, unparseable, stale).
+    pub damage: Vec<FileDamage>,
+    /// Ops replayed from the longest valid prefix of the log.
+    pub ops_replayed: usize,
+    /// Op-log lines dropped (the first bad line and everything after it).
+    pub ops_dropped: usize,
+    /// The final record was torn mid-write (crash signature): it lacked a
+    /// newline or failed its line checksum at the very tail of the log.
+    pub torn_tail: bool,
+    /// The first bad op-log record, if any.
+    pub first_bad_op: Option<BadOp>,
+    /// Lines moved to `session.ops.quarantine`.
+    pub quarantined: usize,
+    /// Derived files rewritten from the replayed state during healing.
+    pub regenerated: Vec<String>,
+    /// The session directory was repaired on disk (quarantine written,
+    /// valid prefix and derived files rewritten, manifest refreshed).
+    pub healed: bool,
+    /// Consistency findings on the salvaged session (0 = consistent).
+    pub consistency_findings: usize,
+}
+
+impl RecoveryReport {
+    /// A report describing a perfectly clean load.
+    pub fn clean(
+        manifest: ManifestStatus,
+        ops_replayed: usize,
+        consistency_findings: usize,
+    ) -> Self {
+        RecoveryReport {
+            manifest,
+            damage: Vec::new(),
+            ops_replayed,
+            ops_dropped: 0,
+            torn_tail: false,
+            first_bad_op: None,
+            quarantined: 0,
+            regenerated: Vec::new(),
+            healed: false,
+            consistency_findings,
+        }
+    }
+
+    /// No damage of any kind was observed.
+    pub fn is_clean(&self) -> bool {
+        self.damage.is_empty()
+            && self.ops_dropped == 0
+            && !self.torn_tail
+            && !matches!(self.manifest, ManifestStatus::Damaged(_))
+    }
+
+    /// Designer work was actually lost: ops were dropped, or a
+    /// non-derived file (anything but `custom.odl` / `mapping.txt`, which
+    /// replay regenerates exactly) was damaged beyond staleness.
+    pub fn data_loss(&self) -> bool {
+        self.ops_dropped > 0
+            || self.damage.iter().any(|d| {
+                d.kind != DamageKind::Stale
+                    && d.file != crate::CUSTOM_FILE
+                    && d.file != crate::MAPPING_FILE
+            })
+    }
+
+    /// Render the designer-facing recovery summary.
+    pub fn render(&self) -> String {
+        let mut out = String::from("recovery report:\n");
+        match &self.manifest {
+            ManifestStatus::Ok => {}
+            ManifestStatus::Missing => {
+                out.push_str("  manifest: missing (legacy v0 directory)\n");
+            }
+            ManifestStatus::Damaged(detail) => {
+                out.push_str(&format!("  manifest: damaged ({detail})\n"));
+            }
+        }
+        for d in &self.damage {
+            out.push_str(&format!(
+                "  file {}: {} — {}\n",
+                d.file,
+                d.kind.describe(),
+                d.detail
+            ));
+        }
+        out.push_str(&format!(
+            "  op log: {} op(s) replayed, {} dropped{}\n",
+            self.ops_replayed,
+            self.ops_dropped,
+            if self.torn_tail {
+                " (torn tail: the final record was cut mid-write)"
+            } else {
+                ""
+            }
+        ));
+        if let Some(bad) = &self.first_bad_op {
+            out.push_str(&format!(
+                "  first bad record: line {} ({}): {:?}\n",
+                bad.line, bad.reason, bad.content
+            ));
+        }
+        if self.quarantined > 0 {
+            out.push_str(&format!(
+                "  quarantined {} line(s) to {}\n",
+                self.quarantined,
+                crate::QUARANTINE_FILE
+            ));
+        }
+        if !self.regenerated.is_empty() {
+            out.push_str(&format!(
+                "  regenerated from replay: {}\n",
+                self.regenerated.join(", ")
+            ));
+        }
+        if self.healed {
+            out.push_str("  session directory repaired on disk\n");
+        }
+        out.push_str(&format!(
+            "  salvaged session consistency: {}\n",
+            if self.consistency_findings == 0 {
+                "clean".to_string()
+            } else {
+                format!("{} finding(s)", self.consistency_findings)
+            }
+        ));
+        out
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_is_clean() {
+        let r = RecoveryReport::clean(ManifestStatus::Ok, 5, 0);
+        assert!(r.is_clean());
+        assert!(!r.data_loss());
+        assert!(r.render().contains("5 op(s) replayed, 0 dropped"));
+    }
+
+    #[test]
+    fn derived_damage_is_not_data_loss() {
+        let mut r = RecoveryReport::clean(ManifestStatus::Ok, 2, 0);
+        r.damage.push(FileDamage {
+            file: crate::CUSTOM_FILE.into(),
+            kind: DamageKind::ChecksumMismatch,
+            detail: "corrupted".into(),
+        });
+        assert!(!r.is_clean());
+        assert!(!r.data_loss());
+        // But a damaged op log is.
+        r.ops_dropped = 1;
+        assert!(r.data_loss());
+    }
+
+    #[test]
+    fn render_names_the_first_bad_line() {
+        let mut r = RecoveryReport::clean(ManifestStatus::Missing, 1, 2);
+        r.ops_dropped = 1;
+        r.torn_tail = true;
+        r.first_bad_op = Some(BadOp {
+            line: 2,
+            content: "wagon_wheel\tadd_".into(),
+            reason: "line checksum mismatch".into(),
+        });
+        r.quarantined = 1;
+        let text = r.render();
+        assert!(text.contains("legacy v0"));
+        assert!(text.contains("torn tail"));
+        assert!(text.contains("line 2 (line checksum mismatch)"));
+        assert!(text.contains("2 finding(s)"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Crash-consistency property harness (the tentpole guarantee).
+//!
+//! For every injected crash point during a save or an op-log append, a
+//! subsequent (salvage) load must yield *exactly* the pre-operation or the
+//! post-operation session — never a corrupted in-between — asserted
+//! against the `diff_graphs` oracle. The deterministic sweeps below
+//! enumerate every micro-step of the I/O protocol; the proptest-gated
+//! module adds a randomized sweep over script prefixes, crash points, and
+//! page-cache-loss seeds.
+
+use std::path::Path;
+
+use sws_core::oplang::parse_statement;
+use sws_core::{ConceptKind, ModOp};
+use sws_model::diff_graphs;
+use sws_repository::io::{FaultIo, MemIo};
+use sws_repository::{append_log_line, LoadMode, RecoveryReport, Repository};
+
+const DIR: &str = "/session";
+
+fn dir() -> &'static Path {
+    Path::new(DIR)
+}
+
+/// Parse one `(context tag, statement)` fixture pair.
+fn parse_pair(pair: (&str, &str)) -> (ConceptKind, ModOp) {
+    let (tag, stmt) = pair;
+    (
+        ConceptKind::from_tag(tag).expect("fixture context tag"),
+        parse_statement(stmt).expect("fixture statement"),
+    )
+}
+
+/// The university repository with the first `n` ops of the corpus design
+/// script applied.
+fn university_repo(n: usize) -> Repository {
+    let mut repo = Repository::ingest(sws_corpus::university::graph());
+    for &pair in &sws_corpus::university::DESIGN_SCRIPT[..n] {
+        let (context, op) = parse_pair(pair);
+        repo.workspace_mut()
+            .apply(context, op)
+            .expect("design script prefix is valid");
+    }
+    repo
+}
+
+fn salvage(disk: &MemIo) -> (Repository, RecoveryReport) {
+    Repository::load_with(disk, dir(), LoadMode::Salvage).expect("salvage load succeeds")
+}
+
+/// The oracle: the loaded working schema is graph-identical to pre or post.
+fn assert_pre_or_post(loaded: &Repository, pre: &Repository, post: &Repository, label: &str) {
+    let to_pre = diff_graphs(loaded.workspace().working(), pre.workspace().working());
+    let to_post = diff_graphs(loaded.workspace().working(), post.workspace().working());
+    assert!(
+        to_pre.is_empty() || to_post.is_empty(),
+        "{label}: loaded session is neither pre nor post\n\
+         diff to pre: {to_pre:?}\ndiff to post: {to_post:?}"
+    );
+}
+
+/// Sweep every crash point of a full save into an *existing* session dir.
+#[test]
+fn crash_sweep_full_save() {
+    let pre = university_repo(4);
+    let post = university_repo(5);
+
+    // Base image: the pre session saved cleanly.
+    let base = MemIo::new();
+    pre.save_with(&base, dir()).unwrap();
+
+    // Size the sweep: one faultless run of the save being tested.
+    let probe = FaultIo::new(base.snapshot());
+    post.save_with(&probe, dir()).unwrap();
+    let steps = probe.steps_taken();
+    assert!(steps > 10, "suspiciously few micro-steps: {steps}");
+
+    for k in 0..steps {
+        let disk = base.snapshot();
+        let io = FaultIo::new(disk.clone());
+        io.crash_at(k);
+        assert!(
+            post.save_with(&io, dir()).is_err(),
+            "crash at step {k} must surface"
+        );
+        disk.post_crash(k.wrapping_mul(0x9E37) + 1);
+        let (loaded, report) = salvage(&disk);
+        assert_pre_or_post(&loaded, &pre, &post, &format!("save crash at step {k}"));
+        // Recovery is idempotent: after healing, a second load is clean
+        // and yields the same session.
+        if report.healed {
+            let (again, report2) = salvage(&disk);
+            assert!(report2.is_clean(), "step {k}: {report2:?}");
+            assert!(
+                diff_graphs(again.workspace().working(), loaded.workspace().working()).is_empty()
+            );
+        }
+    }
+}
+
+/// Sweep every crash point of a single op append (the autosave hot path).
+#[test]
+fn crash_sweep_append() {
+    let pre = university_repo(4);
+    let post = university_repo(5);
+    let (context, op) = parse_pair(sws_corpus::university::DESIGN_SCRIPT[4]);
+
+    let base = MemIo::new();
+    pre.save_with(&base, dir()).unwrap();
+
+    let probe = FaultIo::new(base.snapshot());
+    append_log_line(&probe, dir(), context, &op).unwrap();
+    let steps = probe.steps_taken();
+    assert_eq!(steps, 2, "append is one write + one sync");
+
+    for k in 0..steps {
+        let disk = base.snapshot();
+        let io = FaultIo::new(disk.clone());
+        io.crash_at(k);
+        assert!(append_log_line(&io, dir(), context, &op).is_err());
+        disk.post_crash(k + 11);
+        let (loaded, report) = salvage(&disk);
+        assert_pre_or_post(&loaded, &pre, &post, &format!("append crash at step {k}"));
+        // A torn tail must never be mistaken for extra applied work.
+        if report.torn_tail {
+            assert!(
+                diff_graphs(loaded.workspace().working(), pre.workspace().working()).is_empty()
+            );
+        }
+    }
+}
+
+/// A committed append survives any *later* crash: durability.
+#[test]
+fn committed_append_is_durable() {
+    let pre = university_repo(4);
+    let post = university_repo(5);
+    let (context, op) = parse_pair(sws_corpus::university::DESIGN_SCRIPT[4]);
+
+    let disk = MemIo::new();
+    pre.save_with(&disk, dir()).unwrap();
+    append_log_line(&disk, dir(), context, &op).unwrap();
+    // Power loss with nothing in flight: the append already fsynced.
+    disk.post_crash(99);
+    let (loaded, _) = salvage(&disk);
+    assert!(diff_graphs(loaded.workspace().working(), post.workspace().working()).is_empty());
+    assert_eq!(loaded.workspace().log().len(), 5);
+}
+
+/// Crash points in a save into a *fresh* directory: the load either finds
+/// no session at all (pre) or the complete one (post) — never a session
+/// with a silently truncated op log.
+#[test]
+fn crash_sweep_initial_save() {
+    let post = university_repo(3);
+    let base = MemIo::new();
+
+    let probe = FaultIo::new(base.snapshot());
+    post.save_with(&probe, dir()).unwrap();
+    let steps = probe.steps_taken();
+
+    for k in 0..steps {
+        let disk = base.snapshot();
+        let io = FaultIo::new(disk.clone());
+        io.crash_at(k);
+        assert!(post.save_with(&io, dir()).is_err());
+        disk.post_crash(k + 3);
+        match Repository::load_with(&disk, dir(), LoadMode::Salvage) {
+            Err(_) => {} // no loadable session: the pre state of a fresh dir
+            Ok((loaded, _)) => {
+                assert!(
+                    diff_graphs(loaded.workspace().working(), post.workspace().working())
+                        .is_empty(),
+                    "initial-save crash at step {k} exposed a partial session"
+                );
+                assert_eq!(loaded.workspace().log().len(), 3);
+            }
+        }
+    }
+}
+
+/// A transient I/O error (disk full) during save must leave the directory
+/// loadable as the pre state, and a retry must succeed.
+#[test]
+fn io_error_sweep_full_save() {
+    let pre = university_repo(2);
+    let post = university_repo(3);
+    let base = MemIo::new();
+    pre.save_with(&base, dir()).unwrap();
+
+    let probe = FaultIo::new(base.snapshot());
+    post.save_with(&probe, dir()).unwrap();
+    let steps = probe.steps_taken();
+
+    for k in 0..steps {
+        let disk = base.snapshot();
+        let io = FaultIo::new(disk.clone());
+        io.error_at(k);
+        let err = post.save_with(&io, dir()).unwrap_err();
+        assert!(err.to_string().contains("I/O error"), "{err}");
+        // No crash: the process lives, the error was transient — retry.
+        io.clear_fault();
+        post.save_with(&io, dir()).unwrap();
+        let (loaded, report) = salvage(&disk);
+        assert!(diff_graphs(loaded.workspace().working(), post.workspace().working()).is_empty());
+        assert!(report.is_clean(), "step {k}: {report:?}");
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Randomized crash-point sweep: any script prefix, any crash
+        /// step, any page-cache-loss seed — reload is pre or post.
+        #[test]
+        fn random_crash_point_is_pre_or_post(
+            prefix in 0usize..7,
+            step_pick in 0u64..1000,
+            seed in 0u64..u64::MAX,
+        ) {
+            let pre = university_repo(prefix);
+            let post = university_repo(prefix + 1);
+            let (context, op) = parse_pair(sws_corpus::university::DESIGN_SCRIPT[prefix]);
+
+            let base = MemIo::new();
+            pre.save_with(&base, dir()).unwrap();
+
+            // The tested operation alternates between the two durable
+            // paths: a full save or a single append.
+            let use_append = seed % 2 == 0;
+            let probe = FaultIo::new(base.snapshot());
+            if use_append {
+                append_log_line(&probe, dir(), context, &op).unwrap();
+            } else {
+                post.save_with(&probe, dir()).unwrap();
+            }
+            let steps = probe.steps_taken();
+            let k = step_pick % steps;
+
+            let disk = base.snapshot();
+            let io = FaultIo::new(disk.clone());
+            io.crash_at(k);
+            let result = if use_append {
+                append_log_line(&io, dir(), context, &op)
+            } else {
+                post.save_with(&io, dir())
+            };
+            prop_assert!(result.is_err());
+            disk.post_crash(seed);
+
+            let (loaded, _) = salvage(&disk);
+            let to_pre = diff_graphs(loaded.workspace().working(), pre.workspace().working());
+            let to_post = diff_graphs(loaded.workspace().working(), post.workspace().working());
+            prop_assert!(
+                to_pre.is_empty() || to_post.is_empty(),
+                "prefix {} step {} append={}: neither pre nor post",
+                prefix, k, use_append
+            );
+        }
+    }
+}

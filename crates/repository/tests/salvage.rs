@@ -1,0 +1,251 @@
+//! Golden damaged-session-directory tests.
+//!
+//! Each test constructs a specific kind of damage — a truncated op-log
+//! tail, a checksum-mismatched `custom.odl`, a missing `mapping.txt`, a
+//! corrupted record in the middle of the log — then asserts the *exact*
+//! [`RecoveryReport`] fields and that the replayed prefix is graph-equal
+//! to a session rebuilt from the same ops in memory.
+
+use std::path::Path;
+
+use sws_core::oplang::parse_statement;
+use sws_core::{ConceptKind, ModOp};
+use sws_model::diff_graphs;
+use sws_repository::io::{MemIo, RepoIo};
+use sws_repository::{
+    DamageKind, LoadMode, ManifestStatus, RecoveryReport, Repository, CUSTOM_FILE, MAPPING_FILE,
+    QUARANTINE_FILE, SESSION_FILE,
+};
+
+const DIR: &str = "/session";
+
+fn dir() -> &'static Path {
+    Path::new(DIR)
+}
+
+fn parse_pair(pair: (&str, &str)) -> (ConceptKind, ModOp) {
+    let (tag, stmt) = pair;
+    (
+        ConceptKind::from_tag(tag).expect("fixture context tag"),
+        parse_statement(stmt).expect("fixture statement"),
+    )
+}
+
+/// The university repository with the first `n` design-script ops applied.
+fn university_repo(n: usize) -> Repository {
+    let mut repo = Repository::ingest(sws_corpus::university::graph());
+    for &pair in &sws_corpus::university::DESIGN_SCRIPT[..n] {
+        let (context, op) = parse_pair(pair);
+        repo.workspace_mut().apply(context, op).unwrap();
+    }
+    repo
+}
+
+/// A clean on-disk image of [`university_repo`]`(n)`.
+fn saved_disk(n: usize) -> MemIo {
+    let disk = MemIo::new();
+    university_repo(n).save_with(&disk, dir()).unwrap();
+    disk
+}
+
+fn file(disk: &MemIo, name: &str) -> Vec<u8> {
+    disk.read(&dir().join(name)).unwrap()
+}
+
+fn salvage(disk: &MemIo) -> (Repository, RecoveryReport) {
+    Repository::load_with(disk, dir(), LoadMode::Salvage).unwrap()
+}
+
+fn assert_same_graph(a: &Repository, b: &Repository) {
+    assert!(
+        diff_graphs(a.workspace().working(), b.workspace().working()).is_empty(),
+        "salvaged session differs from the expected replayed prefix"
+    );
+}
+
+/// Golden dir 1: the op log's final record is cut mid-write (no trailing
+/// newline) — the torn-write crash signature.
+#[test]
+fn truncated_op_log_tail() {
+    let disk = saved_disk(4);
+    let log = file(&disk, SESSION_FILE);
+    // Cut the last record roughly in half, removing its newline.
+    let body_end = log.len() - 1;
+    let last_start = log[..body_end]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap();
+    let cut = last_start + (body_end - last_start) / 2;
+    disk.write_atomic(&dir().join(SESSION_FILE), &log[..cut])
+        .unwrap();
+
+    let (loaded, report) = salvage(&disk);
+
+    assert_eq!(report.manifest, ManifestStatus::Ok);
+    assert_eq!(report.ops_replayed, 3);
+    assert_eq!(report.ops_dropped, 1);
+    assert!(report.torn_tail, "a cut final record is a torn tail");
+    let bad = report.first_bad_op.as_ref().expect("first bad op recorded");
+    assert_eq!(bad.line, 4);
+    assert_eq!(report.quarantined, 1);
+    assert!(report.healed);
+    assert!(report.data_loss());
+    // Derived files lag the shortened log, so they are regenerated — and
+    // that is reported as staleness, not corruption.
+    assert!(report
+        .damage
+        .iter()
+        .all(|d| d.kind == DamageKind::Stale || d.kind == DamageKind::ChecksumMismatch));
+    assert_same_graph(&loaded, &university_repo(3));
+
+    // The torn bytes are preserved for forensics, then the dir is clean.
+    let quarantine = String::from_utf8(file(&disk, QUARANTINE_FILE)).unwrap();
+    assert!(quarantine.contains("quarantined 1 line(s)"));
+    let (again, report2) = salvage(&disk);
+    assert!(report2.is_clean(), "healing left damage: {report2:?}");
+    assert_same_graph(&again, &loaded);
+}
+
+/// Golden dir 2: `custom.odl` flipped a byte on disk (bit rot). The op
+/// log is intact, so the file is regenerated with zero data loss.
+#[test]
+fn checksum_mismatched_custom_schema() {
+    let disk = saved_disk(3);
+    let mut custom = file(&disk, CUSTOM_FILE);
+    let mid = custom.len() / 2;
+    custom[mid] ^= 0x20;
+    disk.write_atomic(&dir().join(CUSTOM_FILE), &custom)
+        .unwrap();
+
+    // Strict loading refuses the directory outright.
+    assert!(Repository::load_with(&disk, dir(), LoadMode::Strict).is_err());
+
+    let (loaded, report) = salvage(&disk);
+    assert_eq!(report.manifest, ManifestStatus::Ok);
+    assert_eq!(report.ops_replayed, 3);
+    assert_eq!(report.ops_dropped, 0);
+    assert!(!report.torn_tail);
+    assert_eq!(report.first_bad_op, None);
+    assert_eq!(
+        report.damage,
+        vec![sws_repository::FileDamage {
+            file: CUSTOM_FILE.into(),
+            kind: DamageKind::ChecksumMismatch,
+            detail: "checksum mismatch; regenerated from replay".into(),
+        }]
+    );
+    assert!(report.regenerated.iter().any(|f| f == CUSTOM_FILE));
+    assert!(report.healed);
+    assert!(!report.data_loss(), "derived-file damage is not data loss");
+    assert_same_graph(&loaded, &university_repo(3));
+
+    let (_, report2) = salvage(&disk);
+    assert!(report2.is_clean());
+}
+
+/// Golden dir 3: `mapping.txt` deleted. Derived file, regenerated.
+#[test]
+fn missing_mapping_file() {
+    let disk = saved_disk(2);
+    disk.remove(&dir().join(MAPPING_FILE));
+
+    let (loaded, report) = salvage(&disk);
+    assert_eq!(report.manifest, ManifestStatus::Ok);
+    assert_eq!(report.ops_replayed, 2);
+    assert_eq!(
+        report.damage,
+        vec![sws_repository::FileDamage {
+            file: MAPPING_FILE.into(),
+            kind: DamageKind::Missing,
+            detail: "listed in MANIFEST but missing; regenerated".into(),
+        }]
+    );
+    assert!(report.regenerated.iter().any(|f| f == MAPPING_FILE));
+    assert!(report.healed);
+    assert!(!report.data_loss());
+    assert_same_graph(&loaded, &university_repo(2));
+
+    // Healed: the file is back and verifies.
+    assert!(disk.exists(&dir().join(MAPPING_FILE)));
+    let (_, report2) = salvage(&disk);
+    assert!(report2.is_clean());
+}
+
+/// Golden dir 4: a record in the *middle* of the log is corrupted. The
+/// longest valid prefix ends there; the rest — including the still-valid
+/// later records — is quarantined, because replaying past a gap could
+/// violate op-order dependencies.
+#[test]
+fn corrupt_record_mid_file_quarantines_the_rest() {
+    let disk = saved_disk(5);
+    let log = String::from_utf8(file(&disk, SESSION_FILE)).unwrap();
+    let mut lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 5);
+    // Corrupt record 2 of 5: flip its checksum field.
+    let tampered = lines[1].replacen(&lines[1][..1], "0", 1);
+    let tampered = if tampered == lines[1] {
+        lines[1].replacen(&lines[1][..1], "f", 1)
+    } else {
+        tampered
+    };
+    lines[1] = &tampered;
+    let rewritten = lines.join("\n") + "\n";
+    disk.write_atomic(&dir().join(SESSION_FILE), rewritten.as_bytes())
+        .unwrap();
+
+    let (loaded, report) = salvage(&disk);
+    assert_eq!(report.ops_replayed, 1);
+    assert_eq!(report.ops_dropped, 4, "everything after the gap is dropped");
+    assert!(
+        !report.torn_tail,
+        "mid-file corruption is not a torn tail (not a crash signature)"
+    );
+    let bad = report.first_bad_op.as_ref().unwrap();
+    assert_eq!(bad.line, 2);
+    assert!(
+        bad.reason.contains("checksum"),
+        "reason names the check that failed: {}",
+        bad.reason
+    );
+    assert_eq!(report.quarantined, 4);
+    assert!(report.data_loss());
+    assert_same_graph(&loaded, &university_repo(1));
+
+    // All four dropped lines land in quarantine, including the valid tail.
+    let quarantine = String::from_utf8(file(&disk, QUARANTINE_FILE)).unwrap();
+    assert_eq!(
+        quarantine.lines().filter(|l| !l.starts_with('#')).count(),
+        4
+    );
+
+    let (_, report2) = salvage(&disk);
+    assert!(report2.is_clean());
+}
+
+/// Legacy v0 directory (no MANIFEST, plain un-checksummed log) loads
+/// clean with `manifest: Missing` and no spurious damage.
+#[test]
+fn legacy_directory_reports_missing_manifest_only() {
+    let disk = saved_disk(3);
+    disk.remove(&dir().join(sws_repository::MANIFEST_FILE));
+    // Strip the per-line checksums to the v0 format.
+    let log = String::from_utf8(file(&disk, SESSION_FILE)).unwrap();
+    let v0: String = log
+        .lines()
+        .map(|l| {
+            let (_, rest) = l.split_once('\t').unwrap();
+            format!("{rest}\n")
+        })
+        .collect();
+    disk.write_atomic(&dir().join(SESSION_FILE), v0.as_bytes())
+        .unwrap();
+
+    let (loaded, report) = salvage(&disk);
+    assert_eq!(report.manifest, ManifestStatus::Missing);
+    assert_eq!(report.ops_replayed, 3);
+    assert_eq!(report.ops_dropped, 0);
+    assert!(report.damage.is_empty(), "{:?}", report.damage);
+    assert!(!report.data_loss());
+    assert_same_graph(&loaded, &university_repo(3));
+}

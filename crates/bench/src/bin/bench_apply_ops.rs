@@ -5,7 +5,7 @@
 use sws_bench::edit_scripts::edit_stream;
 use sws_bench::timing::Runner;
 use sws_core::oplang::parse_statement;
-use sws_core::{ConceptKind, Workspace};
+use sws_core::{parallel, ConceptKind, Workspace};
 use sws_corpus::{synthetic, university};
 
 fn main() {
@@ -74,6 +74,33 @@ fn main() {
                 ws.apply(*context, op.clone()).expect("applies");
             },
         );
+    }
+
+    // Threads sweep: edit + incremental verify — the inner loop of a
+    // designer session under `swsd --threads=N`. Worker counts are forced
+    // via the same thread-local override the CLI flag uses.
+    for (n, g) in synthetic::size_sweep(42) {
+        let base = Workspace::new(g.clone());
+        base.consistency();
+        let edits = edit_stream(&g, 64, 11);
+        for t in [1usize, 2, 4, 8] {
+            let mut next = 0usize;
+            runner.bench_batched_ref(
+                &format!("edit_verify/{n}/threads{t}"),
+                || {
+                    let ws = base.clone();
+                    let edit = edits[next % edits.len()].clone();
+                    next += 1;
+                    (ws, edit)
+                },
+                |(ws, (context, op))| {
+                    parallel::with_workers(t, || {
+                        ws.apply(*context, op.clone()).expect("applies");
+                        ws.consistency()
+                    })
+                },
+            );
+        }
     }
     runner.finish();
 }

@@ -11,14 +11,25 @@
 //!
 //! Results are also written machine-readably to `BENCH_incremental.json`
 //! at the repository root (override the path with `SWS_BENCH_OUT`).
+//!
+//! A threads sweep then re-times the full check and a batched incremental
+//! resync at 1/2/4/8 workers (forced via `parallel::with_workers`, the
+//! same override `swsd --threads` uses) and writes `BENCH_parallel.json`
+//! (override with `SWS_BENCH_PARALLEL_OUT`). Speedups are relative to the
+//! 1-worker exact-serial path and depend on the host's core count, which
+//! the JSON records as `host_parallelism`.
 
 use sws_bench::edit_scripts::edit_stream;
 use sws_bench::timing::Runner;
 use sws_core::consistency::check_consistency;
-use sws_core::Workspace;
+use sws_core::{parallel, Workspace};
 use sws_corpus::synthetic;
 
 const SEED: u64 = 42;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Edits applied per incremental-resync iteration: enough to dirty a
+/// closure that clears the parallel threshold on the bigger sizes.
+const RESYNC_BATCH: usize = 16;
 
 fn main() {
     let mut runner = Runner::new("consistency");
@@ -79,6 +90,87 @@ fn main() {
         eprintln!("warning: could not write {out}: {e}");
     } else {
         eprintln!("wrote {out}");
+    }
+
+    // ------------------------------------------------------------------
+    // Threads sweep → BENCH_parallel.json
+    // ------------------------------------------------------------------
+    let mut size_rows = Vec::new();
+    for (n, g) in synthetic::size_sweep(SEED) {
+        let mut full_cells = Vec::new();
+        let mut full_serial_p50 = 0u64;
+        for t in THREADS {
+            let label = format!("full/{n}/threads{t}");
+            runner.bench(&label, || {
+                parallel::with_workers(t, || {
+                    check_consistency(std::hint::black_box(&g), std::hint::black_box(&g))
+                })
+            });
+            let h = runner.histogram(&label).expect("ran");
+            if t == 1 {
+                full_serial_p50 = h.p50();
+            }
+            full_cells.push(format!(
+                "{{\"threads\": {t}, \"p50_ns\": {}, \"p99_ns\": {}, \"speedup_vs_serial\": {:.2}}}",
+                h.p50(),
+                h.p99(),
+                full_serial_p50 as f64 / h.p50().max(1) as f64,
+            ));
+        }
+
+        // Incremental resync over a batch of edits: the dirty closure
+        // spans many types, so the per-type recheck fans out.
+        let base = Workspace::new(g.clone());
+        base.consistency();
+        let edits = edit_stream(&g, RESYNC_BATCH, 13);
+        let mut inc_cells = Vec::new();
+        let mut inc_serial_p50 = 0u64;
+        for t in THREADS {
+            let label = format!("resync{RESYNC_BATCH}/{n}/threads{t}");
+            runner.bench_batched_ref(
+                &label,
+                || {
+                    let mut ws = base.clone();
+                    for (context, op) in edits.iter().cloned() {
+                        ws.apply(context, op).expect("edit applies");
+                    }
+                    ws
+                },
+                |ws| parallel::with_workers(t, || ws.consistency()),
+            );
+            let h = runner.histogram(&label).expect("ran");
+            if t == 1 {
+                inc_serial_p50 = h.p50();
+            }
+            inc_cells.push(format!(
+                "{{\"threads\": {t}, \"p50_ns\": {}, \"p99_ns\": {}, \"speedup_vs_serial\": {:.2}}}",
+                h.p50(),
+                h.p99(),
+                inc_serial_p50 as f64 / h.p50().max(1) as f64,
+            ));
+        }
+
+        size_rows.push(format!(
+            "    {{\"types\": {n},\n     \"full\": [{}],\n     \"resync_batch{RESYNC_BATCH}\": [{}]}}",
+            full_cells.join(", "),
+            inc_cells.join(", "),
+        ));
+    }
+
+    let parallel_out = std::env::var("SWS_BENCH_PARALLEL_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_parallel.json", env!("CARGO_MANIFEST_DIR")));
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_consistency\",\n  \"seed\": {SEED},\n  \
+         \"iters\": {iters},\n  \"host_parallelism\": {host},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        size_rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&parallel_out, &json) {
+        eprintln!("warning: could not write {parallel_out}: {e}");
+    } else {
+        eprintln!("wrote {parallel_out}");
     }
 
     runner.finish();

@@ -2,11 +2,12 @@
 //! activity 3) and single-root normalization (§3.2).
 
 use super::{ConceptKind, ConceptSchema};
+use crate::parallel;
 use sws_model::{query, SchemaGraph, TypeId};
 use sws_odl::HierKind;
 
 /// The result of decomposing a schema.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Decomposition {
     /// One wagon wheel per object type, in type order.
     pub wagon_wheels: Vec<ConceptSchema>,
@@ -49,58 +50,37 @@ impl Decomposition {
 
 /// Decompose `g` into its concept schemas. Does not mutate the graph; see
 /// [`normalize_single_root`] for the multi-root transformation.
+///
+/// Each kind of concept schema is discovered by independent closure walks
+/// (one per seed: type, generalization component, hierarchy root), so the
+/// walks fan out across worker threads via [`crate::parallel::map`]. The
+/// merge is deterministic — results come back in seed order — so the
+/// decomposition is identical at every thread count.
 pub fn decompose(g: &SchemaGraph) -> Decomposition {
     let mut sp = sws_trace::span!("core.decompose", types = g.type_count());
     let mut ww_span = sws_trace::span("core.decompose.wagon_wheels");
-    let mut wagon_wheels = Vec::with_capacity(g.type_count());
-    for (id, node) in g.types() {
-        let mut cs = ConceptSchema::new(ConceptKind::WagonWheel, id, &node.name);
-        // Spokes: attributes and operations of the focal point.
-        cs.attrs.extend(node.attrs.iter().copied());
-        cs.ops.extend(node.ops.iter().copied());
-        // Relationships of distance one, bringing in the opposite type.
-        for &(r, e) in &node.rel_ends {
-            cs.rels.insert(r);
-            cs.types.insert(g.rel(r).other(e).owner);
-        }
-        // Hierarchy links of distance one.
-        for &l in node.parent_links.iter().chain(&node.child_links) {
-            let link = g.link(l);
-            cs.links.insert(l);
-            cs.types.insert(link.parent);
-            cs.types.insert(link.child);
-        }
-        // Generalization edges of distance one.
-        for &sup in &node.supertypes {
-            cs.gen_edges.insert((id, sup));
-            cs.types.insert(sup);
-        }
-        for &sub in &node.subtypes {
-            cs.gen_edges.insert((sub, id));
-            cs.types.insert(sub);
-        }
-        wagon_wheels.push(cs);
-    }
+    let ids: Vec<TypeId> = g.types().map(|(id, _)| id).collect();
+    let wagon_wheels = parallel::map(&ids, |_, &id| wagon_wheel(g, id));
     ww_span.record("schemas", wagon_wheels.len());
     ww_span.record("elements", total_elements(&wagon_wheels));
     drop(ww_span);
 
     let mut gen_span = sws_trace::span("core.decompose.generalizations");
-    let mut generalizations = Vec::new();
-    for component in query::generalization_components(g) {
-        let roots = query::component_roots(g, &component);
+    let components = query::generalization_components(g);
+    let generalizations = parallel::map(&components, |_, component| {
+        let roots = query::component_roots(g, component);
         // Name the hierarchy after its root; with multiple roots (a schema
         // not yet normalized) fall back to the smallest member.
         let focal = roots.first().copied().unwrap_or(component[0]);
         let mut cs = ConceptSchema::new(ConceptKind::Generalization, focal, g.type_name(focal));
-        for &t in &component {
+        for &t in component {
             cs.types.insert(t);
             for &sup in &g.ty(t).supertypes {
                 cs.gen_edges.insert((t, sup));
             }
         }
-        generalizations.push(cs);
-    }
+        cs
+    });
     gen_span.record("schemas", generalizations.len());
     gen_span.record("elements", total_elements(&generalizations));
     drop(gen_span);
@@ -134,16 +114,47 @@ fn total_elements(schemas: &[ConceptSchema]) -> usize {
         .sum()
 }
 
+/// One wagon wheel: the focal type and its distance-one neighbourhood.
+fn wagon_wheel(g: &SchemaGraph, id: TypeId) -> ConceptSchema {
+    let node = g.ty(id);
+    let mut cs = ConceptSchema::new(ConceptKind::WagonWheel, id, &node.name);
+    // Spokes: attributes and operations of the focal point.
+    cs.attrs.extend(node.attrs.iter().copied());
+    cs.ops.extend(node.ops.iter().copied());
+    // Relationships of distance one, bringing in the opposite type.
+    for &(r, e) in &node.rel_ends {
+        cs.rels.insert(r);
+        cs.types.insert(g.rel(r).other(e).owner);
+    }
+    // Hierarchy links of distance one.
+    for &l in node.parent_links.iter().chain(&node.child_links) {
+        let link = g.link(l);
+        cs.links.insert(l);
+        cs.types.insert(link.parent);
+        cs.types.insert(link.child);
+    }
+    // Generalization edges of distance one.
+    for &sup in &node.supertypes {
+        cs.gen_edges.insert((id, sup));
+        cs.types.insert(sup);
+    }
+    for &sub in &node.subtypes {
+        cs.gen_edges.insert((sub, id));
+        cs.types.insert(sub);
+    }
+    cs
+}
+
 fn hier_decompose(g: &SchemaGraph, kind: HierKind, concept: ConceptKind) -> Vec<ConceptSchema> {
     let mut sp = sws_trace::span!("core.decompose.hierarchies", kind = hier_tag(kind));
-    let mut out = Vec::new();
-    for root in query::hier_roots(g, kind) {
+    let roots = query::hier_roots(g, kind);
+    let out = parallel::map(&roots, |_, &root| {
         let (types, links) = query::hier_closure(g, kind, root);
         let mut cs = ConceptSchema::new(concept, root, g.type_name(root));
         cs.types.extend(types);
         cs.links.extend(links);
-        out.push(cs);
-    }
+        cs
+    });
     sp.record("schemas", out.len());
     sp.record("elements", total_elements(&out));
     out

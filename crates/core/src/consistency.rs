@@ -17,13 +17,20 @@
 //! incrementally — after an operation, only the types in the expanded
 //! [`DirtySet`](crate::impact::DirtySet) are re-examined and their stored
 //! findings replaced; the rest of the report is reused verbatim.
+//!
+//! The same decomposition makes the checks parallel: types are sharded
+//! across worker threads (see [`crate::parallel`]), each worker checks its
+//! shard against the shared read-only graphs with a worker-local
+//! [`QueryCache`], and the per-type findings are merged back in arena
+//! order before the stable severity sort — so the report is **byte
+//! identical** at every thread count. `SWS_THREADS=1` takes the exact
+//! serial path on the caller's warm cache.
 
 use crate::impact::DirtySet;
+use crate::parallel;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use sws_model::{
-    check_type_well_formed, check_well_formed, query, QueryCache, SchemaGraph, TypeId, WfIssue,
-};
+use sws_model::{check_type_well_formed, query, QueryCache, SchemaGraph, TypeId, WfIssue};
 use sws_odl::HierKind;
 
 /// How serious a finding is.
@@ -155,54 +162,64 @@ impl ConsistencyReport {
 }
 
 /// Run all consistency checks on `working` relative to `shrink_wrap`.
+///
+/// Types are sharded across [`crate::parallel::workers`] worker threads;
+/// the per-type findings are merged back in arena order (check-major)
+/// before the stable severity sort, so the report does not depend on the
+/// thread count.
 pub fn check_consistency(working: &SchemaGraph, shrink_wrap: &SchemaGraph) -> ConsistencyReport {
     let mut sp = sws_trace::span!("core.consistency", types = working.type_count());
 
-    let mut findings = check_named(working, "well_formed", |working, findings| {
-        findings.extend(check_well_formed(working).into_iter().map(CrossIssue::Wf));
-    });
-    findings.append(&mut check_named(
-        working,
-        "shrink_wrap_relative",
-        |working, findings| {
-            findings.append(&mut check_shrink_wrap_relative(working, shrink_wrap));
-        },
-    ));
-    findings.append(&mut check_named(
-        working,
-        "structure",
-        |working, findings| {
-            findings.append(&mut check_structure(working));
-        },
-    ));
+    let ids: Vec<TypeId> = working.types().map(|(id, _)| id).collect();
+    let per_type = compute_findings_for(working, shrink_wrap, &QueryCache::new(), &ids);
+    let findings = assemble_findings(per_type.iter());
 
-    findings.sort_by_key(|f| f.severity());
     sp.record("findings", findings.len());
     sws_trace::counter("consistency.findings", findings.len() as u64);
     ConsistencyReport { findings }
 }
 
-/// Run one named check under a `core.consistency.<name>` span, recording how
-/// many findings it produced.
-fn check_named(
+/// All three per-type checks for every id in `ids`, in order. Serial runs
+/// (one worker, or fewer than the parallel threshold) share the caller's
+/// `qc`; parallel runs give each worker a fresh worker-local cache, which
+/// is semantically transparent — a cache can change only *when* a
+/// traversal is computed, never its result.
+fn compute_findings_for(
     working: &SchemaGraph,
-    name: &'static str,
-    check: impl FnOnce(&SchemaGraph, &mut Vec<CrossIssue>),
-) -> Vec<CrossIssue> {
-    let mut sp = sws_trace::span!("core.consistency.check", check = name);
-    let mut findings = Vec::new();
-    check(working, &mut findings);
-    sp.record("findings", findings.len());
-    findings
+    shrink_wrap: &SchemaGraph,
+    qc: &QueryCache,
+    ids: &[TypeId],
+) -> Vec<TypeFindings> {
+    if parallel::parallelism_for(ids.len()) <= 1 {
+        ids.iter()
+            .map(|&id| compute_type_findings(working, shrink_wrap, qc, id))
+            .collect()
+    } else {
+        parallel::map_with(ids, QueryCache::new, |qc, _, &id| {
+            compute_type_findings(working, shrink_wrap, qc, id)
+        })
+    }
 }
 
-/// Keys and extents present in the shrink wrap schema but lost from the
-/// same-named custom type.
-fn check_shrink_wrap_relative(working: &SchemaGraph, shrink_wrap: &SchemaGraph) -> Vec<CrossIssue> {
+/// Concatenate per-type findings check-major (all wf, then all
+/// shrink-wrap-relative, then all structure — each in the order of
+/// `per_type`), then severity-sort stably: exactly the order every
+/// consistency report in this crate uses.
+fn assemble_findings<'a>(
+    per_type: impl Iterator<Item = &'a TypeFindings> + Clone,
+) -> Vec<CrossIssue> {
     let mut findings = Vec::new();
-    for (id, _) in working.types() {
-        type_shrink_wrap_relative(working, shrink_wrap, id, &mut findings);
+    for group in 0..3 {
+        for tf in per_type.clone() {
+            let src = match group {
+                0 => &tf.wf,
+                1 => &tf.relative,
+                _ => &tf.structure,
+            };
+            findings.extend(src.iter().cloned());
+        }
     }
+    findings.sort_by_key(|f| f.severity());
     findings
 }
 
@@ -229,17 +246,8 @@ fn type_shrink_wrap_relative(
     }
 }
 
-/// Structural findings: isolated types, abstract leaves, branching
-/// instance-of chains.
-fn check_structure(working: &SchemaGraph) -> Vec<CrossIssue> {
-    let mut findings = Vec::new();
-    for (id, _) in working.types() {
-        type_structure(working, id, &mut findings);
-    }
-    findings
-}
-
-/// Structural findings for one type.
+/// Structural findings for one type: isolated types, abstract leaves,
+/// branching instance-of chains.
 fn type_structure(working: &SchemaGraph, id: TypeId, findings: &mut Vec<CrossIssue>) {
     let node = working.ty(id);
     let isolated = node.attrs.is_empty()
@@ -347,12 +355,11 @@ impl ConsistencyState {
             let mut sp =
                 sws_trace::span!("core.consistency.full_sync", types = working.type_count());
             self.by_type.clear();
-            let mut rechecked = 0usize;
-            for (id, node) in working.types() {
-                let name = node.name.clone();
-                let findings = compute_type_findings(working, shrink_wrap, qc, id);
-                self.by_type.insert(name, findings);
-                rechecked += 1;
+            let ids: Vec<TypeId> = working.types().map(|(id, _)| id).collect();
+            let per_type = compute_findings_for(working, shrink_wrap, qc, &ids);
+            let rechecked = ids.len();
+            for (id, findings) in ids.into_iter().zip(per_type) {
+                self.by_type.insert(working.ty(id).name.clone(), findings);
             }
             self.full_pending = false;
             self.pending = DirtySet::default();
@@ -370,9 +377,15 @@ impl ConsistencyState {
         //    finding.
         let mut names: BTreeSet<String> = dirty.touched;
         if !dirty.existence_changed.is_empty() {
-            for (_, node) in working.types() {
-                if type_references_any(working, node, &dirty.existence_changed) {
-                    names.insert(node.name.clone());
+            // The reference scan visits every live type; on large graphs it
+            // dominates the incremental sync, so shard it too.
+            let ids: Vec<TypeId> = working.types().map(|(id, _)| id).collect();
+            let hits = parallel::map(&ids, |_, &id| {
+                type_references_any(working, working.ty(id), &dirty.existence_changed)
+            });
+            for (&id, hit) in ids.iter().zip(hits) {
+                if hit {
+                    names.insert(working.ty(id).name.clone());
                 }
             }
         }
@@ -407,11 +420,11 @@ impl ConsistencyState {
         }
         closure.extend(dependents);
 
-        let rechecked = closure.len();
-        for &id in &closure {
-            let name = working.ty(id).name.clone();
-            let findings = compute_type_findings(working, shrink_wrap, qc, id);
-            self.by_type.insert(name, findings);
+        let ids: Vec<TypeId> = closure.into_iter().collect();
+        let rechecked = ids.len();
+        let per_type = compute_findings_for(working, shrink_wrap, qc, &ids);
+        for (id, findings) in ids.into_iter().zip(per_type) {
+            self.by_type.insert(working.ty(id).name.clone(), findings);
         }
         sp.record("rechecked", rechecked);
         sws_trace::counter("consistency.dirty_types", rechecked as u64);

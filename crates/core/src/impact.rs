@@ -214,6 +214,13 @@ impl DirtySet {
         self.touched.is_empty() && self.existence_changed.is_empty()
     }
 
+    /// Number of distinct names in the seed (touched plus
+    /// existence-changed). The incremental consistency sync reports this
+    /// as its dirty-set size when deciding whether to fan out.
+    pub fn len(&self) -> usize {
+        self.touched.len() + self.existence_changed.len()
+    }
+
     /// Fold another dirty set into this one.
     pub fn merge(&mut self, other: &DirtySet) {
         self.touched.extend(other.touched.iter().cloned());

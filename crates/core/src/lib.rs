@@ -23,6 +23,8 @@
 //! * [`impact`] and [`feedback`] — impact reports and cautionary feedback
 //!   (activities 9–11),
 //! * [`consistency`] — consistency checks over the customized schema,
+//!   sharded across worker threads by [`parallel`] with a determinism
+//!   guarantee (thread count never changes a report),
 //! * [`mapping`] — the semantic correspondence between shrink wrap and
 //!   custom schema (activity 10).
 
@@ -38,6 +40,7 @@ pub mod interop;
 pub mod mapping;
 pub mod oplang;
 pub mod ops;
+pub mod parallel;
 pub mod report;
 pub mod workspace;
 

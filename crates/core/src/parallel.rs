@@ -1,0 +1,340 @@
+//! Deterministic scoped-thread parallel execution for the hot
+//! verification paths.
+//!
+//! The paper's workflow — decompose into concept schemas, customize each
+//! independently, re-verify the integrated result — is embarrassingly
+//! parallel *per concept schema and per type*. This module is the
+//! zero-dependency substrate the engine fans out on: a chunked work queue
+//! over [`std::thread::scope`], sized by [`workers`].
+//!
+//! # Determinism guarantee
+//!
+//! [`map`] / [`map_with`] return results **in item order**, regardless of
+//! worker count, scheduling, or chunk interleaving. Each worker grabs
+//! contiguous chunks off a shared atomic cursor, computes its results
+//! locally, and tags them with the chunk index; the merge sorts by chunk
+//! index and concatenates. As long as the per-item function is a pure
+//! function of `(index, item)` — which every consistency check and
+//! decomposition walk is, per-worker caches being semantically transparent
+//! — the output vector is byte-identical to the serial run. The
+//! differential suite (`tests/parallel_differential.rs`) pins this for
+//! every corpus schema across `SWS_THREADS ∈ {1, 2, 4, 8}`.
+//!
+//! # Worker-count resolution
+//!
+//! 1. a thread-local override ([`set_override`] / [`with_workers`]) —
+//!    used by `swsd --threads` and the test/bench sweeps, immune to
+//!    cross-test environment races;
+//! 2. the `SWS_THREADS` environment variable (`1` = exact serial path);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Small inputs (fewer than [`PAR_MIN_ITEMS`] items) always take the
+//! serial path: an incremental resync with a three-type dirty closure
+//! should not pay thread-spawn latency.
+//!
+//! # Observability
+//!
+//! A parallel run opens a `core.parallel` span and emits, per worker, a
+//! `core.parallel.worker` span plus the counters `core.parallel.workers`
+//! (workers that actually ran), `core.parallel.chunks` (chunks
+//! processed), and `core.parallel.steal` (chunks a worker took beyond its
+//! fair share — i.e. work claimed off a slower sibling's notional
+//! stripe). Chunk sizes feed the `core.parallel.shard_items` histogram.
+//! The parent thread's active recorder is propagated into every worker,
+//! so traces and counters from inside the fan-out land in the same
+//! session.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Inputs smaller than this always run serially: below it, thread-spawn
+/// latency dominates any possible speedup.
+pub const PAR_MIN_ITEMS: usize = 8;
+
+/// Each worker's share of the input is split into this many chunks, so a
+/// worker that drew cheap items can steal the tail of a slower sibling's
+/// stripe instead of idling at the barrier.
+const CHUNKS_PER_WORKER: usize = 4;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker count parallel maps on this thread will use: the
+/// thread-local override if set, else `SWS_THREADS`, else
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn workers() -> usize {
+    if let Some(n) = OVERRIDE.with(|c| c.get()) {
+        return n.max(1);
+    }
+    match std::env::var("SWS_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => default_workers(),
+        },
+        Err(_) => default_workers(),
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The worker count a map over `len` items would actually fan out to
+/// (1 = the exact serial path). Callers with a warm per-thread cache use
+/// this to keep the serial path on that cache.
+pub fn parallelism_for(len: usize) -> usize {
+    if len < PAR_MIN_ITEMS {
+        return 1;
+    }
+    workers().min(len.div_ceil(2)).max(1)
+}
+
+/// Set (or clear) this thread's worker-count override. Overrides
+/// `SWS_THREADS`; used by `swsd --threads`.
+pub fn set_override(n: Option<usize>) {
+    OVERRIDE.with(|c| c.set(n));
+}
+
+/// Run `f` with the worker count forced to `n` on this thread, restoring
+/// the previous override afterwards (also on panic). The differential
+/// tests sweep thread counts through this without touching the process
+/// environment.
+pub fn with_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// Parallel map with deterministic output order: `out[i] = f(i, &items[i])`.
+pub fn map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    map_with(items, || (), |(), i, t| f(i, t))
+}
+
+/// Parallel map with worker-local state: each worker calls `init` once
+/// and threads the state through its items (serial runs share one state).
+/// The state must be semantically transparent — a memo cache, a scratch
+/// buffer — for the determinism guarantee to hold. Output order is item
+/// order.
+pub fn map_with<T, R, S>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let workers = parallelism_for(items.len());
+    if workers <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
+    }
+    map_chunked(items, workers, &init, &f)
+}
+
+fn map_chunked<T, R, S>(
+    items: &[T],
+    workers: usize,
+    init: &(impl Fn() -> S + Sync),
+    f: &(impl Fn(&mut S, usize, &T) -> R + Sync),
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let chunk = items.len().div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    let workers = workers.min(n_chunks);
+    // Fair share per worker; chunks taken beyond it were stolen from a
+    // slower sibling's notional stripe.
+    let fair = n_chunks.div_ceil(workers);
+    let cursor = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let recorder = sws_trace::current();
+
+    let mut sp = sws_trace::span!(
+        "core.parallel",
+        items = items.len(),
+        workers = workers,
+        chunks = n_chunks
+    );
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let cursor = &cursor;
+            let parts = &parts;
+            let recorder = recorder.clone();
+            scope.spawn(move || {
+                // Propagate the parent's recorder so worker spans and
+                // counters land in the same trace session.
+                let _guard = recorder.as_ref().map(|r| r.install_thread());
+                let mut wsp = sws_trace::span!("core.parallel.worker", worker = w);
+                sws_trace::counter("core.parallel.workers", 1);
+                let mut state = init();
+                let mut taken = 0usize;
+                let mut done = 0usize;
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    taken += 1;
+                    if taken > fair {
+                        sws_trace::counter("core.parallel.steal", 1);
+                    }
+                    sws_trace::counter("core.parallel.chunks", 1);
+                    let lo = c * chunk;
+                    let hi = ((c + 1) * chunk).min(items.len());
+                    sws_trace::record_value("core.parallel.shard_items", (hi - lo) as u64);
+                    let out: Vec<R> = items[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(&mut state, lo + i, t))
+                        .collect();
+                    done += out.len();
+                    parts
+                        .lock()
+                        .expect("worker panicked holding parts")
+                        .push((c, out));
+                }
+                wsp.record("chunks", taken);
+                wsp.record("items", done);
+            });
+        }
+    });
+
+    let mut parts = parts.into_inner().expect("worker panicked holding parts");
+    parts.sort_unstable_by_key(|&(c, _)| c);
+    debug_assert_eq!(parts.len(), n_chunks);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, mut part) in parts {
+        out.append(&mut part);
+    }
+    sp.record("merged", out.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order_at_every_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 33] {
+            let got = with_workers(threads, || map(&items, |_, &x| x * 3 + 1));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_with_threads_state_per_worker() {
+        // State is a memo counter; results must not depend on it.
+        let items: Vec<u64> = (0..100).collect();
+        let got = with_workers(4, || {
+            map_with(
+                &items,
+                || 0u64,
+                |acc, i, &x| {
+                    *acc += 1;
+                    x + i as u64 + (*acc * 0) // state used but transparent
+                },
+            )
+        });
+        let expect: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + i as u64)
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn small_inputs_stay_serial() {
+        assert_eq!(parallelism_for(0), 1);
+        assert_eq!(parallelism_for(PAR_MIN_ITEMS - 1), 1);
+        let items = [1, 2, 3];
+        assert_eq!(
+            with_workers(8, || map(&items, |_, &x| x + 1)),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn override_beats_env_and_restores() {
+        set_override(Some(3));
+        assert_eq!(workers(), 3);
+        let inner = with_workers(7, workers);
+        assert_eq!(inner, 7);
+        assert_eq!(workers(), 3, "with_workers restores the previous override");
+        set_override(None);
+    }
+
+    #[test]
+    fn zero_override_clamps_to_one() {
+        assert_eq!(with_workers(0, workers), 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: [u8; 0] = [];
+        assert!(with_workers(4, || map(&items, |_, &x| x)).is_empty());
+    }
+
+    #[test]
+    fn worker_activity_is_traced() {
+        use sws_trace::Recorder;
+        let rec = Recorder::new();
+        let items: Vec<usize> = (0..64).collect();
+        let got = {
+            let _guard = rec.install_thread();
+            with_workers(4, || map(&items, |_, &x| x))
+        };
+        assert_eq!(got, items);
+        let session = rec.take();
+        assert!(session.counter("core.parallel.workers") >= 1);
+        assert!(session.counter("core.parallel.chunks") >= 1);
+        let shard = session
+            .histogram("core.parallel.shard_items")
+            .expect("shard-size histogram");
+        assert_eq!(
+            shard.count(),
+            session.counter("core.parallel.chunks"),
+            "one shard-size sample per chunk"
+        );
+        assert_eq!(session.closed_spans("core.parallel").count(), 1);
+        assert!(session.closed_spans("core.parallel.worker").count() >= 1);
+    }
+
+    #[test]
+    fn deterministic_with_uneven_item_cost() {
+        // Items with wildly different costs exercise stealing; the merge
+        // must still be in item order.
+        let items: Vec<u32> = (0..200).collect();
+        let f = |_: usize, &x: &u32| {
+            let spin = if x % 17 == 0 { 5_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(31).wrapping_add(7);
+            }
+            (x, acc)
+        };
+        let serial = with_workers(1, || map(&items, f));
+        for threads in [2, 4, 8] {
+            assert_eq!(with_workers(threads, || map(&items, f)), serial);
+        }
+    }
+}

@@ -221,7 +221,10 @@ impl Workspace {
     /// incrementally: only the types affected by operations applied since
     /// the last call are rechecked.
     ///
-    /// In debug builds the incremental result is asserted identical to a
+    /// Large dirty closures fan out across worker threads (see
+    /// [`crate::parallel`]); small ones stay on the serial path with this
+    /// workspace's warm query cache. Either way the report is identical —
+    /// in debug builds the incremental result is asserted identical to a
     /// from-scratch [`check_consistency`] run.
     pub fn consistency(&self) -> ConsistencyReport {
         let report = {

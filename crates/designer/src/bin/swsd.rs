@@ -22,6 +22,11 @@
 //! exit; `--trace=json` dumps the raw trace as JSON lines instead (one
 //! object per span/event), for machine consumption.
 //!
+//! `--threads=N` pins the worker count for consistency checks and
+//! decomposition (default: the `SWS_THREADS` environment variable, else
+//! available parallelism; `1` = the exact serial path). Thread count never
+//! changes a report.
+//!
 //! Exit codes (also via `--help`):
 //!
 //! ```text
@@ -47,14 +52,15 @@ const EXIT_CORRUPT: u8 = 4;
 const EXIT_IO: u8 = 5;
 const EXIT_RECOVERED: u8 = 6;
 
-const USAGE: &str = "usage: swsd [--trace[=json]] [--strict] --schema <file.odl> | --session <dir>";
+const USAGE: &str =
+    "usage: swsd [--trace[=json]] [--strict] [--threads=N] --schema <file.odl> | --session <dir>";
 
 const HELP: &str = "\
 swsd — interactive shrink-wrap-schema designer
 
 usage:
-  swsd [--trace[=json]] [--strict] --schema <file.odl>
-  swsd [--trace[=json]] [--strict] --session <dir>
+  swsd [--trace[=json]] [--strict] [--threads=N] --schema <file.odl>
+  swsd [--trace[=json]] [--strict] [--threads=N] --session <dir>
 
 options:
   --schema <file.odl>  start a fresh session on an extended-ODL schema
@@ -62,6 +68,10 @@ options:
                        mode (damage repaired and reported) unless --strict
   --strict             fail on the first checksum/parse/replay
                        inconsistency instead of salvaging
+  --threads=N          worker threads for consistency checks and
+                       decomposition (1 = serial; overrides SWS_THREADS;
+                       default: SWS_THREADS, else available parallelism).
+                       Reports are identical at every thread count.
   --trace[=json]       dump a structured trace to stderr on exit
   --help               show this help
 
@@ -95,6 +105,16 @@ fn main() -> ExitCode {
             "--trace" => trace_mode = Some(TraceMode::Tree),
             "--trace=json" => trace_mode = Some(TraceMode::Json),
             "--strict" => strict = true,
+            _ if arg.starts_with("--threads=") => {
+                let value = &arg["--threads=".len()..];
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => sws_core::parallel::set_override(Some(n)),
+                    _ => {
+                        eprintln!("swsd: --threads wants a positive integer, got `{value}`");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 print!("{HELP}");
                 return ExitCode::SUCCESS;

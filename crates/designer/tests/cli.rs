@@ -12,12 +12,14 @@ fn run_swsd(args: &[&str], stdin: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("swsd spawns");
-    child
+    // A child that rejects its arguments (usage error, strict-mode load
+    // failure) exits without reading stdin; the resulting BrokenPipe on
+    // our side is expected, not a test failure.
+    let _ = child
         .stdin
         .as_mut()
         .expect("stdin piped")
-        .write_all(stdin.as_bytes())
-        .expect("write");
+        .write_all(stdin.as_bytes());
     let output = child.wait_with_output().expect("swsd exits");
     (
         String::from_utf8_lossy(&output.stdout).into_owned(),
@@ -35,12 +37,12 @@ fn run_swsd_code(args: &[&str], stdin: &str) -> (String, String, i32) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("swsd spawns");
-    child
+    // See run_swsd: a fast-exiting child may close stdin before we write.
+    let _ = child
         .stdin
         .as_mut()
         .expect("stdin piped")
-        .write_all(stdin.as_bytes())
-        .expect("write");
+        .write_all(stdin.as_bytes());
     let output = child.wait_with_output().expect("swsd exits");
     (
         String::from_utf8_lossy(&output.stdout).into_owned(),
@@ -130,13 +132,180 @@ fn trace_json_flag_dumps_checker_valid_jsonl_to_stderr() {
         "odl.parse",
         "core.decompose",
         "ws.apply",
-        "core.consistency.check",
+        "core.consistency",
     ] {
         assert!(
             stderr.contains(&format!("\"name\":\"{name}\"")),
             "missing span `{name}` in:\n{stderr}"
         );
     }
+}
+
+/// A schema wide enough (16 types) to clear the parallel checker's
+/// `PAR_MIN_ITEMS` threshold, so `--threads=N` actually fans out.
+fn wide_schema_file(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swsd_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wide.odl");
+    let src: String = (0..16)
+        .map(|i| format!("interface Wide{i} {{ attribute long x{i}; }}\n"))
+        .collect();
+    std::fs::write(&path, src).unwrap();
+    path
+}
+
+#[test]
+fn threads_flag_fans_out_and_output_matches_serial() {
+    let schema = wide_schema_file("threads");
+    let script = "concepts\ncheck\nquit\n";
+    let (serial_out, _, ok) = run_swsd(
+        &["--threads=1", "--schema", schema.to_str().unwrap()],
+        script,
+    );
+    assert!(ok);
+    let (parallel_out, stderr, ok) = run_swsd(
+        &[
+            "--threads=4",
+            "--trace=json",
+            "--schema",
+            schema.to_str().unwrap(),
+        ],
+        script,
+    );
+    assert!(ok, "stderr: {stderr}");
+    // Determinism end to end: the user-visible transcript is identical.
+    assert_eq!(parallel_out, serial_out);
+    // The fan-out really happened and is observable in the trace.
+    for needle in [
+        "\"name\":\"core.parallel\"",
+        "\"name\":\"core.parallel.worker\"",
+        "\"name\":\"core.parallel.workers\"",
+        "\"name\":\"core.parallel.chunks\"",
+    ] {
+        assert!(stderr.contains(needle), "missing {needle} in:\n{stderr}");
+    }
+}
+
+#[test]
+fn threads_flag_rejects_garbage() {
+    for bad in ["--threads=0", "--threads=abc", "--threads="] {
+        let (_, stderr, code) = run_swsd_code(&[bad], "");
+        assert_eq!(code, 2, "{bad} must be a usage error");
+        assert!(stderr.contains("--threads"), "{stderr}");
+    }
+}
+
+#[test]
+fn help_documents_threads_flag() {
+    let (stdout, _, code) = run_swsd_code(&["--help"], "");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("--threads=N"), "{stdout}");
+    assert!(stdout.contains("SWS_THREADS"), "{stdout}");
+}
+
+/// The top-level keys of one flat-ish JSON object, in order. Nested
+/// objects (the `fields` payload) are skipped, not descended into.
+fn top_level_keys(line: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = line.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    let mut in_str = false;
+    let mut str_start = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_str {
+            match b {
+                b'\\' => i += 1,
+                b'"' => {
+                    // A string at depth 1 followed by `:` is a top-level key.
+                    if depth == 1 && bytes.get(i + 1) == Some(&b':') {
+                        keys.push(line[str_start..i].to_string());
+                    }
+                    in_str = false;
+                }
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => {
+                    in_str = true;
+                    str_start = i + 1;
+                }
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => depth -= 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    keys
+}
+
+/// Golden pin of the `--trace=json` JSONL schema: the exact top-level key
+/// sequence of every line type. Downstream consumers key on these names;
+/// the `core.parallel.*` additions must not change the shape, and any
+/// future field rename must show up here as a deliberate diff.
+#[test]
+fn trace_json_schema_is_pinned() {
+    let schema = wide_schema_file("golden");
+    let script = "concepts\nadd_type_definition(Project)\ncheck\nquit\n";
+    let (_, stderr, ok) = run_swsd(
+        &[
+            "--threads=4",
+            "--trace=json",
+            "--schema",
+            schema.to_str().unwrap(),
+        ],
+        script,
+    );
+    assert!(ok, "stderr: {stderr}");
+    sws_trace::export::jsonl::check(&stderr).unwrap();
+
+    let mut seen = std::collections::BTreeSet::new();
+    for line in stderr.lines().filter(|l| !l.trim().is_empty()) {
+        let keys = top_level_keys(line);
+        assert_eq!(keys.first().map(String::as_str), Some("type"), "{line}");
+        let ty = line
+            .split("\"type\":\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .unwrap_or_else(|| panic!("no type in {line}"));
+        seen.insert(ty.to_string());
+        let joined = keys.join(",");
+        let expect: &[&str] = match ty {
+            "span_open" | "event" => &[
+                "type,seq,ts_ns,name,span,parent",
+                "type,seq,ts_ns,name,span,parent,fields",
+            ],
+            "span_close" => &[
+                "type,seq,ts_ns,name,span,parent,dur_ns",
+                "type,seq,ts_ns,name,span,parent,dur_ns,fields",
+            ],
+            "counter" => &["type,name,value"],
+            "histogram" => &["type,name,count,sum_ns,min_ns,p50_ns,p99_ns,max_ns"],
+            other => panic!("unknown line type `{other}`: {line}"),
+        };
+        assert!(
+            expect.contains(&joined.as_str()),
+            "schema drift for `{ty}`: got [{joined}] in {line}"
+        );
+    }
+    // Every line type the pipeline emits occurred, so every shape above
+    // was actually checked ("event" lines exist in the format but no
+    // pipeline stage emits Point events today), and the parallel counters
+    // ride the pinned `counter` shape.
+    for ty in ["span_open", "span_close", "counter", "histogram"] {
+        assert!(seen.contains(ty), "no `{ty}` line in:\n{stderr}");
+    }
+    assert!(
+        stderr.contains("\"type\":\"counter\",\"name\":\"core.parallel.workers\",\"value\":"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("\"type\":\"histogram\",\"name\":\"core.parallel.shard_items\","),
+        "{stderr}"
+    );
 }
 
 #[test]

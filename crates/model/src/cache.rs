@@ -11,7 +11,16 @@
 //! The cache uses interior mutability (`Cell`/`RefCell`) so read-only code
 //! paths (well-formedness checking, precondition constraints) can share one
 //! `&QueryCache` without threading `&mut` everywhere. It is intentionally
-//! not `Sync`; use one cache per thread.
+//! **neither `Send` nor `Sync`** (and the compiler enforces it — see the
+//! compile-fail doctests on [`QueryCache`]): the unsynchronized
+//! `Cell`/`RefCell`/`Rc` interior means a cache shared across the scoped
+//! worker threads of `sws-core`'s parallel checker would race on the
+//! generation stamp and could serve an entry from a previous generation.
+//! Instead, **each worker constructs its own cache inside its thread**
+//! (`parallel::map_with` with `QueryCache::new` as the worker-state
+//! initializer). That is semantically transparent: a cache changes only
+//! *when* a traversal is computed, never its result, so per-worker caches
+//! yield byte-identical reports.
 //!
 //! **Pair one cache with one graph.** A cloned graph starts at its parent's
 //! generation but diverges independently, so a cache shared across two
@@ -36,6 +45,19 @@ type Memo<K, V> = RefCell<HashMap<K, Rc<V>>>;
 
 /// Memoizes hot hierarchy traversals for one [`SchemaGraph`]. See the
 /// module docs.
+///
+/// A `QueryCache` must stay on the thread that created it. Both auto
+/// traits are denied by its interior:
+///
+/// ```compile_fail,E0277
+/// fn require_send<T: Send>() {}
+/// require_send::<sws_model::QueryCache>(); // Rc interior: not Send
+/// ```
+///
+/// ```compile_fail,E0277
+/// fn require_sync<T: Sync>() {}
+/// require_sync::<sws_model::QueryCache>(); // Cell/RefCell interior: not Sync
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct QueryCache {
     generation: Cell<u64>,
@@ -160,6 +182,14 @@ impl QueryCache {
         a == b || self.is_ancestor(g, a, b) || self.is_ancestor(g, b, a)
     }
 
+    /// The graph generation the cached entries are stamped with. After any
+    /// lookup this equals the paired graph's
+    /// [`generation`](SchemaGraph::generation); the stale-generation
+    /// regression tests assert it.
+    pub fn generation(&self) -> u64 {
+        self.generation.get()
+    }
+
     /// Lifetime hit count (monotonic, survives invalidation).
     pub fn hits(&self) -> u64 {
         self.hits.get()
@@ -207,6 +237,47 @@ mod tests {
         assert_eq!(qc.ancestors(&g, c).len(), 0);
         assert_eq!(*qc.descendants(&g, a), query::descendants(&g, a));
         assert_eq!(qc.hits(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_stale_generation() {
+        // The parallel checker's sharing pattern: the graph is shared
+        // read-only across scoped threads, each worker builds its own
+        // cache. Mutate the graph between fan-outs; every worker's cache
+        // must stamp itself with the *current* generation on first lookup
+        // and serve results identical to an uncached traversal.
+        let (mut g, a, b, c) = chain();
+        for round in 0..3u64 {
+            if round == 1 {
+                g.remove_supertype(c, b).unwrap();
+            } else if round == 2 {
+                g.add_supertype(c, b).unwrap();
+            }
+            let generation = g.generation();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let g = &g;
+                        scope.spawn(move || {
+                            let qc = QueryCache::new();
+                            let anc = qc.ancestors(g, c).as_ref().clone();
+                            let desc = qc.descendants(g, a).as_ref().clone();
+                            // Repeat lookups: hits must serve the same
+                            // generation's entries.
+                            assert_eq!(*qc.ancestors(g, c), anc);
+                            assert!(qc.hits() >= 1);
+                            (qc.generation(), anc, desc)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let (gen_seen, anc, desc) = h.join().unwrap();
+                    assert_eq!(gen_seen, generation, "stale generation stamp");
+                    assert_eq!(anc, query::ancestors(&g, c));
+                    assert_eq!(desc, query::descendants(&g, a));
+                }
+            });
+        }
     }
 
     #[test]

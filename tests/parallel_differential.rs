@@ -1,0 +1,138 @@
+//! Differential suite for the parallel execution layer: thread count must
+//! never change an observable result.
+//!
+//! For every corpus schema (plus a synthetic one large enough to actually
+//! fan out) and every `SWS_THREADS ∈ {1, 2, 4, 8}`:
+//!
+//! * the full consistency report is byte-identical to the serial run,
+//! * the decomposition is identical to the serial run,
+//! * the incrementally-resynced report after every step of a deterministic
+//!   edit stream is identical to the serial incremental run.
+//!
+//! Thread counts are forced through `parallel::with_workers` (a
+//! thread-local override), not the `SWS_THREADS` environment variable, so
+//! the suite is immune to cross-test env races while exercising exactly
+//! the code path the env var selects.
+//!
+//! A proptest-gated companion (`--features proptest`) drives randomized
+//! edit streams through a parallel incremental checker, a serial
+//! incremental checker, and a serial full checker, asserting three-way
+//! agreement at every step.
+
+use shrink_wrap_schemas::core::{check_consistency, decompose, parallel, Workspace};
+use shrink_wrap_schemas::corpus::{all_named, synthetic::SyntheticSpec};
+use shrink_wrap_schemas::model::SchemaGraph;
+use sws_bench::edit_scripts::edit_stream;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Corpus schemas plus a synthetic graph that clears the parallel
+/// threshold by a wide margin.
+fn suite() -> Vec<(String, SchemaGraph)> {
+    let mut all: Vec<(String, SchemaGraph)> = all_named()
+        .into_iter()
+        .map(|(n, g)| (n.to_string(), g))
+        .collect();
+    all.push((
+        "synthetic-120".to_string(),
+        SyntheticSpec::sized(120, 42).generate(),
+    ));
+    all
+}
+
+#[test]
+fn full_consistency_report_is_identical_at_every_thread_count() {
+    for (name, g) in suite() {
+        // Customize first so shrink-wrap-relative findings exist: deletions
+        // in the stream produce lost keys/dangling refs relative to `g`.
+        let mut ws = Workspace::new(g.clone());
+        for (context, op) in edit_stream(&g, 16, 7) {
+            ws.apply(context, op).unwrap();
+        }
+        let serial =
+            parallel::with_workers(1, || check_consistency(ws.working(), ws.shrink_wrap()));
+        for t in THREADS {
+            let report =
+                parallel::with_workers(t, || check_consistency(ws.working(), ws.shrink_wrap()));
+            assert_eq!(report, serial, "{name}: report diverged at {t} threads");
+        }
+    }
+}
+
+#[test]
+fn decomposition_is_identical_at_every_thread_count() {
+    for (name, g) in suite() {
+        let serial = parallel::with_workers(1, || decompose(&g));
+        for t in THREADS {
+            let d = parallel::with_workers(t, || decompose(&g));
+            assert_eq!(d, serial, "{name}: decomposition diverged at {t} threads");
+        }
+    }
+}
+
+#[test]
+fn incremental_resync_is_identical_at_every_thread_count() {
+    for (name, g) in suite() {
+        // Serial reference: one workspace, one report per applied op.
+        let serial: Vec<_> = parallel::with_workers(1, || {
+            let mut ws = Workspace::new(g.clone());
+            edit_stream(&g, 12, 11)
+                .into_iter()
+                .map(|(context, op)| {
+                    ws.apply(context, op).unwrap();
+                    ws.consistency()
+                })
+                .collect()
+        });
+        for t in THREADS {
+            let reports: Vec<_> = parallel::with_workers(t, || {
+                let mut ws = Workspace::new(g.clone());
+                edit_stream(&g, 12, 11)
+                    .into_iter()
+                    .map(|(context, op)| {
+                        ws.apply(context, op).unwrap();
+                        ws.consistency()
+                    })
+                    .collect()
+            });
+            assert_eq!(
+                reports, serial,
+                "{name}: incremental resync diverged at {t} threads"
+            );
+        }
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod random {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Three checkers — parallel incremental, serial incremental,
+        /// serial full — agree after every step of a random edit stream.
+        #[test]
+        fn parallel_checker_agrees_with_serial_checkers(
+            seed in 0u64..10_000,
+            count in 1usize..24,
+            threads in 2usize..9,
+        ) {
+            let g = SyntheticSpec::sized(60, seed ^ 0x5157).generate();
+            let mut ws_par = Workspace::new(g.clone());
+            let mut ws_ser = Workspace::new(g.clone());
+            for (context, op) in edit_stream(&g, count, seed) {
+                ws_par.apply(context, op.clone()).unwrap();
+                ws_ser.apply(context, op).unwrap();
+                let par = parallel::with_workers(threads, || ws_par.consistency());
+                let ser = parallel::with_workers(1, || ws_ser.consistency());
+                let full = parallel::with_workers(1, || {
+                    check_consistency(ws_ser.working(), ws_ser.shrink_wrap())
+                });
+                prop_assert_eq!(&par, &ser, "parallel incremental != serial incremental");
+                prop_assert_eq!(&ser, &full, "serial incremental != serial full");
+            }
+        }
+    }
+}

@@ -1,8 +1,13 @@
 //! P2: operation-application latency per category, full pipeline
 //! (permission check, precondition constraints, mutation, propagation,
 //! feedback).
+//!
+//! Results are written to `BENCH_apply_ops.json` at the repository root
+//! (override with `SWS_BENCH_OUT`) in the versioned
+//! [`sws_bench::report::BenchReport`] schema `bench_compare` understands.
 
 use sws_bench::edit_scripts::edit_stream;
+use sws_bench::report::BenchReport;
 use sws_bench::timing::Runner;
 use sws_core::oplang::parse_statement;
 use sws_core::{parallel, ConceptKind, Workspace};
@@ -79,11 +84,12 @@ fn main() {
     // Threads sweep: edit + incremental verify — the inner loop of a
     // designer session under `swsd --threads=N`. Worker counts are forced
     // via the same thread-local override the CLI flag uses.
+    let threads = [1usize, 2, 4, 8];
     for (n, g) in synthetic::size_sweep(42) {
         let base = Workspace::new(g.clone());
         base.consistency();
         let edits = edit_stream(&g, 64, 11);
-        for t in [1usize, 2, 4, 8] {
+        for t in threads {
             let mut next = 0usize;
             runner.bench_batched_ref(
                 &format!("edit_verify/{n}/threads{t}"),
@@ -102,5 +108,15 @@ fn main() {
             );
         }
     }
+
+    let mut report = BenchReport::from_runner("apply_op", 42, &runner);
+    report.sizes = synthetic::size_sweep(42)
+        .iter()
+        .map(|(n, _)| *n as u64)
+        .collect();
+    report.threads = threads.iter().map(|&t| t as u64).collect();
+    let out = std::env::var("SWS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_apply_ops.json", env!("CARGO_MANIFEST_DIR")));
+    report.write(&out);
     runner.finish();
 }

@@ -1,0 +1,97 @@
+//! Perf-regression guard: diff a fresh `BENCH_*.json` against a committed
+//! baseline (see `benches/baselines/`) and fail loudly on regression.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json> [--tolerance=F]
+//! ```
+//!
+//! Tolerance is relative (`0.25` = fresh may be up to 25% slower per
+//! metric on p50/p90); the `SWS_BENCH_TOLERANCE` environment variable is
+//! the fallback when the flag is absent, and the default is 0.25. CI runs
+//! with a much looser tolerance, since its hosts differ from the machine
+//! that produced the baseline — the guard is for step-change regressions,
+//! not single-digit noise.
+//!
+//! Exit codes: 0 within tolerance, 1 regression (or baseline metric
+//! missing from the fresh run), 2 usage/parse error.
+
+use std::process::ExitCode;
+use sws_bench::report::BenchReport;
+
+const USAGE: &str = "usage: bench_compare <baseline.json> <fresh.json> [--tolerance=F]";
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+fn tolerance_from_env() -> Option<f64> {
+    std::env::var("SWS_BENCH_TOLERANCE").ok()?.parse().ok()
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut tolerance: Option<f64> = None;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if let Some(value) = arg.strip_prefix("--tolerance=") {
+            match value.parse::<f64>() {
+                Ok(t) if t >= 0.0 => tolerance = Some(t),
+                _ => {
+                    eprintln!(
+                        "bench_compare: --tolerance wants a non-negative float, got `{value}`"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        } else if arg == "--help" || arg == "-h" {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let tolerance = tolerance
+        .or_else(tolerance_from_env)
+        .unwrap_or(DEFAULT_TOLERANCE);
+
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_compare: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    if baseline.name != fresh.name {
+        eprintln!(
+            "bench_compare: warning: comparing group `{}` against `{}`",
+            fresh.name, baseline.name
+        );
+    }
+    if baseline.host_parallelism != fresh.host_parallelism {
+        eprintln!(
+            "bench_compare: note: baseline host_parallelism={} vs fresh={}",
+            baseline.host_parallelism, fresh.host_parallelism
+        );
+    }
+
+    let cmp = sws_bench::report::compare(&baseline, &fresh, tolerance);
+    print!("{}", cmp.render());
+    if cmp.passed() {
+        println!(
+            "bench_compare: OK ({} metric(s) within tolerance)",
+            cmp.rows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        let n = cmp.failures().count();
+        println!("bench_compare: FAIL ({n} metric(s) regressed or missing)");
+        ExitCode::from(1)
+    }
+}

@@ -10,16 +10,19 @@
 //!   the measured region is exactly the dirty-set sync + report assembly).
 //!
 //! Results are also written machine-readably to `BENCH_incremental.json`
-//! at the repository root (override the path with `SWS_BENCH_OUT`).
+//! at the repository root (override the path with `SWS_BENCH_OUT`), in
+//! the versioned [`sws_bench::report::BenchReport`] schema that
+//! `bench_compare` diffs against `benches/baselines/`.
 //!
 //! A threads sweep then re-times the full check and a batched incremental
 //! resync at 1/2/4/8 workers (forced via `parallel::with_workers`, the
 //! same override `swsd --threads` uses) and writes `BENCH_parallel.json`
-//! (override with `SWS_BENCH_PARALLEL_OUT`). Speedups are relative to the
-//! 1-worker exact-serial path and depend on the host's core count, which
-//! the JSON records as `host_parallelism`.
+//! (override with `SWS_BENCH_PARALLEL_OUT`), same schema. Thread-sweep
+//! numbers depend on the host's core count, which the report records as
+//! `host_parallelism`.
 
 use sws_bench::edit_scripts::edit_stream;
+use sws_bench::report::BenchReport;
 use sws_bench::timing::Runner;
 use sws_core::consistency::check_consistency;
 use sws_core::{parallel, Workspace};
@@ -33,9 +36,10 @@ const RESYNC_BATCH: usize = 16;
 
 fn main() {
     let mut runner = Runner::new("consistency");
-    let mut rows = Vec::new();
+    let mut incremental = BenchReport::new("incremental_consistency", SEED, 0);
 
     for (n, g) in synthetic::size_sweep(SEED) {
+        incremental.sizes.push(n as u64);
         let full_label = format!("full/{n}");
         runner.bench(&full_label, || {
             check_consistency(std::hint::black_box(&g), std::hint::black_box(&g))
@@ -61,17 +65,13 @@ fn main() {
             |ws| ws.consistency(),
         );
 
-        let full = runner.histogram(&full_label).expect("ran");
-        let inc = runner.histogram(&inc_label).expect("ran");
-        rows.push(format!(
-            "    {{\"types\": {n}, \"full_recheck_p50_ns\": {}, \"full_recheck_p99_ns\": {}, \
-             \"incremental_p50_ns\": {}, \"incremental_p99_ns\": {}, \"speedup_p50\": {:.2}}}",
-            full.p50(),
-            full.p99(),
-            inc.p50(),
-            inc.p99(),
-            full.p50() as f64 / inc.p50().max(1) as f64,
-        ));
+        for label in [&full_label, &inc_label] {
+            incremental.push(
+                label,
+                runner.exact_quantile(label, 0.50).expect("ran"),
+                runner.exact_quantile(label, 0.90).expect("ran"),
+            );
+        }
     }
 
     let out = std::env::var("SWS_BENCH_OUT").unwrap_or_else(|_| {
@@ -80,25 +80,16 @@ fn main() {
             env!("CARGO_MANIFEST_DIR")
         )
     });
-    let iters = std::env::var("SWS_BENCH_ITERS").unwrap_or_else(|_| "200".into());
-    let json = format!(
-        "{{\n  \"bench\": \"incremental_consistency\",\n  \"seed\": {SEED},\n  \
-         \"iters\": {iters},\n  \"sizes\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
-    );
-    if let Err(e) = std::fs::write(&out, &json) {
-        eprintln!("warning: could not write {out}: {e}");
-    } else {
-        eprintln!("wrote {out}");
-    }
+    incremental.iters = runner.iters() as u64;
+    incremental.write(&out);
 
     // ------------------------------------------------------------------
     // Threads sweep → BENCH_parallel.json
     // ------------------------------------------------------------------
-    let mut size_rows = Vec::new();
+    let mut par_report = BenchReport::new("parallel_consistency", SEED, runner.iters() as u64);
+    par_report.threads = THREADS.iter().map(|&t| t as u64).collect();
     for (n, g) in synthetic::size_sweep(SEED) {
-        let mut full_cells = Vec::new();
-        let mut full_serial_p50 = 0u64;
+        par_report.sizes.push(n as u64);
         for t in THREADS {
             let label = format!("full/{n}/threads{t}");
             runner.bench(&label, || {
@@ -106,16 +97,11 @@ fn main() {
                     check_consistency(std::hint::black_box(&g), std::hint::black_box(&g))
                 })
             });
-            let h = runner.histogram(&label).expect("ran");
-            if t == 1 {
-                full_serial_p50 = h.p50();
-            }
-            full_cells.push(format!(
-                "{{\"threads\": {t}, \"p50_ns\": {}, \"p99_ns\": {}, \"speedup_vs_serial\": {:.2}}}",
-                h.p50(),
-                h.p99(),
-                full_serial_p50 as f64 / h.p50().max(1) as f64,
-            ));
+            par_report.push(
+                &label,
+                runner.exact_quantile(&label, 0.50).expect("ran"),
+                runner.exact_quantile(&label, 0.90).expect("ran"),
+            );
         }
 
         // Incremental resync over a batch of edits: the dirty closure
@@ -123,8 +109,6 @@ fn main() {
         let base = Workspace::new(g.clone());
         base.consistency();
         let edits = edit_stream(&g, RESYNC_BATCH, 13);
-        let mut inc_cells = Vec::new();
-        let mut inc_serial_p50 = 0u64;
         for t in THREADS {
             let label = format!("resync{RESYNC_BATCH}/{n}/threads{t}");
             runner.bench_batched_ref(
@@ -138,40 +122,17 @@ fn main() {
                 },
                 |ws| parallel::with_workers(t, || ws.consistency()),
             );
-            let h = runner.histogram(&label).expect("ran");
-            if t == 1 {
-                inc_serial_p50 = h.p50();
-            }
-            inc_cells.push(format!(
-                "{{\"threads\": {t}, \"p50_ns\": {}, \"p99_ns\": {}, \"speedup_vs_serial\": {:.2}}}",
-                h.p50(),
-                h.p99(),
-                inc_serial_p50 as f64 / h.p50().max(1) as f64,
-            ));
+            par_report.push(
+                &label,
+                runner.exact_quantile(&label, 0.50).expect("ran"),
+                runner.exact_quantile(&label, 0.90).expect("ran"),
+            );
         }
-
-        size_rows.push(format!(
-            "    {{\"types\": {n},\n     \"full\": [{}],\n     \"resync_batch{RESYNC_BATCH}\": [{}]}}",
-            full_cells.join(", "),
-            inc_cells.join(", "),
-        ));
     }
 
     let parallel_out = std::env::var("SWS_BENCH_PARALLEL_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_parallel.json", env!("CARGO_MANIFEST_DIR")));
-    let host = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let json = format!(
-        "{{\n  \"bench\": \"parallel_consistency\",\n  \"seed\": {SEED},\n  \
-         \"iters\": {iters},\n  \"host_parallelism\": {host},\n  \"sizes\": [\n{}\n  ]\n}}\n",
-        size_rows.join(",\n")
-    );
-    if let Err(e) = std::fs::write(&parallel_out, &json) {
-        eprintln!("warning: could not write {parallel_out}: {e}");
-    } else {
-        eprintln!("wrote {parallel_out}");
-    }
+    par_report.write(&parallel_out);
 
     runner.finish();
 }

@@ -10,4 +10,5 @@ pub mod case_study;
 pub mod edit_scripts;
 pub mod figures;
 pub mod harness;
+pub mod report;
 pub mod timing;

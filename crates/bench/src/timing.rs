@@ -15,6 +15,11 @@ pub struct Runner {
     iters: u32,
     warmup: u32,
     results: Vec<(String, Histogram)>,
+    /// Raw per-iteration samples, parallel to `results`. The histogram's
+    /// log2 buckets quantize quantiles to powers of two — fine for the
+    /// human-readable table, useless for regression ratios — so exact
+    /// quantiles come from here ([`Runner::exact_quantile`]).
+    samples: Vec<Vec<u64>>,
 }
 
 impl Runner {
@@ -34,6 +39,7 @@ impl Runner {
             iters: iters.max(1),
             warmup: (iters / 10).clamp(1, 50),
             results: Vec::new(),
+            samples: Vec::new(),
         }
     }
 
@@ -54,13 +60,17 @@ impl Runner {
             std::hint::black_box(routine(setup()));
         }
         let mut hist = Histogram::new();
+        let mut raw = Vec::with_capacity(self.iters as usize);
         for _ in 0..self.iters {
             let input = setup();
             let start = Instant::now();
             std::hint::black_box(routine(input));
-            hist.record(start.elapsed().as_nanos() as u64);
+            let ns = start.elapsed().as_nanos() as u64;
+            hist.record(ns);
+            raw.push(ns);
         }
         self.results.push((label.to_string(), hist));
+        self.samples.push(raw);
     }
 
     /// Like [`Runner::bench_batched`], but the routine borrows its input,
@@ -77,14 +87,28 @@ impl Runner {
             std::hint::black_box(routine(&mut input));
         }
         let mut hist = Histogram::new();
+        let mut raw = Vec::with_capacity(self.iters as usize);
         for _ in 0..self.iters {
             let mut input = setup();
             let start = Instant::now();
             std::hint::black_box(routine(&mut input));
-            hist.record(start.elapsed().as_nanos() as u64);
+            let ns = start.elapsed().as_nanos() as u64;
+            hist.record(ns);
+            raw.push(ns);
             drop(input);
         }
         self.results.push((label.to_string(), hist));
+        self.samples.push(raw);
+    }
+
+    /// The measured-iteration count this runner uses.
+    pub fn iters(&self) -> u32 {
+        self.iters
+    }
+
+    /// Every `(label, histogram)` pair recorded so far, in run order.
+    pub fn results(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.results.iter().map(|(l, h)| (l.as_str(), h))
     }
 
     /// The histogram recorded for `label`, if it ran.
@@ -93,6 +117,19 @@ impl Runner {
             .iter()
             .find(|(l, _)| l == label)
             .map(|(_, h)| h)
+    }
+
+    /// Exact quantile for `label` from the raw samples (nearest-rank, no
+    /// log2 bucketing). `q` is clamped to `[0, 1]`.
+    pub fn exact_quantile(&self, label: &str, q: f64) -> Option<u64> {
+        let at = self.results.iter().position(|(l, _)| l == label)?;
+        let mut sorted = self.samples[at].clone();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank])
     }
 
     /// Render the results as an aligned text table.

@@ -1,0 +1,114 @@
+//! End-to-end proof the perf-regression guard fires: inject a synthetic
+//! ≥20% regression into a fresh report and `bench_compare` must exit
+//! nonzero naming the metric; a clean re-run must exit 0.
+
+use std::process::Command;
+use sws_bench::report::BenchReport;
+
+fn write_report(path: &std::path::Path, report: &BenchReport) {
+    std::fs::write(path, report.to_json()).unwrap();
+}
+
+fn run(args: &[&str]) -> (String, String, i32) {
+    let output = Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .args(args)
+        .env_remove("SWS_BENCH_TOLERANCE")
+        .output()
+        .expect("bench_compare runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.code().expect("not killed by signal"),
+    )
+}
+
+fn sample() -> BenchReport {
+    let mut r = BenchReport::new("consistency", 42, 50);
+    r.sizes = vec![100, 500];
+    r.push("full/100", 10_000, 14_000);
+    r.push("incremental/100", 2_000, 2_600);
+    r
+}
+
+#[test]
+fn injected_regression_fails_and_clean_run_passes() {
+    let dir = std::env::temp_dir().join(format!("bench_compare_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json");
+    let fresh = dir.join("fresh.json");
+    write_report(&baseline, &sample());
+
+    // A synthetic +20% on one metric, against a 10% tolerance: the guard
+    // must fire, exit nonzero, and name the offender.
+    let mut regressed = sample();
+    regressed.metrics[1].p50_ns = 2_400; // 1.2x
+    regressed.metrics[1].p90_ns = 3_120;
+    write_report(&fresh, &regressed);
+    let (stdout, _, code) = run(&[
+        baseline.to_str().unwrap(),
+        fresh.to_str().unwrap(),
+        "--tolerance=0.10",
+    ]);
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("incremental/100"), "{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    // The untouched metric still reads ok.
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.contains("full/100") && l.ends_with("ok")),
+        "{stdout}"
+    );
+
+    // Clean re-run (identical numbers): exit 0.
+    write_report(&fresh, &sample());
+    let (stdout, _, code) = run(&[
+        baseline.to_str().unwrap(),
+        fresh.to_str().unwrap(),
+        "--tolerance=0.10",
+    ]);
+    assert_eq!(code, 0, "stdout: {stdout}");
+    assert!(
+        stdout.contains("OK (2 metric(s) within tolerance)"),
+        "{stdout}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_baseline_metric_fails_the_guard() {
+    let dir = std::env::temp_dir().join(format!("bench_compare_miss_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json");
+    let fresh = dir.join("fresh.json");
+    write_report(&baseline, &sample());
+    let mut dropped = sample();
+    dropped.metrics.remove(0);
+    write_report(&fresh, &dropped);
+    let (stdout, _, code) = run(&[baseline.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(stdout.contains("MISSING"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn usage_and_parse_errors_are_exit_2() {
+    let (_, stderr, code) = run(&["only-one-arg"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let dir = std::env::temp_dir().join(format!("bench_compare_bad_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.json");
+    let bad = dir.join("bad.json");
+    write_report(&good, &sample());
+    std::fs::write(&bad, "not json").unwrap();
+    let (_, stderr, code) = run(&[good.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

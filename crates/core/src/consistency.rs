@@ -377,52 +377,69 @@ impl ConsistencyState {
         //    finding.
         let mut names: BTreeSet<String> = dirty.touched;
         if !dirty.existence_changed.is_empty() {
+            let mut esp = sws_trace::span!(
+                "core.consistency.existence_scan",
+                changed = dirty.existence_changed.len()
+            );
             // The reference scan visits every live type; on large graphs it
             // dominates the incremental sync, so shard it too.
             let ids: Vec<TypeId> = working.types().map(|(id, _)| id).collect();
             let hits = parallel::map(&ids, |_, &id| {
                 type_references_any(working, working.ty(id), &dirty.existence_changed)
             });
+            let before = names.len();
             for (&id, hit) in ids.iter().zip(hits) {
                 if hit {
                     names.insert(working.ty(id).name.clone());
                 }
             }
+            esp.record("referencing", names.len() - before);
         }
 
-        // 2. Hierarchy closure: inherited members, key/order-by visibility,
-        //    and inheritance conflicts travel along ISA edges both ways.
-        let mut closure: BTreeSet<TypeId> = BTreeSet::new();
-        for name in &names {
-            if let Some(id) = working.type_id(name) {
-                closure.insert(id);
-                closure.extend(qc.ancestors(working, id).iter().copied());
-                closure.extend(qc.descendants(working, id).iter().copied());
-            } else {
-                // Deleted type: drop its stored findings.
-                self.by_type.remove(name);
-            }
-        }
+        let closure = {
+            let mut csp = sws_trace::span!("core.consistency.closure", seeds = names.len());
 
-        // 3. Order-by dependents: a relationship end's order-by is checked
-        //    against the *target* type's visible attributes, and a link
-        //    parent's order-by against the *child*'s. If T changed, every
-        //    partner whose order-by looks at T must be rechecked too.
-        let mut dependents: BTreeSet<TypeId> = BTreeSet::new();
-        for &t in &closure {
-            let node = working.ty(t);
-            for &(r, e) in &node.rel_ends {
-                dependents.insert(working.rel(r).other(e).owner);
+            // 2. Hierarchy closure: inherited members, key/order-by
+            //    visibility, and inheritance conflicts travel along ISA
+            //    edges both ways.
+            let mut closure: BTreeSet<TypeId> = BTreeSet::new();
+            for name in &names {
+                if let Some(id) = working.type_id(name) {
+                    closure.insert(id);
+                    closure.extend(qc.ancestors(working, id).iter().copied());
+                    closure.extend(qc.descendants(working, id).iter().copied());
+                } else {
+                    // Deleted type: drop its stored findings.
+                    self.by_type.remove(name);
+                }
             }
-            for &l in &node.child_links {
-                dependents.insert(working.link(l).parent);
+
+            // 3. Order-by dependents: a relationship end's order-by is
+            //    checked against the *target* type's visible attributes, and
+            //    a link parent's order-by against the *child*'s. If T
+            //    changed, every partner whose order-by looks at T must be
+            //    rechecked too.
+            let mut dependents: BTreeSet<TypeId> = BTreeSet::new();
+            for &t in &closure {
+                let node = working.ty(t);
+                for &(r, e) in &node.rel_ends {
+                    dependents.insert(working.rel(r).other(e).owner);
+                }
+                for &l in &node.child_links {
+                    dependents.insert(working.link(l).parent);
+                }
             }
-        }
-        closure.extend(dependents);
+            closure.extend(dependents);
+            csp.record("expanded", closure.len());
+            closure
+        };
 
         let ids: Vec<TypeId> = closure.into_iter().collect();
         let rechecked = ids.len();
-        let per_type = compute_findings_for(working, shrink_wrap, qc, &ids);
+        let per_type = {
+            let _rsp = sws_trace::span!("core.consistency.recheck", types = rechecked);
+            compute_findings_for(working, shrink_wrap, qc, &ids)
+        };
         for (id, findings) in ids.into_iter().zip(per_type) {
             self.by_type.insert(working.ty(id).name.clone(), findings);
         }
@@ -436,6 +453,7 @@ impl ConsistencyState {
     /// the order [`check_consistency`] produces.
     pub fn report(&self, working: &SchemaGraph) -> ConsistencyReport {
         debug_assert!(!self.full_pending, "report() before sync()");
+        let mut sp = sws_trace::span!("core.consistency.report", types = self.by_type.len());
         let mut findings = Vec::new();
         for group in 0..3 {
             for (_, node) in working.types() {
@@ -450,6 +468,7 @@ impl ConsistencyState {
             }
         }
         findings.sort_by_key(|f| f.severity());
+        sp.record("findings", findings.len());
         ConsistencyReport { findings }
     }
 }

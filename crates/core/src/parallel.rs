@@ -215,6 +215,7 @@ where
         }
     });
 
+    let mut msp = sws_trace::span!("core.parallel.merge", parts = n_chunks);
     let mut parts = parts.into_inner().expect("worker panicked holding parts");
     parts.sort_unstable_by_key(|&(c, _)| c);
     debug_assert_eq!(parts.len(), n_chunks);
@@ -222,6 +223,8 @@ where
     for (_, mut part) in parts {
         out.append(&mut part);
     }
+    msp.record("merged", out.len());
+    drop(msp);
     sp.record("merged", out.len());
     out
 }

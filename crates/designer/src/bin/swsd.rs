@@ -22,6 +22,20 @@
 //! exit; `--trace=json` dumps the raw trace as JSON lines instead (one
 //! object per span/event), for machine consumption.
 //!
+//! `--profile` aggregates the same span stream into an
+//! inclusive/exclusive-time call tree and prints it to stderr on exit
+//! (`--profile=tree`, the default, is the human-readable table;
+//! `--profile=collapsed` emits flamegraph collapsed stacks — pipe stderr
+//! into `flamegraph.pl` / `inferno-flamegraph`).
+//!
+//! Independent of the flags, a small **flight recorder** is always on: a
+//! fixed-size ring of the most recent span/point events (capacity via
+//! `SWS_FLIGHT_CAPACITY`, default 256). If the process panics or exits
+//! with an error, a checksummed `crash-report.json` (recent events, live
+//! counters, active span stack, `SWS_THREADS`, repo path, any recovery
+//! report) is written to the session directory — or `SWS_CRASH_DIR`, or
+//! the current directory.
+//!
 //! `--threads=N` pins the worker count for consistency checks and
 //! decomposition (default: the `SWS_THREADS` environment variable, else
 //! available parallelism; `1` = the exact serial path). Thread count never
@@ -42,9 +56,9 @@ use std::io::{self, BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
-use sws_designer::{execute, CommandOutcome, Session, SessionError};
+use sws_designer::{crash, execute, CommandOutcome, Session, SessionError};
 use sws_repository::RepoError;
-use sws_trace::{render_tree, to_jsonl, Recorder, TraceSummary};
+use sws_trace::{render_tree, to_jsonl, FlightRecorder, Profile, Recorder, TraceSummary};
 
 const EXIT_USAGE: u8 = 2;
 const EXIT_PARSE: u8 = 3;
@@ -52,15 +66,14 @@ const EXIT_CORRUPT: u8 = 4;
 const EXIT_IO: u8 = 5;
 const EXIT_RECOVERED: u8 = 6;
 
-const USAGE: &str =
-    "usage: swsd [--trace[=json]] [--strict] [--threads=N] --schema <file.odl> | --session <dir>";
+const USAGE: &str = "usage: swsd [--trace[=json]] [--profile[=tree|collapsed]] [--strict] [--threads=N] --schema <file.odl> | --session <dir>";
 
 const HELP: &str = "\
 swsd — interactive shrink-wrap-schema designer
 
 usage:
-  swsd [--trace[=json]] [--strict] [--threads=N] --schema <file.odl>
-  swsd [--trace[=json]] [--strict] [--threads=N] --session <dir>
+  swsd [options] --schema <file.odl>
+  swsd [options] --session <dir>
 
 options:
   --schema <file.odl>  start a fresh session on an extended-ODL schema
@@ -73,7 +86,17 @@ options:
                        default: SWS_THREADS, else available parallelism).
                        Reports are identical at every thread count.
   --trace[=json]       dump a structured trace to stderr on exit
+  --profile[=tree|collapsed]
+                       dump a self-profile to stderr on exit: an
+                       inclusive/exclusive-time call tree (tree, default)
+                       or flamegraph collapsed stacks (collapsed)
   --help               show this help
+
+crash reports:
+  a flight recorder retains the last SWS_FLIGHT_CAPACITY (default 256)
+  span/point events at all times; on panic or error exit a checksummed
+  crash-report.json lands in the session directory (override with
+  SWS_CRASH_DIR, fallback: current directory)
 
 exit codes:
   0  clean run
@@ -96,14 +119,24 @@ fn exit_code_for(e: &SessionError) -> u8 {
     }
 }
 
+fn flight_capacity() -> usize {
+    std::env::var("SWS_FLIGHT_CAPACITY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(sws_trace::flight::DEFAULT_CAPACITY)
+}
+
 fn main() -> ExitCode {
     let mut trace_mode = None;
+    let mut profile_mode = None;
     let mut strict = false;
     let mut args = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--trace" => trace_mode = Some(TraceMode::Tree),
             "--trace=json" => trace_mode = Some(TraceMode::Json),
+            "--profile" | "--profile=tree" => profile_mode = Some(ProfileMode::Tree),
+            "--profile=collapsed" => profile_mode = Some(ProfileMode::Collapsed),
             "--strict" => strict = true,
             _ if arg.starts_with("--threads=") => {
                 let value = &arg["--threads=".len()..];
@@ -123,7 +156,12 @@ fn main() -> ExitCode {
         }
     }
 
-    let recorder = trace_mode.map(|_| {
+    // The always-on diagnostics: flight recorder + panic-hook dumper.
+    FlightRecorder::with_capacity(flight_capacity()).install_global();
+    crash::install_panic_hook();
+
+    // One full recorder serves both --trace and --profile.
+    let recorder = (trace_mode.is_some() || profile_mode.is_some()).then(|| {
         let rec = Recorder::new();
         sws_trace::set_global(rec.clone());
         rec
@@ -131,16 +169,21 @@ fn main() -> ExitCode {
 
     let session = match args.as_slice() {
         [flag, value] if flag == "--schema" => {
+            crash::set_repo_path(value);
             let source = match std::fs::read_to_string(value) {
                 Ok(s) => s,
                 Err(e) => {
-                    eprintln!("swsd: cannot read {value}: {e}");
+                    let message = format!("cannot read {value}: {e}");
+                    eprintln!("swsd: {message}");
+                    crash::dump_error_exit(&message, EXIT_IO);
                     return ExitCode::from(EXIT_IO);
                 }
             };
             Session::from_odl(&source)
         }
         [flag, value] if flag == "--session" => {
+            crash::set_repo_path(value);
+            crash::set_dump_dir(Path::new(value));
             if strict {
                 Session::load_strict(Path::new(value))
             } else {
@@ -156,7 +199,9 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("swsd: {e}");
-            return ExitCode::from(exit_code_for(&e));
+            let code = exit_code_for(&e);
+            crash::dump_error_exit(&e.to_string(), code);
+            return ExitCode::from(code);
         }
     };
 
@@ -164,8 +209,17 @@ fn main() -> ExitCode {
     // code even though the session runs.
     let mut recovered_with_loss = false;
     if let Some(report) = session.recovery().filter(|r| !r.is_clean()) {
-        eprint!("swsd: session directory was damaged\n{}", report.render());
+        let rendered = report.render();
+        eprint!("swsd: session directory was damaged\n{rendered}");
         recovered_with_loss = report.data_loss();
+        crash::set_recovery(rendered);
+    }
+
+    // Test hook: prove the panic path produces a dump (used by the CLI
+    // integration tests; documented nowhere else on purpose).
+    if std::env::var_os("SWS_INJECT_PANIC").is_some() {
+        let _sp = sws_trace::span!("swsd.injected_panic");
+        panic!("injected panic (SWS_INJECT_PANIC)");
     }
 
     let created = session.repository().created_roots().to_vec();
@@ -207,16 +261,18 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     };
     if let Err(e) = session.final_save() {
-        eprintln!("swsd: final save failed: {e}");
+        let message = format!("final save failed: {e}");
+        eprintln!("swsd: {message}");
+        crash::dump_error_exit(&message, EXIT_IO);
         exit = ExitCode::from(EXIT_IO);
     }
 
-    if let (Some(mode), Some(rec)) = (trace_mode, recorder) {
+    if let Some(rec) = recorder {
         let trace = rec.take();
         sws_trace::clear_global();
-        match mode {
-            TraceMode::Json => eprint!("{}", to_jsonl(&trace)),
-            TraceMode::Tree => {
+        match trace_mode {
+            Some(TraceMode::Json) => eprint!("{}", to_jsonl(&trace)),
+            Some(TraceMode::Tree) => {
                 eprintln!("--- trace ---");
                 eprint!("{}", render_tree(&trace.events));
                 let summary = TraceSummary::of(&trace);
@@ -225,6 +281,17 @@ fn main() -> ExitCode {
                     eprint!("{}", summary.render());
                 }
             }
+            None => {}
+        }
+        match profile_mode {
+            Some(ProfileMode::Collapsed) => {
+                eprint!("{}", Profile::from_events(&trace.events).collapsed());
+            }
+            Some(ProfileMode::Tree) => {
+                eprintln!("--- profile ---");
+                eprint!("{}", Profile::from_events(&trace.events).render_tree());
+            }
+            None => {}
         }
     }
     exit
@@ -234,4 +301,10 @@ fn main() -> ExitCode {
 enum TraceMode {
     Tree,
     Json,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProfileMode {
+    Tree,
+    Collapsed,
 }

@@ -33,6 +33,40 @@ pub enum CommandOutcome {
     Quit,
 }
 
+/// A quit command arrived where the caller needed printable output.
+///
+/// Callers that drive [`execute`] outside the interactive loop (scripted
+/// sessions, tests) use [`execute_expecting_output`] and get this error
+/// instead of a panic — the dispatcher must never take down a session the
+/// crash dumper would then try to report on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnexpectedQuit {
+    /// The line that requested the quit.
+    pub line: String,
+}
+
+impl std::fmt::Display for UnexpectedQuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unexpected quit command: `{}`", self.line)
+    }
+}
+
+impl std::error::Error for UnexpectedQuit {}
+
+/// [`execute`] for drivers that need the printed output of one line and
+/// treat a quit as a structured error rather than a control-flow event.
+pub fn execute_expecting_output(
+    session: &mut Session,
+    line: &str,
+) -> Result<String, UnexpectedQuit> {
+    match execute(session, line) {
+        CommandOutcome::Continue(text) => Ok(text),
+        CommandOutcome::Quit => Err(UnexpectedQuit {
+            line: line.trim().to_string(),
+        }),
+    }
+}
+
 /// Execute one REPL line against the session. `load` replaces the session
 /// in place.
 pub fn execute(session: &mut Session, line: &str) -> CommandOutcome {
@@ -212,10 +246,7 @@ mod tests {
     }
 
     fn run(s: &mut Session, line: &str) -> String {
-        match execute(s, line) {
-            CommandOutcome::Continue(text) => text,
-            CommandOutcome::Quit => panic!("unexpected quit"),
-        }
+        execute_expecting_output(s, line).expect("no quit in scripted lines")
     }
 
     #[test]
@@ -299,6 +330,16 @@ mod tests {
         run(&mut s, "undo");
         run(&mut s, "undo");
         assert!(run(&mut s, "aliases").contains("no local names"));
+    }
+
+    #[test]
+    fn quit_is_a_structured_error_not_a_panic() {
+        let mut s = session();
+        let err = execute_expecting_output(&mut s, "  exit  ").unwrap_err();
+        assert_eq!(err.line, "exit");
+        assert!(err.to_string().contains("unexpected quit"));
+        // The session survives the error.
+        assert!(run(&mut s, "help").contains("commands:"));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! pipeline a graphical front end would.
 
 pub mod command;
+pub mod crash;
 pub mod session;
 
-pub use command::{execute, CommandOutcome};
+pub use command::{execute, execute_expecting_output, CommandOutcome, UnexpectedQuit};
 pub use session::{Session, SessionError};

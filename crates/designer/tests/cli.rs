@@ -4,8 +4,19 @@
 use std::io::Write;
 use std::process::{Command, Stdio};
 
-fn run_swsd(args: &[&str], stdin: &str) -> (String, String, bool) {
-    let mut child = Command::new(env!("CARGO_BIN_EXE_swsd"))
+/// Run `swsd` with extra environment variables; returns
+/// `(stdout, stderr, exit_code)`. Unless the caller overrides it,
+/// `SWS_CRASH_DIR` points at the temp dir so error-exit crash reports
+/// never land in the source tree.
+fn run_swsd_env(args: &[&str], stdin: &str, envs: &[(&str, &str)]) -> (String, String, i32) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_swsd"));
+    if !envs.iter().any(|(k, _)| *k == "SWS_CRASH_DIR") {
+        cmd.env("SWS_CRASH_DIR", std::env::temp_dir());
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd
         .args(args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
@@ -24,31 +35,18 @@ fn run_swsd(args: &[&str], stdin: &str) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&output.stdout).into_owned(),
         String::from_utf8_lossy(&output.stderr).into_owned(),
-        output.status.success(),
+        output.status.code().expect("not killed by signal"),
     )
+}
+
+fn run_swsd(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let (stdout, stderr, code) = run_swsd_env(args, stdin, &[]);
+    (stdout, stderr, code == 0)
 }
 
 /// Like [`run_swsd`], but returns the exact exit code.
 fn run_swsd_code(args: &[&str], stdin: &str) -> (String, String, i32) {
-    let mut child = Command::new(env!("CARGO_BIN_EXE_swsd"))
-        .args(args)
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::piped())
-        .spawn()
-        .expect("swsd spawns");
-    // See run_swsd: a fast-exiting child may close stdin before we write.
-    let _ = child
-        .stdin
-        .as_mut()
-        .expect("stdin piped")
-        .write_all(stdin.as_bytes());
-    let output = child.wait_with_output().expect("swsd exits");
-    (
-        String::from_utf8_lossy(&output.stdout).into_owned(),
-        String::from_utf8_lossy(&output.stderr).into_owned(),
-        output.status.code().expect("not killed by signal"),
-    )
+    run_swsd_env(args, stdin, &[])
 }
 
 fn schema_file() -> std::path::PathBuf {
@@ -432,4 +430,219 @@ fn errors_in_session_do_not_kill_the_repl() {
     assert!(ok);
     assert!(stdout.contains("error: constraint violation"));
     assert!(stdout.contains("applied: add_type_definition(Fresh)"));
+}
+
+// --- flight recorder / crash dumps / profiler ------------------------------
+
+/// Fresh per-test crash directory under the system temp dir.
+fn crash_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swsd_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn injected_panic_writes_a_checksummed_crash_report() {
+    let schema = schema_file();
+    let dir = crash_dir("panic");
+    let (_, stderr, code) = run_swsd_env(
+        &["--schema", schema.to_str().unwrap()],
+        "",
+        &[
+            ("SWS_INJECT_PANIC", "1"),
+            ("SWS_CRASH_DIR", dir.to_str().unwrap()),
+        ],
+    );
+    assert_ne!(code, 0, "a panic must not exit 0");
+    assert!(
+        stderr.contains("crash report written to"),
+        "stderr: {stderr}"
+    );
+    let report = std::fs::read_to_string(dir.join("crash-report.json")).expect("dump exists");
+    let line = report.trim_end();
+    sws_trace::export::jsonl::check_value(line).expect("dump is one valid JSON object");
+    assert!(
+        sws_designer::crash::checksum_valid(line),
+        "self-checksum must verify: {line}"
+    );
+    assert!(line.contains("\"reason\":\"panic\""), "{line}");
+    assert!(line.contains("injected panic (SWS_INJECT_PANIC)"), "{line}");
+    // The panic fired inside a live span; the flight recorder names it.
+    assert!(
+        line.contains("\"active_spans\":[\"swsd.injected_panic\"]"),
+        "active span stack missing: {line}"
+    );
+    assert!(
+        line.contains(&format!("\"repo_path\":\"{}\"", schema.to_str().unwrap())),
+        "{line}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_report_key_order_is_pinned() {
+    let dir = crash_dir("keys");
+    let (_, stderr, code) = run_swsd_env(
+        &["--schema", "/nonexistent/no_such_schema.odl"],
+        "",
+        &[("SWS_CRASH_DIR", dir.to_str().unwrap())],
+    );
+    assert_eq!(code, 5, "unreadable schema is an I/O failure: {stderr}");
+    let report = std::fs::read_to_string(dir.join("crash-report.json")).expect("dump exists");
+    let line = report.trim_end();
+    // The key order is part of the format: external tooling may parse the
+    // dump positionally, and the checksum covers the exact byte sequence.
+    assert_eq!(
+        top_level_keys(line),
+        [
+            "schema_version",
+            "reason",
+            "message",
+            "location",
+            "exit_code",
+            "sws_threads",
+            "repo_path",
+            "recovery",
+            "active_spans",
+            "counters",
+            "events",
+            "dropped",
+            "checksum",
+        ]
+    );
+    assert!(line.contains("\"schema_version\":1"), "{line}");
+    assert!(line.contains("\"reason\":\"error_exit\""), "{line}");
+    assert!(line.contains("\"exit_code\":5"), "{line}");
+    assert!(sws_designer::crash::checksum_valid(line));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_strict_session_dumps_a_crash_report() {
+    let schema = schema_file();
+    let session_dir = std::env::temp_dir().join(format!("swsd_crash_sess_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&session_dir);
+    let script = format!(
+        "add_type_definition(Project)\nsave {}\nquit\n",
+        session_dir.display()
+    );
+    let (_, _, code) = run_swsd_code(&["--schema", schema.to_str().unwrap()], &script);
+    assert_eq!(code, 0);
+    // Garble the op log, then reload strictly: exit 4 plus a dump that
+    // carries the failure message.
+    let log = session_dir.join("session.ops");
+    std::fs::write(&log, "definitely-not-an-op\n").unwrap();
+    let dir = crash_dir("strict");
+    let (_, stderr, code) = run_swsd_env(
+        &["--strict", "--session", session_dir.to_str().unwrap()],
+        "quit\n",
+        &[("SWS_CRASH_DIR", dir.to_str().unwrap())],
+    );
+    assert_eq!(code, 4, "stderr: {stderr}");
+    let report = std::fs::read_to_string(dir.join("crash-report.json")).expect("dump exists");
+    let line = report.trim_end();
+    assert!(line.contains("\"reason\":\"error_exit\""), "{line}");
+    assert!(line.contains("\"exit_code\":4"), "{line}");
+    assert!(sws_designer::crash::checksum_valid(line));
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&session_dir).unwrap();
+}
+
+fn university_schema_file() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swsd_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("university.odl");
+    std::fs::write(&path, sws_corpus::university::SOURCE).unwrap();
+    path
+}
+
+#[test]
+fn profile_collapsed_is_flamegraph_loadable_and_structurally_golden() {
+    let schema = university_schema_file();
+    let (_, stderr, ok) = run_swsd(
+        &[
+            "--profile=collapsed",
+            "--threads=1",
+            "--schema",
+            schema.to_str().unwrap(),
+        ],
+        "add_attribute(CourseOffering, string(8), wing)\ncheck\nquit\n",
+    );
+    assert!(ok, "stderr: {stderr}");
+    let lines: Vec<&str> = stderr.lines().collect();
+    assert!(!lines.is_empty(), "collapsed profile must not be empty");
+    // Every line must load into flamegraph.pl / inferno: `path weight`
+    // where path is `;`-separated frame names and weight a bare integer.
+    for line in &lines {
+        let (path, weight) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("not `path weight`: {line}"));
+        assert!(
+            path.split(';').all(|seg| {
+                !seg.is_empty()
+                    && seg
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_')
+            }),
+            "flamegraph-hostile frame name: {line}"
+        );
+        weight
+            .parse::<u64>()
+            .unwrap_or_else(|e| panic!("weight not an integer ({e}): {line}"));
+    }
+    // The span structure is deterministic at --threads=1 for this script;
+    // only the weights vary run to run. Pin the full path set.
+    let paths: Vec<&str> = lines
+        .iter()
+        .map(|l| l.rsplit_once(' ').unwrap().0)
+        .collect();
+    assert_eq!(
+        paths,
+        [
+            "core.consistency",
+            "core.consistency.full_sync",
+            "core.consistency.report",
+            "core.decompose",
+            "core.decompose;core.decompose.generalizations",
+            "core.decompose;core.decompose.hierarchies",
+            "core.decompose;core.decompose.wagon_wheels",
+            "odl.parse",
+            "odl.parse;odl.parse_interface",
+            "ws.apply",
+            "ws.apply;core.apply_op",
+            "ws.apply;core.preconditions",
+        ],
+        "collapsed stack structure changed"
+    );
+}
+
+#[test]
+fn profile_tree_renders_a_call_tree_with_counts() {
+    let schema = schema_file();
+    let (_, stderr, ok) = run_swsd(
+        &[
+            "--profile",
+            "--threads=1",
+            "--schema",
+            schema.to_str().unwrap(),
+        ],
+        "add_attribute(Person, long, age)\nquit\n",
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("--- profile ---"), "{stderr}");
+    assert!(stderr.contains("ws.apply"), "{stderr}");
+    assert!(
+        stderr.contains("x1"),
+        "per-node invocation counts: {stderr}"
+    );
+}
+
+#[test]
+fn help_documents_profile_and_crash_reports() {
+    let (stdout, _, ok) = run_swsd(&["--help"], "");
+    assert!(ok);
+    assert!(stdout.contains("--profile[=tree|collapsed]"));
+    assert!(stdout.contains("crash-report.json"));
+    assert!(stdout.contains("SWS_CRASH_DIR"));
 }

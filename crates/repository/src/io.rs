@@ -293,28 +293,35 @@ impl FaultIo {
         }
     }
 
+    /// The fault plan, poison-tolerantly. Fault injection runs inside
+    /// tests and crash sweeps that *panic on purpose*; a panic while the
+    /// plan lock is held must not cascade into a second panic when the
+    /// crash dumper (or the next sweep iteration) touches the plan again.
+    fn plan(&self) -> std::sync::MutexGuard<'_, FaultPlan> {
+        self.plan
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Inject a crash at micro-step `step` (0-based).
     pub fn crash_at(&self, step: u64) {
-        let mut plan = self.plan.lock().unwrap();
-        plan.fault = Some(Fault::CrashAt(step));
+        self.plan().fault = Some(Fault::CrashAt(step));
     }
 
     /// Inject a transient I/O error at micro-step `step` (0-based).
     pub fn error_at(&self, step: u64) {
-        let mut plan = self.plan.lock().unwrap();
-        plan.fault = Some(Fault::ErrorAt(step));
+        self.plan().fault = Some(Fault::ErrorAt(step));
     }
 
     /// Clear any planned fault (the error was transient).
     pub fn clear_fault(&self) {
-        let mut plan = self.plan.lock().unwrap();
-        plan.fault = None;
+        self.plan().fault = None;
     }
 
     /// Micro-steps executed so far — run a workload once with no fault to
     /// size a crash sweep.
     pub fn steps_taken(&self) -> u64 {
-        self.plan.lock().unwrap().step
+        self.plan().step
     }
 
     /// The underlying shared filesystem.
@@ -326,7 +333,7 @@ impl FaultIo {
     /// otherwise apply the step's effect.
     fn step(&self, step: Step<'_>) -> io::Result<()> {
         let fault = {
-            let mut plan = self.plan.lock().unwrap();
+            let mut plan = self.plan();
             let this = plan.step;
             plan.step += 1;
             match plan.fault {
@@ -515,5 +522,25 @@ mod tests {
         // ...until the machine reboots.
         disk.post_crash(0);
         assert!(disk.create_dir_all(Path::new("/s")).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_lock_survives_poisoning() {
+        let io = FaultIo::new(MemIo::new());
+        // Poison the plan lock the way a panicking sweep thread would.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = io.plan.lock().unwrap();
+            panic!("injected panic while holding the fault plan");
+        }));
+        assert!(poison.is_err());
+        assert!(io.plan.lock().is_err(), "lock should be poisoned");
+        // Every accessor still works — no cascading panic.
+        io.crash_at(3);
+        io.clear_fault();
+        io.error_at(1);
+        io.clear_fault();
+        assert_eq!(io.steps_taken(), 0);
+        io.write_atomic(Path::new("/s/z"), b"ok").unwrap();
+        assert_eq!(io.steps_taken(), 3);
     }
 }

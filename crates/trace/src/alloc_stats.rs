@@ -1,0 +1,74 @@
+//! Feature-gated counting `#[global_allocator]` (`alloc-stats`).
+//!
+//! When the `alloc-stats` feature is enabled, every allocation in the
+//! process bumps two relaxed atomics, and every recorded [`Span`]
+//! (crate::Span) attaches `alloc.count` / `alloc.bytes` delta fields to
+//! its close event. Aggregated per span name by
+//! [`TraceSummary`](crate::TraceSummary), this is the baseline the
+//! arena/CSR layout refactor will be judged against: "allocation-free
+//! steady-state rechecks" becomes a measurable claim.
+//!
+//! The feature is off by default because a global allocator shim taxes
+//! every binary that links this crate; enable it only for measurement
+//! runs (`cargo test --features alloc-stats`, `swsd` built with
+//! `--features alloc-stats`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// The system allocator with relaxed-atomic allocation accounting.
+pub struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the counters touch no allocator
+// state.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        COUNT.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow is accounted as one allocation of the added bytes; a
+        // shrink is free.
+        COUNT.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(
+            (new_size as u64).saturating_sub(layout.size() as u64),
+            Ordering::Relaxed,
+        );
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Process-lifetime totals: `(allocation count, bytes requested)`.
+pub fn totals() -> (u64, u64) {
+    (COUNT.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn allocations_are_counted() {
+        let before = super::totals();
+        let v: Vec<u64> = (0..1024).collect();
+        let after = super::totals();
+        assert!(after.0 > before.0, "count did not advance");
+        assert!(
+            after.1 >= before.1 + 8 * 1024,
+            "bytes did not cover the vec: {} -> {}",
+            before.1,
+            after.1
+        );
+        drop(v);
+    }
+}

@@ -110,7 +110,10 @@ fn field_json(value: &crate::recorder::FieldValue) -> String {
     }
 }
 
-fn event_json(event: &Event) -> String {
+/// Serialize one event as a single JSON object (the `to_jsonl` line
+/// format). Also used by the `swsd` crash dumper, which must not build a
+/// serializer of its own inside a panic hook.
+pub fn event_json(event: &Event) -> String {
     let (kind, dur) = match &event.kind {
         EventKind::SpanOpen => ("span_open", None),
         EventKind::SpanClose { dur_ns } => ("span_close", Some(*dur_ns)),
@@ -207,6 +210,23 @@ impl HistStats {
     }
 }
 
+/// Rows kept in [`TraceSummary::hot_paths`].
+const HOT_PATHS_TOP_N: usize = 8;
+
+/// Allocation totals attributed to one span name (only populated when
+/// the `alloc-stats` feature instrumented the spans).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocStats {
+    /// Span name.
+    pub name: String,
+    /// Span invocations that reported allocation deltas.
+    pub spans: u64,
+    /// Total allocations inside those spans.
+    pub count: u64,
+    /// Total bytes requested inside those spans.
+    pub bytes: u64,
+}
+
 /// The counters and histogram stats of a session, ready to render.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSummary {
@@ -216,6 +236,45 @@ pub struct TraceSummary {
     pub histograms: Vec<HistStats>,
     /// Number of events captured.
     pub events: usize,
+    /// The hottest call-tree nodes by exclusive time (top
+    /// [`HOT_PATHS_TOP_N`]).
+    pub hot_paths: Vec<crate::profile::HotPath>,
+    /// Per-span-name allocation totals (empty unless spans carried
+    /// `alloc.count`/`alloc.bytes` fields, i.e. the `alloc-stats`
+    /// feature).
+    pub allocations: Vec<AllocStats>,
+}
+
+fn collect_allocations(events: &[Event]) -> Vec<AllocStats> {
+    use crate::recorder::FieldValue;
+    let mut by_name: std::collections::BTreeMap<&str, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for event in events {
+        if !matches!(event.kind, EventKind::SpanClose { .. }) {
+            continue;
+        }
+        let field = |key: &str| {
+            event.fields.iter().find_map(|(k, v)| match v {
+                FieldValue::U64(n) if *k == key => Some(*n),
+                _ => None,
+            })
+        };
+        if let (Some(count), Some(bytes)) = (field("alloc.count"), field("alloc.bytes")) {
+            let entry = by_name.entry(event.name).or_insert((0, 0, 0));
+            entry.0 += 1;
+            entry.1 += count;
+            entry.2 += bytes;
+        }
+    }
+    by_name
+        .into_iter()
+        .map(|(name, (spans, count, bytes))| AllocStats {
+            name: name.to_string(),
+            spans,
+            count,
+            bytes,
+        })
+        .collect()
 }
 
 impl TraceSummary {
@@ -229,6 +288,9 @@ impl TraceSummary {
                 .map(|(name, hist)| HistStats::of(name, hist))
                 .collect(),
             events: session.events.len(),
+            hot_paths: crate::profile::Profile::from_events(&session.events)
+                .hot_paths(HOT_PATHS_TOP_N),
+            allocations: collect_allocations(&session.events),
         }
     }
 
@@ -258,6 +320,29 @@ impl TraceSummary {
                     fmt_ns(h.p50_ns),
                     fmt_ns(h.p99_ns),
                     fmt_ns(h.max_ns)
+                );
+            }
+        }
+        if !self.hot_paths.is_empty() {
+            out.push_str("  hot paths (count / excl / incl):\n");
+            for p in &self.hot_paths {
+                let _ = writeln!(
+                    out,
+                    "    {} = {} / {} / {}",
+                    p.path,
+                    p.count,
+                    fmt_ns(p.exclusive_ns),
+                    fmt_ns(p.inclusive_ns)
+                );
+            }
+        }
+        if !self.allocations.is_empty() {
+            out.push_str("  allocations (spans / count / bytes):\n");
+            for a in &self.allocations {
+                let _ = writeln!(
+                    out,
+                    "    {} = {} / {} / {}",
+                    a.name, a.spans, a.count, a.bytes
                 );
             }
         }

@@ -1,0 +1,359 @@
+//! The flight recorder: a fixed-capacity, always-on ring buffer of recent
+//! span/point events, plus live counters and the set of currently-open
+//! spans.
+//!
+//! A full [`Recorder`](crate::Recorder) captures *everything* and is
+//! therefore opt-in per run (`swsd --trace`). The flight recorder is the
+//! complement: cheap enough to leave on for every session, it retains only
+//! the last `capacity` events — exactly what a crash dump needs to explain
+//! *what the process was doing when it died*. `swsd` installs one at
+//! startup and its panic hook serializes [`FlightRecorder::snapshot`] into
+//! `crash-report.json`.
+//!
+//! # Cost model
+//!
+//! When no flight recorder is installed, instrumentation sites pay one
+//! extra relaxed atomic load (see [`crate::enabled`]). When one is
+//! installed, each span open/close or point event takes an uncontended
+//! mutex and writes one fixed-size ring slot; counters are one map bump.
+//! `bench_trace_overhead` pins the always-on p50 overhead at ≤ 1.05x of
+//! the fully-disabled path.
+//!
+//! # Poison tolerance
+//!
+//! Every lock here survives poisoning: the flight recorder exists to be
+//! read *during a panic*, so a panic elsewhere must never cascade into a
+//! second panic inside the dump path.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::recorder::{Event, EventKind, Field};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Default ring capacity (events retained), overridable per recorder with
+/// [`FlightRecorder::with_capacity`].
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// A span that has opened but not yet closed.
+#[derive(Debug, Clone)]
+pub struct OpenSpan {
+    /// Span id.
+    pub id: u64,
+    /// Enclosing span id (0 = root).
+    pub parent: u64,
+    /// Span name.
+    pub name: &'static str,
+    /// Open timestamp on the flight recorder's clock.
+    pub open_ts_ns: u64,
+}
+
+#[derive(Default)]
+struct FlightState {
+    ring: VecDeque<Event>,
+    seq: u64,
+    dropped: u64,
+    counters: BTreeMap<&'static str, u64>,
+    open: BTreeMap<u64, OpenSpan>,
+}
+
+struct Inner {
+    capacity: usize,
+    clock: Arc<dyn Clock>,
+    state: Mutex<FlightState>,
+}
+
+/// Everything the flight recorder retains, copied out at dump time.
+#[derive(Debug, Clone, Default)]
+pub struct FlightSnapshot {
+    /// The retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted from the ring since installation.
+    pub dropped: u64,
+    /// Live counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Spans open at snapshot time, sorted by id (open order).
+    pub open_spans: Vec<OpenSpan>,
+}
+
+impl FlightSnapshot {
+    /// The active span stack ending at `leaf` (a span id, usually
+    /// [`crate::current_span_id`] of the crashing thread), root first.
+    /// Unknown ids terminate the walk, so a truncated ring still yields
+    /// the suffix of the stack it knows about.
+    pub fn stack_from(&self, leaf: u64) -> Vec<&'static str> {
+        let mut stack = Vec::new();
+        let mut id = leaf;
+        while id != 0 {
+            match self.open_spans.iter().find(|s| s.id == id) {
+                Some(span) => {
+                    stack.push(span.name);
+                    id = span.parent;
+                }
+                None => break,
+            }
+        }
+        stack.reverse();
+        stack
+    }
+}
+
+/// The fixed-capacity always-on event ring. Cheap to clone (shared
+/// interior).
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+fn lock(state: &Mutex<FlightState>) -> MutexGuard<'_, FlightState> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl FlightRecorder {
+    /// A flight recorder with [`DEFAULT_CAPACITY`] on the real clock.
+    pub fn new() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A flight recorder retaining the last `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder::with_clock(capacity, Arc::new(MonotonicClock::new()))
+    }
+
+    /// A flight recorder on an injected clock (tests).
+    pub fn with_clock(capacity: usize, clock: Arc<dyn Clock>) -> Self {
+        FlightRecorder {
+            inner: Arc::new(Inner {
+                capacity: capacity.max(1),
+                clock,
+                state: Mutex::new(FlightState::default()),
+            }),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    fn push(
+        &self,
+        state: &mut FlightState,
+        kind: EventKind,
+        name: &'static str,
+        span_id: u64,
+        parent: u64,
+        fields: Vec<Field>,
+    ) {
+        if state.ring.len() == self.inner.capacity {
+            state.ring.pop_front();
+            state.dropped += 1;
+        }
+        let seq = state.seq;
+        state.seq += 1;
+        state.ring.push_back(Event {
+            seq,
+            ts_ns: self.inner.clock.now_ns(),
+            kind,
+            name,
+            span_id,
+            parent,
+            fields,
+        });
+    }
+
+    /// Record a span open (called by the [`crate::span!`] machinery).
+    pub fn record_open(&self, id: u64, parent: u64, name: &'static str, fields: &[Field]) {
+        let open_ts_ns = self.inner.clock.now_ns();
+        let mut state = lock(&self.inner.state);
+        state.open.insert(
+            id,
+            OpenSpan {
+                id,
+                parent,
+                name,
+                open_ts_ns,
+            },
+        );
+        self.push(
+            &mut state,
+            EventKind::SpanOpen,
+            name,
+            id,
+            parent,
+            fields.to_vec(),
+        );
+    }
+
+    /// Record a span close; the duration is measured on this recorder's
+    /// own clock from the matching [`FlightRecorder::record_open`].
+    pub fn record_close(&self, id: u64, parent: u64, name: &'static str, fields: &[Field]) {
+        let now = self.inner.clock.now_ns();
+        let mut state = lock(&self.inner.state);
+        let dur_ns = match state.open.remove(&id) {
+            Some(open) => now.saturating_sub(open.open_ts_ns),
+            None => 0,
+        };
+        self.push(
+            &mut state,
+            EventKind::SpanClose { dur_ns },
+            name,
+            id,
+            parent,
+            fields.to_vec(),
+        );
+    }
+
+    /// Record a point event.
+    pub fn record_point(&self, parent: u64, name: &'static str, fields: &[Field]) {
+        let mut state = lock(&self.inner.state);
+        self.push(
+            &mut state,
+            EventKind::Point,
+            name,
+            0,
+            parent,
+            fields.to_vec(),
+        );
+    }
+
+    /// Add `delta` to the named live counter.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        let mut state = lock(&self.inner.state);
+        *state.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Copy out everything currently retained. Never panics, even if a
+    /// lock was poisoned by a panicking thread.
+    pub fn snapshot(&self) -> FlightSnapshot {
+        let state = lock(&self.inner.state);
+        FlightSnapshot {
+            events: state.ring.iter().cloned().collect(),
+            dropped: state.dropped,
+            counters: state
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            open_spans: state.open.values().cloned().collect(),
+        }
+    }
+
+    /// Install this flight recorder process-globally. Replaces any
+    /// previous one.
+    pub fn install_global(&self) {
+        let mut slot = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+        *slot = Some(self.clone());
+        ACTIVE.store(true, Ordering::Release);
+    }
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static GLOBAL: Mutex<Option<FlightRecorder>> = Mutex::new(None);
+
+/// One relaxed load: is a flight recorder installed? The fast gate the
+/// instrumentation sites check.
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// The installed flight recorder, if any.
+#[inline]
+pub fn active() -> Option<FlightRecorder> {
+    if !is_active() {
+        return None;
+    }
+    GLOBAL
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Remove the global flight recorder, returning it.
+pub fn uninstall_global() -> Option<FlightRecorder> {
+    let mut slot = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+    ACTIVE.store(false, Ordering::Release);
+    slot.take()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+
+    #[test]
+    fn ring_retains_only_the_last_capacity_events() {
+        let fr = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            fr.record_point(0, "tick", &[("i", crate::FieldValue::U64(i))]);
+        }
+        let snap = fr.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.dropped, 2);
+        // Oldest first, and the retained tail is the last three.
+        let is: Vec<u64> = snap
+            .events
+            .iter()
+            .map(|e| match &e.fields[0].1 {
+                crate::FieldValue::U64(v) => *v,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(is, vec![2, 3, 4]);
+        // Sequence numbers keep counting across evictions.
+        assert_eq!(snap.events.last().unwrap().seq, 4);
+    }
+
+    #[test]
+    fn open_spans_and_stack_walk() {
+        let clock = MockClock::new();
+        let fr = FlightRecorder::with_clock(16, clock.clone());
+        fr.record_open(1, 0, "outer", &[]);
+        clock.advance(100);
+        fr.record_open(2, 1, "inner", &[]);
+        let snap = fr.snapshot();
+        assert_eq!(snap.open_spans.len(), 2);
+        assert_eq!(snap.stack_from(2), vec!["outer", "inner"]);
+        assert_eq!(snap.stack_from(1), vec!["outer"]);
+        assert!(snap.stack_from(99).is_empty());
+
+        clock.advance(50);
+        fr.record_close(2, 1, "inner", &[]);
+        let snap = fr.snapshot();
+        assert_eq!(snap.open_spans.len(), 1);
+        let close = snap.events.last().unwrap();
+        assert_eq!(close.kind, EventKind::SpanClose { dur_ns: 50 });
+    }
+
+    #[test]
+    fn counters_are_live_totals() {
+        let fr = FlightRecorder::new();
+        fr.add("ops", 2);
+        fr.add("ops", 3);
+        let snap = fr.snapshot();
+        assert_eq!(snap.counters, vec![("ops".to_string(), 5)]);
+    }
+
+    #[test]
+    fn close_without_open_reports_zero_duration() {
+        let fr = FlightRecorder::new();
+        fr.record_close(7, 0, "orphan", &[]);
+        let snap = fr.snapshot();
+        assert_eq!(snap.events[0].kind, EventKind::SpanClose { dur_ns: 0 });
+    }
+}

@@ -46,16 +46,22 @@
 //! assert!(export::jsonl::check(&export::to_jsonl(&session)).unwrap() >= 3);
 //! ```
 
+#[cfg(feature = "alloc-stats")]
+pub mod alloc_stats;
 pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod histogram;
+pub mod profile;
 mod recorder;
 
 pub use clock::{Clock, MockClock, MonotonicClock};
-pub use export::{fmt_ns, render_tree, to_jsonl, HistStats, TraceSummary};
+pub use export::{fmt_ns, render_tree, to_jsonl, AllocStats, HistStats, TraceSummary};
+pub use flight::{FlightRecorder, FlightSnapshot};
 pub use histogram::Histogram;
+pub use profile::{HotPath, Profile};
 pub use recorder::{
-    clear_global, counter, current, enabled, event_with, global, record_value, set_global, span,
-    span_with, Event, EventKind, Field, FieldValue, IntoField, Recorder, Span, SpanHandle,
-    ThreadGuard, TraceSession,
+    clear_global, counter, current, current_span_id, enabled, event_with, global, next_span_id,
+    record_value, set_global, span, span_with, Event, EventKind, Field, FieldValue, IntoField,
+    Recorder, Span, SpanHandle, ThreadGuard, TraceSession,
 };

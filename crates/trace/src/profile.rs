@@ -1,0 +1,310 @@
+//! The self-profiler: fold a span event stream into an
+//! inclusive/exclusive-time call tree.
+//!
+//! Spans with the same name under the same parent path merge into one
+//! node, accumulating invocation counts and inclusive time; exclusive
+//! time is a node's inclusive time minus its children's. Two exports:
+//!
+//! * [`Profile::render_table`] / [`Profile::hot_paths`] — the top-N
+//!   hot-path table embedded in `DesignReport`,
+//! * [`Profile::collapsed`] — flamegraph-compatible collapsed stacks
+//!   (`a;b;c <weight>`, weight = exclusive nanoseconds), directly
+//!   loadable by `flamegraph.pl` / `inferno` / speedscope.
+//!
+//! Spans opened on worker threads carry parent 0 (each thread has its own
+//! span stack), so they appear as separate roots — by design: a profile
+//! of `core.parallel` shows the dispatch span and the worker spans side
+//! by side.
+
+use crate::export::fmt_ns;
+use crate::recorder::{Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+struct Node {
+    name: &'static str,
+    children: BTreeMap<&'static str, usize>,
+    count: u64,
+    inclusive_ns: u64,
+    exclusive_ns: u64,
+}
+
+impl Node {
+    fn new(name: &'static str) -> Self {
+        Node {
+            name,
+            children: BTreeMap::new(),
+            count: 0,
+            inclusive_ns: 0,
+            exclusive_ns: 0,
+        }
+    }
+}
+
+/// One row of the hot-path table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotPath {
+    /// Semicolon-joined span-name path from the root (`a;b;c`).
+    pub path: String,
+    /// Invocations of this node.
+    pub count: u64,
+    /// Total time inside this node, nanoseconds.
+    pub inclusive_ns: u64,
+    /// Inclusive time minus children's inclusive time, nanoseconds.
+    pub exclusive_ns: u64,
+}
+
+/// A call tree aggregated from a span event stream.
+#[derive(Debug)]
+pub struct Profile {
+    /// Arena; index 0 is the synthetic root.
+    nodes: Vec<Node>,
+}
+
+impl Profile {
+    /// Aggregate `events` (emission order) into a call tree.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut nodes = vec![Node::new("")];
+        // Open span id -> node index.
+        let mut open: BTreeMap<u64, usize> = BTreeMap::new();
+        for event in events {
+            match &event.kind {
+                EventKind::SpanOpen => {
+                    let parent_idx = open.get(&event.parent).copied().unwrap_or(0);
+                    let idx = match nodes[parent_idx].children.get(event.name) {
+                        Some(&idx) => idx,
+                        None => {
+                            let idx = nodes.len();
+                            nodes.push(Node::new(event.name));
+                            nodes[parent_idx].children.insert(event.name, idx);
+                            idx
+                        }
+                    };
+                    nodes[idx].count += 1;
+                    open.insert(event.span_id, idx);
+                }
+                EventKind::SpanClose { dur_ns } => {
+                    if let Some(idx) = open.remove(&event.span_id) {
+                        nodes[idx].inclusive_ns += dur_ns;
+                    }
+                }
+                EventKind::Point => {}
+            }
+        }
+        // Exclusive = inclusive - sum(children inclusive). Saturating:
+        // a span that never closed has inclusive 0 but closed children.
+        for idx in 0..nodes.len() {
+            let child_sum: u64 = nodes[idx]
+                .children
+                .values()
+                .map(|&c| nodes[c].inclusive_ns)
+                .sum();
+            nodes[idx].exclusive_ns = nodes[idx].inclusive_ns.saturating_sub(child_sum);
+        }
+        Profile { nodes }
+    }
+
+    /// True if no spans were seen.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    fn walk(&self, idx: usize, path: &mut Vec<&'static str>, out: &mut Vec<HotPath>) {
+        for &child in self.nodes[idx].children.values() {
+            let node = &self.nodes[child];
+            path.push(node.name);
+            out.push(HotPath {
+                path: path.join(";"),
+                count: node.count,
+                inclusive_ns: node.inclusive_ns,
+                exclusive_ns: node.exclusive_ns,
+            });
+            self.walk(child, path, out);
+            path.pop();
+        }
+    }
+
+    /// Every node as a [`HotPath`], depth-first with siblings in name
+    /// order — a deterministic flattening of the tree.
+    pub fn all_paths(&self) -> Vec<HotPath> {
+        let mut out = Vec::new();
+        self.walk(0, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// The `n` hottest nodes by exclusive time (ties broken by path).
+    pub fn hot_paths(&self, n: usize) -> Vec<HotPath> {
+        let mut all = self.all_paths();
+        all.sort_by(|a, b| {
+            b.exclusive_ns
+                .cmp(&a.exclusive_ns)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// Flamegraph collapsed-stack format: one `path <weight>` line per
+    /// node (weight = exclusive nanoseconds), depth-first with siblings
+    /// in name order. Loadable by `flamegraph.pl`, `inferno`, and
+    /// speedscope.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for p in self.all_paths() {
+            let _ = writeln!(out, "{} {}", p.path, p.exclusive_ns);
+        }
+        out
+    }
+
+    fn render_node(&self, idx: usize, depth: usize, out: &mut String) {
+        for &child in self.nodes[idx].children.values() {
+            let node = &self.nodes[child];
+            let _ = writeln!(
+                out,
+                "{}{}  x{}  incl {}  excl {}",
+                "  ".repeat(depth),
+                node.name,
+                node.count,
+                fmt_ns(node.inclusive_ns),
+                fmt_ns(node.exclusive_ns),
+            );
+            self.render_node(child, depth + 1, out);
+        }
+    }
+
+    /// Human-readable indented call tree with counts and incl/excl times
+    /// (`swsd --profile=tree`).
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        self.render_node(0, 0, &mut out);
+        out
+    }
+
+    /// The hot-path table as indented plain text, `n` rows.
+    pub fn render_table(&self, n: usize) -> String {
+        let mut out = String::new();
+        for p in self.hot_paths(n) {
+            let _ = writeln!(
+                out,
+                "    {}  x{}  excl {}  incl {}",
+                p.path,
+                p.count,
+                fmt_ns(p.exclusive_ns),
+                fmt_ns(p.inclusive_ns),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+    use crate::{span, Recorder};
+
+    /// a { +100ns; b { +200ns } ; c { +300ns } } — inclusive/exclusive
+    /// times are exact under the mock clock.
+    fn session() -> crate::recorder::TraceSession {
+        let clock = MockClock::new();
+        let rec = Recorder::with_clock(clock.clone());
+        let _guard = rec.install_thread();
+        {
+            let _a = span("a");
+            clock.advance(100);
+            {
+                let _b = span("b");
+                clock.advance(200);
+            }
+            {
+                let _c = span("c");
+                clock.advance(300);
+            }
+        }
+        rec.take()
+    }
+
+    #[test]
+    fn inclusive_and_exclusive_times_are_exact() {
+        let profile = Profile::from_events(&session().events);
+        let paths = profile.all_paths();
+        assert_eq!(paths.len(), 3);
+        assert_eq!(
+            paths[0],
+            HotPath {
+                path: "a".into(),
+                count: 1,
+                inclusive_ns: 600,
+                exclusive_ns: 100
+            }
+        );
+        assert_eq!(paths[1].path, "a;b");
+        assert_eq!((paths[1].inclusive_ns, paths[1].exclusive_ns), (200, 200));
+        assert_eq!(paths[2].path, "a;c");
+        assert_eq!((paths[2].inclusive_ns, paths[2].exclusive_ns), (300, 300));
+    }
+
+    #[test]
+    fn collapsed_stacks_are_flamegraph_shaped() {
+        let profile = Profile::from_events(&session().events);
+        assert_eq!(profile.collapsed(), "a 100\na;b 200\na;c 300\n");
+    }
+
+    #[test]
+    fn hot_paths_rank_by_exclusive_time() {
+        let profile = Profile::from_events(&session().events);
+        let hot = profile.hot_paths(2);
+        assert_eq!(hot[0].path, "a;c");
+        assert_eq!(hot[1].path, "a;b");
+    }
+
+    #[test]
+    fn repeated_spans_merge_and_count() {
+        let clock = MockClock::new();
+        let rec = Recorder::with_clock(clock.clone());
+        let _guard = rec.install_thread();
+        for _ in 0..3 {
+            let _sp = span("op");
+            clock.advance(10);
+        }
+        let profile = Profile::from_events(&rec.take().events);
+        let paths = profile.all_paths();
+        assert_eq!(paths.len(), 1);
+        assert_eq!((paths[0].count, paths[0].inclusive_ns), (3, 30));
+    }
+
+    #[test]
+    fn orphan_parents_attach_at_root() {
+        // A worker-thread span (parent id unknown to this stream).
+        let clock = MockClock::new();
+        let rec = Recorder::with_clock(clock.clone());
+        let _guard = rec.install_thread();
+        {
+            let _sp = span("main");
+            clock.advance(5);
+        }
+        let mut events = rec.take().events;
+        // Forge a span whose parent was never opened in this stream.
+        let mut open = events[0].clone();
+        open.kind = EventKind::SpanOpen;
+        open.name = "worker";
+        open.span_id = 9999;
+        open.parent = 4242;
+        let mut close = open.clone();
+        close.kind = EventKind::SpanClose { dur_ns: 7 };
+        events.push(open);
+        events.push(close);
+        let profile = Profile::from_events(&events);
+        let paths: Vec<String> = profile.all_paths().into_iter().map(|p| p.path).collect();
+        assert_eq!(paths, vec!["main".to_string(), "worker".to_string()]);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let profile = Profile::from_events(&[]);
+        assert!(profile.is_empty());
+        assert_eq!(profile.collapsed(), "");
+        assert_eq!(profile.render_tree(), "");
+    }
+}

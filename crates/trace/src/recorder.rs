@@ -161,8 +161,17 @@ struct State {
 struct Inner {
     enabled: AtomicBool,
     clock: Arc<dyn Clock>,
-    next_span: AtomicU64,
     state: Mutex<State>,
+}
+
+/// Process-wide span-id allocator, shared by every [`Recorder`] and the
+/// flight recorder so that one logical span carries the same id in every
+/// sink it reaches.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh process-unique span id (never 0).
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Everything a recorder captured: the event stream plus the metric
@@ -240,7 +249,6 @@ impl Recorder {
             inner: Arc::new(Inner {
                 enabled: AtomicBool::new(true),
                 clock,
-                next_span: AtomicU64::new(1),
                 state: Mutex::new(State::default()),
             }),
         }
@@ -286,7 +294,7 @@ impl Recorder {
 
     /// Open a span by hand. Prefer [`crate::span!`] / [`span`].
     pub fn open_span(&self, name: &'static str, fields: Vec<Field>) -> SpanHandle {
-        let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let id = next_span_id();
         let parent = CURRENT_SPAN.with(|c| c.replace(id));
         let open_ts = self.now_ns();
         self.emit(EventKind::SpanOpen, name, id, parent, fields);
@@ -296,6 +304,27 @@ impl Recorder {
             name,
             open_ts,
         }
+    }
+
+    /// Emit a span-open event without touching the thread's span stack
+    /// (the [`Span`] guard manages that once for all sinks).
+    fn emit_open(&self, name: &'static str, id: u64, parent: u64, fields: Vec<Field>) {
+        self.emit(EventKind::SpanOpen, name, id, parent, fields);
+    }
+
+    /// Emit a span-close event (duration precomputed on this recorder's
+    /// clock) and feed the histogram named after the span.
+    fn emit_close(
+        &self,
+        name: &'static str,
+        id: u64,
+        parent: u64,
+        dur_ns: u64,
+        fields: Vec<Field>,
+    ) {
+        self.emit(EventKind::SpanClose { dur_ns }, name, id, parent, fields);
+        let mut state = self.inner.state.lock().expect("trace state poisoned");
+        state.histograms.entry(name).or_default().record(dur_ns);
     }
 
     /// Close a span opened with [`Recorder::open_span`]. Records the
@@ -448,15 +477,21 @@ impl Drop for ThreadGuard {
     }
 }
 
-/// True if some recorder is installed *and* enabled: the gate every
-/// instrumentation site checks first. One relaxed atomic load when
-/// nothing is installed.
+/// True if some sink will receive events: a recorder that is installed
+/// *and* enabled, or the always-on flight recorder. Two relaxed atomic
+/// loads when nothing is installed.
 #[inline]
 pub fn enabled() -> bool {
-    if ACTIVE_SOURCES.load(Ordering::Relaxed) == 0 {
-        return false;
-    }
-    current().is_some()
+    crate::flight::is_active() || current().is_some()
+}
+
+/// The id of the innermost span currently open on *this thread* (0 when
+/// outside any span). This is what a crash dump hands to
+/// [`crate::flight::FlightSnapshot::stack_from`] to reconstruct the
+/// active stack.
+#[inline]
+pub fn current_span_id() -> u64 {
+    CURRENT_SPAN.with(|c| c.get())
 }
 
 /// The recorder instrumentation should write to right now, if any.
@@ -477,13 +512,38 @@ pub fn current() -> Option<Recorder> {
 // RAII span + free functions.
 // ---------------------------------------------------------------------
 
+struct SpanState {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    /// The full recorder, with the open timestamp on *its* clock.
+    rec: Option<(Recorder, u64)>,
+    /// The flight recorder (measures durations on its own clock).
+    flight: Option<crate::flight::FlightRecorder>,
+    fields: Vec<Field>,
+    /// `(alloc.count, alloc.bytes)` totals at open, reported as deltas on
+    /// close.
+    #[cfg(feature = "alloc-stats")]
+    alloc_at_open: (u64, u64),
+}
+
+impl std::fmt::Debug for SpanState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanState")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
 /// An RAII span guard: emits `span_open` on creation and `span_close`
-/// (with duration) on drop. Inert — a single `Option` check — when no
-/// recorder is installed.
+/// (with duration) on drop, to the current [`Recorder`] and/or the
+/// global flight recorder. Inert — a single `Option` check — when no
+/// sink is installed.
 #[must_use = "a span closes when dropped; binding it to _ closes it immediately"]
 #[derive(Debug)]
 pub struct Span {
-    state: Option<(Recorder, SpanHandle, Vec<Field>)>,
+    state: Option<SpanState>,
 }
 
 impl Span {
@@ -497,18 +557,50 @@ impl Span {
         self.state.is_some()
     }
 
+    /// The span id (0 if not recording).
+    pub fn id(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.id)
+    }
+
     /// Attach a field, reported on the close event.
     pub fn record(&mut self, key: &'static str, value: impl IntoField) {
-        if let Some((_, _, fields)) = &mut self.state {
-            fields.push((key, value.into_field()));
+        if let Some(state) = &mut self.state {
+            state.fields.push((key, value.into_field()));
         }
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((rec, handle, fields)) = self.state.take() {
-            rec.close_span(handle, fields);
+        if let Some(state) = self.state.take() {
+            self.close(state);
+        }
+    }
+}
+
+impl Span {
+    fn close(&self, state: SpanState) {
+        #[allow(unused_mut)]
+        let mut fields = state.fields;
+        #[cfg(feature = "alloc-stats")]
+        {
+            let (count, bytes) = crate::alloc_stats::totals();
+            fields.push((
+                "alloc.count",
+                FieldValue::U64(count.saturating_sub(state.alloc_at_open.0)),
+            ));
+            fields.push((
+                "alloc.bytes",
+                FieldValue::U64(bytes.saturating_sub(state.alloc_at_open.1)),
+            ));
+        }
+        CURRENT_SPAN.with(|c| c.set(state.parent));
+        if let Some((rec, open_ts)) = state.rec {
+            let dur_ns = rec.now_ns().saturating_sub(open_ts);
+            rec.emit_close(state.name, state.id, state.parent, dur_ns, fields.clone());
+        }
+        if let Some(flight) = state.flight {
+            flight.record_close(state.id, state.parent, state.name, &fields);
         }
     }
 }
@@ -518,34 +610,67 @@ pub fn span(name: &'static str) -> Span {
     span_with(name, Vec::new)
 }
 
-/// Open a span; `fields` is only invoked if a recorder is active.
+/// Open a span; `fields` is only invoked if some sink is active.
 pub fn span_with(name: &'static str, fields: impl FnOnce() -> Vec<Field>) -> Span {
-    match current() {
-        None => Span::disabled(),
-        Some(rec) => {
-            let handle = rec.open_span(name, fields());
-            Span {
-                state: Some((rec, handle, Vec::new())),
-            }
-        }
+    let rec = current();
+    let flight = crate::flight::active();
+    if rec.is_none() && flight.is_none() {
+        return Span::disabled();
+    }
+    let fields = fields();
+    let id = next_span_id();
+    let parent = CURRENT_SPAN.with(|c| c.replace(id));
+    let rec = rec.map(|r| {
+        let open_ts = r.now_ns();
+        r.emit_open(name, id, parent, fields.clone());
+        (r, open_ts)
+    });
+    if let Some(flight) = &flight {
+        flight.record_open(id, parent, name, &fields);
+    }
+    Span {
+        state: Some(SpanState {
+            id,
+            parent,
+            name,
+            rec,
+            flight,
+            fields: Vec::new(),
+            #[cfg(feature = "alloc-stats")]
+            alloc_at_open: crate::alloc_stats::totals(),
+        }),
     }
 }
 
-/// Emit a point event; `fields` is only invoked if a recorder is active.
+/// Emit a point event; `fields` is only invoked if some sink is active.
 pub fn event_with(name: &'static str, fields: impl FnOnce() -> Vec<Field>) {
-    if let Some(rec) = current() {
-        rec.point(name, fields());
+    let rec = current();
+    let flight = crate::flight::active();
+    if rec.is_none() && flight.is_none() {
+        return;
+    }
+    let fields = fields();
+    if let Some(rec) = rec {
+        rec.point(name, fields.clone());
+    }
+    if let Some(flight) = flight {
+        let parent = CURRENT_SPAN.with(|c| c.get());
+        flight.record_point(parent, name, &fields);
     }
 }
 
-/// Add `delta` to the named counter on the current recorder.
+/// Add `delta` to the named counter on every active sink.
 pub fn counter(name: &'static str, delta: u64) {
     if let Some(rec) = current() {
         rec.add(name, delta);
     }
+    if let Some(flight) = crate::flight::active() {
+        flight.add(name, delta);
+    }
 }
 
 /// Record a sample in the named histogram on the current recorder.
+/// (The flight recorder keeps no histograms; it retains events.)
 pub fn record_value(name: &'static str, value: u64) {
     if let Some(rec) = current() {
         rec.record(name, value);

@@ -1,0 +1,85 @@
+//! Flight-recorder integration through the *global* install path. These
+//! tests live in their own binary and serialize on a lock: the flight
+//! recorder is process-global, so a concurrently running span-producing
+//! test would pollute the ring.
+
+use std::sync::{Mutex, PoisonError};
+use sws_trace::{span, EventKind, Recorder};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn flight_recorder_sees_spans_alongside_a_thread_recorder() {
+    let _serial = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let rec = Recorder::new();
+    let _guard = rec.install_thread();
+    let flight = sws_trace::FlightRecorder::with_capacity(8);
+    flight.install_global();
+    {
+        let _sp = span("shared");
+        sws_trace::counter("both", 3);
+        assert_ne!(sws_trace::current_span_id(), 0);
+    }
+    assert_eq!(sws_trace::current_span_id(), 0);
+    let session = rec.take();
+    let snap = flight.snapshot();
+    sws_trace::flight::uninstall_global();
+    // Same logical span, same id, in both sinks.
+    let rec_open = &session.events[0];
+    let flight_open = &snap.events[0];
+    assert_eq!(rec_open.name, "shared");
+    assert_eq!(flight_open.name, "shared");
+    assert_eq!(rec_open.span_id, flight_open.span_id);
+    assert_eq!(session.counter("both"), 3);
+    assert_eq!(snap.counters, vec![("both".to_string(), 3)]);
+    assert!(snap.open_spans.is_empty());
+}
+
+#[test]
+fn flight_recorder_alone_enables_instrumentation() {
+    let _serial = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    // No Recorder installed anywhere: the flight recorder still sees
+    // spans and events, and `enabled()` reports true.
+    let flight = sws_trace::FlightRecorder::with_capacity(4);
+    flight.install_global();
+    assert!(sws_trace::enabled());
+    {
+        let mut sp = span("solo");
+        assert!(sp.is_recording());
+        sp.record("k", 1u64);
+        sws_trace::event!("ping", n = 2u64);
+    }
+    let snap = flight.snapshot();
+    sws_trace::flight::uninstall_global();
+    assert!(!sws_trace::enabled());
+    let kinds: Vec<&str> = snap
+        .events
+        .iter()
+        .map(|e| match e.kind {
+            EventKind::SpanOpen => "open",
+            EventKind::SpanClose { .. } => "close",
+            EventKind::Point => "point",
+        })
+        .collect();
+    assert_eq!(kinds, vec!["open", "point", "close"]);
+    // The point event hangs off the open span.
+    assert_eq!(snap.events[1].parent, snap.events[0].span_id);
+}
+
+#[test]
+fn snapshot_survives_a_poisoned_peer_lock() {
+    let _serial = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    // A thread that panics while the flight recorder is installed must
+    // not make later snapshots (the crash dump path) panic too.
+    let flight = sws_trace::FlightRecorder::with_capacity(8);
+    flight.install_global();
+    let handle = std::thread::spawn(|| {
+        let _sp = span("doomed");
+        panic!("injected");
+    });
+    assert!(handle.join().is_err());
+    let snap = flight.snapshot();
+    sws_trace::flight::uninstall_global();
+    // The doomed span opened (and closed during unwind).
+    assert!(snap.events.iter().any(|e| e.name == "doomed"));
+}

@@ -146,6 +146,43 @@ fn tree_render_shows_hierarchy_and_durations() {
 }
 
 #[test]
+fn profiler_aggregation_is_mockclock_exact() {
+    let clock = MockClock::new();
+    let rec = Recorder::with_clock(clock.clone());
+    let _guard = rec.install_thread();
+    // apply { +1000; preconditions { +500 } ; preconditions { +500 } }
+    // twice, so counts and merge behaviour are visible.
+    for _ in 0..2 {
+        let _a = span("apply");
+        clock.advance(1_000);
+        for _ in 0..2 {
+            let _p = span("preconditions");
+            clock.advance(500);
+        }
+    }
+    let session = rec.take();
+    let profile = sws_trace::Profile::from_events(&session.events);
+    let paths = profile.all_paths();
+    assert_eq!(paths.len(), 2);
+    assert_eq!(paths[0].path, "apply");
+    assert_eq!(paths[0].count, 2);
+    assert_eq!(paths[0].inclusive_ns, 4_000);
+    assert_eq!(paths[0].exclusive_ns, 2_000);
+    assert_eq!(paths[1].path, "apply;preconditions");
+    assert_eq!(paths[1].count, 4);
+    assert_eq!(paths[1].inclusive_ns, 2_000);
+    assert_eq!(paths[1].exclusive_ns, 2_000);
+    assert_eq!(
+        profile.collapsed(),
+        "apply 2000\napply;preconditions 2000\n"
+    );
+    // The summary carries the same rows (hottest first).
+    let summary = sws_trace::TraceSummary::of(&session);
+    assert_eq!(summary.hot_paths.len(), 2);
+    assert_eq!(summary.hot_paths[0].exclusive_ns, 2_000);
+}
+
+#[test]
 fn summary_collects_counters_and_stats() {
     let clock = MockClock::new();
     let rec = Recorder::with_clock(clock.clone());

@@ -1,0 +1,69 @@
+//! Allocation attribution (the `alloc-stats` feature): with the counting
+//! global allocator installed, every closed span carries `alloc.count` /
+//! `alloc.bytes` fields, and the trace summary aggregates them per span
+//! name — the baseline the arena/CSR refactor will be judged against.
+
+#![cfg(feature = "alloc-stats")]
+
+use shrink_wrap_schemas::core::{ConceptKind, ModOp, Workspace};
+use shrink_wrap_schemas::corpus::university;
+use sws_trace::{FieldValue, Recorder, TraceSummary};
+
+#[test]
+fn incremental_recheck_span_reports_allocation_counts() {
+    let rec = Recorder::new();
+    let _guard = rec.install_thread();
+
+    let mut ws = Workspace::new(university::graph());
+    ws.consistency(); // warm state: the next sync is incremental
+    ws.apply(
+        ConceptKind::WagonWheel,
+        ModOp::AddAttribute {
+            ty: "CourseOffering".into(),
+            domain: shrink_wrap_schemas::odl::DomainType::String,
+            size: Some(8),
+            name: "wing".into(),
+        },
+    )
+    .expect("applies");
+    ws.consistency();
+
+    let trace = rec.take();
+    let close = trace
+        .events
+        .iter()
+        .find(|e| {
+            e.name == "core.consistency.incremental_sync"
+                && matches!(e.kind, sws_trace::EventKind::SpanClose { .. })
+        })
+        .expect("incremental sync ran under the recorder");
+    let field = |key: &str| {
+        close
+            .fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let Some(FieldValue::U64(count)) = field("alloc.count") else {
+        panic!("missing alloc.count on incremental_sync close: {close:?}");
+    };
+    let Some(FieldValue::U64(bytes)) = field("alloc.bytes") else {
+        panic!("missing alloc.bytes on incremental_sync close: {close:?}");
+    };
+    // Syncing one dirty closure allocates (dirty sets, recheck buffers):
+    // zero would mean the counter is not wired through.
+    assert!(count > 0, "incremental sync should allocate; got 0");
+    assert!(bytes >= count, "bytes ({bytes}) < count ({count})?");
+
+    // And the summary attributes them per span name.
+    let summary = TraceSummary::of(&trace);
+    let row = summary
+        .allocations
+        .iter()
+        .find(|a| a.name == "core.consistency.incremental_sync")
+        .expect("summary aggregates the sync span's allocations");
+    assert!(row.count >= count);
+    assert!(row.spans >= 1);
+    let rendered = summary.render();
+    assert!(rendered.contains("allocations"), "{rendered}");
+}

@@ -1,10 +1,12 @@
 //! P3: consistency-check cost vs schema size — full recheck vs the
 //! workspace's incremental engine.
 //!
-//! For each sweep size N (default 100 / 1 000 / 5 000 types, override with
-//! `SWS_BENCH_SIZES`):
+//! For each extended sweep size N (default 100 / 1 000 / 5 000 / 50 000 /
+//! 100 000 types, override with `SWS_BENCH_SIZES`):
 //!
-//! * `full/N` — `check_consistency` from scratch over the whole schema;
+//! * `full/N` — `check_consistency` from scratch over the whole schema
+//!   (timed only up to 5 000 types; the two large sizes exist to show the
+//!   incremental path stays flat where a full recheck would not);
 //! * `incremental/N` — `Workspace::consistency()` after one edit, against a
 //!   pre-synced consistency state (the setup applies the edit untimed, so
 //!   the measured region is exactly the dirty-set sync + report assembly).
@@ -33,17 +35,22 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 /// Edits applied per incremental-resync iteration: enough to dirty a
 /// closure that clears the parallel threshold on the bigger sizes.
 const RESYNC_BATCH: usize = 16;
+/// Sizes above this only time the incremental path: a timed full recheck
+/// at 50k/100k would dominate the run without informing the comparison.
+const FULL_CHECK_MAX: usize = 5_000;
 
 fn main() {
     let mut runner = Runner::new("consistency");
     let mut incremental = BenchReport::new("incremental_consistency", SEED, 0);
 
-    for (n, g) in synthetic::size_sweep(SEED) {
+    for (n, g) in synthetic::size_sweep_large(SEED) {
         incremental.sizes.push(n as u64);
         let full_label = format!("full/{n}");
-        runner.bench(&full_label, || {
-            check_consistency(std::hint::black_box(&g), std::hint::black_box(&g))
-        });
+        if n <= FULL_CHECK_MAX {
+            runner.bench(&full_label, || {
+                check_consistency(std::hint::black_box(&g), std::hint::black_box(&g))
+            });
+        }
 
         // Base workspace with a warm (fully synced) consistency state; each
         // iteration clones it, applies one edit untimed, then times only
@@ -65,7 +72,12 @@ fn main() {
             |ws| ws.consistency(),
         );
 
-        for label in [&full_label, &inc_label] {
+        let labels: &[&String] = if n <= FULL_CHECK_MAX {
+            &[&full_label, &inc_label]
+        } else {
+            &[&inc_label]
+        };
+        for &label in labels {
             incremental.push(
                 label,
                 runner.exact_quantile(label, 0.50).expect("ran"),

@@ -16,14 +16,14 @@ use sws_odl::{DomainType, Param};
 /// Deterministic in `(g, count, seed)`.
 pub fn edit_stream(g: &SchemaGraph, count: usize, seed: u64) -> Vec<(ConceptKind, ModOp)> {
     let mut rng = SplitMix64::seed_from_u64(seed);
-    let type_names: Vec<String> = g.types().map(|(_, n)| n.name.clone()).collect();
+    let type_names: Vec<String> = g.types().map(|(_, n)| n.name.to_string()).collect();
     // (type name, attribute name) pairs still available for deletion.
     let mut deletable: Vec<(String, String)> = g
         .types()
         .flat_map(|(_, n)| {
             n.attrs
                 .iter()
-                .map(|&a| (n.name.clone(), g.attr(a).name.clone()))
+                .map(|&a| (n.name.to_string(), g.attr(a).name.to_string()))
         })
         .collect();
     let mut fresh = 0usize;

@@ -72,7 +72,7 @@ fn candidates_for(finding: &CrossIssue, g: &SchemaGraph) -> Vec<String> {
             // Suggest re-adding a key over the first available attribute.
             let attr = g
                 .type_id(ty)
-                .and_then(|id| g.ty(id).attrs.first().map(|&a| g.attr(a).name.clone()));
+                .and_then(|id| g.ty(id).attrs.first().map(|&a| g.attr(a).name));
             match attr {
                 Some(attr) => vec![format!("add_key_list({ty}, ({attr}))")],
                 None => vec![],

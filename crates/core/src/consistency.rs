@@ -19,18 +19,27 @@
 //! findings replaced; the rest of the report is reused verbatim.
 //!
 //! The same decomposition makes the checks parallel: types are sharded
-//! across worker threads (see [`crate::parallel`]), each worker checks its
-//! shard against the shared read-only graphs with a worker-local
-//! [`QueryCache`], and the per-type findings are merged back in arena
-//! order before the stable severity sort — so the report is **byte
-//! identical** at every thread count. `SWS_THREADS=1` takes the exact
-//! serial path on the caller's warm cache.
+//! across worker threads (see [`crate::parallel`]), every worker traverses
+//! one shared, frozen [`ClosureIndex`] with a worker-local [`WfScratch`],
+//! and the per-type findings are merged back in arena order before the
+//! stable severity sort — so the report is **byte identical** at every
+//! thread count. `SWS_THREADS=1` takes the exact serial path on the graph's
+//! own adjacency, reusing the engine's persistent scratch.
+//!
+//! The serial incremental recheck is the steady-state hot path and is
+//! **allocation-free**: type names are interned [`Symbol`]s (equality is an
+//! integer compare), the traversal scratch is warmed before the
+//! `core.consistency.recheck` span opens, and a clean type produces three
+//! empty (never-allocated) finding vectors. `tests/alloc_attribution.rs`
+//! pins this at zero allocations.
 
 use crate::impact::DirtySet;
 use crate::parallel;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use sws_model::{check_type_well_formed, query, QueryCache, SchemaGraph, TypeId, WfIssue};
+use sws_model::{
+    check_type_into, Adjacency, ClosureIndex, SchemaGraph, Symbol, TypeId, WfIssue, WfScratch,
+};
 use sws_odl::HierKind;
 
 /// How serious a finding is.
@@ -54,24 +63,25 @@ impl fmt::Display for Severity {
     }
 }
 
-/// One consistency finding.
+/// One consistency finding. Type names are interned [`Symbol`]s; they
+/// render as the name itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CrossIssue {
     /// A structural well-formedness problem.
     Wf(WfIssue),
     /// The shrink wrap type had keys; the custom type has none left.
-    LostKey { ty: String },
+    LostKey { ty: Symbol },
     /// The shrink wrap type had an extent; the custom type has none.
-    LostExtent { ty: String },
+    LostExtent { ty: Symbol },
     /// A type with no members, relationships, links, or ISA edges —
     /// typically an orphan left behind by deletions in other concept
     /// schemas.
-    IsolatedType { ty: String },
+    IsolatedType { ty: Symbol },
     /// An abstract type with no remaining subtypes.
-    AbstractLeaf { ty: String },
+    AbstractLeaf { ty: Symbol },
     /// A type that is the generic entity of more than one instance-of link
     /// (the paper observed linear chains; branching is legal but notable).
-    BranchingInstanceOf { ty: String, count: usize },
+    BranchingInstanceOf { ty: Symbol, count: usize },
 }
 
 impl CrossIssue {
@@ -163,15 +173,16 @@ impl ConsistencyReport {
 
 /// Run all consistency checks on `working` relative to `shrink_wrap`.
 ///
-/// Types are sharded across [`crate::parallel::workers`] worker threads;
-/// the per-type findings are merged back in arena order (check-major)
-/// before the stable severity sort, so the report does not depend on the
-/// thread count.
+/// Types are sharded across [`crate::parallel::workers`] worker threads
+/// over one shared frozen [`ClosureIndex`]; the per-type findings are
+/// merged back in arena order (check-major) before the stable severity
+/// sort, so the report does not depend on the thread count.
 pub fn check_consistency(working: &SchemaGraph, shrink_wrap: &SchemaGraph) -> ConsistencyReport {
     let mut sp = sws_trace::span!("core.consistency", types = working.type_count());
 
     let ids: Vec<TypeId> = working.types().map(|(id, _)| id).collect();
-    let per_type = compute_findings_for(working, shrink_wrap, &QueryCache::new(), &ids);
+    let mut scratch = WfScratch::default();
+    let per_type = compute_findings_for(working, shrink_wrap, &mut scratch, &ids);
     let findings = assemble_findings(per_type.iter());
 
     sp.record("findings", findings.len());
@@ -180,23 +191,31 @@ pub fn check_consistency(working: &SchemaGraph, shrink_wrap: &SchemaGraph) -> Co
 }
 
 /// All three per-type checks for every id in `ids`, in order. Serial runs
-/// (one worker, or fewer than the parallel threshold) share the caller's
-/// `qc`; parallel runs give each worker a fresh worker-local cache, which
-/// is semantically transparent — a cache can change only *when* a
-/// traversal is computed, never its result.
+/// (one worker, or fewer than the parallel threshold) traverse the graph's
+/// own adjacency with the caller's scratch; parallel runs freeze one
+/// [`ClosureIndex`] and share it read-only across all workers, each with a
+/// worker-local scratch. The two backends produce byte-identical
+/// traversals (pinned by tests in `sws-model`), so the findings do not
+/// depend on which path ran.
 fn compute_findings_for(
     working: &SchemaGraph,
     shrink_wrap: &SchemaGraph,
-    qc: &QueryCache,
+    scratch: &mut WfScratch,
     ids: &[TypeId],
 ) -> Vec<TypeFindings> {
+    let check_gen_cycles = working.type_count() < 10_000;
     if parallel::parallelism_for(ids.len()) <= 1 {
+        scratch.ensure_slots(working.type_slots(), working.link_slots());
         ids.iter()
-            .map(|&id| compute_type_findings(working, shrink_wrap, qc, id))
+            .map(|&id| {
+                compute_type_findings(working, shrink_wrap, working, scratch, check_gen_cycles, id)
+            })
             .collect()
     } else {
-        parallel::map_with(ids, QueryCache::new, |qc, _, &id| {
-            compute_type_findings(working, shrink_wrap, qc, id)
+        let index = ClosureIndex::build(working);
+        parallel::map_with(ids, WfScratch::default, |scratch, _, &id| {
+            scratch.ensure_slots(working.type_slots(), working.link_slots());
+            compute_type_findings(working, shrink_wrap, &index, scratch, check_gen_cycles, id)
         })
     }
 }
@@ -223,7 +242,8 @@ fn assemble_findings<'a>(
     findings
 }
 
-/// Shrink-wrap-relative findings for one type.
+/// Shrink-wrap-relative findings for one type. Both graphs share the
+/// global interner, so the cross-graph name lookup is a hash of one `u32`.
 fn type_shrink_wrap_relative(
     working: &SchemaGraph,
     shrink_wrap: &SchemaGraph,
@@ -231,17 +251,13 @@ fn type_shrink_wrap_relative(
     findings: &mut Vec<CrossIssue>,
 ) {
     let node = working.ty(id);
-    if let Some(sw_id) = shrink_wrap.type_id(&node.name) {
+    if let Some(sw_id) = shrink_wrap.type_id_sym(node.name) {
         let sw_node = shrink_wrap.ty(sw_id);
         if !sw_node.keys.is_empty() && node.keys.is_empty() {
-            findings.push(CrossIssue::LostKey {
-                ty: node.name.clone(),
-            });
+            findings.push(CrossIssue::LostKey { ty: node.name });
         }
         if sw_node.extent.is_some() && node.extent.is_none() {
-            findings.push(CrossIssue::LostExtent {
-                ty: node.name.clone(),
-            });
+            findings.push(CrossIssue::LostExtent { ty: node.name });
         }
     }
 }
@@ -259,19 +275,19 @@ fn type_structure(working: &SchemaGraph, id: TypeId, findings: &mut Vec<CrossIss
         && node.subtypes.is_empty()
         && node.keys.is_empty();
     if isolated {
-        findings.push(CrossIssue::IsolatedType {
-            ty: node.name.clone(),
-        });
+        findings.push(CrossIssue::IsolatedType { ty: node.name });
     }
     if node.is_abstract && node.subtypes.is_empty() {
-        findings.push(CrossIssue::AbstractLeaf {
-            ty: node.name.clone(),
-        });
+        findings.push(CrossIssue::AbstractLeaf { ty: node.name });
     }
-    let outgoing = query::hier_children(working, HierKind::InstanceOf, id).len();
+    let outgoing = node
+        .parent_links
+        .iter()
+        .filter(|&&l| working.link(l).kind == HierKind::InstanceOf)
+        .count();
     if outgoing > 1 {
         findings.push(CrossIssue::BranchingInstanceOf {
-            ty: node.name.clone(),
+            ty: node.name,
             count: outgoing,
         });
     }
@@ -288,8 +304,8 @@ struct TypeFindings {
     structure: Vec<CrossIssue>,
 }
 
-/// Persistent, incrementally-maintained consistency findings, keyed by type
-/// name.
+/// Persistent, incrementally-maintained consistency findings, keyed by
+/// interned type name.
 ///
 /// Owned by [`Workspace`](crate::workspace::Workspace). After each applied
 /// operation the workspace records the op's [`DirtySet`]; the next call to
@@ -299,13 +315,19 @@ struct TypeFindings {
 /// stored per-type findings. [`ConsistencyState::report`] then assembles a
 /// [`ConsistencyReport`] identical to what [`check_consistency`] would
 /// compute from scratch.
+///
+/// The state owns a persistent [`WfScratch`] so the steady-state serial
+/// recheck touches no allocator at all — the `core.consistency.recheck`
+/// span is the zero-allocation window the alloc-attribution tests measure.
 #[derive(Debug, Clone)]
 pub struct ConsistencyState {
-    by_type: HashMap<String, TypeFindings>,
+    by_type: HashMap<Symbol, TypeFindings>,
     pending: DirtySet,
     /// Everything must be recomputed (initial state, or after a reset /
     /// rollback / explicit invalidation).
     full_pending: bool,
+    /// Reusable traversal scratch for the serial recheck path.
+    scratch: WfScratch,
 }
 
 impl Default for ConsistencyState {
@@ -322,6 +344,7 @@ impl ConsistencyState {
             by_type: HashMap::new(),
             pending: DirtySet::default(),
             full_pending: true,
+            scratch: WfScratch::default(),
         }
     }
 
@@ -345,21 +368,16 @@ impl ConsistencyState {
     /// partners whose order-bys depend on them, plus every type referencing
     /// an added/deleted name in a domain or signature), recheck those types,
     /// drop entries for dead types. Returns the number of types rechecked.
-    pub fn sync(
-        &mut self,
-        working: &SchemaGraph,
-        shrink_wrap: &SchemaGraph,
-        qc: &QueryCache,
-    ) -> usize {
+    pub fn sync(&mut self, working: &SchemaGraph, shrink_wrap: &SchemaGraph) -> usize {
         if self.full_pending {
             let mut sp =
                 sws_trace::span!("core.consistency.full_sync", types = working.type_count());
             self.by_type.clear();
             let ids: Vec<TypeId> = working.types().map(|(id, _)| id).collect();
-            let per_type = compute_findings_for(working, shrink_wrap, qc, &ids);
+            let per_type = compute_findings_for(working, shrink_wrap, &mut self.scratch, &ids);
             let rechecked = ids.len();
             for (id, findings) in ids.into_iter().zip(per_type) {
-                self.by_type.insert(working.ty(id).name.clone(), findings);
+                self.by_type.insert(working.ty(id).name, findings);
             }
             self.full_pending = false;
             self.pending = DirtySet::default();
@@ -375,7 +393,7 @@ impl ConsistencyState {
         // 1. Types referencing an added/deleted name in an attribute domain
         //    or operation signature may gain/lose a dangling-reference
         //    finding.
-        let mut names: BTreeSet<String> = dirty.touched;
+        let mut names: BTreeSet<Symbol> = dirty.touched;
         if !dirty.existence_changed.is_empty() {
             let mut esp = sws_trace::span!(
                 "core.consistency.existence_scan",
@@ -390,7 +408,7 @@ impl ConsistencyState {
             let before = names.len();
             for (&id, hit) in ids.iter().zip(hits) {
                 if hit {
-                    names.insert(working.ty(id).name.clone());
+                    names.insert(working.ty(id).name);
                 }
             }
             esp.record("referencing", names.len() - before);
@@ -398,19 +416,26 @@ impl ConsistencyState {
 
         let closure = {
             let mut csp = sws_trace::span!("core.consistency.closure", seeds = names.len());
+            self.scratch
+                .ensure_slots(working.type_slots(), working.link_slots());
 
             // 2. Hierarchy closure: inherited members, key/order-by
             //    visibility, and inheritance conflicts travel along ISA
             //    edges both ways.
             let mut closure: BTreeSet<TypeId> = BTreeSet::new();
-            for name in &names {
-                if let Some(id) = working.type_id(name) {
+            let mut reach: Vec<TypeId> = Vec::new();
+            for &name in &names {
+                if let Some(id) = working.type_id_sym(name) {
                     closure.insert(id);
-                    closure.extend(qc.ancestors(working, id).iter().copied());
-                    closure.extend(qc.descendants(working, id).iter().copied());
+                    self.scratch.closure.ancestors_into(working, id, &mut reach);
+                    closure.extend(reach.iter().copied());
+                    self.scratch
+                        .closure
+                        .descendants_into(working, id, &mut reach);
+                    closure.extend(reach.iter().copied());
                 } else {
                     // Deleted type: drop its stored findings.
-                    self.by_type.remove(name);
+                    self.by_type.remove(&name);
                 }
             }
 
@@ -436,12 +461,34 @@ impl ConsistencyState {
 
         let ids: Vec<TypeId> = closure.into_iter().collect();
         let rechecked = ids.len();
-        let per_type = {
+        let check_gen_cycles = working.type_count() < 10_000;
+        if parallel::parallelism_for(rechecked) <= 1 {
+            // Warm the scratch *before* the span opens: everything inside
+            // the recheck span is steady-state and allocation-free.
+            self.scratch
+                .ensure_slots(working.type_slots(), working.link_slots());
             let _rsp = sws_trace::span!("core.consistency.recheck", types = rechecked);
-            compute_findings_for(working, shrink_wrap, qc, &ids)
-        };
-        for (id, findings) in ids.into_iter().zip(per_type) {
-            self.by_type.insert(working.ty(id).name.clone(), findings);
+            for &id in &ids {
+                let tf = compute_type_findings(
+                    working,
+                    shrink_wrap,
+                    working,
+                    &mut self.scratch,
+                    check_gen_cycles,
+                    id,
+                );
+                self.by_type.insert(working.ty(id).name, tf);
+            }
+        } else {
+            let _rsp = sws_trace::span!("core.consistency.recheck", types = rechecked);
+            let index = ClosureIndex::build(working);
+            let per_type = parallel::map_with(&ids, WfScratch::default, |scratch, _, &id| {
+                scratch.ensure_slots(working.type_slots(), working.link_slots());
+                compute_type_findings(working, shrink_wrap, &index, scratch, check_gen_cycles, id)
+            });
+            for (&id, tf) in ids.iter().zip(per_type) {
+                self.by_type.insert(working.ty(id).name, tf);
+            }
         }
         sp.record("rechecked", rechecked);
         sws_trace::counter("consistency.dirty_types", rechecked as u64);
@@ -473,18 +520,22 @@ impl ConsistencyState {
     }
 }
 
-/// All three per-type checks for one type.
-fn compute_type_findings(
+/// All three per-type checks for one type, traversing `adj` (the graph
+/// itself on the serial path, a shared frozen [`ClosureIndex`] on the
+/// parallel path). Allocation-free when the type is clean and the scratch
+/// is warm: the three finding vectors stay at capacity zero.
+fn compute_type_findings<A: Adjacency>(
     working: &SchemaGraph,
     shrink_wrap: &SchemaGraph,
-    qc: &QueryCache,
+    adj: &A,
+    scratch: &mut WfScratch,
+    check_gen_cycles: bool,
     id: TypeId,
 ) -> TypeFindings {
+    let mut issues = Vec::new();
+    check_type_into(working, adj, scratch, id, check_gen_cycles, &mut issues);
     let mut tf = TypeFindings {
-        wf: check_type_well_formed(working, qc, id)
-            .into_iter()
-            .map(CrossIssue::Wf)
-            .collect(),
+        wf: issues.into_iter().map(CrossIssue::Wf).collect(),
         ..TypeFindings::default()
     };
     type_shrink_wrap_relative(working, shrink_wrap, id, &mut tf.relative);
@@ -493,11 +544,14 @@ fn compute_type_findings(
 }
 
 /// Does any attribute domain or operation signature of `node` mention one
-/// of `names`?
+/// of `names`? The referenced names come back as `&str`; the non-inserting
+/// [`Symbol::try_lookup`] makes the membership probe allocation-free, and a
+/// miss is a sound negative — a name that was never interned cannot name
+/// any graph construct.
 fn type_references_any(
     g: &SchemaGraph,
     node: &sws_model::TypeNode,
-    names: &BTreeSet<String>,
+    names: &BTreeSet<Symbol>,
 ) -> bool {
     let mut refs: Vec<&str> = Vec::new();
     for &a in &node.attrs {
@@ -510,7 +564,8 @@ fn type_references_any(
             p.ty.referenced_types(&mut refs);
         }
     }
-    refs.iter().any(|r| names.contains(*r))
+    refs.iter()
+        .any(|r| Symbol::try_lookup(r).is_some_and(|s| names.contains(&s)))
 }
 
 #[cfg(test)]

@@ -20,8 +20,16 @@
 
 use crate::ops::ModOp;
 use std::fmt;
-use sws_model::{query, QueryCache, SchemaGraph, TypeId};
+use sws_model::{query, QueryCache, SchemaGraph, Symbol, TypeId};
 use sws_odl::{DomainType, HierKind, Key};
+
+/// Render an order-by list of interned symbols for a violation message.
+fn join_syms(syms: &[Symbol]) -> String {
+    syms.iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
 
 /// One failed precondition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -490,7 +498,7 @@ impl<'a> Ctx<'a> {
                 if let Some(existing) = &self.g.ty(id).extent {
                     v.push(ConstraintViolation::ExtentAlreadySet {
                         ty: ty.clone(),
-                        extent: existing.clone(),
+                        extent: existing.to_string(),
                     });
                 }
                 if self
@@ -510,7 +518,7 @@ impl<'a> Ctx<'a> {
                     Some(current) if current != extent => v.push(ConstraintViolation::StaleValue {
                         what: format!("extent of `{ty}`"),
                         expected: extent.clone(),
-                        found: current.clone(),
+                        found: current.to_string(),
                     }),
                     _ => {}
                 }
@@ -524,7 +532,7 @@ impl<'a> Ctx<'a> {
                     Some(current) if current != old => v.push(ConstraintViolation::StaleValue {
                         what: format!("extent of `{ty}`"),
                         expected: old.clone(),
-                        found: current.clone(),
+                        found: current.to_string(),
                     }),
                     _ => {}
                 }
@@ -539,7 +547,7 @@ impl<'a> Ctx<'a> {
                     return;
                 };
                 for key in keys {
-                    if self.g.ty(id).keys.contains(key) {
+                    if self.g.ty(id).keys.iter().any(|k| k == key) {
                         v.push(ConstraintViolation::KeyExists {
                             ty: ty.clone(),
                             key: key.to_string(),
@@ -553,7 +561,7 @@ impl<'a> Ctx<'a> {
                     return;
                 };
                 for key in keys {
-                    if !self.g.ty(id).keys.contains(key) {
+                    if !self.g.ty(id).keys.iter().any(|k| k == key) {
                         v.push(ConstraintViolation::NoSuchKey {
                             ty: ty.clone(),
                             key: key.to_string(),
@@ -566,7 +574,7 @@ impl<'a> Ctx<'a> {
                     return;
                 };
                 for key in old {
-                    if !self.g.ty(id).keys.contains(key) {
+                    if !self.g.ty(id).keys.iter().any(|k| k == key) {
                         v.push(ConstraintViolation::NoSuchKey {
                             ty: ty.clone(),
                             key: key.to_string(),
@@ -574,7 +582,7 @@ impl<'a> Ctx<'a> {
                     }
                 }
                 for key in new {
-                    if self.g.ty(id).keys.contains(key) && !old.contains(key) {
+                    if self.g.ty(id).keys.iter().any(|k| k == key) && !old.contains(key) {
                         v.push(ConstraintViolation::KeyExists {
                             ty: ty.clone(),
                             key: key.to_string(),
@@ -799,7 +807,7 @@ impl<'a> Ctx<'a> {
                     v.push(ConstraintViolation::StaleValue {
                         what: format!("order-by of `{ty}::{path}`"),
                         expected: old.join(", "),
-                        found: rel.end(e).order_by.join(", "),
+                        found: join_syms(&rel.end(e).order_by),
                     });
                 }
                 self.check_attrs_visible(rel.other(e).owner, new, v);
@@ -1049,12 +1057,12 @@ impl<'a> Ctx<'a> {
         for t in subtree {
             for (name, _) in own_members(self.g, t) {
                 if let Some((_, def)) = sup_members.iter().find(|(n, _)| *n == name) {
-                    let mine_op = member_is_op(self.g, t, &name).unwrap_or(false);
-                    let theirs_op = member_is_op(self.g, *def, &name).unwrap_or(false);
+                    let mine_op = member_is_op(self.g, t, name.as_str()).unwrap_or(false);
+                    let theirs_op = member_is_op(self.g, *def, name.as_str()).unwrap_or(false);
                     if !(mine_op && theirs_op) {
                         v.push(ConstraintViolation::InheritedConflict {
                             ty: self.g.type_name(t).to_string(),
-                            member: name,
+                            member: name.to_string(),
                             other: self.g.type_name(*def).to_string(),
                         });
                     }
@@ -1187,7 +1195,7 @@ impl<'a> Ctx<'a> {
             if self.g.member_exists(dest, target_path) {
                 v.push(ConstraintViolation::MemberExists {
                     ty: new_target.to_string(),
-                    member: target_path.clone(),
+                    member: target_path.to_string(),
                 });
             }
             // Cycle check for the would-be edge.
@@ -1257,7 +1265,7 @@ impl<'a> Ctx<'a> {
             v.push(ConstraintViolation::StaleValue {
                 what: format!("order-by of `{ty}::{path}`"),
                 expected: old.join(", "),
-                found: link.order_by.join(", "),
+                found: join_syms(&link.order_by),
             });
         }
         self.check_attrs_visible(link.child, new, v);
@@ -1280,23 +1288,23 @@ fn member_is_op(g: &SchemaGraph, t: TypeId, name: &str) -> Option<bool> {
 }
 
 /// The member names `t` itself defines, with an is-operation flag.
-fn own_members(g: &SchemaGraph, t: TypeId) -> Vec<(String, bool)> {
+fn own_members(g: &SchemaGraph, t: TypeId) -> Vec<(Symbol, bool)> {
     let node = g.ty(t);
     let mut out = Vec::new();
     for &a in &node.attrs {
-        out.push((g.attr(a).name.clone(), false));
+        out.push((g.attr(a).name, false));
     }
     for &(r, e) in &node.rel_ends {
-        out.push((g.rel(r).end(e).path.clone(), false));
+        out.push((g.rel(r).end(e).path, false));
     }
     for &l in &node.parent_links {
-        out.push((g.link(l).parent_path.clone(), false));
+        out.push((g.link(l).parent_path, false));
     }
     for &l in &node.child_links {
-        out.push((g.link(l).child_path.clone(), false));
+        out.push((g.link(l).child_path, false));
     }
     for &o in &node.ops {
-        out.push((g.op(o).op.name.clone(), true));
+        out.push((g.op(o).name, true));
     }
     out
 }

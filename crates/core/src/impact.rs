@@ -8,43 +8,43 @@
 use crate::ops::ModOp;
 use std::collections::BTreeSet;
 use std::fmt;
-use sws_model::CascadeReport;
+use sws_model::{CascadeReport, Symbol};
 use sws_odl::HierKind;
 
 /// One propagated change.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ImpactEntry {
     /// An attribute was removed with its type.
-    RemovedAttribute { ty: String, name: String },
+    RemovedAttribute { ty: Symbol, name: Symbol },
     /// An operation was removed with its type.
-    RemovedOperation { ty: String, name: String },
+    RemovedOperation { ty: Symbol, name: Symbol },
     /// A relationship was removed (an endpoint vanished).
     RemovedRelationship {
-        ty_a: String,
-        path_a: String,
-        ty_b: String,
-        path_b: String,
+        ty_a: Symbol,
+        path_a: Symbol,
+        ty_b: Symbol,
+        path_b: Symbol,
     },
     /// A part-of / instance-of link was removed.
     RemovedLink {
         kind: HierKind,
-        parent: String,
-        path: String,
-        child: String,
+        parent: Symbol,
+        path: Symbol,
+        child: Symbol,
     },
     /// A supertype edge was removed.
-    RemovedSupertypeEdge { sub: String, sup: String },
+    RemovedSupertypeEdge { sub: Symbol, sup: Symbol },
     /// A subtype was re-wired to a new supertype.
-    RewiredSubtype { sub: String, new_sup: String },
+    RewiredSubtype { sub: Symbol, new_sup: Symbol },
     /// A subtype was left without supertypes.
-    DetachedSubtype { sub: String },
+    DetachedSubtype { sub: Symbol },
     /// A key was pruned because an attribute it used vanished.
-    PrunedKey { ty: String, key: String },
+    PrunedKey { ty: Symbol, key: String },
     /// An order-by entry was pruned.
     PrunedOrderBy {
-        ty: String,
-        path: String,
-        attribute: String,
+        ty: Symbol,
+        path: Symbol,
+        attribute: Symbol,
     },
     /// A free-form automatic adjustment.
     Note(String),
@@ -107,60 +107,48 @@ impl ImpactReport {
     /// Build a report from a cascade plus apply-layer notes.
     pub fn from_cascade(cascade: &CascadeReport, notes: &[String]) -> Self {
         let mut entries = Vec::new();
-        for (ty, name) in &cascade.removed_attrs {
-            entries.push(ImpactEntry::RemovedAttribute {
-                ty: ty.clone(),
-                name: name.clone(),
-            });
+        for &(ty, name) in &cascade.removed_attrs {
+            entries.push(ImpactEntry::RemovedAttribute { ty, name });
         }
-        for (ty, name) in &cascade.removed_ops {
-            entries.push(ImpactEntry::RemovedOperation {
-                ty: ty.clone(),
-                name: name.clone(),
-            });
+        for &(ty, name) in &cascade.removed_ops {
+            entries.push(ImpactEntry::RemovedOperation { ty, name });
         }
-        for (a, pa, b, pb) in &cascade.removed_rels {
+        for &(ty_a, path_a, ty_b, path_b) in &cascade.removed_rels {
             entries.push(ImpactEntry::RemovedRelationship {
-                ty_a: a.clone(),
-                path_a: pa.clone(),
-                ty_b: b.clone(),
-                path_b: pb.clone(),
+                ty_a,
+                path_a,
+                ty_b,
+                path_b,
             });
         }
-        for (kind, parent, path, child, _) in &cascade.removed_links {
+        for &(kind, parent, path, child, _) in &cascade.removed_links {
             entries.push(ImpactEntry::RemovedLink {
-                kind: *kind,
-                parent: parent.clone(),
-                path: path.clone(),
-                child: child.clone(),
+                kind,
+                parent,
+                path,
+                child,
             });
         }
-        for (sub, sup) in &cascade.removed_supertype_edges {
-            entries.push(ImpactEntry::RemovedSupertypeEdge {
-                sub: sub.clone(),
-                sup: sup.clone(),
-            });
+        for &(sub, sup) in &cascade.removed_supertype_edges {
+            entries.push(ImpactEntry::RemovedSupertypeEdge { sub, sup });
         }
-        for (sub, new_sup) in &cascade.rewired_subtypes {
-            entries.push(ImpactEntry::RewiredSubtype {
-                sub: sub.clone(),
-                new_sup: new_sup.clone(),
-            });
+        for &(sub, new_sup) in &cascade.rewired_subtypes {
+            entries.push(ImpactEntry::RewiredSubtype { sub, new_sup });
         }
-        for sub in &cascade.detached_subtypes {
-            entries.push(ImpactEntry::DetachedSubtype { sub: sub.clone() });
+        for &sub in &cascade.detached_subtypes {
+            entries.push(ImpactEntry::DetachedSubtype { sub });
         }
         for (ty, key) in &cascade.keys_pruned {
             entries.push(ImpactEntry::PrunedKey {
-                ty: ty.clone(),
+                ty: *ty,
                 key: key.clone(),
             });
         }
-        for (ty, path, attribute) in &cascade.order_by_pruned {
+        for &(ty, path, attribute) in &cascade.order_by_pruned {
             entries.push(ImpactEntry::PrunedOrderBy {
-                ty: ty.clone(),
-                path: path.clone(),
-                attribute: attribute.clone(),
+                ty,
+                path,
+                attribute,
             });
         }
         for note in notes {
@@ -191,9 +179,9 @@ impl ImpactReport {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DirtySet {
     /// Names of types whose definition may have changed.
-    pub touched: BTreeSet<String>,
+    pub touched: BTreeSet<Symbol>,
     /// Names of types that were added or deleted.
-    pub existence_changed: BTreeSet<String>,
+    pub existence_changed: BTreeSet<Symbol>,
 }
 
 impl DirtySet {
@@ -223,13 +211,13 @@ impl DirtySet {
 
     /// Fold another dirty set into this one.
     pub fn merge(&mut self, other: &DirtySet) {
-        self.touched.extend(other.touched.iter().cloned());
+        self.touched.extend(other.touched.iter().copied());
         self.existence_changed
-            .extend(other.existence_changed.iter().cloned());
+            .extend(other.existence_changed.iter().copied());
     }
 
     fn touch(&mut self, name: &str) {
-        self.touched.insert(name.to_string());
+        self.touched.insert(Symbol::intern(name));
     }
 
     fn add_op(&mut self, op: &ModOp) {
@@ -238,7 +226,7 @@ impl DirtySet {
         self.touch(op.subject_type());
         match op {
             AddTypeDefinition { ty } | DeleteTypeDefinition { ty } => {
-                self.existence_changed.insert(ty.clone());
+                self.existence_changed.insert(Symbol::intern(ty));
             }
             AddSupertype { supertype, .. } | DeleteSupertype { supertype, .. } => {
                 self.touch(supertype);
@@ -369,9 +357,12 @@ mod tests {
         };
         let set = DirtySet::from_op(&ModOp::DeleteTypeDefinition { ty: "B".into() }, &cascade);
         for name in ["A", "B", "C"] {
-            assert!(set.touched.contains(name), "{name} missing: {set:?}");
+            assert!(
+                set.touched.contains(&Symbol::intern(name)),
+                "{name} missing: {set:?}"
+            );
         }
-        assert!(set.existence_changed.contains("B"));
+        assert!(set.existence_changed.contains(&Symbol::intern("B")));
         assert!(!set.is_empty());
 
         let mut merged = DirtySet::default();
@@ -391,7 +382,10 @@ mod tests {
             &CascadeReport::default(),
         );
         for name in ["Dept", "Employee", "Person"] {
-            assert!(set.touched.contains(name), "{name} missing: {set:?}");
+            assert!(
+                set.touched.contains(&Symbol::intern(name)),
+                "{name} missing: {set:?}"
+            );
         }
         assert!(set.existence_changed.is_empty());
     }

@@ -253,7 +253,8 @@ mod tests {
                 || 0u64,
                 |acc, i, &x| {
                     *acc += 1;
-                    x + i as u64 + (*acc * 0) // state used but transparent
+                    std::hint::black_box(*acc); // state used but transparent
+                    x + i as u64
                 },
             )
         });

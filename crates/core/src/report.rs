@@ -44,6 +44,11 @@ pub struct DesignReport {
 impl DesignReport {
     /// Generate the deliverables for a workspace.
     pub fn generate(ws: &Workspace) -> Self {
+        // Tombstone-ratio counters (`model.graph.*.live/dead`) go into the
+        // instrumentation summary so unbounded arena growth in long
+        // sessions is observable. Counters accumulate, so emit them once
+        // per report, not per sync.
+        ws.working().emit_arena_counters();
         let consistency = ws.consistency();
         let advice = advise(&consistency, ws.working());
         let log_lines = ws
@@ -185,6 +190,20 @@ mod tests {
             .iter()
             .any(|(name, v)| name == "ws.ops_applied" && *v == 1));
         assert!(summary.histograms.iter().any(|h| h.name == "ws.apply"));
+        // Tombstone-ratio counters: A plus the added B are live, nothing
+        // has been deleted, so the dead counters exist and read zero.
+        assert!(summary
+            .counters
+            .iter()
+            .any(|(name, v)| name == "model.graph.types.live" && *v == 2));
+        assert!(summary
+            .counters
+            .iter()
+            .any(|(name, v)| name == "model.graph.types.dead" && *v == 0));
+        assert!(summary
+            .counters
+            .iter()
+            .any(|(name, v)| name == "model.graph.attrs.live" && *v == 1));
         let text = report.render();
         assert!(text.contains("## Instrumentation"), "{text}");
         assert!(text.contains("ws.ops_applied = 1"), "{text}");

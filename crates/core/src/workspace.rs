@@ -221,15 +221,16 @@ impl Workspace {
     /// incrementally: only the types affected by operations applied since
     /// the last call are rechecked.
     ///
-    /// Large dirty closures fan out across worker threads (see
-    /// [`crate::parallel`]); small ones stay on the serial path with this
-    /// workspace's warm query cache. Either way the report is identical —
-    /// in debug builds the incremental result is asserted identical to a
-    /// from-scratch [`check_consistency`] run.
+    /// Large dirty closures fan out across worker threads sharing one
+    /// frozen closure index (see [`crate::parallel`]); small ones stay on
+    /// the serial, allocation-free path using the state's persistent
+    /// scratch. Either way the report is identical — in debug builds the
+    /// incremental result is asserted identical to a from-scratch
+    /// [`check_consistency`] run.
     pub fn consistency(&self) -> ConsistencyReport {
         let report = {
             let mut state = self.state.borrow_mut();
-            state.sync(&self.working, &self.shrink_wrap, &self.qc_working);
+            state.sync(&self.working, &self.shrink_wrap);
             state.report(&self.working)
         };
         #[cfg(debug_assertions)]

@@ -219,8 +219,9 @@ pub fn shared_type_names() -> Vec<String> {
     let s = sacchdb();
     let t = aatdb();
     a.types()
-        .map(|(_, n)| n.name.clone())
-        .filter(|n| s.type_id(n).is_some() && t.type_id(n).is_some())
+        .map(|(_, n)| n.name)
+        .filter(|&n| s.type_id_sym(n).is_some() && t.type_id_sym(n).is_some())
+        .map(|n| n.to_string())
         .collect()
 }
 

@@ -13,20 +13,43 @@ use sws_odl::{Cardinality, CollectionKind, DomainType, HierKind, Key, Operation,
 /// The default schema-size sweep for scaling benches.
 pub const DEFAULT_SWEEP: [usize; 3] = [100, 1_000, 5_000];
 
-/// The schema sizes the scaling benches should sweep: [`DEFAULT_SWEEP`]
-/// unless the `SWS_BENCH_SIZES` environment variable overrides it with a
-/// comma-separated list of type counts (used to keep CI smoke runs fast).
-pub fn sweep_sizes() -> Vec<usize> {
-    let parsed: Vec<usize> = std::env::var("SWS_BENCH_SIZES")
+/// The extended sweep for the incremental-consistency bench. The
+/// steady-state incremental recheck costs O(dirty closure), not
+/// O(schema), so it can sweep far past the sizes a from-scratch check is
+/// timed at.
+pub const LARGE_SWEEP: [usize; 5] = [100, 1_000, 5_000, 50_000, 100_000];
+
+/// `SWS_BENCH_SIZES` parsed as a comma-separated list of type counts;
+/// empty when unset or unparseable.
+fn env_sizes() -> Vec<usize> {
+    std::env::var("SWS_BENCH_SIZES")
         .map(|v| {
             v.split(',')
                 .filter_map(|s| s.trim().parse().ok())
                 .filter(|&n| n > 0)
                 .collect()
         })
-        .unwrap_or_default();
+        .unwrap_or_default()
+}
+
+/// The schema sizes the scaling benches should sweep: [`DEFAULT_SWEEP`]
+/// unless the `SWS_BENCH_SIZES` environment variable overrides it (used to
+/// keep CI smoke runs fast).
+pub fn sweep_sizes() -> Vec<usize> {
+    let parsed = env_sizes();
     if parsed.is_empty() {
         DEFAULT_SWEEP.to_vec()
+    } else {
+        parsed
+    }
+}
+
+/// Like [`sweep_sizes`], but defaulting to [`LARGE_SWEEP`]. The same
+/// `SWS_BENCH_SIZES` override applies.
+pub fn sweep_sizes_large() -> Vec<usize> {
+    let parsed = env_sizes();
+    if parsed.is_empty() {
+        LARGE_SWEEP.to_vec()
     } else {
         parsed
     }
@@ -35,6 +58,14 @@ pub fn sweep_sizes() -> Vec<usize> {
 /// Generate one synthetic schema per sweep size, seeded deterministically.
 pub fn size_sweep(seed: u64) -> Vec<(usize, SchemaGraph)> {
     sweep_sizes()
+        .into_iter()
+        .map(|n| (n, SyntheticSpec::sized(n, seed).generate()))
+        .collect()
+}
+
+/// [`size_sweep`] over the extended [`sweep_sizes_large`] sizes.
+pub fn size_sweep_large(seed: u64) -> Vec<(usize, SchemaGraph)> {
+    sweep_sizes_large()
         .into_iter()
         .map(|n| (n, SyntheticSpec::sized(n, seed).generate()))
         .collect()
@@ -228,9 +259,7 @@ mod tests {
         // Don't touch the env var (tests run in parallel); just check the
         // default constant path and that generation honors the sizes.
         assert_eq!(DEFAULT_SWEEP, [100, 1_000, 5_000]);
-        for (n, g) in [(5usize, SyntheticSpec::sized(5, 1).generate())] {
-            assert_eq!(g.type_count(), n);
-        }
+        assert_eq!(SyntheticSpec::sized(5, 1).generate().type_count(), 5);
     }
 
     #[test]

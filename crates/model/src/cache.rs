@@ -9,18 +9,17 @@
 //! serve stale results for the graph it is paired with.
 //!
 //! The cache uses interior mutability (`Cell`/`RefCell`) so read-only code
-//! paths (well-formedness checking, precondition constraints) can share one
+//! paths (precondition constraints, advice, interop) can share one
 //! `&QueryCache` without threading `&mut` everywhere. It is intentionally
 //! **neither `Send` nor `Sync`** (and the compiler enforces it — see the
 //! compile-fail doctests on [`QueryCache`]): the unsynchronized
-//! `Cell`/`RefCell`/`Rc` interior means a cache shared across the scoped
-//! worker threads of `sws-core`'s parallel checker would race on the
-//! generation stamp and could serve an entry from a previous generation.
-//! Instead, **each worker constructs its own cache inside its thread**
-//! (`parallel::map_with` with `QueryCache::new` as the worker-state
-//! initializer). That is semantically transparent: a cache changes only
-//! *when* a traversal is computed, never its result, so per-worker caches
-//! yield byte-identical reports.
+//! `Cell`/`RefCell`/`Rc` interior means a cache shared across scoped worker
+//! threads would race on the generation stamp and could serve an entry from
+//! a previous generation. The parallel consistency checker therefore does
+//! not use `QueryCache` at all: it builds one frozen, `Send + Sync`
+//! [`ClosureIndex`](crate::ClosureIndex) per sync and shares it by reference
+//! across all workers, each paired with a worker-local
+//! [`WfScratch`](crate::WfScratch).
 //!
 //! **Pair one cache with one graph.** A cloned graph starts at its parent's
 //! generation but diverges independently, so a cache shared across two
@@ -34,6 +33,7 @@
 
 use crate::graph::SchemaGraph;
 use crate::ids::{LinkId, TypeId};
+use crate::intern::Symbol;
 use crate::query;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -65,7 +65,7 @@ pub struct QueryCache {
     descendants: Memo<TypeId, Vec<TypeId>>,
     hier_closures: Memo<(HierKind, TypeId), (Vec<TypeId>, Vec<LinkId>)>,
     components: RefCell<Option<Rc<Vec<Vec<TypeId>>>>>,
-    visible: Memo<TypeId, Vec<(String, TypeId)>>,
+    visible: Memo<TypeId, Vec<(Symbol, TypeId)>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
 }
@@ -159,7 +159,7 @@ impl QueryCache {
     }
 
     /// Cached [`query::visible_members`].
-    pub fn visible_members(&self, g: &SchemaGraph, t: TypeId) -> Rc<Vec<(String, TypeId)>> {
+    pub fn visible_members(&self, g: &SchemaGraph, t: TypeId) -> Rc<Vec<(Symbol, TypeId)>> {
         self.sync(g);
         if let Some(v) = self.visible.borrow().get(&t) {
             self.hit();

@@ -12,20 +12,21 @@
 
 use crate::error::ModelError;
 use crate::ids::{AttrId, LinkId, OpId, RelId, TypeId};
+use crate::intern::{SymKey, Symbol};
 use std::collections::HashMap;
 use sws_odl::{Cardinality, CollectionKind, DomainType, HierKind, Key, Operation, Param};
 
 /// One object type (interface definition).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TypeNode {
-    /// Type name, unique among live types.
-    pub name: String,
+    /// Type name (interned), unique among live types.
+    pub name: Symbol,
     /// Abstract types have no direct instances (used for synthesized roots).
     pub is_abstract: bool,
     /// Extent name, if declared; unique among live types.
-    pub extent: Option<String>,
-    /// Key list.
-    pub keys: Vec<Key>,
+    pub extent: Option<Symbol>,
+    /// Key list (interned attribute names).
+    pub keys: Vec<SymKey>,
     /// Direct supertypes.
     pub supertypes: Vec<TypeId>,
     /// Direct subtypes (derived; maintained by the graph).
@@ -48,8 +49,8 @@ pub struct TypeNode {
 pub struct AttrNode {
     /// Owning type.
     pub owner: TypeId,
-    /// Attribute name.
-    pub name: String,
+    /// Attribute name (interned).
+    pub name: Symbol,
     /// Domain type.
     pub ty: DomainType,
     /// Optional size constraint.
@@ -62,12 +63,12 @@ pub struct AttrNode {
 pub struct RelEnd {
     /// The type owning this end (the *target type* of the opposite end).
     pub owner: TypeId,
-    /// Traversal path name.
-    pub path: String,
+    /// Traversal path name (interned).
+    pub path: Symbol,
     /// One-way cardinality of this end.
     pub cardinality: Cardinality,
     /// Order-by attribute list (attributes of the opposite end's owner).
-    pub order_by: Vec<String>,
+    pub order_by: Vec<Symbol>,
 }
 
 /// A relationship: two ends sharing one ID.
@@ -95,6 +96,9 @@ impl RelNode {
 pub struct OpNode {
     /// Owning type.
     pub owner: TypeId,
+    /// The operation name, interned (denormalized from `op.name` so the
+    /// hot member-name compares never touch the `String`).
+    pub name: Symbol,
     /// The full signature (name, return type, args, raises).
     pub op: Operation,
     pub(crate) alive: bool,
@@ -109,16 +113,16 @@ pub struct LinkNode {
     pub kind: HierKind,
     /// Parent (whole / generic) type.
     pub parent: TypeId,
-    /// Traversal path on the parent side (e.g. `walls`).
-    pub parent_path: String,
+    /// Traversal path on the parent side (e.g. `walls`), interned.
+    pub parent_path: Symbol,
     /// Collection kind of the parent side.
     pub collection: CollectionKind,
     /// Order-by list for the parent side (attributes of the child type).
-    pub order_by: Vec<String>,
+    pub order_by: Vec<Symbol>,
     /// Child (component / instance) type.
     pub child: TypeId,
-    /// Traversal path on the child side (e.g. `wall_of`).
-    pub child_path: String,
+    /// Traversal path on the child side (e.g. `wall_of`), interned.
+    pub child_path: Symbol,
     pub(crate) alive: bool,
 }
 
@@ -143,27 +147,28 @@ pub enum RemoveTypeMode {
 }
 
 /// Every secondary change performed by a cascading removal. All entries use
-/// names (not IDs) so they stay meaningful after the referents die.
+/// names (not IDs) so they stay meaningful after the referents die; the
+/// names are interned symbols, so recording a cascade never copies strings.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CascadeReport {
     /// Attributes removed: `(type, attribute)`.
-    pub removed_attrs: Vec<(String, String)>,
+    pub removed_attrs: Vec<(Symbol, Symbol)>,
     /// Operations removed: `(type, operation)`.
-    pub removed_ops: Vec<(String, String)>,
+    pub removed_ops: Vec<(Symbol, Symbol)>,
     /// Relationships removed: `(type_a, path_a, type_b, path_b)`.
-    pub removed_rels: Vec<(String, String, String, String)>,
+    pub removed_rels: Vec<(Symbol, Symbol, Symbol, Symbol)>,
     /// Hierarchy links removed: `(kind, parent, parent_path, child, child_path)`.
-    pub removed_links: Vec<(HierKind, String, String, String, String)>,
+    pub removed_links: Vec<(HierKind, Symbol, Symbol, Symbol, Symbol)>,
     /// Supertype edges removed: `(subtype, supertype)`.
-    pub removed_supertype_edges: Vec<(String, String)>,
+    pub removed_supertype_edges: Vec<(Symbol, Symbol)>,
     /// Subtypes re-wired to a new supertype: `(subtype, new_supertype)`.
-    pub rewired_subtypes: Vec<(String, String)>,
+    pub rewired_subtypes: Vec<(Symbol, Symbol)>,
     /// Subtypes left detached: type names.
-    pub detached_subtypes: Vec<String>,
-    /// Keys pruned because an attribute vanished: `(type, key)`.
-    pub keys_pruned: Vec<(String, String)>,
+    pub detached_subtypes: Vec<Symbol>,
+    /// Keys pruned because an attribute vanished: `(type, rendered key)`.
+    pub keys_pruned: Vec<(Symbol, String)>,
     /// Order-by entries pruned: `(type, path, attribute)`.
-    pub order_by_pruned: Vec<(String, String, String)>,
+    pub order_by_pruned: Vec<(Symbol, Symbol, Symbol)>,
 }
 
 impl CascadeReport {
@@ -195,6 +200,21 @@ impl CascadeReport {
     }
 }
 
+/// Live/dead slot counts per arena; see [`SchemaGraph::arena_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    pub types_live: usize,
+    pub types_dead: usize,
+    pub attrs_live: usize,
+    pub attrs_dead: usize,
+    pub rels_live: usize,
+    pub rels_dead: usize,
+    pub ops_live: usize,
+    pub ops_dead: usize,
+    pub links_live: usize,
+    pub links_dead: usize,
+}
+
 /// A recorded set of inverse mutations, sufficient to revert a graph to the
 /// state it had when [`SchemaGraph::begin_undo`] was called.
 ///
@@ -216,7 +236,7 @@ pub struct UndoPatch {
     rels: Vec<(usize, RelNode)>,
     ops: Vec<(usize, OpNode)>,
     links: Vec<(usize, LinkNode)>,
-    by_name: Vec<(String, Option<TypeId>)>,
+    by_name: Vec<(Symbol, Option<TypeId>)>,
 }
 
 impl UndoPatch {
@@ -241,7 +261,10 @@ pub struct SchemaGraph {
     rels: Vec<RelNode>,
     ops: Vec<OpNode>,
     links: Vec<LinkNode>,
-    by_name: HashMap<String, TypeId>,
+    by_name: HashMap<Symbol, TypeId>,
+    /// Count of live (non-tombstoned) type slots, maintained incrementally
+    /// so `type_count` is O(1) on the checking hot paths.
+    live_types: usize,
     /// Monotonic mutation counter; bumped by every mutating method. Query
     /// caches key their entries on it and invalidate wholesale when it moves.
     generation: u64,
@@ -259,6 +282,7 @@ impl SchemaGraph {
             ops: Vec::new(),
             links: Vec::new(),
             by_name: HashMap::new(),
+            live_types: 0,
             generation: 0,
             journal: None,
         }
@@ -349,13 +373,16 @@ impl SchemaGraph {
         for (name, prev) in &patch.by_name {
             match prev {
                 Some(id) => {
-                    self.by_name.insert(name.clone(), *id);
+                    self.by_name.insert(*name, *id);
                 }
                 None => {
                     self.by_name.remove(name);
                 }
             }
         }
+        // The truncation/restore above can both revive and re-kill slots;
+        // recount rather than track each transition.
+        self.live_types = self.types.iter().filter(|n| n.alive).count();
         self.bump();
     }
 
@@ -404,11 +431,11 @@ impl SchemaGraph {
         }
     }
 
-    fn touch_name(&mut self, name: &str) {
+    fn touch_name(&mut self, name: Symbol) {
         if let Some(j) = &mut self.journal {
-            if !j.by_name.iter().any(|(n, _)| n == name) {
-                let prev = self.by_name.get(name).copied();
-                j.by_name.push((name.to_string(), prev));
+            if !j.by_name.iter().any(|(n, _)| *n == name) {
+                let prev = self.by_name.get(&name).copied();
+                j.by_name.push((name, prev));
             }
         }
     }
@@ -430,9 +457,18 @@ impl SchemaGraph {
         self.types.get(id.index()).filter(|n| n.alive)
     }
 
-    /// Look up a live type by name.
+    /// Look up a live type by name. A name the interner has never seen
+    /// cannot be in `by_name`, so the miss path is one read-locked hash
+    /// probe with no allocation.
     pub fn type_id(&self, name: &str) -> Option<TypeId> {
-        self.by_name.get(name).copied()
+        let sym = Symbol::try_lookup(name)?;
+        self.by_name.get(&sym).copied()
+    }
+
+    /// Look up a live type by interned name (the hot-path form: one `u32`
+    /// hash probe, no interner access).
+    pub fn type_id_sym(&self, name: Symbol) -> Option<TypeId> {
+        self.by_name.get(&name).copied()
     }
 
     /// Look up a live type by name, erroring otherwise.
@@ -442,8 +478,8 @@ impl SchemaGraph {
     }
 
     /// The name of type `id` (panics if dead).
-    pub fn type_name(&self, id: TypeId) -> &str {
-        &self.ty(id).name
+    pub fn type_name(&self, id: TypeId) -> &'static str {
+        self.ty(id).name.as_str()
     }
 
     /// Iterate over live types in insertion order.
@@ -455,9 +491,20 @@ impl SchemaGraph {
             .map(|(i, n)| (TypeId(i as u32), n))
     }
 
-    /// Number of live types.
+    /// Number of live types. O(1): maintained by the mutators.
     pub fn type_count(&self) -> usize {
-        self.types.iter().filter(|n| n.alive).count()
+        self.live_types
+    }
+
+    /// Total type arena slots, live and tombstoned. Traversal scratch
+    /// (visited epochs, closure buffers) sizes itself to this.
+    pub fn type_slots(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Total link arena slots, live and tombstoned.
+    pub fn link_slots(&self) -> usize {
+        self.links.len()
     }
 
     /// The attribute node for `id` (panics if dead).
@@ -532,7 +579,7 @@ impl SchemaGraph {
             .ops
             .iter()
             .copied()
-            .find(|&o| self.op(o).op.name == name)
+            .find(|&o| self.op(o).name == name)
     }
 
     /// Find a hierarchy link of `kind` by owner and traversal path name,
@@ -634,14 +681,15 @@ impl SchemaGraph {
 
     /// Add a new object type.
     pub fn add_type(&mut self, name: &str) -> Result<TypeId, ModelError> {
-        if self.by_name.contains_key(name) {
+        let sym = Symbol::intern(name);
+        if self.by_name.contains_key(&sym) {
             return Err(ModelError::DuplicateTypeName(name.to_string()));
         }
         self.bump();
-        self.touch_name(name);
+        self.touch_name(sym);
         let id = TypeId(self.types.len() as u32);
         self.types.push(TypeNode {
-            name: name.to_string(),
+            name: sym,
             is_abstract: false,
             extent: None,
             keys: Vec::new(),
@@ -654,7 +702,8 @@ impl SchemaGraph {
             child_links: Vec::new(),
             alive: true,
         });
-        self.by_name.insert(name.to_string(), id);
+        self.by_name.insert(sym, id);
+        self.live_types += 1;
         Ok(id)
     }
 
@@ -669,24 +718,26 @@ impl SchemaGraph {
 
     /// Set or clear the extent name of a type.
     pub fn set_extent(&mut self, id: TypeId, extent: Option<String>) -> Result<(), ModelError> {
-        if let Some(name) = &extent {
+        let extent_sym = extent.as_deref().map(Symbol::intern);
+        if let Some(sym) = extent_sym {
             let clash = self
                 .types()
-                .any(|(other, node)| other != id && node.extent.as_deref() == Some(name));
+                .any(|(other, node)| other != id && node.extent == Some(sym));
             if clash {
-                return Err(ModelError::DuplicateExtent(name.clone()));
+                return Err(ModelError::DuplicateExtent(sym.to_string()));
             }
         }
         self.check_live(id)?;
         self.bump();
         self.touch_type(id);
-        self.type_mut(id)?.extent = extent;
+        self.type_mut(id)?.extent = extent_sym;
         Ok(())
     }
 
     /// Add a key to a type's key list.
     pub fn add_key(&mut self, id: TypeId, key: Key) -> Result<(), ModelError> {
-        if self.ty(id).keys.contains(&key) {
+        let skey = SymKey::from_key(&key);
+        if self.ty(id).keys.contains(&skey) {
             return Err(ModelError::DuplicateKey {
                 owner: id,
                 key: key.to_string(),
@@ -695,14 +746,14 @@ impl SchemaGraph {
         self.check_live(id)?;
         self.bump();
         self.touch_type(id);
-        self.type_mut(id)?.keys.push(key);
+        self.type_mut(id)?.keys.push(skey);
         Ok(())
     }
 
     /// Remove a key from a type's key list.
     pub fn remove_key(&mut self, id: TypeId, key: &Key) -> Result<(), ModelError> {
         self.check_live(id)?;
-        if !self.ty(id).keys.contains(key) {
+        if !self.ty(id).keys.iter().any(|k| k == key) {
             return Err(ModelError::NoSuchKey {
                 owner: id,
                 key: key.to_string(),
@@ -724,7 +775,7 @@ impl SchemaGraph {
         self.check_live(id)?;
         self.bump();
         let mut report = CascadeReport::default();
-        let name = self.ty(id).name.clone();
+        let name = self.ty(id).name;
 
         // Relationships with an end here.
         let incident_rels: Vec<RelId> = self
@@ -749,13 +800,13 @@ impl SchemaGraph {
         // Members.
         for a in self.ty(id).attrs.clone() {
             let attr = self.attr(a);
-            report.removed_attrs.push((name.clone(), attr.name.clone()));
+            report.removed_attrs.push((name, attr.name));
             self.touch_attr(a);
             self.attrs[a.index()].alive = false;
         }
         for o in self.ty(id).ops.clone() {
             let op = self.op(o);
-            report.removed_ops.push((name.clone(), op.op.name.clone()));
+            report.removed_ops.push((name, op.name));
             self.touch_op(o);
             self.ops[o.index()].alive = false;
         }
@@ -763,10 +814,8 @@ impl SchemaGraph {
         // Supertype edges up.
         let supers = self.ty(id).supertypes.clone();
         for sup in &supers {
-            let sup_name = self.ty(*sup).name.clone();
-            report
-                .removed_supertype_edges
-                .push((name.clone(), sup_name));
+            let sup_name = self.ty(*sup).name;
+            report.removed_supertype_edges.push((name, sup_name));
             self.touch_type(*sup);
             self.types[sup.index()].subtypes.retain(|&s| s != id);
         }
@@ -774,10 +823,8 @@ impl SchemaGraph {
         // Subtype edges down: rewire or detach.
         let subs = self.ty(id).subtypes.clone();
         for sub in subs {
-            let sub_name = self.ty(sub).name.clone();
-            report
-                .removed_supertype_edges
-                .push((sub_name.clone(), name.clone()));
+            let sub_name = self.ty(sub).name;
+            report.removed_supertype_edges.push((sub_name, name));
             self.touch_type(sub);
             self.types[sub.index()].supertypes.retain(|&s| s != id);
             match mode {
@@ -787,9 +834,7 @@ impl SchemaGraph {
                         if !self.types[sub.index()].supertypes.contains(sup) {
                             self.types[sub.index()].supertypes.push(*sup);
                             self.types[sup.index()].subtypes.push(sub);
-                            report
-                                .rewired_subtypes
-                                .push((sub_name.clone(), self.ty(*sup).name.clone()));
+                            report.rewired_subtypes.push((sub_name, self.ty(*sup).name));
                             rewired = true;
                         }
                     }
@@ -804,7 +849,7 @@ impl SchemaGraph {
         }
 
         self.touch_type(id);
-        self.touch_name(&name);
+        self.touch_name(name);
         let node = &mut self.types[id.index()];
         node.alive = false;
         node.attrs.clear();
@@ -815,6 +860,7 @@ impl SchemaGraph {
         node.supertypes.clear();
         node.subtypes.clear();
         self.by_name.remove(&name);
+        self.live_types -= 1;
         Ok(report)
     }
 
@@ -898,7 +944,7 @@ impl SchemaGraph {
         let id = AttrId(self.attrs.len() as u32);
         self.attrs.push(AttrNode {
             owner,
-            name: name.to_string(),
+            name: Symbol::intern(name),
             ty,
             size,
             alive: true,
@@ -915,10 +961,10 @@ impl SchemaGraph {
             .filter(|n| n.alive)
             .ok_or(ModelError::DeadAttr(id))?;
         let owner = node.owner;
-        let name = node.name.clone();
+        let name = node.name;
         self.bump();
         let mut report = CascadeReport::default();
-        self.prune_attr_references(owner, &name, &mut report);
+        self.prune_attr_references(owner, name, &mut report);
         self.touch_attr(id);
         self.touch_type(owner);
         self.attrs[id.index()].alive = false;
@@ -940,15 +986,15 @@ impl SchemaGraph {
             .filter(|n| n.alive)
             .ok_or(ModelError::DeadAttr(id))?;
         let old_owner = node.owner;
-        let name = node.name.clone();
+        let name = node.name;
         self.check_live(new_owner)?;
         if old_owner == new_owner {
             return Ok(CascadeReport::default());
         }
-        self.check_member_free(new_owner, &name)?;
+        self.check_member_free(new_owner, name.as_str())?;
         self.bump();
         let mut report = CascadeReport::default();
-        self.prune_attr_references(old_owner, &name, &mut report);
+        self.prune_attr_references(old_owner, name, &mut report);
         self.touch_type(old_owner);
         self.touch_type(new_owner);
         self.touch_attr(id);
@@ -982,14 +1028,14 @@ impl SchemaGraph {
 
     /// Remove references to attribute `name` of type `owner` from keys of
     /// `owner` and from order-by lists whose target type is `owner`.
-    fn prune_attr_references(&mut self, owner: TypeId, name: &str, report: &mut CascadeReport) {
-        let owner_name = self.ty(owner).name.clone();
+    fn prune_attr_references(&mut self, owner: TypeId, name: Symbol, report: &mut CascadeReport) {
+        let owner_name = self.ty(owner).name;
         // Keys of the owner.
         self.touch_type(owner);
         let node = &mut self.types[owner.index()];
         let mut pruned_keys = Vec::new();
         node.keys.retain(|k| {
-            if k.0.iter().any(|a| a == name) {
+            if k.0.contains(&name) {
                 pruned_keys.push(k.to_string());
                 false
             } else {
@@ -997,7 +1043,7 @@ impl SchemaGraph {
             }
         });
         for k in pruned_keys {
-            report.keys_pruned.push((owner_name.clone(), k));
+            report.keys_pruned.push((owner_name, k));
         }
         // Order-by lists of relationship ends whose *target* is `owner`,
         // i.e. ends opposite to ends owned by `owner`.
@@ -1007,15 +1053,13 @@ impl SchemaGraph {
             }
             for e in 0..2 {
                 if self.rels[r].ends[1 - e].owner == owner
-                    && self.rels[r].ends[e].order_by.iter().any(|a| a == name)
+                    && self.rels[r].ends[e].order_by.contains(&name)
                 {
-                    let end_owner = self.ty(self.rels[r].ends[e].owner).name.clone();
-                    let path = self.rels[r].ends[e].path.clone();
+                    let end_owner = self.ty(self.rels[r].ends[e].owner).name;
+                    let path = self.rels[r].ends[e].path;
                     self.touch_rel(RelId(r as u32));
-                    self.rels[r].ends[e].order_by.retain(|a| a != name);
-                    report
-                        .order_by_pruned
-                        .push((end_owner, path, name.to_string()));
+                    self.rels[r].ends[e].order_by.retain(|&a| a != name);
+                    report.order_by_pruned.push((end_owner, path, name));
                 }
             }
         }
@@ -1024,14 +1068,12 @@ impl SchemaGraph {
             if !self.links[l].alive {
                 continue;
             }
-            if self.links[l].child == owner && self.links[l].order_by.iter().any(|a| a == name) {
-                let parent_name = self.ty(self.links[l].parent).name.clone();
-                let path = self.links[l].parent_path.clone();
+            if self.links[l].child == owner && self.links[l].order_by.contains(&name) {
+                let parent_name = self.ty(self.links[l].parent).name;
+                let path = self.links[l].parent_path;
                 self.touch_link(LinkId(l as u32));
-                self.links[l].order_by.retain(|a| a != name);
-                report
-                    .order_by_pruned
-                    .push((parent_name, path, name.to_string()));
+                self.links[l].order_by.retain(|&a| a != name);
+                report.order_by_pruned.push((parent_name, path, name));
             }
         }
     }
@@ -1072,15 +1114,15 @@ impl SchemaGraph {
             ends: [
                 RelEnd {
                     owner: a_owner,
-                    path: a_path.to_string(),
+                    path: Symbol::intern(a_path),
                     cardinality: a_cardinality,
-                    order_by: a_order_by,
+                    order_by: a_order_by.iter().map(|s| Symbol::intern(s)).collect(),
                 },
                 RelEnd {
                     owner: b_owner,
-                    path: b_path.to_string(),
+                    path: Symbol::intern(b_path),
                     cardinality: b_cardinality,
-                    order_by: b_order_by,
+                    order_by: b_order_by.iter().map(|s| Symbol::intern(s)).collect(),
                 },
             ],
             alive: true,
@@ -1101,12 +1143,9 @@ impl SchemaGraph {
         let b = node.ends[1].clone();
         self.bump();
         let mut report = CascadeReport::default();
-        report.removed_rels.push((
-            self.ty(a.owner).name.clone(),
-            a.path.clone(),
-            self.ty(b.owner).name.clone(),
-            b.path.clone(),
-        ));
+        report
+            .removed_rels
+            .push((self.ty(a.owner).name, a.path, self.ty(b.owner).name, b.path));
         self.touch_rel(id);
         self.touch_type(a.owner);
         self.touch_type(b.owner);
@@ -1134,13 +1173,13 @@ impl SchemaGraph {
             .get(id.index())
             .filter(|n| n.alive)
             .ok_or(ModelError::DeadRel(id))?;
-        let path = node.ends[end as usize].path.clone();
+        let path = node.ends[end as usize].path;
         let old_owner = node.ends[end as usize].owner;
         self.check_live(new_owner)?;
         if old_owner == new_owner {
             return Ok(());
         }
-        self.check_member_free(new_owner, &path)?;
+        self.check_member_free(new_owner, path.as_str())?;
         self.bump();
         self.touch_type(old_owner);
         self.touch_type(new_owner);
@@ -1181,7 +1220,8 @@ impl SchemaGraph {
         }
         self.bump();
         self.touch_rel(id);
-        self.rels[id.index()].ends[end as usize].order_by = order_by;
+        self.rels[id.index()].ends[end as usize].order_by =
+            order_by.iter().map(|s| Symbol::intern(s)).collect();
         Ok(())
     }
 
@@ -1197,8 +1237,10 @@ impl SchemaGraph {
         self.bump();
         self.touch_type(owner);
         let id = OpId(self.ops.len() as u32);
+        let name = Symbol::intern(&op.name);
         self.ops.push(OpNode {
             owner,
+            name,
             op,
             alive: true,
         });
@@ -1214,12 +1256,10 @@ impl SchemaGraph {
             .filter(|n| n.alive)
             .ok_or(ModelError::DeadOp(id))?;
         let owner = node.owner;
-        let op_name = node.op.name.clone();
+        let op_name = node.name;
         self.bump();
         let mut report = CascadeReport::default();
-        report
-            .removed_ops
-            .push((self.ty(owner).name.clone(), op_name));
+        report.removed_ops.push((self.ty(owner).name, op_name));
         self.touch_type(owner);
         self.touch_op(id);
         self.types[owner.index()].ops.retain(|&o| o != id);
@@ -1236,12 +1276,12 @@ impl SchemaGraph {
             .filter(|n| n.alive)
             .ok_or(ModelError::DeadOp(id))?;
         let old_owner = node.owner;
-        let name = node.op.name.clone();
+        let name = node.name;
         self.check_live(new_owner)?;
         if old_owner == new_owner {
             return Ok(());
         }
-        self.check_member_free(new_owner, &name)?;
+        self.check_member_free(new_owner, name.as_str())?;
         self.bump();
         self.touch_type(old_owner);
         self.touch_type(new_owner);
@@ -1320,11 +1360,11 @@ impl SchemaGraph {
         self.links.push(LinkNode {
             kind,
             parent,
-            parent_path: parent_path.to_string(),
+            parent_path: Symbol::intern(parent_path),
             collection,
-            order_by,
+            order_by: order_by.iter().map(|s| Symbol::intern(s)).collect(),
             child,
-            child_path: child_path.to_string(),
+            child_path: Symbol::intern(child_path),
             alive: true,
         });
         self.types[parent.index()].parent_links.push(id);
@@ -1367,14 +1407,14 @@ impl SchemaGraph {
             .filter(|n| n.alive)
             .ok_or(ModelError::DeadLink(id))?;
         let (kind, parent, child) = (node.kind, node.parent, node.child);
-        let (ppath, cpath) = (node.parent_path.clone(), node.child_path.clone());
+        let (ppath, cpath) = (node.parent_path, node.child_path);
         self.bump();
         let mut report = CascadeReport::default();
         report.removed_links.push((
             kind,
-            self.ty(parent).name.clone(),
+            self.ty(parent).name,
             ppath,
-            self.ty(child).name.clone(),
+            self.ty(child).name,
             cpath,
         ));
         self.touch_link(id);
@@ -1402,8 +1442,8 @@ impl SchemaGraph {
             .ok_or(ModelError::DeadLink(id))?;
         let kind = node.kind;
         let (old_type, path, other_type) = match side {
-            LinkSide::Parent => (node.parent, node.parent_path.clone(), node.child),
-            LinkSide::Child => (node.child, node.child_path.clone(), node.parent),
+            LinkSide::Parent => (node.parent, node.parent_path, node.child),
+            LinkSide::Child => (node.child, node.child_path, node.parent),
         };
         self.check_live(new_type)?;
         if old_type == new_type {
@@ -1412,7 +1452,7 @@ impl SchemaGraph {
         if new_type == other_type {
             return Err(ModelError::SelfReference(new_type));
         }
-        self.check_member_free(new_type, &path)?;
+        self.check_member_free(new_type, path.as_str())?;
         // Cycle check with the link itself ignored: the move creates the
         // edge (p → c); it closes a cycle iff c is already an ancestor of p.
         let (p, c) = match side {
@@ -1511,7 +1551,7 @@ impl SchemaGraph {
         }
         self.bump();
         self.touch_link(id);
-        self.links[id.index()].order_by = order_by;
+        self.links[id.index()].order_by = order_by.iter().map(|s| Symbol::intern(s)).collect();
         Ok(())
     }
 
@@ -1549,16 +1589,66 @@ impl SchemaGraph {
         self.links.push(LinkNode {
             kind,
             parent,
-            parent_path: parent_path.to_string(),
+            parent_path: Symbol::intern(parent_path),
             collection: CollectionKind::Set,
             order_by: Vec::new(),
             child,
-            child_path: child_path.to_string(),
+            child_path: Symbol::intern(child_path),
             alive: true,
         });
         self.types[parent.index()].parent_links.push(id);
         self.types[child.index()].child_links.push(id);
         id
+    }
+
+    // ------------------------------------------------------------------
+    // Arena occupancy (tombstone observability)
+    // ------------------------------------------------------------------
+
+    /// Live/dead slot counts for every arena. Dead slots are tombstones:
+    /// removal never frees a slot (IDs stay stable for undo), so long edit
+    /// sessions grow the arenas monotonically. The ratio of dead to total
+    /// slots is the signal that a compaction pass would pay off.
+    pub fn arena_stats(&self) -> ArenaStats {
+        let live = |n: usize, l: usize| (l, n - l);
+        let (types_live, types_dead) = live(self.types.len(), self.live_types);
+        let attrs_live = self.attrs.iter().filter(|n| n.alive).count();
+        let rels_live = self.rels.iter().filter(|n| n.alive).count();
+        let ops_live = self.ops.iter().filter(|n| n.alive).count();
+        let links_live = self.links.iter().filter(|n| n.alive).count();
+        ArenaStats {
+            types_live,
+            types_dead,
+            attrs_live,
+            attrs_dead: self.attrs.len() - attrs_live,
+            rels_live,
+            rels_dead: self.rels.len() - rels_live,
+            ops_live,
+            ops_dead: self.ops.len() - ops_live,
+            links_live,
+            links_dead: self.links.len() - links_live,
+        }
+    }
+
+    /// Emit the arena occupancy as trace counters
+    /// (`model.graph.<arena>.live` / `.dead`). Counters accumulate, so call
+    /// this once per report, not per sync.
+    pub fn emit_arena_counters(&self) {
+        let s = self.arena_stats();
+        for (name, v) in [
+            ("model.graph.types.live", s.types_live),
+            ("model.graph.types.dead", s.types_dead),
+            ("model.graph.attrs.live", s.attrs_live),
+            ("model.graph.attrs.dead", s.attrs_dead),
+            ("model.graph.rels.live", s.rels_live),
+            ("model.graph.rels.dead", s.rels_dead),
+            ("model.graph.ops.live", s.ops_live),
+            ("model.graph.ops.dead", s.ops_dead),
+            ("model.graph.links.live", s.links_live),
+            ("model.graph.links.dead", s.links_dead),
+        ] {
+            sws_trace::counter(name, v as u64);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1718,11 +1808,15 @@ mod tests {
         let report = g.remove_attribute(name).unwrap();
         assert_eq!(
             report.keys_pruned,
-            vec![("B".to_string(), "name".to_string())]
+            vec![(Symbol::intern("B"), "name".to_string())]
         );
         assert_eq!(
             report.order_by_pruned,
-            vec![("A".to_string(), "bs".to_string(), "name".to_string())]
+            vec![(
+                Symbol::intern("A"),
+                Symbol::intern("bs"),
+                Symbol::intern("name")
+            )]
         );
         assert!(g.ty(b).keys.is_empty());
         let (rid, e) = g.find_rel_end(a, "bs").unwrap();
@@ -1875,15 +1969,18 @@ mod tests {
         let report = g.remove_type(b, RemoveTypeMode::RewireSubtypes).unwrap();
         assert_eq!(
             report.removed_attrs,
-            vec![("B".to_string(), "x".to_string())]
+            vec![(Symbol::intern("B"), Symbol::intern("x"))]
         );
-        assert_eq!(report.removed_ops, vec![("B".to_string(), "f".to_string())]);
+        assert_eq!(
+            report.removed_ops,
+            vec![(Symbol::intern("B"), Symbol::intern("f"))]
+        );
         assert_eq!(report.removed_rels.len(), 1);
         assert_eq!(report.removed_links.len(), 1);
         // C was rewired to A.
         assert_eq!(
             report.rewired_subtypes,
-            vec![("C".to_string(), "A".to_string())]
+            vec![(Symbol::intern("C"), Symbol::intern("A"))]
         );
         assert_eq!(g.ty(c).supertypes, vec![a]);
         assert_eq!(g.ty(a).subtypes, vec![c]);

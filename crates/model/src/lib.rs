@@ -26,6 +26,8 @@ pub mod diff;
 pub mod error;
 pub mod graph;
 pub mod ids;
+pub mod index;
+pub mod intern;
 pub mod lower;
 pub mod query;
 pub mod wf;
@@ -35,9 +37,11 @@ pub use diff::{diff_graphs, MemberChange, SchemaDiff, TypeDiff};
 pub use error::ModelError;
 pub use graph::LinkSide;
 pub use graph::{
-    AttrNode, CascadeReport, LinkNode, OpNode, RelEnd, RelNode, RemoveTypeMode, SchemaGraph,
-    TypeNode, UndoPatch,
+    ArenaStats, AttrNode, CascadeReport, LinkNode, OpNode, RelEnd, RelNode, RemoveTypeMode,
+    SchemaGraph, TypeNode, UndoPatch,
 };
 pub use ids::{AttrId, LinkId, OpId, RelId, TypeId};
+pub use index::{Adjacency, ClosureIndex, ClosureScratch};
+pub use intern::{SymKey, Symbol};
 pub use lower::{graph_to_schema, schema_to_graph, LowerError};
-pub use wf::{check_type_well_formed, check_well_formed, check_well_formed_with, WfIssue};
+pub use wf::{check_type_into, check_type_well_formed, check_well_formed, WfIssue, WfScratch};

@@ -253,10 +253,10 @@ pub fn graph_to_schema(g: &SchemaGraph) -> Schema {
     let mut interfaces: Vec<Interface> = Vec::with_capacity(g.type_count());
 
     for (_, node) in g.types() {
-        let mut iface = Interface::new(node.name.clone());
+        let mut iface = Interface::new(node.name.to_string());
         iface.is_abstract = node.is_abstract;
-        iface.extent = node.extent.clone();
-        iface.keys = node.keys.clone();
+        iface.extent = node.extent.map(|e| e.to_string());
+        iface.keys = node.keys.iter().map(|k| k.to_key()).collect();
         iface.keys.sort_by_key(|k| k.to_string());
         iface.supertypes = node
             .supertypes
@@ -271,7 +271,7 @@ pub fn graph_to_schema(g: &SchemaGraph) -> Schema {
             .map(|&a| {
                 let attr = g.attr(a);
                 Attribute {
-                    name: attr.name.clone(),
+                    name: attr.name.to_string(),
                     ty: attr.ty.clone(),
                     size: attr.size,
                 }
@@ -290,11 +290,11 @@ pub fn graph_to_schema(g: &SchemaGraph) -> Schema {
                 let mine = rel.end(e);
                 let other = rel.other(e);
                 Relationship {
-                    path: mine.path.clone(),
+                    path: mine.path.to_string(),
                     target: g.type_name(other.owner).to_string(),
                     cardinality: mine.cardinality,
-                    inverse_path: other.path.clone(),
-                    order_by: mine.order_by.clone(),
+                    inverse_path: other.path.to_string(),
+                    order_by: mine.order_by.iter().map(|s| s.to_string()).collect(),
                 }
             })
             .collect();
@@ -308,11 +308,11 @@ pub fn graph_to_schema(g: &SchemaGraph) -> Schema {
                     continue;
                 }
                 out.push(HierLink {
-                    path: link.parent_path.clone(),
+                    path: link.parent_path.to_string(),
                     target: g.type_name(link.child).to_string(),
                     cardinality: Cardinality::Many(link.collection),
-                    inverse_path: link.child_path.clone(),
-                    order_by: link.order_by.clone(),
+                    inverse_path: link.child_path.to_string(),
+                    order_by: link.order_by.iter().map(|s| s.to_string()).collect(),
                 });
             }
             for &l in &node.child_links {
@@ -321,10 +321,10 @@ pub fn graph_to_schema(g: &SchemaGraph) -> Schema {
                     continue;
                 }
                 out.push(HierLink {
-                    path: link.child_path.clone(),
+                    path: link.child_path.to_string(),
                     target: g.type_name(link.parent).to_string(),
                     cardinality: Cardinality::One,
-                    inverse_path: link.parent_path.clone(),
+                    inverse_path: link.parent_path.to_string(),
                     order_by: Vec::new(),
                 });
             }

@@ -4,6 +4,7 @@
 
 use crate::graph::SchemaGraph;
 use crate::ids::{LinkId, TypeId};
+use crate::intern::Symbol;
 use std::collections::{BTreeSet, VecDeque};
 use sws_odl::HierKind;
 
@@ -156,9 +157,9 @@ pub fn hier_closure(g: &SchemaGraph, kind: HierKind, root: TypeId) -> (Vec<TypeI
 /// visible on `t`, i.e. its own members plus everything inherited from
 /// ancestors. Returns `(name, defining type)` pairs; for overridden
 /// operations only the nearest definition is kept.
-pub fn visible_members(g: &SchemaGraph, t: TypeId) -> Vec<(String, TypeId)> {
-    let mut out: Vec<(String, TypeId)> = Vec::new();
-    let mut have: BTreeSet<String> = BTreeSet::new();
+pub fn visible_members(g: &SchemaGraph, t: TypeId) -> Vec<(Symbol, TypeId)> {
+    let mut out: Vec<(Symbol, TypeId)> = Vec::new();
+    let mut have: BTreeSet<Symbol> = BTreeSet::new();
     let mut layer = vec![t];
     let mut seen = BTreeSet::new();
     while !layer.is_empty() {
@@ -168,25 +169,25 @@ pub fn visible_members(g: &SchemaGraph, t: TypeId) -> Vec<(String, TypeId)> {
                 continue;
             }
             let node = g.ty(current);
-            let mut push = |name: &str| {
-                if have.insert(name.to_string()) {
-                    out.push((name.to_string(), current));
+            let mut push = |name: Symbol| {
+                if have.insert(name) {
+                    out.push((name, current));
                 }
             };
             for &a in &node.attrs {
-                push(&g.attr(a).name);
+                push(g.attr(a).name);
             }
             for &(r, e) in &node.rel_ends {
-                push(&g.rel(r).end(e).path);
+                push(g.rel(r).end(e).path);
             }
             for &o in &node.ops {
-                push(&g.op(o).op.name);
+                push(g.op(o).name);
             }
             for &l in &node.parent_links {
-                push(&g.link(l).parent_path);
+                push(g.link(l).parent_path);
             }
             for &l in &node.child_links {
-                push(&g.link(l).child_path);
+                push(g.link(l).child_path);
             }
             next.extend(node.supertypes.iter().copied());
         }
@@ -319,8 +320,8 @@ mod tests {
         .unwrap();
         let members = visible_members(&g, grad);
         // `enroll` resolves to the grad override; `name` is inherited.
-        assert!(members.contains(&("enroll".to_string(), grad)));
-        assert!(members.contains(&("name".to_string(), student)));
+        assert!(members.contains(&(Symbol::intern("enroll"), grad)));
+        assert!(members.contains(&(Symbol::intern("name"), student)));
         assert_eq!(members.iter().filter(|(n, _)| n == "enroll").count(), 1);
     }
 
@@ -415,6 +416,6 @@ mod tests {
         )
         .unwrap();
         let members = visible_members(&g, a);
-        assert!(members.contains(&("r".to_string(), a)));
+        assert!(members.contains(&(Symbol::intern("r"), a)));
     }
 }

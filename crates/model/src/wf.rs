@@ -4,54 +4,65 @@
 //! after modifications to "discover problems in the user schema" (paper §1.2)
 //! — the ones expressible on the graph alone. Cross-concept-schema
 //! interaction checks live in `sws-core::consistency` on top of these.
+//!
+//! The checks are written against the [`Adjacency`] abstraction and a
+//! caller-owned [`WfScratch`], so the same code serves both execution modes:
+//!
+//! * the serial incremental path walks the live [`SchemaGraph`] directly with
+//!   a persistent scratch — zero allocations in steady state;
+//! * the parallel path hands every worker a shared frozen
+//!   [`ClosureIndex`](crate::ClosureIndex) plus a worker-local scratch.
+//!
+//! All member-name comparisons are [`Symbol`] integer compares; strings are
+//! only touched when a finding is *rendered*.
 
-use crate::cache::QueryCache;
 use crate::graph::SchemaGraph;
 use crate::ids::TypeId;
-use crate::query;
-use std::collections::BTreeSet;
+use crate::index::{Adjacency, ClosureScratch};
+use crate::intern::{SymKey, Symbol};
 use std::fmt;
 use sws_odl::HierKind;
 
-/// One well-formedness finding.
+/// One well-formedness finding. Names are interned symbols; rendering
+/// resolves them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WfIssue {
     /// A non-operation member shadows a member inherited from an ancestor
     /// (operations may override operations; everything else may not shadow).
     InheritedMemberConflict {
-        ty: String,
-        member: String,
-        ancestor: String,
+        ty: Symbol,
+        member: Symbol,
+        ancestor: Symbol,
     },
     /// A key references an attribute not visible on the type.
     KeyAttributeMissing {
-        ty: String,
-        key: String,
-        attribute: String,
+        ty: Symbol,
+        key: SymKey,
+        attribute: Symbol,
     },
     /// An order-by list references an attribute not visible on the target.
     OrderByAttributeMissing {
-        ty: String,
-        path: String,
-        target: String,
-        attribute: String,
+        ty: Symbol,
+        path: Symbol,
+        target: Symbol,
+        attribute: Symbol,
     },
     /// An attribute domain references a type that is not in the schema.
     DanglingAttrDomain {
-        ty: String,
-        attribute: String,
-        referenced: String,
+        ty: Symbol,
+        attribute: Symbol,
+        referenced: Symbol,
     },
     /// An operation signature references a type that is not in the schema.
     DanglingOpType {
-        ty: String,
-        operation: String,
-        referenced: String,
+        ty: Symbol,
+        operation: Symbol,
+        referenced: Symbol,
     },
     /// A generalization cycle (defensive; mutators prevent this).
-    GeneralizationCycle { ty: String },
+    GeneralizationCycle { ty: Symbol },
     /// A part-of / instance-of cycle (defensive; mutators prevent this).
-    HierarchyCycle { kind: HierKind, ty: String },
+    HierarchyCycle { kind: HierKind, ty: Symbol },
 }
 
 impl fmt::Display for WfIssue {
@@ -87,160 +98,186 @@ impl fmt::Display for WfIssue {
     }
 }
 
-/// Check the whole graph, returning every finding (empty = well-formed).
-///
-/// Convenience wrapper over [`check_well_formed_with`] with a throwaway
-/// [`QueryCache`] (still worthwhile: one full pass re-walks the same
-/// ancestor chains many times over).
-pub fn check_well_formed(g: &SchemaGraph) -> Vec<WfIssue> {
-    check_well_formed_with(g, &QueryCache::new())
+/// Reusable per-checker state: traversal scratch plus the ancestor buffers
+/// the checks fill. One per worker on the parallel path; persistent inside
+/// the consistency engine on the serial path.
+#[derive(Debug, Clone, Default)]
+pub struct WfScratch {
+    /// Epoch-marked traversal state, reusable for any closure walk over
+    /// the same graph (the consistency engine borrows it to expand dirty
+    /// sets between rechecks).
+    pub closure: ClosureScratch,
+    /// Ancestors of the type under check.
+    pub ancestors: Vec<TypeId>,
+    /// Ancestors of an order-by target type.
+    pub target_ancestors: Vec<TypeId>,
 }
 
-/// Check the whole graph using (and filling) the caller's [`QueryCache`].
-///
-/// The result is exactly the union of [`check_type_well_formed`] over every
-/// live type — the incremental consistency engine in `sws-core` relies on
-/// this decomposition.
-pub fn check_well_formed_with(g: &SchemaGraph, qc: &QueryCache) -> Vec<WfIssue> {
+impl WfScratch {
+    /// Size the visited tables for the graph. On the zero-allocation hot
+    /// path, call this before entering the measured span.
+    pub fn ensure_slots(&mut self, type_slots: usize, link_slots: usize) {
+        self.closure.ensure_slots(type_slots, link_slots);
+        // Ancestor sets are bounded by the number of type slots; reserving
+        // here keeps the per-type checks allocation-free.
+        self.ancestors
+            .reserve(type_slots.saturating_sub(self.ancestors.capacity()));
+        self.target_ancestors
+            .reserve(type_slots.saturating_sub(self.target_ancestors.capacity()));
+    }
+}
+
+/// Check the whole graph, returning every finding (empty = well-formed).
+pub fn check_well_formed(g: &SchemaGraph) -> Vec<WfIssue> {
     let mut sp = sws_trace::span!("model.wf", types = g.type_count());
     let check_gen_cycles = g.type_count() < 10_000;
+    let mut scratch = WfScratch::default();
+    scratch.ensure_slots(g.type_slots(), g.link_slots());
     let mut issues = Vec::new();
     for (id, _) in g.types() {
-        check_one_type(g, qc, id, check_gen_cycles, &mut issues);
+        check_type_into(g, g, &mut scratch, id, check_gen_cycles, &mut issues);
     }
     sp.record("issues", issues.len());
+    issues
+}
+
+/// Every well-formedness finding attributable to type `id`, as a fresh
+/// `Vec` (convenience wrapper over [`check_type_into`] with a throwaway
+/// scratch). The union over all live types equals [`check_well_formed`].
+pub fn check_type_well_formed(g: &SchemaGraph, id: TypeId) -> Vec<WfIssue> {
+    let mut scratch = WfScratch::default();
+    scratch.ensure_slots(g.type_slots(), g.link_slots());
+    let mut issues = Vec::new();
+    check_type_into(g, g, &mut scratch, id, g.type_count() < 10_000, &mut issues);
     issues
 }
 
 /// Every well-formedness finding attributable to type `id`: inherited-member
 /// conflicts, key and dangling references, cycle participation, and the
 /// order-by lists of relationship ends owned by `id` and of links parented
-/// by `id`. The union over all live types equals [`check_well_formed`].
-pub fn check_type_well_formed(g: &SchemaGraph, qc: &QueryCache, id: TypeId) -> Vec<WfIssue> {
-    let mut issues = Vec::new();
-    check_one_type(g, qc, id, g.type_count() < 10_000, &mut issues);
-    issues
-}
-
-fn check_one_type(
+/// by `id`.
+///
+/// `adj` supplies hierarchy edges — pass `g` itself (serial) or a frozen
+/// [`ClosureIndex`](crate::ClosureIndex) snapshot of the same generation
+/// (parallel). Findings are appended to `issues`; in steady state (warm
+/// scratch, no findings) the call performs zero heap allocations.
+pub fn check_type_into<A: Adjacency>(
     g: &SchemaGraph,
-    qc: &QueryCache,
+    adj: &A,
+    scratch: &mut WfScratch,
     id: TypeId,
     check_gen_cycles: bool,
     issues: &mut Vec<WfIssue>,
 ) {
     let node = g.ty(id);
-    check_inherited_conflicts(g, qc, id, issues);
-    check_keys(g, qc, id, issues);
+    let WfScratch {
+        closure,
+        ancestors,
+        target_ancestors,
+    } = scratch;
+    closure.ancestors_into(adj, id, ancestors);
+    check_inherited_conflicts(g, ancestors, id, issues);
+    check_keys(g, ancestors, id, issues);
     check_dangling(g, id, issues);
-    if check_gen_cycles && has_gen_cycle(g, id) {
-        issues.push(WfIssue::GeneralizationCycle {
-            ty: node.name.clone(),
-        });
+    if check_gen_cycles && closure.has_gen_cycle(adj, id) {
+        issues.push(WfIssue::GeneralizationCycle { ty: node.name });
     }
     for kind in [HierKind::PartOf, HierKind::InstanceOf] {
-        if has_hier_cycle(g, kind, id) {
+        if closure.has_hier_cycle(adj, kind, id) {
             issues.push(WfIssue::HierarchyCycle {
                 kind,
-                ty: node.name.clone(),
+                ty: node.name,
             });
         }
     }
-    check_order_bys(g, qc, id, issues);
+    check_order_bys(g, adj, closure, target_ancestors, id, issues);
 }
 
-/// True if `attr` is an attribute of `t` or of one of its ancestors.
-fn attr_visible(g: &SchemaGraph, qc: &QueryCache, t: TypeId, attr: &str) -> bool {
-    if g.find_attr(t, attr).is_some() {
-        return true;
-    }
-    qc.ancestors(g, t)
-        .iter()
-        .any(|&anc| g.find_attr(anc, attr).is_some())
+/// True if `owner` itself defines attribute `attr`.
+fn has_own_attr(g: &SchemaGraph, owner: TypeId, attr: Symbol) -> bool {
+    g.ty(owner).attrs.iter().any(|&a| g.attr(a).name == attr)
+}
+
+/// True if `attr` is an attribute of `t` or of one of `ancestors`.
+fn attr_visible(g: &SchemaGraph, ancestors: &[TypeId], t: TypeId, attr: Symbol) -> bool {
+    has_own_attr(g, t, attr) || ancestors.iter().any(|&anc| has_own_attr(g, anc, attr))
+}
+
+/// True if `anc` defines `name` as a non-operation member (attribute,
+/// relationship path, or hierarchy-link path).
+fn defines_non_op(g: &SchemaGraph, anc: TypeId, name: Symbol) -> bool {
+    let n = g.ty(anc);
+    n.attrs.iter().any(|&a| g.attr(a).name == name)
+        || n.rel_ends
+            .iter()
+            .any(|&(r, e)| g.rel(r).end(e).path == name)
+        || n.parent_links
+            .iter()
+            .any(|&l| g.link(l).parent_path == name)
+        || n.child_links.iter().any(|&l| g.link(l).child_path == name)
+}
+
+/// True if `anc` defines an operation named `name`.
+fn defines_op(g: &SchemaGraph, anc: TypeId, name: Symbol) -> bool {
+    g.ty(anc).ops.iter().any(|&o| g.op(o).name == name)
 }
 
 fn check_inherited_conflicts(
     g: &SchemaGraph,
-    qc: &QueryCache,
+    ancestors: &[TypeId],
     id: TypeId,
     issues: &mut Vec<WfIssue>,
 ) {
     let node = g.ty(id);
-    // Own non-operation member names; operations may override operations.
-    let mut own: Vec<(&str, bool)> = Vec::new(); // (name, is_operation)
-    for &a in &node.attrs {
-        own.push((&g.attr(a).name, false));
-    }
-    for &(r, e) in &node.rel_ends {
-        own.push((&g.rel(r).end(e).path, false));
-    }
-    for &l in &node.parent_links {
-        own.push((&g.link(l).parent_path, false));
-    }
-    for &l in &node.child_links {
-        own.push((&g.link(l).child_path, false));
-    }
-    for &o in &node.ops {
-        own.push((&g.op(o).op.name, true));
-    }
-    for &anc in qc.ancestors(g, id).iter() {
-        let anc_node = g.ty(anc);
-        let anc_members: BTreeSet<&str> = anc_node
-            .attrs
-            .iter()
-            .map(|&a| g.attr(a).name.as_str())
-            .chain(
-                anc_node
-                    .rel_ends
-                    .iter()
-                    .map(|&(r, e)| g.rel(r).end(e).path.as_str()),
-            )
-            .chain(
-                anc_node
-                    .parent_links
-                    .iter()
-                    .map(|&l| g.link(l).parent_path.as_str()),
-            )
-            .chain(
-                anc_node
-                    .child_links
-                    .iter()
-                    .map(|&l| g.link(l).child_path.as_str()),
-            )
-            .collect();
-        let anc_ops: BTreeSet<&str> = anc_node
-            .ops
-            .iter()
-            .map(|&o| g.op(o).op.name.as_str())
-            .collect();
-        for &(name, is_op) in &own {
+    // For each ancestor, scan the own members in declaration-kind order
+    // (attributes, relationship ends, parent links, child links, then
+    // operations). Operations may override ancestor operations but may not
+    // shadow ancestor attributes / paths; everything else may shadow
+    // nothing. All probes are symbol compares against the ancestor's own
+    // member lists — no sets, no allocation.
+    for &anc in ancestors {
+        let anc_name = g.ty(anc).name;
+        let own_member = |name: Symbol, is_op: bool, issues: &mut Vec<WfIssue>| {
             let conflict = if is_op {
-                // Operation may override an ancestor operation, but not
-                // shadow an ancestor attribute / path.
-                anc_members.contains(name)
+                defines_non_op(g, anc, name)
             } else {
-                anc_members.contains(name) || anc_ops.contains(name)
+                defines_non_op(g, anc, name) || defines_op(g, anc, name)
             };
             if conflict {
                 issues.push(WfIssue::InheritedMemberConflict {
-                    ty: node.name.clone(),
-                    member: name.to_string(),
-                    ancestor: anc_node.name.clone(),
+                    ty: node.name,
+                    member: name,
+                    ancestor: anc_name,
                 });
             }
+        };
+        for &a in &node.attrs {
+            own_member(g.attr(a).name, false, issues);
+        }
+        for &(r, e) in &node.rel_ends {
+            own_member(g.rel(r).end(e).path, false, issues);
+        }
+        for &l in &node.parent_links {
+            own_member(g.link(l).parent_path, false, issues);
+        }
+        for &l in &node.child_links {
+            own_member(g.link(l).child_path, false, issues);
+        }
+        for &o in &node.ops {
+            own_member(g.op(o).name, true, issues);
         }
     }
 }
 
-fn check_keys(g: &SchemaGraph, qc: &QueryCache, id: TypeId, issues: &mut Vec<WfIssue>) {
+fn check_keys(g: &SchemaGraph, ancestors: &[TypeId], id: TypeId, issues: &mut Vec<WfIssue>) {
     let node = g.ty(id);
     for key in &node.keys {
-        for attr in &key.0 {
-            if !attr_visible(g, qc, id, attr) {
+        for &attr in &key.0 {
+            if !attr_visible(g, ancestors, id, attr) {
                 issues.push(WfIssue::KeyAttributeMissing {
-                    ty: node.name.clone(),
-                    key: key.to_string(),
-                    attribute: attr.clone(),
+                    ty: node.name,
+                    key: key.clone(),
+                    attribute: attr,
                 });
             }
         }
@@ -250,32 +287,47 @@ fn check_keys(g: &SchemaGraph, qc: &QueryCache, id: TypeId, issues: &mut Vec<WfI
 /// Order-by findings attributed to `id`: relationship ends owned by `id`
 /// (checked against the opposite end's owner) and links parented by `id`
 /// (checked against the child type).
-fn check_order_bys(g: &SchemaGraph, qc: &QueryCache, id: TypeId, issues: &mut Vec<WfIssue>) {
+fn check_order_bys<A: Adjacency>(
+    g: &SchemaGraph,
+    adj: &A,
+    closure: &mut ClosureScratch,
+    target_ancestors: &mut Vec<TypeId>,
+    id: TypeId,
+    issues: &mut Vec<WfIssue>,
+) {
     let node = g.ty(id);
     for &(r, e) in &node.rel_ends {
         let rel = g.rel(r);
         let end = rel.end(e);
+        if end.order_by.is_empty() {
+            continue;
+        }
         let target = rel.other(e).owner;
-        for attr in &end.order_by {
-            if !attr_visible(g, qc, target, attr) {
+        closure.ancestors_into(adj, target, target_ancestors);
+        for &attr in &end.order_by {
+            if !attr_visible(g, target_ancestors, target, attr) {
                 issues.push(WfIssue::OrderByAttributeMissing {
-                    ty: g.type_name(end.owner).to_string(),
-                    path: end.path.clone(),
-                    target: g.type_name(target).to_string(),
-                    attribute: attr.clone(),
+                    ty: g.ty(end.owner).name,
+                    path: end.path,
+                    target: g.ty(target).name,
+                    attribute: attr,
                 });
             }
         }
     }
     for &l in &node.parent_links {
         let link = g.link(l);
-        for attr in &link.order_by {
-            if !attr_visible(g, qc, link.child, attr) {
+        if link.order_by.is_empty() {
+            continue;
+        }
+        closure.ancestors_into(adj, link.child, target_ancestors);
+        for &attr in &link.order_by {
+            if !attr_visible(g, target_ancestors, link.child, attr) {
                 issues.push(WfIssue::OrderByAttributeMissing {
-                    ty: g.type_name(link.parent).to_string(),
-                    path: link.parent_path.clone(),
-                    target: g.type_name(link.child).to_string(),
-                    attribute: attr.clone(),
+                    ty: g.ty(link.parent).name,
+                    path: link.parent_path,
+                    target: g.ty(link.child).name,
+                    attribute: attr,
                 });
             }
         }
@@ -286,67 +338,32 @@ fn check_dangling(g: &SchemaGraph, id: TypeId, issues: &mut Vec<WfIssue>) {
     let node = g.ty(id);
     for &a in &node.attrs {
         let attr = g.attr(a);
-        let mut refs = Vec::new();
-        attr.ty.referenced_types(&mut refs);
-        for r in refs {
+        attr.ty.for_each_named_ref(&mut |r| {
             if g.type_id(r).is_none() {
                 issues.push(WfIssue::DanglingAttrDomain {
-                    ty: node.name.clone(),
-                    attribute: attr.name.clone(),
-                    referenced: r.to_string(),
+                    ty: node.name,
+                    attribute: attr.name,
+                    referenced: Symbol::intern(r),
                 });
             }
-        }
+        });
     }
     for &o in &node.ops {
         let op = g.op(o);
-        let mut refs = Vec::new();
-        op.op.return_type.referenced_types(&mut refs);
-        for p in &op.op.args {
-            p.ty.referenced_types(&mut refs);
-        }
-        for r in refs {
+        let mut check_ref = |r: &str| {
             if g.type_id(r).is_none() {
                 issues.push(WfIssue::DanglingOpType {
-                    ty: node.name.clone(),
-                    operation: op.op.name.clone(),
-                    referenced: r.to_string(),
+                    ty: node.name,
+                    operation: op.name,
+                    referenced: Symbol::intern(r),
                 });
             }
+        };
+        op.op.return_type.for_each_named_ref(&mut check_ref);
+        for p in &op.op.args {
+            p.ty.for_each_named_ref(&mut check_ref);
         }
     }
-}
-
-fn has_gen_cycle(g: &SchemaGraph, start: TypeId) -> bool {
-    // Is `start` reachable from itself via supertype edges?
-    let mut stack: Vec<TypeId> = g.ty(start).supertypes.clone();
-    let mut seen = BTreeSet::new();
-    while let Some(t) = stack.pop() {
-        if t == start {
-            return true;
-        }
-        if seen.insert(t) {
-            stack.extend(g.ty(t).supertypes.iter().copied());
-        }
-    }
-    false
-}
-
-fn has_hier_cycle(g: &SchemaGraph, kind: HierKind, start: TypeId) -> bool {
-    let mut stack: Vec<TypeId> = query::hier_parents(g, kind, start)
-        .into_iter()
-        .map(|(_, p)| p)
-        .collect();
-    let mut seen = BTreeSet::new();
-    while let Some(t) = stack.pop() {
-        if t == start {
-            return true;
-        }
-        if seen.insert(t) {
-            stack.extend(query::hier_parents(g, kind, t).into_iter().map(|(_, p)| p));
-        }
-    }
-    false
 }
 
 #[cfg(test)]
@@ -388,7 +405,7 @@ mod tests {
         g.add_attribute(b, "x", DomainType::String, None).unwrap();
         let issues = check_well_formed(&g);
         assert!(issues.iter().any(
-            |i| matches!(i, WfIssue::InheritedMemberConflict { member, .. } if member == "x")
+            |i| matches!(i, WfIssue::InheritedMemberConflict { member, .. } if *member == "x")
         ));
     }
 
@@ -455,7 +472,7 @@ mod tests {
         .unwrap();
         let issues = check_well_formed(&g);
         assert!(issues.iter().any(
-            |i| matches!(i, WfIssue::DanglingAttrDomain { referenced, .. } if referenced == "Ghost")
+            |i| matches!(i, WfIssue::DanglingAttrDomain { referenced, .. } if *referenced == "Ghost")
         ));
     }
 
@@ -494,10 +511,31 @@ mod tests {
     }
 
     #[test]
+    fn shared_index_backend_matches_graph_backend() {
+        let mut g = SchemaGraph::new("t");
+        let a = g.add_type("A").unwrap();
+        let b = g.add_type("B").unwrap();
+        g.add_supertype(b, a).unwrap();
+        g.add_attribute(a, "x", DomainType::Long, None).unwrap();
+        g.add_attribute(b, "x", DomainType::String, None).unwrap();
+        g.add_key(b, Key::single("ghost")).unwrap();
+        let idx = crate::ClosureIndex::build(&g);
+        let mut scratch = WfScratch::default();
+        scratch.ensure_slots(g.type_slots(), g.link_slots());
+        let (mut via_graph, mut via_index) = (Vec::new(), Vec::new());
+        for (id, _) in g.types() {
+            check_type_into(&g, &g, &mut scratch, id, true, &mut via_graph);
+            check_type_into(&g, &idx, &mut scratch, id, true, &mut via_index);
+        }
+        assert_eq!(via_graph, via_index);
+        assert_eq!(via_graph, check_well_formed(&g));
+    }
+
+    #[test]
     fn issues_display() {
         let issue = WfIssue::KeyAttributeMissing {
             ty: "A".into(),
-            key: "k".into(),
+            key: SymKey(vec!["k".into()]),
             attribute: "x".into(),
         };
         assert!(issue.to_string().contains("key `k`"));

@@ -132,6 +132,20 @@ impl DomainType {
         }
     }
 
+    /// Visit the names of all object types referenced (transitively) by
+    /// this type, without collecting. The allocation-free counterpart of
+    /// [`DomainType::referenced_types`], used by the steady-state
+    /// consistency recheck.
+    pub fn for_each_named_ref(&self, f: &mut impl FnMut(&str)) {
+        match self {
+            DomainType::Named(n) => f(n),
+            DomainType::Collection(_, elem) | DomainType::Array(elem, _) => {
+                elem.for_each_named_ref(f)
+            }
+            _ => {}
+        }
+    }
+
     /// Parse a primitive keyword, if `word` names one.
     pub fn from_keyword(word: &str) -> Option<DomainType> {
         Some(match word {

@@ -1,7 +1,15 @@
 //! Allocation attribution (the `alloc-stats` feature): with the counting
 //! global allocator installed, every closed span carries `alloc.count` /
 //! `alloc.bytes` fields, and the trace summary aggregates them per span
-//! name — the baseline the arena/CSR refactor will be judged against.
+//! name.
+//!
+//! The headline assertion: the steady-state serial incremental recheck —
+//! the `core.consistency.recheck` leaf span — performs **zero**
+//! allocations. Interned symbols make every name comparison an integer
+//! compare, the traversal scratch is warmed before the span opens, and a
+//! clean type stores three empty (never-allocated) finding vectors. CI
+//! runs this test so a regression that re-introduces allocation on the hot
+//! path fails the build.
 
 #![cfg(feature = "alloc-stats")]
 
@@ -10,7 +18,7 @@ use shrink_wrap_schemas::corpus::university;
 use sws_trace::{FieldValue, Recorder, TraceSummary};
 
 #[test]
-fn incremental_recheck_span_reports_allocation_counts() {
+fn incremental_recheck_span_is_allocation_free() {
     let rec = Recorder::new();
     let _guard = rec.install_thread();
 
@@ -29,33 +37,49 @@ fn incremental_recheck_span_reports_allocation_counts() {
     ws.consistency();
 
     let trace = rec.take();
-    let close = trace
-        .events
-        .iter()
-        .find(|e| {
-            e.name == "core.consistency.incremental_sync"
-                && matches!(e.kind, sws_trace::EventKind::SpanClose { .. })
-        })
-        .expect("incremental sync ran under the recorder");
-    let field = |key: &str| {
-        close
-            .fields
+    let close_of = |name: &str| {
+        trace
+            .events
+            .iter()
+            .find(|e| e.name == name && matches!(e.kind, sws_trace::EventKind::SpanClose { .. }))
+            .unwrap_or_else(|| panic!("`{name}` span ran under the recorder"))
+    };
+    let field = |ev: &sws_trace::Event, key: &str| {
+        ev.fields
             .iter()
             .find(|(k, _)| *k == key)
             .map(|(_, v)| v.clone())
     };
-    let Some(FieldValue::U64(count)) = field("alloc.count") else {
-        panic!("missing alloc.count on incremental_sync close: {close:?}");
+
+    // The enclosing incremental sync allocates (dirty sets, closure
+    // expansion, recheck id list): zero would mean the counter is not
+    // wired through.
+    let sync = close_of("core.consistency.incremental_sync");
+    let Some(FieldValue::U64(count)) = field(sync, "alloc.count") else {
+        panic!("missing alloc.count on incremental_sync close: {sync:?}");
     };
-    let Some(FieldValue::U64(bytes)) = field("alloc.bytes") else {
-        panic!("missing alloc.bytes on incremental_sync close: {close:?}");
+    let Some(FieldValue::U64(bytes)) = field(sync, "alloc.bytes") else {
+        panic!("missing alloc.bytes on incremental_sync close: {sync:?}");
     };
-    // Syncing one dirty closure allocates (dirty sets, recheck buffers):
-    // zero would mean the counter is not wired through.
     assert!(count > 0, "incremental sync should allocate; got 0");
     assert!(bytes >= count, "bytes ({bytes}) < count ({count})?");
 
-    // And the summary attributes them per span name.
+    // The leaf recheck span inside it is the steady-state hot path: with
+    // interned symbols and a warm scratch it must not touch the allocator
+    // at all.
+    let recheck = close_of("core.consistency.recheck");
+    let Some(FieldValue::U64(recheck_count)) = field(recheck, "alloc.count") else {
+        panic!("missing alloc.count on recheck close: {recheck:?}");
+    };
+    let Some(FieldValue::U64(recheck_bytes)) = field(recheck, "alloc.bytes") else {
+        panic!("missing alloc.bytes on recheck close: {recheck:?}");
+    };
+    assert_eq!(
+        recheck_count, 0,
+        "steady-state recheck allocated {recheck_count} times ({recheck_bytes} bytes)"
+    );
+
+    // And the summary attributes the sync's allocations per span name.
     let summary = TraceSummary::of(&trace);
     let row = summary
         .allocations

@@ -103,6 +103,30 @@ fn incremental_resync_is_identical_at_every_thread_count() {
     }
 }
 
+/// At 50k types every parallel run shares one frozen CSR closure index
+/// across all workers (the serial run traverses the graph's own adjacency
+/// with the persistent scratch). The rendered report must be byte-identical
+/// at every thread count — this pins the index backend against the graph
+/// backend at a scale where the two take genuinely different code paths.
+#[test]
+fn shared_index_full_check_is_byte_identical_at_fifty_thousand_types() {
+    let g = SyntheticSpec::sized(50_000, 9).generate();
+    let serial = parallel::with_workers(1, || check_consistency(&g, &g));
+    let serial_text = serial.render();
+    for t in THREADS {
+        let report = parallel::with_workers(t, || check_consistency(&g, &g));
+        assert_eq!(
+            report.render(),
+            serial_text,
+            "50k synthetic: rendered report diverged at {t} threads"
+        );
+        assert_eq!(
+            report, serial,
+            "50k synthetic: report diverged at {t} threads"
+        );
+    }
+}
+
 #[cfg(feature = "proptest")]
 mod random {
     use super::*;

@@ -1,0 +1,85 @@
+//! Cold-start cost of loading a session directory, before and after
+//! checkpoint compaction — the number the snapshot + WAL-truncation
+//! subsystem exists to buy.
+//!
+//! For each op count N (default 1 000 / 10 000 / 100 000, override with
+//! `SWS_BENCH_SIZES`), a session directory holding N bounded-churn ops
+//! (`churn_stream`: each add paired with a delete, so the schema stays
+//! small while the log grows) is built on the in-memory `MemIo` backend,
+//! and a cold strict load is timed twice:
+//!
+//! * `full_log/N` — the log as an append-only WAL: replay all N ops;
+//! * `checkpointed/N` — after one `checkpoint`: parse the snapshot, replay
+//!   the (empty) tail. Load cost becomes O(snapshot), independent of N.
+//!
+//! Results go to `BENCH_compaction.json` at the repository root (override
+//! with `SWS_BENCH_OUT`) in the versioned [`sws_bench::report::BenchReport`]
+//! schema that `bench_compare` diffs against `benches/baselines/`.
+
+use std::path::Path;
+
+use sws_bench::edit_scripts::churn_stream;
+use sws_bench::report::BenchReport;
+use sws_bench::timing::Runner;
+use sws_corpus::university;
+use sws_repository::io::MemIo;
+use sws_repository::{LoadMode, Repository};
+
+const SEED: u64 = 23;
+
+fn sizes() -> Vec<usize> {
+    let parsed: Vec<usize> = std::env::var("SWS_BENCH_SIZES")
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        vec![1_000, 10_000, 100_000]
+    } else {
+        parsed
+    }
+}
+
+fn main() {
+    let dir = Path::new("/bench_session");
+    let mut runner = Runner::new("load");
+    let sizes = sizes();
+
+    for &n in &sizes {
+        // Build the session once: N churn ops on the university schema,
+        // saved as a pure op log (no checkpoint).
+        let g = university::graph();
+        let mut repo = Repository::ingest(g.clone());
+        for (context, op) in churn_stream(&g, n, SEED) {
+            repo.workspace_mut()
+                .apply(context, op)
+                .expect("churn op applies");
+        }
+        let disk = MemIo::new();
+        repo.save_with(&disk, dir).expect("save succeeds");
+
+        runner.bench(&format!("full_log/{n}"), || {
+            Repository::load_with(&disk, dir, LoadMode::Strict).expect("full-log load")
+        });
+
+        // One checkpoint folds the whole log into a snapshot and
+        // truncates the replayed prefix into the archive.
+        repo.checkpoint_with(&disk, dir)
+            .expect("checkpoint succeeds")
+            .expect("log was non-empty");
+
+        runner.bench(&format!("checkpointed/{n}"), || {
+            Repository::load_with(&disk, dir, LoadMode::Strict).expect("checkpointed load")
+        });
+    }
+
+    let mut report = BenchReport::from_runner("load", SEED, &runner);
+    report.sizes = sizes.iter().map(|&n| n as u64).collect();
+    let out = std::env::var("SWS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_compaction.json", env!("CARGO_MANIFEST_DIR")));
+    report.write(&out);
+    runner.finish();
+}

@@ -64,6 +64,43 @@ pub fn edit_stream(g: &SchemaGraph, count: usize, seed: u64) -> Vec<(ConceptKind
     ops
 }
 
+/// Generate `count` ops of bounded schema *churn*: every odd-indexed op
+/// deletes the attribute the previous op added, so replaying any prefix
+/// leaves the schema within one attribute of the base — the op log grows
+/// without the graph growing. That is exactly the workload checkpoint
+/// compaction exists for (`bench_load`): cold-load cost is driven by log
+/// length, not schema size. Unlike [`edit_stream`], the stream is only
+/// valid *sequentially* (a delete needs its paired add first).
+/// Deterministic in `(g, count, seed)`.
+pub fn churn_stream(g: &SchemaGraph, count: usize, seed: u64) -> Vec<(ConceptKind, ModOp)> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let type_names: Vec<String> = g.types().map(|(_, n)| n.name.to_string()).collect();
+    let mut ops = Vec::with_capacity(count);
+    let mut pending: Option<(String, String)> = None;
+    for i in 0..count {
+        match pending.take() {
+            Some((ty, name)) => {
+                ops.push((ConceptKind::WagonWheel, ModOp::DeleteAttribute { ty, name }))
+            }
+            None => {
+                let ty = type_names[rng.range_usize(0, type_names.len())].clone();
+                let name = format!("churn_{seed}_{}", i / 2);
+                ops.push((
+                    ConceptKind::WagonWheel,
+                    ModOp::AddAttribute {
+                        ty: ty.clone(),
+                        domain: DomainType::Long,
+                        size: None,
+                        name: name.clone(),
+                    },
+                ));
+                pending = Some((ty, name));
+            }
+        }
+    }
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +130,23 @@ mod tests {
         for (context, op) in stream {
             ws.apply(context, op).unwrap();
         }
+    }
+
+    #[test]
+    fn churn_stream_is_deterministic_and_bounded() {
+        let g = SyntheticSpec::sized(10, 3).generate();
+        assert_eq!(churn_stream(&g, 12, 5), churn_stream(&g, 12, 5));
+        assert_ne!(churn_stream(&g, 12, 5), churn_stream(&g, 12, 6));
+
+        let base = Workspace::new(g.clone());
+        let base_attrs = base.working().attrs().count();
+        let mut ws = base.clone();
+        for (context, op) in churn_stream(&g, 101, 5) {
+            ws.apply(context, op).unwrap();
+        }
+        // 101 ops replayed, yet the schema grew by exactly the one
+        // unpaired trailing add.
+        assert_eq!(ws.log().len(), 101);
+        assert_eq!(ws.working().attrs().count(), base_attrs + 1);
     }
 }

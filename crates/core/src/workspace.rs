@@ -63,6 +63,10 @@ pub struct Workspace {
     /// Memoized traversals over `shrink_wrap` (it never mutates, so this
     /// cache never invalidates).
     qc_shrink: QueryCache,
+    /// True when the working schema was seeded from a checkpoint snapshot
+    /// instead of replaying ops from the shrink wrap — the log then only
+    /// covers the tail, so undo cannot reach back to the shrink wrap.
+    resumed: bool,
     /// Incrementally-maintained consistency findings; interior mutability
     /// so read paths (`consistency`, `DesignReport::generate`) can sync
     /// lazily from `&self`.
@@ -74,6 +78,18 @@ impl Workspace {
     /// begins as a copy of it.
     pub fn new(shrink_wrap: SchemaGraph) -> Self {
         let working = shrink_wrap.clone();
+        Workspace::build(shrink_wrap, working, false)
+    }
+
+    /// Resume a design session from a checkpoint snapshot: the working
+    /// schema starts at `working` (the snapshot image, already carrying
+    /// every checkpointed op) instead of a copy of the shrink wrap, and
+    /// the log records only the ops replayed after it.
+    pub fn resume(shrink_wrap: SchemaGraph, working: SchemaGraph) -> Self {
+        Workspace::build(shrink_wrap, working, true)
+    }
+
+    fn build(shrink_wrap: SchemaGraph, working: SchemaGraph, resumed: bool) -> Self {
         Workspace {
             shrink_wrap,
             working,
@@ -83,7 +99,13 @@ impl Workspace {
             qc_working: QueryCache::new(),
             qc_shrink: QueryCache::new(),
             state: RefCell::new(ConsistencyState::new()),
+            resumed,
         }
+    }
+
+    /// Was this workspace seeded from a checkpoint snapshot?
+    pub fn is_resumed(&self) -> bool {
+        self.resumed
     }
 
     /// The immutable shrink wrap schema.
@@ -267,10 +289,12 @@ impl Workspace {
         self.state.borrow_mut().invalidate();
         sp.record("generation", self.working.generation() as usize);
         // Oracle: undo replay must land on a graph structurally identical
-        // to the shrink wrap copy the session started from.
+        // to the graph the session started from — the shrink wrap copy,
+        // unless the workspace was resumed from a checkpoint snapshot (the
+        // undo journal then only reaches back to the snapshot image).
         #[cfg(test)]
         debug_assert!(
-            sws_model::diff_graphs(&self.shrink_wrap, &self.working).is_empty(),
+            self.resumed || sws_model::diff_graphs(&self.shrink_wrap, &self.working).is_empty(),
             "undo replay diverged from the shrink wrap schema:\n{:#?}",
             sws_model::diff_graphs(&self.shrink_wrap, &self.working)
         );

@@ -43,6 +43,11 @@
 //!
 //! Exit codes (also via `--help`):
 //!
+//! `--checkpoint-interval=K` auto-checkpoints the attached session
+//! directory every K committed ops (snapshot + op-log truncation, see
+//! docs/robustness.md); the `checkpoint` REPL command forces one
+//! immediately. Overrides `SWS_CHECKPOINT_INTERVAL`.
+//!
 //! ```text
 //! 0  clean run
 //! 2  usage error
@@ -50,6 +55,8 @@
 //! 4  session directory corrupt / replay failed (strict mode)
 //! 5  I/O failure
 //! 6  session recovered, but with data loss (ops dropped or files lost)
+//! 7  session recovered via a degraded fallback (older snapshot or full
+//!    replay), no data loss
 //! ```
 
 use std::io::{self, BufRead, Write};
@@ -65,8 +72,9 @@ const EXIT_PARSE: u8 = 3;
 const EXIT_CORRUPT: u8 = 4;
 const EXIT_IO: u8 = 5;
 const EXIT_RECOVERED: u8 = 6;
+const EXIT_DEGRADED: u8 = 7;
 
-const USAGE: &str = "usage: swsd [--trace[=json]] [--profile[=tree|collapsed]] [--strict] [--threads=N] --schema <file.odl> | --session <dir>";
+const USAGE: &str = "usage: swsd [--trace[=json]] [--profile[=tree|collapsed]] [--strict] [--threads=N] [--checkpoint-interval=K] --schema <file.odl> | --session <dir>";
 
 const HELP: &str = "\
 swsd — interactive shrink-wrap-schema designer
@@ -85,6 +93,12 @@ options:
                        decomposition (1 = serial; overrides SWS_THREADS;
                        default: SWS_THREADS, else available parallelism).
                        Reports are identical at every thread count.
+  --checkpoint-interval=K
+                       auto-checkpoint the session directory every K
+                       committed ops: snapshot the working schema, archive
+                       and truncate the op log, so resuming replays only
+                       the short tail (overrides SWS_CHECKPOINT_INTERVAL;
+                       the `checkpoint` command forces one immediately)
   --trace[=json]       dump a structured trace to stderr on exit
   --profile[=tree|collapsed]
                        dump a self-profile to stderr on exit: an
@@ -106,6 +120,8 @@ exit codes:
   5  I/O failure
   6  session recovered, but with data loss (the recovery report on
      stderr names the dropped ops and damaged files)
+  7  session recovered via a degraded fallback layer (older snapshot or
+     full replay of the archive), no data loss
 ";
 
 /// Which exit code a load-time failure maps to.
@@ -130,6 +146,7 @@ fn main() -> ExitCode {
     let mut trace_mode = None;
     let mut profile_mode = None;
     let mut strict = false;
+    let mut checkpoint_interval = None;
     let mut args = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
@@ -144,6 +161,18 @@ fn main() -> ExitCode {
                     Ok(n) if n >= 1 => sws_core::parallel::set_override(Some(n)),
                     _ => {
                         eprintln!("swsd: --threads wants a positive integer, got `{value}`");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            _ if arg.starts_with("--checkpoint-interval=") => {
+                let value = &arg["--checkpoint-interval=".len()..];
+                match value.parse::<u64>() {
+                    Ok(k) if k >= 1 => checkpoint_interval = Some(k),
+                    _ => {
+                        eprintln!(
+                            "swsd: --checkpoint-interval wants a positive integer, got `{value}`"
+                        );
                         return ExitCode::from(EXIT_USAGE);
                     }
                 }
@@ -204,14 +233,20 @@ fn main() -> ExitCode {
             return ExitCode::from(code);
         }
     };
+    if checkpoint_interval.is_some() {
+        session.set_checkpoint_interval(checkpoint_interval);
+    }
 
-    // Salvage outcome: report damage to stderr; data loss taints the exit
-    // code even though the session runs.
+    // Salvage outcome: report damage to stderr; data loss (and, less
+    // urgently, a degraded fallback load) taints the exit code even
+    // though the session runs.
     let mut recovered_with_loss = false;
+    let mut recovered_degraded = false;
     if let Some(report) = session.recovery().filter(|r| !r.is_clean()) {
         let rendered = report.render();
         eprint!("swsd: session directory was damaged\n{rendered}");
         recovered_with_loss = report.data_loss();
+        recovered_degraded = report.degraded();
         crash::set_recovery(rendered);
     }
 
@@ -257,6 +292,8 @@ fn main() -> ExitCode {
     // full save left the derived files and manifest behind the log.
     let mut exit = if recovered_with_loss {
         ExitCode::from(EXIT_RECOVERED)
+    } else if recovered_degraded {
+        ExitCode::from(EXIT_DEGRADED)
     } else {
         ExitCode::SUCCESS
     };

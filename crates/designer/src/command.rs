@@ -17,6 +17,7 @@
 //! log                       print the operation log
 //! undo / redo               step through history
 //! save <dir> / load <dir>   persist / restore the session
+//! checkpoint                snapshot + truncate the op log now
 //! quit                      end the session
 //! ```
 
@@ -132,6 +133,13 @@ pub fn execute(session: &mut Session, line: &str) -> CommandOutcome {
         "save" => session
             .save(Path::new(rest))
             .map(|()| format!("saved to {rest} (autosave on)\n")),
+        "checkpoint" => session.checkpoint().map(|outcome| match outcome {
+            None => "nothing to checkpoint (tail already empty)\n".to_string(),
+            Some(o) => format!(
+                "checkpoint generation {} written: {} op(s) covered, {} archived, {} snapshot file(s) pruned\n",
+                o.generation, o.ops_covered, o.archived_ops, o.pruned.len()
+            ),
+        }),
         "load" => Session::load(Path::new(rest)).map(|loaded| {
             *session = loaded;
             let mut text = format!("loaded from {rest} (autosave on)\n");
@@ -157,7 +165,7 @@ commands:
   concepts | show <n> | use <n> | context <tag> | explain <n>
   odl [shrinkwrap|local] | map | check | advise | report | log
   alias type <T> <Local> | alias member <T> <m> <Local> | aliases
-  undo | redo | save <dir> | load <dir> | quit
+  undo | redo | save <dir> | load <dir> | checkpoint | quit
 anything else is a modification-language statement, e.g.
   add_attribute(CourseOffering, string(16), room)
 ";

@@ -9,8 +9,8 @@ use sws_core::consistency::ConsistencyReport;
 use sws_core::oplang::parse_statement;
 use sws_core::{ConceptKind, Feedback, Mapping, ModOp, OpError};
 use sws_odl::OdlError;
-use sws_repository::io::RealIo;
-use sws_repository::{append_log_line, RecoveryReport, RepoError, Repository};
+use sws_repository::io::{RealIo, RepoIo};
+use sws_repository::{append_log_line, CheckpointOutcome, RecoveryReport, RepoError, Repository};
 
 /// Errors surfaced to the designer.
 #[derive(Debug)]
@@ -77,11 +77,18 @@ pub struct Session {
     autosave_warning: Option<String>,
     /// What salvage loading found, when this session came from disk.
     recovery: Option<RecoveryReport>,
+    /// Storage the session persists through. [`RealIo`] in production;
+    /// tests swap in fault-injecting implementations via [`Session::set_io`].
+    io: Box<dyn RepoIo>,
+    /// Checkpoint every K committed ops (`SWS_CHECKPOINT_INTERVAL` or
+    /// `--checkpoint-interval=K`); `None` disables auto-checkpointing.
+    checkpoint_interval: Option<u64>,
 }
 
 impl Session {
     /// Open a session on a repository. The initial context is a wagon
-    /// wheel (the paper: wagon wheels carry most modifications).
+    /// wheel (the paper: wagon wheels carry most modifications). The
+    /// auto-checkpoint interval defaults from `SWS_CHECKPOINT_INTERVAL`.
     pub fn new(repo: Repository) -> Self {
         Session {
             repo,
@@ -92,6 +99,11 @@ impl Session {
             autosave_dir: None,
             autosave_warning: None,
             recovery: None,
+            io: Box::new(RealIo),
+            checkpoint_interval: std::env::var("SWS_CHECKPOINT_INTERVAL")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&k| k > 0),
         }
     }
 
@@ -174,18 +186,75 @@ impl Session {
 
     /// Issue an already-parsed operation in the current context. With an
     /// autosave directory attached, the applied op is durably appended to
-    /// the on-disk log (one fsynced record, not a full rewrite).
+    /// the on-disk log (one fsynced record, not a full rewrite), then the
+    /// auto-checkpoint interval is consulted. The append always completes
+    /// before any checkpoint starts — a checkpoint's MANIFEST generation
+    /// commits with no autosave interleaved into its micro-steps.
     pub fn issue(&mut self, op: ModOp) -> Result<Feedback, SessionError> {
         let snapshot = self.repo.clone();
         let feedback = self.repo.workspace_mut().apply(self.context, op.clone())?;
         self.undo_stack.push(snapshot);
         self.redo_stack.clear();
         if let Some(dir) = self.autosave_dir.clone() {
-            if let Err(e) = append_log_line(&RealIo, &dir, self.context, &op) {
+            let seq = self.repo.total_ops() - 1;
+            if let Err(e) = append_log_line(self.io.as_ref(), &dir, seq, self.context, &op) {
                 self.disable_autosave(&dir, &e);
+            } else {
+                self.maybe_autocheckpoint(&dir);
             }
         }
         Ok(feedback)
+    }
+
+    /// Checkpoint now, if enough ops accumulated since the last one.
+    fn maybe_autocheckpoint(&mut self, dir: &Path) {
+        let Some(k) = self.checkpoint_interval else {
+            return;
+        };
+        let pending = self
+            .repo
+            .total_ops()
+            .saturating_sub(self.repo.checkpoint_state().tail_start());
+        if pending < k {
+            return;
+        }
+        if let Err(e) = self.repo.checkpoint_with(self.io.as_ref(), dir) {
+            // A failed checkpoint never loses committed state (the tail is
+            // still intact); warn and keep designing.
+            self.autosave_warning = Some(format!(
+                "checkpoint to {} failed ({e}); will retry at the next interval",
+                dir.display()
+            ));
+        }
+    }
+
+    /// Checkpoint the session directory now: snapshot the working schema,
+    /// archive the replayed tail, and truncate the log (see
+    /// [`Repository::checkpoint_with`]). Requires an attached directory.
+    pub fn checkpoint(&mut self) -> Result<Option<CheckpointOutcome>, SessionError> {
+        let dir = self.autosave_dir.clone().ok_or_else(|| {
+            SessionError::Repo(RepoError::Io(std::io::Error::other(
+                "no session directory attached; `save <dir>` first",
+            )))
+        })?;
+        self.repo
+            .checkpoint_with(self.io.as_ref(), &dir)
+            .map_err(SessionError::from)
+    }
+
+    /// The auto-checkpoint interval (ops between checkpoints), if enabled.
+    pub fn checkpoint_interval(&self) -> Option<u64> {
+        self.checkpoint_interval
+    }
+
+    /// Set (or disable, with `None`) the auto-checkpoint interval.
+    pub fn set_checkpoint_interval(&mut self, interval: Option<u64>) {
+        self.checkpoint_interval = interval.filter(|&k| k > 0);
+    }
+
+    /// Swap the storage implementation (fault injection in tests).
+    pub fn set_io(&mut self, io: Box<dyn RepoIo>) {
+        self.io = io;
     }
 
     /// Parse a modification-language statement and issue it.
@@ -226,7 +295,7 @@ impl Session {
     /// Save the session and attach `dir` for autosave: every subsequently
     /// issued op is durably appended to its on-disk log.
     pub fn save(&mut self, dir: &Path) -> Result<(), SessionError> {
-        self.repo.save(dir)?;
+        self.repo.save_with(self.io.as_ref(), dir)?;
         self.autosave_dir = Some(dir.to_path_buf());
         Ok(())
     }
@@ -269,7 +338,10 @@ impl Session {
     /// derived files and the manifest after a run of appends.
     pub fn final_save(&mut self) -> Result<(), SessionError> {
         match self.autosave_dir.clone() {
-            Some(dir) => self.repo.save(&dir).map_err(SessionError::from),
+            Some(dir) => self
+                .repo
+                .save_with(self.io.as_ref(), &dir)
+                .map_err(SessionError::from),
             None => Ok(()),
         }
     }
@@ -277,7 +349,7 @@ impl Session {
     /// Full-directory autosave (undo/redo/alias paths); best-effort.
     fn autosave_full(&mut self) {
         if let Some(dir) = self.autosave_dir.clone() {
-            if let Err(e) = self.repo.save(&dir) {
+            if let Err(e) = self.repo.save_with(self.io.as_ref(), &dir) {
                 self.disable_autosave(&dir, &SessionError::Repo(e));
             }
         }
@@ -460,6 +532,123 @@ mod tests {
         s.issue_str("add_type_definition(Task)").unwrap();
         assert!(s.take_autosave_warning().is_none());
         std::fs::remove_file(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_at_the_interval() {
+        let mut s = session();
+        s.set_checkpoint_interval(Some(2));
+        assert_eq!(s.checkpoint_interval(), Some(2));
+        let dir = std::env::temp_dir().join(format!("sws_autockpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        s.save(&dir).unwrap();
+
+        s.issue_str("add_type_definition(Project)").unwrap();
+        assert!(
+            !dir.join("snapshot.1").exists(),
+            "one op is below the interval"
+        );
+        s.issue_str("add_type_definition(Task)").unwrap();
+        assert!(
+            dir.join("snapshot.1").exists(),
+            "the second op triggers the checkpoint"
+        );
+        assert_eq!(
+            std::fs::read_to_string(dir.join("session.ops")).unwrap(),
+            "",
+            "tail truncated after the checkpoint"
+        );
+        // The next interval counts from the checkpoint, not from zero.
+        s.issue_str("add_type_definition(Sprint)").unwrap();
+        assert!(!dir.join("snapshot.2").exists());
+        s.issue_str("add_type_definition(Epic)").unwrap();
+        assert!(dir.join("snapshot.2").exists());
+
+        let loaded = Session::load(&dir).unwrap();
+        assert!(loaded.recovery().unwrap().is_clean());
+        assert_eq!(
+            graph_to_schema(loaded.repository().workspace().working()),
+            graph_to_schema(s.repository().workspace().working())
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_commits_with_no_autosave_interleaved() {
+        use std::sync::Arc;
+        use sws_repository::io::{FaultIo, MemIo};
+
+        // Session owns its RepoIo; share the FaultIo so the test can read
+        // the micro-step journal after handing it over.
+        #[derive(Debug, Clone)]
+        struct SharedIo(Arc<FaultIo>);
+        impl RepoIo for SharedIo {
+            fn read(&self, p: &Path) -> std::io::Result<Vec<u8>> {
+                self.0.read(p)
+            }
+            fn write_atomic(&self, p: &Path, d: &[u8]) -> std::io::Result<()> {
+                self.0.write_atomic(p, d)
+            }
+            fn append_sync(&self, p: &Path, d: &[u8]) -> std::io::Result<()> {
+                self.0.append_sync(p, d)
+            }
+            fn exists(&self, p: &Path) -> bool {
+                self.0.exists(p)
+            }
+            fn create_dir_all(&self, p: &Path) -> std::io::Result<()> {
+                self.0.create_dir_all(p)
+            }
+            fn remove(&self, p: &Path) -> std::io::Result<()> {
+                self.0.remove(p)
+            }
+        }
+
+        let io = Arc::new(FaultIo::new(MemIo::new()));
+        let mut s = session();
+        s.set_io(Box::new(SharedIo(io.clone())));
+        s.set_checkpoint_interval(Some(1));
+        let dir = PathBuf::from("/mem/session");
+        s.save(&dir).unwrap();
+        io.clear_journal();
+
+        // One op at interval 1: the durable append must fully commit, then
+        // the whole checkpoint runs; its MANIFEST rename is the commit
+        // point, and no op-log append may land inside that window.
+        s.issue_str("add_type_definition(Project)").unwrap();
+        assert!(s.take_autosave_warning().is_none());
+        let journal = io.journal();
+        let log_append = "append /mem/session/session.ops";
+        let append_at = journal
+            .iter()
+            .position(|l| l == log_append)
+            .expect("durable append journaled");
+        let snapshot_at = journal
+            .iter()
+            .position(|l| l.contains("snapshot.1"))
+            .expect("snapshot written");
+        let manifest_at = journal
+            .iter()
+            .rposition(|l| l.starts_with("rename") && l.ends_with("/MANIFEST"))
+            .expect("manifest committed");
+        assert!(
+            append_at < snapshot_at,
+            "append commits before the checkpoint starts: {journal:#?}"
+        );
+        assert!(snapshot_at < manifest_at, "{journal:#?}");
+        assert!(
+            journal[snapshot_at..manifest_at]
+                .iter()
+                .all(|l| l != log_append),
+            "autosave interleaved into the checkpoint commit window: {journal:#?}"
+        );
+        // The tail truncation (an atomic rewrite, never an append) comes
+        // only after the manifest rename committed the generation.
+        assert!(
+            journal[manifest_at..]
+                .iter()
+                .any(|l| l.starts_with("rename") && l.ends_with("/session.ops")),
+            "{journal:#?}"
+        );
     }
 
     #[test]

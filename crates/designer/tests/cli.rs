@@ -395,7 +395,7 @@ fn corrupt_session_exit_codes_strict_vs_salvage() {
     // The salvage run healed and recommitted the directory: clean now.
     let (_, stderr, code) = run_swsd_code(&["--session", session_dir.to_str().unwrap()], "quit\n");
     assert_eq!(code, 0, "healed directory loads clean: {stderr}");
-    assert!(session_dir.join("session.ops.quarantine").exists());
+    assert!(session_dir.join("session.ops.quarantine.1").exists());
     std::fs::remove_dir_all(&session_dir).unwrap();
 }
 
@@ -645,4 +645,126 @@ fn help_documents_profile_and_crash_reports() {
     assert!(stdout.contains("--profile[=tree|collapsed]"));
     assert!(stdout.contains("crash-report.json"));
     assert!(stdout.contains("SWS_CRASH_DIR"));
+}
+
+// --- checkpointing / compaction --------------------------------------------
+
+#[test]
+fn checkpoint_command_truncates_the_log_and_resumes_fast() {
+    let schema = schema_file();
+    let session_dir = std::env::temp_dir().join(format!("swsd_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&session_dir);
+    let script = format!(
+        "save {}\nadd_type_definition(Project)\nadd_type_definition(Task)\n\
+         checkpoint\nadd_type_definition(Sprint)\nquit\n",
+        session_dir.display()
+    );
+    let (stdout, stderr, code) = run_swsd_code(&["--schema", schema.to_str().unwrap()], &script);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(
+        stdout.contains("checkpoint generation 1 written: 2 op(s) covered, 2 archived"),
+        "{stdout}"
+    );
+    assert!(session_dir.join("snapshot.1").exists());
+    assert!(session_dir.join("session.ops.archive").exists());
+
+    // Resume strictly: the snapshot plus the one-op tail rebuild the state
+    // without ever touching the archive.
+    let (stdout, stderr, code) = run_swsd_code(
+        &["--strict", "--session", session_dir.to_str().unwrap()],
+        "odl\nquit\n",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("interface Project"), "{stdout}");
+    assert!(stdout.contains("interface Sprint"), "{stdout}");
+    std::fs::remove_dir_all(&session_dir).unwrap();
+}
+
+#[test]
+fn checkpoint_without_a_session_directory_is_an_error() {
+    let schema = schema_file();
+    let (stdout, _, code) = run_swsd_code(
+        &["--schema", schema.to_str().unwrap()],
+        "checkpoint\nquit\n",
+    );
+    assert_eq!(code, 0, "command errors do not kill the repl");
+    assert!(stdout.contains("no session directory attached"), "{stdout}");
+}
+
+#[test]
+fn checkpoint_interval_flag_autocheckpoints_and_validates() {
+    // Bad values are usage errors, not silent defaults.
+    for bad in ["0", "-3", "many"] {
+        let arg = format!("--checkpoint-interval={bad}");
+        let (_, stderr, code) = run_swsd_code(&[arg.as_str()], "");
+        assert_eq!(code, 2, "`{bad}` must be a usage error");
+        assert!(
+            stderr.contains("--checkpoint-interval wants a positive integer"),
+            "{stderr}"
+        );
+    }
+    let (stdout, _, ok) = run_swsd(&["--help"], "");
+    assert!(ok);
+    assert!(stdout.contains("--checkpoint-interval=K"), "{stdout}");
+    assert!(stdout.contains("degraded fallback layer"), "{stdout}");
+
+    // With K=2, the second committed op checkpoints without being asked.
+    let schema = schema_file();
+    let session_dir = std::env::temp_dir().join(format!("swsd_ckptiv_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&session_dir);
+    let script = format!(
+        "save {}\nadd_type_definition(Project)\nadd_type_definition(Task)\nquit\n",
+        session_dir.display()
+    );
+    let (_, stderr, code) = run_swsd_code(
+        &[
+            "--checkpoint-interval=2",
+            "--schema",
+            schema.to_str().unwrap(),
+        ],
+        &script,
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(session_dir.join("snapshot.1").exists(), "auto-checkpoint");
+    let tail = std::fs::read_to_string(session_dir.join("session.ops")).unwrap();
+    assert!(tail.is_empty(), "tail truncated, got {tail:?}");
+    std::fs::remove_dir_all(&session_dir).unwrap();
+}
+
+#[test]
+fn corrupt_snapshot_degrades_to_exit_7_then_heals() {
+    let schema = schema_file();
+    let session_dir = std::env::temp_dir().join(format!("swsd_degraded_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&session_dir);
+    let script = format!(
+        "save {}\nadd_type_definition(Project)\ncheckpoint\nquit\n",
+        session_dir.display()
+    );
+    let (_, _, code) = run_swsd_code(&["--schema", schema.to_str().unwrap()], &script);
+    assert_eq!(code, 0);
+    let snap = session_dir.join("snapshot.1");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    // Strict refuses a damaged snapshot outright.
+    let (_, stderr, code) = run_swsd_code(
+        &["--strict", "--session", session_dir.to_str().unwrap()],
+        "quit\n",
+    );
+    assert_eq!(code, 4, "stderr: {stderr}");
+
+    // Salvage rebuilds from the archived log: right state, no data loss,
+    // but the degraded load path taints the exit code to 7 (not 6).
+    let (stdout, stderr, code) =
+        run_swsd_code(&["--session", session_dir.to_str().unwrap()], "odl\nquit\n");
+    assert_eq!(code, 7, "stderr: {stderr}");
+    assert!(stderr.contains("FALLBACK to full replay"), "{stderr}");
+    assert!(stdout.contains("interface Project"), "{stdout}");
+
+    // The salvage healed the directory; the next load is clean.
+    let (_, stderr, code) = run_swsd_code(&["--session", session_dir.to_str().unwrap()], "quit\n");
+    assert_eq!(code, 0, "healed directory loads clean: {stderr}");
+    std::fs::remove_dir_all(&session_dir).unwrap();
 }

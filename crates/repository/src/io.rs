@@ -38,6 +38,9 @@ pub trait RepoIo: fmt::Debug {
     fn exists(&self, path: &Path) -> bool;
     /// Recursively create a directory.
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Durably delete a file. Removing a file that does not exist is not
+    /// an error (retries after a crash must be idempotent).
+    fn remove(&self, path: &Path) -> io::Result<()>;
 }
 
 /// Name of the temporary file `write_atomic` stages next to `path`.
@@ -102,6 +105,17 @@ impl RepoIo for RealIo {
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         std::fs::create_dir_all(path)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Ok(()) => {
+                sync_parent_dir(path);
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -241,6 +255,13 @@ impl RepoIo for MemIo {
     fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
         self.with(|_| Ok(()))
     }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.with(|st| {
+            st.files.remove(path);
+            Ok(())
+        })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -261,6 +282,11 @@ enum Fault {
 struct FaultPlan {
     fault: Option<Fault>,
     step: u64,
+    /// One human-readable entry per micro-step executed, in order —
+    /// ordering regression tests assert on this journal (e.g. "no op-log
+    /// append lands between a checkpoint's snapshot write and its
+    /// manifest commit").
+    journal: Vec<String>,
 }
 
 /// A [`RepoIo`] over a shared [`MemIo`] that decomposes every primitive
@@ -282,6 +308,21 @@ enum Step<'a> {
     Rename(&'a Path, &'a Path),
     /// Append a (possibly partial) un-fsynced blob to `path`.
     AppendUnsynced(&'a Path, &'a [u8]),
+    /// Durably delete `path` (no-op if absent).
+    Remove(&'a Path),
+}
+
+impl Step<'_> {
+    /// Journal line for this micro-step.
+    fn describe(&self) -> String {
+        match self {
+            Step::WriteUnsynced(p, _) => format!("write {}", p.display()),
+            Step::Sync(p) => format!("sync {}", p.display()),
+            Step::Rename(from, to) => format!("rename {} -> {}", from.display(), to.display()),
+            Step::AppendUnsynced(p, _) => format!("append {}", p.display()),
+            Step::Remove(p) => format!("remove {}", p.display()),
+        }
+    }
 }
 
 impl FaultIo {
@@ -324,6 +365,18 @@ impl FaultIo {
         self.plan().step
     }
 
+    /// The ordered journal of micro-steps attempted so far (one line per
+    /// step, including the faulted one).
+    pub fn journal(&self) -> Vec<String> {
+        self.plan().journal.clone()
+    }
+
+    /// Forget the journal so the next assertion window starts clean. The
+    /// step counter is left untouched (fault indices stay meaningful).
+    pub fn clear_journal(&self) {
+        self.plan().journal.clear();
+    }
+
     /// The underlying shared filesystem.
     pub fn fs(&self) -> &MemIo {
         &self.fs
@@ -336,6 +389,7 @@ impl FaultIo {
             let mut plan = self.plan();
             let this = plan.step;
             plan.step += 1;
+            plan.journal.push(step.describe());
             match plan.fault {
                 Some(Fault::CrashAt(n)) if n == this => Some(Fault::CrashAt(n)),
                 Some(Fault::ErrorAt(n)) if n == this => Some(Fault::ErrorAt(n)),
@@ -362,7 +416,7 @@ impl FaultIo {
                         let file = st.files.entry(path.to_path_buf()).or_default();
                         file.content.extend_from_slice(&data[..data.len() / 2]);
                     }
-                    Step::Sync(_) | Step::Rename(_, _) => {}
+                    Step::Sync(_) | Step::Rename(_, _) | Step::Remove(_) => {}
                 }
                 st.crashed = true;
                 return Err(crash_error());
@@ -396,6 +450,9 @@ impl FaultIo {
                 let file = st.files.entry(path.to_path_buf()).or_default();
                 file.content.extend_from_slice(data);
             }
+            Step::Remove(path) => {
+                st.files.remove(path);
+            }
         }
         Ok(())
     }
@@ -424,6 +481,10 @@ impl RepoIo for FaultIo {
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         self.fs.create_dir_all(path)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.step(Step::Remove(path))
     }
 }
 
@@ -542,5 +603,51 @@ mod tests {
         assert_eq!(io.steps_taken(), 0);
         io.write_atomic(Path::new("/s/z"), b"ok").unwrap();
         assert_eq!(io.steps_taken(), 3);
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_crash_atomic() {
+        let disk = MemIo::new();
+        let p = Path::new("/s/a.txt");
+        disk.write_atomic(p, b"data").unwrap();
+        // Removing twice is fine on every backend.
+        RepoIo::remove(&disk, p).unwrap();
+        RepoIo::remove(&disk, p).unwrap();
+        assert!(!disk.exists(p));
+        // A crash during a faulted remove leaves the file untouched.
+        disk.write_atomic(p, b"data").unwrap();
+        let io = FaultIo::new(disk.clone());
+        io.crash_at(0);
+        assert!(io.remove(p).is_err());
+        disk.post_crash(1);
+        assert_eq!(disk.read(p).unwrap(), b"data");
+        // And with no fault planned, it deletes.
+        let io = FaultIo::new(disk.clone());
+        io.remove(p).unwrap();
+        assert!(!disk.exists(p));
+    }
+
+    #[test]
+    fn journal_records_micro_steps_in_order() {
+        let io = FaultIo::new(MemIo::new());
+        io.write_atomic(Path::new("/s/a"), b"x").unwrap();
+        io.append_sync(Path::new("/s/log"), b"y").unwrap();
+        io.remove(Path::new("/s/a")).unwrap();
+        let journal = io.journal();
+        assert_eq!(
+            journal,
+            vec![
+                "write /s/.a.tmp".to_string(),
+                "sync /s/.a.tmp".to_string(),
+                "rename /s/.a.tmp -> /s/a".to_string(),
+                "append /s/log".to_string(),
+                "sync /s/log".to_string(),
+                "remove /s/a".to_string(),
+            ]
+        );
+        io.clear_journal();
+        assert!(io.journal().is_empty());
+        // The step counter is unaffected by journal clearing.
+        assert_eq!(io.steps_taken(), 6);
     }
 }

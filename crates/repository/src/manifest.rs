@@ -16,6 +16,25 @@
 //! end\t<checksum-hex16 of everything above>
 //! ```
 //!
+//! A checkpointed directory (see `crate::snapshot`) is committed by a
+//! **v2** manifest, which additionally carries the checkpoint generation
+//! and the retained snapshot files:
+//!
+//! ```text
+//! sws-repository v2
+//! checkpoint\t<generation>
+//! snap\t<gen>\t<ops-covered>\t<len>\t<checksum-hex16>
+//! file\t<len>\t<checksum-hex16>\t<name>
+//! ...
+//! end\t<checksum-hex16 of everything above>
+//! ```
+//!
+//! A directory that has never been checkpointed keeps writing the
+//! byte-identical v1 form, so pre-checkpoint builds still read it; a v2
+//! manifest makes those builds refuse with `UnsupportedVersion` rather
+//! than silently ignore the snapshot that the (truncated) op log depends
+//! on.
+//!
 //! A manifest that is missing is a legacy (v0) directory; a manifest that
 //! fails its own trailer checksum or does not parse is *damaged* — salvage
 //! loading then falls back to per-line op-log validation and reports it.
@@ -26,7 +45,7 @@ use std::fmt;
 use crate::checksum::{checksum, from_hex, to_hex};
 
 /// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File name of the manifest.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -40,6 +59,43 @@ pub struct FileEntry {
     pub checksum: u64,
 }
 
+/// One retained checkpoint snapshot, as listed in a v2 manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotRef {
+    /// Checkpoint generation (names the `snapshot.<gen>` file).
+    pub generation: u64,
+    /// Ops the snapshot covers (the tail replays sequence numbers
+    /// `>= ops`).
+    pub ops: u64,
+    /// Snapshot file length in bytes.
+    pub len: u64,
+    /// Snapshot file content checksum.
+    pub checksum: u64,
+}
+
+/// Checkpoint state carried by a v2 manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointMeta {
+    /// Highest checkpoint generation ever committed (monotonic).
+    pub generation: u64,
+    /// Retained snapshots, oldest first (newest last). The newest is the
+    /// fast path; older ones are salvage fallback layers.
+    pub snapshots: Vec<SnapshotRef>,
+}
+
+impl CheckpointMeta {
+    /// The newest retained snapshot, if any.
+    pub fn newest(&self) -> Option<&SnapshotRef> {
+        self.snapshots.last()
+    }
+
+    /// Sequence number the durable op-log tail starts at: the newest
+    /// snapshot's coverage, or 0 when nothing is checkpointed.
+    pub fn tail_start(&self) -> u64 {
+        self.newest().map_or(0, |s| s.ops)
+    }
+}
+
 /// A parsed manifest.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Manifest {
@@ -47,6 +103,8 @@ pub struct Manifest {
     pub version: u32,
     /// Entries by file name.
     pub entries: BTreeMap<String, FileEntry>,
+    /// Checkpoint state (v2); `None` for never-checkpointed directories.
+    pub checkpoint: Option<CheckpointMeta>,
 }
 
 /// Why a manifest failed to parse.
@@ -79,11 +137,27 @@ impl fmt::Display for ManifestError {
 }
 
 impl Manifest {
-    /// A fresh manifest at the current version.
+    /// A fresh manifest. It stays at the v1 wire format until a
+    /// checkpoint is attached — never-checkpointed directories remain
+    /// byte-compatible with pre-checkpoint builds.
     pub fn new() -> Self {
         Manifest {
-            version: FORMAT_VERSION,
+            version: 1,
             entries: BTreeMap::new(),
+            checkpoint: None,
+        }
+    }
+
+    /// Attach checkpoint state, upgrading the manifest to the v2 wire
+    /// format. A meta with no generation and no snapshots downgrades back
+    /// to v1 (nothing to record).
+    pub fn set_checkpoint(&mut self, meta: CheckpointMeta) {
+        if meta.generation == 0 && meta.snapshots.is_empty() {
+            self.checkpoint = None;
+            self.version = 1;
+        } else {
+            self.checkpoint = Some(meta);
+            self.version = FORMAT_VERSION;
         }
     }
 
@@ -106,9 +180,28 @@ impl Manifest {
             .map(|e| e.len == data.len() as u64 && e.checksum == checksum(data))
     }
 
-    /// Render to the on-disk format (self-checksummed).
+    /// Render to the on-disk format (self-checksummed). The header
+    /// version follows the content: v2 when checkpoint state is present,
+    /// v1 otherwise.
     pub fn render(&self) -> String {
-        let mut body = format!("sws-repository v{}\n", self.version);
+        let version = if self.checkpoint.is_some() {
+            FORMAT_VERSION
+        } else {
+            1
+        };
+        let mut body = format!("sws-repository v{version}\n");
+        if let Some(ckpt) = &self.checkpoint {
+            body.push_str(&format!("checkpoint\t{}\n", ckpt.generation));
+            for snap in &ckpt.snapshots {
+                body.push_str(&format!(
+                    "snap\t{}\t{}\t{}\t{}\n",
+                    snap.generation,
+                    snap.ops,
+                    snap.len,
+                    to_hex(snap.checksum)
+                ));
+            }
+        }
         for (name, entry) in &self.entries {
             body.push_str(&format!(
                 "file\t{}\t{}\t{}\n",
@@ -152,19 +245,45 @@ impl Manifest {
         let mut manifest = Manifest {
             version,
             entries: BTreeMap::new(),
+            checkpoint: None,
         };
         for (i, line) in lines {
             let bad = || ManifestError::BadEntry(i + 1);
-            let mut fields = line.splitn(4, '\t');
-            if fields.next() != Some("file") {
-                return Err(bad());
+            let mut fields = line.splitn(5, '\t');
+            match fields.next() {
+                Some("file") => {
+                    let len: u64 = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+                    let sum = fields.next().and_then(from_hex).ok_or_else(bad)?;
+                    let name = fields.next().filter(|n| !n.is_empty()).ok_or_else(bad)?;
+                    manifest
+                        .entries
+                        .insert(name.to_string(), FileEntry { len, checksum: sum });
+                }
+                Some("checkpoint") => {
+                    let generation = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+                    manifest
+                        .checkpoint
+                        .get_or_insert_with(CheckpointMeta::default)
+                        .generation = generation;
+                }
+                Some("snap") => {
+                    let generation = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+                    let ops = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+                    let len = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+                    let sum = fields.next().and_then(from_hex).ok_or_else(bad)?;
+                    manifest
+                        .checkpoint
+                        .get_or_insert_with(CheckpointMeta::default)
+                        .snapshots
+                        .push(SnapshotRef {
+                            generation,
+                            ops,
+                            len,
+                            checksum: sum,
+                        });
+                }
+                _ => return Err(bad()),
             }
-            let len: u64 = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
-            let sum = fields.next().and_then(from_hex).ok_or_else(bad)?;
-            let name = fields.next().filter(|n| !n.is_empty()).ok_or_else(bad)?;
-            manifest
-                .entries
-                .insert(name.to_string(), FileEntry { len, checksum: sum });
         }
         Ok(manifest)
     }
@@ -220,6 +339,46 @@ mod tests {
     #[test]
     fn empty_manifest_round_trips() {
         let m = Manifest::new();
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+    }
+
+    #[test]
+    fn checkpointed_manifest_upgrades_to_v2_and_round_trips() {
+        let mut m = Manifest::new();
+        m.insert("shrink_wrap.odl", b"interface A { }");
+        m.set_checkpoint(CheckpointMeta {
+            generation: 4,
+            snapshots: vec![
+                SnapshotRef {
+                    generation: 3,
+                    ops: 100,
+                    len: 2048,
+                    checksum: 0xdead,
+                },
+                SnapshotRef {
+                    generation: 4,
+                    ops: 150,
+                    len: 2112,
+                    checksum: 0xbeef,
+                },
+            ],
+        });
+        let text = m.render();
+        assert!(text.starts_with("sws-repository v2\n"), "{text}");
+        assert!(text.contains("checkpoint\t4\n"));
+        let parsed = Manifest::parse(&text).unwrap();
+        assert_eq!(parsed, m);
+        let ckpt = parsed.checkpoint.unwrap();
+        assert_eq!(ckpt.tail_start(), 150);
+        assert_eq!(ckpt.newest().unwrap().generation, 4);
+    }
+
+    #[test]
+    fn empty_checkpoint_meta_stays_v1() {
+        let mut m = Manifest::new();
+        m.insert("custom.odl", b"x");
+        m.set_checkpoint(CheckpointMeta::default());
+        assert!(m.render().starts_with("sws-repository v1\n"));
         assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
     }
 }

@@ -60,6 +60,56 @@ pub struct FileDamage {
     pub detail: String,
 }
 
+/// Which layer of the fallback chain actually produced the loaded state.
+///
+/// Ordered fastest-first: newest snapshot + tail, then an older retained
+/// snapshot + a longer tail, then a full replay of the archived log, each
+/// tried only when the previous layer's snapshot fails verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadPath {
+    /// No checkpoint existed: the whole op log was replayed (also the
+    /// path for legacy and never-checkpointed directories).
+    #[default]
+    FullLog,
+    /// The fast path: the newest committed snapshot plus the op-log tail.
+    Snapshot {
+        /// Checkpoint generation of the snapshot used.
+        generation: u64,
+    },
+    /// Degraded: the newest snapshot was damaged; an older retained
+    /// snapshot was used with a correspondingly longer tail.
+    FallbackSnapshot {
+        /// Checkpoint generation of the snapshot used.
+        generation: u64,
+    },
+    /// Degraded: every retained snapshot was damaged; the state was
+    /// rebuilt by replaying the archived log plus the tail from scratch.
+    FallbackFullReplay,
+}
+
+impl LoadPath {
+    /// Did the load have to fall back past the committed fast path?
+    pub fn is_degraded(self) -> bool {
+        matches!(
+            self,
+            LoadPath::FallbackSnapshot { .. } | LoadPath::FallbackFullReplay
+        )
+    }
+
+    fn describe(self) -> String {
+        match self {
+            LoadPath::FullLog => "full op-log replay (no checkpoint)".into(),
+            LoadPath::Snapshot { generation } => {
+                format!("snapshot generation {generation} + tail")
+            }
+            LoadPath::FallbackSnapshot { generation } => {
+                format!("FALLBACK to older snapshot generation {generation} + longer tail")
+            }
+            LoadPath::FallbackFullReplay => "FALLBACK to full replay of the archived log".into(),
+        }
+    }
+}
+
 /// The first op-log record that failed validation or replay.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BadOp {
@@ -87,8 +137,17 @@ pub struct RecoveryReport {
     pub torn_tail: bool,
     /// The first bad op-log record, if any.
     pub first_bad_op: Option<BadOp>,
-    /// Lines moved to `session.ops.quarantine`.
+    /// Lines moved to the quarantine file.
     pub quarantined: usize,
+    /// The numbered quarantine file the lines were moved to
+    /// (`session.ops.quarantine.N`) — successive salvages never overwrite
+    /// earlier forensic evidence.
+    pub quarantine_file: Option<String>,
+    /// Which fallback layer produced the loaded state.
+    pub load_path: LoadPath,
+    /// Ops covered by the snapshot the load started from (0 without one);
+    /// total session ops = `snapshot_ops + ops_replayed`.
+    pub snapshot_ops: u64,
     /// Derived files rewritten from the replayed state during healing.
     pub regenerated: Vec<String>,
     /// The session directory was repaired on disk (quarantine written,
@@ -113,10 +172,19 @@ impl RecoveryReport {
             torn_tail: false,
             first_bad_op: None,
             quarantined: 0,
+            quarantine_file: None,
+            load_path: LoadPath::FullLog,
+            snapshot_ops: 0,
             regenerated: Vec::new(),
             healed: false,
             consistency_findings,
         }
+    }
+
+    /// The load had to fall back past the committed snapshot fast path —
+    /// the state is correct but was rebuilt from a deeper layer.
+    pub fn degraded(&self) -> bool {
+        self.load_path.is_degraded()
     }
 
     /// No damage of any kind was observed.
@@ -128,14 +196,17 @@ impl RecoveryReport {
     }
 
     /// Designer work was actually lost: ops were dropped, or a
-    /// non-derived file (anything but `custom.odl` / `mapping.txt`, which
-    /// replay regenerates exactly) was damaged beyond staleness.
+    /// non-derived file was damaged beyond staleness. `custom.odl` /
+    /// `mapping.txt` (regenerated exactly by replay) and `snapshot.N`
+    /// files (recovered exactly by a deeper fallback layer — a fallback
+    /// that loses ops sets `ops_dropped`) do not count.
     pub fn data_loss(&self) -> bool {
         self.ops_dropped > 0
             || self.damage.iter().any(|d| {
                 d.kind != DamageKind::Stale
                     && d.file != crate::CUSTOM_FILE
                     && d.file != crate::MAPPING_FILE
+                    && !d.file.starts_with("snapshot.")
             })
     }
 
@@ -159,6 +230,15 @@ impl RecoveryReport {
                 d.detail
             ));
         }
+        if self.load_path != LoadPath::FullLog {
+            out.push_str(&format!("  load path: {}\n", self.load_path.describe()));
+        }
+        if self.snapshot_ops > 0 {
+            out.push_str(&format!(
+                "  snapshot: {} op(s) already folded in\n",
+                self.snapshot_ops
+            ));
+        }
         out.push_str(&format!(
             "  op log: {} op(s) replayed, {} dropped{}\n",
             self.ops_replayed,
@@ -176,10 +256,13 @@ impl RecoveryReport {
             ));
         }
         if self.quarantined > 0 {
+            let file = self
+                .quarantine_file
+                .as_deref()
+                .unwrap_or(crate::QUARANTINE_FILE);
             out.push_str(&format!(
-                "  quarantined {} line(s) to {}\n",
-                self.quarantined,
-                crate::QUARANTINE_FILE
+                "  quarantined {} line(s) to {file}\n",
+                self.quarantined
             ));
         }
         if !self.regenerated.is_empty() {
@@ -252,5 +335,49 @@ mod tests {
         assert!(text.contains("torn tail"));
         assert!(text.contains("line 2 (line checksum mismatch)"));
         assert!(text.contains("2 finding(s)"));
+    }
+
+    #[test]
+    fn fallback_paths_are_degraded_and_named() {
+        let mut r = RecoveryReport::clean(ManifestStatus::Ok, 7, 0);
+        assert!(!r.degraded());
+        r.load_path = LoadPath::Snapshot { generation: 2 };
+        r.snapshot_ops = 100;
+        assert!(!r.degraded());
+        assert!(r.render().contains("snapshot generation 2 + tail"));
+        assert!(r.render().contains("100 op(s) already folded in"));
+        r.load_path = LoadPath::FallbackSnapshot { generation: 1 };
+        assert!(r.degraded());
+        assert!(r
+            .render()
+            .contains("FALLBACK to older snapshot generation 1"));
+        r.load_path = LoadPath::FallbackFullReplay;
+        assert!(r.degraded());
+        assert!(r.render().contains("FALLBACK to full replay"));
+    }
+
+    #[test]
+    fn snapshot_damage_alone_is_not_data_loss() {
+        let mut r = RecoveryReport::clean(ManifestStatus::Ok, 3, 0);
+        r.load_path = LoadPath::FallbackSnapshot { generation: 1 };
+        r.damage.push(FileDamage {
+            file: "snapshot.2".into(),
+            kind: DamageKind::ChecksumMismatch,
+            detail: "corrupted".into(),
+        });
+        assert!(!r.is_clean());
+        assert!(!r.data_loss());
+        r.ops_dropped = 1;
+        assert!(r.data_loss());
+    }
+
+    #[test]
+    fn quarantine_render_uses_the_numbered_file() {
+        let mut r = RecoveryReport::clean(ManifestStatus::Ok, 1, 0);
+        r.quarantined = 2;
+        r.quarantine_file = Some("session.ops.quarantine.3".into());
+        assert!(r
+            .render()
+            .contains("quarantined 2 line(s) to session.ops.quarantine.3"));
     }
 }

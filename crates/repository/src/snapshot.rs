@@ -1,0 +1,317 @@
+//! The `snapshot.<generation>` file: a self-checksummed image of the
+//! working schema at a checkpoint, so load becomes snapshot + short tail
+//! instead of a full op-log replay.
+//!
+//! Format (`snapshot.v1`, tab-separated, byte-framed, self-checksummed):
+//!
+//! ```text
+//! sws-snapshot v1
+//! section\tmeta\t<len>\t<checksum-hex16>
+//! <len bytes of meta payload>
+//! section\tworking\t<len>\t<checksum-hex16>
+//! <len bytes of canonical working-schema ODL>
+//! section\tmoves\t<len>\t<checksum-hex16>
+//! <len bytes of move-op lines>
+//! end\t<checksum-hex16 of everything above>
+//! ```
+//!
+//! Every section carries its own SplitMix64 checksum and the trailer
+//! covers the whole file, so a torn or bit-flipped snapshot is detected
+//! before any of it is trusted; the loader then falls back one layer
+//! (previous snapshot, then full-log replay — see `docs/robustness.md`).
+//!
+//! The `meta` payload records the checkpoint `generation` and `ops`, the
+//! number of committed ops the snapshot covers (its global sequence
+//! coverage). The `moves` payload preserves the covered prefix's
+//! `modify_attribute` / `modify_operation` ops verbatim: the shrink-wrap ↔
+//! custom mapping is derived by symbolically replaying exactly those ops,
+//! so a snapshot load must still know them even though the graph ops
+//! themselves are never replayed again.
+
+use std::fmt;
+
+use crate::checksum::{checksum, from_hex, to_hex};
+use sws_core::oplang::print_op;
+use sws_core::{ConceptKind, ModOp};
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// File name of the snapshot at checkpoint `generation`.
+pub fn snapshot_file(generation: u64) -> String {
+    format!("snapshot.{generation}")
+}
+
+/// A parsed (or to-be-written) checkpoint snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Checkpoint generation this snapshot belongs to.
+    pub generation: u64,
+    /// Number of committed ops baked into the image (sequence coverage:
+    /// the tail replays records with sequence numbers `>= ops`).
+    pub ops: u64,
+    /// Canonical extended-ODL text of the working schema at coverage.
+    pub working_odl: String,
+    /// Move ops from the covered prefix, in order, for mapping derivation.
+    pub moves: Vec<(ConceptKind, ModOp)>,
+}
+
+/// Why a snapshot failed to parse or verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Header line absent or malformed.
+    BadHeader,
+    /// The version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// A section is malformed, truncated, or checksum-mismatched.
+    BadSection(String),
+    /// The `end` trailer is missing (torn snapshot) or its checksum does
+    /// not cover the preceding bytes.
+    BadTrailer,
+    /// A required section is absent.
+    MissingSection(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadHeader => f.write_str("malformed snapshot header"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version v{v}")
+            }
+            SnapshotError::BadSection(detail) => write!(f, "malformed snapshot section: {detail}"),
+            SnapshotError::BadTrailer => {
+                f.write_str("snapshot trailer missing or checksum mismatch (torn write?)")
+            }
+            SnapshotError::MissingSection(name) => {
+                write!(f, "snapshot is missing its `{name}` section")
+            }
+        }
+    }
+}
+
+impl Snapshot {
+    /// Render to the on-disk format (self-checksummed).
+    pub fn render(&self) -> String {
+        let mut body = format!("sws-snapshot v{SNAPSHOT_VERSION}\n");
+        let section = |body: &mut String, name: &str, payload: &str| {
+            body.push_str(&format!(
+                "section\t{name}\t{}\t{}\n",
+                payload.len(),
+                to_hex(checksum(payload.as_bytes()))
+            ));
+            body.push_str(payload);
+            body.push('\n');
+        };
+        let meta = format!("generation\t{}\nops\t{}\n", self.generation, self.ops);
+        section(&mut body, "meta", &meta);
+        section(&mut body, "working", &self.working_odl);
+        let mut moves = String::new();
+        for (context, op) in &self.moves {
+            moves.push_str(context.tag());
+            moves.push('\t');
+            moves.push_str(&print_op(op));
+            moves.push('\n');
+        }
+        section(&mut body, "moves", &moves);
+        let trailer = to_hex(checksum(body.as_bytes()));
+        body.push_str(&format!("end\t{trailer}\n"));
+        body
+    }
+
+    /// Parse the on-disk format, verifying the trailer and every section
+    /// checksum. Never panics on arbitrary damaged input.
+    pub fn parse(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        // Trailer first: the final newline-terminated line must be
+        // `end\t<hex>` and must cover every byte before it.
+        let trimmed = bytes.strip_suffix(b"\n").unwrap_or(bytes);
+        let pos = trimmed
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .ok_or(SnapshotError::BadTrailer)?;
+        let (body, trailer_line) = (&bytes[..pos + 1], &trimmed[pos + 1..]);
+        let sum = std::str::from_utf8(trailer_line)
+            .ok()
+            .and_then(|l| l.strip_prefix("end\t"))
+            .and_then(from_hex)
+            .ok_or(SnapshotError::BadTrailer)?;
+        if sum != checksum(body) {
+            return Err(SnapshotError::BadTrailer);
+        }
+
+        // Header.
+        let header_end = body
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or(SnapshotError::BadHeader)?;
+        let version: u32 = std::str::from_utf8(&body[..header_end])
+            .ok()
+            .and_then(|h| h.strip_prefix("sws-snapshot v"))
+            .and_then(|v| v.parse().ok())
+            .ok_or(SnapshotError::BadHeader)?;
+        if version > SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+
+        // Sections, framed by the byte lengths in their headers.
+        let bad = |detail: &str| SnapshotError::BadSection(detail.to_string());
+        let mut generation = None;
+        let mut ops = None;
+        let mut working_odl = None;
+        let mut moves = None;
+        let mut at = header_end + 1;
+        while at < body.len() {
+            let line_end = body[at..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|p| at + p)
+                .ok_or_else(|| bad("truncated section header"))?;
+            let header =
+                std::str::from_utf8(&body[at..line_end]).map_err(|_| bad("non-UTF-8 header"))?;
+            let mut fields = header.splitn(4, '\t');
+            if fields.next() != Some("section") {
+                return Err(bad(&format!("expected a section header, got {header:?}")));
+            }
+            let name = fields.next().ok_or_else(|| bad("missing section name"))?;
+            let len: usize = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| bad("missing section length"))?;
+            let section_sum = fields
+                .next()
+                .and_then(from_hex)
+                .ok_or_else(|| bad("missing section checksum"))?;
+            let start = line_end + 1;
+            let end = start
+                .checked_add(len)
+                .filter(|&e| e < body.len())
+                .ok_or_else(|| bad(&format!("section {name}: payload truncated")))?;
+            let payload = &body[start..end];
+            if checksum(payload) != section_sum {
+                return Err(bad(&format!("section {name}: checksum mismatch")));
+            }
+            if body[end] != b'\n' {
+                return Err(bad(&format!("section {name}: unterminated payload")));
+            }
+            at = end + 1;
+            let text = std::str::from_utf8(payload)
+                .map_err(|_| bad(&format!("section {name}: non-UTF-8 payload")))?;
+            match name {
+                "meta" => {
+                    for line in text.lines() {
+                        match line.split_once('\t') {
+                            Some(("generation", v)) => {
+                                generation =
+                                    Some(v.parse().map_err(|_| bad("malformed generation"))?);
+                            }
+                            Some(("ops", v)) => {
+                                ops = Some(v.parse().map_err(|_| bad("malformed ops count"))?);
+                            }
+                            // Unknown meta keys are forward-compatible.
+                            _ => {}
+                        }
+                    }
+                }
+                "working" => working_odl = Some(text.to_string()),
+                "moves" => {
+                    let mut parsed = Vec::new();
+                    for line in text.lines() {
+                        let record = crate::parse_log_body(line)
+                            .ok_or_else(|| bad(&format!("malformed move record {line:?}")))?;
+                        parsed.push(record);
+                    }
+                    moves = Some(parsed);
+                }
+                // Unknown sections within a known version are tolerated.
+                _ => {}
+            }
+        }
+        Ok(Snapshot {
+            generation: generation.ok_or(SnapshotError::MissingSection("meta"))?,
+            ops: ops.ok_or(SnapshotError::MissingSection("meta"))?,
+            working_odl: working_odl.ok_or(SnapshotError::MissingSection("working"))?,
+            moves: moves.ok_or(SnapshotError::MissingSection("moves"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            generation: 3,
+            ops: 120,
+            working_odl: "interface Person {\n    attribute string name;\n}\n".into(),
+            moves: vec![(
+                ConceptKind::Generalization,
+                ModOp::ModifyAttribute {
+                    ty: "Employee".into(),
+                    name: "badge".into(),
+                    new_ty: "Person".into(),
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let snap = sample();
+        let text = snap.render();
+        assert!(text.starts_with("sws-snapshot v1\n"));
+        let parsed = Snapshot::parse(text.as_bytes()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn empty_moves_and_empty_schema_round_trip() {
+        let snap = Snapshot {
+            generation: 1,
+            ops: 0,
+            working_odl: String::new(),
+            moves: Vec::new(),
+        };
+        assert_eq!(Snapshot::parse(snap.render().as_bytes()).unwrap(), snap);
+    }
+
+    #[test]
+    fn truncation_detected_at_every_cut() {
+        let text = sample().render();
+        // Every proper truncation must fail. The one exception is losing
+        // only the final newline (cut = len - 1): the trailer and every
+        // section are still intact and verifiable, so that parse succeeds.
+        for cut in 0..text.len() - 1 {
+            assert!(
+                Snapshot::parse(&text.as_bytes()[..cut]).is_err(),
+                "cut at {cut} parsed"
+            );
+        }
+        assert!(Snapshot::parse(&text.as_bytes()[..text.len() - 1]).is_ok());
+    }
+
+    #[test]
+    fn bit_flip_detected_everywhere() {
+        let text = sample().render();
+        let bytes = text.as_bytes();
+        for i in 0..bytes.len() {
+            let mut tampered = bytes.to_vec();
+            tampered[i] ^= 0x01;
+            assert!(
+                Snapshot::parse(&tampered).is_err(),
+                "flip at byte {i} parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut snap_text = String::from("sws-snapshot v99\n");
+        let trailer = to_hex(checksum(snap_text.as_bytes()));
+        snap_text.push_str(&format!("end\t{trailer}\n"));
+        assert_eq!(
+            Snapshot::parse(snap_text.as_bytes()),
+            Err(SnapshotError::UnsupportedVersion(99))
+        );
+    }
+}

@@ -109,7 +109,7 @@ fn crash_sweep_append() {
     pre.save_with(&base, dir()).unwrap();
 
     let probe = FaultIo::new(base.snapshot());
-    append_log_line(&probe, dir(), context, &op).unwrap();
+    append_log_line(&probe, dir(), pre.total_ops(), context, &op).unwrap();
     let steps = probe.steps_taken();
     assert_eq!(steps, 2, "append is one write + one sync");
 
@@ -117,7 +117,7 @@ fn crash_sweep_append() {
         let disk = base.snapshot();
         let io = FaultIo::new(disk.clone());
         io.crash_at(k);
-        assert!(append_log_line(&io, dir(), context, &op).is_err());
+        assert!(append_log_line(&io, dir(), pre.total_ops(), context, &op).is_err());
         disk.post_crash(k + 11);
         let (loaded, report) = salvage(&disk);
         assert_pre_or_post(&loaded, &pre, &post, &format!("append crash at step {k}"));
@@ -139,7 +139,7 @@ fn committed_append_is_durable() {
 
     let disk = MemIo::new();
     pre.save_with(&disk, dir()).unwrap();
-    append_log_line(&disk, dir(), context, &op).unwrap();
+    append_log_line(&disk, dir(), pre.total_ops(), context, &op).unwrap();
     // Power loss with nothing in flight: the append already fsynced.
     disk.post_crash(99);
     let (loaded, _) = salvage(&disk);
@@ -177,6 +177,139 @@ fn crash_sweep_initial_save() {
             }
         }
     }
+}
+
+/// Sweep every crash point of a checkpoint: snapshot write, archive
+/// append, derived-file + MANIFEST commit, tail truncation, and snapshot
+/// pruning. A checkpoint only moves bytes between files — every crash
+/// point must reload as exactly the same session, with no ops lost, and a
+/// retried checkpoint must then converge.
+#[test]
+fn crash_sweep_checkpoint() {
+    let repo = university_repo(5);
+    let base = MemIo::new();
+    repo.save_with(&base, dir()).unwrap();
+
+    let probe = FaultIo::new(base.snapshot());
+    repo.clone()
+        .checkpoint_with(&probe, dir())
+        .unwrap()
+        .expect("five ops to cover");
+    let steps = probe.steps_taken();
+    assert!(steps > 10, "suspiciously few micro-steps: {steps}");
+
+    for k in 0..steps {
+        let disk = base.snapshot();
+        let io = FaultIo::new(disk.clone());
+        io.crash_at(k);
+        assert!(
+            repo.clone().checkpoint_with(&io, dir()).is_err(),
+            "crash at step {k} must surface"
+        );
+        disk.post_crash(k.wrapping_mul(0x5BD1) + 7);
+        let (loaded, report) = salvage(&disk);
+        assert!(
+            diff_graphs(loaded.workspace().working(), repo.workspace().working()).is_empty(),
+            "checkpoint crash at step {k} changed the schema"
+        );
+        assert!(!report.data_loss(), "step {k}: {report:?}");
+        assert_eq!(loaded.total_ops(), 5, "step {k} lost committed ops");
+        // Healing is idempotent: the next load is clean.
+        if report.healed {
+            let (_, report2) = salvage(&disk);
+            assert!(report2.is_clean(), "step {k}: {report2:?}");
+        }
+        // And the interrupted checkpoint can simply be retried.
+        let (mut retry, _) = salvage(&disk);
+        retry.checkpoint_with(&disk, dir()).unwrap();
+        let (settled, report3) = salvage(&disk);
+        assert!(report3.is_clean(), "step {k}: {report3:?}");
+        assert!(diff_graphs(settled.workspace().working(), repo.workspace().working()).is_empty());
+        assert_eq!(settled.total_ops(), 5);
+    }
+}
+
+/// Sweep a transient I/O error (ENOSPC-style) through every micro-step of
+/// a checkpoint: the directory stays loadable with all ops intact whether
+/// the error hit before or after the MANIFEST commit point.
+#[test]
+fn io_error_sweep_checkpoint() {
+    let repo = university_repo(4);
+    let base = MemIo::new();
+    repo.save_with(&base, dir()).unwrap();
+
+    let probe = FaultIo::new(base.snapshot());
+    repo.clone().checkpoint_with(&probe, dir()).unwrap();
+    let steps = probe.steps_taken();
+
+    for k in 0..steps {
+        let disk = base.snapshot();
+        let io = FaultIo::new(disk.clone());
+        io.error_at(k);
+        // Errors before the MANIFEST rename abort the checkpoint; errors
+        // in the cleanup afterwards surface even though the generation
+        // committed. Either way no committed state may be harmed.
+        let _ = repo.clone().checkpoint_with(&io, dir());
+        let (loaded, report) = salvage(&disk);
+        assert!(
+            diff_graphs(loaded.workspace().working(), repo.workspace().working()).is_empty(),
+            "checkpoint error at step {k} changed the schema"
+        );
+        assert!(!report.data_loss(), "step {k}: {report:?}");
+        assert_eq!(loaded.total_ops(), 4, "step {k} lost committed ops");
+        // The error was transient: a retried checkpoint converges.
+        io.clear_fault();
+        let (mut retry, _) = salvage(&disk);
+        retry.checkpoint_with(&io, dir()).unwrap();
+        let (settled, report2) = salvage(&disk);
+        assert!(report2.is_clean(), "step {k}: {report2:?}");
+        assert_eq!(settled.total_ops(), 4);
+    }
+}
+
+/// Sweep every crash point of the append that follows a checkpoint: the
+/// tail restarts at the snapshot's coverage, and a torn first tail record
+/// must roll back to the checkpointed state, never corrupt it.
+#[test]
+fn crash_sweep_append_after_checkpoint() {
+    let pre = university_repo(4);
+    let post = university_repo(5);
+    let (context, op) = parse_pair(sws_corpus::university::DESIGN_SCRIPT[4]);
+
+    let base = MemIo::new();
+    let mut saved = pre.clone();
+    saved.save_with(&base, dir()).unwrap();
+    saved.checkpoint_with(&base, dir()).unwrap().unwrap();
+
+    for k in 0..2 {
+        let disk = base.snapshot();
+        let io = FaultIo::new(disk.clone());
+        io.crash_at(k);
+        assert!(append_log_line(&io, dir(), saved.total_ops(), context, &op).is_err());
+        disk.post_crash(k + 17);
+        let (loaded, report) = salvage(&disk);
+        assert_pre_or_post(
+            &loaded,
+            &pre,
+            &post,
+            &format!("post-checkpoint append crash at step {k}"),
+        );
+        assert!(!report.degraded(), "step {k}: {report:?}");
+    }
+
+    // The committed post-checkpoint append is durable and loads via the
+    // snapshot fast path.
+    append_log_line(&base, dir(), saved.total_ops(), context, &op).unwrap();
+    let (loaded, report) = salvage(&base);
+    assert!(diff_graphs(loaded.workspace().working(), post.workspace().working()).is_empty());
+    assert_eq!(loaded.total_ops(), 5);
+    assert!(
+        matches!(
+            report.load_path,
+            sws_repository::LoadPath::Snapshot { generation: 1 }
+        ),
+        "{report:?}"
+    );
 }
 
 /// A transient I/O error (disk full) during save must leave the directory
@@ -235,7 +368,7 @@ mod props {
             let use_append = seed % 2 == 0;
             let probe = FaultIo::new(base.snapshot());
             if use_append {
-                append_log_line(&probe, dir(), context, &op).unwrap();
+                append_log_line(&probe, dir(), pre.total_ops(), context, &op).unwrap();
             } else {
                 post.save_with(&probe, dir()).unwrap();
             }
@@ -246,7 +379,7 @@ mod props {
             let io = FaultIo::new(disk.clone());
             io.crash_at(k);
             let result = if use_append {
-                append_log_line(&io, dir(), context, &op)
+                append_log_line(&io, dir(), pre.total_ops(), context, &op)
             } else {
                 post.save_with(&io, dir())
             };
@@ -261,6 +394,47 @@ mod props {
                 "prefix {} step {} append={}: neither pre nor post",
                 prefix, k, use_append
             );
+        }
+
+        /// Randomized checkpoint crash sweep: any design-script prefix,
+        /// any crash step inside the checkpoint, any page-cache-loss
+        /// seed — the reload keeps every committed op and the exact
+        /// schema, and a retried checkpoint converges to a clean
+        /// directory.
+        #[test]
+        fn random_checkpoint_crash_never_loses_ops(
+            prefix in 1usize..8,
+            step_pick in 0u64..1000,
+            seed in 0u64..u64::MAX,
+        ) {
+            let repo = university_repo(prefix);
+            let base = MemIo::new();
+            repo.save_with(&base, dir()).unwrap();
+
+            let probe = FaultIo::new(base.snapshot());
+            repo.clone().checkpoint_with(&probe, dir()).unwrap();
+            let steps = probe.steps_taken();
+            let k = step_pick % steps;
+
+            let disk = base.snapshot();
+            let io = FaultIo::new(disk.clone());
+            io.crash_at(k);
+            prop_assert!(repo.clone().checkpoint_with(&io, dir()).is_err());
+            disk.post_crash(seed);
+
+            let (loaded, report) = salvage(&disk);
+            prop_assert!(
+                diff_graphs(loaded.workspace().working(), repo.workspace().working()).is_empty(),
+                "prefix {} step {}: schema changed", prefix, k
+            );
+            prop_assert!(!report.data_loss(), "prefix {} step {}: {:?}", prefix, k, report);
+            prop_assert_eq!(loaded.total_ops() as usize, prefix);
+
+            let (mut retry, _) = salvage(&disk);
+            retry.checkpoint_with(&disk, dir()).unwrap();
+            let (settled, report2) = salvage(&disk);
+            prop_assert!(report2.is_clean(), "prefix {} step {}: {:?}", prefix, k, report2);
+            prop_assert_eq!(settled.total_ops() as usize, prefix);
         }
     }
 }

@@ -13,8 +13,8 @@ use sws_core::{ConceptKind, ModOp};
 use sws_model::diff_graphs;
 use sws_repository::io::{MemIo, RepoIo};
 use sws_repository::{
-    DamageKind, LoadMode, ManifestStatus, RecoveryReport, Repository, CUSTOM_FILE, MAPPING_FILE,
-    QUARANTINE_FILE, SESSION_FILE,
+    DamageKind, LoadMode, LoadPath, ManifestStatus, RecoveryReport, Repository, CUSTOM_FILE,
+    MAPPING_FILE, QUARANTINE_FILE, SESSION_FILE,
 };
 
 const DIR: &str = "/session";
@@ -99,8 +99,13 @@ fn truncated_op_log_tail() {
         .all(|d| d.kind == DamageKind::Stale || d.kind == DamageKind::ChecksumMismatch));
     assert_same_graph(&loaded, &university_repo(3));
 
-    // The torn bytes are preserved for forensics, then the dir is clean.
-    let quarantine = String::from_utf8(file(&disk, QUARANTINE_FILE)).unwrap();
+    // The torn bytes are preserved for forensics — in a numbered file
+    // successive salvages never overwrite — then the dir is clean.
+    assert_eq!(
+        report.quarantine_file.as_deref(),
+        Some(format!("{QUARANTINE_FILE}.1").as_str())
+    );
+    let quarantine = String::from_utf8(file(&disk, &format!("{QUARANTINE_FILE}.1"))).unwrap();
     assert!(quarantine.contains("quarantined 1 line(s)"));
     let (again, report2) = salvage(&disk);
     assert!(report2.is_clean(), "healing left damage: {report2:?}");
@@ -213,7 +218,7 @@ fn corrupt_record_mid_file_quarantines_the_rest() {
     assert_same_graph(&loaded, &university_repo(1));
 
     // All four dropped lines land in quarantine, including the valid tail.
-    let quarantine = String::from_utf8(file(&disk, QUARANTINE_FILE)).unwrap();
+    let quarantine = String::from_utf8(file(&disk, &format!("{QUARANTINE_FILE}.1"))).unwrap();
     assert_eq!(
         quarantine.lines().filter(|l| !l.starts_with('#')).count(),
         4
@@ -229,12 +234,13 @@ fn corrupt_record_mid_file_quarantines_the_rest() {
 fn legacy_directory_reports_missing_manifest_only() {
     let disk = saved_disk(3);
     disk.remove(&dir().join(sws_repository::MANIFEST_FILE));
-    // Strip the per-line checksums to the v0 format.
+    // Strip the per-line checksums and sequence numbers to the v0 format.
     let log = String::from_utf8(file(&disk, SESSION_FILE)).unwrap();
     let v0: String = log
         .lines()
         .map(|l| {
             let (_, rest) = l.split_once('\t').unwrap();
+            let (_, rest) = rest.split_once('\t').unwrap();
             format!("{rest}\n")
         })
         .collect();
@@ -243,9 +249,160 @@ fn legacy_directory_reports_missing_manifest_only() {
 
     let (loaded, report) = salvage(&disk);
     assert_eq!(report.manifest, ManifestStatus::Missing);
+    assert_eq!(report.load_path, LoadPath::FullLog);
     assert_eq!(report.ops_replayed, 3);
     assert_eq!(report.ops_dropped, 0);
     assert!(report.damage.is_empty(), "{:?}", report.damage);
     assert!(!report.data_loss());
     assert_same_graph(&loaded, &university_repo(3));
+}
+
+// --- layered snapshot fallback ---------------------------------------------
+
+/// A disk with two retained checkpoint generations and a live tail:
+/// gen 1 covers ops 0..3, gen 2 covers ops 0..5, tail holds seqs 5 and 6.
+fn checkpointed_disk() -> (MemIo, Repository) {
+    let disk = MemIo::new();
+    let mut repo = Repository::ingest(sws_corpus::university::graph());
+    let apply_range = |repo: &mut Repository, range: std::ops::Range<usize>| {
+        for i in range {
+            let (context, op) = parse_pair(sws_corpus::university::DESIGN_SCRIPT[i]);
+            repo.workspace_mut().apply(context, op).unwrap();
+        }
+    };
+    apply_range(&mut repo, 0..3);
+    repo.save_with(&disk, dir()).unwrap();
+    repo.checkpoint_with(&disk, dir()).unwrap().unwrap();
+    apply_range(&mut repo, 3..5);
+    repo.save_with(&disk, dir()).unwrap();
+    repo.checkpoint_with(&disk, dir()).unwrap().unwrap();
+    apply_range(&mut repo, 5..7);
+    repo.save_with(&disk, dir()).unwrap();
+    (disk, repo)
+}
+
+fn flip_byte(disk: &MemIo, name: &str) {
+    let path = dir().join(name);
+    let mut bytes = disk.read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    disk.write_atomic(&path, &bytes).unwrap();
+}
+
+/// Golden dir 5: the newest snapshot is corrupt. Salvage falls back one
+/// generation — the older snapshot plus a longer tail from the archive —
+/// and recovers every op; strict refuses outright.
+#[test]
+fn corrupt_newest_snapshot_falls_back_one_generation() {
+    let (disk, repo) = checkpointed_disk();
+    flip_byte(&disk, "snapshot.2");
+
+    assert!(Repository::load_with(&disk, dir(), LoadMode::Strict).is_err());
+
+    let (loaded, report) = salvage(&disk);
+    assert_eq!(
+        report.load_path,
+        LoadPath::FallbackSnapshot { generation: 1 }
+    );
+    assert!(report.degraded());
+    assert!(!report.data_loss(), "{report:?}");
+    assert_eq!(report.snapshot_ops, 3);
+    assert_eq!(report.ops_replayed, 4, "seqs 3..7 from archive + tail");
+    assert_eq!(loaded.total_ops(), 7);
+    assert_same_graph(&loaded, &repo);
+    assert!(report
+        .damage
+        .iter()
+        .any(|d| d.file == "snapshot.2" && d.kind == DamageKind::ChecksumMismatch));
+
+    // Healing dropped the damaged generation; the next load takes the
+    // surviving snapshot's fast path and is clean.
+    let (again, report2) = salvage(&disk);
+    assert!(report2.is_clean(), "{report2:?}");
+    assert_eq!(report2.load_path, LoadPath::Snapshot { generation: 1 });
+    assert_same_graph(&again, &repo);
+}
+
+/// Golden dir 6: the newest snapshot AND a tail record are damaged. The
+/// fallback layer recovers everything the archive holds; only the op
+/// behind the bad tail record is lost — and reported.
+#[test]
+fn corrupt_snapshot_and_tail_loses_only_the_bad_tail() {
+    let (disk, _) = checkpointed_disk();
+    flip_byte(&disk, "snapshot.2");
+    // Corrupt the tail's second record (global seq 6) by flipping the
+    // first checksum character.
+    let log = String::from_utf8(file(&disk, SESSION_FILE)).unwrap();
+    let mut lines: Vec<String> = log.lines().map(str::to_string).collect();
+    assert_eq!(lines.len(), 2, "tail holds seqs 5 and 6");
+    let flipped = if lines[1].starts_with('0') { "f" } else { "0" };
+    lines[1].replace_range(..1, flipped);
+    let rewritten = lines.join("\n") + "\n";
+    disk.write_atomic(&dir().join(SESSION_FILE), rewritten.as_bytes())
+        .unwrap();
+
+    let (loaded, report) = salvage(&disk);
+    assert_eq!(
+        report.load_path,
+        LoadPath::FallbackSnapshot { generation: 1 }
+    );
+    assert!(report.degraded());
+    assert!(report.data_loss());
+    assert_eq!(report.snapshot_ops, 3);
+    assert_eq!(report.ops_replayed, 3, "archive seqs 3,4 + tail seq 5");
+    assert_eq!(report.ops_dropped, 1);
+    assert_same_graph(&loaded, &university_repo(6));
+
+    let (_, report2) = salvage(&disk);
+    assert!(report2.is_clean(), "{report2:?}");
+}
+
+/// Golden dir 7: every retained snapshot is corrupt. The last layer —
+/// full replay of the archived log plus the tail — still recovers the
+/// complete session with zero loss.
+#[test]
+fn all_snapshots_corrupt_fall_back_to_full_replay() {
+    let (disk, repo) = checkpointed_disk();
+    flip_byte(&disk, "snapshot.1");
+    flip_byte(&disk, "snapshot.2");
+
+    let (loaded, report) = salvage(&disk);
+    assert_eq!(report.load_path, LoadPath::FallbackFullReplay);
+    assert!(report.degraded());
+    assert!(!report.data_loss(), "{report:?}");
+    assert_eq!(report.snapshot_ops, 0);
+    assert_eq!(report.ops_replayed, 7);
+    assert_eq!(loaded.total_ops(), 7);
+    assert_same_graph(&loaded, &repo);
+
+    let (again, report2) = salvage(&disk);
+    assert!(report2.is_clean(), "{report2:?}");
+    assert_same_graph(&again, &repo);
+}
+
+/// Successive salvages write `session.ops.quarantine.1`, `.2`, … — later
+/// damage never overwrites earlier forensic evidence.
+#[test]
+fn successive_salvages_number_their_quarantine_files() {
+    let disk = saved_disk(3);
+    disk.append_sync(&dir().join(SESSION_FILE), b"garbage\n")
+        .unwrap();
+    let (_, report) = salvage(&disk);
+    assert_eq!(
+        report.quarantine_file.as_deref(),
+        Some(format!("{QUARANTINE_FILE}.1").as_str())
+    );
+
+    disk.append_sync(&dir().join(SESSION_FILE), b"more garbage\n")
+        .unwrap();
+    let (_, report2) = salvage(&disk);
+    assert_eq!(
+        report2.quarantine_file.as_deref(),
+        Some(format!("{QUARANTINE_FILE}.2").as_str())
+    );
+    assert!(disk.exists(&dir().join(format!("{QUARANTINE_FILE}.1"))));
+    assert!(disk.exists(&dir().join(format!("{QUARANTINE_FILE}.2"))));
+
+    let (_, report3) = salvage(&disk);
+    assert!(report3.is_clean(), "{report3:?}");
 }

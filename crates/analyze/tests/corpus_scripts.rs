@@ -1,0 +1,65 @@
+//! The op scripts under `crates/corpus/scripts/` are what CI feeds to
+//! `swsd lint`. Two invariants keep them honest:
+//!
+//! * `university.odl` is a byte copy of `sws_corpus::university::SOURCE`,
+//!   so the on-disk schema can never drift from the in-crate one.
+//! * Every `<name>.<context>.ops` script parses, lints clean in the
+//!   context named by its filename, and replays clean through the
+//!   executor — CI green means the scripts are genuinely valid, not just
+//!   unexercised.
+
+use std::path::PathBuf;
+use sws_analyze::analyze_script;
+use sws_core::{ConceptKind, Workspace};
+
+fn scripts_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../corpus/scripts")
+}
+
+#[test]
+fn on_disk_schema_matches_the_corpus_source() {
+    let disk = std::fs::read_to_string(scripts_dir().join("university.odl"))
+        .expect("crates/corpus/scripts/university.odl exists");
+    assert_eq!(
+        disk,
+        sws_corpus::university::SOURCE.trim_start_matches('\n'),
+        "university.odl drifted from sws_corpus::university::SOURCE"
+    );
+}
+
+#[test]
+fn every_corpus_script_lints_clean_in_its_named_context() {
+    let g = sws_corpus::university::graph();
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(scripts_dir()).expect("scripts dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("ops") {
+            continue;
+        }
+        seen += 1;
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("utf8 stem");
+        let tag = stem.rsplit('.').next().expect("non-empty stem");
+        let context = ConceptKind::from_tag(tag)
+            .unwrap_or_else(|| panic!("{stem}: unknown context tag {tag:?}"));
+        let src = std::fs::read_to_string(&path).expect("readable script");
+
+        let report = analyze_script(&g, &g, context, &src)
+            .unwrap_or_else(|e| panic!("{stem}: parse error: {e}"));
+        assert!(
+            report.is_clean(),
+            "{stem}: expected a clean lint, got {report:?}"
+        );
+
+        let script = sws_core::parse_script(&src)
+            .expect("parsed once already")
+            .into_iter()
+            .map(|op| (context, op));
+        let mut ws = Workspace::new(g.clone());
+        ws.replay(script)
+            .unwrap_or_else(|(i, e)| panic!("{stem}: executor rejected op #{i}: {e}"));
+    }
+    assert!(seen >= 4, "expected at least 4 .ops scripts, found {seen}");
+}

@@ -1,0 +1,69 @@
+//! Static-analyzer cost: `sws_analyze::analyze_ops` must be O(script),
+//! not O(graph) — the abstract interpreter overlays a copy-on-write
+//! environment over the base schema and never clones or mutates it.
+//!
+//! Two sweeps make the claim measurable:
+//!
+//! * `fixed_script/typesN` — a 64-op stream (adds/deletes; no extent ops,
+//!   whose uniqueness precondition scans live types in the executor and
+//!   analyzer alike) analyzed against graphs of growing size. Per-op cost
+//!   should stay flat as N grows.
+//! * `fixed_graph/opsN` — growing scripts against one 200-type graph.
+//!   Total cost should grow linearly in script length.
+//!
+//! Graph sizes default to 100 / 500 / 2000 (override `SWS_BENCH_SIZES`);
+//! iterations via `SWS_BENCH_ITERS`.
+
+use sws_analyze::analyze_ops;
+use sws_bench::edit_scripts::{edit_stream, faulty_stream};
+use sws_bench::timing::Runner;
+use sws_corpus::synthetic::SyntheticSpec;
+
+const SEED: u64 = 17;
+
+fn sizes() -> Vec<usize> {
+    let parsed: Vec<usize> = std::env::var("SWS_BENCH_SIZES")
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        vec![100, 500, 2000]
+    } else {
+        parsed
+    }
+}
+
+fn main() {
+    let mut runner = Runner::new("lint");
+
+    // Graph-size sweep, fixed 64-op script.
+    for &n in &sizes() {
+        let g = SyntheticSpec::sized(n, SEED).generate();
+        let script = edit_stream(&g, 64, SEED);
+        runner.bench(&format!("fixed_script/types{n}"), || {
+            let report = analyze_ops(&g, &g, &script);
+            assert!(report.passes());
+            report.findings.len()
+        });
+    }
+
+    // Script-length sweep, fixed 200-type graph; adversarial streams keep
+    // the warning/def-use machinery engaged too.
+    let g = SyntheticSpec::sized(200, SEED).generate();
+    for len in [16usize, 64, 256] {
+        let script = edit_stream(&g, len, SEED);
+        runner.bench(&format!("fixed_graph/ops{len}"), || {
+            analyze_ops(&g, &g, &script).findings.len()
+        });
+    }
+    let faulty = faulty_stream(&g, 64, SEED);
+    runner.bench("fixed_graph/faulty64", || {
+        analyze_ops(&g, &g, &faulty).findings.len()
+    });
+
+    runner.finish();
+}

@@ -10,7 +10,7 @@
 use sws_core::{ConceptKind, ModOp};
 use sws_corpus::rng::SplitMix64;
 use sws_model::SchemaGraph;
-use sws_odl::{DomainType, Param};
+use sws_odl::{Cardinality, CollectionKind, DomainType, Param};
 
 /// Generate `count` operations valid against `g` (see module docs).
 /// Deterministic in `(g, count, seed)`.
@@ -101,6 +101,121 @@ pub fn churn_stream(g: &SchemaGraph, count: usize, seed: u64) -> Vec<(ConceptKin
     ops
 }
 
+/// Generate `count` ops where roughly half are *faults*: references to
+/// phantom types and members, duplicate definitions, stale `old` values,
+/// context-forbidden ops, self-referential supertypes, order-by lists
+/// naming ghost attributes, unsolicited deletes of live types (poisoning
+/// every later reference to them), and dangling order-by relationships.
+/// The stream exercises every diagnostic class of `sws-analyze`; the
+/// differential suite replays it against a real `Workspace` and demands
+/// the analyzer predict the exact first rejection. Deterministic in
+/// `(g, count, seed)`.
+pub fn faulty_stream(g: &SchemaGraph, count: usize, seed: u64) -> Vec<(ConceptKind, ModOp)> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let type_names: Vec<String> = g.types().map(|(_, n)| n.name.to_string()).collect();
+    let attrs: Vec<(String, String)> = g
+        .types()
+        .flat_map(|(_, n)| {
+            n.attrs
+                .iter()
+                .map(|&a| (n.name.to_string(), g.attr(a).name.to_string()))
+        })
+        .collect();
+    let mut ops = Vec::with_capacity(count);
+    for fresh in 0..count {
+        let t = type_names[rng.range_usize(0, type_names.len())].clone();
+        let u = type_names[rng.range_usize(0, type_names.len())].clone();
+        let (context, op) = match rng.range_u32(0, 10) {
+            // Valid ops keep the accepted prefix interesting.
+            0 => (
+                ConceptKind::WagonWheel,
+                ModOp::AddTypeDefinition {
+                    ty: format!("FaultGen_{seed}_{fresh}"),
+                },
+            ),
+            1 => (
+                ConceptKind::WagonWheel,
+                ModOp::AddAttribute {
+                    ty: t,
+                    domain: DomainType::Long,
+                    size: None,
+                    name: format!("fault_attr_{seed}_{fresh}"),
+                },
+            ),
+            // Phantom type reference.
+            2 => (
+                ConceptKind::WagonWheel,
+                ModOp::AddAttribute {
+                    ty: format!("Phantom_{seed}_{fresh}"),
+                    domain: DomainType::Long,
+                    size: None,
+                    name: format!("fault_attr_{seed}_{fresh}"),
+                },
+            ),
+            // Duplicate type definition.
+            3 => (ConceptKind::WagonWheel, ModOp::AddTypeDefinition { ty: t }),
+            // Phantom member.
+            4 => (
+                ConceptKind::WagonWheel,
+                ModOp::DeleteAttribute {
+                    ty: t,
+                    name: format!("no_such_attr_{seed}_{fresh}"),
+                },
+            ),
+            // Stale `old` value on a real attribute (the corpus never uses
+            // `unsigned_short`, so `old` cannot match).
+            5 if !attrs.is_empty() => {
+                let (ty, name) = attrs[rng.range_usize(0, attrs.len())].clone();
+                (
+                    ConceptKind::WagonWheel,
+                    ModOp::ModifyAttributeType {
+                        ty,
+                        name,
+                        old: DomainType::UShort,
+                        new: DomainType::Long,
+                    },
+                )
+            }
+            // Context-forbidden op (Table 1).
+            6 => (
+                ConceptKind::WagonWheel,
+                ModOp::AddSupertype {
+                    ty: t,
+                    supertype: u,
+                },
+            ),
+            // Self-referential supertype in the permitted context.
+            7 => (
+                ConceptKind::Generalization,
+                ModOp::AddSupertype {
+                    ty: t.clone(),
+                    supertype: t,
+                },
+            ),
+            // Valid delete of a live type: every later op naming it
+            // becomes a use-after-delete the analyzer must predict.
+            8 => (
+                ConceptKind::WagonWheel,
+                ModOp::DeleteTypeDefinition { ty: t },
+            ),
+            // Relationship whose order-by names a ghost attribute.
+            _ => (
+                ConceptKind::WagonWheel,
+                ModOp::AddRelationship {
+                    ty: t,
+                    target: u,
+                    cardinality: Cardinality::Many(CollectionKind::Set),
+                    path: format!("fault_rel_{seed}_{fresh}"),
+                    inverse_path: format!("fault_rel_inv_{seed}_{fresh}"),
+                    order_by: vec![format!("ghost_attr_{seed}_{fresh}")],
+                },
+            ),
+        };
+        ops.push((context, op));
+    }
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +245,24 @@ mod tests {
         for (context, op) in stream {
             ws.apply(context, op).unwrap();
         }
+    }
+
+    #[test]
+    fn faulty_stream_is_deterministic_and_actually_faulty() {
+        let g = SyntheticSpec::sized(20, 3).generate();
+        assert_eq!(faulty_stream(&g, 32, 11), faulty_stream(&g, 32, 11));
+        assert_ne!(faulty_stream(&g, 32, 11), faulty_stream(&g, 32, 12));
+
+        // A long-enough stream is guaranteed to trip the executor.
+        let mut ws = Workspace::new(g.clone());
+        let mut rejected = false;
+        for (context, op) in faulty_stream(&g, 32, 11) {
+            if ws.apply(context, op).is_err() {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "faulty stream never tripped the executor");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!
 //! See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured results.
+#![forbid(unsafe_code)]
 
 pub mod case_study;
 pub mod edit_scripts;

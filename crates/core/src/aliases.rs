@@ -51,6 +51,8 @@ impl std::error::Error for AliasError {}
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AliasTable {
     /// canonical type name → local type name.
+    // swslint: allow(string-keys): aliases are the designer's vocabulary,
+    // not schema names — they never cross the Symbol boundary.
     types: BTreeMap<String, String>,
     /// (canonical type, canonical member) → local member name.
     members: BTreeMap<(String, String), String>,

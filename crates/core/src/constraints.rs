@@ -20,7 +20,7 @@
 
 use crate::ops::ModOp;
 use std::fmt;
-use sws_model::{query, QueryCache, SchemaGraph, Symbol, TypeId};
+use sws_model::{CachedView, QueryCache, SchemaGraph, SchemaView, Symbol, TypeId};
 use sws_odl::{DomainType, HierKind, Key};
 
 /// Render an order-by list of interned symbols for a violation message.
@@ -259,25 +259,45 @@ pub fn check_preconditions_cached(
     qc_working: &QueryCache,
     qc_shrink: &QueryCache,
 ) -> Vec<ConstraintViolation> {
+    let view = CachedView {
+        g: working,
+        qc: qc_working,
+    };
+    check_preconditions_view(op, &view, shrink_wrap, qc_shrink)
+}
+
+/// The generic core of the checker: every precondition of `op` judged
+/// against an arbitrary [`SchemaView`] of the working state. The executor
+/// calls it through [`check_preconditions_cached`] with a
+/// [`CachedView`]; `sws-analyze` calls it with its abstract overlay state,
+/// so the static analyzer runs the *same* checks the apply pipeline does —
+/// soundness by construction, not by reimplementation.
+///
+/// The shrink-wrap side stays concrete: it is immutable during both real
+/// application and analysis, so it never needs the abstraction.
+pub fn check_preconditions_view<V: SchemaView>(
+    op: &ModOp,
+    working: &V,
+    shrink_wrap: &SchemaGraph,
+    qc_shrink: &QueryCache,
+) -> Vec<ConstraintViolation> {
     let mut v = Vec::new();
     let ctx = Ctx {
         g: working,
         sw: shrink_wrap,
-        qc: qc_working,
         qc_sw: qc_shrink,
     };
     ctx.check(op, &mut v);
     v
 }
 
-struct Ctx<'a> {
-    g: &'a SchemaGraph,
+struct Ctx<'a, V: SchemaView> {
+    g: &'a V,
     sw: &'a SchemaGraph,
-    qc: &'a QueryCache,
     qc_sw: &'a QueryCache,
 }
 
-impl<'a> Ctx<'a> {
+impl<'a, V: SchemaView> Ctx<'a, V> {
     fn require(&self, name: &str, v: &mut Vec<ConstraintViolation>) -> Option<TypeId> {
         match self.g.type_id(name) {
             Some(id) => Some(id),
@@ -299,7 +319,7 @@ impl<'a> Ctx<'a> {
         let ok = match (self.sw.type_id(from), self.sw.type_id(to)) {
             (Some(a), Some(b)) => self.qc_sw.on_same_generalization_path(self.sw, a, b),
             _ => match (self.g.type_id(from), self.g.type_id(to)) {
-                (Some(a), Some(b)) => self.qc.on_same_generalization_path(self.g, a, b),
+                (Some(a), Some(b)) => self.g.on_same_generalization_path(a, b),
                 _ => return, // unknown types reported elsewhere
             },
         };
@@ -331,7 +351,7 @@ impl<'a> Ctx<'a> {
         }
         // Ancestors: operations may override operations; nothing else may
         // shadow anything.
-        for &anc in self.qc.ancestors(self.g, ty).iter() {
+        for &anc in self.g.ancestors(ty).iter() {
             if let Some(their_op) = member_is_op(self.g, anc, name) {
                 if !(is_op && their_op) {
                     v.push(ConstraintViolation::InheritedConflict {
@@ -345,7 +365,7 @@ impl<'a> Ctx<'a> {
         }
         // Descendants: a new non-operation member must not be shadowed by /
         // shadow existing descendant members.
-        for &desc in self.qc.descendants(self.g, ty).iter() {
+        for &desc in self.g.descendants(ty).iter() {
             if let Some(their_op) = member_is_op(self.g, desc, name) {
                 if !(is_op && their_op) {
                     v.push(ConstraintViolation::InheritedConflict {
@@ -363,8 +383,8 @@ impl<'a> Ctx<'a> {
         for attr in attrs {
             let visible = self.g.find_attr(ty, attr).is_some()
                 || self
-                    .qc
-                    .ancestors(self.g, ty)
+                    .g
+                    .ancestors(ty)
                     .iter()
                     .any(|&anc| self.g.find_attr(anc, attr).is_some());
             if !visible {
@@ -423,7 +443,7 @@ impl<'a> Ctx<'a> {
                         sup: supertype.clone(),
                     });
                 }
-                if self.qc.is_ancestor(self.g, sub, sup) {
+                if self.g.is_ancestor(sub, sup) {
                     v.push(ConstraintViolation::GeneralizationCycle {
                         sub: ty.clone(),
                         sup: supertype.clone(),
@@ -476,11 +496,11 @@ impl<'a> Ctx<'a> {
                         continue;
                     }
                     // A cycle through an edge not being removed.
-                    if self.qc.is_ancestor(self.g, sub, sup)
+                    if self.g.is_ancestor(sub, sup)
                         && !old.iter().any(|o| {
                             self.g
                                 .type_id(o)
-                                .map(|oid| self.qc.is_ancestor(self.g, oid, sup) || oid == sup)
+                                .map(|oid| self.g.is_ancestor(oid, sup) || oid == sup)
                                 .unwrap_or(false)
                         })
                     {
@@ -503,7 +523,7 @@ impl<'a> Ctx<'a> {
                 }
                 if self
                     .g
-                    .types()
+                    .types_iter()
                     .any(|(_, n)| n.extent.as_deref() == Some(extent))
                 {
                     v.push(ConstraintViolation::ExtentInUse(extent.clone()));
@@ -536,7 +556,7 @@ impl<'a> Ctx<'a> {
                     }),
                     _ => {}
                 }
-                if self.g.types().any(|(other, n)| {
+                if self.g.types_iter().any(|(other, n)| {
                     Some(other) != self.g.type_id(ty) && n.extent.as_deref() == Some(new)
                 }) {
                     v.push(ConstraintViolation::ExtentInUse(new.clone()));
@@ -1023,8 +1043,8 @@ impl<'a> Ctx<'a> {
             });
             return;
         }
-        let ancs = self.qc.ancestors(self.g, to);
-        let descs = self.qc.descendants(self.g, to);
+        let ancs = self.g.ancestors(to);
+        let descs = self.g.descendants(to);
         for &related in ancs.iter().chain(descs.iter()) {
             if related == from {
                 continue;
@@ -1051,9 +1071,9 @@ impl<'a> Ctx<'a> {
         sup: TypeId,
         v: &mut Vec<ConstraintViolation>,
     ) {
-        let sup_members = self.qc.visible_members(self.g, sup);
+        let sup_members = self.g.visible_members(sup);
         let mut subtree = vec![sub];
-        subtree.extend(self.qc.descendants(self.g, sub).iter().copied());
+        subtree.extend(self.g.descendants(sub).iter().copied());
         for t in subtree {
             for (name, _) in own_members(self.g, t) {
                 if let Some((_, def)) = sup_members.iter().find(|(n, _)| *n == name) {
@@ -1273,7 +1293,7 @@ impl<'a> Ctx<'a> {
 }
 
 /// Does `t` define a member named `name`? Returns `Some(is_operation)`.
-fn member_is_op(g: &SchemaGraph, t: TypeId, name: &str) -> Option<bool> {
+fn member_is_op<V: SchemaView>(g: &V, t: TypeId, name: &str) -> Option<bool> {
     if g.find_op(t, name).is_some() {
         return Some(true);
     }
@@ -1288,7 +1308,7 @@ fn member_is_op(g: &SchemaGraph, t: TypeId, name: &str) -> Option<bool> {
 }
 
 /// The member names `t` itself defines, with an is-operation flag.
-fn own_members(g: &SchemaGraph, t: TypeId) -> Vec<(Symbol, bool)> {
+fn own_members<V: SchemaView>(g: &V, t: TypeId) -> Vec<(Symbol, bool)> {
     let node = g.ty(t);
     let mut out = Vec::new();
     for &a in &node.attrs {
@@ -1310,7 +1330,7 @@ fn own_members(g: &SchemaGraph, t: TypeId) -> Vec<(Symbol, bool)> {
 }
 
 /// Is `above` an ancestor of (or equal to) `start` in the `kind` hierarchy?
-fn hier_is_ancestor(g: &SchemaGraph, kind: HierKind, above: TypeId, start: TypeId) -> bool {
+fn hier_is_ancestor<V: SchemaView>(g: &V, kind: HierKind, above: TypeId, start: TypeId) -> bool {
     if above == start {
         return true;
     }
@@ -1320,7 +1340,7 @@ fn hier_is_ancestor(g: &SchemaGraph, kind: HierKind, above: TypeId, start: TypeI
         if !seen.insert(t) {
             continue;
         }
-        for (_, p) in query::hier_parents(g, kind, t) {
+        for (_, p) in g.hier_parents(kind, t) {
             if p == above {
                 return true;
             }
@@ -1331,8 +1351,8 @@ fn hier_is_ancestor(g: &SchemaGraph, kind: HierKind, above: TypeId, start: TypeI
 }
 
 /// As [`hier_is_ancestor`], ignoring one link.
-fn hier_is_ancestor_excluding(
-    g: &SchemaGraph,
+fn hier_is_ancestor_excluding<V: SchemaView>(
+    g: &V,
     kind: HierKind,
     skip: sws_model::LinkId,
     above: TypeId,
@@ -1347,7 +1367,7 @@ fn hier_is_ancestor_excluding(
         if !seen.insert(t) {
             continue;
         }
-        for (l, p) in query::hier_parents(g, kind, t) {
+        for (l, p) in g.hier_parents(kind, t) {
             if l == skip {
                 continue;
             }

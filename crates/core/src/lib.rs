@@ -27,6 +27,7 @@
 //!   guarantee (thread count never changes a report),
 //! * [`mapping`] — the semantic correspondence between shrink wrap and
 //!   custom schema (activity 10).
+#![forbid(unsafe_code)]
 
 pub mod advice;
 pub mod aliases;
@@ -51,7 +52,8 @@ pub use consistency::{
     check_consistency, ConsistencyReport, ConsistencyState, CrossIssue, Severity,
 };
 pub use constraints::{
-    check_preconditions, check_preconditions_cached, ConstraintCategory, ConstraintViolation,
+    check_preconditions, check_preconditions_cached, check_preconditions_view, ConstraintCategory,
+    ConstraintViolation,
 };
 pub use explain::explain;
 pub use feedback::Feedback;

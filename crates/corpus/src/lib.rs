@@ -14,6 +14,7 @@
 //!
 //! All hand-written schemas are authored in extended ODL and parsed at
 //! construction time, so they double as parser fixtures.
+#![forbid(unsafe_code)]
 
 pub mod business;
 pub mod genome;

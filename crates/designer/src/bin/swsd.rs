@@ -48,6 +48,13 @@
 //! docs/robustness.md); the `checkpoint` REPL command forces one
 //! immediately. Overrides `SWS_CHECKPOINT_INTERVAL`.
 //!
+//! `swsd --schema <file.odl> lint <script.ops>` runs the static analyzer
+//! over an op script instead of starting a REPL: every diagnostic is
+//! printed (stable codes, see docs/static-analysis.md) and the exit code
+//! is 8 when anything was found. `--lint=json` emits the report as one
+//! checksummed JSON line; `--context=<tag>` sets the concept-schema
+//! context the script is checked against (default `wagon_wheel`).
+//!
 //! ```text
 //! 0  clean run
 //! 2  usage error
@@ -57,6 +64,7 @@
 //! 6  session recovered, but with data loss (ops dropped or files lost)
 //! 7  session recovered via a degraded fallback (older snapshot or full
 //!    replay), no data loss
+//! 8  lint findings (the `lint` subcommand found diagnostics)
 //! ```
 
 use std::io::{self, BufRead, Write};
@@ -73,14 +81,16 @@ const EXIT_CORRUPT: u8 = 4;
 const EXIT_IO: u8 = 5;
 const EXIT_RECOVERED: u8 = 6;
 const EXIT_DEGRADED: u8 = 7;
+const EXIT_LINT: u8 = 8;
 
-const USAGE: &str = "usage: swsd [--trace[=json]] [--profile[=tree|collapsed]] [--strict] [--threads=N] [--checkpoint-interval=K] --schema <file.odl> | --session <dir>";
+const USAGE: &str = "usage: swsd [--trace[=json]] [--profile[=tree|collapsed]] [--strict] [--threads=N] [--checkpoint-interval=K] --schema <file.odl> [lint <script.ops>] | --session <dir>";
 
 const HELP: &str = "\
 swsd — interactive shrink-wrap-schema designer
 
 usage:
   swsd [options] --schema <file.odl>
+  swsd [options] --schema <file.odl> lint <script.ops>
   swsd [options] --session <dir>
 
 options:
@@ -99,6 +109,11 @@ options:
                        and truncate the op log, so resuming replays only
                        the short tail (overrides SWS_CHECKPOINT_INTERVAL;
                        the `checkpoint` command forces one immediately)
+  --lint=json          with the lint subcommand: emit the report as one
+                       checksummed JSON line instead of human-readable text
+  --context=<tag>      with the lint subcommand: concept-schema context the
+                       script runs in (wagon_wheel | generalization |
+                       aggregation | instance_of; default wagon_wheel)
   --trace[=json]       dump a structured trace to stderr on exit
   --profile[=tree|collapsed]
                        dump a self-profile to stderr on exit: an
@@ -122,6 +137,8 @@ exit codes:
      stderr names the dropped ops and damaged files)
   7  session recovered via a degraded fallback layer (older snapshot or
      full replay of the archive), no data loss
+  8  lint findings (`swsd --schema S lint script.ops` or the REPL `lint`
+     command found diagnostics; see docs/static-analysis.md)
 ";
 
 /// Which exit code a load-time failure maps to.
@@ -147,11 +164,27 @@ fn main() -> ExitCode {
     let mut profile_mode = None;
     let mut strict = false;
     let mut checkpoint_interval = None;
+    let mut lint_json = false;
+    let mut lint_context = sws_core::ConceptKind::WagonWheel;
     let mut args = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--trace" => trace_mode = Some(TraceMode::Tree),
             "--trace=json" => trace_mode = Some(TraceMode::Json),
+            "--lint=json" => lint_json = true,
+            _ if arg.starts_with("--context=") => {
+                let value = &arg["--context=".len()..];
+                match sws_core::ConceptKind::from_tag(value) {
+                    Some(kind) => lint_context = kind,
+                    None => {
+                        eprintln!(
+                            "swsd: --context wants wagon_wheel | generalization | \
+                             aggregation | instance_of, got `{value}`"
+                        );
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
             "--profile" | "--profile=tree" => profile_mode = Some(ProfileMode::Tree),
             "--profile=collapsed" => profile_mode = Some(ProfileMode::Collapsed),
             "--strict" => strict = true,
@@ -195,6 +228,14 @@ fn main() -> ExitCode {
         sws_trace::set_global(rec.clone());
         rec
     });
+
+    // Lint mode: analyze a script against the schema and exit — no REPL,
+    // no session directory, nothing is applied.
+    if let [flag, schema, sub, script] = args.as_slice() {
+        if flag == "--schema" && sub == "lint" {
+            return run_lint(schema, script, lint_context, lint_json);
+        }
+    }
 
     let session = match args.as_slice() {
         [flag, value] if flag == "--schema" => {
@@ -332,6 +373,53 @@ fn main() -> ExitCode {
         }
     }
     exit
+}
+
+/// `swsd --schema <S> lint <script.ops>`: run the static analyzer over the
+/// script and exit. Nothing is applied; a session directory is never
+/// touched. Exit 0 clean, 3 on a schema/script parse error, 5 on I/O, 8
+/// when the analyzer reports findings.
+fn run_lint(schema: &str, script: &str, context: sws_core::ConceptKind, json: bool) -> ExitCode {
+    let source = match std::fs::read_to_string(schema) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("swsd: cannot read {schema}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let session = match Session::from_odl(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("swsd: {e}");
+            return ExitCode::from(exit_code_for(&e));
+        }
+    };
+    let script_src = match std::fs::read_to_string(script) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("swsd: cannot read {script}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let ws = session.repository().workspace();
+    let report =
+        match sws_analyze::analyze_script(ws.working(), ws.shrink_wrap(), context, &script_src) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("swsd: {script}: {e}");
+                return ExitCode::from(EXIT_PARSE);
+            }
+        };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_LINT)
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]

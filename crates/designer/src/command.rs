@@ -127,6 +127,7 @@ pub fn execute(session: &mut Session, line: &str) -> CommandOutcome {
                 report.render()
             })
         }
+        "lint" => lint_script(session, rest),
         "log" => Ok(session.repository().render_log()),
         "undo" => session.undo().map(|()| "undone\n".to_string()),
         "redo" => session.redo().map(|()| "redone\n".to_string()),
@@ -164,11 +165,28 @@ const HELP: &str = "\
 commands:
   concepts | show <n> | use <n> | context <tag> | explain <n>
   odl [shrinkwrap|local] | map | check | advise | report | log
+  lint <op; op; ...>   statically analyze a script in the current context
+                       without applying it (stable codes, see
+                       docs/static-analysis.md)
   alias type <T> <Local> | alias member <T> <m> <Local> | aliases
   undo | redo | save <dir> | load <dir> | checkpoint | quit
 anything else is a modification-language statement, e.g.
   add_attribute(CourseOffering, string(16), room)
 ";
+
+/// REPL `lint <op; op; ...>`: statically analyze the rest of the line as
+/// an op script in the session's current concept-schema context. Nothing
+/// is applied and the undo log is untouched.
+fn lint_script(session: &Session, rest: &str) -> Result<String, SessionError> {
+    if rest.is_empty() {
+        return Ok("usage: lint <op; op; ...>\n".to_string());
+    }
+    let ws = session.repository().workspace();
+    let report =
+        sws_analyze::analyze_script(ws.working(), ws.shrink_wrap(), session.context(), rest)
+            .map_err(SessionError::Parse)?;
+    Ok(report.render())
+}
 
 fn render_concepts(session: &Session) -> String {
     let mut out = String::new();

@@ -7,6 +7,7 @@
 //! the complete interactive *semantics* behind a programmatic [`Session`]
 //! API and a textual REPL (the `swsd` binary), exercising the same
 //! pipeline a graphical front end would.
+#![forbid(unsafe_code)]
 
 pub mod command;
 pub mod crash;

@@ -51,10 +51,10 @@ impl Symbol {
     /// Intern `s`, returning the existing handle if it was seen before.
     pub fn intern(s: &str) -> Symbol {
         let lock = interner();
-        if let Some(&id) = lock.read().unwrap().map.get(s) {
+        if let Some(&id) = lock.read().expect("interner lock poisoned").map.get(s) {
             return Symbol(id);
         }
-        let mut w = lock.write().unwrap();
+        let mut w = lock.write().expect("interner lock poisoned");
         // Double-checked: another thread may have interned it between locks.
         if let Some(&id) = w.map.get(s) {
             return Symbol(id);
@@ -70,12 +70,17 @@ impl Symbol {
     /// A name that was never interned cannot name any graph construct, so
     /// `None` doubles as a fast negative existence answer.
     pub fn try_lookup(s: &str) -> Option<Symbol> {
-        interner().read().unwrap().map.get(s).map(|&id| Symbol(id))
+        interner()
+            .read()
+            .expect("interner lock poisoned")
+            .map
+            .get(s)
+            .map(|&id| Symbol(id))
     }
 
     /// The interned string. `&'static` because the interner never frees.
     pub fn as_str(self) -> &'static str {
-        interner().read().unwrap().strings[self.0 as usize]
+        interner().read().expect("interner lock poisoned").strings[self.0 as usize]
     }
 
     /// The raw handle value (stable for the process lifetime).
@@ -87,7 +92,11 @@ impl Symbol {
     /// symbol-stability property tests assert it never decreases across
     /// undo/reset replay.
     pub fn interner_len() -> usize {
-        interner().read().unwrap().strings.len()
+        interner()
+            .read()
+            .expect("interner lock poisoned")
+            .strings
+            .len()
     }
 }
 

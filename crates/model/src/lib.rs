@@ -20,6 +20,7 @@
 //! * [`wf`] — graph-level well-formedness checking,
 //! * [`diff`] — structural diff between two graphs,
 //! * [`error`] — mutation error type.
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod diff;
@@ -30,6 +31,7 @@ pub mod index;
 pub mod intern;
 pub mod lower;
 pub mod query;
+pub mod view;
 pub mod wf;
 
 pub use cache::QueryCache;
@@ -44,4 +46,5 @@ pub use ids::{AttrId, LinkId, OpId, RelId, TypeId};
 pub use index::{Adjacency, ClosureIndex, ClosureScratch};
 pub use intern::{SymKey, Symbol};
 pub use lower::{graph_to_schema, schema_to_graph, LowerError};
+pub use view::{CachedView, SchemaView};
 pub use wf::{check_type_into, check_type_well_formed, check_well_formed, WfIssue, WfScratch};

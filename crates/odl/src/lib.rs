@@ -44,6 +44,7 @@
 //! let printed = print_schema(&schema);
 //! assert_eq!(sws_odl::parse_schema(&printed).unwrap(), schema);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod ast;
 pub mod error;

@@ -12,6 +12,7 @@
 //!   ranges, escapes, groups, alternation, and `{m}`/`{m,n}`/`?`/`*`/`+`
 //!   quantifiers.
 //! * `prop::option::of` weights `Some` 3:1, `*` caps at 4 repeats, `+` at 5.
+#![forbid(unsafe_code)]
 
 pub mod regex_gen;
 pub mod rng;

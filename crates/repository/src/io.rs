@@ -159,7 +159,7 @@ impl MemIo {
 
     /// Deep-copy the current disk image into an independent `MemIo`.
     pub fn snapshot(&self) -> MemIo {
-        let st = self.state.lock().unwrap();
+        let st = self.state.lock().expect("MemIo lock poisoned");
         let copy = MemFs {
             files: st.files.clone(),
             crashed: st.crashed,
@@ -175,7 +175,7 @@ impl MemIo {
     /// some pages, lost the rest). Clears the crashed flag so the
     /// "rebooted" filesystem is usable again.
     pub fn post_crash(&self, seed: u64) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().expect("MemIo lock poisoned");
         for (path, file) in st.files.iter_mut() {
             if file.content.len() > file.durable_len {
                 let tail = file.content.len() - file.durable_len;
@@ -190,24 +190,24 @@ impl MemIo {
 
     /// Delete a file, for damaged-directory fixture construction.
     pub fn remove(&self, path: &Path) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().expect("MemIo lock poisoned");
         st.files.remove(path);
     }
 
     /// Raw file contents, for assertions.
     pub fn contents(&self, path: &Path) -> Option<Vec<u8>> {
-        let st = self.state.lock().unwrap();
+        let st = self.state.lock().expect("MemIo lock poisoned");
         st.files.get(path).map(|f| f.content.clone())
     }
 
     /// All file paths currently present.
     pub fn paths(&self) -> Vec<PathBuf> {
-        let st = self.state.lock().unwrap();
+        let st = self.state.lock().expect("MemIo lock poisoned");
         st.files.keys().cloned().collect()
     }
 
     fn with<R>(&self, f: impl FnOnce(&mut MemFs) -> io::Result<R>) -> io::Result<R> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().expect("MemIo lock poisoned");
         if st.crashed {
             return Err(crash_error());
         }
@@ -248,7 +248,7 @@ impl RepoIo for MemIo {
     }
 
     fn exists(&self, path: &Path) -> bool {
-        let st = self.state.lock().unwrap();
+        let st = self.state.lock().expect("MemIo lock poisoned");
         !st.crashed && st.files.contains_key(path)
     }
 
@@ -405,7 +405,7 @@ impl FaultIo {
                 // leave a torn, un-fsynced half; syncs and renames simply
                 // never happen. Poison the filesystem so any later call
                 // from the "dead" process fails.
-                let mut st = self.fs.state.lock().unwrap();
+                let mut st = self.fs.state.lock().expect("MemIo lock poisoned");
                 match step {
                     Step::WriteUnsynced(path, data) => {
                         let file = st.files.entry(path.to_path_buf()).or_default();
@@ -423,7 +423,7 @@ impl FaultIo {
             }
             None => {}
         }
-        let mut st = self.fs.state.lock().unwrap();
+        let mut st = self.fs.state.lock().expect("MemIo lock poisoned");
         if st.crashed {
             return Err(crash_error());
         }
@@ -590,7 +590,7 @@ mod tests {
         let io = FaultIo::new(MemIo::new());
         // Poison the plan lock the way a panicking sweep thread would.
         let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = io.plan.lock().unwrap();
+            let _guard = io.plan.lock().expect("MemIo lock poisoned");
             panic!("injected panic while holding the fault plan");
         }));
         assert!(poison.is_err());

@@ -44,6 +44,7 @@
 //!   `session.ops.quarantine`, repairs the directory, and returns a
 //!   structured [`RecoveryReport`] instead of an error. Only an unusable
 //!   shrink wrap schema is fatal.
+#![forbid(unsafe_code)]
 
 use std::fmt;
 use std::io as stdio;

@@ -45,6 +45,7 @@
 //! assert!(export::render_tree(&session.events).contains("parse bytes=120 interfaces=3"));
 //! assert!(export::jsonl::check(&export::to_jsonl(&session)).unwrap() >= 3);
 //! ```
+#![cfg_attr(not(feature = "alloc-stats"), forbid(unsafe_code))]
 
 #[cfg(feature = "alloc-stats")]
 pub mod alloc_stats;

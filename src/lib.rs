@@ -42,6 +42,7 @@
 //! assert_eq!(summary.moved, 1);
 //! assert_eq!(summary.added, 1);
 //! ```
+#![forbid(unsafe_code)]
 
 pub use sws_core as core;
 pub use sws_corpus as corpus;

@@ -1,0 +1,124 @@
+//! Request-path latency of the `swsd serve` service layer: one client
+//! submitting single-op batches through [`DesignService::handle`] while
+//! N−1 other sessions sit open and idle, for N ∈ {1, 4, 16, 64}.
+//!
+//! Idle sessions are the point: the service keeps per-session metadata
+//! but serializes mutations on one writer path, so an open-but-quiet
+//! session must cost (near) nothing on the submit tail. The binary
+//! asserts that directly — p99 with 16 open sessions may not exceed
+//! 8× the 1-session p99 (plus a small absolute slack for timer noise).
+//!
+//! Rows written to `BENCH_serve.json` (override with `SWS_BENCH_OUT`):
+//!
+//! * `submit/sessionsN` — p50/p90 of one accepted submit round trip;
+//! * `submit_p99/sessionsN` — the exact (nearest-rank) p99, stored in
+//!   both fields since the schema carries two quantiles per row;
+//! * `submit_ns_per_op/sessionsN` — the mean, i.e. ns-per-op; ops/sec
+//!   is its reciprocal and is printed on stdout for humans.
+//!
+//! `report.sizes` records the session-count sweep. Override the
+//! iteration count with `SWS_BENCH_ITERS` (default 200).
+//!
+//! The committed baseline (`benches/baselines/BENCH_serve.json`)
+//! deliberately omits the `submit_p99/*` rows: absolute p99 across runs
+//! of a shared CI host is noise (a 20x spike under co-tenant load is
+//! routine), so bench_compare treats fresh p99 rows as informational.
+//! The tail is guarded by the same-run relative assertion above instead.
+
+use std::cell::Cell;
+
+use sws_bench::report::BenchReport;
+use sws_bench::timing::Runner;
+use sws_core::ConceptKind;
+use sws_corpus::university;
+use sws_designer::{DesignService, OpEnvelope, Request, Response, Session};
+
+const SEED: u64 = 31;
+const SESSIONS: [usize; 4] = [1, 4, 16, 64];
+
+/// p99 may wobble on a loaded CI host even when the service is flat
+/// across session counts; the ratio check gets this much absolute grace.
+const P99_SLACK_NS: u64 = 100_000;
+
+fn label(n: usize) -> String {
+    format!("submit/sessions{n}")
+}
+
+fn main() {
+    let mut runner = Runner::new("serve");
+
+    for &n in &SESSIONS {
+        let service =
+            DesignService::new(Session::from_odl(university::SOURCE).expect("schema ingests"));
+        for i in 0..n {
+            let opened = service.handle(Request::Open {
+                session: format!("s{i}"),
+            });
+            assert!(
+                matches!(opened, Response::Opened { .. }),
+                "open s{i} failed: {opened:?}"
+            );
+        }
+
+        // s0 submits; the other n−1 sessions stay open and idle. Each
+        // accepted op advances the head, so the next request's base_rev
+        // comes from the previous response — exactly a client at head.
+        let rev = Cell::new(0u64);
+        let tick = Cell::new(0u64);
+        runner.bench_batched(
+            &label(n),
+            || {
+                let t = tick.get();
+                tick.set(t + 1);
+                Request::Submit {
+                    session: "s0".to_string(),
+                    base_rev: rev.get(),
+                    ops: vec![OpEnvelope {
+                        context: ConceptKind::WagonWheel,
+                        statement: format!("add_type_definition(Bench{n}x{t})"),
+                    }],
+                }
+            },
+            |request| match service.handle(request) {
+                Response::Accepted { rev: head, .. } => rev.set(head),
+                other => panic!("submit at head must be accepted, got {other:?}"),
+            },
+        );
+    }
+
+    let mut report = BenchReport::from_runner("serve", SEED, &runner);
+    report.sizes = SESSIONS.iter().map(|&n| n as u64).collect();
+    for &n in &SESSIONS {
+        let label = label(n);
+        let p99 = runner
+            .exact_quantile(&label, 0.99)
+            .expect("label was measured");
+        report.push(&format!("submit_p99/sessions{n}"), p99, p99);
+        let mean = runner.histogram(&label).expect("label was measured").mean();
+        report.push(&format!("submit_ns_per_op/sessions{n}"), mean, mean);
+        if mean > 0 {
+            println!(
+                "serve: sessions={n:<3} {:>10.0} ops/sec (mean {mean} ns, p99 {p99} ns)",
+                1e9 / mean as f64
+            );
+        }
+    }
+
+    // The acceptance gate: idle sessions must not bend the submit tail.
+    let p99_1 = runner
+        .exact_quantile(&label(1), 0.99)
+        .expect("1-session baseline");
+    let p99_16 = runner
+        .exact_quantile(&label(16), 0.99)
+        .expect("16-session sweep");
+    assert!(
+        p99_16 <= p99_1.saturating_mul(8).saturating_add(P99_SLACK_NS),
+        "p99 with 16 idle sessions ({p99_16} ns) exceeds 8x the 1-session \
+         baseline ({p99_1} ns) + {P99_SLACK_NS} ns slack"
+    );
+
+    let out = std::env::var("SWS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+    report.write(&out);
+    runner.finish();
+}

@@ -48,6 +48,11 @@
 //! docs/robustness.md); the `checkpoint` REPL command forces one
 //! immediately. Overrides `SWS_CHECKPOINT_INTERVAL`.
 //!
+//! `swsd --schema <file.odl> serve --addr=HOST:PORT` (or `--session <dir>
+//! serve ...`) runs the concurrent-session daemon instead of the REPL:
+//! many named design sessions over one repository, optimistic concurrency
+//! via `base_rev`, JSONL + HTTP/1.1 on one port. See docs/serve.md.
+//!
 //! `swsd --schema <file.odl> lint <script.ops>` runs the static analyzer
 //! over an op script instead of starting a REPL: every diagnostic is
 //! printed (stable codes, see docs/static-analysis.md) and the exit code
@@ -68,10 +73,11 @@
 //! ```
 
 use std::io::{self, BufRead, Write};
+use std::net::{SocketAddr, TcpListener};
 use std::path::Path;
 use std::process::ExitCode;
 
-use sws_designer::{crash, execute, CommandOutcome, Session, SessionError};
+use sws_designer::{crash, execute, CommandOutcome, DesignService, Session, SessionError};
 use sws_repository::RepoError;
 use sws_trace::{render_tree, to_jsonl, FlightRecorder, Profile, Recorder, TraceSummary};
 
@@ -83,7 +89,7 @@ const EXIT_RECOVERED: u8 = 6;
 const EXIT_DEGRADED: u8 = 7;
 const EXIT_LINT: u8 = 8;
 
-const USAGE: &str = "usage: swsd [--trace[=json]] [--profile[=tree|collapsed]] [--strict] [--threads=N] [--checkpoint-interval=K] --schema <file.odl> [lint <script.ops>] | --session <dir>";
+const USAGE: &str = "usage: swsd [--trace[=json]] [--profile[=tree|collapsed]] [--strict] [--threads=N] [--checkpoint-interval=K] --schema <file.odl> [lint <script.ops> | serve --addr=HOST:PORT] | --session <dir> [serve --addr=HOST:PORT]";
 
 const HELP: &str = "\
 swsd — interactive shrink-wrap-schema designer
@@ -91,7 +97,9 @@ swsd — interactive shrink-wrap-schema designer
 usage:
   swsd [options] --schema <file.odl>
   swsd [options] --schema <file.odl> lint <script.ops>
+  swsd [options] --schema <file.odl> serve --addr=HOST:PORT
   swsd [options] --session <dir>
+  swsd [options] --session <dir> serve --addr=HOST:PORT
 
 options:
   --schema <file.odl>  start a fresh session on an extended-ODL schema
@@ -109,6 +117,11 @@ options:
                        and truncate the op log, so resuming replays only
                        the short tail (overrides SWS_CHECKPOINT_INTERVAL;
                        the `checkpoint` command forces one immediately)
+  --addr=HOST:PORT     with the serve subcommand: the address to listen on
+                       (PORT 0 picks a free port; the chosen address is
+                       printed as `swsd: serving on HOST:PORT`). The daemon
+                       speaks JSONL and HTTP/1.1 on the same port — see
+                       docs/serve.md — and exits on a `shutdown` frame
   --lint=json          with the lint subcommand: emit the report as one
                        checksummed JSON line instead of human-readable text
   --context=<tag>      with the lint subcommand: concept-schema context the
@@ -166,12 +179,16 @@ fn main() -> ExitCode {
     let mut checkpoint_interval = None;
     let mut lint_json = false;
     let mut lint_context = sws_core::ConceptKind::WagonWheel;
+    let mut addr = None;
     let mut args = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--trace" => trace_mode = Some(TraceMode::Tree),
             "--trace=json" => trace_mode = Some(TraceMode::Json),
             "--lint=json" => lint_json = true,
+            _ if arg.starts_with("--addr=") => {
+                addr = Some(arg["--addr=".len()..].to_string());
+            }
             _ if arg.starts_with("--context=") => {
                 let value = &arg["--context=".len()..];
                 match sws_core::ConceptKind::from_tag(value) {
@@ -235,6 +252,21 @@ fn main() -> ExitCode {
         if flag == "--schema" && sub == "lint" {
             return run_lint(schema, script, lint_context, lint_json);
         }
+    }
+
+    // Serve mode: the multi-session daemon (docs/serve.md).
+    if let [flag, value, sub] = args.as_slice() {
+        if sub == "serve" && (flag == "--schema" || flag == "--session") {
+            let Some(addr) = addr else {
+                eprintln!("swsd: serve needs --addr=HOST:PORT\n{USAGE}");
+                return ExitCode::from(EXIT_USAGE);
+            };
+            return run_serve(flag, value, &addr, strict, checkpoint_interval);
+        }
+    }
+    if args.iter().any(|a| a == "serve") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
     }
 
     let session = match args.as_slice() {
@@ -373,6 +405,93 @@ fn main() -> ExitCode {
         }
     }
     exit
+}
+
+/// `swsd --schema <S> serve --addr=A` / `swsd --session <dir> serve
+/// --addr=A`: run the concurrent-session daemon until a `shutdown` frame.
+///
+/// Exit 2 on an unparsable address, 3/4/5 on load failures (same mapping
+/// as the REPL), **6/7 before binding** when the session directory only
+/// loads with data loss / via a degraded fallback — a daemon must not
+/// serve traffic from a repository it could not load cleanly — 5 when the
+/// bind or the final save fails, 0 on a clean shutdown (autosave flushed).
+fn run_serve(
+    flag: &str,
+    value: &str,
+    addr: &str,
+    strict: bool,
+    checkpoint_interval: Option<u64>,
+) -> ExitCode {
+    let addr: SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("swsd: --addr wants HOST:PORT (e.g. 127.0.0.1:7878), got `{addr}`");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let session = if flag == "--schema" {
+        crash::set_repo_path(value);
+        match std::fs::read_to_string(value) {
+            Ok(source) => Session::from_odl(&source),
+            Err(e) => {
+                eprintln!("swsd: cannot read {value}: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        }
+    } else {
+        crash::set_repo_path(value);
+        crash::set_dump_dir(Path::new(value));
+        if strict {
+            Session::load_strict(Path::new(value))
+        } else {
+            Session::load(Path::new(value))
+        }
+    };
+    let mut session = match session {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("swsd: {e}");
+            return ExitCode::from(exit_code_for(&e));
+        }
+    };
+    if checkpoint_interval.is_some() {
+        session.set_checkpoint_interval(checkpoint_interval);
+    }
+    if let Some(report) = session.recovery().filter(|r| !r.is_clean()) {
+        eprint!("swsd: session directory was damaged\n{}", report.render());
+        if report.data_loss() {
+            eprintln!("swsd: refusing to serve a session recovered with data loss");
+            return ExitCode::from(EXIT_RECOVERED);
+        }
+        if report.degraded() {
+            eprintln!("swsd: refusing to serve a degraded fallback load");
+            return ExitCode::from(EXIT_DEGRADED);
+        }
+    }
+
+    let threads = sws_core::parallel::workers();
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("swsd: cannot bind {addr}: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let local = listener.local_addr().unwrap_or(addr);
+    // The CLI tests (and any supervisor) parse this line for the port.
+    println!("swsd: serving on {local}");
+    let _ = io::stdout().flush();
+
+    let service = DesignService::new(session);
+    if let Err(e) = sws_designer::serve::serve(&service, listener, threads) {
+        eprintln!("swsd: serve failed: {e}");
+        return ExitCode::from(EXIT_IO);
+    }
+    if let Err(e) = service.final_save() {
+        eprintln!("swsd: final save failed: {e}");
+        return ExitCode::from(EXIT_IO);
+    }
+    ExitCode::SUCCESS
 }
 
 /// `swsd --schema <S> lint <script.ops>`: run the static analyzer over the

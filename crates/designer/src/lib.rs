@@ -11,7 +11,12 @@
 
 pub mod command;
 pub mod crash;
+pub mod protocol;
+pub mod serve;
+pub mod service;
 pub mod session;
 
 pub use command::{execute, execute_expecting_output, CommandOutcome, UnexpectedQuit};
+pub use protocol::{parse_request, render_response, respond};
+pub use service::{DesignService, OpEnvelope, Request, Response};
 pub use session::{Session, SessionError};

@@ -282,6 +282,15 @@ impl Session {
         Ok(())
     }
 
+    /// Drop the undo/redo history (the snapshots backing it). Long-running
+    /// hosts like `swsd serve` call this after each committed batch: their
+    /// rollback unit is the batch, and per-op repository snapshots would
+    /// otherwise accumulate for the life of the process.
+    pub fn clear_history(&mut self) {
+        self.undo_stack.clear();
+        self.redo_stack.clear();
+    }
+
     /// Derive the mapping report.
     pub fn mapping(&self) -> Mapping {
         self.repo.mapping()
@@ -308,6 +317,20 @@ impl Session {
         let mut session = Session::new(repo);
         session.autosave_dir = Some(dir.to_path_buf());
         session.recovery = Some(report);
+        Ok(session)
+    }
+
+    /// Load a session from disk in salvage mode through an explicit
+    /// [`RepoIo`] (crash-injection tests restart a "machine" whose disk is
+    /// an in-memory image). The directory and I/O are attached for
+    /// autosave.
+    pub fn load_with(io: Box<dyn RepoIo>, dir: &Path) -> Result<Self, SessionError> {
+        let (repo, report) =
+            Repository::load_with(io.as_ref(), dir, sws_repository::LoadMode::Salvage)?;
+        let mut session = Session::new(repo);
+        session.autosave_dir = Some(dir.to_path_buf());
+        session.recovery = Some(report);
+        session.io = io;
         Ok(session)
     }
 

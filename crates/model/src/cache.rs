@@ -11,14 +11,17 @@
 //! The cache uses interior mutability (`Cell`/`RefCell`) so read-only code
 //! paths (precondition constraints, advice, interop) can share one
 //! `&QueryCache` without threading `&mut` everywhere. It is intentionally
-//! **neither `Send` nor `Sync`** (and the compiler enforces it — see the
-//! compile-fail doctests on [`QueryCache`]): the unsynchronized
-//! `Cell`/`RefCell`/`Rc` interior means a cache shared across scoped worker
-//! threads would race on the generation stamp and could serve an entry from
-//! a previous generation. The parallel consistency checker therefore does
-//! not use `QueryCache` at all: it builds one frozen, `Send + Sync`
-//! [`ClosureIndex`](crate::ClosureIndex) per sync and shares it by reference
-//! across all workers, each paired with a worker-local
+//! **not `Sync`** (and the compiler enforces it — see the compile-fail
+//! doctest on [`QueryCache`]): the unsynchronized `Cell`/`RefCell`
+//! interior means a cache shared across scoped worker threads would race
+//! on the generation stamp and could serve an entry from a previous
+//! generation. It *is* `Send` (memo entries are `Arc`, so a whole
+//! `Workspace` can move between threads or live inside a `Mutex` — the
+//! design service serializes on exactly that), but a `&QueryCache` never
+//! crosses a thread boundary. The parallel consistency checker therefore
+//! does not use `QueryCache` at all: it builds one frozen, `Send + Sync`
+//! [`ClosureIndex`](crate::ClosureIndex) per sync and shares it by
+//! reference across all workers, each paired with a worker-local
 //! [`WfScratch`](crate::WfScratch).
 //!
 //! **Pair one cache with one graph.** A cloned graph starts at its parent's
@@ -37,21 +40,22 @@ use crate::intern::Symbol;
 use crate::query;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use sws_odl::HierKind;
 
 /// One memo table: key → shared, immutable result.
-type Memo<K, V> = RefCell<HashMap<K, Rc<V>>>;
+type Memo<K, V> = RefCell<HashMap<K, Arc<V>>>;
 
 /// Memoizes hot hierarchy traversals for one [`SchemaGraph`]. See the
 /// module docs.
 ///
-/// A `QueryCache` must stay on the thread that created it. Both auto
-/// traits are denied by its interior:
+/// A `QueryCache` may *move* between threads (`Send`) but can never be
+/// *shared* across them — `Sync` is denied by its interior, and the
+/// compiler enforces it:
 ///
-/// ```compile_fail,E0277
+/// ```
 /// fn require_send<T: Send>() {}
-/// require_send::<sws_model::QueryCache>(); // Rc interior: not Send
+/// require_send::<sws_model::QueryCache>(); // Arc memo entries: Send
 /// ```
 ///
 /// ```compile_fail,E0277
@@ -64,7 +68,7 @@ pub struct QueryCache {
     ancestors: Memo<TypeId, Vec<TypeId>>,
     descendants: Memo<TypeId, Vec<TypeId>>,
     hier_closures: Memo<(HierKind, TypeId), (Vec<TypeId>, Vec<LinkId>)>,
-    components: RefCell<Option<Rc<Vec<Vec<TypeId>>>>>,
+    components: RefCell<Option<Arc<Vec<Vec<TypeId>>>>>,
     visible: Memo<TypeId, Vec<(Symbol, TypeId)>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
@@ -100,28 +104,28 @@ impl QueryCache {
     }
 
     /// Cached [`query::ancestors`].
-    pub fn ancestors(&self, g: &SchemaGraph, t: TypeId) -> Rc<Vec<TypeId>> {
+    pub fn ancestors(&self, g: &SchemaGraph, t: TypeId) -> Arc<Vec<TypeId>> {
         self.sync(g);
         if let Some(v) = self.ancestors.borrow().get(&t) {
             self.hit();
-            return Rc::clone(v);
+            return Arc::clone(v);
         }
         self.miss();
-        let v = Rc::new(query::ancestors(g, t));
-        self.ancestors.borrow_mut().insert(t, Rc::clone(&v));
+        let v = Arc::new(query::ancestors(g, t));
+        self.ancestors.borrow_mut().insert(t, Arc::clone(&v));
         v
     }
 
     /// Cached [`query::descendants`].
-    pub fn descendants(&self, g: &SchemaGraph, t: TypeId) -> Rc<Vec<TypeId>> {
+    pub fn descendants(&self, g: &SchemaGraph, t: TypeId) -> Arc<Vec<TypeId>> {
         self.sync(g);
         if let Some(v) = self.descendants.borrow().get(&t) {
             self.hit();
-            return Rc::clone(v);
+            return Arc::clone(v);
         }
         self.miss();
-        let v = Rc::new(query::descendants(g, t));
-        self.descendants.borrow_mut().insert(t, Rc::clone(&v));
+        let v = Arc::new(query::descendants(g, t));
+        self.descendants.borrow_mut().insert(t, Arc::clone(&v));
         v
     }
 
@@ -131,43 +135,43 @@ impl QueryCache {
         g: &SchemaGraph,
         kind: HierKind,
         root: TypeId,
-    ) -> Rc<(Vec<TypeId>, Vec<LinkId>)> {
+    ) -> Arc<(Vec<TypeId>, Vec<LinkId>)> {
         self.sync(g);
         if let Some(v) = self.hier_closures.borrow().get(&(kind, root)) {
             self.hit();
-            return Rc::clone(v);
+            return Arc::clone(v);
         }
         self.miss();
-        let v = Rc::new(query::hier_closure(g, kind, root));
+        let v = Arc::new(query::hier_closure(g, kind, root));
         self.hier_closures
             .borrow_mut()
-            .insert((kind, root), Rc::clone(&v));
+            .insert((kind, root), Arc::clone(&v));
         v
     }
 
     /// Cached [`query::generalization_components`].
-    pub fn generalization_components(&self, g: &SchemaGraph) -> Rc<Vec<Vec<TypeId>>> {
+    pub fn generalization_components(&self, g: &SchemaGraph) -> Arc<Vec<Vec<TypeId>>> {
         self.sync(g);
         if let Some(v) = self.components.borrow().as_ref() {
             self.hit();
-            return Rc::clone(v);
+            return Arc::clone(v);
         }
         self.miss();
-        let v = Rc::new(query::generalization_components(g));
-        *self.components.borrow_mut() = Some(Rc::clone(&v));
+        let v = Arc::new(query::generalization_components(g));
+        *self.components.borrow_mut() = Some(Arc::clone(&v));
         v
     }
 
     /// Cached [`query::visible_members`].
-    pub fn visible_members(&self, g: &SchemaGraph, t: TypeId) -> Rc<Vec<(Symbol, TypeId)>> {
+    pub fn visible_members(&self, g: &SchemaGraph, t: TypeId) -> Arc<Vec<(Symbol, TypeId)>> {
         self.sync(g);
         if let Some(v) = self.visible.borrow().get(&t) {
             self.hit();
-            return Rc::clone(v);
+            return Arc::clone(v);
         }
         self.miss();
-        let v = Rc::new(query::visible_members(g, t));
-        self.visible.borrow_mut().insert(t, Rc::clone(&v));
+        let v = Arc::new(query::visible_members(g, t));
+        self.visible.borrow_mut().insert(t, Arc::clone(&v));
         v
     }
 

@@ -23,7 +23,7 @@ use crate::graph::{AttrNode, LinkNode, LinkSide, OpNode, RelNode, SchemaGraph, T
 use crate::ids::{AttrId, LinkId, OpId, RelId, TypeId};
 use crate::intern::Symbol;
 use std::collections::{BTreeSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 use sws_odl::HierKind;
 
 /// Read-only access to a schema state: node accessors plus the derived
@@ -123,20 +123,20 @@ pub trait SchemaView {
     }
 
     /// All strict ancestors of `t` via supertype edges, in BFS order.
-    /// `Rc` so a caching implementation can hand out a shared memo entry.
-    fn ancestors(&self, t: TypeId) -> Rc<Vec<TypeId>> {
-        Rc::new(ancestors_of(self, t))
+    /// `Arc` so a caching implementation can hand out a shared memo entry.
+    fn ancestors(&self, t: TypeId) -> Arc<Vec<TypeId>> {
+        Arc::new(ancestors_of(self, t))
     }
 
     /// All strict descendants of `t` via subtype edges, in BFS order.
-    fn descendants(&self, t: TypeId) -> Rc<Vec<TypeId>> {
-        Rc::new(descendants_of(self, t))
+    fn descendants(&self, t: TypeId) -> Arc<Vec<TypeId>> {
+        Arc::new(descendants_of(self, t))
     }
 
     /// The member names visible on `t` (own plus inherited), as
     /// `(name, defining type)` pairs; nearest definition wins.
-    fn visible_members(&self, t: TypeId) -> Rc<Vec<(Symbol, TypeId)>> {
-        Rc::new(visible_members_of(self, t))
+    fn visible_members(&self, t: TypeId) -> Arc<Vec<(Symbol, TypeId)>> {
+        Arc::new(visible_members_of(self, t))
     }
 
     /// True if `a` is a strict ancestor of `b`.
@@ -295,15 +295,15 @@ impl SchemaView for CachedView<'_> {
         Box::new(self.g.types())
     }
 
-    fn ancestors(&self, t: TypeId) -> Rc<Vec<TypeId>> {
+    fn ancestors(&self, t: TypeId) -> Arc<Vec<TypeId>> {
         self.qc.ancestors(self.g, t)
     }
 
-    fn descendants(&self, t: TypeId) -> Rc<Vec<TypeId>> {
+    fn descendants(&self, t: TypeId) -> Arc<Vec<TypeId>> {
         self.qc.descendants(self.g, t)
     }
 
-    fn visible_members(&self, t: TypeId) -> Rc<Vec<(Symbol, TypeId)>> {
+    fn visible_members(&self, t: TypeId) -> Arc<Vec<(Symbol, TypeId)>> {
         self.qc.visible_members(self.g, t)
     }
 }

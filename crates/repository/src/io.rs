@@ -27,7 +27,13 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// Abstract durable storage for a session directory.
-pub trait RepoIo: fmt::Debug {
+///
+/// `Send + Sync` is part of the contract: a `Repository` (and the designer
+/// `Session` wrapping it) must be movable across threads so `swsd serve`
+/// can guard one behind a mutex and drive it from any acceptor thread. All
+/// three implementations are trivially thread-safe (`RealIo` is stateless;
+/// `MemIo` and `FaultIo` synchronize internally).
+pub trait RepoIo: fmt::Debug + Send + Sync {
     /// Read a whole file.
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
     /// Atomically replace `path` with `data` (write temp, fsync, rename).
@@ -269,13 +275,18 @@ impl RepoIo for MemIo {
 // ---------------------------------------------------------------------
 
 /// What to inject, and at which primitive step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Fault {
     /// Stop the world at step `n`: partial un-fsynced data may remain.
     CrashAt(u64),
     /// Fail step `n` with an I/O error; state keeps its pre-step contents
     /// and the process continues.
     ErrorAt(u64),
+    /// Stop the world at the `remaining`-th upcoming micro-step whose
+    /// journal description contains `needle` — a crash aimed at a protocol
+    /// phase ("append", "rename") instead of an absolute step index, for
+    /// workloads whose step counts are timing-dependent (a live server).
+    CrashOnContains { needle: String, remaining: u64 },
 }
 
 #[derive(Debug, Default)]
@@ -354,6 +365,20 @@ impl FaultIo {
         self.plan().fault = Some(Fault::ErrorAt(step));
     }
 
+    /// Inject a crash at the `nth` (0-based) upcoming micro-step whose
+    /// journal description contains `needle`: `("append", 0)` dies during
+    /// the next op-log append, `("rename", 1)` during the second atomic
+    /// commit from now. Unlike [`Self::crash_at`], this does not require
+    /// knowing absolute step indices, so it can aim at a phase of a
+    /// concurrent workload (e.g. "the next checkpoint a live server
+    /// performs") where exact counts vary run to run.
+    pub fn crash_on_contains(&self, needle: &str, nth: u64) {
+        self.plan().fault = Some(Fault::CrashOnContains {
+            needle: needle.to_string(),
+            remaining: nth,
+        });
+    }
+
     /// Clear any planned fault (the error was transient).
     pub fn clear_fault(&self) {
         self.plan().fault = None;
@@ -389,18 +414,34 @@ impl FaultIo {
             let mut plan = self.plan();
             let this = plan.step;
             plan.step += 1;
-            plan.journal.push(step.describe());
-            match plan.fault {
-                Some(Fault::CrashAt(n)) if n == this => Some(Fault::CrashAt(n)),
-                Some(Fault::ErrorAt(n)) if n == this => Some(Fault::ErrorAt(n)),
-                _ => None,
+            let describe = step.describe();
+            let hit = match &mut plan.fault {
+                Some(Fault::CrashAt(n)) | Some(Fault::ErrorAt(n)) => *n == this,
+                Some(Fault::CrashOnContains { needle, remaining })
+                    if describe.contains(needle.as_str()) =>
+                {
+                    if *remaining == 0 {
+                        true
+                    } else {
+                        *remaining -= 1;
+                        false
+                    }
+                }
+                Some(Fault::CrashOnContains { .. }) => false,
+                None => false,
+            };
+            plan.journal.push(describe);
+            if hit {
+                plan.fault.clone()
+            } else {
+                None
             }
         };
         match fault {
             Some(Fault::ErrorAt(_)) => {
                 return Err(io::Error::other("injected I/O error (disk full)"));
             }
-            Some(Fault::CrashAt(_)) => {
+            Some(Fault::CrashAt(_)) | Some(Fault::CrashOnContains { .. }) => {
                 // The process dies *during* this step: data-moving steps
                 // leave a torn, un-fsynced half; syncs and renames simply
                 // never happen. Poison the filesystem so any later call
@@ -625,6 +666,29 @@ mod tests {
         let io = FaultIo::new(disk.clone());
         io.remove(p).unwrap();
         assert!(!disk.exists(p));
+    }
+
+    #[test]
+    fn crash_on_contains_aims_at_a_phase_not_an_index() {
+        let disk = MemIo::new();
+        let log = Path::new("/s/log");
+        disk.append_sync(log, b"line1\n").unwrap();
+        let io = FaultIo::new(disk.clone());
+        // Die during the SECOND append from now, regardless of how many
+        // unrelated steps (atomic writes, syncs) run in between.
+        io.crash_on_contains("append", 1);
+        io.write_atomic(Path::new("/s/a"), b"unrelated").unwrap();
+        io.append_sync(log, b"line2\n").unwrap();
+        io.write_atomic(Path::new("/s/b"), b"unrelated").unwrap();
+        assert!(io.append_sync(log, b"line3...\n").is_err());
+        disk.post_crash(3);
+        let content = disk.read(log).unwrap();
+        assert!(content.starts_with(b"line1\nline2\n"));
+        assert!(content.len() < b"line1\nline2\nline3...\n".len());
+        // The targeted crash still poisons the disk until reboot happened
+        // above; the unrelated atomic writes before the crash survived.
+        assert_eq!(disk.read(Path::new("/s/a")).unwrap(), b"unrelated");
+        assert_eq!(disk.read(Path::new("/s/b")).unwrap(), b"unrelated");
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! The concurrency proof for `swsd serve`: N clients hammer one live TCP
+//! server with seeded edit streams, submitting against their own (stale)
+//! view of the op log. At every server thread count in {1, 2, 4, 8}:
+//!
+//! * the server's final exported schema is **byte-identical** to a serial
+//!   replay of the accepted-op total order (the `log` since 0) onto a
+//!   fresh repository,
+//! * every client replica — maintained purely from accept confirmations
+//!   and conflict deltas, never from the server's state — converges to
+//!   that same byte-identical schema,
+//! * every stale-`base_rev` submit receives a conflict report whose delta
+//!   is exactly the ops in `(base_rev, rev]` and replays cleanly onto the
+//!   client's replica (the rebase contract),
+//! * contention is forced, not hoped for: when the server has enough
+//!   threads to hold every client connection at once, a barrier releases
+//!   all first submits at `base_rev` 0 simultaneously (exactly one wins);
+//!   at lower thread counts — where acceptors serialize whole connections
+//!   and a cross-client barrier would deadlock — a *straggler* client
+//!   opens after the fray with an honest local rev of 0 and must take the
+//!   full-delta rebase path.
+//!
+//! The clients speak the real wire protocol over real sockets — nothing
+//! here shortcuts through `DesignService` directly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use shrink_wrap_schemas::repository::Repository;
+use sws_bench::edit_scripts::edit_stream;
+use sws_core::{parse_statement, print_op, ConceptKind, ModOp};
+use sws_designer::crash::checksum_valid;
+use sws_designer::protocol::Json;
+use sws_designer::{serve, DesignService, Session};
+
+const CLIENTS: usize = 4;
+const OPS_PER_CLIENT: usize = 12;
+
+/// Unwind guard: if any assertion fails mid-scenario, ask the server to
+/// stop and poke every acceptor awake so the scope's implicit join of the
+/// server thread terminates instead of hanging the whole test binary.
+struct StopServer<'a> {
+    service: &'a DesignService,
+    addr: SocketAddr,
+    threads: usize,
+}
+
+impl Drop for StopServer<'_> {
+    fn drop(&mut self) {
+        self.service.request_shutdown();
+        for _ in 0..self.threads {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+fn university_odl() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("crates/corpus/scripts/university.odl");
+    std::fs::read_to_string(path).expect("university.odl")
+}
+
+/// One protocol client over a real socket, maintaining a local replica of
+/// the repository from nothing but protocol messages.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    session: String,
+    /// Length of the accepted op log this client has incorporated.
+    rev: u64,
+    replica: Repository,
+    accepted_ops: u64,
+    conflicts: u64,
+    rejected: u64,
+}
+
+enum Outcome {
+    Accepted,
+    Rejected,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr, session: &str, src: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(600)))
+            .expect("read timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+            session: session.to_string(),
+            rev: 0,
+            replica: Repository::ingest_odl(src).expect("replica ingests"),
+            accepted_ops: 0,
+            conflicts: 0,
+            rejected: 0,
+        }
+    }
+
+    fn rpc(&mut self, line: &str) -> Json {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("recv");
+        let response = response.trim_end();
+        assert!(
+            checksum_valid(response),
+            "response failed checksum: {response}"
+        );
+        Json::parse(response).expect("response parses")
+    }
+
+    fn tag(resp: &Json) -> &str {
+        resp.get("type").and_then(Json::as_str).expect("type field")
+    }
+
+    fn num(resp: &Json, key: &str) -> u64 {
+        resp.get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing numeric `{key}` in {resp:?}"))
+    }
+
+    fn open(&mut self) {
+        let resp = self.rpc(&format!(
+            "{{\"type\":\"open\",\"session\":\"{}\"}}",
+            self.session
+        ));
+        assert_eq!(Self::tag(&resp), "opened");
+    }
+
+    /// Apply wire-format log records (from a conflict delta or a `log`
+    /// response) to the replica. Every record MUST replay cleanly: the
+    /// server accepted it, so a client that cannot rebase over it has
+    /// caught a protocol bug.
+    fn apply_records(&mut self, records: &Json) {
+        for record in records.as_array().expect("records array") {
+            let tag = record
+                .get("context")
+                .and_then(Json::as_str)
+                .expect("context");
+            let context = ConceptKind::from_tag(tag).expect("known context");
+            let stmt = record.get("stmt").and_then(Json::as_str).expect("stmt");
+            let op = parse_statement(stmt).expect("accepted op parses");
+            self.replica
+                .workspace_mut()
+                .apply(context, op)
+                .unwrap_or_else(|e| {
+                    panic!("accepted op `{stmt}` does not replay on a synced replica: {e}")
+                });
+            self.rev += 1;
+        }
+    }
+
+    /// Submit one op at the client's current (possibly stale) rev and
+    /// drive the conflict/rebase protocol until the op is either accepted
+    /// or genuinely rejected at the head.
+    fn submit_until_resolved(&mut self, context: ConceptKind, op: &ModOp) -> Outcome {
+        loop {
+            let stmt = print_op(op);
+            let resp = self.rpc(&format!(
+                "{{\"type\":\"submit\",\"session\":\"{}\",\"base_rev\":{},\
+                 \"ops\":[{{\"context\":\"{}\",\"stmt\":\"{stmt}\"}}]}}",
+                self.session,
+                self.rev,
+                context.tag(),
+            ));
+            match Self::tag(&resp) {
+                "accepted" => {
+                    assert_eq!(Self::num(&resp, "base_rev"), self.rev);
+                    assert_eq!(Self::num(&resp, "rev"), self.rev + 1);
+                    self.replica
+                        .workspace_mut()
+                        .apply(context, op.clone())
+                        .expect("op the server accepted applies to the synced replica");
+                    self.rev += 1;
+                    self.accepted_ops += 1;
+                    return Outcome::Accepted;
+                }
+                "conflict" => {
+                    self.conflicts += 1;
+                    let base_rev = Self::num(&resp, "base_rev");
+                    let rev = Self::num(&resp, "rev");
+                    assert_eq!(base_rev, self.rev, "conflict echoes the stale base_rev");
+                    assert!(rev > base_rev, "conflict implies the head moved");
+                    let delta = resp.get("delta").expect("conflict carries a delta");
+                    assert_eq!(
+                        delta.as_array().expect("delta array").len() as u64,
+                        rev - base_rev,
+                        "delta must be exactly the ops in (base_rev, rev]"
+                    );
+                    // The rebase contract: the delta brings the replica to
+                    // the head the conflict was reported against.
+                    self.apply_records(delta);
+                    assert_eq!(self.rev, rev);
+                    // Retry at the new base; the head may move again.
+                }
+                "rejected" => {
+                    // Head-rejected: the op lost a semantic race (e.g. its
+                    // target attribute was deleted by a sibling). Nothing
+                    // was applied server-side; nothing is applied locally.
+                    self.rejected += 1;
+                    return Outcome::Rejected;
+                }
+                other => panic!("unexpected response to submit: {other}: {resp:?}"),
+            }
+        }
+    }
+
+    /// Fetch and apply everything the replica is missing.
+    fn sync_to_head(&mut self) {
+        let resp = self.rpc(&format!(
+            "{{\"type\":\"log\",\"session\":\"{}\",\"since\":{}}}",
+            self.session, self.rev
+        ));
+        assert_eq!(Self::tag(&resp), "log");
+        let ops = resp.get("ops").expect("ops");
+        self.apply_records(ops);
+        assert_eq!(self.rev, Self::num(&resp, "rev"));
+    }
+
+    fn export(&mut self) -> (u64, String) {
+        let resp = self.rpc(&format!(
+            "{{\"type\":\"export\",\"session\":\"{}\"}}",
+            self.session
+        ));
+        assert_eq!(Self::tag(&resp), "exported");
+        let odl = resp.get("odl").and_then(Json::as_str).expect("odl");
+        (Self::num(&resp, "rev"), odl.to_string())
+    }
+
+    /// Consume the client into its report, CLOSING the connection. A
+    /// partially-moved `Client` would keep its socket open to the end of
+    /// the enclosing scope — and with few server threads an acceptor
+    /// blocked on that idle connection can never serve the next client.
+    fn into_report(self) -> ClientReport {
+        ClientReport {
+            replica: self.replica,
+            rev: self.rev,
+            accepted_ops: self.accepted_ops,
+            conflicts: self.conflicts,
+            rejected: self.rejected,
+        }
+    }
+}
+
+struct ClientReport {
+    replica: Repository,
+    rev: u64,
+    accepted_ops: u64,
+    conflicts: u64,
+    rejected: u64,
+}
+
+/// Drive one client: a barrier-forced contention round, then its seeded
+/// edit stream submitted against its own view of the log.
+fn run_client(
+    addr: SocketAddr,
+    idx: usize,
+    src: &str,
+    stream_ops: Vec<(ConceptKind, ModOp)>,
+    barrier: &Barrier,
+) -> ClientReport {
+    let mut client = Client::connect(addr, &format!("client{idx}"), src);
+    client.open();
+
+    // Contention round: every client submits at base_rev 0 simultaneously.
+    // Exactly one wins; the others MUST take the conflict/rebase path.
+    barrier.wait();
+    let forced = ModOp::AddTypeDefinition {
+        ty: format!("Forced{idx}"),
+    };
+    client.submit_until_resolved(ConceptKind::WagonWheel, &forced);
+
+    for (context, op) in stream_ops {
+        client.submit_until_resolved(context, &op);
+    }
+    eprintln!(
+        "client{idx} done: rev={} accepted={} conflicts={} rejected={}",
+        client.rev, client.accepted_ops, client.conflicts, client.rejected
+    );
+    client.into_report()
+}
+
+fn run_at(threads: usize) {
+    let src = university_odl();
+    let session = Session::from_odl(&src).expect("server schema");
+    let base = session.repository().workspace().working().clone();
+    let service = DesignService::new(session);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    // Each acceptor thread owns one connection at a time, so a barrier
+    // across all clients only converges when every connection can be held
+    // concurrently; below that the barrier degenerates to a no-op and the
+    // straggler provides the guaranteed conflict instead.
+    let barrier = Barrier::new(if threads >= CLIENTS { CLIENTS } else { 1 });
+
+    let (reports, total_rev, exported, log_records) = std::thread::scope(|scope| {
+        let server = scope.spawn(|| serve::serve(&service, listener, threads));
+        // Dropped on every exit from this closure — including an assertion
+        // unwind in a client thread's join — so the server always stops.
+        let _stop = StopServer {
+            service: &service,
+            addr,
+            threads,
+        };
+
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|idx| {
+                let src = &src;
+                let base = &base;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let ops = edit_stream(base, OPS_PER_CLIENT, 100 + idx as u64);
+                    run_client(addr, idx, src, ops, barrier)
+                })
+            })
+            .collect();
+        let mut reports: Vec<ClientReport> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect();
+
+        // The straggler: its honest view is rev 0 while the head is far
+        // ahead, so its first submit MUST conflict, and the full delta
+        // (the entire accepted order) must rebase cleanly onto its
+        // replica before the retry lands.
+        let mut straggler = Client::connect(addr, "straggler", &src);
+        straggler.open();
+        let late = ModOp::AddTypeDefinition {
+            ty: "Straggler".to_string(),
+        };
+        assert!(matches!(
+            straggler.submit_until_resolved(ConceptKind::WagonWheel, &late),
+            Outcome::Accepted
+        ));
+        assert!(
+            straggler.conflicts >= 1,
+            "a rev-0 submit against a populated log must conflict"
+        );
+        // A wire-level `log` fetch from the straggler's rev must report the
+        // same head it just rebased to (the delta left nothing behind).
+        straggler.sync_to_head();
+        reports.push(straggler.into_report());
+
+        // Final verification over the same wire protocol, then shutdown.
+        let mut verifier = Client::connect(addr, "verifier", &src);
+        verifier.open();
+        let log = verifier.rpc("{\"type\":\"log\",\"session\":\"verifier\",\"since\":0}");
+        assert_eq!(Client::tag(&log), "log");
+        let (total_rev, exported) = verifier.export();
+        let bye = verifier.rpc("{\"type\":\"shutdown\"}");
+        assert_eq!(Client::tag(&bye), "bye");
+        server.join().expect("server thread").expect("serve io");
+        (reports, total_rev, exported, log)
+    });
+
+    // The accepted total order IS the log: replaying it serially onto a
+    // fresh repository must reproduce the server's exported schema to the
+    // byte.
+    let records = log_records
+        .get("ops")
+        .expect("ops")
+        .as_array()
+        .expect("array");
+    assert_eq!(
+        records.len() as u64,
+        total_rev,
+        "log since 0 covers the whole accepted order"
+    );
+    let mut serial = Repository::ingest_odl(&src).expect("serial replica");
+    for record in records {
+        let context = ConceptKind::from_tag(
+            record
+                .get("context")
+                .and_then(Json::as_str)
+                .expect("context"),
+        )
+        .expect("known context");
+        let stmt = record.get("stmt").and_then(Json::as_str).expect("stmt");
+        let op = parse_statement(stmt).expect("logged op parses");
+        serial
+            .workspace_mut()
+            .apply(context, op)
+            .unwrap_or_else(|e| panic!("serial replay of accepted `{stmt}` failed: {e}"));
+    }
+    assert_eq!(
+        serial.custom_schema_odl(),
+        exported,
+        "{threads} threads: serial replay of the accepted order diverged from the live state"
+    );
+
+    // Every client replica converges to the same bytes once topped up with
+    // the records it had not yet seen.
+    let mut total_accepted = 0;
+    let mut total_conflicts = 0;
+    let mut total_rejected = 0;
+    for (idx, mut report) in reports.into_iter().enumerate() {
+        for record in &records[report.rev as usize..] {
+            let context = ConceptKind::from_tag(
+                record
+                    .get("context")
+                    .and_then(Json::as_str)
+                    .expect("context"),
+            )
+            .expect("known context");
+            let stmt = record.get("stmt").and_then(Json::as_str).expect("stmt");
+            let op = parse_statement(stmt).expect("logged op parses");
+            report
+                .replica
+                .workspace_mut()
+                .apply(context, op)
+                .unwrap_or_else(|e| panic!("client{idx} top-up of `{stmt}` failed: {e}"));
+        }
+        assert_eq!(
+            report.replica.custom_schema_odl(),
+            exported,
+            "{threads} threads: client{idx}'s replica diverged from the server"
+        );
+        total_accepted += report.accepted_ops;
+        total_conflicts += report.conflicts;
+        total_rejected += report.rejected;
+    }
+    assert_eq!(
+        total_accepted, total_rev,
+        "every accepted op appears in the log exactly once"
+    );
+    // Guaranteed contention: the straggler at every thread count, plus the
+    // barrier round's CLIENTS - 1 losers when connections run concurrently.
+    let floor = if threads >= CLIENTS {
+        CLIENTS as u64
+    } else {
+        1
+    };
+    assert!(
+        total_conflicts >= floor,
+        "{threads} threads: expected >= {floor} conflicts, saw {total_conflicts}"
+    );
+    eprintln!(
+        "serve differential @ {threads} threads: rev={total_rev} accepted={total_accepted} \
+         conflicts={total_conflicts} rejected={total_rejected}"
+    );
+}
+
+#[test]
+fn concurrent_clients_converge_at_1_thread() {
+    run_at(1);
+}
+
+#[test]
+fn concurrent_clients_converge_at_2_threads() {
+    run_at(2);
+}
+
+#[test]
+fn concurrent_clients_converge_at_4_threads() {
+    run_at(4);
+}
+
+#[test]
+fn concurrent_clients_converge_at_8_threads() {
+    run_at(8);
+}

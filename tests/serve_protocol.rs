@@ -1,0 +1,210 @@
+//! Golden wire-protocol fixtures for `swsd serve`: scripted JSONL
+//! conversations with every request type — including malformed frames,
+//! unknown sessions, stale-`base_rev` conflicts, and the delta horizon —
+//! pinned byte-for-byte under `tests/fixtures/serve/`. Key order,
+//! message wording, numeric encoding, and the trailing SplitMix64
+//! checksum are all load-bearing: clients parse these lines.
+//!
+//! To re-bless after an intentional protocol change:
+//! `SWS_BLESS=1 cargo test --test serve_protocol`.
+
+use std::path::{Path, PathBuf};
+
+use sws_designer::crash::checksum_valid;
+use sws_designer::{protocol, DesignService, Session};
+use sws_repository::io::MemIo;
+
+const SCHEMA: &str = "\
+interface Person { attribute string name; }
+interface Employee : Person { attribute long badge; }
+";
+
+/// Build the service a named conversation runs against. Everything is
+/// deterministic: fixed schema, in-memory storage, no clocks.
+fn service_for(name: &str) -> DesignService {
+    let mut session = Session::from_odl(SCHEMA).expect("fixture schema");
+    match name {
+        "checkpoint" => {
+            // An attached (in-memory) session directory so `checkpoint`
+            // has somewhere to commit generations.
+            session.set_io(Box::new(MemIo::new()));
+            session.save(Path::new("/mem/golden")).expect("save");
+        }
+        "horizon" => {
+            // Two ops issued before the service starts: revs 0 and 1 are
+            // behind the service's delta horizon.
+            session
+                .issue_str("add_type_definition(PreExisting)")
+                .expect("pre-op");
+            session
+                .issue_str("add_attribute(PreExisting, long, weight)")
+                .expect("pre-op");
+        }
+        _ => {}
+    }
+    DesignService::new(session)
+}
+
+/// `(fixture name, request lines)` — one fixture file per conversation.
+fn conversations() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        (
+            "lifecycle",
+            vec![
+                r#"{"type":"ping"}"#,
+                r#"{"type":"open","session":"alice"}"#,
+                r#"{"type":"open","session":"alice"}"#,
+                r#"{"type":"open","session":"bob"}"#,
+                r#"{"type":"ping"}"#,
+                r#"{"type":"shutdown"}"#,
+            ],
+        ),
+        (
+            "submit",
+            vec![
+                r#"{"type":"open","session":"alice"}"#,
+                r#"{"type":"submit","session":"alice","base_rev":0,"ops":[{"stmt":"add_type_definition(Project)"},{"stmt":"add_attribute(Project, string(16), code)"}]}"#,
+                r#"{"type":"report","session":"alice"}"#,
+                r#"{"type":"export","session":"alice"}"#,
+                r#"{"type":"log","session":"alice","since":0}"#,
+                r#"{"type":"log","session":"alice","since":1}"#,
+                r#"{"type":"lint","session":"alice","ops":[{"stmt":"add_attribute(Project, long, headcount)"}]}"#,
+                r#"{"type":"lint","session":"alice","ops":[{"stmt":"delete_type_definition(Ghost)"}]}"#,
+                r#"{"ops":[{"context":"generalization","stmt":"modify_attribute(Employee, badge, Person)"}],"session":"alice","base_rev":2,"type":"submit"}"#,
+            ],
+        ),
+        (
+            "conflict",
+            vec![
+                r#"{"type":"open","session":"alice"}"#,
+                r#"{"type":"open","session":"bob"}"#,
+                r#"{"type":"submit","session":"alice","base_rev":0,"ops":[{"stmt":"add_type_definition(Lab)"}]}"#,
+                r#"{"type":"submit","session":"bob","base_rev":0,"ops":[{"stmt":"add_type_definition(Annex)"}]}"#,
+                r#"{"type":"submit","session":"bob","base_rev":0,"ops":[{"stmt":"delete_type_definition(Lab)"}]}"#,
+                r#"{"type":"submit","session":"bob","base_rev":1,"ops":[{"stmt":"add_type_definition(Annex)"}]}"#,
+                r#"{"type":"submit","session":"alice","base_rev":9,"ops":[{"stmt":"add_type_definition(Late)"}]}"#,
+                r#"{"type":"submit","session":"alice","base_rev":2,"ops":[{"stmt":"add_attribute(Ghost, long, x)"}]}"#,
+                r#"{"type":"submit","session":"alice","base_rev":2,"ops":[{"stmt":"add_type_definition(Ok)"},{"stmt":"add_attribute(Ghost, long, x)"}]}"#,
+            ],
+        ),
+        (
+            "errors",
+            vec![
+                "not json at all",
+                r#"{"type":"warp"}"#,
+                r#"{"type":"open"}"#,
+                r#"{"type":"submit","session":"alice","base_rev":-1,"ops":[]}"#,
+                r#"{"type":"submit","session":"alice","base_rev":0,"ops":[{"stmt":"x","context":"sideways"}]}"#,
+                r#"{"type":"submit","session":"ghost","base_rev":0,"ops":[{"stmt":"add_type_definition(X)"}]}"#,
+                r#"{"type":"report","session":"ghost"}"#,
+                r#"{"type":"export","session":"ghost"}"#,
+                r#"{"type":"log","session":"ghost"}"#,
+                r#"{"type":"lint","session":"ghost","ops":[]}"#,
+                r#"{"type":"checkpoint","session":"ghost"}"#,
+                r#"{"type":"submit","session":"alice","base_rev":0,"ops":[{"stmt":"frobnicate(X)"}]}"#,
+            ],
+        ),
+        (
+            "checkpoint",
+            vec![
+                r#"{"type":"open","session":"alice"}"#,
+                r#"{"type":"submit","session":"alice","base_rev":0,"ops":[{"stmt":"add_type_definition(Widget)"},{"stmt":"add_type_definition(Gadget)"}]}"#,
+                r#"{"type":"checkpoint","session":"alice"}"#,
+                r#"{"type":"ping"}"#,
+            ],
+        ),
+        (
+            "horizon",
+            vec![
+                r#"{"type":"open","session":"late"}"#,
+                r#"{"type":"submit","session":"late","base_rev":0,"ops":[{"stmt":"add_type_definition(X)"}]}"#,
+                r#"{"type":"log","session":"late","since":0}"#,
+                r#"{"type":"submit","session":"late","base_rev":2,"ops":[{"stmt":"add_type_definition(X)"}]}"#,
+            ],
+        ),
+    ]
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/serve")
+}
+
+#[test]
+fn every_request_type_has_byte_stable_responses() {
+    let dir = fixtures_dir();
+    let bless = std::env::var_os("SWS_BLESS").is_some();
+    if bless {
+        std::fs::create_dir_all(&dir).expect("fixtures dir");
+    }
+    let mut failures = Vec::new();
+    for (name, requests) in conversations() {
+        let service = service_for(name);
+        let mut transcript = String::new();
+        for request in requests {
+            let (_, rendered) = protocol::respond(&service, request);
+            assert!(
+                checksum_valid(&rendered),
+                "{name}: response not self-checksummed: {rendered}"
+            );
+            assert!(!rendered.contains('\n'), "{name}: multi-line response");
+            transcript.push_str("> ");
+            transcript.push_str(request);
+            transcript.push('\n');
+            transcript.push_str("< ");
+            transcript.push_str(&rendered);
+            transcript.push('\n');
+        }
+        let path = dir.join(format!("{name}.txt"));
+        if bless {
+            std::fs::write(&path, &transcript).expect("bless fixture");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{name}: cannot read {}: {e}", path.display()));
+        if golden != transcript {
+            let diff: Vec<String> = golden
+                .lines()
+                .zip(transcript.lines())
+                .filter(|(g, a)| g != a)
+                .map(|(g, a)| format!("  golden: {g}\n  actual: {a}"))
+                .collect();
+            failures.push(format!("{name}:\n{}", diff.join("\n")));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatches (SWS_BLESS=1 to re-bless):\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The conversation scripts above must collectively exercise every
+/// response tag the protocol can produce — a new variant without a
+/// fixture fails here, not in a code-review comment.
+#[test]
+fn fixtures_cover_every_response_tag() {
+    let mut seen = std::collections::BTreeSet::new();
+    for (name, requests) in conversations() {
+        let service = service_for(name);
+        for request in requests {
+            let (response, _) = protocol::respond(&service, request);
+            seen.insert(response.tag());
+        }
+    }
+    for tag in [
+        "opened",
+        "accepted",
+        "conflict",
+        "rejected",
+        "linted",
+        "reported",
+        "exported",
+        "log",
+        "checkpointed",
+        "pong",
+        "bye",
+        "error",
+    ] {
+        assert!(seen.contains(tag), "no fixture produces `{tag}`");
+    }
+}
